@@ -1,0 +1,144 @@
+// Ablation: what TrustDDL's robustness machinery costs and buys.
+//
+//  (a) Per-opening cost of the three protocol tiers on one tensor:
+//      HbC (pair exchange), crash-fault (SafeML-style + heartbeat),
+//      malicious (commitment + ack + triple exchange) — the redundancy
+//      and commitment overhead of paper §III-B, isolated.
+//  (b) The coordinated-offset attack (DESIGN.md §4): under the paper's
+//      bare minimum-distance rule the forged reconstruction pair wins;
+//      with share-copy authentication (our hardening) the attack is
+//      attributed and the correct value recovered — at zero extra
+//      communication.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "mpc/adversary.hpp"
+#include "mpc/open.hpp"
+#include "net/runtime.hpp"
+
+using namespace trustddl;
+
+namespace {
+
+RingTensor random_ring(const Shape& shape, Rng& rng) {
+  RingTensor out(shape);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = rng.next_u64();
+  }
+  return out;
+}
+
+struct OpenStats {
+  double seconds_per_open = 0;
+  double kilobytes_per_open = 0;
+  double messages_per_open = 0;
+};
+
+OpenStats measure_opens(mpc::SecurityMode mode, std::size_t elements,
+                        int rounds, bool optimistic = false) {
+  Rng rng(42);
+  const RingTensor secret = random_ring(Shape{elements}, rng);
+  const auto views = mpc::share_secret(secret, rng);
+  net::Network network(net::NetworkConfig{.num_parties = 3});
+  std::array<mpc::PartyContext, 3> contexts;
+  for (int party = 0; party < 3; ++party) {
+    auto& ctx = contexts[static_cast<std::size_t>(party)];
+    ctx.endpoint = network.endpoint(party);
+    ctx.party = party;
+    ctx.mode = mode;
+    ctx.optimistic = optimistic;
+  }
+  Stopwatch watch;
+  net::run_parties(3, [&](net::PartyId party) {
+    for (int round = 0; round < rounds; ++round) {
+      (void)mpc::open_value(contexts[static_cast<std::size_t>(party)],
+                            views[static_cast<std::size_t>(party)]);
+    }
+  });
+  const double seconds = watch.elapsed_seconds();
+  const auto traffic = network.traffic();
+  return OpenStats{
+      seconds / rounds,
+      static_cast<double>(traffic.total_bytes) / 1024.0 / rounds,
+      static_cast<double>(traffic.total_messages) / rounds};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: redundancy / commitment tiers ===\n");
+  std::printf("One robust opening of a 4096-element tensor (mean of 50):\n\n");
+  std::printf("%-22s %12s %14s %12s\n", "mode", "time (ms)", "traffic (KB)",
+              "messages");
+  const struct {
+    const char* name;
+    mpc::SecurityMode mode;
+  } tiers[] = {
+      {"HbC (pair exchange)", mpc::SecurityMode::kHonestButCurious},
+      {"Crash-fault (SafeML)", mpc::SecurityMode::kCrashFault},
+      {"Malicious (full BT)", mpc::SecurityMode::kMalicious},
+  };
+  for (const auto& tier : tiers) {
+    const OpenStats stats = measure_opens(tier.mode, 4096, 50);
+    std::printf("%-22s %12.3f %14.1f %12.1f\n", tier.name,
+                stats.seconds_per_open * 1e3, stats.kilobytes_per_open,
+                stats.messages_per_open);
+  }
+  {
+    // The paper's future-work communication optimization: pairs +
+    // per-component commitments on the fast path, escalation only on
+    // mismatch (no mismatch here: honest run).
+    const OpenStats stats =
+        measure_opens(mpc::SecurityMode::kMalicious, 4096, 50,
+                      /*optimistic=*/true);
+    std::printf("%-22s %12.3f %14.1f %12.1f\n", "Malicious (optimistic)",
+                stats.seconds_per_open * 1e3, stats.kilobytes_per_open,
+                stats.messages_per_open);
+  }
+
+  std::printf("\n=== Coordinated-offset attack vs the decision rule ===\n");
+  std::printf("Byzantine P2 adds the SAME delta to its primary, duplicate "
+              "and second shares,\nforging an agreeing reconstruction pair "
+              "(the case §III-B's argument misses).\n\n");
+  for (const bool hardened : {false, true}) {
+    Rng rng(7);
+    const RingTensor secret = random_ring(Shape{8}, rng);
+    const auto views = mpc::share_secret(secret, rng);
+    mpc::ByzantineConfig config;
+    config.behavior = mpc::ByzantineConfig::Behavior::kCoordinatedDelta;
+    mpc::StandardAdversary adversary(config);
+
+    net::Network network(net::NetworkConfig{.num_parties = 3});
+    std::array<mpc::PartyContext, 3> contexts;
+    for (int party = 0; party < 3; ++party) {
+      auto& ctx = contexts[static_cast<std::size_t>(party)];
+      ctx.endpoint = network.endpoint(party);
+      ctx.party = party;
+      ctx.share_authentication = hardened;
+    }
+    contexts[1].adversary = &adversary;
+    std::array<RingTensor, 3> results;
+    net::run_parties(3, [&](net::PartyId party) {
+      results[static_cast<std::size_t>(party)] = mpc::open_value(
+          contexts[static_cast<std::size_t>(party)],
+          views[static_cast<std::size_t>(party)]);
+    });
+    const bool p0_correct = results[0] == secret;
+    const bool p2_correct = results[2] == secret;
+    std::printf("share authentication %-3s : honest parties opened %s "
+                "(auth failures detected: %zu)\n",
+                hardened ? "ON" : "OFF",
+                (p0_correct && p2_correct) ? "the CORRECT value"
+                                           : "a WRONG (shifted) value",
+                contexts[0].detections.count(
+                    mpc::DetectionEvent::Kind::kShareAuthFailure) +
+                    contexts[2].detections.count(
+                        mpc::DetectionEvent::Kind::kShareAuthFailure));
+  }
+  std::printf("\nThe hardening costs no additional communication: it only "
+              "compares share copies\nthe replicated layout already "
+              "delivers.\n");
+  return 0;
+}

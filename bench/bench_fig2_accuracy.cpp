@@ -1,0 +1,118 @@
+// Fig. 2 reproduction: test accuracy per epoch on the MNIST-like task,
+// CML (centralized plaintext model learning) vs TrustDDL secure
+// training, five epochs, Table I network.
+//
+// Differences from the paper's run (documented in EXPERIMENTS.md):
+//  * synthetic MNIST substitute (no dataset files offline);
+//  * a scaled-down training set (default 400 train / 150 test instead
+//    of 60k/10k) so the MPC run completes in bench time — override
+//    with --train=N --test=N --epochs=N --batch=N.
+// The property under test is the SHAPE: the TrustDDL curve tracks the
+// CML curve closely because ReLU is exact (SecComp-BT) and Softmax is
+// outsourced in floating point.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "nn/loss.hpp"
+
+using namespace trustddl;
+
+int main(int argc, char** argv) {
+  const std::size_t train_count = bench::arg_size(argc, argv, "train", 400);
+  const std::size_t test_count = bench::arg_size(argc, argv, "test", 150);
+  const std::size_t epochs = bench::arg_size(argc, argv, "epochs", 5);
+  const std::size_t batch = bench::arg_size(argc, argv, "batch", 16);
+  // Truncation: masked-open by default.  The paper's share-local
+  // truncation (--local=1) occasionally hits a catastrophic per-element
+  // glitch on the large weight-gradient tensors at this scale, which
+  // poisons one share set and shows up as a transient accuracy dip —
+  // a reproduction finding documented in EXPERIMENTS.md.
+  const bool local_trunc = bench::arg_size(argc, argv, "local", 0) != 0;
+  const double learning_rate = 0.25;
+
+  std::printf("=== Fig. 2: Model Accuracy on the (synthetic) MNIST task ===\n");
+  std::printf(
+      "Table I network: Conv 5x5 pad 2 stride 2 (1->5 ch, 28x28->14x14), "
+      "ReLU(980), FC 980->100, ReLU(100), FC 100->10, Softmax\n");
+  std::printf("train=%zu test=%zu epochs=%zu batch=%zu lr=%.2f "
+              "fixed-point=%d frac bits\n\n",
+              train_count, test_count, epochs, batch, learning_rate,
+              fx::kDefaultFracBits);
+
+  data::SyntheticMnistConfig data_config;
+  data_config.train_count = train_count;
+  data_config.test_count = test_count;
+  data_config.seed = 20240706;
+  const auto split = data::generate_synthetic_mnist(data_config);
+
+  // --- CML: centralized plaintext training. ---
+  std::vector<double> cml_accuracy;
+  {
+    Rng rng(1);
+    nn::Sequential model = nn::build_model(nn::mnist_cnn_spec(), rng);
+    nn::SgdOptimizer optimizer(learning_rate);
+    Rng shuffle_rng(99);
+    for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+      const auto indices =
+          data::shuffled_indices(split.train.size(), shuffle_rng);
+      for (std::size_t start = 0; start < split.train.size();
+           start += batch) {
+        const std::size_t count =
+            std::min(batch, split.train.size() - start);
+        const data::Dataset step =
+            data::gather(split.train, indices, start, count);
+        model.train_step(step.images, nn::one_hot(step.labels, 10),
+                         optimizer);
+      }
+      cml_accuracy.push_back(
+          model.accuracy(split.test.images, split.test.labels));
+    }
+  }
+
+  // --- TrustDDL: secure training (malicious model, full protocol). ---
+  core::EngineConfig engine_config;
+  engine_config.mode = mpc::SecurityMode::kMalicious;
+  engine_config.trunc_mode = local_trunc ? core::TruncationMode::kLocal
+                                         : core::TruncationMode::kMaskedOpen;
+  engine_config.seed = 1;  // same initialization as the CML run
+  core::TrustDdlEngine engine(nn::mnist_cnn_spec(), engine_config);
+
+  core::TrainOptions options;
+  options.epochs = epochs;
+  options.batch_size = batch;
+  options.learning_rate = learning_rate;
+  options.evaluate_each_epoch = true;
+  options.shuffle_seed = 99;
+  const core::TrainResult secure =
+      engine.train(split.train, split.test, options);
+
+  std::printf("%-8s %-18s %-18s\n", "epoch", "CML accuracy",
+              "TrustDDL accuracy");
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    const double secure_acc =
+        epoch < secure.epoch_test_accuracy.size()
+            ? secure.epoch_test_accuracy[epoch]
+            : 0.0;
+    std::printf("%-8zu %-18.4f %-18.4f\n", epoch + 1, cml_accuracy[epoch],
+                secure_acc);
+  }
+
+  if (!secure.epoch_test_accuracy.empty()) {
+    const double final_gap =
+        cml_accuracy.back() - secure.epoch_test_accuracy.back();
+    std::printf("\nfinal-epoch gap (CML - TrustDDL): %+.4f\n", final_gap);
+  }
+  std::printf("secure training: %.2f s wall, %.2f MB total traffic, "
+              "%llu messages\n",
+              secure.cost.wall_seconds, secure.cost.total_megabytes(),
+              static_cast<unsigned long long>(secure.cost.total_messages));
+  std::printf("detections: %zu commitment violations, %zu distance "
+              "anomalies, %zu share-auth failures (expected 0 without an "
+              "adversary)\n",
+              secure.cost.commitment_violations,
+              secure.cost.distance_anomalies,
+              secure.cost.share_auth_failures);
+  return 0;
+}

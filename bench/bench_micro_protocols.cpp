@@ -1,0 +1,227 @@
+// Microbenchmarks of the protocol building blocks (google-benchmark):
+// sharing/reconstruction, SHA-256 commitment hashing, the robust
+// opening in each security mode, SecMul-BT / SecMatMul-BT /
+// SecComp-BT, and both fixed-point truncation strategies.  Each
+// protocol iteration runs the real three-thread execution over the
+// in-process network.
+#include <benchmark/benchmark.h>
+
+#include "common/sha256.hpp"
+#include "mpc/beaver.hpp"
+#include "mpc/open.hpp"
+#include "mpc/protocols_bt.hpp"
+#include "net/runtime.hpp"
+#include "numeric/fixed_point.hpp"
+
+namespace trustddl {
+namespace {
+
+constexpr int kF = fx::kDefaultFracBits;
+
+RingTensor random_ring(const Shape& shape, Rng& rng) {
+  RingTensor out(shape);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = rng.next_u64();
+  }
+  return out;
+}
+
+void BM_FixedPointEncodeDecode(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> values(1024);
+  for (auto& value : values) {
+    value = rng.next_double(-100, 100);
+  }
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (double value : values) {
+      acc += fx::encode(value);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_FixedPointEncodeDecode);
+
+void BM_Sha256Commitment(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  Bytes payload(size, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_Sha256Commitment)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CreateReplicatedShares(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const RingTensor secret = random_ring(Shape{n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpc::share_secret(secret, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CreateReplicatedShares)->Arg(1 << 8)->Arg(1 << 14);
+
+/// One full three-party robust opening per iteration.
+void BM_Open(benchmark::State& state, mpc::SecurityMode mode) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const RingTensor secret = random_ring(Shape{n}, rng);
+  const auto views = mpc::share_secret(secret, rng);
+  for (auto _ : state) {
+    net::Network network(net::NetworkConfig{.num_parties = 3});
+    std::array<mpc::PartyContext, 3> contexts;
+    for (int party = 0; party < 3; ++party) {
+      auto& ctx = contexts[static_cast<std::size_t>(party)];
+      ctx.endpoint = network.endpoint(party);
+      ctx.party = party;
+      ctx.mode = mode;
+    }
+    net::run_parties(3, [&](net::PartyId party) {
+      benchmark::DoNotOptimize(mpc::open_value(
+          contexts[static_cast<std::size_t>(party)],
+          views[static_cast<std::size_t>(party)]));
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_Open, hbc, mpc::SecurityMode::kHonestButCurious)
+    ->Arg(1 << 8)
+    ->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_Open, crash_fault, mpc::SecurityMode::kCrashFault)
+    ->Arg(1 << 8)
+    ->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_Open, malicious, mpc::SecurityMode::kMalicious)
+    ->Arg(1 << 8)
+    ->Arg(1 << 14);
+
+void BM_SecMulBt(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const Shape shape{n};
+  const auto x_views = mpc::share_secret(random_ring(shape, rng), rng);
+  const auto y_views = mpc::share_secret(random_ring(shape, rng), rng);
+  for (auto _ : state) {
+    net::Network network(net::NetworkConfig{.num_parties = 3});
+    auto dealer = std::make_shared<mpc::SharedDealer>(5, kF);
+    std::array<mpc::PartyContext, 3> contexts;
+    for (int party = 0; party < 3; ++party) {
+      auto& ctx = contexts[static_cast<std::size_t>(party)];
+      ctx.endpoint = network.endpoint(party);
+      ctx.party = party;
+    }
+    net::run_parties(3, [&](net::PartyId party) {
+      mpc::LocalTripleSource source(dealer, party);
+      const auto triple = source.mul_triple(shape);
+      benchmark::DoNotOptimize(mpc::sec_mul_bt(
+          contexts[static_cast<std::size_t>(party)],
+          x_views[static_cast<std::size_t>(party)],
+          y_views[static_cast<std::size_t>(party)], triple));
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SecMulBt)->Arg(1 << 8)->Arg(1 << 12);
+
+void BM_SecMatMulBt(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const auto x_views =
+      mpc::share_secret(random_ring(Shape{n, n}, rng), rng);
+  const auto y_views =
+      mpc::share_secret(random_ring(Shape{n, n}, rng), rng);
+  for (auto _ : state) {
+    net::Network network(net::NetworkConfig{.num_parties = 3});
+    auto dealer = std::make_shared<mpc::SharedDealer>(7, kF);
+    std::array<mpc::PartyContext, 3> contexts;
+    for (int party = 0; party < 3; ++party) {
+      auto& ctx = contexts[static_cast<std::size_t>(party)];
+      ctx.endpoint = network.endpoint(party);
+      ctx.party = party;
+    }
+    net::run_parties(3, [&](net::PartyId party) {
+      mpc::LocalTripleSource source(dealer, party);
+      const auto triple = source.matmul_triple(n, n, n);
+      benchmark::DoNotOptimize(mpc::sec_matmul_bt(
+          contexts[static_cast<std::size_t>(party)],
+          x_views[static_cast<std::size_t>(party)],
+          y_views[static_cast<std::size_t>(party)], triple));
+    });
+  }
+}
+BENCHMARK(BM_SecMatMulBt)->Arg(16)->Arg(64);
+
+void BM_SecCompBt(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  const Shape shape{n};
+  const auto x_views = mpc::share_secret(random_ring(shape, rng), rng);
+  const auto y_views = mpc::share_secret(random_ring(shape, rng), rng);
+  for (auto _ : state) {
+    net::Network network(net::NetworkConfig{.num_parties = 3});
+    auto dealer = std::make_shared<mpc::SharedDealer>(9, kF);
+    std::array<mpc::PartyContext, 3> contexts;
+    for (int party = 0; party < 3; ++party) {
+      auto& ctx = contexts[static_cast<std::size_t>(party)];
+      ctx.endpoint = network.endpoint(party);
+      ctx.party = party;
+    }
+    net::run_parties(3, [&](net::PartyId party) {
+      mpc::LocalTripleSource source(dealer, party);
+      benchmark::DoNotOptimize(mpc::sec_comp_bt(
+          contexts[static_cast<std::size_t>(party)],
+          x_views[static_cast<std::size_t>(party)],
+          y_views[static_cast<std::size_t>(party)],
+          source.comp_aux(shape), source.mul_triple(shape)));
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SecCompBt)->Arg(1 << 8)->Arg(1 << 12);
+
+void BM_Truncation(benchmark::State& state, mpc::TruncationMode mode) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(10);
+  const Shape shape{n};
+  const auto z_views = mpc::share_secret(random_ring(shape, rng), rng);
+  for (auto _ : state) {
+    net::Network network(net::NetworkConfig{.num_parties = 3});
+    auto dealer = std::make_shared<mpc::SharedDealer>(11, kF);
+    std::array<mpc::PartyContext, 3> contexts;
+    for (int party = 0; party < 3; ++party) {
+      auto& ctx = contexts[static_cast<std::size_t>(party)];
+      ctx.endpoint = network.endpoint(party);
+      ctx.party = party;
+    }
+    net::run_parties(3, [&](net::PartyId party) {
+      const auto& z = z_views[static_cast<std::size_t>(party)];
+      if (mode == mpc::TruncationMode::kLocal) {
+        benchmark::DoNotOptimize(mpc::truncate_product_local(z, kF));
+      } else {
+        mpc::LocalTripleSource source(dealer, party);
+        benchmark::DoNotOptimize(mpc::truncate_product_masked(
+            contexts[static_cast<std::size_t>(party)], z,
+            source.trunc_pair(shape)));
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_Truncation, local, mpc::TruncationMode::kLocal)
+    ->Arg(1 << 12);
+BENCHMARK_CAPTURE(BM_Truncation, masked_open, mpc::TruncationMode::kMaskedOpen)
+    ->Arg(1 << 12);
+
+}  // namespace
+}  // namespace trustddl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/framework.hpp"
+
+namespace trustddl::bench {
+
+/// Modeled LAN time: measured wall time plus a network model of
+/// 100 us per message and 1 Gbit/s of bandwidth, divided by 3 because
+/// the three computing parties communicate concurrently.  The paper
+/// ran on four machines over a real network; this model restores the
+/// latency component that an in-process transport removes.  Reported
+/// alongside (never instead of) the measured wall time.
+inline double modeled_lan_seconds(const baselines::StepCost& cost) {
+  constexpr double kPerMessageSeconds = 100e-6;
+  constexpr double kBytesPerSecond = 1e9 / 8.0;
+  const double network = (static_cast<double>(cost.messages) *
+                              kPerMessageSeconds +
+                          static_cast<double>(cost.bytes) / kBytesPerSecond) /
+                         3.0;
+  return cost.wall_seconds + network;
+}
+
+/// Parse "--key=value" style size overrides: returns `fallback` when
+/// the flag is absent.
+inline std::size_t arg_size(int argc, char** argv, const std::string& key,
+                            std::size_t fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + prefix.size(), nullptr, 10));
+    }
+  }
+  return fallback;
+}
+
+}  // namespace trustddl::bench

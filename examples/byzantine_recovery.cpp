@@ -1,0 +1,130 @@
+// Byzantine detection and recovery walkthrough.
+//
+// Replays the three misbehaviour cases of the paper's security proof
+// (Proof 6.2) plus the coordinated-offset attack found during this
+// reproduction (DESIGN.md §4), one robust opening each, and shows what
+// every honest party observes and how it recovers.
+//
+// Build & run:  ./build/examples/byzantine_recovery
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "mpc/adversary.hpp"
+#include "mpc/open.hpp"
+#include "net/runtime.hpp"
+
+using namespace trustddl;
+
+namespace {
+
+const char* kind_name(mpc::DetectionEvent::Kind kind) {
+  using Kind = mpc::DetectionEvent::Kind;
+  switch (kind) {
+    case Kind::kCommitmentViolation:
+      return "commitment violation";
+    case Kind::kMissingMessage:
+      return "missing message";
+    case Kind::kDistanceAnomaly:
+      return "distance anomaly";
+    case Kind::kByzantineSuspected:
+      return "byzantine suspected";
+    case Kind::kShareAuthFailure:
+      return "share-copy authentication failure";
+    case Kind::kShareCopyConflict:
+      return "share-copy conflict";
+  }
+  return "?";
+}
+
+void demonstrate(const char* title, mpc::ByzantineConfig config,
+                 int byzantine_party) {
+  std::printf("--- %s (Byzantine party: P%d) ---\n", title, byzantine_party);
+
+  Rng rng(17);
+  RingTensor secret(Shape{4});
+  for (std::size_t i = 0; i < secret.size(); ++i) {
+    secret[i] = rng.next_u64();
+  }
+  const auto views = mpc::share_secret(secret, rng);
+  mpc::StandardAdversary adversary(config);
+
+  net::NetworkConfig net_config;
+  net_config.num_parties = 3;
+  net_config.recv_timeout = std::chrono::milliseconds(250);
+  net::Network network(net_config);
+  std::array<mpc::PartyContext, 3> contexts;
+  for (int party = 0; party < 3; ++party) {
+    auto& ctx = contexts[static_cast<std::size_t>(party)];
+    ctx.endpoint = network.endpoint(party);
+    ctx.party = party;
+  }
+  contexts[static_cast<std::size_t>(byzantine_party)].adversary = &adversary;
+
+  std::array<RingTensor, 3> results;
+  net::run_parties(
+      3,
+      [&](net::PartyId party) {
+        results[static_cast<std::size_t>(party)] = mpc::open_value(
+            contexts[static_cast<std::size_t>(party)],
+            views[static_cast<std::size_t>(party)]);
+      },
+      /*rethrow=*/false);
+
+  for (int party = 0; party < 3; ++party) {
+    if (party == byzantine_party) {
+      continue;
+    }
+    const auto& ctx = contexts[static_cast<std::size_t>(party)];
+    const bool correct = results[static_cast<std::size_t>(party)] == secret;
+    std::printf("  honest P%d: opened the %s value; observed:", party,
+                correct ? "CORRECT" : "WRONG");
+    if (ctx.detections.events.empty()) {
+      std::printf(" nothing unusual");
+    }
+    for (const auto& event : ctx.detections.events) {
+      std::printf(" [%s%s%s]", kind_name(event.kind),
+                  event.suspect >= 0 ? " by P" : "",
+                  event.suspect >= 0
+                      ? std::to_string(event.suspect).c_str()
+                      : "");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Logger::instance().set_level(LogLevel::kError);  // keep stdout tidy
+  std::printf("=== How TrustDDL detects and recovers from one Byzantine "
+              "party ===\n\n");
+
+  mpc::ByzantineConfig config;
+
+  config.behavior = mpc::ByzantineConfig::Behavior::kCommitmentViolationGlobal;
+  demonstrate("Case 1: commitment violated towards everyone", config, 1);
+
+  config.behavior = mpc::ByzantineConfig::Behavior::kCommitmentViolationSingle;
+  config.target_peer = 0;
+  demonstrate("Case 2: commitment violated towards P0 only", config, 1);
+
+  config.behavior = mpc::ByzantineConfig::Behavior::kConsistentCorruption;
+  demonstrate("Case 3: consistently corrupted shares (hashes match)", config,
+              2);
+
+  config.behavior = mpc::ByzantineConfig::Behavior::kDropMessages;
+  demonstrate("Silence: all messages dropped (crash or censorship)", config,
+              0);
+
+  config.behavior = mpc::ByzantineConfig::Behavior::kCoordinatedDelta;
+  demonstrate(
+      "Coordinated offset (beyond the paper; defeated by share-copy "
+      "authentication)",
+      config, 1);
+
+  std::printf("In every case both honest parties finished with the correct "
+              "value — TrustDDL's guaranteed output delivery.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Private inference as a service (paper §III-A):
+//
+// The model owner holds a trained classifier, the data owner holds
+// private images.  Neither trusts the three cloud computing parties
+// individually.  TrustDDL shares model and inputs into the proxy
+// layer, evaluates the network on shares, and reconstructs the
+// predictions only at the data owner — then repeats the whole exchange
+// with one computing party actively malicious.
+//
+// Build & run:  ./build/examples/secure_inference
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "nn/loss.hpp"
+
+using namespace trustddl;
+
+int main() {
+  std::printf("=== TrustDDL private inference ===\n\n");
+
+  // --- Model owner: train a small model in the clear (its own data).
+  data::SyntheticMnistConfig data_config;
+  data_config.train_count = 1500;
+  data_config.test_count = 24;
+  data_config.seed = 11;
+  const auto split = data::generate_synthetic_mnist(data_config);
+
+  core::EngineConfig config;
+  config.mode = mpc::SecurityMode::kMalicious;
+  config.seed = 2;
+  core::TrustDdlEngine engine(nn::mnist_mlp_spec(), config);
+  {
+    nn::SgdOptimizer optimizer(0.3);
+    auto& model = engine.reference_model();
+    for (std::size_t start = 0; start + 20 <= split.train.size();
+         start += 20) {
+      const auto batch = data::slice(split.train, start, 20);
+      model.train_step(batch.images, nn::one_hot(batch.labels, 10),
+                       optimizer);
+    }
+    std::printf("model owner trained a 784-64-10 MLP, plaintext test "
+                "accuracy %.1f%%\n\n",
+                100 * model.accuracy(split.test.images, split.test.labels));
+  }
+
+  // --- Data owner: classify 12 private images through the proxy layer.
+  const data::Dataset queries = data::slice(split.test, 0, 12);
+  const core::InferResult honest = engine.infer(queries, /*batch_size=*/4);
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    correct += honest.labels[i] == queries.labels[i] ? 1 : 0;
+  }
+  std::printf("secure inference (all parties honest):\n");
+  std::printf("  %zu/%zu predictions correct\n", correct, queries.size());
+  std::printf("  %.2f s, %.2f MB exchanged (%.2f MB proxy-internal, "
+              "%.2f MB with owners), %llu messages\n\n",
+              honest.cost.wall_seconds, honest.cost.total_megabytes(),
+              static_cast<double>(honest.cost.proxy_bytes) / (1 << 20),
+              static_cast<double>(honest.cost.owner_bytes) / (1 << 20),
+              static_cast<unsigned long long>(honest.cost.total_messages));
+
+  // --- Same queries, but computing party P1 is now malicious.
+  core::EngineConfig attacked_config = config;
+  attacked_config.trunc_mode = core::TruncationMode::kMaskedOpen;
+  attacked_config.byzantine_party = 1;
+  attacked_config.byzantine.behavior =
+      mpc::ByzantineConfig::Behavior::kConsistentCorruption;
+  attacked_config.byzantine.probability = 0.5;
+  core::TrustDdlEngine attacked(nn::mnist_mlp_spec(), attacked_config);
+  attacked.reference_model() = std::move(engine.reference_model());
+
+  const core::InferResult under_attack =
+      attacked.infer(queries, /*batch_size=*/4);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    agree += under_attack.labels[i] == honest.labels[i] ? 1 : 0;
+  }
+  std::printf("secure inference (party P1 Byzantine, corrupting 50%% of "
+              "openings):\n");
+  std::printf("  %zu/%zu predictions identical to the honest run\n", agree,
+              queries.size());
+  std::printf("  honest parties detected and recovered: %zu share-copy "
+              "authentication failures, %zu distance anomalies, %zu "
+              "recovered openings\n",
+              under_attack.cost.share_auth_failures,
+              under_attack.cost.distance_anomalies,
+              under_attack.cost.recovered_opens);
+  std::printf("  the protocol never aborted — every query was answered "
+              "(guaranteed output delivery).\n");
+  return 0;
+}

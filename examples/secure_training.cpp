@@ -1,0 +1,69 @@
+// End-to-end secure model training (paper §III):
+//
+// The data owner shares its labelled images into the proxy layer; the
+// model owner shares the initial weights and deals preprocessing
+// material; the three computing parties run SGD entirely on secret
+// shares (SecMatMul-BT for the linear algebra, SecComp-BT for ReLU,
+// Softmax outsourced to the model owner).  After every epoch the model
+// owner robustly reconstructs the weights and evaluates test accuracy
+// — the TrustDDL curve of Fig. 2.
+//
+// Build & run:  ./build/examples/secure_training
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "nn/loss.hpp"
+
+using namespace trustddl;
+
+int main() {
+  std::printf("=== TrustDDL secure training ===\n\n");
+
+  data::SyntheticMnistConfig data_config;
+  data_config.train_count = 400;
+  data_config.test_count = 120;
+  data_config.seed = 31;
+  const auto split = data::generate_synthetic_mnist(data_config);
+
+  core::EngineConfig config;
+  config.mode = mpc::SecurityMode::kMalicious;
+  config.seed = 3;
+  core::TrustDdlEngine engine(nn::mnist_mlp_spec(), config);
+
+  const double initial_accuracy = engine.reference_model().accuracy(
+      split.test.images, split.test.labels);
+  std::printf("network: 784-64-10 MLP, %zu training images, batch 16, "
+              "3 epochs, malicious-model protocols\n",
+              split.train.size());
+  std::printf("initial (random weights) test accuracy: %.1f%%\n\n",
+              100 * initial_accuracy);
+
+  core::TrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 16;
+  options.learning_rate = 0.3;
+  options.evaluate_each_epoch = true;
+
+  const core::TrainResult result =
+      engine.train(split.train, split.test, options);
+
+  std::printf("%-8s %s\n", "epoch", "test accuracy (weights reconstructed "
+                                    "at the model owner)");
+  for (std::size_t epoch = 0; epoch < result.epoch_test_accuracy.size();
+       ++epoch) {
+    std::printf("%-8zu %.1f%%\n", epoch + 1,
+                100 * result.epoch_test_accuracy[epoch]);
+  }
+
+  std::printf("\ncost: %.1f s wall, %.1f MB total communication "
+              "(%.1f MB among the proxy parties, %.1f MB with the owners), "
+              "%llu messages\n",
+              result.cost.wall_seconds, result.cost.total_megabytes(),
+              static_cast<double>(result.cost.proxy_bytes) / (1 << 20),
+              static_cast<double>(result.cost.owner_bytes) / (1 << 20),
+              static_cast<unsigned long long>(result.cost.total_messages));
+  std::printf("no party ever saw the training data, the labels, or the "
+              "model weights in the clear.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Common interface for the Table II comparator frameworks.
+//
+// Each framework is an executable protocol model (DESIGN.md §4): it
+// runs the same CNN workload over the same metered in-process network
+// with the message pattern and sizes of the original protocol, so the
+// *relative* costs Table II reports are measured, not estimated.
+//
+// Costs include one-time setup (weight sharing); the bench harness
+// isolates per-step cost by differencing runs with different step
+// counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numeric/tensor.hpp"
+
+namespace trustddl::baselines {
+
+struct StepCost {
+  double wall_seconds = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+
+  double megabytes() const {
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+  }
+
+  StepCost operator-(const StepCost& other) const {
+    return StepCost{wall_seconds - other.wall_seconds, bytes - other.bytes,
+                    messages - other.messages};
+  }
+  StepCost scaled(double factor) const {
+    return StepCost{wall_seconds * factor,
+                    static_cast<std::uint64_t>(
+                        static_cast<double>(bytes) * factor),
+                    static_cast<std::uint64_t>(
+                        static_cast<double>(messages) * factor)};
+  }
+};
+
+class Framework {
+ public:
+  virtual ~Framework() = default;
+
+  virtual std::string name() const = 0;
+  /// Adversary model, as in Table II's "Model" column.
+  virtual std::string adversary_model() const = 0;
+
+  /// Run `steps` SGD steps on the given batch in one session; returns
+  /// the session cost (setup + steps).
+  virtual StepCost train(const RealTensor& images, const RealTensor& onehot,
+                         double learning_rate, int steps) = 0;
+
+  /// Run inference `repeats` times on the given batch in one session;
+  /// `predictions` (optional) receives the last run's labels.
+  virtual StepCost infer(const RealTensor& images, int repeats,
+                         std::vector<std::size_t>* predictions = nullptr) = 0;
+};
+
+}  // namespace trustddl::baselines

@@ -1,0 +1,338 @@
+// Generic secure network over a pluggable MPC backend.
+//
+// The SecureNN and Falcon baselines share the exact same layer
+// orchestration (im2col, caching, fused softmax+cross-entropy
+// backward, SGD) and differ only in how shares are represented and how
+// the four protocol primitives (matmul, relu mask, softmax, reveal)
+// are realized.  This template captures the orchestration once; each
+// baseline provides a Backend.
+//
+// Backend concept:
+//   using Share;    // value type holding this party's share(s)
+//   using Context;  // per-party protocol state (endpoint, RNGs, ...)
+//   static Share matmul(Context&, const Share& x, const Share& w);
+//       // [m,k] x [k,n], fixed-point rescaled
+//   static RingTensor relu_mask(Context&, const Share& x);
+//       // public 0/1 mask, revealed as in the original protocols
+//   static void mul_public(Share&, const RingTensor& mask);
+//   static Share softmax(Context&, const Share& logits);
+//   static Share sub(const Share&, const Share&);
+//   static void add_assign(Share&, const Share&);
+//   static void sub_assign(Share&, const Share&);
+//   static Share transform(const Share&, fn);  // per-component local op
+//   static void add_row_broadcast(Share&, const Share& bias);
+//   static void add_col_broadcast(Share&, const Share& bias);
+//   static Share scale_truncate(Context&, const Share&, double factor);
+//   static Share matmul_grad(Context&, const Share&, const Share&);
+//       // product for WEIGHT gradients; backends may keep the 2f
+//       // scale to defer (and fuse) the rescale into rescale_grad
+//   static Share rescale_grad(Context&, const Share&, double factor);
+//       // lr-scale + whatever truncation matmul_grad deferred
+//   static Share zeros_like(const Share&);
+//   static const Shape& shape(const Share&);
+#pragma once
+
+#include <vector>
+
+#include "nn/model_zoo.hpp"
+#include "numeric/conv.hpp"
+
+namespace trustddl::baselines {
+
+template <typename Backend>
+class GenericNet {
+ public:
+  using Share = typename Backend::Share;
+  using Context = typename Backend::Context;
+
+  /// `params` in nn::Sequential::parameters() order.
+  GenericNet(const nn::ModelSpec& spec, std::vector<Share> params) {
+    nn::validate_spec(spec);
+    std::size_t next = 0;
+    for (const nn::LayerSpec& layer_spec : spec.layers) {
+      Layer layer;
+      layer.kind = layer_spec.kind;
+      layer.conv = layer_spec.conv;
+      layer.pool = layer_spec.pool;
+      if (layer_spec.kind == nn::LayerSpec::Kind::kConv ||
+          layer_spec.kind == nn::LayerSpec::Kind::kDense) {
+        layer.weights = std::move(params[next++]);
+        layer.bias = std::move(params[next++]);
+        layer.weights_grad = Backend::zeros_like(layer.weights);
+        layer.bias_grad = Backend::zeros_like(layer.bias);
+      }
+      layers_.push_back(std::move(layer));
+    }
+  }
+
+  Share forward(Context& ctx, const Share& input) {
+    Share activation = input;
+    for (Layer& layer : layers_) {
+      activation = layer_forward(ctx, layer, activation);
+    }
+    return activation;
+  }
+
+  /// Backward from the fused softmax+cross-entropy gradient (p - y);
+  /// the trailing softmax layer is skipped.
+  void backward(Context& ctx, const Share& grad_logits) {
+    Share grad = grad_logits;
+    for (std::size_t i = layers_.size() - 1; i-- > 0;) {
+      grad = layer_backward(ctx, layers_[i], grad);
+    }
+  }
+
+  /// Current parameter shares in construction order (W, b per
+  /// trainable layer) — for end-of-session weight reveals.
+  std::vector<Share> parameter_shares() const {
+    std::vector<Share> out;
+    for (const Layer& layer : layers_) {
+      if (layer.kind == nn::LayerSpec::Kind::kConv ||
+          layer.kind == nn::LayerSpec::Kind::kDense) {
+        out.push_back(layer.weights);
+        out.push_back(layer.bias);
+      }
+    }
+    return out;
+  }
+
+  void sgd(Context& ctx, double learning_rate, int /*frac_bits*/) {
+    for (Layer& layer : layers_) {
+      if (layer.kind != nn::LayerSpec::Kind::kConv &&
+          layer.kind != nn::LayerSpec::Kind::kDense) {
+        continue;
+      }
+      Backend::sub_assign(
+          layer.weights,
+          Backend::rescale_grad(ctx, layer.weights_grad, learning_rate));
+      Backend::sub_assign(
+          layer.bias,
+          Backend::scale_truncate(ctx, layer.bias_grad, learning_rate));
+      layer.weights_grad = Backend::zeros_like(layer.weights);
+      layer.bias_grad = Backend::zeros_like(layer.bias);
+    }
+  }
+
+ private:
+  struct Layer {
+    nn::LayerSpec::Kind kind = nn::LayerSpec::Kind::kRelu;
+    ConvSpec conv;
+    nn::PoolSpec pool;
+    Share weights;
+    Share bias;
+    Share weights_grad;
+    Share bias_grad;
+    Share cached_input;    // dense: x; conv: im2col columns
+    RingTensor relu_mask;  // relu
+    /// Public per-(sample, pool) argmax input index (maxpool).
+    std::vector<std::vector<std::size_t>> pool_argmax;
+    std::size_t cached_batch = 0;
+  };
+
+  Share layer_forward(Context& ctx, Layer& layer, const Share& input) {
+    switch (layer.kind) {
+      case nn::LayerSpec::Kind::kDense: {
+        layer.cached_input = input;
+        Share output = Backend::matmul(ctx, input, layer.weights);
+        Backend::add_row_broadcast(output, layer.bias);
+        return output;
+      }
+      case nn::LayerSpec::Kind::kConv: {
+        const std::size_t batch = Backend::shape(input)[0];
+        layer.cached_batch = batch;
+        const ConvSpec& spec = layer.conv;
+        layer.cached_input =
+            Backend::transform(input, [&](const RingTensor& x) {
+              return batch_im2col(x, spec);
+            });
+        Share maps =
+            Backend::matmul(ctx, layer.weights, layer.cached_input);
+        Backend::add_col_broadcast(maps, layer.bias);
+        const std::size_t pixels = spec.col_cols();
+        return Backend::transform(maps, [&](const RingTensor& m) {
+          return maps_to_rows(m, batch, pixels);
+        });
+      }
+      case nn::LayerSpec::Kind::kRelu: {
+        layer.relu_mask = Backend::relu_mask(ctx, input);
+        Share output = input;
+        Backend::mul_public(output, layer.relu_mask);
+        return output;
+      }
+      case nn::LayerSpec::Kind::kSoftmax:
+        return Backend::softmax(ctx, input);
+      case nn::LayerSpec::Kind::kMaxPool:
+        return maxpool_forward(ctx, layer, input);
+    }
+    return input;
+  }
+
+  /// Max pooling built from the backend primitives alone: a tournament
+  /// of pairwise comparisons where each round reveals a sign mask
+  /// (relu_mask of the difference) and selects winners locally —
+  /// mirroring core::SecureMaxPool.
+  Share maxpool_forward(Context& ctx, Layer& layer, const Share& input) {
+    const nn::PoolSpec& spec = layer.pool;
+    const std::size_t batch = Backend::shape(input)[0];
+    const std::size_t pools = spec.out_features();
+    layer.cached_batch = batch;
+
+    const std::size_t window_size = spec.window * spec.window;
+    std::vector<std::vector<std::size_t>> slot_index(
+        window_size, std::vector<std::size_t>(pools));
+    {
+      std::size_t pool = 0;
+      for (std::size_t channel = 0; channel < spec.channels; ++channel) {
+        for (std::size_t oy = 0; oy < spec.out_height(); ++oy) {
+          for (std::size_t ox = 0; ox < spec.out_width(); ++ox) {
+            for (std::size_t wy = 0; wy < spec.window; ++wy) {
+              for (std::size_t wx = 0; wx < spec.window; ++wx) {
+                slot_index[wy * spec.window + wx][pool] =
+                    spec.input_index(channel, oy, ox, wy, wx);
+              }
+            }
+            ++pool;
+          }
+        }
+      }
+    }
+
+    struct Candidate {
+      Share share;
+      std::vector<std::size_t> source;  // per (sample, pool)
+    };
+    std::vector<Candidate> candidates;
+    for (std::size_t slot = 0; slot < window_size; ++slot) {
+      Candidate candidate;
+      candidate.share =
+          Backend::transform(input, [&](const RingTensor& component) {
+            RingTensor gathered(Shape{batch, pools});
+            for (std::size_t sample = 0; sample < batch; ++sample) {
+              for (std::size_t pool = 0; pool < pools; ++pool) {
+                gathered.at(sample, pool) =
+                    component.at(sample, slot_index[slot][pool]);
+              }
+            }
+            return gathered;
+          });
+      candidate.source.resize(batch * pools);
+      for (std::size_t sample = 0; sample < batch; ++sample) {
+        for (std::size_t pool = 0; pool < pools; ++pool) {
+          candidate.source[sample * pools + pool] = slot_index[slot][pool];
+        }
+      }
+      candidates.push_back(std::move(candidate));
+    }
+
+    while (candidates.size() > 1) {
+      std::vector<Candidate> next;
+      for (std::size_t i = 0; i + 1 < candidates.size(); i += 2) {
+        Candidate& lhs = candidates[i];
+        Candidate& rhs = candidates[i + 1];
+        Share diff = Backend::sub(lhs.share, rhs.share);
+        const RingTensor mask = Backend::relu_mask(ctx, diff);
+        Backend::mul_public(diff, mask);  // mask (.) (lhs - rhs)
+        Candidate winner;
+        winner.share = diff;
+        Backend::add_assign(winner.share, rhs.share);
+        winner.source.resize(lhs.source.size());
+        for (std::size_t e = 0; e < winner.source.size(); ++e) {
+          winner.source[e] = mask[e] != 0 ? lhs.source[e] : rhs.source[e];
+        }
+        next.push_back(std::move(winner));
+      }
+      if (candidates.size() % 2 == 1) {
+        next.push_back(std::move(candidates.back()));
+      }
+      candidates = std::move(next);
+    }
+
+    layer.pool_argmax.assign(batch, std::vector<std::size_t>(pools));
+    for (std::size_t sample = 0; sample < batch; ++sample) {
+      for (std::size_t pool = 0; pool < pools; ++pool) {
+        layer.pool_argmax[sample][pool] =
+            candidates[0].source[sample * pools + pool];
+      }
+    }
+    return std::move(candidates[0].share);
+  }
+
+  Share layer_backward(Context& ctx, Layer& layer, const Share& grad) {
+    switch (layer.kind) {
+      case nn::LayerSpec::Kind::kDense: {
+        const Share input_t =
+            Backend::transform(layer.cached_input, [](const RingTensor& x) {
+              return transpose(x);
+            });
+        Backend::add_assign(layer.weights_grad,
+                            Backend::matmul_grad(ctx, input_t, grad));
+        Backend::add_assign(
+            layer.bias_grad,
+            Backend::transform(grad, [](const RingTensor& g) {
+              return sum_rows(g);
+            }));
+        const Share weights_t =
+            Backend::transform(layer.weights, [](const RingTensor& w) {
+              return transpose(w);
+            });
+        return Backend::matmul(ctx, grad, weights_t);
+      }
+      case nn::LayerSpec::Kind::kConv: {
+        const ConvSpec& spec = layer.conv;
+        const std::size_t batch = layer.cached_batch;
+        const std::size_t pixels = spec.col_cols();
+        const Share grad_maps =
+            Backend::transform(grad, [&](const RingTensor& g) {
+              return rows_to_maps(g, spec.out_channels, pixels);
+            });
+        const Share columns_t =
+            Backend::transform(layer.cached_input, [](const RingTensor& c) {
+              return transpose(c);
+            });
+        Backend::add_assign(layer.weights_grad,
+                            Backend::matmul_grad(ctx, grad_maps, columns_t));
+        Backend::add_assign(
+            layer.bias_grad,
+            Backend::transform(grad_maps, [](const RingTensor& g) {
+              return sum_cols(g);
+            }));
+        const Share weights_t =
+            Backend::transform(layer.weights, [](const RingTensor& w) {
+              return transpose(w);
+            });
+        const Share grad_columns =
+            Backend::matmul(ctx, weights_t, grad_maps);
+        return Backend::transform(grad_columns, [&](const RingTensor& c) {
+          return batch_col2im(c, spec, batch);
+        });
+      }
+      case nn::LayerSpec::Kind::kRelu: {
+        Share output = grad;
+        Backend::mul_public(output, layer.relu_mask);
+        return output;
+      }
+      case nn::LayerSpec::Kind::kSoftmax:
+        return grad;  // fused path never reaches here
+      case nn::LayerSpec::Kind::kMaxPool: {
+        const nn::PoolSpec& spec = layer.pool;
+        const std::size_t pools = spec.out_features();
+        const std::size_t batch = layer.cached_batch;
+        return Backend::transform(grad, [&](const RingTensor& component) {
+          RingTensor scattered(Shape{batch, spec.in_features()});
+          for (std::size_t sample = 0; sample < batch; ++sample) {
+            for (std::size_t pool = 0; pool < pools; ++pool) {
+              scattered.at(sample, layer.pool_argmax[sample][pool]) +=
+                  component.at(sample, pool);
+            }
+          }
+          return scattered;
+        });
+      }
+    }
+    return grad;
+  }
+
+  std::vector<Layer> layers_;
+};
+
+}  // namespace trustddl::baselines

@@ -1,0 +1,2 @@
+// generic_net.hpp is header-only; this TU anchors the library target.
+#include "baselines/generic_net.hpp"

@@ -1,0 +1,125 @@
+// SecureNN-style baseline (Wagh, Gupta, Chandran — PETS'19).
+//
+// Executable protocol model of SecureNN's 3-party architecture: P0 and
+// P1 hold 2-of-2 additive shares and do the computation; P2 is the
+// assistant that generates multiplication triples from pairwise PRF
+// keys (so triple "dealing" costs a single c-share message per
+// multiplication) and helps with non-linearities.  The message pattern
+// per operation:
+//   matmul  : c-share from P2 to P1 (a, b and P0's c-share derive from
+//             PRFs), plus the Beaver e/f exchange between P0 and P1
+//   ReLU    : multiplicatively-masked shares to P2, sign mask back
+//             (cost-faithful simplification of SecureNN's MSB/private-
+//             compare pipeline; see DESIGN.md §5)
+//   softmax : helper computation at P2, PRF-optimized resharing
+// Fixed-point rescale is share-local truncation, as in SecureNN.
+// P2 also plays the model/data-holder role (shares weights and inputs
+// with the PRF optimization) and receives inference outputs.
+//
+// Security model: honest-but-curious, matching the SecureNN row of
+// Table II.
+#pragma once
+
+#include <memory>
+
+#include "baselines/framework.hpp"
+#include "baselines/generic_net.hpp"
+#include "common/rng.hpp"
+#include "numeric/fixed_point.hpp"
+#include "net/network.hpp"
+
+namespace trustddl::baselines::securenn {
+
+/// One computing party's 2-of-2 additive share.
+struct Share {
+  RingTensor value;
+};
+
+/// Computing-party protocol state (parties 0 and 1).
+struct Context {
+  net::Endpoint endpoint;
+  int party = 0;  ///< 0 or 1
+  int frac_bits = fx::kDefaultFracBits;
+  Rng common_peer;       ///< PRF stream shared with the other party
+  Rng common_assistant;  ///< PRF stream shared with P2
+  std::uint64_t step = 0;
+
+  Context(net::Endpoint ep, int p, std::uint64_t session_seed)
+      : endpoint(ep),
+        party(p),
+        common_peer(session_seed ^ 0x01010101),
+        common_assistant(session_seed ^
+                         (p == 0 ? 0x02020202ull : 0x03030303ull)) {}
+
+  int peer() const { return 1 - party; }
+  std::uint64_t next_step() { return step++; }
+};
+
+/// Backend for GenericNet (see generic_net.hpp for the concept).
+struct Backend {
+  using Share = securenn::Share;
+  using Context = securenn::Context;
+
+  static Share matmul(Context& ctx, const Share& x, const Share& w);
+  static RingTensor relu_mask(Context& ctx, const Share& x);
+  static void mul_public(Share& share, const RingTensor& mask);
+  static Share softmax(Context& ctx, const Share& logits);
+  static Share sub(const Share& lhs, const Share& rhs);
+  static void add_assign(Share& lhs, const Share& rhs);
+  static void sub_assign(Share& lhs, const Share& rhs);
+  template <typename Fn>
+  static Share transform(const Share& share, const Fn& fn) {
+    return Share{fn(share.value)};
+  }
+  static void add_row_broadcast(Share& matrix, const Share& bias);
+  static void add_col_broadcast(Share& matrix, const Share& bias);
+  static Share scale_truncate(Context& ctx, const Share& share,
+                              double factor);
+  /// Local truncation is communication-free for 2-of-2 shares, so
+  /// weight gradients are rescaled eagerly.
+  static Share matmul_grad(Context& ctx, const Share& x, const Share& w) {
+    return matmul(ctx, x, w);
+  }
+  static Share rescale_grad(Context& ctx, const Share& grad, double factor) {
+    return scale_truncate(ctx, grad, factor);
+  }
+  static Share zeros_like(const Share& share) {
+    return Share{RingTensor(share.value.shape())};
+  }
+  static const Shape& shape(const Share& share) {
+    return share.value.shape();
+  }
+
+  /// Send the share to P2 for reconstruction (inference output).
+  static void reveal(Context& ctx, const Share& share);
+};
+
+/// Framework driver: spawns P0/P1 program threads and the P2
+/// assistant, runs the workload, meters the network.
+class SecureNnFramework final : public Framework {
+ public:
+  SecureNnFramework(nn::ModelSpec spec, std::uint64_t seed = 7);
+
+  std::string name() const override { return "SecureNN"; }
+  std::string adversary_model() const override {
+    return "Honest-but-Curious";
+  }
+
+  StepCost train(const RealTensor& images, const RealTensor& onehot,
+                 double learning_rate, int steps) override;
+  StepCost infer(const RealTensor& images, int repeats,
+                 std::vector<std::size_t>* predictions = nullptr) override;
+
+  nn::Sequential& reference_model() { return model_; }
+
+ private:
+  StepCost run_session(const RealTensor& images, const RealTensor* onehot,
+                       double learning_rate, int steps,
+                       std::vector<std::size_t>* predictions);
+
+  nn::ModelSpec spec_;
+  std::uint64_t seed_;
+  nn::Sequential model_;
+};
+
+}  // namespace trustddl::baselines::securenn

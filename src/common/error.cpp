@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace trustddl::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "TrustDDL assertion failed: %s at %s:%d %s\n", expr,
+               file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace trustddl::detail

@@ -1,0 +1,76 @@
+// Error handling primitives for TrustDDL.
+//
+// The library throws exceptions derived from `trustddl::Error` for
+// conditions a caller can reasonably handle (protocol violations,
+// timeouts, malformed inputs).  Internal invariant violations use
+// TRUSTDDL_ASSERT and terminate: a broken invariant inside an MPC
+// protocol must never silently continue.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace trustddl {
+
+/// Base class for all TrustDDL exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid argument passed to a public API.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A network operation timed out (e.g. waiting for a share from a
+/// party that dropped the message).
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// A protocol-level violation that the protocol cannot recover from
+/// (e.g. more corrupted reconstructions than the fault model allows).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// Deserialization of a message failed (truncated or corrupt payload).
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace trustddl
+
+/// Check an internal invariant; terminates on failure.
+#define TRUSTDDL_ASSERT(expr)                                               \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::trustddl::detail::assert_fail(#expr, __FILE__, __LINE__, "");       \
+    }                                                                       \
+  } while (false)
+
+/// Check an internal invariant with an explanatory message.
+#define TRUSTDDL_ASSERT_MSG(expr, msg)                                      \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::trustddl::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));    \
+    }                                                                       \
+  } while (false)
+
+/// Validate a public-API argument; throws InvalidArgument on failure.
+#define TRUSTDDL_REQUIRE(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      throw ::trustddl::InvalidArgument(msg);                               \
+    }                                                                       \
+  } while (false)

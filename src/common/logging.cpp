@@ -1,0 +1,73 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace trustddl {
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_;
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(level) < static_cast<int>(level_)) {
+    return;
+  }
+  std::string line = std::string("[") + level_name(level) + "] " + component +
+                     ": " + message + "\n";
+  if (capture_) {
+    captured_ += line;
+  } else {
+    std::fputs(line.c_str(), stderr);
+  }
+}
+
+void Logger::set_capture(bool capture) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capture_ = capture;
+}
+
+std::string Logger::captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return captured_;
+}
+
+void Logger::clear_captured() {
+  std::lock_guard<std::mutex> lock(mu_);
+  captured_.clear();
+}
+
+}  // namespace trustddl

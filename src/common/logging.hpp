@@ -1,0 +1,70 @@
+// Minimal leveled logger.
+//
+// Protocol code logs Byzantine detections and recoveries at `warn`
+// level so integration tests and examples can show the recovery path.
+// The logger is process-global but all mutable state is behind a mutex
+// (CP.2: avoid data races).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace trustddl {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-global logging configuration and sink.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Write one formatted line if `level` is enabled.  Thread safe.
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+  /// Capture output into an internal buffer instead of stderr
+  /// (used by tests asserting on detection messages).
+  void set_capture(bool capture);
+  std::string captured() const;
+  void clear_captured();
+
+ private:
+  Logger() = default;
+
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kWarn;
+  bool capture_ = false;
+  std::string captured_;
+};
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  const char* component;
+  std::ostringstream stream;
+
+  LogLine(LogLevel lvl, const char* comp) : level(lvl), component(comp) {}
+  ~LogLine() { Logger::instance().write(level, component, stream.str()); }
+};
+}  // namespace detail
+
+}  // namespace trustddl
+
+#define TRUSTDDL_LOG(lvl, component)                                       \
+  if (static_cast<int>(lvl) <                                              \
+      static_cast<int>(::trustddl::Logger::instance().level())) {          \
+  } else                                                                   \
+    ::trustddl::detail::LogLine(lvl, component).stream
+
+#define TRUSTDDL_LOG_DEBUG(component) \
+  TRUSTDDL_LOG(::trustddl::LogLevel::kDebug, component)
+#define TRUSTDDL_LOG_INFO(component) \
+  TRUSTDDL_LOG(::trustddl::LogLevel::kInfo, component)
+#define TRUSTDDL_LOG_WARN(component) \
+  TRUSTDDL_LOG(::trustddl::LogLevel::kWarn, component)
+#define TRUSTDDL_LOG_ERROR(component) \
+  TRUSTDDL_LOG(::trustddl::LogLevel::kError, component)

@@ -1,0 +1,93 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace trustddl {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: expands one seed into the four xoshiro words.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) {
+    return 0;
+  }
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = bound * ((~std::uint64_t{0}) / bound);
+  std::uint64_t value = next_u64();
+  while (value >= limit) {
+    value = next_u64();
+  }
+  return value % bound;
+}
+
+double Rng::next_double() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::next_gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = next_double();
+  double u2 = next_double();
+  while (u1 <= 1e-300) {
+    u1 = next_double();
+  }
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  spare_gaussian_ = radius * std::sin(angle);
+  has_spare_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::next_gaussian(double mean, double stddev) {
+  return mean + stddev * next_gaussian();
+}
+
+void Rng::fill_u64(std::vector<std::uint64_t>& out) {
+  for (auto& value : out) {
+    value = next_u64();
+  }
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace trustddl

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component (share creation, Beaver dealing, weight
+// init, data synthesis, adversaries) takes an explicit `Rng&` so runs
+// are reproducible from a single seed.  The generator is xoshiro256**;
+// it is NOT cryptographically secure — this repository reproduces the
+// systems behaviour of TrustDDL, and a deployment would substitute a
+// CSPRNG behind the same interface.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace trustddl {
+
+/// xoshiro256** pseudo-random generator with explicit seeding.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias for small bounds.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double next_gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double next_gaussian(double mean, double stddev);
+
+  /// Fill `out` with uniform 64-bit values.
+  void fill_u64(std::vector<std::uint64_t>& out);
+
+  /// Derive an independent child generator (for per-party streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace trustddl

@@ -1,0 +1,127 @@
+// TrustDDL engine: orchestrates the five actors (three computing
+// parties, data owner, model owner) over the metered in-process
+// network for secure training and secure inference.
+//
+// The engine owns a plaintext "reference model" in the model-owner
+// role.  train() shares its parameters to the proxy layer, drives the
+// secure SGD loop, and writes the robustly reconstructed weights back;
+// infer() runs private inference and reconstructs predictions at the
+// data owner.  Every call returns a CostReport with wall time, bytes
+// and messages (split party<->party vs owner<->party) plus the
+// Byzantine-detection counters — the raw material for Table II.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "core/owner_service.hpp"
+#include "core/secure_model.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "mpc/adversary.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace trustddl::core {
+
+struct EngineConfig {
+  mpc::SecurityMode mode = mpc::SecurityMode::kMalicious;
+  int frac_bits = fx::kDefaultFracBits;
+  /// Fixed-point rescale strategy.  Unset resolves to kLocal, matching
+  /// the paper's implementation (its "approximate equality" tolerance
+  /// exists precisely because share-local truncation lets different
+  /// share sets drift by +-1 ulp).  IMPORTANT: under an ACTIVE
+  /// adversary that attacks selectively (Case 2 style), local
+  /// truncation lets honest parties adopt openings differing by 1 ulp,
+  /// which cascades into divergent states; set kMaskedOpen for
+  /// adversarial deployments — it keeps all six reconstructions
+  /// bit-identical at one extra opening per product (quantified in
+  /// bench_ablation_batch).  See DESIGN.md §4.
+  std::optional<TruncationMode> trunc_mode;
+
+  TruncationMode resolved_trunc_mode() const {
+    return trunc_mode.value_or(TruncationMode::kLocal);
+  }
+  std::uint64_t dist_tolerance = 64;
+  bool share_authentication = true;
+  /// Optimistic openings in malicious mode (the paper's future-work
+  /// communication optimization; see mpc::PartyContext::optimistic).
+  bool optimistic_open = false;
+  std::chrono::milliseconds recv_timeout{2000};
+  std::chrono::milliseconds collect_timeout{500};
+  std::uint64_t seed = 1;
+  /// Index of a computing party to run with protocol-level Byzantine
+  /// behaviour (-1 = all honest).
+  int byzantine_party = -1;
+  mpc::ByzantineConfig byzantine{};
+};
+
+struct CostReport {
+  double wall_seconds = 0.0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t proxy_bytes = 0;  ///< among computing parties
+  std::uint64_t owner_bytes = 0;  ///< to/from data & model owners
+  std::size_t commitment_violations = 0;
+  std::size_t distance_anomalies = 0;
+  std::size_t share_auth_failures = 0;
+  std::size_t recovered_opens = 0;
+
+  double total_megabytes() const {
+    return static_cast<double>(total_bytes) / (1024.0 * 1024.0);
+  }
+};
+
+struct TrainOptions {
+  std::size_t epochs = 1;
+  std::size_t batch_size = 10;
+  double learning_rate = 0.1;
+  /// Reveal + evaluate weights after every epoch (Fig. 2 series);
+  /// otherwise only after the last epoch.
+  bool evaluate_each_epoch = true;
+  /// Reveal weights to the model owner at all (off to measure pure
+  /// per-step protocol cost for Table II).
+  bool reveal_weights = true;
+  std::uint64_t shuffle_seed = 99;
+};
+
+struct TrainResult {
+  std::vector<double> epoch_test_accuracy;
+  CostReport cost;
+};
+
+struct InferResult {
+  std::vector<std::size_t> labels;
+  CostReport cost;
+};
+
+class TrustDdlEngine {
+ public:
+  TrustDdlEngine(nn::ModelSpec spec, EngineConfig config);
+
+  /// Secure training over `train`; test accuracy evaluated on the
+  /// reconstructed weights after each epoch.
+  TrainResult train(const data::Dataset& train_data,
+                    const data::Dataset& test_data,
+                    const TrainOptions& options);
+
+  /// Secure inference: data owner shares inputs, parties evaluate the
+  /// current model, the data owner reconstructs the predictions.
+  InferResult infer(const data::Dataset& inputs, std::size_t batch_size = 1);
+
+  /// The model-owner's current plaintext model (initial weights, or
+  /// the reconstructed weights after train()).
+  nn::Sequential& reference_model() { return model_; }
+  const nn::ModelSpec& spec() const { return spec_; }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  CostReport collect_cost(double wall_seconds,
+                          const std::array<mpc::DetectionLog, 3>& logs) const;
+
+  nn::ModelSpec spec_;
+  EngineConfig config_;
+  nn::Sequential model_;
+  std::unique_ptr<net::Network> network_;
+};
+
+}  // namespace trustddl::core

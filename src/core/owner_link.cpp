@@ -1,0 +1,100 @@
+#include "core/owner_link.hpp"
+
+#include "core/roles.hpp"
+#include "mpc/share_serde.hpp"
+#include "numeric/serde.hpp"
+
+namespace trustddl::core {
+namespace {
+
+void write_shape(ByteWriter& writer, const Shape& shape) {
+  writer.write_u64(shape.size());
+  for (std::size_t dim : shape) {
+    writer.write_u64(dim);
+  }
+}
+
+}  // namespace
+
+Bytes OwnerLink::roundtrip(Bytes request) {
+  const std::uint64_t id = counter_++;
+  endpoint_.send(kModelOwner, "req/" + std::to_string(id),
+                 std::move(request));
+  return endpoint_.recv(kModelOwner, "rsp/" + std::to_string(id),
+                        response_timeout_);
+}
+
+void OwnerLink::send_only(Bytes request) {
+  const std::uint64_t id = counter_++;
+  endpoint_.send(kModelOwner, "req/" + std::to_string(id),
+                 std::move(request));
+}
+
+mpc::BeaverTripleShare OwnerLink::mul_triple(const Shape& shape) {
+  ByteWriter request;
+  request.write_u8(static_cast<std::uint8_t>(OwnerOp::kMulTriple));
+  write_shape(request, shape);
+  ByteReader response(roundtrip(request.take()));
+  return mpc::read_beaver_share(response);
+}
+
+mpc::BeaverTripleShare OwnerLink::matmul_triple(std::size_t m, std::size_t k,
+                                                std::size_t n) {
+  ByteWriter request;
+  request.write_u8(static_cast<std::uint8_t>(OwnerOp::kMatMulTriple));
+  request.write_u64(m);
+  request.write_u64(k);
+  request.write_u64(n);
+  ByteReader response(roundtrip(request.take()));
+  return mpc::read_beaver_share(response);
+}
+
+mpc::PartyShare OwnerLink::comp_aux(const Shape& shape) {
+  ByteWriter request;
+  request.write_u8(static_cast<std::uint8_t>(OwnerOp::kCompAux));
+  write_shape(request, shape);
+  ByteReader response(roundtrip(request.take()));
+  return mpc::read_party_share(response);
+}
+
+mpc::TruncPairShare OwnerLink::trunc_pair(const Shape& shape) {
+  ByteWriter request;
+  request.write_u8(static_cast<std::uint8_t>(OwnerOp::kTruncPair));
+  write_shape(request, shape);
+  ByteReader response(roundtrip(request.take()));
+  return mpc::read_trunc_pair(response);
+}
+
+mpc::PartyShare OwnerLink::softmax_forward(const mpc::PartyShare& logits) {
+  ByteWriter request;
+  request.write_u8(static_cast<std::uint8_t>(OwnerOp::kSoftmaxForward));
+  mpc::write_party_share(request, logits);
+  ByteReader response(roundtrip(request.take()));
+  return mpc::read_party_share(response);
+}
+
+mpc::PartyShare OwnerLink::softmax_backward(
+    const mpc::PartyShare& probabilities, const mpc::PartyShare& grad) {
+  ByteWriter request;
+  request.write_u8(static_cast<std::uint8_t>(OwnerOp::kSoftmaxBackward));
+  mpc::write_party_share(request, probabilities);
+  mpc::write_party_share(request, grad);
+  ByteReader response(roundtrip(request.take()));
+  return mpc::read_party_share(response);
+}
+
+void OwnerLink::reveal(const std::string& key, const mpc::PartyShare& share) {
+  ByteWriter request;
+  request.write_u8(static_cast<std::uint8_t>(OwnerOp::kReveal));
+  request.write_string(key);
+  mpc::write_party_share(request, share);
+  send_only(request.take());
+}
+
+void OwnerLink::stop() {
+  ByteWriter request;
+  request.write_u8(static_cast<std::uint8_t>(OwnerOp::kStop));
+  send_only(request.take());
+}
+
+}  // namespace trustddl::core

@@ -1,0 +1,83 @@
+// Party-side link to the model owner.
+//
+// TrustDDL's model owner deals preprocessing material (Beaver triples,
+// comparison auxiliaries, truncation pairs — paper §III-A) and
+// performs the outsourced Softmax computation (§III-C).  Computing
+// parties pull both through this link; every byte crosses the metered
+// network, so the benchmark's communication costs include dealing
+// traffic.
+//
+// Requests carry a per-party sequence counter.  The protocols are
+// SPMD, so all parties issue the same request sequence and the model
+// owner can serve consistent share views (the same underlying triple)
+// for the same counter.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "mpc/beaver.hpp"
+#include "net/network.hpp"
+
+namespace trustddl::core {
+
+/// Request opcodes for the model-owner service.
+enum class OwnerOp : std::uint8_t {
+  kMulTriple = 0,
+  kMatMulTriple = 1,
+  kCompAux = 2,
+  kTruncPair = 3,
+  kSoftmaxForward = 4,
+  kSoftmaxBackward = 5,
+  kReveal = 6,  ///< deliver a share for owner-side reconstruction
+  kStop = 7,
+};
+
+class OwnerLink final : public mpc::TripleSource {
+ public:
+  OwnerLink(net::Endpoint endpoint, int party,
+            std::chrono::milliseconds response_timeout =
+                std::chrono::seconds(30))
+      : endpoint_(endpoint),
+        party_(party),
+        response_timeout_(response_timeout) {}
+
+  // TripleSource interface — unary requests served immediately.
+  mpc::BeaverTripleShare mul_triple(const Shape& shape) override;
+  mpc::BeaverTripleShare matmul_triple(std::size_t m, std::size_t k,
+                                       std::size_t n) override;
+  mpc::PartyShare comp_aux(const Shape& shape) override;
+  mpc::TruncPairShare trunc_pair(const Shape& shape) override;
+
+  /// Outsourced Softmax forward: send logit shares, receive fresh
+  /// shares of the probabilities (collective op — the owner combines
+  /// all three parties' shares).
+  mpc::PartyShare softmax_forward(const mpc::PartyShare& logits);
+
+  /// Outsourced Softmax Jacobian-vector product for non-fused losses:
+  /// send shares of probabilities and upstream gradient, receive
+  /// shares of the logits gradient.
+  mpc::PartyShare softmax_backward(const mpc::PartyShare& probabilities,
+                                   const mpc::PartyShare& grad);
+
+  /// Send a share to the owner for reconstruction under `key`
+  /// (trained weights, metrics).  Fire-and-forget.
+  void reveal(const std::string& key, const mpc::PartyShare& share);
+
+  /// Tell the owner this party is done.
+  void stop();
+
+  std::uint64_t requests_sent() const { return counter_; }
+
+ private:
+  Bytes roundtrip(Bytes request);
+  void send_only(Bytes request);
+
+  net::Endpoint endpoint_;
+  int party_;
+  std::chrono::milliseconds response_timeout_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace trustddl::core

@@ -1,0 +1,304 @@
+#include "core/owner_service.hpp"
+
+#include <thread>
+
+#include "common/logging.hpp"
+#include "mpc/share_serde.hpp"
+#include "nn/layers.hpp"
+#include "numeric/serde.hpp"
+
+namespace trustddl::core {
+namespace {
+
+constexpr const char* kLog = "core.owner";
+
+Shape read_shape(ByteReader& reader) {
+  const std::uint64_t rank = reader.read_u64();
+  if (rank > 8) {
+    throw SerializationError("shape rank too large");
+  }
+  Shape shape(rank);
+  for (auto& dim : shape) {
+    dim = reader.read_u64();
+  }
+  return shape;
+}
+
+bool is_unary(OwnerOp op) {
+  return op == OwnerOp::kMulTriple || op == OwnerOp::kMatMulTriple ||
+         op == OwnerOp::kCompAux || op == OwnerOp::kTruncPair;
+}
+
+}  // namespace
+
+ModelOwnerService::ModelOwnerService(net::Endpoint endpoint,
+                                     OwnerServiceConfig config)
+    : endpoint_(endpoint), config_(config), rng_(config.seed) {}
+
+void ModelOwnerService::run() {
+  using Clock = std::chrono::steady_clock;
+  std::optional<Clock::time_point> grace_deadline;
+  for (;;) {
+    bool progress = false;
+    for (int party = 0; party < kComputingParties; ++party) {
+      if (stopped_[static_cast<std::size_t>(party)]) {
+        continue;
+      }
+      Bytes payload;
+      const std::uint64_t id =
+          next_counter_[static_cast<std::size_t>(party)];
+      if (endpoint_.try_recv(party, "req/" + std::to_string(id), payload)) {
+        try {
+          if (handle_request(party, payload, id)) {
+            progress = true;
+          }
+        } catch (const Error& error) {
+          TRUSTDDL_LOG_WARN(kLog)
+              << "malformed request " << id << " from party " << party
+              << ": " << error.what();
+        }
+        next_counter_[static_cast<std::size_t>(party)] += 1;
+        progress = true;
+      }
+    }
+
+    // Process collective groups that are complete or past deadline.
+    const auto now = Clock::now();
+    for (auto& [id, group] : groups_) {
+      if (group.processed) {
+        continue;
+      }
+      int members = 0;
+      for (const auto& payload : group.payloads) {
+        members += payload.has_value() ? 1 : 0;
+      }
+      const bool complete = members == kComputingParties;
+      const bool expired =
+          members >= 2 && now > group.created + config_.collect_timeout;
+      const bool draining = grace_deadline.has_value() && members >= 2;
+      if (complete || expired || draining) {
+        process_group(id, group);
+        progress = true;
+      }
+    }
+
+    if (stop_count_ >= 2 && !grace_deadline) {
+      grace_deadline = now + config_.collect_timeout;
+    }
+    if (stop_count_ >= kComputingParties || (grace_deadline && now > *grace_deadline)) {
+      // Final drain of any processable groups, then exit.
+      for (auto& [id, group] : groups_) {
+        if (!group.processed) {
+          int members = 0;
+          for (const auto& payload : group.payloads) {
+            members += payload.has_value() ? 1 : 0;
+          }
+          if (members >= 2) {
+            process_group(id, group);
+          }
+        }
+      }
+      return;
+    }
+    if (!progress) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+}
+
+bool ModelOwnerService::handle_request(int party, const Bytes& payload,
+                                       std::uint64_t id) {
+  ByteReader peek(payload);
+  const auto op = static_cast<OwnerOp>(peek.read_u8());
+
+  if (op == OwnerOp::kStop) {
+    stopped_[static_cast<std::size_t>(party)] = true;
+    ++stop_count_;
+    return true;
+  }
+
+  if (is_unary(op)) {
+    auto it = unary_cache_.find(id);
+    if (it == unary_cache_.end()) {
+      std::array<Bytes, kComputingParties> responses;
+      ByteReader reader(payload);
+      (void)reader.read_u8();
+      switch (op) {
+        case OwnerOp::kMulTriple: {
+          const Shape shape = read_shape(reader);
+          const auto views = mpc::deal_mul_triple(shape, rng_);
+          for (int p = 0; p < kComputingParties; ++p) {
+            ByteWriter writer;
+            mpc::write_beaver_share(writer,
+                                    views[static_cast<std::size_t>(p)]);
+            responses[static_cast<std::size_t>(p)] = writer.take();
+          }
+          break;
+        }
+        case OwnerOp::kMatMulTriple: {
+          const std::size_t m = reader.read_u64();
+          const std::size_t k = reader.read_u64();
+          const std::size_t n = reader.read_u64();
+          const auto views = mpc::deal_matmul_triple(m, k, n, rng_);
+          for (int p = 0; p < kComputingParties; ++p) {
+            ByteWriter writer;
+            mpc::write_beaver_share(writer,
+                                    views[static_cast<std::size_t>(p)]);
+            responses[static_cast<std::size_t>(p)] = writer.take();
+          }
+          break;
+        }
+        case OwnerOp::kCompAux: {
+          const Shape shape = read_shape(reader);
+          const auto views =
+              mpc::deal_positive_aux(shape, config_.frac_bits, rng_);
+          for (int p = 0; p < kComputingParties; ++p) {
+            ByteWriter writer;
+            mpc::write_party_share(writer,
+                                   views[static_cast<std::size_t>(p)]);
+            responses[static_cast<std::size_t>(p)] = writer.take();
+          }
+          break;
+        }
+        case OwnerOp::kTruncPair: {
+          const Shape shape = read_shape(reader);
+          const auto views =
+              mpc::deal_trunc_pair(shape, config_.frac_bits, rng_);
+          for (int p = 0; p < kComputingParties; ++p) {
+            ByteWriter writer;
+            mpc::write_trunc_pair(writer, views[static_cast<std::size_t>(p)]);
+            responses[static_cast<std::size_t>(p)] = writer.take();
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      it = unary_cache_.emplace(id, std::make_pair(std::move(responses), 0))
+               .first;
+    }
+    endpoint_.send(party, "rsp/" + std::to_string(id),
+                   it->second.first[static_cast<std::size_t>(party)]);
+    it->second.second |= (1 << party);
+    if (it->second.second == 0b111) {
+      unary_cache_.erase(it);
+    }
+    return true;
+  }
+
+  // Collective ops: stash the payload; a cached processed group serves
+  // stragglers immediately.
+  auto [it, inserted] = groups_.try_emplace(id);
+  Group& group = it->second;
+  if (inserted) {
+    group.op = op;
+    group.created = std::chrono::steady_clock::now();
+  }
+  group.payloads[static_cast<std::size_t>(party)] = payload;
+  if (group.processed) {
+    // Late arrival: serve the cached response if any.
+    if (group.responses[static_cast<std::size_t>(party)].has_value() &&
+        !group.responded[static_cast<std::size_t>(party)]) {
+      endpoint_.send(party, "rsp/" + std::to_string(id),
+                     *group.responses[static_cast<std::size_t>(party)]);
+      group.responded[static_cast<std::size_t>(party)] = true;
+    }
+  }
+  return true;
+}
+
+RingTensor ModelOwnerService::reconstruct_collective(
+    const Group& group, std::size_t payload_offset_values) {
+  std::array<std::optional<mpc::PartyShare>, kComputingParties> triples;
+  for (int party = 0; party < kComputingParties; ++party) {
+    const auto& payload = group.payloads[static_cast<std::size_t>(party)];
+    if (!payload.has_value()) {
+      continue;
+    }
+    try {
+      ByteReader reader(*payload);
+      (void)reader.read_u8();
+      if (group.op == OwnerOp::kReveal) {
+        (void)reader.read_string();
+      }
+      mpc::PartyShare share = mpc::read_party_share(reader);
+      for (std::size_t skip = 0; skip < payload_offset_values; ++skip) {
+        share = mpc::read_party_share(reader);
+      }
+      triples[static_cast<std::size_t>(party)] = std::move(share);
+    } catch (const Error&) {
+      // Garbage from a Byzantine party: treat as absent.
+    }
+  }
+  mpc::ReconstructReport report;
+  RingTensor value =
+      mpc::robust_reconstruct(triples, config_.dist_tolerance, &report);
+  if (report.anomaly) {
+    ++anomalies_;
+  }
+  return value;
+}
+
+void ModelOwnerService::process_group(std::uint64_t id, Group& group) {
+  group.processed = true;
+  switch (group.op) {
+    case OwnerOp::kSoftmaxForward: {
+      const RingTensor logits = reconstruct_collective(group, 0);
+      const RealTensor probabilities =
+          nn::softmax_rows(to_real(logits, config_.frac_bits));
+      const auto views = mpc::share_secret(
+          to_ring(probabilities, config_.frac_bits), rng_);
+      for (int party = 0; party < kComputingParties; ++party) {
+        ByteWriter writer;
+        mpc::write_party_share(writer, views[static_cast<std::size_t>(party)]);
+        group.responses[static_cast<std::size_t>(party)] = writer.take();
+      }
+      break;
+    }
+    case OwnerOp::kSoftmaxBackward: {
+      const RingTensor p_ring = reconstruct_collective(group, 0);
+      const RingTensor g_ring = reconstruct_collective(group, 1);
+      const RealTensor grad = nn::softmax_backward_rows(
+          to_real(p_ring, config_.frac_bits),
+          to_real(g_ring, config_.frac_bits));
+      const auto views =
+          mpc::share_secret(to_ring(grad, config_.frac_bits), rng_);
+      for (int party = 0; party < kComputingParties; ++party) {
+        ByteWriter writer;
+        mpc::write_party_share(writer, views[static_cast<std::size_t>(party)]);
+        group.responses[static_cast<std::size_t>(party)] = writer.take();
+      }
+      break;
+    }
+    case OwnerOp::kReveal: {
+      // Key: taken from the first present payload (all honest parties
+      // send the same key).
+      std::string key;
+      for (const auto& payload : group.payloads) {
+        if (payload.has_value()) {
+          try {
+            ByteReader reader(*payload);
+            (void)reader.read_u8();
+            key = reader.read_string();
+            break;
+          } catch (const Error&) {
+          }
+        }
+      }
+      revealed_[key] = reconstruct_collective(group, 0);
+      return;  // no responses for reveals
+    }
+    default:
+      return;
+  }
+  for (int party = 0; party < kComputingParties; ++party) {
+    if (group.payloads[static_cast<std::size_t>(party)].has_value() &&
+        group.responses[static_cast<std::size_t>(party)].has_value()) {
+      endpoint_.send(party, "rsp/" + std::to_string(id),
+                     *group.responses[static_cast<std::size_t>(party)]);
+      group.responded[static_cast<std::size_t>(party)] = true;
+    }
+  }
+}
+
+}  // namespace trustddl::core

@@ -1,0 +1,95 @@
+// Model-owner service loop.
+//
+// Serves the computing parties' requests over the metered network:
+//  * unary preprocessing requests (Beaver triples, comparison
+//    auxiliaries, truncation pairs) — answered immediately; the same
+//    request counter yields the same underlying material for every
+//    party, so share views stay consistent;
+//  * collective requests (Softmax forward/backward, reveals) — the
+//    owner collects the three parties' shares for one counter,
+//    robustly reconstructs (a Byzantine party may send junk or stay
+//    silent), computes, re-shares, and responds.  Responses are cached
+//    so a slow-but-honest party arriving after the group deadline is
+//    still served.
+//
+// The loop exits once at least two parties sent kStop (the fault model
+// guarantees two honest parties) and pending groups are drained.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/owner_link.hpp"
+#include "core/roles.hpp"
+#include "mpc/robust_reconstruct.hpp"
+#include "net/network.hpp"
+
+namespace trustddl::core {
+
+struct OwnerServiceConfig {
+  int frac_bits = 20;
+  std::uint64_t dist_tolerance = 32;
+  /// How long a collective op waits for stragglers before processing
+  /// with the members present.
+  std::chrono::milliseconds collect_timeout{1000};
+  std::uint64_t seed = 0xdea1e5;
+};
+
+class ModelOwnerService {
+ public:
+  ModelOwnerService(net::Endpoint endpoint, OwnerServiceConfig config);
+
+  /// Serve until shutdown (see header comment).  Runs on the model
+  /// owner's thread.
+  void run();
+
+  /// Values reconstructed from kReveal requests, by key.
+  const std::map<std::string, RingTensor>& revealed() const {
+    return revealed_;
+  }
+
+  /// Anomalies observed while reconstructing collective inputs.
+  std::size_t reconstruction_anomalies() const { return anomalies_; }
+
+ private:
+  struct Group {
+    OwnerOp op = OwnerOp::kSoftmaxForward;
+    std::array<std::optional<Bytes>, kComputingParties> payloads;
+    std::chrono::steady_clock::time_point created;
+    bool processed = false;
+    std::array<std::optional<Bytes>, kComputingParties> responses;
+    std::array<bool, kComputingParties> responded{};
+  };
+
+  bool handle_request(int party, const Bytes& payload, std::uint64_t id);
+  void process_group(std::uint64_t id, Group& group);
+  Bytes unary_response(std::uint64_t id, const Bytes& payload);
+
+  RingTensor reconstruct_collective(const Group& group,
+                                    std::size_t payload_offset_values);
+
+  net::Endpoint endpoint_;
+  OwnerServiceConfig config_;
+  Rng rng_;
+
+  std::array<std::uint64_t, kComputingParties> next_counter_{};
+  int stop_count_ = 0;
+  std::array<bool, kComputingParties> stopped_{};
+
+  // Unary material cache: counter -> per-party serialized responses +
+  // served mask.
+  std::unordered_map<std::uint64_t,
+                     std::pair<std::array<Bytes, kComputingParties>, int>>
+      unary_cache_;
+  std::unordered_map<std::uint64_t, Group> groups_;
+  std::map<std::string, RingTensor> revealed_;
+  std::size_t anomalies_ = 0;
+};
+
+}  // namespace trustddl::core

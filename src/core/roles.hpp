@@ -1,0 +1,15 @@
+// Actor layout on the simulated network (paper Fig. 1): three
+// computing parties in the proxy layer plus the data owner and the
+// model owner.
+#pragma once
+
+#include "net/message.hpp"
+
+namespace trustddl::core {
+
+inline constexpr int kComputingParties = 3;
+inline constexpr net::PartyId kDataOwner = 3;
+inline constexpr net::PartyId kModelOwner = 4;
+inline constexpr int kNumActors = 5;
+
+}  // namespace trustddl::core

@@ -1,0 +1,377 @@
+#include "core/secure_model.hpp"
+
+#include "numeric/conv.hpp"
+#include "numeric/fixed_point.hpp"
+
+namespace trustddl::core {
+
+mpc::PartyShare SecureExecContext::rescale(const mpc::PartyShare& product) {
+  if (trunc_mode == TruncationMode::kMaskedOpen) {
+    const mpc::TruncPairShare pair = triples->trunc_pair(product.shape());
+    return mpc::truncate_product_masked(*mpc, product, pair);
+  }
+  return mpc::truncate_product_local(product, mpc->frac_bits);
+}
+
+void add_row_broadcast(mpc::PartyShare& matrix, const mpc::PartyShare& bias) {
+  TRUSTDDL_REQUIRE(bias.shape().size() == 2 && bias.shape()[0] == 1 &&
+                       matrix.shape().size() == 2 &&
+                       matrix.shape()[1] == bias.shape()[1],
+                   "add_row_broadcast: shape mismatch");
+  const auto add = [&](RingTensor& component, const RingTensor& row) {
+    for (std::size_t r = 0; r < component.rows(); ++r) {
+      for (std::size_t c = 0; c < component.cols(); ++c) {
+        component.at(r, c) += row.at(0, c);
+      }
+    }
+  };
+  add(matrix.primary, bias.primary);
+  add(matrix.duplicate, bias.duplicate);
+  add(matrix.second, bias.second);
+}
+
+void add_col_broadcast(mpc::PartyShare& matrix, const mpc::PartyShare& bias) {
+  TRUSTDDL_REQUIRE(bias.shape().size() == 1 && matrix.shape().size() == 2 &&
+                       matrix.shape()[0] == bias.shape()[0],
+                   "add_col_broadcast: shape mismatch");
+  const auto add = [&](RingTensor& component, const RingTensor& column) {
+    for (std::size_t r = 0; r < component.rows(); ++r) {
+      for (std::size_t c = 0; c < component.cols(); ++c) {
+        component.at(r, c) += column[r];
+      }
+    }
+  };
+  add(matrix.primary, bias.primary);
+  add(matrix.duplicate, bias.duplicate);
+  add(matrix.second, bias.second);
+}
+
+mpc::PartyShare SecureDense::forward(SecureExecContext& ctx,
+                                     const mpc::PartyShare& input) {
+  cached_input_ = input;
+  const std::size_t batch = input.shape()[0];
+  const std::size_t in_features = input.shape()[1];
+  const std::size_t out_features = weights_.value.shape()[1];
+  const mpc::BeaverTripleShare triple =
+      ctx.triples->matmul_triple(batch, in_features, out_features);
+  mpc::PartyShare output = ctx.rescale(
+      mpc::sec_matmul_bt(*ctx.mpc, input, weights_.value, triple));
+  add_row_broadcast(output, bias_.value);
+  return output;
+}
+
+mpc::PartyShare SecureDense::backward(SecureExecContext& ctx,
+                                      const mpc::PartyShare& grad_output) {
+  const std::size_t batch = cached_input_.shape()[0];
+  const std::size_t in_features = cached_input_.shape()[1];
+  const std::size_t out_features = grad_output.shape()[1];
+
+  const mpc::PartyShare input_t = mpc::transpose_share(cached_input_);
+  const mpc::BeaverTripleShare w_triple =
+      ctx.triples->matmul_triple(in_features, batch, out_features);
+  weights_.grad += ctx.rescale(
+      mpc::sec_matmul_bt(*ctx.mpc, input_t, grad_output, w_triple));
+
+  bias_.grad += mpc::transform_share(grad_output, [](const RingTensor& g) {
+    return sum_rows(g);
+  });
+
+  const mpc::PartyShare weights_t = mpc::transpose_share(weights_.value);
+  const mpc::BeaverTripleShare x_triple =
+      ctx.triples->matmul_triple(batch, out_features, in_features);
+  return ctx.rescale(
+      mpc::sec_matmul_bt(*ctx.mpc, grad_output, weights_t, x_triple));
+}
+
+mpc::PartyShare SecureConv::forward(SecureExecContext& ctx,
+                                    const mpc::PartyShare& input) {
+  const std::size_t batch = input.shape()[0];
+  cached_batch_ = batch;
+  const std::size_t pixels = spec_.col_cols();
+  cached_columns_ = mpc::transform_share(input, [&](const RingTensor& x) {
+    return batch_im2col(x, spec_);
+  });
+  const mpc::BeaverTripleShare triple = ctx.triples->matmul_triple(
+      spec_.out_channels, spec_.col_rows(), batch * pixels);
+  mpc::PartyShare maps = ctx.rescale(mpc::sec_matmul_bt(
+      *ctx.mpc, weights_.value, cached_columns_, triple));
+  add_col_broadcast(maps, bias_.value);
+  return mpc::transform_share(maps, [&](const RingTensor& m) {
+    return maps_to_rows(m, batch, pixels);
+  });
+}
+
+mpc::PartyShare SecureConv::backward(SecureExecContext& ctx,
+                                     const mpc::PartyShare& grad_output) {
+  const std::size_t batch = cached_batch_;
+  const std::size_t pixels = spec_.col_cols();
+  const mpc::PartyShare grad_maps =
+      mpc::transform_share(grad_output, [&](const RingTensor& g) {
+        return rows_to_maps(g, spec_.out_channels, pixels);
+      });
+
+  const mpc::PartyShare columns_t = mpc::transpose_share(cached_columns_);
+  const mpc::BeaverTripleShare w_triple = ctx.triples->matmul_triple(
+      spec_.out_channels, batch * pixels, spec_.col_rows());
+  weights_.grad += ctx.rescale(
+      mpc::sec_matmul_bt(*ctx.mpc, grad_maps, columns_t, w_triple));
+
+  bias_.grad += mpc::transform_share(grad_maps, [](const RingTensor& g) {
+    return sum_cols(g);
+  });
+
+  const mpc::PartyShare weights_t = mpc::transpose_share(weights_.value);
+  const mpc::BeaverTripleShare x_triple = ctx.triples->matmul_triple(
+      spec_.col_rows(), spec_.out_channels, batch * pixels);
+  const mpc::PartyShare grad_columns = ctx.rescale(
+      mpc::sec_matmul_bt(*ctx.mpc, weights_t, grad_maps, x_triple));
+  return mpc::transform_share(grad_columns, [&](const RingTensor& cols) {
+    return batch_col2im(cols, spec_, batch);
+  });
+}
+
+mpc::PartyShare SecureRelu::forward(SecureExecContext& ctx,
+                                    const mpc::PartyShare& input) {
+  const Shape& shape = input.shape();
+  const mpc::PartyShare t_aux = ctx.triples->comp_aux(shape);
+  const mpc::BeaverTripleShare triple = ctx.triples->mul_triple(shape);
+  const RingTensor signs = mpc::sec_sign_bt(*ctx.mpc, input, t_aux, triple);
+  cached_mask_ = mpc::positive_mask(signs);
+  mpc::PartyShare output = input;
+  output.mul_public(cached_mask_);
+  return output;
+}
+
+mpc::PartyShare SecureRelu::backward(SecureExecContext& /*ctx*/,
+                                     const mpc::PartyShare& grad_output) {
+  TRUSTDDL_REQUIRE(grad_output.shape() == cached_mask_.shape(),
+                   "secure relu: backward before forward");
+  mpc::PartyShare grad = grad_output;
+  grad.mul_public(cached_mask_);
+  return grad;
+}
+
+mpc::PartyShare SecureMaxPool::forward(SecureExecContext& ctx,
+                                       const mpc::PartyShare& input) {
+  TRUSTDDL_REQUIRE(input.shape().size() == 2 &&
+                       input.shape()[1] == spec_.in_features(),
+                   "secure maxpool: input shape mismatch");
+  const std::size_t batch = input.shape()[0];
+  const std::size_t pools = spec_.out_features();
+  cached_batch_ = batch;
+
+  // Flat input index of window slot k for each pool (batch-invariant).
+  const std::size_t window_size = spec_.window * spec_.window;
+  std::vector<std::vector<std::size_t>> slot_index(
+      window_size, std::vector<std::size_t>(pools));
+  {
+    std::size_t pool = 0;
+    for (std::size_t channel = 0; channel < spec_.channels; ++channel) {
+      for (std::size_t oy = 0; oy < spec_.out_height(); ++oy) {
+        for (std::size_t ox = 0; ox < spec_.out_width(); ++ox) {
+          std::size_t slot = 0;
+          for (std::size_t wy = 0; wy < spec_.window; ++wy) {
+            for (std::size_t wx = 0; wx < spec_.window; ++wx) {
+              slot_index[slot][pool] =
+                  spec_.input_index(channel, oy, ox, wy, wx);
+              ++slot;
+            }
+          }
+          ++pool;
+        }
+      }
+    }
+  }
+
+  // Gather each window slot into a [batch, pools] candidate share.
+  struct Candidate {
+    mpc::PartyShare share;
+    /// Per (sample, pool): flat input index this candidate came from.
+    std::vector<std::size_t> source;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(window_size);
+  for (std::size_t slot = 0; slot < window_size; ++slot) {
+    Candidate candidate;
+    candidate.share =
+        mpc::transform_share(input, [&](const RingTensor& component) {
+          RingTensor gathered(Shape{batch, pools});
+          for (std::size_t sample = 0; sample < batch; ++sample) {
+            for (std::size_t pool = 0; pool < pools; ++pool) {
+              gathered.at(sample, pool) =
+                  component.at(sample, slot_index[slot][pool]);
+            }
+          }
+          return gathered;
+        });
+    candidate.source.resize(batch * pools);
+    for (std::size_t sample = 0; sample < batch; ++sample) {
+      for (std::size_t pool = 0; pool < pools; ++pool) {
+        candidate.source[sample * pools + pool] = slot_index[slot][pool];
+      }
+    }
+    candidates.push_back(std::move(candidate));
+  }
+
+  // Tournament: one batched SecComp per round halves the candidates.
+  while (candidates.size() > 1) {
+    std::vector<Candidate> next;
+    for (std::size_t i = 0; i + 1 < candidates.size(); i += 2) {
+      Candidate& lhs = candidates[i];
+      Candidate& rhs = candidates[i + 1];
+      const Shape shape = lhs.share.shape();
+      const RingTensor signs = mpc::sec_comp_bt(
+          *ctx.mpc, lhs.share, rhs.share, ctx.triples->comp_aux(shape),
+          ctx.triples->mul_triple(shape));
+      const RingTensor mask = mpc::positive_mask(signs);  // 1 where lhs > rhs
+      // winner = mask (.) (lhs - rhs) + rhs, computed locally.
+      Candidate winner;
+      mpc::PartyShare diff = lhs.share - rhs.share;
+      diff.mul_public(mask);
+      winner.share = diff + rhs.share;
+      winner.source.resize(lhs.source.size());
+      for (std::size_t e = 0; e < winner.source.size(); ++e) {
+        winner.source[e] = mask[e] != 0 ? lhs.source[e] : rhs.source[e];
+      }
+      next.push_back(std::move(winner));
+    }
+    if (candidates.size() % 2 == 1) {
+      next.push_back(std::move(candidates.back()));
+    }
+    candidates = std::move(next);
+  }
+
+  cached_argmax_.assign(batch, std::vector<std::size_t>(pools));
+  for (std::size_t sample = 0; sample < batch; ++sample) {
+    for (std::size_t pool = 0; pool < pools; ++pool) {
+      cached_argmax_[sample][pool] =
+          candidates[0].source[sample * pools + pool];
+    }
+  }
+  return candidates[0].share;
+}
+
+mpc::PartyShare SecureMaxPool::backward(SecureExecContext& /*ctx*/,
+                                        const mpc::PartyShare& grad_output) {
+  TRUSTDDL_REQUIRE(grad_output.shape().size() == 2 &&
+                       grad_output.shape()[0] == cached_batch_ &&
+                       grad_output.shape()[1] == spec_.out_features(),
+                   "secure maxpool: backward before forward");
+  const std::size_t pools = spec_.out_features();
+  return mpc::transform_share(grad_output, [&](const RingTensor& component) {
+    RingTensor scattered(Shape{cached_batch_, spec_.in_features()});
+    for (std::size_t sample = 0; sample < cached_batch_; ++sample) {
+      for (std::size_t pool = 0; pool < pools; ++pool) {
+        scattered.at(sample, cached_argmax_[sample][pool]) +=
+            component.at(sample, pool);
+      }
+    }
+    return scattered;
+  });
+}
+
+mpc::PartyShare SecureSoftmax::forward(SecureExecContext& ctx,
+                                       const mpc::PartyShare& input) {
+  cached_probabilities_ = ctx.owner->softmax_forward(input);
+  return cached_probabilities_;
+}
+
+mpc::PartyShare SecureSoftmax::backward(SecureExecContext& ctx,
+                                        const mpc::PartyShare& grad_output) {
+  return ctx.owner->softmax_backward(cached_probabilities_, grad_output);
+}
+
+SecureModel::SecureModel(const nn::ModelSpec& spec,
+                         std::vector<mpc::PartyShare> parameter_shares) {
+  nn::validate_spec(spec);
+  std::size_t next = 0;
+  const auto take = [&]() -> mpc::PartyShare {
+    TRUSTDDL_REQUIRE(next < parameter_shares.size(),
+                     "SecureModel: not enough parameter shares");
+    return std::move(parameter_shares[next++]);
+  };
+  for (const nn::LayerSpec& layer : spec.layers) {
+    switch (layer.kind) {
+      case nn::LayerSpec::Kind::kConv: {
+        mpc::PartyShare weights = take();
+        mpc::PartyShare bias = take();
+        layers_.push_back(std::make_unique<SecureConv>(
+            layer.conv, std::move(weights), std::move(bias)));
+        break;
+      }
+      case nn::LayerSpec::Kind::kDense: {
+        mpc::PartyShare weights = take();
+        mpc::PartyShare bias = take();
+        layers_.push_back(std::make_unique<SecureDense>(std::move(weights),
+                                                        std::move(bias)));
+        break;
+      }
+      case nn::LayerSpec::Kind::kRelu:
+        layers_.push_back(std::make_unique<SecureRelu>());
+        break;
+      case nn::LayerSpec::Kind::kSoftmax:
+        layers_.push_back(std::make_unique<SecureSoftmax>());
+        break;
+      case nn::LayerSpec::Kind::kMaxPool:
+        layers_.push_back(std::make_unique<SecureMaxPool>(layer.pool));
+        break;
+    }
+  }
+  TRUSTDDL_REQUIRE(next == parameter_shares.size(),
+                   "SecureModel: unused parameter shares");
+}
+
+mpc::PartyShare SecureModel::forward(SecureExecContext& ctx,
+                                     const mpc::PartyShare& input) {
+  mpc::PartyShare activation = input;
+  for (auto& layer : layers_) {
+    activation = layer->forward(ctx, activation);
+  }
+  return activation;
+}
+
+void SecureModel::backward_from_logit_grad(
+    SecureExecContext& ctx, const mpc::PartyShare& grad_logits) {
+  mpc::PartyShare grad = grad_logits;
+  // Skip the trailing softmax layer: the fused gradient is already
+  // w.r.t. the logits.
+  for (std::size_t i = layers_.size() - 1; i-- > 0;) {
+    grad = layers_[i]->backward(ctx, grad);
+  }
+}
+
+void SecureModel::sgd_step(SecureExecContext& ctx, double learning_rate,
+                           int frac_bits) {
+  const std::uint64_t lr_encoded = fx::encode(learning_rate, frac_bits);
+  (void)frac_bits;
+  for (SecureParameter* parameter : parameters()) {
+    // grad * lr is a share-times-public product at scale 2f.  The
+    // rescale MUST follow the configured truncation mode: share-local
+    // truncation here would re-introduce the cross-set ulp drift that
+    // masked-open mode exists to eliminate (weight shares are
+    // persistent state, so any drift compounds into divergence between
+    // parties under attack — see DESIGN.md §4).
+    const mpc::PartyShare delta =
+        ctx.rescale(parameter->grad.scaled(lr_encoded));
+    parameter->value -= delta;
+    parameter->zero_grad();
+  }
+}
+
+std::vector<SecureParameter*> SecureModel::parameters() {
+  std::vector<SecureParameter*> all;
+  for (auto& layer : layers_) {
+    for (SecureParameter* parameter : layer->parameters()) {
+      all.push_back(parameter);
+    }
+  }
+  return all;
+}
+
+void SecureModel::zero_grads() {
+  for (SecureParameter* parameter : parameters()) {
+    parameter->zero_grad();
+  }
+}
+
+}  // namespace trustddl::core

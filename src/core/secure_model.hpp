@@ -1,0 +1,196 @@
+// TrustDDL's secure deep-learning engine: the Table-I layer types
+// implemented over replicated secret shares (paper §III-C).
+//
+//  * Linear operations (dense / convolution matmuls) run through
+//    SecMatMul-BT with dealer triples, followed by a fixed-point
+//    rescale (local share truncation or masked opening, configurable).
+//  * ReLU uses SecComp-BT: the sign of the activation is revealed to
+//    the computing parties (as in the paper) and applied as a public
+//    0/1 mask — which also serves the backward pass.
+//  * Softmax (and its derivative) is outsourced to the model owner.
+//  * Local transformations (im2col, reshapes, transposes) are applied
+//    to each share component directly.
+//
+// All functions are SPMD across the three computing parties.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/owner_link.hpp"
+#include "mpc/context.hpp"
+#include "mpc/protocols_bt.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace trustddl::core {
+
+/// How fixed-point products are rescaled (see mpc::TruncationMode).
+using mpc::TruncationMode;
+
+/// Everything a secure layer needs at execution time.
+struct SecureExecContext {
+  mpc::PartyContext* mpc = nullptr;       ///< party-to-party protocols
+  mpc::TripleSource* triples = nullptr;   ///< preprocessing material
+  OwnerLink* owner = nullptr;             ///< Softmax outsourcing
+  TruncationMode trunc_mode = TruncationMode::kLocal;
+
+  /// Rescale a double-precision product share back to f fractional
+  /// bits according to the configured strategy.
+  mpc::PartyShare rescale(const mpc::PartyShare& product);
+};
+
+/// A shared trainable parameter and its shared gradient accumulator.
+struct SecureParameter {
+  mpc::PartyShare value;
+  mpc::PartyShare grad;
+
+  explicit SecureParameter(mpc::PartyShare initial)
+      : value(std::move(initial)), grad(mpc::zero_share(value.shape())) {}
+
+  void zero_grad() { grad = mpc::zero_share(value.shape()); }
+};
+
+class SecureLayer {
+ public:
+  virtual ~SecureLayer() = default;
+  virtual mpc::PartyShare forward(SecureExecContext& ctx,
+                                  const mpc::PartyShare& input) = 0;
+  virtual mpc::PartyShare backward(SecureExecContext& ctx,
+                                   const mpc::PartyShare& grad_output) = 0;
+  virtual std::vector<SecureParameter*> parameters() { return {}; }
+};
+
+/// Fully connected layer on shares: y = xW + b.
+class SecureDense final : public SecureLayer {
+ public:
+  SecureDense(mpc::PartyShare weights, mpc::PartyShare bias)
+      : weights_(std::move(weights)), bias_(std::move(bias)) {}
+
+  mpc::PartyShare forward(SecureExecContext& ctx,
+                          const mpc::PartyShare& input) override;
+  mpc::PartyShare backward(SecureExecContext& ctx,
+                           const mpc::PartyShare& grad_output) override;
+  std::vector<SecureParameter*> parameters() override {
+    return {&weights_, &bias_};
+  }
+
+ private:
+  SecureParameter weights_;
+  SecureParameter bias_;
+  mpc::PartyShare cached_input_;
+};
+
+/// Convolution on shares via share-local im2col + SecMatMul-BT.
+class SecureConv final : public SecureLayer {
+ public:
+  SecureConv(const ConvSpec& spec, mpc::PartyShare weights,
+             mpc::PartyShare bias)
+      : spec_(spec), weights_(std::move(weights)), bias_(std::move(bias)) {}
+
+  mpc::PartyShare forward(SecureExecContext& ctx,
+                          const mpc::PartyShare& input) override;
+  mpc::PartyShare backward(SecureExecContext& ctx,
+                           const mpc::PartyShare& grad_output) override;
+  std::vector<SecureParameter*> parameters() override {
+    return {&weights_, &bias_};
+  }
+
+ private:
+  ConvSpec spec_;
+  SecureParameter weights_;  ///< [out_channels, in_channels*kh*kw]
+  SecureParameter bias_;     ///< [out_channels]
+  mpc::PartyShare cached_columns_;  ///< [k, batch*outPixels]
+  std::size_t cached_batch_ = 0;
+};
+
+/// ReLU via SecComp-BT; the public sign mask is cached for backward.
+class SecureRelu final : public SecureLayer {
+ public:
+  mpc::PartyShare forward(SecureExecContext& ctx,
+                          const mpc::PartyShare& input) override;
+  mpc::PartyShare backward(SecureExecContext& ctx,
+                           const mpc::PartyShare& grad_output) override;
+
+ private:
+  RingTensor cached_mask_;
+};
+
+/// 2-D max pooling via a tournament of SecComp-BT comparisons
+/// (extension beyond the paper's Table I network).  Each tournament
+/// round compares all surviving window candidates pairwise in ONE
+/// batched comparison; the revealed sign masks select winners locally
+/// and determine the (public) argmax routing for backward — the same
+/// public-mask pattern the paper uses for ReLU.
+class SecureMaxPool final : public SecureLayer {
+ public:
+  explicit SecureMaxPool(const nn::PoolSpec& spec) : spec_(spec) {}
+
+  mpc::PartyShare forward(SecureExecContext& ctx,
+                          const mpc::PartyShare& input) override;
+  mpc::PartyShare backward(SecureExecContext& ctx,
+                           const mpc::PartyShare& grad_output) override;
+
+ private:
+  nn::PoolSpec spec_;
+  /// Public flat input index of each output's argmax, per sample.
+  std::vector<std::vector<std::size_t>> cached_argmax_;
+  std::size_t cached_batch_ = 0;
+};
+
+/// Softmax outsourced to the model owner (§III-C).
+class SecureSoftmax final : public SecureLayer {
+ public:
+  mpc::PartyShare forward(SecureExecContext& ctx,
+                          const mpc::PartyShare& input) override;
+  mpc::PartyShare backward(SecureExecContext& ctx,
+                           const mpc::PartyShare& grad_output) override;
+
+  const mpc::PartyShare& cached_probabilities() const {
+    return cached_probabilities_;
+  }
+
+ private:
+  mpc::PartyShare cached_probabilities_;
+};
+
+/// One computing party's view of the secured model.
+class SecureModel {
+ public:
+  /// Build from a spec and this party's shares of the parameters, in
+  /// the same order as nn::Sequential::parameters() (conv/dense: W
+  /// then b).
+  SecureModel(const nn::ModelSpec& spec,
+              std::vector<mpc::PartyShare> parameter_shares);
+
+  /// Full forward pass (ends with outsourced Softmax); returns shares
+  /// of the class probabilities.
+  mpc::PartyShare forward(SecureExecContext& ctx,
+                          const mpc::PartyShare& input);
+
+  /// Backward pass from the fused softmax+cross-entropy gradient
+  /// (p - y), which is w.r.t. the logits, so the softmax layer is
+  /// skipped — mirroring nn::Sequential::train_step.
+  void backward_from_logit_grad(SecureExecContext& ctx,
+                                const mpc::PartyShare& grad_logits);
+
+  /// SGD update W -= lr * dW on shares; lr is public.
+  void sgd_step(SecureExecContext& ctx, double learning_rate,
+                int frac_bits);
+
+  std::vector<SecureParameter*> parameters();
+  void zero_grads();
+
+ private:
+  std::vector<std::unique_ptr<SecureLayer>> layers_;
+};
+
+/// Helpers shared with the engine.
+
+/// Add a shared bias row to every row of a shared matrix.
+void add_row_broadcast(mpc::PartyShare& matrix, const mpc::PartyShare& bias);
+
+/// Add a shared per-row bias (column broadcast): bias[r] added to
+/// every column of row r.
+void add_col_broadcast(mpc::PartyShare& matrix, const mpc::PartyShare& bias);
+
+}  // namespace trustddl::core

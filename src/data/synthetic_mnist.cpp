@@ -1,0 +1,161 @@
+#include "data/synthetic_mnist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trustddl::data {
+namespace {
+
+/// 5x7 bitmap font for the ten digits; each row is 5 bits, MSB left.
+constexpr std::uint8_t kDigitFont[10][7] = {
+    {0x0e, 0x11, 0x13, 0x15, 0x19, 0x11, 0x0e},  // 0
+    {0x04, 0x0c, 0x04, 0x04, 0x04, 0x04, 0x0e},  // 1
+    {0x0e, 0x11, 0x01, 0x02, 0x04, 0x08, 0x1f},  // 2
+    {0x1f, 0x02, 0x04, 0x02, 0x01, 0x11, 0x0e},  // 3
+    {0x02, 0x06, 0x0a, 0x12, 0x1f, 0x02, 0x02},  // 4
+    {0x1f, 0x10, 0x1e, 0x01, 0x01, 0x11, 0x0e},  // 5
+    {0x06, 0x08, 0x10, 0x1e, 0x11, 0x11, 0x0e},  // 6
+    {0x1f, 0x01, 0x02, 0x04, 0x08, 0x08, 0x08},  // 7
+    {0x0e, 0x11, 0x11, 0x0e, 0x11, 0x11, 0x0e},  // 8
+    {0x0e, 0x11, 0x11, 0x0f, 0x01, 0x02, 0x0c},  // 9
+};
+
+/// Bilinear sample of the glyph bitmap at fractional font coordinates
+/// (gx in [0,5), gy in [0,7)); outside the glyph it is background.
+double sample_glyph(std::size_t digit, double gx, double gy) {
+  const auto pixel = [&](int ix, int iy) -> double {
+    if (ix < 0 || ix >= 5 || iy < 0 || iy >= 7) {
+      return 0.0;
+    }
+    return (kDigitFont[digit][iy] >> (4 - ix)) & 1 ? 1.0 : 0.0;
+  };
+  const int x0 = static_cast<int>(std::floor(gx));
+  const int y0 = static_cast<int>(std::floor(gy));
+  const double fx = gx - x0;
+  const double fy = gy - y0;
+  const double top = pixel(x0, y0) * (1 - fx) + pixel(x0 + 1, y0) * fx;
+  const double bottom =
+      pixel(x0, y0 + 1) * (1 - fx) + pixel(x0 + 1, y0 + 1) * fx;
+  return top * (1 - fy) + bottom * fy;
+}
+
+Dataset generate(std::size_t count, const SyntheticMnistConfig& config,
+                 Rng& rng) {
+  Dataset dataset;
+  dataset.images = RealTensor(
+      Shape{count, config.height * config.width});
+  dataset.labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t digit = rng.next_below(config.classes);
+    dataset.labels[i] = digit;
+    const RealTensor image = render_digit(digit, config, rng);
+    for (std::size_t p = 0; p < image.size(); ++p) {
+      dataset.images.at(i, p) = image[p];
+    }
+  }
+  return dataset;
+}
+
+}  // namespace
+
+RealTensor render_digit(std::size_t digit, const SyntheticMnistConfig& config,
+                        Rng& rng) {
+  TRUSTDDL_REQUIRE(digit < 10, "render_digit: digit out of range");
+  const double height = static_cast<double>(config.height);
+  const double width = static_cast<double>(config.width);
+
+  // Random affine distortion parameters per sample.
+  const double scale = rng.next_double(0.92, 1.08);
+  const double angle =
+      rng.next_double(-config.max_rotation, config.max_rotation);
+  const double shear = rng.next_double(-0.08, 0.08);
+  const double shift_x = rng.next_double(-config.max_shift, config.max_shift);
+  const double shift_y = rng.next_double(-config.max_shift, config.max_shift);
+  const double intensity = rng.next_double(0.85, 1.0);
+
+  // The glyph's 5x7 cell grid fills roughly 60% of the image.
+  const double cell_w = width * 0.6 / 5.0 * scale;
+  const double cell_h = height * 0.72 / 7.0 * scale;
+  const double center_x = width / 2.0 + shift_x;
+  const double center_y = height / 2.0 + shift_y;
+  const double cos_a = std::cos(angle);
+  const double sin_a = std::sin(angle);
+
+  RealTensor image(Shape{config.height * config.width});
+  for (std::size_t y = 0; y < config.height; ++y) {
+    for (std::size_t x = 0; x < config.width; ++x) {
+      // Inverse affine: image pixel -> glyph coordinates.
+      const double dx = (static_cast<double>(x) + 0.5) - center_x;
+      const double dy = (static_cast<double>(y) + 0.5) - center_y;
+      const double rx = cos_a * dx + sin_a * dy;
+      const double ry = -sin_a * dx + cos_a * dy;
+      const double gx = rx / cell_w + shear * ry / cell_h + 2.5 - 0.5;
+      const double gy = ry / cell_h + 3.5 - 0.5;
+      double value = intensity * sample_glyph(digit, gx, gy);
+      value += rng.next_gaussian(0.0, config.noise_stddev);
+      image[y * config.width + x] = std::clamp(value, 0.0, 1.0);
+    }
+  }
+  return image;
+}
+
+TrainTestSplit generate_synthetic_mnist(const SyntheticMnistConfig& config) {
+  Rng master(config.seed);
+  Rng train_rng = master.fork();
+  Rng test_rng = master.fork();
+  TrainTestSplit split;
+  split.train = generate(config.train_count, config, train_rng);
+  split.test = generate(config.test_count, config, test_rng);
+  return split;
+}
+
+Dataset slice(const Dataset& dataset, std::size_t start, std::size_t count) {
+  TRUSTDDL_REQUIRE(start + count <= dataset.size(),
+                   "slice out of dataset bounds");
+  Dataset out;
+  const std::size_t features = dataset.images.cols();
+  out.images = RealTensor(Shape{count, features});
+  out.labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.labels[i] = dataset.labels[start + i];
+    for (std::size_t p = 0; p < features; ++p) {
+      out.images.at(i, p) = dataset.images.at(start + i, p);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> shuffled_indices(std::size_t count, Rng& rng) {
+  std::vector<std::size_t> indices(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    indices[i] = i;
+  }
+  for (std::size_t i = count; i > 1; --i) {
+    std::swap(indices[i - 1], indices[rng.next_below(i)]);
+  }
+  return indices;
+}
+
+Dataset gather(const Dataset& dataset,
+               const std::vector<std::size_t>& indices, std::size_t start,
+               std::size_t count) {
+  TRUSTDDL_REQUIRE(start + count <= indices.size(),
+                   "gather out of index bounds");
+  Dataset out;
+  const std::size_t features = dataset.images.cols();
+  out.images = RealTensor(Shape{count, features});
+  out.labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t row = indices[start + i];
+    TRUSTDDL_REQUIRE(row < dataset.size(), "gather index out of range");
+    out.labels[i] = dataset.labels[row];
+    for (std::size_t p = 0; p < features; ++p) {
+      out.images.at(i, p) = dataset.images.at(row, p);
+    }
+  }
+  return out;
+}
+
+}  // namespace trustddl::data

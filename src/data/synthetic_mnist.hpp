@@ -1,0 +1,67 @@
+// Procedural MNIST substitute.
+//
+// The paper evaluates on MNIST (60k train / 10k test, 28x28 grayscale,
+// values normalized to [0,1]).  The dataset files are not available in
+// this offline environment, so we synthesize an equivalent task: ten
+// digit glyph classes rendered from 5x7 bitmap fonts with randomized
+// affine distortion (shift, scale, rotation, shear), stroke intensity
+// jitter and additive Gaussian noise.  Tensor shapes, value range and
+// class count match MNIST exactly, so every code path the paper's
+// experiments exercise (conv over 28x28, 980-unit ReLU, 10-way
+// softmax) is exercised identically; a small CNN reaches high test
+// accuracy within a few epochs, which is what Fig. 2 requires.
+// See DESIGN.md §5 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "numeric/tensor.hpp"
+
+namespace trustddl::data {
+
+/// A labelled image set: images are [count, height*width] in [0,1].
+struct Dataset {
+  RealTensor images;
+  std::vector<std::size_t> labels;
+
+  std::size_t size() const { return labels.size(); }
+};
+
+struct SyntheticMnistConfig {
+  std::size_t train_count = 2000;
+  std::size_t test_count = 500;
+  std::size_t height = 28;
+  std::size_t width = 28;
+  std::size_t classes = 10;
+  double noise_stddev = 0.05;
+  double max_shift = 2.0;     ///< pixels
+  double max_rotation = 0.12;  ///< radians
+  std::uint64_t seed = 7;
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Generate a train/test split with disjoint random streams.
+TrainTestSplit generate_synthetic_mnist(const SyntheticMnistConfig& config);
+
+/// Render one image of the given class (exposed for tests/examples).
+RealTensor render_digit(std::size_t digit, const SyntheticMnistConfig& config,
+                        Rng& rng);
+
+/// Copy rows [start, start+count) into a batch tensor + labels.
+Dataset slice(const Dataset& dataset, std::size_t start, std::size_t count);
+
+/// Shuffled index order for one epoch.
+std::vector<std::size_t> shuffled_indices(std::size_t count, Rng& rng);
+
+/// Gather arbitrary rows into a batch.
+Dataset gather(const Dataset& dataset,
+               const std::vector<std::size_t>& indices, std::size_t start,
+               std::size_t count);
+
+}  // namespace trustddl::data

@@ -1,0 +1,90 @@
+#include "mpc/adversary.hpp"
+
+namespace trustddl::mpc {
+
+StandardAdversary::StandardAdversary(ByzantineConfig config)
+    : config_(config), rng_(config.seed) {}
+
+bool StandardAdversary::attack_this_step(std::uint64_t step) {
+  // A step is probed by several hooks (before_commit, then one
+  // replace/drop per peer); the attack decision must be stable within
+  // the step so "attack" means one coherent misbehaviour.
+  if (step != last_step_checked_) {
+    last_step_checked_ = step;
+    last_decision_ = rng_.next_double() < config_.probability;
+    if (last_decision_) {
+      ++attacks_;
+    }
+  }
+  return last_decision_;
+}
+
+void StandardAdversary::corrupt(std::vector<PartyShare>& triples) {
+  for (auto& triple : triples) {
+    // Large random offsets: the adversary sends garbage shares.  Only
+    // the components the other parties actually use matter, but we
+    // corrupt all three for generality.
+    for (RingTensor* component :
+         {&triple.primary, &triple.duplicate, &triple.second}) {
+      for (std::size_t i = 0; i < component->size(); ++i) {
+        (*component)[i] += rng_.next_u64() | (std::uint64_t{1} << 40);
+      }
+    }
+  }
+}
+
+void StandardAdversary::before_commit(std::uint64_t step,
+                                      std::vector<PartyShare>& triples) {
+  if (!attack_this_step(step)) {
+    return;
+  }
+  switch (config_.behavior) {
+    case ByzantineConfig::Behavior::kConsistentCorruption:
+      corrupt(triples);
+      break;
+    case ByzantineConfig::Behavior::kCoordinatedDelta:
+      for (auto& triple : triples) {
+        for (std::size_t i = 0; i < triple.primary.size(); ++i) {
+          const std::uint64_t delta = rng_.next_u64() | (1ull << 40);
+          triple.primary[i] += delta;
+          triple.duplicate[i] += delta;
+          triple.second[i] += delta;
+        }
+      }
+      break;
+    case ByzantineConfig::Behavior::kStealthyDupSecond:
+      for (auto& triple : triples) {
+        for (std::size_t i = 0; i < triple.duplicate.size(); ++i) {
+          const std::uint64_t delta = rng_.next_u64() | (1ull << 40);
+          triple.duplicate[i] += delta;
+          triple.second[i] += delta;
+        }
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+std::optional<std::vector<PartyShare>> StandardAdversary::replace_shares_for(
+    std::uint64_t step, int peer, const std::vector<PartyShare>& honest) {
+  const bool global =
+      config_.behavior == ByzantineConfig::Behavior::kCommitmentViolationGlobal;
+  const bool single =
+      config_.behavior ==
+          ByzantineConfig::Behavior::kCommitmentViolationSingle &&
+      peer == config_.target_peer;
+  if ((global || single) && attack_this_step(step)) {
+    std::vector<PartyShare> corrupted = honest;
+    corrupt(corrupted);
+    return corrupted;
+  }
+  return std::nullopt;
+}
+
+bool StandardAdversary::drop_messages_to(std::uint64_t step, int /*peer*/) {
+  return config_.behavior == ByzantineConfig::Behavior::kDropMessages &&
+         attack_this_step(step);
+}
+
+}  // namespace trustddl::mpc

@@ -1,0 +1,114 @@
+// Protocol-level Byzantine behaviour.
+//
+// The robust protocols consult these hooks at the points where a
+// malicious computing party could deviate (paper §III-B and the three
+// cases of Proof 6.2):
+//
+//   Case 1  violate the commitment phase towards everyone: commit to
+//           the honest shares, then send different shares to both
+//           peers (detected by the hash re-check).
+//   Case 2  violate the commitment phase towards one peer only: the
+//           victim detects it; the other honest party does not, but
+//           both still reconstruct correctly.
+//   Case 3  stay commitment-consistent but use corrupted shares in
+//           both the hash and the exchange (caught by the
+//           minimum-distance decision rule, since the Byzantine party
+//           cannot force two differently-derived reconstructions to
+//           agree without knowing the peers' shares).
+//
+// Transport-level faults (drops, delays) are modelled separately by
+// net::FaultInjector.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mpc/sharing.hpp"
+
+namespace trustddl::mpc {
+
+/// Interface the robust protocols call when the local party is
+/// configured as the adversary.  Honest parties have no hooks.
+class AdversaryHooks {
+ public:
+  virtual ~AdversaryHooks() = default;
+
+  /// Called before the commitment is computed.  Mutating `triples`
+  /// here corrupts both the committed hash and the sent shares
+  /// (Case 3: consistent corruption).
+  virtual void before_commit(std::uint64_t /*step*/,
+                             std::vector<PartyShare>& /*triples*/) {}
+
+  /// Called per peer after commitments went out, before the share
+  /// exchange.  Returning a replacement makes the sent shares differ
+  /// from the committed ones for that peer (Case 1 if done for both
+  /// peers, Case 2 if for one).
+  virtual std::optional<std::vector<PartyShare>> replace_shares_for(
+      std::uint64_t /*step*/, int /*peer*/,
+      const std::vector<PartyShare>& /*honest*/) {
+    return std::nullopt;
+  }
+
+  /// If true, silently skip sending the commitment and the shares to
+  /// `peer` for this step (message-dropping misbehaviour).
+  virtual bool drop_messages_to(std::uint64_t /*step*/, int /*peer*/) {
+    return false;
+  }
+};
+
+/// Configuration for the stock adversary behaviours used by tests,
+/// examples and benchmarks.
+struct ByzantineConfig {
+  enum class Behavior {
+    kNone,
+    kConsistentCorruption,       ///< Case 3 (random garbage shares)
+    kCommitmentViolationGlobal,  ///< Case 1
+    kCommitmentViolationSingle,  ///< Case 2 (towards `target_peer`)
+    kDropMessages,               ///< silence towards everyone
+    /// The coordinated-offset attack the paper's §III-B argument
+    /// misses: add the SAME delta to primary, duplicate and second, so
+    /// a forged reconstruction pair (s^j, ŝ^k), j != k, agrees exactly
+    /// and ties with the honest pair under the bare minimum-distance
+    /// rule.  Defeated by share-copy authentication (DESIGN.md §4).
+    kCoordinatedDelta,
+    /// Coordinated delta on duplicate + second only (primary kept
+    /// honest).  Share-copy authentication attributes this at one
+    /// honest observer; the other can only detect the copy conflict.
+    kStealthyDupSecond,
+  };
+  Behavior behavior = Behavior::kNone;
+  int target_peer = -1;       ///< victim for kCommitmentViolationSingle
+  double probability = 1.0;   ///< chance a given step is attacked
+  std::uint64_t seed = 0xbadf00d;
+};
+
+/// Stock adversary implementing the configured behaviour by adding
+/// large random offsets to the outgoing share triples.
+class StandardAdversary final : public AdversaryHooks {
+ public:
+  explicit StandardAdversary(ByzantineConfig config);
+
+  void before_commit(std::uint64_t step,
+                     std::vector<PartyShare>& triples) override;
+  std::optional<std::vector<PartyShare>> replace_shares_for(
+      std::uint64_t step, int peer,
+      const std::vector<PartyShare>& honest) override;
+  bool drop_messages_to(std::uint64_t step, int peer) override;
+
+  /// Number of protocol steps this adversary actually attacked.
+  std::uint64_t attacks_launched() const { return attacks_; }
+
+ private:
+  bool attack_this_step(std::uint64_t step);
+  void corrupt(std::vector<PartyShare>& triples);
+
+  ByzantineConfig config_;
+  Rng rng_;
+  std::uint64_t attacks_ = 0;
+  std::uint64_t last_step_checked_ = ~std::uint64_t{0};
+  bool last_decision_ = false;
+};
+
+}  // namespace trustddl::mpc

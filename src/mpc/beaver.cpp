@@ -1,0 +1,140 @@
+#include "mpc/beaver.hpp"
+
+#include "common/error.hpp"
+#include "numeric/fixed_point.hpp"
+
+namespace trustddl::mpc {
+namespace {
+
+RingTensor random_ring_tensor(const Shape& shape, Rng& rng) {
+  RingTensor out(shape);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = rng.next_u64();
+  }
+  return out;
+}
+
+std::array<BeaverTripleShare, kNumParties> package_triple(
+    const RingTensor& a, const RingTensor& b, const RingTensor& c, Rng& rng) {
+  const auto a_views = share_secret(a, rng);
+  const auto b_views = share_secret(b, rng);
+  const auto c_views = share_secret(c, rng);
+  std::array<BeaverTripleShare, kNumParties> out;
+  for (int party = 0; party < kNumParties; ++party) {
+    const auto index = static_cast<std::size_t>(party);
+    out[index] = BeaverTripleShare{a_views[index], b_views[index],
+                                   c_views[index]};
+  }
+  return out;
+}
+
+}  // namespace
+
+std::array<BeaverTripleShare, kNumParties> deal_mul_triple(const Shape& shape,
+                                                           Rng& rng) {
+  const RingTensor a = random_ring_tensor(shape, rng);
+  const RingTensor b = random_ring_tensor(shape, rng);
+  const RingTensor c = hadamard(a, b);
+  return package_triple(a, b, c, rng);
+}
+
+std::array<BeaverTripleShare, kNumParties> deal_matmul_triple(std::size_t m,
+                                                              std::size_t k,
+                                                              std::size_t n,
+                                                              Rng& rng) {
+  const RingTensor a = random_ring_tensor(Shape{m, k}, rng);
+  const RingTensor b = random_ring_tensor(Shape{k, n}, rng);
+  const RingTensor c = matmul(a, b);
+  return package_triple(a, b, c, rng);
+}
+
+std::array<PartyShare, kNumParties> deal_positive_aux(const Shape& shape,
+                                                      int frac_bits,
+                                                      Rng& rng) {
+  RingTensor t(shape);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = fx::encode(rng.next_double(0.5, 2.0), frac_bits);
+  }
+  return share_secret(t, rng);
+}
+
+std::array<TruncPairShare, kNumParties> deal_trunc_pair(const Shape& shape,
+                                                        int frac_bits,
+                                                        Rng& rng) {
+  RingTensor r(shape);
+  RingTensor r_shifted(shape);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    // r uniform in [0, 2^62): the masked difference v - r stays inside
+    // (-2^62, 2^62) for any bounded v, so opening it never wraps.
+    r[i] = rng.next_u64() >> 2;
+    r_shifted[i] = r[i] >> frac_bits;
+  }
+  const auto r_views = share_secret(r, rng);
+  const auto shifted_views = share_secret(r_shifted, rng);
+  std::array<TruncPairShare, kNumParties> out;
+  for (int party = 0; party < kNumParties; ++party) {
+    const auto index = static_cast<std::size_t>(party);
+    out[index] = TruncPairShare{r_views[index], shifted_views[index]};
+  }
+  return out;
+}
+
+SharedDealer::SharedDealer(std::uint64_t seed, int frac_bits)
+    : rng_(seed), frac_bits_(frac_bits) {
+  for (auto& counters : counters_per_party_) {
+    counters = {0, 0, 0, 0};
+  }
+}
+
+template <typename Item>
+Item SharedDealer::fetch(
+    std::unordered_map<std::uint64_t, std::pair<std::array<Item, 3>, int>>&
+        cache,
+    std::uint64_t index, int party,
+    const std::function<std::array<Item, 3>()>& generate) {
+  auto it = cache.find(index);
+  if (it == cache.end()) {
+    it = cache.emplace(index, std::make_pair(generate(), 0)).first;
+  }
+  Item view = it->second.first[static_cast<std::size_t>(party)];
+  it->second.second |= (1 << party);
+  if (it->second.second == 0b111) {
+    cache.erase(it);
+  }
+  return view;
+}
+
+BeaverTripleShare SharedDealer::mul_triple(int party, const Shape& shape) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t index = counters_per_party_[party][0]++;
+  return fetch<BeaverTripleShare>(mul_cache_, index, party, [&] {
+    return deal_mul_triple(shape, rng_);
+  });
+}
+
+BeaverTripleShare SharedDealer::matmul_triple(int party, std::size_t m,
+                                              std::size_t k, std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t index = counters_per_party_[party][1]++;
+  return fetch<BeaverTripleShare>(matmul_cache_, index, party, [&] {
+    return deal_matmul_triple(m, k, n, rng_);
+  });
+}
+
+PartyShare SharedDealer::comp_aux(int party, const Shape& shape) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t index = counters_per_party_[party][2]++;
+  return fetch<PartyShare>(aux_cache_, index, party, [&] {
+    return deal_positive_aux(shape, frac_bits_, rng_);
+  });
+}
+
+TruncPairShare SharedDealer::trunc_pair(int party, const Shape& shape) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t index = counters_per_party_[party][3]++;
+  return fetch<TruncPairShare>(trunc_cache_, index, party, [&] {
+    return deal_trunc_pair(shape, frac_bits_, rng_);
+  });
+}
+
+}  // namespace trustddl::mpc

@@ -1,0 +1,135 @@
+// Beaver triples and the auxiliary preprocessing material TrustDDL's
+// model owner deals to the computing parties (paper §II and §III-A:
+// the model owner "is responsible for creating and distributing shares
+// for ... auxiliary values (e.g., Beaver triples and auxiliary
+// positive numbers)").
+//
+// Three kinds of material are dealt:
+//  * multiplication triples  (a, b, c = a·b or a×b), replicated-shared
+//  * comparison auxiliaries  t with positive entries (SecComp masks
+//    x−y multiplicatively, preserving the sign)
+//  * truncation pairs        (r, ⌊r/2^f⌋) for the exact masked-open
+//    fixed-point rescale (see protocols_bt.hpp for the two truncation
+//    strategies)
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "mpc/sharing.hpp"
+
+namespace trustddl::mpc {
+
+/// One party's replicated shares of a Beaver triple.
+struct BeaverTripleShare {
+  PartyShare a;
+  PartyShare b;
+  PartyShare c;
+};
+
+/// One party's shares of a truncation pair (r, ⌊r/2^f⌋); r is uniform
+/// in [0, 2^62) so the masked difference never wraps.
+struct TruncPairShare {
+  PartyShare r;
+  PartyShare r_shifted;
+};
+
+/// Dealer-side generation (trusted model-owner role).  Each function
+/// returns the three per-party share views.
+std::array<BeaverTripleShare, kNumParties> deal_mul_triple(const Shape& shape,
+                                                           Rng& rng);
+std::array<BeaverTripleShare, kNumParties> deal_matmul_triple(std::size_t m,
+                                                              std::size_t k,
+                                                              std::size_t n,
+                                                              Rng& rng);
+/// Positive auxiliary values, fixed-point encoded in [0.5, 2).
+std::array<PartyShare, kNumParties> deal_positive_aux(const Shape& shape,
+                                                      int frac_bits, Rng& rng);
+std::array<TruncPairShare, kNumParties> deal_trunc_pair(const Shape& shape,
+                                                        int frac_bits,
+                                                        Rng& rng);
+
+/// Per-party access to preprocessing material.  Implementations must
+/// return the *same* underlying triples to all parties for the same
+/// request sequence (the protocols are SPMD, so parties request in
+/// identical order).
+class TripleSource {
+ public:
+  virtual ~TripleSource() = default;
+  virtual BeaverTripleShare mul_triple(const Shape& shape) = 0;
+  virtual BeaverTripleShare matmul_triple(std::size_t m, std::size_t k,
+                                          std::size_t n) = 0;
+  virtual PartyShare comp_aux(const Shape& shape) = 0;
+  virtual TruncPairShare trunc_pair(const Shape& shape) = 0;
+};
+
+/// Dealer shared by the three in-process parties; thread-safe.  Each
+/// party's LocalTripleSource pulls its view; entries are generated on
+/// first request and retired once all parties fetched them.  Used by
+/// unit tests and microbenchmarks; the full framework deals through
+/// the network instead (core/preprocessing.hpp) so dealing traffic is
+/// metered.
+class SharedDealer {
+ public:
+  SharedDealer(std::uint64_t seed, int frac_bits);
+
+  BeaverTripleShare mul_triple(int party, const Shape& shape);
+  BeaverTripleShare matmul_triple(int party, std::size_t m, std::size_t k,
+                                  std::size_t n);
+  PartyShare comp_aux(int party, const Shape& shape);
+  TruncPairShare trunc_pair(int party, const Shape& shape);
+
+ private:
+  template <typename Item>
+  Item fetch(std::unordered_map<std::uint64_t, std::pair<std::array<Item, 3>,
+                                                         int>>& cache,
+             std::uint64_t index, int party,
+             const std::function<std::array<Item, 3>()>& generate);
+
+  std::mutex mu_;
+  Rng rng_;
+  int frac_bits_;
+  std::array<std::uint64_t, 4> counters_per_party_[kNumParties];
+  std::unordered_map<std::uint64_t,
+                     std::pair<std::array<BeaverTripleShare, 3>, int>>
+      mul_cache_;
+  std::unordered_map<std::uint64_t,
+                     std::pair<std::array<BeaverTripleShare, 3>, int>>
+      matmul_cache_;
+  std::unordered_map<std::uint64_t, std::pair<std::array<PartyShare, 3>, int>>
+      aux_cache_;
+  std::unordered_map<std::uint64_t,
+                     std::pair<std::array<TruncPairShare, 3>, int>>
+      trunc_cache_;
+};
+
+/// TripleSource view of a SharedDealer for one party.
+class LocalTripleSource final : public TripleSource {
+ public:
+  LocalTripleSource(std::shared_ptr<SharedDealer> dealer, int party)
+      : dealer_(std::move(dealer)), party_(party) {}
+
+  BeaverTripleShare mul_triple(const Shape& shape) override {
+    return dealer_->mul_triple(party_, shape);
+  }
+  BeaverTripleShare matmul_triple(std::size_t m, std::size_t k,
+                                  std::size_t n) override {
+    return dealer_->matmul_triple(party_, m, k, n);
+  }
+  PartyShare comp_aux(const Shape& shape) override {
+    return dealer_->comp_aux(party_, shape);
+  }
+  TruncPairShare trunc_pair(const Shape& shape) override {
+    return dealer_->trunc_pair(party_, shape);
+  }
+
+ private:
+  std::shared_ptr<SharedDealer> dealer_;
+  int party_;
+};
+
+}  // namespace trustddl::mpc

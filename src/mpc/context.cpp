@@ -1,0 +1,17 @@
+#include "mpc/context.hpp"
+
+namespace trustddl::mpc {
+
+const char* to_string(SecurityMode mode) {
+  switch (mode) {
+    case SecurityMode::kHonestButCurious:
+      return "Honest-but-Curious";
+    case SecurityMode::kMalicious:
+      return "Malicious";
+    case SecurityMode::kCrashFault:
+      return "Crash-Fault";
+  }
+  return "?";
+}
+
+}  // namespace trustddl::mpc

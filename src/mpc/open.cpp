@@ -1,0 +1,938 @@
+#include "mpc/open.hpp"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+
+#include "common/logging.hpp"
+#include "common/sha256.hpp"
+#include "mpc/adversary.hpp"
+#include "numeric/serde.hpp"
+
+namespace trustddl::mpc {
+namespace {
+
+constexpr const char* kLog = "mpc.open";
+
+/// Serialize a vector of share triples for the wire / the commitment.
+Bytes serialize_triples(const std::vector<PartyShare>& triples,
+                        bool include_duplicate) {
+  ByteWriter writer;
+  writer.write_u64(triples.size());
+  for (const auto& triple : triples) {
+    write_tensor(writer, triple.primary);
+    if (include_duplicate) {
+      write_tensor(writer, triple.duplicate);
+    }
+    write_tensor(writer, triple.second);
+  }
+  return writer.take();
+}
+
+std::vector<PartyShare> deserialize_triples(const Bytes& data,
+                                            bool include_duplicate) {
+  ByteReader reader(data);
+  const std::uint64_t count = reader.read_u64();
+  if (count > 1024) {
+    throw SerializationError("triple vector too large");
+  }
+  std::vector<PartyShare> triples(count);
+  for (auto& triple : triples) {
+    triple.primary = read_tensor(reader);
+    if (include_duplicate) {
+      triple.duplicate = read_tensor(reader);
+    }
+    triple.second = read_tensor(reader);
+  }
+  return triples;
+}
+
+Sha256Digest commitment_digest(std::uint64_t step, int sender,
+                               const Bytes& payload) {
+  Sha256 hasher;
+  ByteWriter header;
+  header.write_u64(step);
+  header.write_u8(static_cast<std::uint8_t>(sender));
+  hasher.update(header.bytes());
+  hasher.update(payload);
+  return hasher.finish();
+}
+
+/// Elementwise median of the signed interpretations of the candidate
+/// reconstructions — the guaranteed-output-delivery fallback.
+RingTensor elementwise_median(const std::vector<const RingTensor*>& candidates) {
+  TRUSTDDL_ASSERT(!candidates.empty());
+  RingTensor out(candidates[0]->shape());
+  std::vector<std::int64_t> scratch(candidates.size());
+  for (std::size_t e = 0; e < out.size(); ++e) {
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      scratch[c] = static_cast<std::int64_t>((*candidates[c])[e]);
+    }
+    std::nth_element(scratch.begin(),
+                     scratch.begin() + static_cast<std::ptrdiff_t>(
+                                           scratch.size() / 2),
+                     scratch.end());
+    out[e] = static_cast<std::uint64_t>(scratch[scratch.size() / 2]);
+  }
+  return out;
+}
+
+struct ReceivedTriples {
+  bool present = false;
+  std::vector<PartyShare> triples;
+};
+
+/// A Byzantine party can send structurally bogus data (wrong count,
+/// wrong shapes); that must invalidate its contribution, not crash the
+/// honest party.
+bool triples_compatible(const std::vector<PartyShare>& received,
+                        const std::vector<PartyShare>& reference,
+                        bool include_duplicate) {
+  if (received.size() != reference.size()) {
+    return false;
+  }
+  for (std::size_t v = 0; v < received.size(); ++v) {
+    if (received[v].primary.shape() != reference[v].primary.shape() ||
+        received[v].second.shape() != reference[v].second.shape()) {
+      return false;
+    }
+    if (include_duplicate &&
+        received[v].duplicate.shape() != reference[v].duplicate.shape()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// HbC / crash-fault opening: one exchange of (share-1, share-2)
+/// pairs, then the elementwise median of the available set
+/// reconstructions.  In crash-fault mode (SafeML-style) a heartbeat
+/// acknowledgement round precedes the exchange and receive timeouts
+/// are tolerated: a silent party costs two sets, but exactly one set
+/// is always held entirely by the surviving parties.
+std::vector<RingTensor> open_hbc(PartyContext& ctx,
+                                 const std::vector<PartyShare>& values) {
+  const bool crash_fault = ctx.mode == SecurityMode::kCrashFault;
+  const std::uint64_t step = ctx.next_step();
+  const auto peers = peers_of(ctx.party);
+  const Bytes wire = serialize_triples(values, /*include_duplicate=*/false);
+  const std::string share_tag = ctx.tag(step, "s");
+
+  if (crash_fault) {
+    // Heartbeat/ack round: parties confirm liveness before the
+    // exchange (SafeML's crash-detection handshake).
+    const std::string ack_tag = ctx.tag(step, "hb");
+    for (int peer : peers) {
+      ctx.endpoint.send(peer, ack_tag, Bytes{1});
+    }
+    for (int peer : peers) {
+      if (ctx.peer_excluded(peer)) {
+        continue;
+      }
+      try {
+        (void)ctx.endpoint.recv(peer, ack_tag);
+      } catch (const TimeoutError&) {
+        ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                              peer);
+      }
+    }
+  }
+
+  for (int peer : peers) {
+    ctx.endpoint.send(peer, share_tag, wire);
+  }
+
+  std::array<ReceivedTriples, kNumParties> from;
+  from[static_cast<std::size_t>(ctx.party)].present = true;
+  from[static_cast<std::size_t>(ctx.party)].triples = values;
+  for (int peer : peers) {
+    auto& slot = from[static_cast<std::size_t>(peer)];
+    if (crash_fault && ctx.peer_excluded(peer)) {
+      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                            peer);
+      continue;
+    }
+    try {
+      const Bytes payload = ctx.endpoint.recv(peer, share_tag);
+      slot.triples =
+          deserialize_triples(payload, /*include_duplicate=*/false);
+      if (!triples_compatible(slot.triples, values,
+                              /*include_duplicate=*/false)) {
+        throw ProtocolError("open (HbC): malformed shares from party " +
+                            std::to_string(peer));
+      }
+      slot.present = true;
+      ctx.note_peer_ok(peer);
+    } catch (const TimeoutError&) {
+      if (!crash_fault) {
+        throw;
+      }
+      ctx.note_peer_miss(peer);
+      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                            peer);
+      TRUSTDDL_LOG_WARN(kLog)
+          << "party " << ctx.party << ": party " << peer
+          << " silent at step " << step
+          << " — reconstructing from remaining sets";
+    }
+  }
+
+  ctx.detections.opens += 1;
+  std::vector<RingTensor> opened;
+  opened.reserve(values.size());
+  for (std::size_t v = 0; v < values.size(); ++v) {
+    std::array<RingTensor, kNumSets> sets;
+    std::vector<const RingTensor*> available;
+    for (int set = 0; set < kNumSets; ++set) {
+      const auto& provider1 =
+          from[static_cast<std::size_t>(holder_of_primary(set))];
+      const auto& provider2 =
+          from[static_cast<std::size_t>(holder_of_second(set))];
+      if (!provider1.present || !provider2.present) {
+        continue;
+      }
+      sets[static_cast<std::size_t>(set)] =
+          provider1.triples[v].primary + provider2.triples[v].second;
+      available.push_back(&sets[static_cast<std::size_t>(set)]);
+    }
+    if (available.empty()) {
+      throw ProtocolError("open (HbC): no reconstructible set");
+    }
+    opened.push_back(elementwise_median(available));
+  }
+  return opened;
+}
+
+/// Which reconstructions peer `a` can corrupt, from any observer's
+/// point of view: its primary feeds s^a, its duplicate feeds ŝ^{a+1},
+/// its second feeds both s^{a+2} and ŝ^{a+2}.
+bool corruptible_by(int peer, int set, bool hat) {
+  if (!hat) {
+    return set == peer || set == (peer + 2) % kNumSets;
+  }
+  return set == (peer + 1) % kNumSets || set == (peer + 2) % kNumSets;
+}
+
+/// Shared tail of the malicious-mode openings: share-copy
+/// authentication, the six reconstructions, the minimum-distance
+/// decision rule and the guaranteed-delivery fallback.  `from` holds
+/// the full triples received (own at ctx.party), `provider_valid`
+/// carries the commitment-check results.
+std::vector<RingTensor> decide_from_triples(
+    PartyContext& ctx, const std::vector<PartyShare>& values,
+    const std::array<ReceivedTriples, kNumParties>& from,
+    std::array<bool, kNumParties>& provider_valid, std::uint64_t step) {
+  const auto peers = peers_of(ctx.party);
+  // --- Share-copy cross-authentication (hardening beyond the paper;
+  // see DESIGN.md §4).  Each share-1 value exists in two copies held
+  // by different parties, and the observer itself holds two of them:
+  //   * peer (i+1)'s primary duplicates the observer's `duplicate`
+  //   * peer (i+2)'s duplicate duplicates the observer's `primary`
+  //   * peer (i+1)'s duplicate and peer (i+2)'s primary duplicate
+  //     each other (set i+2's share-1, which the observer lacks)
+  // Copies are bit-exact by construction, so any difference exposes a
+  // tampered component.  The first two checks attribute the tamper to
+  // a specific peer; the third only proves one of the two lied.
+  // Tampered components invalidate exactly the reconstructions that
+  // use them.  per_value_invalid[v][set][hat].
+  std::vector<std::array<std::array<bool, 2>, kNumSets>> component_invalid(
+      values.size());
+  if (ctx.share_authentication) {
+    const int peer_a = (ctx.party + 1) % kNumParties;
+    const int peer_b = (ctx.party + 2) % kNumParties;
+    const auto a_index = static_cast<std::size_t>(peer_a);
+    const auto b_index = static_cast<std::size_t>(peer_b);
+
+    // Pass 1 — attributable checks against the observer's OWN copies.
+    // A failure proves the peer tampered (the local copy is trusted),
+    // so its entire contribution is discarded, exactly like a
+    // commitment violation.
+    for (std::size_t v = 0; v < values.size(); ++v) {
+      if (from[a_index].present && provider_valid[a_index] &&
+          from[a_index].triples[v].primary != values[v].duplicate) {
+        provider_valid[a_index] = false;
+        ctx.detections.record(DetectionEvent::Kind::kShareAuthFailure, step,
+                              peer_a);
+        TRUSTDDL_LOG_WARN(kLog)
+            << "party " << ctx.party << ": share-copy authentication failed "
+            << "for party " << peer_a << "'s primary at step " << step
+            << " — discarding its shares";
+      }
+      if (from[b_index].present && provider_valid[b_index] &&
+          from[b_index].triples[v].duplicate != values[v].primary) {
+        provider_valid[b_index] = false;
+        ctx.detections.record(DetectionEvent::Kind::kShareAuthFailure, step,
+                              peer_b);
+        TRUSTDDL_LOG_WARN(kLog)
+            << "party " << ctx.party << ": share-copy authentication failed "
+            << "for party " << peer_b << "'s duplicate at step " << step
+            << " — discarding its shares";
+      }
+    }
+
+    // Pass 2 — the cross-peer copy of set (i+2)'s share-1, which the
+    // observer does not hold itself.  A mismatch between two
+    // still-trusted peers proves one of them lied without saying
+    // which; both reconstructions of that set are dropped.
+    if (from[a_index].present && provider_valid[a_index] &&
+        from[b_index].present && provider_valid[b_index]) {
+      for (std::size_t v = 0; v < values.size(); ++v) {
+        if (from[a_index].triples[v].duplicate !=
+            from[b_index].triples[v].primary) {
+          const auto conflicted =
+              static_cast<std::size_t>(set_primary(peer_b));
+          component_invalid[v][conflicted][0] = true;
+          component_invalid[v][conflicted][1] = true;
+          ctx.detections.record(DetectionEvent::Kind::kShareCopyConflict,
+                                step);
+          TRUSTDDL_LOG_WARN(kLog)
+              << "party " << ctx.party << ": conflicting share-1 copies for "
+              << "set " << set_primary(peer_b) << " at step " << step
+              << " — discarding both reconstructions of that set";
+        }
+      }
+    }
+  }
+
+  // --- Six reconstructions per value + decision rule (lines 15-20). ---
+  ctx.detections.opens += 1;
+  struct Reconstruction {
+    RingTensor tensor;
+    bool valid = false;
+  };
+  // reconstructions[v][set] / hat_reconstructions[v][set]
+  std::vector<std::array<Reconstruction, kNumSets>> plain(values.size());
+  std::vector<std::array<Reconstruction, kNumSets>> hats(values.size());
+
+  auto provider_ok = [&](int party) {
+    return from[static_cast<std::size_t>(party)].present &&
+           provider_valid[static_cast<std::size_t>(party)];
+  };
+
+  for (std::size_t v = 0; v < values.size(); ++v) {
+    for (int set = 0; set < kNumSets; ++set) {
+      const int p1 = holder_of_primary(set);
+      const int p2 = holder_of_second(set);
+      const int pd = holder_of_duplicate(set);
+      const auto set_index = static_cast<std::size_t>(set);
+      if (provider_ok(p1) && provider_ok(p2) &&
+          !component_invalid[v][set_index][0]) {
+        plain[v][set_index].tensor =
+            from[static_cast<std::size_t>(p1)].triples[v].primary +
+            from[static_cast<std::size_t>(p2)].triples[v].second;
+        plain[v][set_index].valid = true;
+      }
+      if (provider_ok(pd) && provider_ok(p2) &&
+          !component_invalid[v][set_index][1]) {
+        hats[v][set_index].tensor =
+            from[static_cast<std::size_t>(pd)].triples[v].duplicate +
+            from[static_cast<std::size_t>(p2)].triples[v].second;
+        hats[v][set_index].valid = true;
+      }
+    }
+  }
+
+  // Minimum summed distance over pairs (s^j, ŝ^k), j != k, both valid.
+  long best_j = -1;
+  [[maybe_unused]] long best_k = -1;  // kept for diagnostics/symmetry
+  std::uint64_t best_dist = ~std::uint64_t{0};
+  for (int j = 0; j < kNumSets; ++j) {
+    for (int k = 0; k < kNumSets; ++k) {
+      if (j == k) {
+        continue;
+      }
+      bool usable = true;
+      std::uint64_t total = 0;
+      for (std::size_t v = 0; v < values.size(); ++v) {
+        const auto& lhs = plain[v][static_cast<std::size_t>(j)];
+        const auto& rhs = hats[v][static_cast<std::size_t>(k)];
+        if (!lhs.valid || !rhs.valid) {
+          usable = false;
+          break;
+        }
+        const std::uint64_t d = ring_distance(lhs.tensor, rhs.tensor);
+        total = (total > ~d) ? ~std::uint64_t{0} : total + d;
+      }
+      if (usable && total < best_dist) {
+        best_dist = total;
+        best_j = j;
+        best_k = k;
+      }
+    }
+  }
+
+  if (best_j < 0) {
+    throw ProtocolError(
+        "open_values: no valid reconstruction pair — more than one party "
+        "failed, which exceeds the fault model");
+  }
+
+  // Detect whether any *valid* reconstruction deviates from the chosen
+  // pair; if so the opening recovered from a corruption and we try to
+  // implicate the responsible peer.
+  bool anomaly = false;
+  // deviations[set][hat]: some value's reconstruction of that kind
+  // disagrees with the chosen pair.
+  bool deviations[kNumSets][2] = {};
+  for (std::size_t v = 0; v < values.size(); ++v) {
+    const auto& reference = plain[v][static_cast<std::size_t>(best_j)].tensor;
+    for (int set = 0; set < kNumSets; ++set) {
+      const auto set_index = static_cast<std::size_t>(set);
+      for (int hat = 0; hat < 2; ++hat) {
+        const auto& candidate =
+            (hat == 0) ? plain[v][set_index] : hats[v][set_index];
+        if (!candidate.valid) {
+          continue;
+        }
+        if (ring_distance(candidate.tensor, reference) > ctx.dist_tolerance) {
+          anomaly = true;
+          deviations[set][hat] = true;
+        }
+      }
+    }
+  }
+
+  if (anomaly) {
+    ctx.detections.record(DetectionEvent::Kind::kDistanceAnomaly, step);
+    ctx.detections.recovered_opens += 1;
+    // A peer is the plausible culprit if EVERY deviating reconstruction
+    // is one it can touch; exactly one such peer means attribution.
+    int suspect = -1;
+    int implicated = 0;
+    for (int peer : peers) {
+      bool explains_all = true;
+      for (int set = 0; set < kNumSets && explains_all; ++set) {
+        for (int hat = 0; hat < 2; ++hat) {
+          if (deviations[set][hat] && !corruptible_by(peer, set, hat == 1)) {
+            explains_all = false;
+            break;
+          }
+        }
+      }
+      if (explains_all) {
+        suspect = peer;
+        ++implicated;
+      }
+    }
+    if (implicated == 1) {
+      ctx.detections.record(DetectionEvent::Kind::kByzantineSuspected, step,
+                            suspect);
+      TRUSTDDL_LOG_WARN(kLog)
+          << "party " << ctx.party << ": reconstruction anomaly at step "
+          << step << " implicates party " << suspect
+          << " — recovered via redundant reconstruction";
+    } else {
+      TRUSTDDL_LOG_WARN(kLog)
+          << "party " << ctx.party << ": reconstruction anomaly at step "
+          << step << " — recovered via minimum-distance rule";
+    }
+  }
+
+  std::vector<RingTensor> opened;
+  opened.reserve(values.size());
+  if (best_dist <= ctx.dist_tolerance * values.size()) {
+    for (std::size_t v = 0; v < values.size(); ++v) {
+      opened.push_back(plain[v][static_cast<std::size_t>(best_j)].tensor);
+    }
+    return opened;
+  }
+
+  // Even the closest pair disagrees beyond tolerance (e.g. several
+  // share-local truncation glitches landing together).  Guarantee
+  // output delivery with the elementwise median of every valid
+  // reconstruction.
+  ctx.detections.recovered_opens += 1;
+  TRUSTDDL_LOG_WARN(kLog) << "party " << ctx.party
+                          << ": min-distance pair beyond tolerance at step "
+                          << step << " — falling back to elementwise median";
+  for (std::size_t v = 0; v < values.size(); ++v) {
+    std::vector<const RingTensor*> candidates;
+    for (int set = 0; set < kNumSets; ++set) {
+      const auto set_index = static_cast<std::size_t>(set);
+      if (plain[v][set_index].valid) {
+        candidates.push_back(&plain[v][set_index].tensor);
+      }
+      if (hats[v][set_index].valid) {
+        candidates.push_back(&hats[v][set_index].tensor);
+      }
+    }
+    opened.push_back(elementwise_median(candidates));
+  }
+  return opened;
+
+}
+
+
+/// Serialize one component (0 = primary, 1 = duplicate, 2 = second) of
+/// every value — the unit the per-component commitments bind.
+Bytes serialize_component(const std::vector<PartyShare>& triples,
+                          int component) {
+  ByteWriter writer;
+  writer.write_u64(triples.size());
+  for (const auto& triple : triples) {
+    const RingTensor& tensor = component == 0   ? triple.primary
+                               : component == 1 ? triple.duplicate
+                                                : triple.second;
+    write_tensor(writer, tensor);
+  }
+  return writer.take();
+}
+
+Sha256Digest component_digest(std::uint64_t step, int sender, int component,
+                              const std::vector<PartyShare>& triples) {
+  Sha256 hasher;
+  ByteWriter header;
+  header.write_u64(step);
+  header.write_u8(static_cast<std::uint8_t>(sender));
+  header.write_u8(static_cast<std::uint8_t>(component));
+  hasher.update(header.bytes());
+  hasher.update(serialize_component(triples, component));
+  return hasher.finish();
+}
+
+/// Optimistic malicious opening (the paper\'s future-work
+/// communication optimization — see PartyContext::optimistic):
+///
+///  fast path   per-component commitments -> ack -> (share-1, share-2)
+///              PAIR exchange -> three set reconstructions; if the
+///              hashes verify and the sets agree, done at ~2/3 of the
+///              full-triple bytes.
+///  verdicts    every party broadcasts ok/escalate and then FORWARDS
+///              the verdicts it received; an adversary that tells one
+///              honest party "ok" and the other "escalate" cannot
+///              split them, because the escalating party\'s verdict
+///              reaches everyone directly.
+///  escalation  full triples exchanged and verified against the SAME
+///              commitments, then the standard six-way decision rule.
+std::vector<RingTensor> open_optimistic(PartyContext& ctx,
+                                        const std::vector<PartyShare>& values) {
+  const std::uint64_t step = ctx.next_step();
+  const auto peers = peers_of(ctx.party);
+
+  std::vector<PartyShare> wire_triples = values;
+  if (ctx.adversary != nullptr) {
+    ctx.adversary->before_commit(step, wire_triples);
+  }
+
+  // --- Commit to every component separately. ---
+  std::array<Sha256Digest, 3> own_digests;
+  for (int component = 0; component < 3; ++component) {
+    own_digests[static_cast<std::size_t>(component)] =
+        component_digest(step, ctx.party, component, wire_triples);
+  }
+  const std::string commit_tag = ctx.tag(step, "c");
+  for (int peer : peers) {
+    if (ctx.adversary != nullptr &&
+        ctx.adversary->drop_messages_to(step, peer)) {
+      continue;
+    }
+    Bytes commit;
+    for (const auto& digest : own_digests) {
+      commit.insert(commit.end(), digest.begin(), digest.end());
+    }
+    ctx.endpoint.send(peer, commit_tag, std::move(commit));
+  }
+  std::array<std::optional<std::array<Sha256Digest, 3>>, kNumParties>
+      commitments;
+  for (int peer : peers) {
+    if (ctx.peer_excluded(peer)) {
+      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                            peer);
+      continue;
+    }
+    try {
+      const Bytes payload = ctx.endpoint.recv(peer, commit_tag);
+      if (payload.size() == 96) {
+        std::array<Sha256Digest, 3> digests;
+        for (int component = 0; component < 3; ++component) {
+          std::copy(payload.begin() + 32 * component,
+                    payload.begin() + 32 * (component + 1),
+                    digests[static_cast<std::size_t>(component)].begin());
+        }
+        commitments[static_cast<std::size_t>(peer)] = digests;
+      }
+    } catch (const TimeoutError&) {
+      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                            peer);
+    }
+  }
+
+  // --- Ack round (Algorithm 4 line 8). ---
+  const std::string ack_tag = ctx.tag(step, "a");
+  for (int peer : peers) {
+    if (ctx.adversary != nullptr &&
+        ctx.adversary->drop_messages_to(step, peer)) {
+      continue;
+    }
+    ctx.endpoint.send(peer, ack_tag, Bytes{1});
+  }
+  for (int peer : peers) {
+    if (ctx.peer_excluded(peer)) {
+      continue;
+    }
+    try {
+      (void)ctx.endpoint.recv(peer, ack_tag);
+    } catch (const TimeoutError&) {
+    }
+  }
+
+  // --- Fast path: pair exchange. ---
+  const std::string pair_tag = ctx.tag(step, "s");
+  for (int peer : peers) {
+    if (ctx.adversary != nullptr &&
+        ctx.adversary->drop_messages_to(step, peer)) {
+      continue;
+    }
+    std::vector<PartyShare> to_send = wire_triples;
+    if (ctx.adversary != nullptr) {
+      if (auto replacement =
+              ctx.adversary->replace_shares_for(step, peer, wire_triples)) {
+        to_send = std::move(*replacement);
+      }
+    }
+    ctx.endpoint.send(peer, pair_tag,
+                      serialize_triples(to_send, /*include_duplicate=*/false));
+  }
+
+  std::array<ReceivedTriples, kNumParties> pairs;
+  pairs[static_cast<std::size_t>(ctx.party)].present = true;
+  pairs[static_cast<std::size_t>(ctx.party)].triples = values;
+  bool own_escalate = false;
+  for (int peer : peers) {
+    const auto peer_index = static_cast<std::size_t>(peer);
+    if (ctx.peer_excluded(peer)) {
+      own_escalate = true;
+      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                            peer);
+      continue;
+    }
+    try {
+      const Bytes payload = ctx.endpoint.recv(peer, pair_tag);
+      pairs[peer_index].triples =
+          deserialize_triples(payload, /*include_duplicate=*/false);
+      if (!triples_compatible(pairs[peer_index].triples, values,
+                              /*include_duplicate=*/false)) {
+        throw SerializationError("structurally invalid pair");
+      }
+      pairs[peer_index].present = true;
+      const bool hashes_ok =
+          commitments[peer_index].has_value() &&
+          (*commitments[peer_index])[0] ==
+              component_digest(step, peer, 0, pairs[peer_index].triples) &&
+          (*commitments[peer_index])[2] ==
+              component_digest(step, peer, 2, pairs[peer_index].triples);
+      if (!hashes_ok) {
+        own_escalate = true;
+        ctx.detections.record(DetectionEvent::Kind::kCommitmentViolation,
+                              step, peer);
+      }
+    } catch (const TimeoutError&) {
+      own_escalate = true;
+      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                            peer);
+    } catch (const SerializationError&) {
+      own_escalate = true;
+      ctx.detections.record(DetectionEvent::Kind::kCommitmentViolation, step,
+                            peer);
+    }
+  }
+
+  // Three set reconstructions; any disagreement forces escalation.
+  std::vector<std::array<RingTensor, kNumSets>> sets(values.size());
+  if (!own_escalate) {
+    for (std::size_t v = 0; v < values.size() && !own_escalate; ++v) {
+      for (int set = 0; set < kNumSets; ++set) {
+        sets[v][static_cast<std::size_t>(set)] =
+            pairs[static_cast<std::size_t>(holder_of_primary(set))]
+                .triples[v]
+                .primary +
+            pairs[static_cast<std::size_t>(holder_of_second(set))]
+                .triples[v]
+                .second;
+      }
+      for (int a = 0; a < kNumSets && !own_escalate; ++a) {
+        for (int b = a + 1; b < kNumSets; ++b) {
+          if (ring_distance(sets[v][static_cast<std::size_t>(a)],
+                            sets[v][static_cast<std::size_t>(b)]) >
+              ctx.dist_tolerance) {
+            own_escalate = true;
+            ctx.detections.record(DetectionEvent::Kind::kDistanceAnomaly,
+                                  step);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // --- Verdict broadcast + forwarding (keeps honest escalation
+  // decisions in agreement even under equivocation). ---
+  const std::string verdict_tag = ctx.tag(step, "v");
+  const std::string forward_tag = ctx.tag(step, "w");
+  for (int peer : peers) {
+    ctx.endpoint.send(peer, verdict_tag,
+                      Bytes{own_escalate ? std::uint8_t{1} : std::uint8_t{0}});
+  }
+  bool escalate = own_escalate;
+  std::array<std::uint8_t, 2> received_verdicts{1, 1};  // missing => escalate
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    if (ctx.peer_excluded(peers[i])) {
+      escalate = true;
+      continue;
+    }
+    try {
+      const Bytes verdict = ctx.endpoint.recv(peers[i], verdict_tag);
+      received_verdicts[i] = verdict.empty() ? 1 : verdict[0];
+    } catch (const TimeoutError&) {
+    }
+    escalate = escalate || received_verdicts[i] != 0;
+  }
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    // Forward the OTHER peer\'s verdict to this peer.
+    ctx.endpoint.send(peers[i], forward_tag,
+                      Bytes{received_verdicts[1 - i]});
+  }
+  for (int peer : peers) {
+    if (ctx.peer_excluded(peer)) {
+      escalate = true;
+      continue;
+    }
+    try {
+      const Bytes forwarded = ctx.endpoint.recv(peer, forward_tag);
+      escalate = escalate || forwarded.empty() || forwarded[0] != 0;
+    } catch (const TimeoutError&) {
+      escalate = true;
+    }
+  }
+
+  ctx.detections.opens += 1;
+  if (!escalate) {
+    std::vector<RingTensor> opened;
+    opened.reserve(values.size());
+    for (std::size_t v = 0; v < values.size(); ++v) {
+      opened.push_back(elementwise_median(
+          {&sets[v][0], &sets[v][1], &sets[v][2]}));
+    }
+    return opened;
+  }
+
+  // --- Escalation: full triples, verified against the commitments,
+  // then the standard decision machinery. ---
+  TRUSTDDL_LOG_WARN(kLog) << "party " << ctx.party
+                          << ": optimistic opening escalated at step "
+                          << step;
+  ctx.detections.recovered_opens += 1;
+  const std::string full_tag = ctx.tag(step, "s2");
+  for (int peer : peers) {
+    if (ctx.adversary != nullptr &&
+        ctx.adversary->drop_messages_to(step, peer)) {
+      continue;
+    }
+    std::vector<PartyShare> to_send = wire_triples;
+    if (ctx.adversary != nullptr) {
+      if (auto replacement =
+              ctx.adversary->replace_shares_for(step, peer, wire_triples)) {
+        to_send = std::move(*replacement);
+      }
+    }
+    ctx.endpoint.send(peer, full_tag,
+                      serialize_triples(to_send, /*include_duplicate=*/true));
+  }
+  std::array<ReceivedTriples, kNumParties> from;
+  std::array<bool, kNumParties> provider_valid{};
+  from[static_cast<std::size_t>(ctx.party)].present = true;
+  from[static_cast<std::size_t>(ctx.party)].triples = values;
+  provider_valid[static_cast<std::size_t>(ctx.party)] = true;
+  for (int peer : peers) {
+    const auto peer_index = static_cast<std::size_t>(peer);
+    if (ctx.peer_excluded(peer)) {
+      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                            peer);
+      continue;
+    }
+    try {
+      const Bytes payload = ctx.endpoint.recv(peer, full_tag);
+      from[peer_index].triples =
+          deserialize_triples(payload, /*include_duplicate=*/true);
+      if (!triples_compatible(from[peer_index].triples, values,
+                              /*include_duplicate=*/true)) {
+        throw SerializationError("structurally invalid triples");
+      }
+      from[peer_index].present = true;
+      bool commit_ok = commitments[peer_index].has_value();
+      for (int component = 0; commit_ok && component < 3; ++component) {
+        commit_ok =
+            (*commitments[peer_index])[static_cast<std::size_t>(component)] ==
+            component_digest(step, peer, component,
+                             from[peer_index].triples);
+      }
+      provider_valid[peer_index] = commit_ok;
+      ctx.note_peer_ok(peer);
+      if (!commit_ok) {
+        ctx.detections.record(DetectionEvent::Kind::kCommitmentViolation,
+                              step, peer);
+      }
+    } catch (const TimeoutError&) {
+      ctx.note_peer_miss(peer);
+      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                            peer);
+    } catch (const SerializationError&) {
+      ctx.detections.record(DetectionEvent::Kind::kCommitmentViolation, step,
+                            peer);
+    }
+  }
+  return decide_from_triples(ctx, values, from, provider_valid, step);
+}
+
+}  // namespace
+
+std::vector<RingTensor> open_values(PartyContext& ctx,
+                                    const std::vector<PartyShare>& values) {
+  TRUSTDDL_REQUIRE(!values.empty(), "open_values: nothing to open");
+  if (ctx.mode == SecurityMode::kHonestButCurious ||
+      ctx.mode == SecurityMode::kCrashFault) {
+    return open_hbc(ctx, values);
+  }
+  if (ctx.optimistic) {
+    return open_optimistic(ctx, values);
+  }
+
+  const std::uint64_t step = ctx.next_step();
+  const auto peers = peers_of(ctx.party);
+
+  // An adversary may corrupt the triples consistently (Case 3): the
+  // corrupted copy feeds both the commitment and the exchange.
+  std::vector<PartyShare> wire_triples = values;
+  if (ctx.adversary != nullptr) {
+    ctx.adversary->before_commit(step, wire_triples);
+  }
+  const Bytes wire = serialize_triples(wire_triples, /*include_duplicate=*/true);
+  const Sha256Digest own_digest = commitment_digest(step, ctx.party, wire);
+
+  // --- Round 1: commitment phase (Algorithm 4 lines 3-7). ---
+  const std::string commit_tag = ctx.tag(step, "c");
+  for (int peer : peers) {
+    if (ctx.adversary != nullptr &&
+        ctx.adversary->drop_messages_to(step, peer)) {
+      continue;
+    }
+    Bytes commit(own_digest.begin(), own_digest.end());
+    ctx.endpoint.send(peer, commit_tag, std::move(commit));
+  }
+  std::array<std::optional<Sha256Digest>, kNumParties> commitments;
+  for (int peer : peers) {
+    if (ctx.peer_excluded(peer)) {
+      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                            peer);
+      continue;
+    }
+    try {
+      const Bytes payload = ctx.endpoint.recv(peer, commit_tag);
+      if (payload.size() == 32) {
+        Sha256Digest digest;
+        std::copy(payload.begin(), payload.end(), digest.begin());
+        commitments[static_cast<std::size_t>(peer)] = digest;
+      }
+    } catch (const TimeoutError&) {
+      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step, peer);
+      TRUSTDDL_LOG_WARN(kLog) << "party " << ctx.party
+                              << ": no commitment from party " << peer
+                              << " at step " << step;
+    }
+  }
+
+  // --- Round 2: confirm receipt (Algorithm 4 line 8). ---
+  const std::string ack_tag = ctx.tag(step, "a");
+  for (int peer : peers) {
+    if (ctx.adversary != nullptr &&
+        ctx.adversary->drop_messages_to(step, peer)) {
+      continue;
+    }
+    ctx.endpoint.send(peer, ack_tag, Bytes{1});
+  }
+  for (int peer : peers) {
+    if (ctx.peer_excluded(peer)) {
+      continue;
+    }
+    try {
+      (void)ctx.endpoint.recv(peer, ack_tag);
+    } catch (const TimeoutError&) {
+      // A missing ack cannot block the opening: proceed; the peer's
+      // shares will simply fail the commitment check if inconsistent.
+    }
+  }
+
+  // --- Round 3: share exchange + commitment check (lines 9-14). ---
+  const std::string share_tag = ctx.tag(step, "s");
+  for (int peer : peers) {
+    if (ctx.adversary != nullptr &&
+        ctx.adversary->drop_messages_to(step, peer)) {
+      continue;
+    }
+    Bytes to_send = wire;
+    if (ctx.adversary != nullptr) {
+      // Case 1/2: shares sent may differ from the committed ones.
+      if (auto replacement =
+              ctx.adversary->replace_shares_for(step, peer, wire_triples)) {
+        to_send = serialize_triples(*replacement, /*include_duplicate=*/true);
+      }
+    }
+    ctx.endpoint.send(peer, share_tag, std::move(to_send));
+  }
+
+  std::array<ReceivedTriples, kNumParties> from;
+  std::array<bool, kNumParties> provider_valid{};
+  from[static_cast<std::size_t>(ctx.party)].present = true;
+  from[static_cast<std::size_t>(ctx.party)].triples = values;
+  provider_valid[static_cast<std::size_t>(ctx.party)] = true;
+
+  for (int peer : peers) {
+    const auto peer_index = static_cast<std::size_t>(peer);
+    if (ctx.peer_excluded(peer)) {
+      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                            peer);
+      continue;
+    }
+    try {
+      const Bytes payload = ctx.endpoint.recv(peer, share_tag);
+      const Sha256Digest received_digest =
+          commitment_digest(step, peer, payload);
+      from[peer_index].triples =
+          deserialize_triples(payload, /*include_duplicate=*/true);
+      if (!triples_compatible(from[peer_index].triples, values,
+                              /*include_duplicate=*/true)) {
+        throw SerializationError("structurally invalid triples");
+      }
+      from[peer_index].present = true;
+      const bool commit_ok =
+          commitments[peer_index].has_value() &&
+          *commitments[peer_index] == received_digest;
+      provider_valid[peer_index] = commit_ok;
+      ctx.note_peer_ok(peer);
+      if (!commit_ok) {
+        ctx.detections.record(DetectionEvent::Kind::kCommitmentViolation,
+                              step, peer);
+        TRUSTDDL_LOG_WARN(kLog)
+            << "party " << ctx.party << ": commitment check failed for party "
+            << peer << " at step " << step << " — discarding its shares";
+      }
+    } catch (const TimeoutError&) {
+      ctx.note_peer_miss(peer);
+      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step, peer);
+      TRUSTDDL_LOG_WARN(kLog) << "party " << ctx.party
+                              << ": no shares from party " << peer
+                              << " at step " << step;
+    } catch (const SerializationError&) {
+      ctx.detections.record(DetectionEvent::Kind::kCommitmentViolation, step,
+                            peer);
+    }
+  }
+
+return decide_from_triples(ctx, values, from, provider_valid, step);
+}
+
+RingTensor open_value(PartyContext& ctx, const PartyShare& value) {
+  return open_values(ctx, {value})[0];
+}
+
+}  // namespace trustddl::mpc

@@ -1,0 +1,44 @@
+// Robust opening of replicated-shared values — the reconstruction core
+// shared by SecMul-BT, SecMatMul-BT and SecComp-BT (paper §III-B,
+// Algorithm 4 lines 3-20 / Algorithm 5 lines 3-17).
+//
+// In SecurityMode::kMalicious an opening runs three rounds:
+//   1. commitment: each party sends SHA-256(step ‖ sender ‖ triples)
+//   2. confirmation: receipt acks, so nobody reveals shares before
+//      everyone committed
+//   3. exchange: full share triples, re-hashed and checked against the
+//      commitments
+// followed by the six reconstructions  s^j = [s]_1^j + [s]_2^j  and
+// ŝ^j = [ŝ]_1^j + [s]_2^j  per value and the minimum-distance decision
+// rule over pairs (s^j, ŝ^k), j ≠ k.  Reconstructions that involve a
+// party whose commitment check failed (or whose messages never
+// arrived) are flagged and excluded — one Byzantine party can corrupt
+// at most {s^a, ŝ^{a+1}, s^{a+2}, ŝ^{a+2}}, so a clean pair always
+// survives and every honest party recovers without aborting
+// (guaranteed output delivery).
+//
+// In SecurityMode::kHonestButCurious the commitment and confirmation
+// rounds are skipped and parties exchange only the (share-1, share-2)
+// pair; reconstruction takes the elementwise median of the three sets,
+// which also absorbs the rare ±big glitches of share-local fixed-point
+// truncation.
+#pragma once
+
+#include <vector>
+
+#include "mpc/context.hpp"
+#include "mpc/sharing.hpp"
+
+namespace trustddl::mpc {
+
+/// Open several shared values to all computing parties in one round
+/// trip (one commitment covers all of them, as Algorithm 4 opens e and
+/// f together).  Returns the public values in input order.
+/// Throws ProtocolError if fewer than two parties' data is usable.
+std::vector<RingTensor> open_values(PartyContext& ctx,
+                                    const std::vector<PartyShare>& values);
+
+/// Single-value convenience wrapper.
+RingTensor open_value(PartyContext& ctx, const PartyShare& value);
+
+}  // namespace trustddl::mpc

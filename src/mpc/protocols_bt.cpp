@@ -1,0 +1,122 @@
+#include "mpc/protocols_bt.hpp"
+
+#include "numeric/fixed_point.hpp"
+
+namespace trustddl::mpc {
+namespace {
+
+/// Shared tail of SecMul-BT / SecMatMul-BT (Algorithm 4 lines 21-24):
+/// combine the opened masks e, f with the triple shares.  `product`
+/// abstracts elementwise vs matrix multiplication.
+template <typename ProductFn>
+PartyShare combine_with_triple(const RingTensor& e, const RingTensor& f,
+                               const BeaverTripleShare& triple,
+                               const ProductFn& product) {
+  PartyShare z;
+  z.primary = triple.c.primary + product(e, triple.b.primary) +
+              product(triple.a.primary, f);
+  z.duplicate = triple.c.duplicate + product(e, triple.b.duplicate) +
+                product(triple.a.duplicate, f);
+  // r = 2 in Algorithm 4: the e·f term goes into share 2 of every set,
+  // which each party holds for exactly one set.
+  z.second = triple.c.second + product(e, triple.b.second) +
+             product(triple.a.second, f) + product(e, f);
+  return z;
+}
+
+}  // namespace
+
+PartyShare sec_mul_bt(PartyContext& ctx, const PartyShare& x,
+                      const PartyShare& y, const BeaverTripleShare& triple) {
+  TRUSTDDL_REQUIRE(x.shape() == y.shape(),
+                   "sec_mul_bt: operand shapes differ");
+  const PartyShare e_share = x - triple.a;
+  const PartyShare f_share = y - triple.b;
+  const std::vector<RingTensor> opened =
+      open_values(ctx, {e_share, f_share});
+  const RingTensor& e = opened[0];
+  const RingTensor& f = opened[1];
+  return combine_with_triple(
+      e, f, triple,
+      [](const RingTensor& lhs, const RingTensor& rhs) {
+        return hadamard(lhs, rhs);
+      });
+}
+
+PartyShare sec_matmul_bt(PartyContext& ctx, const PartyShare& x,
+                         const PartyShare& y,
+                         const BeaverTripleShare& triple) {
+  TRUSTDDL_REQUIRE(x.shape().size() == 2 && y.shape().size() == 2 &&
+                       x.shape()[1] == y.shape()[0],
+                   "sec_matmul_bt: incompatible operand shapes");
+  const PartyShare e_share = x - triple.a;
+  const PartyShare f_share = y - triple.b;
+  const std::vector<RingTensor> opened =
+      open_values(ctx, {e_share, f_share});
+  const RingTensor& e = opened[0];
+  const RingTensor& f = opened[1];
+  return combine_with_triple(
+      e, f, triple,
+      [](const RingTensor& lhs, const RingTensor& rhs) {
+        return matmul(lhs, rhs);
+      });
+}
+
+RingTensor sec_comp_bt(PartyContext& ctx, const PartyShare& x,
+                       const PartyShare& y, const PartyShare& t_aux,
+                       const BeaverTripleShare& triple) {
+  TRUSTDDL_REQUIRE(x.shape() == y.shape(),
+                   "sec_comp_bt: operand shapes differ");
+  const PartyShare alpha = x - y;
+  // beta = t ⊙ (x - y); t has positive entries, so sign(beta) equals
+  // sign(x - y) while the magnitude stays masked.
+  const PartyShare beta = sec_mul_bt(ctx, t_aux, alpha, triple);
+  const RingTensor opened_beta = open_value(ctx, beta);
+  RingTensor signs(opened_beta.shape());
+  for (std::size_t i = 0; i < signs.size(); ++i) {
+    signs[i] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(fx::sign(opened_beta[i])));
+  }
+  return signs;
+}
+
+RingTensor sec_sign_bt(PartyContext& ctx, const PartyShare& x,
+                       const PartyShare& t_aux,
+                       const BeaverTripleShare& triple) {
+  return sec_comp_bt(ctx, x, zero_share(x.shape()), t_aux, triple);
+}
+
+RingTensor positive_mask(const RingTensor& signs) {
+  RingTensor mask(signs.shape());
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = (static_cast<std::int64_t>(signs[i]) > 0) ? 1u : 0u;
+  }
+  return mask;
+}
+
+PartyShare truncate_product_local(const PartyShare& z, int frac_bits) {
+  PartyShare out = z;
+  out.truncate_local(frac_bits);
+  return out;
+}
+
+PartyShare truncate_product_masked(PartyContext& ctx, const PartyShare& z,
+                                   const TruncPairShare& pair) {
+  TRUSTDDL_REQUIRE(z.shape() == pair.r.shape(),
+                   "truncate_product_masked: pair shape mismatch");
+  // Open d = v - r; r is uniform 62-bit so d never wraps for bounded v
+  // and statistically hides it.  The public shift is then exact and,
+  // crucially, identical at every party — all six reconstructions of
+  // downstream values stay consistent.
+  const PartyShare d_share = z - pair.r;
+  const RingTensor d = open_value(ctx, d_share);
+  RingTensor d_shifted(d.shape());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    d_shifted[i] = fx::truncate(d[i], ctx.frac_bits);
+  }
+  PartyShare out = pair.r_shifted;
+  out.add_public(d_shifted);
+  return out;
+}
+
+}  // namespace trustddl::mpc

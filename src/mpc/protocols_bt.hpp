@@ -1,0 +1,70 @@
+// TrustDDL's Byzantine-tolerant ASS protocols (paper Algorithms 4-5)
+// plus the fixed-point rescaling step the deep-learning layers need.
+//
+// All protocols are SPMD: every computing party calls the same
+// function with its own context and share triples, and the calls
+// communicate through ctx.endpoint.  The commitment phase, redundant
+// reconstruction and decision rule live in open.hpp; these functions
+// add the Beaver masking (SecMul/SecMatMul) and the sign extraction
+// (SecComp) on top.
+#pragma once
+
+#include "mpc/beaver.hpp"
+#include "mpc/context.hpp"
+#include "mpc/open.hpp"
+
+namespace trustddl::mpc {
+
+/// Elementwise product z = x ⊙ y (Algorithm 4).  Inputs and output are
+/// raw ring values: fixed-point callers must rescale with
+/// truncate_product afterwards.
+PartyShare sec_mul_bt(PartyContext& ctx, const PartyShare& x,
+                      const PartyShare& y, const BeaverTripleShare& triple);
+
+/// Matrix product z = x × y (the SecMatMul-BT variant of Algorithm 4).
+/// x is [m,k], y is [k,n], the triple must be dealt for (m,k,n).
+PartyShare sec_matmul_bt(PartyContext& ctx, const PartyShare& x,
+                         const PartyShare& y, const BeaverTripleShare& triple);
+
+/// Elementwise comparison (Algorithm 5): returns sign(x - y) publicly
+/// as a tensor with elements 1, 0 or 2^64-1 (i.e. -1 in the ring).
+/// `t_aux` are shares of the dealer's positive masking values.
+RingTensor sec_comp_bt(PartyContext& ctx, const PartyShare& x,
+                       const PartyShare& y, const PartyShare& t_aux,
+                       const BeaverTripleShare& triple);
+
+/// sign(x) — comparison against zero without spending share material
+/// on the zero operand.
+RingTensor sec_sign_bt(PartyContext& ctx, const PartyShare& x,
+                       const PartyShare& t_aux,
+                       const BeaverTripleShare& triple);
+
+/// 0/1 mask (raw ring values) from a sign tensor: 1 where sign is
+/// positive.  Multiplying shares by this public mask implements ReLU
+/// and its backward pass locally (paper §III-C).
+RingTensor positive_mask(const RingTensor& signs);
+
+/// How a double-precision (2f-bit) fixed-point product is rescaled
+/// back to f fractional bits.
+enum class TruncationMode {
+  /// Shift every share locally (SecureML-style).  One round cheaper;
+  /// each element is exact ±1 ulp except with probability
+  /// ≈ 2^(ℓ+1-64) (ℓ = magnitude bits of the value), when it is off by
+  /// a large multiple — the redundant reconstruction absorbs such
+  /// glitches statistically.
+  kLocal,
+  /// Open the masked value v - r (r from a dealer truncation pair) and
+  /// shift publicly: always exact ±1 ulp, costs one robust opening.
+  /// Hides v statistically (r is 62-bit uniform; see DESIGN.md).
+  kMaskedOpen,
+};
+
+/// Rescale a product share from 2f to f fractional bits using local
+/// share truncation.
+PartyShare truncate_product_local(const PartyShare& z, int frac_bits);
+
+/// Rescale via masked opening; consumes one truncation pair.
+PartyShare truncate_product_masked(PartyContext& ctx, const PartyShare& z,
+                                   const TruncPairShare& pair);
+
+}  // namespace trustddl::mpc

@@ -1,0 +1,126 @@
+#include "mpc/protocols_hbc.hpp"
+
+#include "common/error.hpp"
+#include "numeric/fixed_point.hpp"
+#include "numeric/serde.hpp"
+
+namespace trustddl::mpc {
+namespace {
+
+/// Designated-party reconstruction (Algorithm 2 lines 3-10): everyone
+/// sends its masked shares to party `designated`, which sums and
+/// broadcasts the public values.
+std::vector<RingTensor> reconstruct_at_designated(
+    PlainContext& ctx, std::uint64_t step,
+    const std::vector<RingTensor>& local_shares, int designated) {
+  const std::string up_tag = "p" + std::to_string(step) + "/u";
+  const std::string down_tag = "p" + std::to_string(step) + "/d";
+
+  if (ctx.party == designated) {
+    std::vector<RingTensor> totals = local_shares;
+    for (int sender = 0; sender < ctx.num_parties; ++sender) {
+      if (sender == ctx.party) {
+        continue;
+      }
+      ByteReader reader_payload(ctx.endpoint.recv(sender, up_tag));
+      for (auto& total : totals) {
+        total += read_tensor(reader_payload);
+      }
+    }
+    ByteWriter writer;
+    for (const auto& total : totals) {
+      write_tensor(writer, total);
+    }
+    const Bytes broadcast = writer.take();
+    for (int receiver = 0; receiver < ctx.num_parties; ++receiver) {
+      if (receiver == ctx.party) {
+        continue;
+      }
+      ctx.endpoint.send(receiver, down_tag, broadcast);
+    }
+    return totals;
+  }
+
+  ByteWriter writer;
+  for (const auto& share : local_shares) {
+    write_tensor(writer, share);
+  }
+  ctx.endpoint.send(designated, up_tag, writer.take());
+  ByteReader reader(ctx.endpoint.recv(designated, down_tag));
+  std::vector<RingTensor> totals;
+  totals.reserve(local_shares.size());
+  for (std::size_t i = 0; i < local_shares.size(); ++i) {
+    totals.push_back(read_tensor(reader));
+  }
+  return totals;
+}
+
+template <typename ProductFn>
+RingTensor masked_multiply(PlainContext& ctx, const RingTensor& x_share,
+                           const RingTensor& y_share,
+                           const PlainTriple& triple, int designated,
+                           const ProductFn& product) {
+  TRUSTDDL_REQUIRE(designated >= 0 && designated < ctx.num_parties,
+                   "sec_mul: designated party out of range");
+  const std::uint64_t step = ctx.next_step();
+  const RingTensor e_share = x_share - triple.a;
+  const RingTensor f_share = y_share - triple.b;
+  const std::vector<RingTensor> opened =
+      reconstruct_at_designated(ctx, step, {e_share, f_share}, designated);
+  const RingTensor& e = opened[0];
+  const RingTensor& f = opened[1];
+
+  // [z]_i = [c]_i + e * [b]_i + [a]_i * f, and the designated party
+  // additionally adds the public term e * f (Algorithm 2 lines 7/11).
+  RingTensor z = triple.c + product(e, triple.b) + product(triple.a, f);
+  if (ctx.party == designated) {
+    z += product(e, f);
+  }
+  return z;
+}
+
+}  // namespace
+
+RingTensor sec_mul(PlainContext& ctx, const RingTensor& x_share,
+                   const RingTensor& y_share, const PlainTriple& triple,
+                   int designated) {
+  TRUSTDDL_REQUIRE(x_share.shape() == y_share.shape(),
+                   "sec_mul: operand shapes differ");
+  return masked_multiply(ctx, x_share, y_share, triple, designated,
+                         [](const RingTensor& lhs, const RingTensor& rhs) {
+                           return hadamard(lhs, rhs);
+                         });
+}
+
+RingTensor sec_matmul(PlainContext& ctx, const RingTensor& x_share,
+                      const RingTensor& y_share, const PlainTriple& triple,
+                      int designated) {
+  TRUSTDDL_REQUIRE(x_share.rank() == 2 && y_share.rank() == 2 &&
+                       x_share.cols() == y_share.rows(),
+                   "sec_matmul: incompatible operand shapes");
+  return masked_multiply(ctx, x_share, y_share, triple, designated,
+                         [](const RingTensor& lhs, const RingTensor& rhs) {
+                           return matmul(lhs, rhs);
+                         });
+}
+
+RingTensor sec_comp(PlainContext& ctx, const RingTensor& x_share,
+                    const RingTensor& y_share, const RingTensor& t_share,
+                    const PlainTriple& triple, int designated) {
+  TRUSTDDL_REQUIRE(x_share.shape() == y_share.shape(),
+                   "sec_comp: operand shapes differ");
+  const RingTensor alpha = x_share - y_share;
+  const RingTensor beta_share =
+      sec_mul(ctx, t_share, alpha, triple, designated);
+  const std::uint64_t step = ctx.next_step();
+  const std::vector<RingTensor> opened =
+      reconstruct_at_designated(ctx, step, {beta_share}, designated);
+  RingTensor signs(opened[0].shape());
+  for (std::size_t i = 0; i < signs.size(); ++i) {
+    signs[i] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(fx::sign(opened[0][i])));
+  }
+  return signs;
+}
+
+}  // namespace trustddl::mpc

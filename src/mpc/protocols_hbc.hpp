@@ -1,0 +1,54 @@
+// The paper's §II building blocks: SecMul (Algorithm 2) and SecComp
+// (Algorithm 3) over plain N-party additive shares, with the
+// designated-party optimization (one random party r collects the
+// masked shares, reconstructs, and broadcasts the result).
+//
+// These are the honest-but-curious primitives TrustDDL builds on; the
+// framework itself runs the replicated Byzantine-tolerant variants in
+// protocols_bt.hpp.  They are exposed for fidelity tests, for the
+// SecureNN-style baseline, and as a reference implementation.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+#include "numeric/tensor.hpp"
+
+namespace trustddl::mpc {
+
+/// Execution context for the plain N-party protocols.
+struct PlainContext {
+  net::Endpoint endpoint;
+  int party = 0;        ///< this party's index in 0..num_parties-1
+  int num_parties = 2;  ///< N of the (N,N) sharing
+  std::uint64_t step = 0;
+
+  std::uint64_t next_step() { return step++; }
+};
+
+/// Plain Beaver shares for one multiplication.
+struct PlainTriple {
+  RingTensor a;
+  RingTensor b;
+  RingTensor c;
+};
+
+/// Algorithm 2: elementwise z = x ⊙ y.  Every party calls this with
+/// its shares; party `r` plays the designated reconstructor.  Returns
+/// the caller's share of z (raw ring scale).
+RingTensor sec_mul(PlainContext& ctx, const RingTensor& x_share,
+                   const RingTensor& y_share, const PlainTriple& triple,
+                   int designated);
+
+/// The SecMatMul variant: x is [m,k], y is [k,n].
+RingTensor sec_matmul(PlainContext& ctx, const RingTensor& x_share,
+                      const RingTensor& y_share, const PlainTriple& triple,
+                      int designated);
+
+/// Algorithm 3: elementwise sign(x - y), revealed to every party.
+/// `t_share` are shares of positive masking values.
+RingTensor sec_comp(PlainContext& ctx, const RingTensor& x_share,
+                    const RingTensor& y_share, const RingTensor& t_share,
+                    const PlainTriple& triple, int designated);
+
+}  // namespace trustddl::mpc

@@ -1,0 +1,215 @@
+#include "mpc/robust_reconstruct.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace trustddl::mpc {
+namespace {
+
+constexpr const char* kLog = "mpc.reconstruct";
+
+bool corruptible_by(int party, int set, bool hat) {
+  if (!hat) {
+    return set == party || set == (party + 2) % kNumSets;
+  }
+  return set == (party + 1) % kNumSets || set == (party + 2) % kNumSets;
+}
+
+RingTensor median_of(const std::vector<const RingTensor*>& candidates) {
+  TRUSTDDL_ASSERT(!candidates.empty());
+  RingTensor out(candidates[0]->shape());
+  std::vector<std::int64_t> scratch(candidates.size());
+  for (std::size_t e = 0; e < out.size(); ++e) {
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      scratch[c] = static_cast<std::int64_t>((*candidates[c])[e]);
+    }
+    std::nth_element(
+        scratch.begin(),
+        scratch.begin() + static_cast<std::ptrdiff_t>(scratch.size() / 2),
+        scratch.end());
+    out[e] = static_cast<std::uint64_t>(scratch[scratch.size() / 2]);
+  }
+  return out;
+}
+
+}  // namespace
+
+RingTensor robust_reconstruct(
+    const std::array<std::optional<PartyShare>, kNumParties>& triples,
+    std::uint64_t tolerance, ReconstructReport* report) {
+  ReconstructReport local_report;
+  ReconstructReport& out_report = report ? *report : local_report;
+  out_report = ReconstructReport{};
+
+  // Structural pre-filter: a party whose components do not all carry
+  // the majority shape is treated as absent (garbage from a broken or
+  // Byzantine sender must not poison the copy-conflict checks).
+  std::array<bool, kNumParties> usable{};
+  Shape expected;
+  {
+    std::array<Shape, kNumParties> shapes;
+    for (int party = 0; party < kNumParties; ++party) {
+      if (triples[static_cast<std::size_t>(party)].has_value()) {
+        shapes[static_cast<std::size_t>(party)] =
+            triples[static_cast<std::size_t>(party)]->primary.shape();
+      }
+    }
+    for (int a = 0; a < kNumParties && expected.empty(); ++a) {
+      for (int b = a + 1; b < kNumParties; ++b) {
+        if (!shapes[static_cast<std::size_t>(a)].empty() &&
+            shapes[static_cast<std::size_t>(a)] ==
+                shapes[static_cast<std::size_t>(b)]) {
+          expected = shapes[static_cast<std::size_t>(a)];
+          break;
+        }
+      }
+    }
+    for (int party = 0; party < kNumParties; ++party) {
+      const auto& triple = triples[static_cast<std::size_t>(party)];
+      usable[static_cast<std::size_t>(party)] =
+          triple.has_value() && !expected.empty() &&
+          triple->primary.shape() == expected &&
+          triple->duplicate.shape() == expected &&
+          triple->second.shape() == expected;
+    }
+  }
+  const auto present = [&](int party) {
+    return usable[static_cast<std::size_t>(party)];
+  };
+
+  // Share-copy cross-checks: each set's share-1 exists at its primary
+  // holder and its duplicate holder; a mismatch invalidates both
+  // reconstructions of that set (one of the two holders lied, the
+  // owner cannot tell which).
+  bool set_conflicted[kNumSets] = {};
+  for (int set = 0; set < kNumSets; ++set) {
+    const int p1 = holder_of_primary(set);
+    const int pd = holder_of_duplicate(set);
+    if (present(p1) && present(pd)) {
+      const auto& primary_copy =
+          triples[static_cast<std::size_t>(p1)]->primary;
+      const auto& dup_copy =
+          triples[static_cast<std::size_t>(pd)]->duplicate;
+      if (primary_copy.shape() != dup_copy.shape() ||
+          primary_copy != dup_copy) {
+        set_conflicted[set] = true;
+        out_report.anomaly = true;
+        TRUSTDDL_LOG_WARN(kLog)
+            << "conflicting share-1 copies for set " << set
+            << " (holders " << p1 << " and " << pd << ")";
+      }
+    }
+  }
+
+  struct Candidate {
+    RingTensor tensor;
+    bool valid = false;
+  };
+  Candidate plain[kNumSets];
+  Candidate hats[kNumSets];
+  for (int set = 0; set < kNumSets; ++set) {
+    const int p1 = holder_of_primary(set);
+    const int p2 = holder_of_second(set);
+    const int pd = holder_of_duplicate(set);
+    if (present(p1) && present(p2) && !set_conflicted[set]) {
+      const auto& primary = triples[static_cast<std::size_t>(p1)]->primary;
+      const auto& second = triples[static_cast<std::size_t>(p2)]->second;
+      if (primary.shape() == second.shape()) {
+        plain[set].tensor = primary + second;
+        plain[set].valid = true;
+      }
+    }
+    if (present(pd) && present(p2) && !set_conflicted[set]) {
+      const auto& dup = triples[static_cast<std::size_t>(pd)]->duplicate;
+      const auto& second = triples[static_cast<std::size_t>(p2)]->second;
+      if (dup.shape() == second.shape()) {
+        hats[set].tensor = dup + second;
+        hats[set].valid = true;
+      }
+    }
+  }
+
+  int best_j = -1;
+  std::uint64_t best_dist = ~std::uint64_t{0};
+  for (int j = 0; j < kNumSets; ++j) {
+    for (int k = 0; k < kNumSets; ++k) {
+      if (j == k || !plain[j].valid || !hats[k].valid) {
+        continue;
+      }
+      const std::uint64_t d = ring_distance(plain[j].tensor, hats[k].tensor);
+      if (d < best_dist) {
+        best_dist = d;
+        best_j = j;
+      }
+    }
+  }
+
+  std::vector<const RingTensor*> valid_candidates;
+  for (int set = 0; set < kNumSets; ++set) {
+    if (plain[set].valid) {
+      valid_candidates.push_back(&plain[set].tensor);
+    }
+    if (hats[set].valid) {
+      valid_candidates.push_back(&hats[set].tensor);
+    }
+  }
+  if (valid_candidates.empty()) {
+    throw ProtocolError(
+        "robust_reconstruct: no usable reconstruction — more than one "
+        "party failed");
+  }
+
+  if (best_j < 0 || best_dist > tolerance) {
+    out_report.anomaly = true;
+    out_report.ambiguous = true;
+    TRUSTDDL_LOG_WARN(kLog)
+        << "no agreeing reconstruction pair — falling back to median over "
+        << valid_candidates.size() << " candidates";
+    return median_of(valid_candidates);
+  }
+
+  const RingTensor& chosen = plain[best_j].tensor;
+  bool deviations[kNumSets][2] = {};
+  for (int set = 0; set < kNumSets; ++set) {
+    for (int hat = 0; hat < 2; ++hat) {
+      const Candidate& candidate = (hat == 0) ? plain[set] : hats[set];
+      if (candidate.valid &&
+          ring_distance(candidate.tensor, chosen) > tolerance) {
+        deviations[set][hat] = true;
+        out_report.anomaly = true;
+      }
+    }
+  }
+  if (out_report.anomaly) {
+    int implicated = 0;
+    for (int party = 0; party < kNumParties; ++party) {
+      bool explains_all = true;
+      for (int set = 0; set < kNumSets && explains_all; ++set) {
+        for (int hat = 0; hat < 2; ++hat) {
+          if (deviations[set][hat] && !corruptible_by(party, set, hat == 1)) {
+            explains_all = false;
+            break;
+          }
+        }
+      }
+      if (explains_all) {
+        out_report.suspect = party;
+        ++implicated;
+      }
+    }
+    if (implicated != 1) {
+      out_report.suspect = -1;
+    }
+    TRUSTDDL_LOG_WARN(kLog) << "reconstruction anomaly recovered"
+                            << (out_report.suspect >= 0
+                                    ? " — suspect party " +
+                                          std::to_string(out_report.suspect)
+                                    : "");
+  }
+  return chosen;
+}
+
+}  // namespace trustddl::mpc

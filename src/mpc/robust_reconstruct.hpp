@@ -1,0 +1,33 @@
+// Owner-side robust reconstruction.
+//
+// The data owner and the model owner receive the full share triples of
+// all three computing parties (e.g. logits for Softmax outsourcing,
+// trained weights, inference results).  A Byzantine computing party
+// may send corrupted shares, so the owners apply the same redundancy
+// machinery as the parties: share-copy cross-checks over the three
+// replicated share-1 copies, six reconstructions, and the
+// minimum-distance decision rule with a median fallback.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "mpc/sharing.hpp"
+
+namespace trustddl::mpc {
+
+struct ReconstructReport {
+  bool anomaly = false;      ///< some reconstruction deviated
+  int suspect = -1;          ///< attributed party, if identifiable
+  bool ambiguous = false;    ///< fell back to the median
+};
+
+/// Robustly reconstruct a secret from the three party triples.
+/// `present[i]` marks whether party i's triple was received at all
+/// (crash/drop tolerance).  Throws ProtocolError if fewer than two
+/// triples are usable.
+RingTensor robust_reconstruct(
+    const std::array<std::optional<PartyShare>, kNumParties>& triples,
+    std::uint64_t tolerance, ReconstructReport* report = nullptr);
+
+}  // namespace trustddl::mpc

@@ -1,0 +1,39 @@
+// Transport-level fault injection.
+//
+// Protocol-level Byzantine behaviour (wrong shares, commitment
+// violations) lives in mpc/adversary.hpp; this hook models the
+// *transport* misbehaviour the paper discusses in §III-B — dropped and
+// delayed messages — plus bit-level corruption for testing the
+// commitment check.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "net/message.hpp"
+
+namespace trustddl::net {
+
+/// Decision returned by a fault injector for one in-flight message.
+struct FaultDecision {
+  bool drop = false;
+  std::chrono::milliseconds delay{0};
+  /// If true, flip bits of the payload before delivery.
+  bool corrupt = false;
+};
+
+/// Interface consulted for every message before delivery.  Must be
+/// thread-safe: the network calls it from every sending thread.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual FaultDecision on_message(const Message& message) = 0;
+};
+
+/// Injector that never interferes.
+class NoFaults final : public FaultInjector {
+ public:
+  FaultDecision on_message(const Message&) override { return {}; }
+};
+
+}  // namespace trustddl::net

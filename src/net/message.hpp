@@ -1,0 +1,31 @@
+// Message type for the simulated inter-party network.
+//
+// The paper's implementation used Ray RPC between four machines; this
+// repository replaces the transport with an in-process network (see
+// DESIGN.md §5) that moves real bytes between party threads and meters
+// every link, so communication cost (Table II) is measured, not
+// estimated.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace trustddl::net {
+
+/// Zero-based party index.  The paper's P1, P2, P3 map to 0, 1, 2;
+/// auxiliary actors (data owner, model owner) take higher indices.
+using PartyId = int;
+
+struct Message {
+  PartyId sender = -1;
+  PartyId receiver = -1;
+  /// Protocol-step tag, e.g. "secmul-bt/17/commit".  Receives match on
+  /// (sender, tag) so out-of-order delivery across steps is harmless.
+  std::string tag;
+  Bytes payload;
+
+  std::size_t wire_size() const { return tag.size() + payload.size() + 16; }
+};
+
+}  // namespace trustddl::net

@@ -1,0 +1,179 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace trustddl::net {
+
+int Endpoint::num_parties() const {
+  TRUSTDDL_ASSERT(network_ != nullptr);
+  return network_->num_parties();
+}
+
+void Endpoint::send(PartyId to, const std::string& tag, Bytes payload) const {
+  TRUSTDDL_ASSERT(network_ != nullptr);
+  TRUSTDDL_REQUIRE(to >= 0 && to < network_->num_parties(),
+                   "send: receiver out of range");
+  TRUSTDDL_REQUIRE(to != id_, "send: party cannot message itself");
+  Message message;
+  message.sender = id_;
+  message.receiver = to;
+  message.tag = tag;
+  message.payload = std::move(payload);
+  network_->deliver(std::move(message));
+}
+
+Bytes Endpoint::recv(PartyId from, const std::string& tag) const {
+  TRUSTDDL_ASSERT(network_ != nullptr);
+  return network_->blocking_recv(id_, from, tag,
+                                 network_->config().recv_timeout);
+}
+
+Bytes Endpoint::recv(PartyId from, const std::string& tag,
+                     std::chrono::milliseconds timeout) const {
+  TRUSTDDL_ASSERT(network_ != nullptr);
+  return network_->blocking_recv(id_, from, tag, timeout);
+}
+
+bool Endpoint::try_recv(PartyId from, const std::string& tag,
+                        Bytes& out) const {
+  TRUSTDDL_ASSERT(network_ != nullptr);
+  return network_->probe(id_, from, tag, out);
+}
+
+Network::Network(NetworkConfig config) : config_(config) {
+  TRUSTDDL_REQUIRE(config_.num_parties >= 2, "network needs >= 2 parties");
+  const auto n = static_cast<std::size_t>(config_.num_parties);
+  mailboxes_.reserve(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  link_metrics_.assign(n, std::vector<LinkMetrics>(n));
+}
+
+Endpoint Network::endpoint(PartyId id) {
+  TRUSTDDL_REQUIRE(id >= 0 && id < config_.num_parties,
+                   "endpoint id out of range");
+  return Endpoint(this, id);
+}
+
+void Network::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  std::lock_guard<std::mutex> lock(injector_mu_);
+  injector_ = std::move(injector);
+}
+
+void Network::deliver(Message message) {
+  // Meter the traffic the sender put on the wire, even if a fault
+  // later drops it: the bytes were still sent.
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    auto& link = link_metrics_[static_cast<std::size_t>(message.sender)]
+                              [static_cast<std::size_t>(message.receiver)];
+    link.messages += 1;
+    link.bytes += message.wire_size();
+  }
+
+  FaultDecision decision;
+  {
+    std::lock_guard<std::mutex> lock(injector_mu_);
+    if (injector_) {
+      decision = injector_->on_message(message);
+    }
+  }
+  if (decision.drop) {
+    return;
+  }
+  if (decision.corrupt) {
+    // Flip the last payload byte: enough to break any integrity check
+    // while keeping length prefixes intact, so receivers exercise
+    // their verification logic rather than their deserializer.
+    if (!message.payload.empty()) {
+      message.payload.back() ^= 0xa5;
+    }
+  }
+  if (decision.delay.count() > 0) {
+    std::this_thread::sleep_for(decision.delay);
+  }
+  if (config_.emulate_latency) {
+    std::this_thread::sleep_for(config_.link_latency);
+  }
+
+  Mailbox& box = mailbox(message.receiver, message.sender);
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.pending.push_back(std::move(message));
+  }
+  box.cv.notify_all();
+}
+
+Bytes Network::blocking_recv(PartyId receiver, PartyId from,
+                             const std::string& tag,
+                             std::chrono::milliseconds timeout) {
+  TRUSTDDL_REQUIRE(from >= 0 && from < config_.num_parties,
+                   "recv: sender out of range");
+  Mailbox& box = mailbox(receiver, from);
+  std::unique_lock<std::mutex> lock(box.mu);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    auto it = std::find_if(box.pending.begin(), box.pending.end(),
+                           [&](const Message& m) { return m.tag == tag; });
+    if (it != box.pending.end()) {
+      Bytes payload = std::move(it->payload);
+      box.pending.erase(it);
+      return payload;
+    }
+    if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Re-scan once in case of a late notify racing the timeout.
+      it = std::find_if(box.pending.begin(), box.pending.end(),
+                        [&](const Message& m) { return m.tag == tag; });
+      if (it != box.pending.end()) {
+        Bytes payload = std::move(it->payload);
+        box.pending.erase(it);
+        return payload;
+      }
+      throw TimeoutError("recv timeout: party " + std::to_string(receiver) +
+                         " waiting for '" + tag + "' from party " +
+                         std::to_string(from));
+    }
+  }
+}
+
+bool Network::probe(PartyId receiver, PartyId from, const std::string& tag,
+                    Bytes& out) {
+  Mailbox& box = mailbox(receiver, from);
+  std::lock_guard<std::mutex> lock(box.mu);
+  auto it = std::find_if(box.pending.begin(), box.pending.end(),
+                         [&](const Message& m) { return m.tag == tag; });
+  if (it == box.pending.end()) {
+    return false;
+  }
+  out = std::move(it->payload);
+  box.pending.erase(it);
+  return true;
+}
+
+TrafficSnapshot Network::traffic() const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  TrafficSnapshot snapshot;
+  snapshot.links = link_metrics_;
+  for (const auto& row : link_metrics_) {
+    for (const auto& link : row) {
+      snapshot.total_messages += link.messages;
+      snapshot.total_bytes += link.bytes;
+    }
+  }
+  return snapshot;
+}
+
+void Network::reset_traffic() {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  for (auto& row : link_metrics_) {
+    for (auto& link : row) {
+      link = LinkMetrics{};
+    }
+  }
+}
+
+}  // namespace trustddl::net

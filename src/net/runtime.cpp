@@ -1,0 +1,39 @@
+#include "net/runtime.hpp"
+
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace trustddl::net {
+
+std::vector<PartyOutcome> run_parties(
+    int num_parties, const std::function<void(PartyId)>& body, bool rethrow) {
+  TRUSTDDL_REQUIRE(num_parties >= 1, "run_parties needs >= 1 party");
+  std::vector<PartyOutcome> outcomes(static_cast<std::size_t>(num_parties));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_parties));
+  for (int party = 0; party < num_parties; ++party) {
+    threads.emplace_back([&, party] {
+      try {
+        body(party);
+      } catch (...) {
+        outcomes[static_cast<std::size_t>(party)].ok = false;
+        outcomes[static_cast<std::size_t>(party)].error =
+            std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  if (rethrow) {
+    for (const auto& outcome : outcomes) {
+      if (!outcome.ok) {
+        std::rethrow_exception(outcome.error);
+      }
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace trustddl::net

@@ -1,0 +1,29 @@
+// Multi-party execution helper: runs one callable per party, each on
+// its own thread, and joins them all.  Exceptions thrown by party
+// bodies are captured and rethrown on the calling thread (the first
+// one, by party index), so tests can assert on protocol failures.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace trustddl::net {
+
+/// Result of one party's execution.
+struct PartyOutcome {
+  bool ok = true;
+  std::exception_ptr error;
+};
+
+/// Run `body(party)` for party = 0..num_parties-1 concurrently; join
+/// all; rethrow the lowest-index failure if `rethrow` is true.
+/// Returns per-party outcomes (useful when some parties are *expected*
+/// to fail, e.g. abort-style baselines under attack).
+std::vector<PartyOutcome> run_parties(
+    int num_parties, const std::function<void(PartyId)>& body,
+    bool rethrow = true);
+
+}  // namespace trustddl::net

@@ -1,0 +1,50 @@
+// Plaintext neural-network layer interface (the CML baseline of
+// Fig. 2 and the reference semantics the secure engine must match).
+//
+// Layers process batches: inputs are rank-2 tensors [batch, features].
+// forward() caches whatever backward() needs; backward() consumes the
+// gradient w.r.t. the layer output and returns the gradient w.r.t. the
+// layer input, accumulating parameter gradients along the way.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "numeric/tensor.hpp"
+
+namespace trustddl::nn {
+
+/// A trainable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  RealTensor value;
+  RealTensor grad;
+
+  explicit Parameter(std::string parameter_name, RealTensor initial)
+      : name(std::move(parameter_name)),
+        value(std::move(initial)),
+        grad(value.shape()) {}
+
+  void zero_grad() { grad = RealTensor(value.shape()); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual RealTensor forward(const RealTensor& input) = 0;
+  virtual RealTensor backward(const RealTensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for activation/shape layers).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  virtual std::string name() const = 0;
+
+  /// Output feature count for a given input feature count (used for
+  /// shape validation when assembling models).
+  virtual std::size_t output_features(std::size_t input_features) const = 0;
+};
+
+}  // namespace trustddl::nn

@@ -1,0 +1,250 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+namespace trustddl::nn {
+namespace {
+
+RealTensor gaussian_tensor(const Shape& shape, double stddev, Rng& rng) {
+  RealTensor out(shape);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = rng.next_gaussian(0.0, stddev);
+  }
+  return out;
+}
+
+}  // namespace
+
+DenseLayer::DenseLayer(std::size_t in_features, std::size_t out_features,
+                       Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weights_("dense.W",
+               gaussian_tensor(Shape{in_features, out_features},
+                               std::sqrt(1.0 / static_cast<double>(
+                                                   in_features)),
+                               rng)),
+      bias_("dense.b", RealTensor(Shape{1, out_features})) {}
+
+RealTensor DenseLayer::forward(const RealTensor& input) {
+  TRUSTDDL_REQUIRE(input.rank() == 2 && input.cols() == in_features_,
+                   "dense: input shape mismatch");
+  cached_input_ = input;
+  RealTensor output = matmul(input, weights_.value);
+  for (std::size_t row = 0; row < output.rows(); ++row) {
+    for (std::size_t col = 0; col < output.cols(); ++col) {
+      output.at(row, col) += bias_.value.at(0, col);
+    }
+  }
+  return output;
+}
+
+RealTensor DenseLayer::backward(const RealTensor& grad_output) {
+  TRUSTDDL_REQUIRE(grad_output.rank() == 2 &&
+                       grad_output.cols() == out_features_,
+                   "dense: grad shape mismatch");
+  weights_.grad += matmul(transpose(cached_input_), grad_output);
+  bias_.grad += sum_rows(grad_output);
+  return matmul(grad_output, transpose(weights_.value));
+}
+
+std::vector<Parameter*> DenseLayer::parameters() {
+  return {&weights_, &bias_};
+}
+
+ConvLayer::ConvLayer(const ConvSpec& spec, Rng& rng)
+    : spec_(spec),
+      weights_("conv.W",
+               gaussian_tensor(
+                   Shape{spec.out_channels,
+                         spec.in_channels * spec.kernel_h * spec.kernel_w},
+                   std::sqrt(1.0 / static_cast<double>(spec.kernel_h *
+                                                       spec.kernel_w)),
+                   rng)),
+      bias_("conv.b", RealTensor(Shape{spec.out_channels})) {}
+
+RealTensor ConvLayer::forward(const RealTensor& input) {
+  const std::size_t in_size =
+      spec_.in_channels * spec_.in_height * spec_.in_width;
+  TRUSTDDL_REQUIRE(input.rank() == 2 && input.cols() == in_size,
+                   "conv: input shape mismatch");
+  const std::size_t batch = input.rows();
+  const std::size_t out_pixels = spec_.out_height() * spec_.out_width();
+  RealTensor output(Shape{batch, spec_.out_channels * out_pixels});
+  cached_columns_.clear();
+  cached_columns_.reserve(batch);
+  for (std::size_t sample = 0; sample < batch; ++sample) {
+    RealTensor image(Shape{in_size});
+    for (std::size_t i = 0; i < in_size; ++i) {
+      image[i] = input.at(sample, i);
+    }
+    RealTensor columns = im2col(image, spec_);
+    // feature_maps: [out_channels, outH*outW]
+    const RealTensor feature_maps = matmul(weights_.value, columns);
+    cached_columns_.push_back(std::move(columns));
+    for (std::size_t channel = 0; channel < spec_.out_channels; ++channel) {
+      for (std::size_t pixel = 0; pixel < out_pixels; ++pixel) {
+        output.at(sample, channel * out_pixels + pixel) =
+            feature_maps.at(channel, pixel) + bias_.value[channel];
+      }
+    }
+  }
+  return output;
+}
+
+RealTensor ConvLayer::backward(const RealTensor& grad_output) {
+  const std::size_t batch = grad_output.rows();
+  TRUSTDDL_REQUIRE(batch == cached_columns_.size(),
+                   "conv: backward before forward");
+  const std::size_t out_pixels = spec_.out_height() * spec_.out_width();
+  const std::size_t in_size =
+      spec_.in_channels * spec_.in_height * spec_.in_width;
+  RealTensor grad_input(Shape{batch, in_size});
+  for (std::size_t sample = 0; sample < batch; ++sample) {
+    RealTensor grad_maps(Shape{spec_.out_channels, out_pixels});
+    for (std::size_t channel = 0; channel < spec_.out_channels; ++channel) {
+      for (std::size_t pixel = 0; pixel < out_pixels; ++pixel) {
+        const double g =
+            grad_output.at(sample, channel * out_pixels + pixel);
+        grad_maps.at(channel, pixel) = g;
+        bias_.grad[channel] += g;
+      }
+    }
+    weights_.grad += matmul(
+        grad_maps, transpose(cached_columns_[sample]));
+    const RealTensor grad_columns =
+        matmul(transpose(weights_.value), grad_maps);
+    const RealTensor grad_image = col2im(grad_columns, spec_);
+    for (std::size_t i = 0; i < in_size; ++i) {
+      grad_input.at(sample, i) = grad_image[i];
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> ConvLayer::parameters() {
+  return {&weights_, &bias_};
+}
+
+RealTensor ReluLayer::forward(const RealTensor& input) {
+  cached_mask_ = RealTensor(input.shape());
+  RealTensor output(input.shape());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const bool positive = input[i] > 0.0;
+    cached_mask_[i] = positive ? 1.0 : 0.0;
+    output[i] = positive ? input[i] : 0.0;
+  }
+  return output;
+}
+
+RealTensor ReluLayer::backward(const RealTensor& grad_output) {
+  TRUSTDDL_REQUIRE(grad_output.same_shape(cached_mask_),
+                   "relu: backward before forward");
+  return hadamard(grad_output, cached_mask_);
+}
+
+RealTensor MaxPoolLayer::forward(const RealTensor& input) {
+  TRUSTDDL_REQUIRE(input.rank() == 2 && input.cols() == spec_.in_features(),
+                   "maxpool: input shape mismatch");
+  TRUSTDDL_REQUIRE(spec_.in_height % spec_.window == 0 &&
+                       spec_.in_width % spec_.window == 0,
+                   "maxpool: window must tile the input");
+  const std::size_t batch = input.rows();
+  cached_batch_ = batch;
+  cached_argmax_.assign(batch,
+                        std::vector<std::size_t>(spec_.out_features()));
+  RealTensor output(Shape{batch, spec_.out_features()});
+  const std::size_t out_h = spec_.out_height();
+  const std::size_t out_w = spec_.out_width();
+  for (std::size_t sample = 0; sample < batch; ++sample) {
+    std::size_t out_index = 0;
+    for (std::size_t channel = 0; channel < spec_.channels; ++channel) {
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+          std::size_t best =
+              spec_.input_index(channel, oy, ox, 0, 0);
+          double best_value = input.at(sample, best);
+          for (std::size_t wy = 0; wy < spec_.window; ++wy) {
+            for (std::size_t wx = 0; wx < spec_.window; ++wx) {
+              const std::size_t index =
+                  spec_.input_index(channel, oy, ox, wy, wx);
+              if (input.at(sample, index) > best_value) {
+                best_value = input.at(sample, index);
+                best = index;
+              }
+            }
+          }
+          output.at(sample, out_index) = best_value;
+          cached_argmax_[sample][out_index] = best;
+          ++out_index;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+RealTensor MaxPoolLayer::backward(const RealTensor& grad_output) {
+  TRUSTDDL_REQUIRE(grad_output.rank() == 2 &&
+                       grad_output.rows() == cached_batch_ &&
+                       grad_output.cols() == spec_.out_features(),
+                   "maxpool: backward before forward");
+  RealTensor grad_input(Shape{cached_batch_, spec_.in_features()});
+  for (std::size_t sample = 0; sample < cached_batch_; ++sample) {
+    for (std::size_t out = 0; out < spec_.out_features(); ++out) {
+      grad_input.at(sample, cached_argmax_[sample][out]) +=
+          grad_output.at(sample, out);
+    }
+  }
+  return grad_input;
+}
+
+RealTensor softmax_rows(const RealTensor& logits) {
+  TRUSTDDL_REQUIRE(logits.rank() == 2, "softmax expects [batch, classes]");
+  RealTensor output(logits.shape());
+  for (std::size_t row = 0; row < logits.rows(); ++row) {
+    double max_logit = logits.at(row, 0);
+    for (std::size_t col = 1; col < logits.cols(); ++col) {
+      max_logit = std::max(max_logit, logits.at(row, col));
+    }
+    double total = 0.0;
+    for (std::size_t col = 0; col < logits.cols(); ++col) {
+      const double value = std::exp(logits.at(row, col) - max_logit);
+      output.at(row, col) = value;
+      total += value;
+    }
+    for (std::size_t col = 0; col < logits.cols(); ++col) {
+      output.at(row, col) /= total;
+    }
+  }
+  return output;
+}
+
+RealTensor softmax_backward_rows(const RealTensor& probabilities,
+                                 const RealTensor& grad_output) {
+  TRUSTDDL_REQUIRE(probabilities.same_shape(grad_output),
+                   "softmax backward: shape mismatch");
+  RealTensor grad_input(probabilities.shape());
+  for (std::size_t row = 0; row < probabilities.rows(); ++row) {
+    double dot = 0.0;
+    for (std::size_t col = 0; col < probabilities.cols(); ++col) {
+      dot += grad_output.at(row, col) * probabilities.at(row, col);
+    }
+    for (std::size_t col = 0; col < probabilities.cols(); ++col) {
+      grad_input.at(row, col) =
+          probabilities.at(row, col) * (grad_output.at(row, col) - dot);
+    }
+  }
+  return grad_input;
+}
+
+RealTensor SoftmaxLayer::forward(const RealTensor& input) {
+  cached_output_ = softmax_rows(input);
+  return cached_output_;
+}
+
+RealTensor SoftmaxLayer::backward(const RealTensor& grad_output) {
+  return softmax_backward_rows(cached_output_, grad_output);
+}
+
+}  // namespace trustddl::nn

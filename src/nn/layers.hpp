@@ -1,0 +1,149 @@
+// Concrete plaintext layers: fully connected, 2-D convolution (via
+// im2col), ReLU and Softmax — the four layer types of the paper's
+// Table I network.
+#pragma once
+
+#include "numeric/conv.hpp"
+#include "nn/layer.hpp"
+
+namespace trustddl::nn {
+
+/// Fully connected layer: y = xW + b with x [batch, in], W [in, out].
+/// Weights are initialized N(0, 1/in) as in the paper (§IV-A).
+class DenseLayer final : public Layer {
+ public:
+  DenseLayer(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  RealTensor forward(const RealTensor& input) override;
+  RealTensor backward(const RealTensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "dense"; }
+  std::size_t output_features(std::size_t) const override {
+    return out_features_;
+  }
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+  Parameter& weights() { return weights_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  Parameter weights_;
+  Parameter bias_;
+  RealTensor cached_input_;
+};
+
+/// 2-D convolution via im2col + matmul.  Input rows are flattened
+/// [in_channels * H * W] images; output rows are flattened
+/// [out_channels * outH * outW] feature maps.  Weights are initialized
+/// N(0, 1/(kh*kw)) as in the paper (§IV-A).
+class ConvLayer final : public Layer {
+ public:
+  ConvLayer(const ConvSpec& spec, Rng& rng);
+
+  RealTensor forward(const RealTensor& input) override;
+  RealTensor backward(const RealTensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "conv"; }
+  std::size_t output_features(std::size_t) const override {
+    return spec_.out_channels * spec_.out_height() * spec_.out_width();
+  }
+
+  const ConvSpec& spec() const { return spec_; }
+  Parameter& weights() { return weights_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  ConvSpec spec_;
+  Parameter weights_;  ///< [out_channels, in_channels*kh*kw]
+  Parameter bias_;     ///< [out_channels]
+  std::vector<RealTensor> cached_columns_;  ///< per-sample im2col
+};
+
+/// ReLU activation; caches the positive mask for backward.
+class ReluLayer final : public Layer {
+ public:
+  RealTensor forward(const RealTensor& input) override;
+  RealTensor backward(const RealTensor& grad_output) override;
+  std::string name() const override { return "relu"; }
+  std::size_t output_features(std::size_t input_features) const override {
+    return input_features;
+  }
+
+ private:
+  RealTensor cached_mask_;
+};
+
+/// Row-wise Softmax.  backward() applies the full Jacobian
+/// (diag(p) - p pᵀ) so the layer composes with any loss; the fused
+/// softmax+cross-entropy path in loss.hpp bypasses it.
+class SoftmaxLayer final : public Layer {
+ public:
+  RealTensor forward(const RealTensor& input) override;
+  RealTensor backward(const RealTensor& grad_output) override;
+  std::string name() const override { return "softmax"; }
+  std::size_t output_features(std::size_t input_features) const override {
+    return input_features;
+  }
+
+ private:
+  RealTensor cached_output_;
+};
+
+/// 2-D max pooling over [channels, H, W] feature maps flattened into
+/// batch rows (an extension beyond the paper's Table I network; the
+/// secure engine implements it with SecComp-BT comparisons).
+struct PoolSpec {
+  std::size_t channels = 1;
+  std::size_t in_height = 0;
+  std::size_t in_width = 0;
+  std::size_t window = 2;  ///< window edge and stride (non-overlapping)
+
+  std::size_t out_height() const { return in_height / window; }
+  std::size_t out_width() const { return in_width / window; }
+  std::size_t in_features() const { return channels * in_height * in_width; }
+  std::size_t out_features() const {
+    return channels * out_height() * out_width();
+  }
+  /// Flat input index of window element (wy, wx) of output pixel
+  /// (channel, oy, ox).
+  std::size_t input_index(std::size_t channel, std::size_t oy,
+                          std::size_t ox, std::size_t wy,
+                          std::size_t wx) const {
+    return (channel * in_height + oy * window + wy) * in_width +
+           ox * window + wx;
+  }
+};
+
+class MaxPoolLayer final : public Layer {
+ public:
+  explicit MaxPoolLayer(const PoolSpec& spec) : spec_(spec) {}
+
+  RealTensor forward(const RealTensor& input) override;
+  RealTensor backward(const RealTensor& grad_output) override;
+  std::string name() const override { return "maxpool"; }
+  std::size_t output_features(std::size_t) const override {
+    return spec_.out_features();
+  }
+
+  const PoolSpec& spec() const { return spec_; }
+
+ private:
+  PoolSpec spec_;
+  /// Flat input index of each output's argmax, per sample.
+  std::vector<std::vector<std::size_t>> cached_argmax_;
+  std::size_t cached_batch_ = 0;
+};
+
+/// Numerically stable row-wise softmax (shared with the model owner's
+/// outsourced computation in the secure engine).
+RealTensor softmax_rows(const RealTensor& logits);
+
+/// Jacobian-vector product of row-wise softmax: given the softmax
+/// output p and upstream gradient g, returns p ⊙ (g - <g,p>) per row.
+RealTensor softmax_backward_rows(const RealTensor& probabilities,
+                                 const RealTensor& grad_output);
+
+}  // namespace trustddl::nn

@@ -1,0 +1,61 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trustddl::nn {
+
+double cross_entropy(const RealTensor& probabilities,
+                     const RealTensor& targets) {
+  TRUSTDDL_REQUIRE(probabilities.same_shape(targets),
+                   "cross_entropy: shape mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < probabilities.size(); ++i) {
+    if (targets[i] > 0.0) {
+      total -= targets[i] * std::log(std::max(probabilities[i], 1e-12));
+    }
+  }
+  return total / static_cast<double>(probabilities.rows());
+}
+
+RealTensor cross_entropy_softmax_grad(const RealTensor& probabilities,
+                                      const RealTensor& targets) {
+  TRUSTDDL_REQUIRE(probabilities.same_shape(targets),
+                   "cross_entropy grad: shape mismatch");
+  RealTensor grad = probabilities - targets;
+  grad.scale_inplace(1.0 / static_cast<double>(probabilities.rows()));
+  return grad;
+}
+
+double mean_squared_error(const RealTensor& predictions,
+                          const RealTensor& targets) {
+  TRUSTDDL_REQUIRE(predictions.same_shape(targets), "mse: shape mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const double diff = predictions[i] - targets[i];
+    total += diff * diff;
+  }
+  return total / static_cast<double>(predictions.size());
+}
+
+RealTensor mean_squared_error_grad(const RealTensor& predictions,
+                                   const RealTensor& targets) {
+  TRUSTDDL_REQUIRE(predictions.same_shape(targets),
+                   "mse grad: shape mismatch");
+  RealTensor grad = predictions - targets;
+  grad.scale_inplace(2.0 / static_cast<double>(predictions.size()));
+  return grad;
+}
+
+RealTensor one_hot(const std::vector<std::size_t>& labels,
+                   std::size_t classes) {
+  RealTensor out(Shape{labels.size(), classes});
+  for (std::size_t row = 0; row < labels.size(); ++row) {
+    TRUSTDDL_REQUIRE(labels[row] < classes, "one_hot: label out of range");
+    out.at(row, labels[row]) = 1.0;
+  }
+  return out;
+}
+
+}  // namespace trustddl::nn

@@ -1,0 +1,32 @@
+// Loss functions.  Training uses the fused softmax + cross-entropy
+// gradient p - y, which is also the form TrustDDL computes securely:
+// the model owner returns softmax probabilities as shares, and the
+// shared label is subtracted locally (paper §III-C).
+#pragma once
+
+#include "numeric/tensor.hpp"
+
+namespace trustddl::nn {
+
+/// Mean cross-entropy over the batch.  `probabilities` are softmax
+/// outputs, `targets` are one-hot rows.
+double cross_entropy(const RealTensor& probabilities,
+                     const RealTensor& targets);
+
+/// Gradient of mean cross-entropy w.r.t. the LOGITS when the final
+/// layer is softmax: (p - y) / batch.
+RealTensor cross_entropy_softmax_grad(const RealTensor& probabilities,
+                                      const RealTensor& targets);
+
+/// Mean squared error and its gradient (used by property tests and
+/// one example, not by the paper's training loop).
+double mean_squared_error(const RealTensor& predictions,
+                          const RealTensor& targets);
+RealTensor mean_squared_error_grad(const RealTensor& predictions,
+                                   const RealTensor& targets);
+
+/// One-hot encode labels into [batch, classes] rows.
+RealTensor one_hot(const std::vector<std::size_t>& labels,
+                   std::size_t classes);
+
+}  // namespace trustddl::nn

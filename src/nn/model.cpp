@@ -1,0 +1,98 @@
+#include "nn/model.hpp"
+
+#include "nn/layers.hpp"
+
+namespace trustddl::nn {
+
+void SgdOptimizer::step(const std::vector<Parameter*>& parameters) const {
+  for (Parameter* parameter : parameters) {
+    for (std::size_t i = 0; i < parameter->value.size(); ++i) {
+      parameter->value[i] -= learning_rate_ * parameter->grad[i];
+    }
+    parameter->zero_grad();
+  }
+}
+
+RealTensor Sequential::forward(const RealTensor& input) {
+  RealTensor activation = input;
+  for (auto& layer : layers_) {
+    activation = layer->forward(activation);
+  }
+  return activation;
+}
+
+RealTensor Sequential::backward(const RealTensor& grad_output) {
+  RealTensor grad = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->backward(grad);
+  }
+  return grad;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> all;
+  for (auto& layer : layers_) {
+    for (Parameter* parameter : layer->parameters()) {
+      all.push_back(parameter);
+    }
+  }
+  return all;
+}
+
+void Sequential::zero_grads() {
+  for (Parameter* parameter : parameters()) {
+    parameter->zero_grad();
+  }
+}
+
+double Sequential::train_step(const RealTensor& inputs,
+                              const RealTensor& targets,
+                              const SgdOptimizer& optimizer) {
+  TRUSTDDL_REQUIRE(!layers_.empty(), "train_step on empty model");
+  TRUSTDDL_REQUIRE(dynamic_cast<SoftmaxLayer*>(layers_.back().get()) !=
+                       nullptr,
+                   "train_step expects a Softmax output layer");
+  const RealTensor probabilities = forward(inputs);
+  const double loss = cross_entropy(probabilities, targets);
+  const RealTensor grad_logits =
+      cross_entropy_softmax_grad(probabilities, targets);
+  // The fused gradient is w.r.t. the logits, so skip the softmax
+  // layer's backward and propagate from the layer below it.
+  RealTensor grad = grad_logits;
+  for (std::size_t i = layers_.size() - 1; i-- > 0;) {
+    grad = layers_[i]->backward(grad);
+  }
+  optimizer.step(parameters());
+  return loss;
+}
+
+std::vector<std::size_t> Sequential::predict(const RealTensor& inputs) {
+  const RealTensor outputs = forward(inputs);
+  std::vector<std::size_t> labels(outputs.rows());
+  for (std::size_t row = 0; row < outputs.rows(); ++row) {
+    std::size_t best = 0;
+    for (std::size_t col = 1; col < outputs.cols(); ++col) {
+      if (outputs.at(row, col) > outputs.at(row, best)) {
+        best = col;
+      }
+    }
+    labels[row] = best;
+  }
+  return labels;
+}
+
+double Sequential::accuracy(const RealTensor& inputs,
+                            const std::vector<std::size_t>& labels) {
+  TRUSTDDL_REQUIRE(inputs.rows() == labels.size(),
+                   "accuracy: label count mismatch");
+  const auto predictions = predict(inputs);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace trustddl::nn

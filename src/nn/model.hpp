@@ -1,0 +1,70 @@
+// Sequential model container, SGD optimizer and the training loop of
+// the centralized plaintext baseline (CML in Fig. 2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+
+namespace trustddl::nn {
+
+/// Plain stochastic gradient descent.
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(double learning_rate)
+      : learning_rate_(learning_rate) {}
+
+  void step(const std::vector<Parameter*>& parameters) const;
+  double learning_rate() const { return learning_rate_; }
+
+ private:
+  double learning_rate_;
+};
+
+/// A stack of layers ending (for classification) in Softmax.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  Sequential(const Sequential&) = delete;
+  Sequential& operator=(const Sequential&) = delete;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  void add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  /// Forward pass through every layer.
+  RealTensor forward(const RealTensor& input);
+
+  /// Backward pass; returns gradient w.r.t. the model input.
+  RealTensor backward(const RealTensor& grad_output);
+
+  std::vector<Parameter*> parameters();
+  void zero_grads();
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t index) { return *layers_[index]; }
+  const Layer& layer(std::size_t index) const { return *layers_[index]; }
+
+  /// One SGD step on (inputs, one-hot targets); the model must end in
+  /// Softmax (the fused cross-entropy gradient bypasses its backward).
+  /// Returns the batch cross-entropy.
+  double train_step(const RealTensor& inputs, const RealTensor& targets,
+                    const SgdOptimizer& optimizer);
+
+  /// Predicted class per row.
+  std::vector<std::size_t> predict(const RealTensor& inputs);
+
+  /// Fraction of rows whose argmax matches the label.
+  double accuracy(const RealTensor& inputs,
+                  const std::vector<std::size_t>& labels);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace trustddl::nn

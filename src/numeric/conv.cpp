@@ -1,0 +1,199 @@
+#include "numeric/conv.hpp"
+
+namespace trustddl {
+
+template <typename T>
+Tensor<T> im2col(const Tensor<T>& image, const ConvSpec& spec) {
+  TRUSTDDL_REQUIRE(
+      image.size() == spec.in_channels * spec.in_height * spec.in_width,
+      "im2col: image size does not match ConvSpec");
+  const std::size_t out_h = spec.out_height();
+  const std::size_t out_w = spec.out_width();
+  Tensor<T> columns(Shape{spec.col_rows(), spec.col_cols()});
+
+  const T* src = image.data();
+  for (std::size_t channel = 0; channel < spec.in_channels; ++channel) {
+    for (std::size_t ky = 0; ky < spec.kernel_h; ++ky) {
+      for (std::size_t kx = 0; kx < spec.kernel_w; ++kx) {
+        const std::size_t row =
+            (channel * spec.kernel_h + ky) * spec.kernel_w + kx;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const std::ptrdiff_t in_y =
+              static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+              static_cast<std::ptrdiff_t>(spec.pad);
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::ptrdiff_t in_x =
+                static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                static_cast<std::ptrdiff_t>(spec.pad);
+            T value = T{};
+            if (in_y >= 0 && in_y < static_cast<std::ptrdiff_t>(spec.in_height) &&
+                in_x >= 0 && in_x < static_cast<std::ptrdiff_t>(spec.in_width)) {
+              value = src[(channel * spec.in_height +
+                           static_cast<std::size_t>(in_y)) *
+                              spec.in_width +
+                          static_cast<std::size_t>(in_x)];
+            }
+            columns.at(row, oy * out_w + ox) = value;
+          }
+        }
+      }
+    }
+  }
+  return columns;
+}
+
+template <typename T>
+Tensor<T> col2im(const Tensor<T>& columns, const ConvSpec& spec) {
+  TRUSTDDL_REQUIRE(columns.rank() == 2 && columns.rows() == spec.col_rows() &&
+                       columns.cols() == spec.col_cols(),
+                   "col2im: column shape does not match ConvSpec");
+  const std::size_t out_h = spec.out_height();
+  const std::size_t out_w = spec.out_width();
+  Tensor<T> image(Shape{spec.in_channels, spec.in_height, spec.in_width});
+
+  T* dst = image.data();
+  for (std::size_t channel = 0; channel < spec.in_channels; ++channel) {
+    for (std::size_t ky = 0; ky < spec.kernel_h; ++ky) {
+      for (std::size_t kx = 0; kx < spec.kernel_w; ++kx) {
+        const std::size_t row =
+            (channel * spec.kernel_h + ky) * spec.kernel_w + kx;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const std::ptrdiff_t in_y =
+              static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+              static_cast<std::ptrdiff_t>(spec.pad);
+          if (in_y < 0 || in_y >= static_cast<std::ptrdiff_t>(spec.in_height)) {
+            continue;
+          }
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::ptrdiff_t in_x =
+                static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                static_cast<std::ptrdiff_t>(spec.pad);
+            if (in_x < 0 ||
+                in_x >= static_cast<std::ptrdiff_t>(spec.in_width)) {
+              continue;
+            }
+            dst[(channel * spec.in_height + static_cast<std::size_t>(in_y)) *
+                    spec.in_width +
+                static_cast<std::size_t>(in_x)] +=
+                columns.at(row, oy * out_w + ox);
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+template <typename T>
+Tensor<T> batch_im2col(const Tensor<T>& input, const ConvSpec& spec) {
+  const std::size_t batch = input.rows();
+  const std::size_t pixels = spec.col_cols();
+  const std::size_t k = spec.col_rows();
+  Tensor<T> columns(Shape{k, batch * pixels});
+  for (std::size_t sample = 0; sample < batch; ++sample) {
+    Tensor<T> image(Shape{input.cols()});
+    for (std::size_t i = 0; i < input.cols(); ++i) {
+      image[i] = input.at(sample, i);
+    }
+    const Tensor<T> sample_cols = im2col(image, spec);
+    for (std::size_t row = 0; row < k; ++row) {
+      for (std::size_t pixel = 0; pixel < pixels; ++pixel) {
+        columns.at(row, sample * pixels + pixel) = sample_cols.at(row, pixel);
+      }
+    }
+  }
+  return columns;
+}
+
+template <typename T>
+Tensor<T> batch_col2im(const Tensor<T>& columns, const ConvSpec& spec,
+                       std::size_t batch) {
+  const std::size_t pixels = spec.col_cols();
+  const std::size_t in_size =
+      spec.in_channels * spec.in_height * spec.in_width;
+  Tensor<T> input(Shape{batch, in_size});
+  for (std::size_t sample = 0; sample < batch; ++sample) {
+    Tensor<T> sample_cols(Shape{spec.col_rows(), pixels});
+    for (std::size_t row = 0; row < spec.col_rows(); ++row) {
+      for (std::size_t pixel = 0; pixel < pixels; ++pixel) {
+        sample_cols.at(row, pixel) = columns.at(row, sample * pixels + pixel);
+      }
+    }
+    const Tensor<T> image = col2im(sample_cols, spec);
+    for (std::size_t i = 0; i < in_size; ++i) {
+      input.at(sample, i) = image[i];
+    }
+  }
+  return input;
+}
+
+template <typename T>
+Tensor<T> maps_to_rows(const Tensor<T>& maps, std::size_t batch,
+                       std::size_t pixels) {
+  const std::size_t channels = maps.rows();
+  Tensor<T> rows(Shape{batch, channels * pixels});
+  for (std::size_t channel = 0; channel < channels; ++channel) {
+    for (std::size_t sample = 0; sample < batch; ++sample) {
+      for (std::size_t pixel = 0; pixel < pixels; ++pixel) {
+        rows.at(sample, channel * pixels + pixel) =
+            maps.at(channel, sample * pixels + pixel);
+      }
+    }
+  }
+  return rows;
+}
+
+template <typename T>
+Tensor<T> rows_to_maps(const Tensor<T>& rows, std::size_t channels,
+                       std::size_t pixels) {
+  const std::size_t batch = rows.rows();
+  Tensor<T> maps(Shape{channels, batch * pixels});
+  for (std::size_t channel = 0; channel < channels; ++channel) {
+    for (std::size_t sample = 0; sample < batch; ++sample) {
+      for (std::size_t pixel = 0; pixel < pixels; ++pixel) {
+        maps.at(channel, sample * pixels + pixel) =
+            rows.at(sample, channel * pixels + pixel);
+      }
+    }
+  }
+  return maps;
+}
+
+template <typename T>
+Tensor<T> sum_cols(const Tensor<T>& matrix) {
+  Tensor<T> out(Shape{matrix.rows()});
+  for (std::size_t row = 0; row < matrix.rows(); ++row) {
+    T total{};
+    for (std::size_t col = 0; col < matrix.cols(); ++col) {
+      total += matrix.at(row, col);
+    }
+    out[row] = total;
+  }
+  return out;
+}
+
+template Tensor<double> im2col(const Tensor<double>&, const ConvSpec&);
+template Tensor<std::uint64_t> im2col(const Tensor<std::uint64_t>&,
+                                      const ConvSpec&);
+template Tensor<double> col2im(const Tensor<double>&, const ConvSpec&);
+template Tensor<std::uint64_t> col2im(const Tensor<std::uint64_t>&,
+                                      const ConvSpec&);
+template Tensor<double> batch_im2col(const Tensor<double>&, const ConvSpec&);
+template Tensor<std::uint64_t> batch_im2col(const Tensor<std::uint64_t>&,
+                                            const ConvSpec&);
+template Tensor<double> batch_col2im(const Tensor<double>&, const ConvSpec&,
+                                     std::size_t);
+template Tensor<std::uint64_t> batch_col2im(const Tensor<std::uint64_t>&,
+                                            const ConvSpec&, std::size_t);
+template Tensor<double> maps_to_rows(const Tensor<double>&, std::size_t,
+                                     std::size_t);
+template Tensor<std::uint64_t> maps_to_rows(const Tensor<std::uint64_t>&,
+                                            std::size_t, std::size_t);
+template Tensor<double> rows_to_maps(const Tensor<double>&, std::size_t,
+                                     std::size_t);
+template Tensor<std::uint64_t> rows_to_maps(const Tensor<std::uint64_t>&,
+                                            std::size_t, std::size_t);
+template Tensor<double> sum_cols(const Tensor<double>&);
+template Tensor<std::uint64_t> sum_cols(const Tensor<std::uint64_t>&);
+
+}  // namespace trustddl

@@ -1,0 +1,72 @@
+// im2col / col2im transforms.
+//
+// TrustDDL decomposes convolution into matrix multiplication (a "local
+// transformation" in the paper's taxonomy, §III-C): each party applies
+// im2col to its *shares* locally — the transform is data-independent —
+// and the actual multiply runs through SecMatMul / SecMatMul-BT.
+#pragma once
+
+#include <cstddef>
+
+#include "numeric/tensor.hpp"
+
+namespace trustddl {
+
+/// Static description of a 2-D convolution.
+struct ConvSpec {
+  std::size_t in_channels = 1;
+  std::size_t in_height = 0;
+  std::size_t in_width = 0;
+  std::size_t out_channels = 1;
+  std::size_t kernel_h = 1;
+  std::size_t kernel_w = 1;
+  std::size_t pad = 0;
+  std::size_t stride = 1;
+
+  std::size_t out_height() const {
+    return (in_height + 2 * pad - kernel_h) / stride + 1;
+  }
+  std::size_t out_width() const {
+    return (in_width + 2 * pad - kernel_w) / stride + 1;
+  }
+  /// Rows of the im2col matrix: one per kernel position per channel.
+  std::size_t col_rows() const { return in_channels * kernel_h * kernel_w; }
+  /// Cols of the im2col matrix: one per output pixel.
+  std::size_t col_cols() const { return out_height() * out_width(); }
+};
+
+/// Expand an input image of shape [C, H, W] (or flat [C*H*W]) into the
+/// im2col matrix of shape [C*kh*kw, outH*outW]; zero padding.
+template <typename T>
+Tensor<T> im2col(const Tensor<T>& image, const ConvSpec& spec);
+
+/// Fold an im2col-shaped gradient back onto the input image (adds
+/// overlapping contributions); inverse transform for backprop.
+template <typename T>
+Tensor<T> col2im(const Tensor<T>& columns, const ConvSpec& spec);
+
+/// im2col over a batch: input [batch, C*H*W] -> [k, batch*P] with one
+/// block of P output-pixel columns per sample.
+template <typename T>
+Tensor<T> batch_im2col(const Tensor<T>& input, const ConvSpec& spec);
+
+/// Inverse of batch_im2col (for the input gradient).
+template <typename T>
+Tensor<T> batch_col2im(const Tensor<T>& columns, const ConvSpec& spec,
+                       std::size_t batch);
+
+/// [outC, batch*P] feature maps -> [batch, outC*P] activation rows.
+template <typename T>
+Tensor<T> maps_to_rows(const Tensor<T>& maps, std::size_t batch,
+                       std::size_t pixels);
+
+/// Inverse of maps_to_rows.
+template <typename T>
+Tensor<T> rows_to_maps(const Tensor<T>& rows, std::size_t channels,
+                       std::size_t pixels);
+
+/// Row sums: [rows, cols] -> [rows] (conv bias gradients).
+template <typename T>
+Tensor<T> sum_cols(const Tensor<T>& matrix);
+
+}  // namespace trustddl

@@ -1,0 +1,70 @@
+#include "numeric/fixed_point.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trustddl::fx {
+
+std::uint64_t encode(double value, int frac_bits) {
+  TRUSTDDL_ASSERT(frac_bits >= 0 && frac_bits < 63);
+  const double scaled = value * std::ldexp(1.0, frac_bits);
+  // Reduce into [-2^63, 2^63) so the signed cast is well defined;
+  // out-of-range values wrap exactly as ring arithmetic would.
+  const double two63 = std::ldexp(1.0, 63);
+  const double two64 = std::ldexp(1.0, 64);
+  double reduced = std::fmod(scaled, two64);
+  if (reduced >= two63) {
+    reduced -= two64;
+  } else if (reduced < -two63) {
+    reduced += two64;
+  }
+  if (reduced >= two63) {  // guard the exact-boundary rounding case
+    reduced = std::nextafter(two63, 0.0);
+  }
+  return static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(std::llrint(reduced)));
+}
+
+double decode(std::uint64_t encoded, int frac_bits) {
+  TRUSTDDL_ASSERT(frac_bits >= 0 && frac_bits < 63);
+  return static_cast<double>(static_cast<std::int64_t>(encoded)) *
+         std::ldexp(1.0, -frac_bits);
+}
+
+std::uint64_t mul(std::uint64_t a, std::uint64_t b, int frac_bits) {
+  const __int128 product = static_cast<__int128>(static_cast<std::int64_t>(a)) *
+                           static_cast<__int128>(static_cast<std::int64_t>(b));
+  return static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(product >> frac_bits));
+}
+
+std::uint64_t truncate(std::uint64_t value, int frac_bits) {
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(value) >>
+                                    frac_bits);
+}
+
+std::uint64_t ring_distance(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t forward = a - b;
+  const std::uint64_t backward = b - a;
+  return forward < backward ? forward : backward;
+}
+
+int sign(std::uint64_t value) {
+  const auto signed_value = static_cast<std::int64_t>(value);
+  if (signed_value > 0) {
+    return 1;
+  }
+  if (signed_value < 0) {
+    return -1;
+  }
+  return 0;
+}
+
+double max_representable(int frac_bits) {
+  return std::ldexp(1.0, 63 - frac_bits);
+}
+
+double epsilon(int frac_bits) { return std::ldexp(1.0, -frac_bits - 1); }
+
+}  // namespace trustddl::fx

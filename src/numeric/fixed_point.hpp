@@ -1,0 +1,50 @@
+// Fixed-point encoding over the ring Z_{2^64}.
+//
+// The paper (§IV-A) represents all secret values as 64-bit fixed-point
+// integers (20 fractional bits for training, 32 mentioned for the
+// microbenchmarks).  Shares are raw ring elements (`std::uint64_t` with
+// wrap-around arithmetic); this header provides the encoding layer
+// between real values and the ring, plus the signed-product truncation
+// needed after fixed-point multiplication.
+#pragma once
+
+#include <cstdint>
+
+namespace trustddl::fx {
+
+/// Default fractional precision used for model training (paper §IV-B).
+inline constexpr int kDefaultFracBits = 20;
+
+/// Encode a real value into the ring as round(value * 2^frac_bits),
+/// two's-complement.  Values whose magnitude exceeds 2^(63-frac_bits)
+/// wrap, as they would in the paper's implementation.
+std::uint64_t encode(double value, int frac_bits = kDefaultFracBits);
+
+/// Decode a ring element back to a real value (signed interpretation).
+double decode(std::uint64_t encoded, int frac_bits = kDefaultFracBits);
+
+/// Product of two fixed-point values with rescaling: the 128-bit signed
+/// product shifted right (arithmetically) by frac_bits.
+std::uint64_t mul(std::uint64_t a, std::uint64_t b,
+                  int frac_bits = kDefaultFracBits);
+
+/// Arithmetic right shift by frac_bits in the signed interpretation;
+/// rescales a double-precision (2·frac_bits) product back to single.
+std::uint64_t truncate(std::uint64_t value, int frac_bits = kDefaultFracBits);
+
+/// Absolute distance between two ring elements measured around the
+/// ring: min(a-b, b-a) in unsigned wrap-around arithmetic.  This is the
+/// `dist` measure of the Byzantine decision rule (paper §III-B).
+std::uint64_t ring_distance(std::uint64_t a, std::uint64_t b);
+
+/// Sign of a ring element in the signed interpretation:
+/// -1, 0 or +1.  Used by SecComp (`sign(beta)`).
+int sign(std::uint64_t value);
+
+/// Largest representable magnitude for a given precision.
+double max_representable(int frac_bits = kDefaultFracBits);
+
+/// Absolute encoding error bound: one half unit in the last place.
+double epsilon(int frac_bits = kDefaultFracBits);
+
+}  // namespace trustddl::fx

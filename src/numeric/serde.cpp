@@ -1,0 +1,73 @@
+#include "numeric/serde.hpp"
+
+namespace trustddl {
+
+void write_tensor(ByteWriter& writer, const RingTensor& tensor) {
+  writer.write_u64(tensor.rank());
+  for (std::size_t dim : tensor.shape()) {
+    writer.write_u64(dim);
+  }
+  writer.write_u64_span(tensor.data(), tensor.size());
+}
+
+RingTensor read_tensor(ByteReader& reader) {
+  const std::uint64_t rank = reader.read_u64();
+  if (rank > 8) {
+    throw SerializationError("tensor rank too large: " + std::to_string(rank));
+  }
+  Shape shape(rank);
+  for (auto& dim : shape) {
+    dim = reader.read_u64();
+  }
+  const std::size_t count = shape_size(shape);
+  if (count > reader.remaining() / 8) {
+    throw SerializationError("tensor payload exceeds message size");
+  }
+  std::vector<std::uint64_t> data(count);
+  reader.read_u64_span(data.data(), count);
+  return RingTensor(std::move(shape), std::move(data));
+}
+
+Bytes tensor_to_bytes(const RingTensor& tensor) {
+  ByteWriter writer;
+  write_tensor(writer, tensor);
+  return writer.take();
+}
+
+RingTensor tensor_from_bytes(const Bytes& data) {
+  ByteReader reader(data);
+  RingTensor tensor = read_tensor(reader);
+  if (!reader.at_end()) {
+    throw SerializationError("trailing bytes after tensor payload");
+  }
+  return tensor;
+}
+
+void write_real_tensor(ByteWriter& writer, const RealTensor& tensor) {
+  writer.write_u64(tensor.rank());
+  for (std::size_t dim : tensor.shape()) {
+    writer.write_u64(dim);
+  }
+  for (double value : tensor.values()) {
+    writer.write_double(value);
+  }
+}
+
+RealTensor read_real_tensor(ByteReader& reader) {
+  const std::uint64_t rank = reader.read_u64();
+  if (rank > 8) {
+    throw SerializationError("tensor rank too large: " + std::to_string(rank));
+  }
+  Shape shape(rank);
+  for (auto& dim : shape) {
+    dim = reader.read_u64();
+  }
+  const std::size_t count = shape_size(shape);
+  std::vector<double> data(count);
+  for (auto& value : data) {
+    value = reader.read_double();
+  }
+  return RealTensor(std::move(shape), std::move(data));
+}
+
+}  // namespace trustddl

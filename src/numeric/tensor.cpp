@@ -1,0 +1,148 @@
+#include "numeric/tensor.hpp"
+
+#include <cmath>
+
+#include "numeric/fixed_point.hpp"
+
+namespace trustddl {
+
+std::string shape_to_string(const Shape& shape) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += std::to_string(shape[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::size_t shape_size(const Shape& shape) {
+  std::size_t total = 1;
+  for (std::size_t dim : shape) {
+    total *= dim;
+  }
+  return shape.empty() ? 0 : total;
+}
+
+template <typename T>
+Tensor<T> matmul(const Tensor<T>& lhs, const Tensor<T>& rhs) {
+  TRUSTDDL_REQUIRE(lhs.rank() == 2 && rhs.rank() == 2,
+                   "matmul requires rank-2 tensors");
+  TRUSTDDL_REQUIRE(lhs.cols() == rhs.rows(),
+                   "matmul inner dimensions differ: " +
+                       shape_to_string(lhs.shape()) + " x " +
+                       shape_to_string(rhs.shape()));
+  const std::size_t m = lhs.rows();
+  const std::size_t k = lhs.cols();
+  const std::size_t n = rhs.cols();
+  Tensor<T> out(Shape{m, n});
+  const T* a = lhs.data();
+  const T* b = rhs.data();
+  T* c = out.data();
+  // i-k-j loop order for contiguous inner access.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const T a_ip = a[i * k + p];
+      if (a_ip == T{}) {
+        continue;
+      }
+      const T* b_row = b + p * n;
+      T* c_row = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        c_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+template <typename T>
+Tensor<T> transpose(const Tensor<T>& input) {
+  TRUSTDDL_REQUIRE(input.rank() == 2, "transpose requires a rank-2 tensor");
+  const std::size_t rows = input.rows();
+  const std::size_t cols = input.cols();
+  Tensor<T> out(Shape{cols, rows});
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      out.at(j, i) = input.at(i, j);
+    }
+  }
+  return out;
+}
+
+template <typename T>
+Tensor<T> sum_rows(const Tensor<T>& tensor) {
+  TRUSTDDL_REQUIRE(tensor.rank() == 2, "sum_rows requires a rank-2 tensor");
+  Tensor<T> out(Shape{1, tensor.cols()});
+  for (std::size_t i = 0; i < tensor.rows(); ++i) {
+    for (std::size_t j = 0; j < tensor.cols(); ++j) {
+      out.at(0, j) += tensor.at(i, j);
+    }
+  }
+  return out;
+}
+
+template Tensor<double> matmul(const Tensor<double>&, const Tensor<double>&);
+template Tensor<std::uint64_t> matmul(const Tensor<std::uint64_t>&,
+                                      const Tensor<std::uint64_t>&);
+template Tensor<double> transpose(const Tensor<double>&);
+template Tensor<std::uint64_t> transpose(const Tensor<std::uint64_t>&);
+template Tensor<double> sum_rows(const Tensor<double>&);
+template Tensor<std::uint64_t> sum_rows(const Tensor<std::uint64_t>&);
+
+std::size_t argmax(const RealTensor& tensor) {
+  TRUSTDDL_REQUIRE(!tensor.empty(), "argmax of empty tensor");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < tensor.size(); ++i) {
+    if (tensor[i] > tensor[best]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+RingTensor to_ring(const RealTensor& real, int frac_bits) {
+  RingTensor out(real.shape());
+  for (std::size_t i = 0; i < real.size(); ++i) {
+    out[i] = fx::encode(real[i], frac_bits);
+  }
+  return out;
+}
+
+RealTensor to_real(const RingTensor& ring, int frac_bits) {
+  RealTensor out(ring.shape());
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    out[i] = fx::decode(ring[i], frac_bits);
+  }
+  return out;
+}
+
+RingTensor truncate(const RingTensor& ring, int frac_bits) {
+  RingTensor out(ring.shape());
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    out[i] = fx::truncate(ring[i], frac_bits);
+  }
+  return out;
+}
+
+std::uint64_t ring_distance(const RingTensor& lhs, const RingTensor& rhs) {
+  TRUSTDDL_REQUIRE(lhs.same_shape(rhs), "ring_distance shape mismatch");
+  std::uint64_t worst = 0;
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    worst = std::max(worst, fx::ring_distance(lhs[i], rhs[i]));
+  }
+  return worst;
+}
+
+double max_abs_diff(const RealTensor& lhs, const RealTensor& rhs) {
+  TRUSTDDL_REQUIRE(lhs.same_shape(rhs), "max_abs_diff shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    worst = std::max(worst, std::fabs(lhs[i] - rhs[i]));
+  }
+  return worst;
+}
+
+}  // namespace trustddl

@@ -1,0 +1,237 @@
+// Dense row-major tensor used across the plaintext DL engine
+// (Tensor<double>) and the MPC share layer (Tensor<std::uint64_t>,
+// whose unsigned arithmetic wraps and therefore implements the ring
+// Z_{2^64} directly).
+//
+// The class is a value type (copyable, movable); all arithmetic is
+// elementwise with exact shape matching — there is no implicit
+// broadcasting, matching the explicit style of the paper's protocols.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace trustddl {
+
+using Shape = std::vector<std::size_t>;
+
+/// Human-readable "[a, b, c]" form of a shape, for error messages.
+std::string shape_to_string(const Shape& shape);
+
+/// Number of elements a shape describes.
+std::size_t shape_size(const Shape& shape);
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)), data_(shape_size(shape_), T{}) {}
+
+  Tensor(Shape shape, std::vector<T> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    TRUSTDDL_REQUIRE(data_.size() == shape_size(shape_),
+                     "tensor data size does not match shape " +
+                         shape_to_string(shape_));
+  }
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+  static Tensor full(Shape shape, T value) {
+    Tensor out(std::move(shape));
+    for (auto& element : out.data_) {
+      element = value;
+    }
+    return out;
+  }
+
+  /// 2-D convenience constructor.
+  static Tensor matrix(std::size_t rows, std::size_t cols) {
+    return Tensor(Shape{rows, cols});
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  std::size_t dim(std::size_t axis) const {
+    TRUSTDDL_ASSERT(axis < shape_.size());
+    return shape_[axis];
+  }
+
+  /// Rows/cols accessors valid for rank-2 tensors.
+  std::size_t rows() const {
+    TRUSTDDL_ASSERT(rank() == 2);
+    return shape_[0];
+  }
+  std::size_t cols() const {
+    TRUSTDDL_ASSERT(rank() == 2);
+    return shape_[1];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::vector<T>& values() { return data_; }
+  const std::vector<T>& values() const { return data_; }
+
+  T& operator[](std::size_t index) {
+    TRUSTDDL_ASSERT(index < data_.size());
+    return data_[index];
+  }
+  const T& operator[](std::size_t index) const {
+    TRUSTDDL_ASSERT(index < data_.size());
+    return data_[index];
+  }
+
+  /// 2-D element access.
+  T& at(std::size_t row, std::size_t col) {
+    TRUSTDDL_ASSERT(rank() == 2 && row < shape_[0] && col < shape_[1]);
+    return data_[row * shape_[1] + col];
+  }
+  const T& at(std::size_t row, std::size_t col) const {
+    TRUSTDDL_ASSERT(rank() == 2 && row < shape_[0] && col < shape_[1]);
+    return data_[row * shape_[1] + col];
+  }
+
+  /// Same data, new shape (sizes must agree).
+  Tensor reshape(Shape new_shape) const {
+    TRUSTDDL_REQUIRE(shape_size(new_shape) == data_.size(),
+                     "reshape from " + shape_to_string(shape_) + " to " +
+                         shape_to_string(new_shape) + " changes size");
+    return Tensor(std::move(new_shape), data_);
+  }
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  Tensor& operator+=(const Tensor& other) {
+    check_same_shape(other, "+=");
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      data_[i] += other.data_[i];
+    }
+    return *this;
+  }
+
+  Tensor& operator-=(const Tensor& other) {
+    check_same_shape(other, "-=");
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      data_[i] -= other.data_[i];
+    }
+    return *this;
+  }
+
+  friend Tensor operator+(Tensor lhs, const Tensor& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend Tensor operator-(Tensor lhs, const Tensor& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+
+  Tensor operator-() const {
+    Tensor out(*this);
+    for (auto& element : out.data_) {
+      element = static_cast<T>(T{} - element);
+    }
+    return out;
+  }
+
+  /// Elementwise product with another tensor.
+  Tensor& hadamard_inplace(const Tensor& other) {
+    check_same_shape(other, "hadamard");
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      data_[i] *= other.data_[i];
+    }
+    return *this;
+  }
+
+  /// Multiply every element by a scalar.
+  Tensor& scale_inplace(T factor) {
+    for (auto& element : data_) {
+      element *= factor;
+    }
+    return *this;
+  }
+
+  bool operator==(const Tensor& other) const {
+    return shape_ == other.shape_ && data_ == other.data_;
+  }
+  bool operator!=(const Tensor& other) const { return !(*this == other); }
+
+ private:
+  void check_same_shape(const Tensor& other, const char* op) const {
+    TRUSTDDL_REQUIRE(shape_ == other.shape_,
+                     std::string("shape mismatch in ") + op + ": " +
+                         shape_to_string(shape_) + " vs " +
+                         shape_to_string(other.shape_));
+  }
+
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+using RealTensor = Tensor<double>;
+using RingTensor = Tensor<std::uint64_t>;
+
+/// Elementwise product (out-of-place).
+template <typename T>
+Tensor<T> hadamard(Tensor<T> lhs, const Tensor<T>& rhs) {
+  lhs.hadamard_inplace(rhs);
+  return lhs;
+}
+
+/// Scalar product (out-of-place).
+template <typename T>
+Tensor<T> scale(Tensor<T> tensor, T factor) {
+  tensor.scale_inplace(factor);
+  return tensor;
+}
+
+/// Rank-2 matrix product.  For RingTensor the wrap-around arithmetic
+/// of unsigned integers gives the Z_{2^64} semantics required by the
+/// secret-sharing protocols.
+template <typename T>
+Tensor<T> matmul(const Tensor<T>& lhs, const Tensor<T>& rhs);
+
+/// Rank-2 transpose.
+template <typename T>
+Tensor<T> transpose(const Tensor<T>& input);
+
+/// Sum of all elements.
+template <typename T>
+T sum(const Tensor<T>& tensor) {
+  return std::accumulate(tensor.values().begin(), tensor.values().end(), T{});
+}
+
+/// Column sums of a rank-2 tensor (result shape [1, cols]); used for
+/// bias gradients.
+template <typename T>
+Tensor<T> sum_rows(const Tensor<T>& tensor);
+
+/// Index of the maximum element of a rank-1 or flattened tensor.
+std::size_t argmax(const RealTensor& tensor);
+
+/// Conversions between real tensors and fixed-point ring tensors.
+RingTensor to_ring(const RealTensor& real, int frac_bits);
+RealTensor to_real(const RingTensor& ring, int frac_bits);
+
+/// Arithmetic right shift of every element in the signed
+/// interpretation; rescales after fixed-point multiplication.
+RingTensor truncate(const RingTensor& ring, int frac_bits);
+
+/// Elementwise maximum absolute ring distance between two tensors —
+/// the `dist` measure of the Byzantine decision rule.
+std::uint64_t ring_distance(const RingTensor& lhs, const RingTensor& rhs);
+
+/// Maximum elementwise |lhs - rhs| for real tensors (test helper).
+double max_abs_diff(const RealTensor& lhs, const RealTensor& rhs);
+
+}  // namespace trustddl

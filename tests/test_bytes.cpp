@@ -1,0 +1,89 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace trustddl {
+namespace {
+
+TEST(BytesTest, RoundTripPrimitives) {
+  ByteWriter writer;
+  writer.write_u8(0xab);
+  writer.write_u32(0xdeadbeef);
+  writer.write_u64(0x0123456789abcdefULL);
+  writer.write_i64(-42);
+  writer.write_double(3.5);
+  const Bytes data = writer.take();
+
+  ByteReader reader(data);
+  EXPECT_EQ(reader.read_u8(), 0xab);
+  EXPECT_EQ(reader.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.read_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(reader.read_i64(), -42);
+  EXPECT_EQ(reader.read_double(), 3.5);
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(BytesTest, RoundTripContainers) {
+  ByteWriter writer;
+  writer.write_string("hello trustddl");
+  writer.write_bytes(Bytes{1, 2, 3});
+  writer.write_u64_vector({10, 20, 30});
+  const Bytes data = writer.take();
+
+  ByteReader reader(data);
+  EXPECT_EQ(reader.read_string(), "hello trustddl");
+  EXPECT_EQ(reader.read_bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(reader.read_u64_vector(), (std::vector<std::uint64_t>{10, 20, 30}));
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(BytesTest, EmptyContainers) {
+  ByteWriter writer;
+  writer.write_string("");
+  writer.write_bytes(Bytes{});
+  writer.write_u64_vector({});
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.read_string(), "");
+  EXPECT_TRUE(reader.read_bytes().empty());
+  EXPECT_TRUE(reader.read_u64_vector().empty());
+}
+
+TEST(BytesTest, TruncatedInputThrows) {
+  ByteWriter writer;
+  writer.write_u64(7);
+  Bytes data = writer.take();
+  data.pop_back();
+  ByteReader reader(data);
+  EXPECT_THROW(reader.read_u64(), SerializationError);
+}
+
+TEST(BytesTest, TruncatedStringThrows) {
+  ByteWriter writer;
+  writer.write_string("abcdef");
+  Bytes data = writer.take();
+  data.resize(data.size() - 3);
+  ByteReader reader(data);
+  EXPECT_THROW(reader.read_string(), SerializationError);
+}
+
+TEST(BytesTest, LyingLengthPrefixThrows) {
+  ByteWriter writer;
+  writer.write_u64(~std::uint64_t{0});  // claims a huge vector
+  ByteReader reader(writer.bytes());
+  EXPECT_THROW(reader.read_u64_vector(), SerializationError);
+}
+
+TEST(BytesTest, RemainingTracksPosition) {
+  ByteWriter writer;
+  writer.write_u64(1);
+  writer.write_u64(2);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.remaining(), 16u);
+  reader.read_u64();
+  EXPECT_EQ(reader.remaining(), 8u);
+}
+
+}  // namespace
+}  // namespace trustddl

@@ -1,0 +1,176 @@
+#include "numeric/conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace trustddl {
+namespace {
+
+/// Naive direct convolution used as the reference implementation.
+RealTensor direct_conv(const RealTensor& image, const RealTensor& weights,
+                       const ConvSpec& spec) {
+  const std::size_t out_h = spec.out_height();
+  const std::size_t out_w = spec.out_width();
+  RealTensor out(Shape{spec.out_channels, out_h, out_w});
+  for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        double acc = 0.0;
+        for (std::size_t ic = 0; ic < spec.in_channels; ++ic) {
+          for (std::size_t ky = 0; ky < spec.kernel_h; ++ky) {
+            for (std::size_t kx = 0; kx < spec.kernel_w; ++kx) {
+              const std::ptrdiff_t in_y =
+                  static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                  static_cast<std::ptrdiff_t>(spec.pad);
+              const std::ptrdiff_t in_x =
+                  static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                  static_cast<std::ptrdiff_t>(spec.pad);
+              if (in_y < 0 ||
+                  in_y >= static_cast<std::ptrdiff_t>(spec.in_height) ||
+                  in_x < 0 ||
+                  in_x >= static_cast<std::ptrdiff_t>(spec.in_width)) {
+                continue;
+              }
+              const double pixel =
+                  image[(ic * spec.in_height +
+                         static_cast<std::size_t>(in_y)) *
+                            spec.in_width +
+                        static_cast<std::size_t>(in_x)];
+              const double weight =
+                  weights[((oc * spec.in_channels + ic) * spec.kernel_h + ky) *
+                              spec.kernel_w +
+                          kx];
+              acc += pixel * weight;
+            }
+          }
+        }
+        out[(oc * out_h + oy) * out_w + ox] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(ConvTest, SpecOutputDimensions) {
+  // The paper's Table I layer: 28x28, 5x5 kernel, pad 2 -> 28x28 before
+  // stride; with stride 2 it becomes 14x14.
+  ConvSpec spec;
+  spec.in_channels = 1;
+  spec.in_height = 28;
+  spec.in_width = 28;
+  spec.out_channels = 5;
+  spec.kernel_h = 5;
+  spec.kernel_w = 5;
+  spec.pad = 2;
+  spec.stride = 2;
+  EXPECT_EQ(spec.out_height(), 14u);
+  EXPECT_EQ(spec.out_width(), 14u);
+  EXPECT_EQ(spec.col_rows(), 25u);
+  EXPECT_EQ(spec.col_cols(), 196u);
+}
+
+TEST(ConvTest, Im2colIdentityKernel) {
+  ConvSpec spec;
+  spec.in_height = 3;
+  spec.in_width = 3;
+  spec.kernel_h = 1;
+  spec.kernel_w = 1;
+  RealTensor image(Shape{1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const RealTensor cols = im2col(image, spec);
+  EXPECT_EQ(cols.shape(), (Shape{1, 9}));
+  EXPECT_EQ(cols.values(), image.values());
+}
+
+TEST(ConvTest, Im2colMatmulMatchesDirectConvolution) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    ConvSpec spec;
+    spec.in_channels = 1 + rng.next_below(3);
+    spec.in_height = 4 + rng.next_below(6);
+    spec.in_width = 4 + rng.next_below(6);
+    spec.out_channels = 1 + rng.next_below(4);
+    spec.kernel_h = 1 + rng.next_below(3);
+    spec.kernel_w = 1 + rng.next_below(3);
+    spec.pad = rng.next_below(2);
+    spec.stride = 1 + rng.next_below(2);
+
+    RealTensor image(Shape{spec.in_channels, spec.in_height, spec.in_width});
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      image[i] = rng.next_double(-1, 1);
+    }
+    RealTensor weights(Shape{spec.out_channels,
+                             spec.in_channels * spec.kernel_h * spec.kernel_w});
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      weights[i] = rng.next_double(-1, 1);
+    }
+
+    const RealTensor cols = im2col(image, spec);
+    const RealTensor via_matmul = matmul(weights, cols);
+    const RealTensor direct = direct_conv(image, weights, spec);
+    EXPECT_LT(max_abs_diff(
+                  via_matmul.reshape(direct.shape()), direct),
+              1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(ConvTest, Col2imIsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> characterizes the adjoint, which
+  // is exactly what backprop through im2col requires.
+  Rng rng(9);
+  ConvSpec spec;
+  spec.in_channels = 2;
+  spec.in_height = 5;
+  spec.in_width = 5;
+  spec.kernel_h = 3;
+  spec.kernel_w = 3;
+  spec.pad = 1;
+  spec.stride = 1;
+
+  RealTensor x(Shape{spec.in_channels, spec.in_height, spec.in_width});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.next_double(-1, 1);
+  }
+  RealTensor y(Shape{spec.col_rows(), spec.col_cols()});
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = rng.next_double(-1, 1);
+  }
+
+  const RealTensor cols = im2col(x, spec);
+  const RealTensor folded = col2im(y, spec);
+  double lhs = 0;
+  double rhs = 0;
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    lhs += cols[i] * y[i];
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    rhs += x[i] * folded[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-9);
+}
+
+TEST(ConvTest, RingAndRealIm2colAgree) {
+  // im2col is a data-independent local transformation: applying it to
+  // fixed-point encodings must equal encoding after applying it to the
+  // real image.
+  Rng rng(13);
+  ConvSpec spec;
+  spec.in_channels = 1;
+  spec.in_height = 6;
+  spec.in_width = 6;
+  spec.kernel_h = 3;
+  spec.kernel_w = 3;
+  spec.pad = 1;
+
+  RealTensor image(Shape{1, 6, 6});
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    image[i] = rng.next_double(-1, 1);
+  }
+  const RingTensor ring_cols = im2col(to_ring(image, 20), spec);
+  const RingTensor cols_ring = to_ring(im2col(image, spec), 20);
+  EXPECT_EQ(ring_cols.values(), cols_ring.values());
+}
+
+}  // namespace
+}  // namespace trustddl

@@ -1,0 +1,163 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.hpp"
+
+namespace trustddl::core {
+namespace {
+
+data::TrainTestSplit small_split(std::size_t train = 300,
+                                 std::size_t test = 80) {
+  data::SyntheticMnistConfig config;
+  config.train_count = train;
+  config.test_count = test;
+  config.seed = 42;
+  return data::generate_synthetic_mnist(config);
+}
+
+EngineConfig fast_config() {
+  EngineConfig config;
+  config.collect_timeout = std::chrono::milliseconds(300);
+  return config;
+}
+
+TEST(EngineTest, SecureInferenceMatchesPlaintextPredictions) {
+  const auto split = small_split(50, 30);
+  TrustDdlEngine engine(nn::mnist_mlp_spec(), fast_config());
+
+  const data::Dataset sample = data::slice(split.test, 0, 12);
+  const auto plain_predictions =
+      engine.reference_model().predict(sample.images);
+  const InferResult result = engine.infer(sample, /*batch_size=*/4);
+
+  ASSERT_EQ(result.labels.size(), 12u);
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < result.labels.size(); ++i) {
+    matches += (result.labels[i] == plain_predictions[i]) ? 1 : 0;
+  }
+  // Fixed-point noise can flip near-ties, but predictions should
+  // almost always coincide.
+  EXPECT_GE(matches, 11u);
+  EXPECT_GT(result.cost.total_bytes, 0u);
+  EXPECT_GT(result.cost.total_messages, 0u);
+}
+
+TEST(EngineTest, TrainingImprovesTestAccuracy) {
+  const auto split = small_split(160, 60);
+  TrustDdlEngine engine(nn::mnist_mlp_spec(), fast_config());
+  const double initial_accuracy = engine.reference_model().accuracy(
+      split.test.images, split.test.labels);
+
+  TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 16;
+  options.learning_rate = 0.4;
+  const TrainResult result =
+      engine.train(split.train, split.test, options);
+
+  ASSERT_EQ(result.epoch_test_accuracy.size(), 1u);
+  EXPECT_GT(result.epoch_test_accuracy[0], initial_accuracy + 0.2);
+  EXPECT_GT(result.cost.total_bytes, 0u);
+  EXPECT_EQ(result.cost.commitment_violations, 0u);
+  EXPECT_EQ(result.cost.share_auth_failures, 0u);
+}
+
+TEST(EngineTest, HbcModeIsCheaperThanMalicious) {
+  const auto split = small_split(24, 10);
+  TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 8;
+  options.evaluate_each_epoch = false;
+
+  EngineConfig hbc = fast_config();
+  hbc.mode = mpc::SecurityMode::kHonestButCurious;
+  TrustDdlEngine hbc_engine(nn::mnist_mlp_spec(), hbc);
+  const auto hbc_result = hbc_engine.train(split.train, split.test, options);
+
+  EngineConfig malicious = fast_config();
+  malicious.mode = mpc::SecurityMode::kMalicious;
+  TrustDdlEngine mal_engine(nn::mnist_mlp_spec(), malicious);
+  const auto mal_result = mal_engine.train(split.train, split.test, options);
+
+  EXPECT_LT(hbc_result.cost.total_bytes, mal_result.cost.total_bytes);
+  EXPECT_LT(hbc_result.cost.total_messages, mal_result.cost.total_messages);
+}
+
+TEST(EngineTest, TrainingToleratesByzantineParty) {
+  const auto split = small_split(96, 40);
+  EngineConfig config = fast_config();
+  config.trunc_mode = TruncationMode::kMaskedOpen;  // attack-consistent
+  config.byzantine_party = 2;
+  config.byzantine.behavior =
+      mpc::ByzantineConfig::Behavior::kConsistentCorruption;
+  config.byzantine.probability = 0.05;
+  TrustDdlEngine engine(nn::mnist_mlp_spec(), config);
+  const double initial_accuracy = engine.reference_model().accuracy(
+      split.test.images, split.test.labels);
+
+  TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 12;
+  options.learning_rate = 0.3;
+  const TrainResult result = engine.train(split.train, split.test, options);
+
+  ASSERT_EQ(result.epoch_test_accuracy.size(), 1u);
+  EXPECT_GT(result.epoch_test_accuracy[0], initial_accuracy + 0.2);
+  // The attacks were seen and survived.
+  EXPECT_GT(result.cost.share_auth_failures, 0u);
+}
+
+TEST(EngineTest, InferenceToleratesByzantineParty) {
+  const auto split = small_split(30, 16);
+  EngineConfig honest_config = fast_config();
+  TrustDdlEngine honest_engine(nn::mnist_mlp_spec(), honest_config);
+  const data::Dataset sample = data::slice(split.test, 0, 8);
+  const auto expected = honest_engine.reference_model().predict(sample.images);
+
+  EngineConfig config = fast_config();
+  config.trunc_mode = TruncationMode::kMaskedOpen;  // attack-consistent
+  config.byzantine_party = 0;
+  config.byzantine.behavior =
+      mpc::ByzantineConfig::Behavior::kCommitmentViolationGlobal;
+  TrustDdlEngine engine(nn::mnist_mlp_spec(), config);
+  const InferResult result = engine.infer(sample, /*batch_size=*/4);
+
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < result.labels.size(); ++i) {
+    matches += (result.labels[i] == expected[i]) ? 1 : 0;
+  }
+  EXPECT_GE(matches, 7u);
+  EXPECT_GT(result.cost.commitment_violations, 0u);
+}
+
+TEST(EngineTest, CostReportSplitsProxyAndOwnerTraffic) {
+  const auto split = small_split(20, 10);
+  TrustDdlEngine engine(nn::mnist_mlp_spec(), fast_config());
+  const InferResult result =
+      engine.infer(data::slice(split.test, 0, 4), /*batch_size=*/4);
+  EXPECT_GT(result.cost.proxy_bytes, 0u);
+  EXPECT_GT(result.cost.owner_bytes, 0u);
+  EXPECT_EQ(result.cost.proxy_bytes + result.cost.owner_bytes,
+            result.cost.total_bytes);
+}
+
+TEST(EngineTest, MaskedOpenTruncationAlsoTrains) {
+  const auto split = small_split(48, 24);
+  EngineConfig config = fast_config();
+  config.trunc_mode = TruncationMode::kMaskedOpen;
+  TrustDdlEngine engine(nn::mnist_mlp_spec(), config);
+  const double initial_accuracy = engine.reference_model().accuracy(
+      split.test.images, split.test.labels);
+
+  TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 10;
+  options.learning_rate = 0.3;
+  const TrainResult result = engine.train(split.train, split.test, options);
+  ASSERT_EQ(result.epoch_test_accuracy.size(), 1u);
+  EXPECT_GT(result.epoch_test_accuracy[0], initial_accuracy);
+}
+
+}  // namespace
+}  // namespace trustddl::core

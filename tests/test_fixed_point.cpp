@@ -1,0 +1,110 @@
+#include "numeric/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace trustddl {
+namespace {
+
+TEST(FixedPointTest, EncodeDecodeRoundTrip) {
+  for (double value : {0.0, 1.0, -1.0, 0.5, -0.25, 3.14159, -123.456, 1e4}) {
+    const std::uint64_t encoded = fx::encode(value);
+    EXPECT_NEAR(fx::decode(encoded), value, fx::epsilon() * 2)
+        << "value=" << value;
+  }
+}
+
+TEST(FixedPointTest, RoundTripRandomSweep) {
+  Rng rng(17);
+  for (int frac_bits : {8, 16, 20, 32}) {
+    for (int i = 0; i < 1000; ++i) {
+      const double value = rng.next_double(-1000.0, 1000.0);
+      EXPECT_NEAR(fx::decode(fx::encode(value, frac_bits), frac_bits), value,
+                  fx::epsilon(frac_bits) * 2);
+    }
+  }
+}
+
+TEST(FixedPointTest, MulMatchesRealProduct) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double(-50.0, 50.0);
+    const double y = rng.next_double(-50.0, 50.0);
+    const std::uint64_t product = fx::mul(fx::encode(x), fx::encode(y));
+    EXPECT_NEAR(fx::decode(product), x * y, 1e-3);
+  }
+}
+
+TEST(FixedPointTest, TruncateRescalesDoubleProduct) {
+  const double x = 2.5;
+  const double y = -3.25;
+  // Raw ring product carries 2f fractional bits.
+  const auto raw =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(fx::encode(x)) *
+                                 static_cast<std::int64_t>(fx::encode(y)));
+  EXPECT_NEAR(fx::decode(fx::truncate(raw, fx::kDefaultFracBits)), x * y,
+              1e-5);
+}
+
+TEST(FixedPointTest, SignedWrapAroundAddition) {
+  // Ring addition of encodings behaves like real addition for bounded
+  // values, including across the sign boundary.
+  const std::uint64_t a = fx::encode(-5.0);
+  const std::uint64_t b = fx::encode(3.0);
+  EXPECT_NEAR(fx::decode(a + b), -2.0, fx::epsilon() * 4);
+}
+
+TEST(FixedPointTest, RingDistanceSymmetricAndWrapped) {
+  EXPECT_EQ(fx::ring_distance(5, 3), 2u);
+  EXPECT_EQ(fx::ring_distance(3, 5), 2u);
+  EXPECT_EQ(fx::ring_distance(0, ~std::uint64_t{0}), 1u);
+  EXPECT_EQ(fx::ring_distance(7, 7), 0u);
+}
+
+TEST(FixedPointTest, SignFunction) {
+  EXPECT_EQ(fx::sign(fx::encode(2.0)), 1);
+  EXPECT_EQ(fx::sign(fx::encode(-2.0)), -1);
+  EXPECT_EQ(fx::sign(0), 0);
+}
+
+TEST(FixedPointTest, EpsilonBoundsEncodingError) {
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const double value = rng.next_double(-10.0, 10.0);
+    EXPECT_LE(std::fabs(fx::decode(fx::encode(value)) - value),
+              fx::epsilon() + 1e-12);
+  }
+}
+
+TEST(FixedPointTest, MaxRepresentable) {
+  EXPECT_DOUBLE_EQ(fx::max_representable(20), std::ldexp(1.0, 43));
+  EXPECT_DOUBLE_EQ(fx::max_representable(32), std::ldexp(1.0, 31));
+}
+
+class FixedPointPrecisionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedPointPrecisionSweep, ProductErrorBounded) {
+  const int frac_bits = GetParam();
+  Rng rng(101 + static_cast<std::uint64_t>(frac_bits));
+  double worst = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.next_double(-8.0, 8.0);
+    const double y = rng.next_double(-8.0, 8.0);
+    const double product =
+        fx::decode(fx::mul(fx::encode(x, frac_bits), fx::encode(y, frac_bits),
+                           frac_bits),
+                   frac_bits);
+    worst = std::max(worst, std::fabs(product - x * y));
+  }
+  // Error of one product is bounded by ~(|x|+|y|+1) encoding ulps.
+  EXPECT_LT(worst, 20.0 * fx::epsilon(frac_bits) + std::ldexp(1.0, -frac_bits));
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, FixedPointPrecisionSweep,
+                         ::testing::Values(12, 16, 20, 24, 28, 32));
+
+}  // namespace
+}  // namespace trustddl

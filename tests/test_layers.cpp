@@ -1,0 +1,225 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace trustddl::nn {
+namespace {
+
+using trustddl::testing::random_real;
+
+/// Numerical gradient of a scalar function of one parameter tensor.
+template <typename LossFn>
+RealTensor numerical_gradient(RealTensor& variable, const LossFn& loss,
+                              double epsilon = 1e-5) {
+  RealTensor grad(variable.shape());
+  for (std::size_t i = 0; i < variable.size(); ++i) {
+    const double original = variable[i];
+    variable[i] = original + epsilon;
+    const double plus = loss();
+    variable[i] = original - epsilon;
+    const double minus = loss();
+    variable[i] = original;
+    grad[i] = (plus - minus) / (2 * epsilon);
+  }
+  return grad;
+}
+
+/// Sum of elementwise products (used to build scalar losses).
+double dot_all(const RealTensor& a, const RealTensor& b) {
+  double total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += a[i] * b[i];
+  }
+  return total;
+}
+
+TEST(DenseLayerTest, ForwardMatchesManualComputation) {
+  Rng rng(1);
+  DenseLayer layer(3, 2, rng);
+  layer.weights().value = RealTensor(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  layer.bias().value = RealTensor(Shape{1, 2}, {0.5, -0.5});
+  const RealTensor input(Shape{1, 3}, {1, 1, 1});
+  const RealTensor output = layer.forward(input);
+  EXPECT_NEAR(output.at(0, 0), 1 + 3 + 5 + 0.5, 1e-9);
+  EXPECT_NEAR(output.at(0, 1), 2 + 4 + 6 - 0.5, 1e-9);
+}
+
+TEST(DenseLayerTest, InitializationVarianceMatchesPaper) {
+  // Paper §IV-A: dense weights ~ N(0, 1/n), n = input neurons.
+  Rng rng(2);
+  DenseLayer layer(400, 100, rng);
+  double sum = 0;
+  double sum_sq = 0;
+  const auto& weights = layer.weights().value;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    sum += weights[i];
+    sum_sq += weights[i] * weights[i];
+  }
+  const double n = static_cast<double>(weights.size());
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.002);
+  EXPECT_NEAR(variance, 1.0 / 400.0, 0.0005);
+}
+
+TEST(DenseLayerTest, GradientsMatchNumericalDifferentiation) {
+  Rng rng(3);
+  DenseLayer layer(4, 3, rng);
+  const RealTensor input = random_real(Shape{2, 4}, rng, 1.0);
+  const RealTensor upstream = random_real(Shape{2, 3}, rng, 1.0);
+
+  const auto loss = [&] { return dot_all(layer.forward(input), upstream); };
+  const RealTensor expected_w_grad =
+      numerical_gradient(layer.weights().value, loss);
+  const RealTensor expected_b_grad =
+      numerical_gradient(layer.bias().value, loss);
+
+  layer.weights().zero_grad();
+  layer.bias().zero_grad();
+  layer.forward(input);
+  const RealTensor grad_input = layer.backward(upstream);
+
+  EXPECT_LT(max_abs_diff(layer.weights().grad, expected_w_grad), 1e-6);
+  EXPECT_LT(max_abs_diff(layer.bias().grad, expected_b_grad), 1e-6);
+
+  // Input gradient via numerical differentiation too.
+  RealTensor input_copy = input;
+  const auto input_loss = [&] {
+    return dot_all(layer.forward(input_copy), upstream);
+  };
+  const RealTensor expected_input_grad =
+      numerical_gradient(input_copy, input_loss);
+  EXPECT_LT(max_abs_diff(grad_input, expected_input_grad), 1e-6);
+}
+
+TEST(ConvLayerTest, OutputShapeMatchesTableI) {
+  Rng rng(4);
+  ConvSpec spec;
+  spec.in_channels = 1;
+  spec.in_height = 28;
+  spec.in_width = 28;
+  spec.out_channels = 5;
+  spec.kernel_h = 5;
+  spec.kernel_w = 5;
+  spec.pad = 2;
+  spec.stride = 2;
+  ConvLayer layer(spec, rng);
+  const RealTensor input = random_real(Shape{2, 784}, rng, 1.0);
+  const RealTensor output = layer.forward(input);
+  EXPECT_EQ(output.shape(), (Shape{2, 980}));
+}
+
+TEST(ConvLayerTest, InitializationVarianceMatchesPaper) {
+  // Paper §IV-A: conv weights ~ N(0, 1/(k1*k2)).
+  Rng rng(5);
+  ConvSpec spec;
+  spec.in_channels = 4;
+  spec.in_height = 8;
+  spec.in_width = 8;
+  spec.out_channels = 32;
+  spec.kernel_h = 5;
+  spec.kernel_w = 5;
+  ConvLayer layer(spec, rng);
+  const auto& weights = layer.weights().value;
+  double sum_sq = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    sum_sq += weights[i] * weights[i];
+  }
+  EXPECT_NEAR(sum_sq / static_cast<double>(weights.size()), 1.0 / 25.0,
+              0.004);
+}
+
+TEST(ConvLayerTest, GradientsMatchNumericalDifferentiation) {
+  Rng rng(6);
+  ConvSpec spec;
+  spec.in_channels = 2;
+  spec.in_height = 5;
+  spec.in_width = 5;
+  spec.out_channels = 3;
+  spec.kernel_h = 3;
+  spec.kernel_w = 3;
+  spec.pad = 1;
+  spec.stride = 2;
+  ConvLayer layer(spec, rng);
+  const std::size_t in_size = 2 * 5 * 5;
+  const std::size_t out_size = 3 * spec.out_height() * spec.out_width();
+  const RealTensor input = random_real(Shape{2, in_size}, rng, 1.0);
+  const RealTensor upstream =
+      random_real(Shape{2, out_size}, rng, 1.0);
+
+  const auto loss = [&] { return dot_all(layer.forward(input), upstream); };
+  const RealTensor expected_w_grad =
+      numerical_gradient(layer.weights().value, loss);
+  const RealTensor expected_b_grad =
+      numerical_gradient(layer.bias().value, loss);
+
+  layer.weights().zero_grad();
+  layer.bias().zero_grad();
+  layer.forward(input);
+  const RealTensor grad_input = layer.backward(upstream);
+
+  EXPECT_LT(max_abs_diff(layer.weights().grad, expected_w_grad), 1e-5);
+  EXPECT_LT(max_abs_diff(layer.bias().grad, expected_b_grad), 1e-5);
+
+  RealTensor input_copy = input;
+  const auto input_loss = [&] {
+    return dot_all(layer.forward(input_copy), upstream);
+  };
+  EXPECT_LT(max_abs_diff(grad_input, numerical_gradient(input_copy,
+                                                        input_loss)),
+            1e-5);
+}
+
+TEST(ReluLayerTest, ForwardAndBackward) {
+  ReluLayer layer;
+  const RealTensor input(Shape{1, 4}, {-1.0, 0.0, 2.0, -0.5});
+  const RealTensor output = layer.forward(input);
+  EXPECT_EQ(output.values(), (std::vector<double>{0, 0, 2, 0}));
+  const RealTensor upstream(Shape{1, 4}, {1, 1, 1, 1});
+  EXPECT_EQ(layer.backward(upstream).values(),
+            (std::vector<double>{0, 0, 1, 0}));
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(7);
+  const RealTensor logits = random_real(Shape{3, 10}, rng, 5.0);
+  const RealTensor probabilities = softmax_rows(logits);
+  for (std::size_t row = 0; row < 3; ++row) {
+    double total = 0;
+    for (std::size_t col = 0; col < 10; ++col) {
+      const double p = probabilities.at(row, col);
+      EXPECT_GT(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(SoftmaxTest, NumericallyStableForLargeLogits) {
+  const RealTensor logits(Shape{1, 3}, {1000.0, 1001.0, 999.0});
+  const RealTensor probabilities = softmax_rows(logits);
+  EXPECT_NEAR(probabilities.at(0, 0) + probabilities.at(0, 1) +
+                  probabilities.at(0, 2),
+              1.0, 1e-9);
+  EXPECT_GT(probabilities.at(0, 1), probabilities.at(0, 0));
+}
+
+TEST(SoftmaxTest, BackwardMatchesNumericalJacobian) {
+  Rng rng(8);
+  RealTensor logits = random_real(Shape{2, 5}, rng, 2.0);
+  const RealTensor upstream = random_real(Shape{2, 5}, rng, 1.0);
+  SoftmaxLayer layer;
+
+  const auto loss = [&] { return dot_all(softmax_rows(logits), upstream); };
+  const RealTensor expected = numerical_gradient(logits, loss);
+
+  layer.forward(logits);
+  const RealTensor got = layer.backward(upstream);
+  EXPECT_LT(max_abs_diff(got, expected), 1e-6);
+}
+
+}  // namespace
+}  // namespace trustddl::nn

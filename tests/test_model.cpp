@@ -1,0 +1,160 @@
+#include "nn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/layers.hpp"
+#include "nn/model_zoo.hpp"
+#include "test_util.hpp"
+
+namespace trustddl::nn {
+namespace {
+
+using trustddl::testing::random_real;
+
+TEST(LossTest, CrossEntropyOfPerfectPredictionIsZero) {
+  const RealTensor p(Shape{2, 3}, {1, 0, 0, 0, 1, 0});
+  const RealTensor y(Shape{2, 3}, {1, 0, 0, 0, 1, 0});
+  EXPECT_NEAR(cross_entropy(p, y), 0.0, 1e-9);
+}
+
+TEST(LossTest, CrossEntropyKnownValue) {
+  const RealTensor p(Shape{1, 2}, {0.5, 0.5});
+  const RealTensor y(Shape{1, 2}, {1, 0});
+  EXPECT_NEAR(cross_entropy(p, y), std::log(2.0), 1e-9);
+}
+
+TEST(LossTest, FusedGradientIsPMinusYOverBatch) {
+  const RealTensor p(Shape{2, 2}, {0.8, 0.2, 0.3, 0.7});
+  const RealTensor y(Shape{2, 2}, {1, 0, 0, 1});
+  const RealTensor grad = cross_entropy_softmax_grad(p, y);
+  EXPECT_NEAR(grad.at(0, 0), (0.8 - 1.0) / 2, 1e-9);
+  EXPECT_NEAR(grad.at(1, 1), (0.7 - 1.0) / 2, 1e-9);
+}
+
+TEST(LossTest, MseAndGradient) {
+  const RealTensor p(Shape{1, 2}, {1.0, 3.0});
+  const RealTensor y(Shape{1, 2}, {0.0, 1.0});
+  EXPECT_NEAR(mean_squared_error(p, y), (1.0 + 4.0) / 2, 1e-9);
+  const RealTensor grad = mean_squared_error_grad(p, y);
+  EXPECT_NEAR(grad[0], 1.0, 1e-9);
+  EXPECT_NEAR(grad[1], 2.0, 1e-9);
+}
+
+TEST(LossTest, OneHotEncoding) {
+  const RealTensor encoded = one_hot({2, 0}, 3);
+  EXPECT_EQ(encoded.values(), (std::vector<double>{0, 0, 1, 1, 0, 0}));
+  EXPECT_THROW(one_hot({5}, 3), InvalidArgument);
+}
+
+TEST(ModelZooTest, TableINetworkValidates) {
+  const ModelSpec spec = mnist_cnn_spec();
+  EXPECT_EQ(spec.input_features, 784u);
+  EXPECT_EQ(spec.classes, 10u);
+  EXPECT_EQ(spec.layers.size(), 6u);
+  // Conv output must be the 980 units Table I reports.
+  EXPECT_EQ(spec.layers[0].conv.out_channels *
+                spec.layers[0].conv.out_height() *
+                spec.layers[0].conv.out_width(),
+            980u);
+}
+
+TEST(ModelZooTest, InvalidSpecThrows) {
+  ModelSpec spec = mnist_mlp_spec();
+  spec.layers[2].in = 99;  // break the 64 -> 10 dense layer
+  EXPECT_THROW(validate_spec(spec), InvalidArgument);
+}
+
+TEST(ModelZooTest, MissingSoftmaxThrows) {
+  ModelSpec spec = mnist_mlp_spec();
+  spec.layers.pop_back();
+  spec.classes = 10;
+  EXPECT_THROW(validate_spec(spec), InvalidArgument);
+}
+
+TEST(SequentialTest, ForwardShapes) {
+  Rng rng(10);
+  Sequential model = build_model(mnist_mlp_spec(), rng);
+  const RealTensor input = random_real(Shape{4, 784}, rng, 0.5);
+  const RealTensor output = model.forward(input);
+  EXPECT_EQ(output.shape(), (Shape{4, 10}));
+}
+
+TEST(SequentialTest, TrainStepReducesLossOnFixedBatch) {
+  Rng rng(11);
+  Sequential model = build_model(mnist_mlp_spec(), rng);
+  const RealTensor inputs = random_real(Shape{8, 784}, rng, 0.5);
+  const RealTensor targets = one_hot({0, 1, 2, 3, 4, 5, 6, 7}, 10);
+  SgdOptimizer optimizer(0.5);
+  const double first_loss = model.train_step(inputs, targets, optimizer);
+  double last_loss = first_loss;
+  for (int i = 0; i < 30; ++i) {
+    last_loss = model.train_step(inputs, targets, optimizer);
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5);
+}
+
+TEST(SequentialTest, TrainStepRequiresSoftmaxHead) {
+  Rng rng(12);
+  Sequential model;
+  model.add(std::make_unique<DenseLayer>(4, 2, rng));
+  SgdOptimizer optimizer(0.1);
+  EXPECT_THROW(model.train_step(RealTensor(Shape{1, 4}),
+                                RealTensor(Shape{1, 2}), optimizer),
+               InvalidArgument);
+}
+
+TEST(SequentialTest, PredictReturnsArgmax) {
+  Rng rng(13);
+  Sequential model = build_model(mnist_mlp_spec(), rng);
+  const RealTensor input = random_real(Shape{3, 784}, rng, 0.5);
+  const RealTensor probabilities = model.forward(input);
+  const auto predictions = model.predict(input);
+  for (std::size_t row = 0; row < 3; ++row) {
+    for (std::size_t col = 0; col < 10; ++col) {
+      EXPECT_LE(probabilities.at(row, col),
+                probabilities.at(row, predictions[row]) + 1e-12);
+    }
+  }
+}
+
+TEST(SequentialTest, GradientCheckThroughWholeCnn) {
+  // End-to-end gradient check of the tiny CNN via cross-entropy.
+  Rng rng(14);
+  Sequential model = build_model(tiny_cnn_spec(), rng);
+  const RealTensor inputs = random_real(Shape{2, 144}, rng, 0.5);
+  const RealTensor targets = one_hot({1, 3}, 4);
+
+  auto loss_fn = [&] {
+    return cross_entropy(model.forward(inputs), targets);
+  };
+
+  // Analytical gradients via the fused path.
+  model.zero_grads();
+  const RealTensor probabilities = model.forward(inputs);
+  RealTensor grad = cross_entropy_softmax_grad(probabilities, targets);
+  for (std::size_t i = model.layer_count() - 1; i-- > 0;) {
+    grad = model.layer(i).backward(grad);
+  }
+
+  for (Parameter* parameter : model.parameters()) {
+    for (std::size_t i = 0; i < parameter->value.size();
+         i += std::max<std::size_t>(1, parameter->value.size() / 13)) {
+      const double original = parameter->value[i];
+      const double epsilon = 1e-5;
+      parameter->value[i] = original + epsilon;
+      const double plus = loss_fn();
+      parameter->value[i] = original - epsilon;
+      const double minus = loss_fn();
+      parameter->value[i] = original;
+      const double numerical = (plus - minus) / (2 * epsilon);
+      EXPECT_NEAR(parameter->grad[i], numerical, 1e-4)
+          << parameter->name << "[" << i << "]";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trustddl::nn

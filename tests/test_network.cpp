@@ -1,0 +1,161 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/error.hpp"
+#include "net/runtime.hpp"
+
+namespace trustddl::net {
+namespace {
+
+TEST(NetworkTest, SendReceiveRoundTrip) {
+  Network network(NetworkConfig{.num_parties = 2});
+  run_parties(2, [&](PartyId party) {
+    Endpoint endpoint = network.endpoint(party);
+    if (party == 0) {
+      endpoint.send(1, "greeting", Bytes{1, 2, 3});
+    } else {
+      EXPECT_EQ(endpoint.recv(0, "greeting"), (Bytes{1, 2, 3}));
+    }
+  });
+}
+
+TEST(NetworkTest, TagMatchingIgnoresOtherTags) {
+  Network network(NetworkConfig{.num_parties = 2});
+  run_parties(2, [&](PartyId party) {
+    Endpoint endpoint = network.endpoint(party);
+    if (party == 0) {
+      endpoint.send(1, "second", Bytes{2});
+      endpoint.send(1, "first", Bytes{1});
+    } else {
+      // Receive in the opposite order of sending.
+      EXPECT_EQ(endpoint.recv(0, "first"), Bytes{1});
+      EXPECT_EQ(endpoint.recv(0, "second"), Bytes{2});
+    }
+  });
+}
+
+TEST(NetworkTest, RecvTimesOut) {
+  Network network(NetworkConfig{.num_parties = 2,
+                                .recv_timeout = std::chrono::milliseconds(50)});
+  Endpoint endpoint = network.endpoint(0);
+  EXPECT_THROW(endpoint.recv(1, "never-sent"), TimeoutError);
+}
+
+TEST(NetworkTest, ExplicitTimeoutOverride) {
+  Network network(NetworkConfig{.num_parties = 2});
+  Endpoint endpoint = network.endpoint(0);
+  EXPECT_THROW(endpoint.recv(1, "nope", std::chrono::milliseconds(10)),
+               TimeoutError);
+}
+
+TEST(NetworkTest, TryRecvNonBlocking) {
+  Network network(NetworkConfig{.num_parties = 2});
+  Endpoint receiver = network.endpoint(1);
+  Bytes out;
+  EXPECT_FALSE(receiver.try_recv(0, "ping", out));
+  network.endpoint(0).send(1, "ping", Bytes{9});
+  EXPECT_TRUE(receiver.try_recv(0, "ping", out));
+  EXPECT_EQ(out, Bytes{9});
+}
+
+TEST(NetworkTest, SelfSendRejected) {
+  Network network(NetworkConfig{.num_parties = 2});
+  Endpoint endpoint = network.endpoint(0);
+  EXPECT_THROW(endpoint.send(0, "loop", Bytes{}), InvalidArgument);
+}
+
+TEST(NetworkTest, TrafficMetering) {
+  Network network(NetworkConfig{.num_parties = 3});
+  network.endpoint(0).send(1, "x", Bytes(100, 0));
+  network.endpoint(0).send(2, "x", Bytes(50, 0));
+  const TrafficSnapshot snapshot = network.traffic();
+  EXPECT_EQ(snapshot.total_messages, 2u);
+  EXPECT_EQ(snapshot.links[0][1].messages, 1u);
+  EXPECT_GE(snapshot.links[0][1].bytes, 100u);
+  EXPECT_GE(snapshot.total_bytes, 150u);
+  network.reset_traffic();
+  EXPECT_EQ(network.traffic().total_messages, 0u);
+}
+
+TEST(NetworkTest, DroppedMessagesStillMeteredButNotDelivered) {
+  class DropAll final : public FaultInjector {
+   public:
+    FaultDecision on_message(const Message&) override {
+      return FaultDecision{.drop = true};
+    }
+  };
+  Network network(NetworkConfig{.num_parties = 2,
+                                .recv_timeout = std::chrono::milliseconds(30)});
+  network.set_fault_injector(std::make_shared<DropAll>());
+  network.endpoint(0).send(1, "gone", Bytes{1});
+  EXPECT_EQ(network.traffic().total_messages, 1u);
+  EXPECT_THROW(network.endpoint(1).recv(0, "gone"), TimeoutError);
+}
+
+TEST(NetworkTest, CorruptedPayloadDelivered) {
+  class CorruptAll final : public FaultInjector {
+   public:
+    FaultDecision on_message(const Message&) override {
+      return FaultDecision{.corrupt = true};
+    }
+  };
+  Network network(NetworkConfig{.num_parties = 2});
+  network.set_fault_injector(std::make_shared<CorruptAll>());
+  network.endpoint(0).send(1, "bits", Bytes{0x00});
+  EXPECT_EQ(network.endpoint(1).recv(0, "bits"), Bytes{0xa5});
+}
+
+TEST(NetworkTest, ManyConcurrentMessages) {
+  Network network(NetworkConfig{.num_parties = 3});
+  std::atomic<int> received{0};
+  run_parties(3, [&](PartyId party) {
+    Endpoint endpoint = network.endpoint(party);
+    for (int round = 0; round < 50; ++round) {
+      const std::string tag = "round/" + std::to_string(round);
+      for (int other = 0; other < 3; ++other) {
+        if (other != party) {
+          endpoint.send(other, tag,
+                        Bytes{static_cast<std::uint8_t>(party)});
+        }
+      }
+      for (int other = 0; other < 3; ++other) {
+        if (other != party) {
+          const Bytes payload = endpoint.recv(other, tag);
+          EXPECT_EQ(payload[0], static_cast<std::uint8_t>(other));
+          received.fetch_add(1);
+        }
+      }
+    }
+  });
+  EXPECT_EQ(received.load(), 3 * 50 * 2);
+}
+
+TEST(RuntimeTest, ExceptionPropagatesFromParty) {
+  EXPECT_THROW(run_parties(2,
+                           [&](PartyId party) {
+                             if (party == 1) {
+                               throw ProtocolError("boom");
+                             }
+                           }),
+               ProtocolError);
+}
+
+TEST(RuntimeTest, OutcomesReportedWithoutRethrow) {
+  const auto outcomes = run_parties(
+      3,
+      [&](PartyId party) {
+        if (party == 2) {
+          throw TimeoutError("late");
+        }
+      },
+      /*rethrow=*/false);
+  EXPECT_TRUE(outcomes[0].ok);
+  EXPECT_TRUE(outcomes[1].ok);
+  EXPECT_FALSE(outcomes[2].ok);
+}
+
+}  // namespace
+}  // namespace trustddl::net

@@ -1,0 +1,396 @@
+#include "mpc/open.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mpc/adversary.hpp"
+#include "test_util.hpp"
+
+namespace trustddl::mpc {
+namespace {
+
+using testing::ThreePartyHarness;
+using testing::random_ring;
+
+/// Run a single opening of `secret` across three parties and return
+/// each party's opened value.
+std::array<RingTensor, 3> open_once(ThreePartyHarness& harness,
+                                    const RingTensor& secret,
+                                    std::uint64_t seed = 42) {
+  Rng rng(seed);
+  const auto views = share_secret(secret, rng);
+  std::array<RingTensor, 3> results;
+  harness.run([&](PartyContext& ctx) {
+    results[static_cast<std::size_t>(ctx.party)] =
+        open_value(ctx, views[static_cast<std::size_t>(ctx.party)]);
+  });
+  return results;
+}
+
+TEST(OpenTest, HonestMaliciousModeAllAgree) {
+  ThreePartyHarness harness(SecurityMode::kMalicious);
+  Rng rng(1);
+  const RingTensor secret = random_ring(Shape{4, 3}, rng);
+  const auto results = open_once(harness, secret);
+  for (const auto& result : results) {
+    EXPECT_EQ(result, secret);
+  }
+  for (const auto& ctx : harness.contexts) {
+    EXPECT_TRUE(ctx.detections.events.empty());
+    EXPECT_EQ(ctx.detections.opens, 1u);
+  }
+}
+
+TEST(OpenTest, HonestHbcModeAllAgree) {
+  ThreePartyHarness harness(SecurityMode::kHonestButCurious);
+  Rng rng(2);
+  const RingTensor secret = random_ring(Shape{5}, rng);
+  const auto results = open_once(harness, secret);
+  for (const auto& result : results) {
+    EXPECT_EQ(result, secret);
+  }
+}
+
+TEST(OpenTest, OpensSeveralValuesInOneStep) {
+  ThreePartyHarness harness(SecurityMode::kMalicious);
+  Rng rng(3);
+  const RingTensor a = random_ring(Shape{2, 2}, rng);
+  const RingTensor b = random_ring(Shape{7}, rng);
+  const auto a_views = share_secret(a, rng);
+  const auto b_views = share_secret(b, rng);
+  harness.run([&](PartyContext& ctx) {
+    const auto index = static_cast<std::size_t>(ctx.party);
+    const auto opened =
+        open_values(ctx, {a_views[index], b_views[index]});
+    EXPECT_EQ(opened[0], a);
+    EXPECT_EQ(opened[1], b);
+  });
+}
+
+TEST(OpenTest, HbcCheaperThanMalicious) {
+  Rng rng(4);
+  const RingTensor secret = random_ring(Shape{16, 16}, rng);
+
+  ThreePartyHarness hbc(SecurityMode::kHonestButCurious);
+  open_once(hbc, secret);
+  const auto hbc_traffic = hbc.network.traffic();
+
+  ThreePartyHarness malicious(SecurityMode::kMalicious);
+  open_once(malicious, secret);
+  const auto malicious_traffic = malicious.network.traffic();
+
+  EXPECT_LT(hbc_traffic.total_bytes, malicious_traffic.total_bytes);
+  EXPECT_LT(hbc_traffic.total_messages, malicious_traffic.total_messages);
+}
+
+class OpenByzantineCase
+    : public ::testing::TestWithParam<std::tuple<int, ByzantineConfig::Behavior>> {};
+
+TEST_P(OpenByzantineCase, HonestPartiesRecoverCorrectValue) {
+  const auto [byzantine_party, behavior] = GetParam();
+  ThreePartyHarness harness(SecurityMode::kMalicious);
+  ByzantineConfig config;
+  config.behavior = behavior;
+  config.target_peer = (byzantine_party + 1) % 3;  // for the single case
+  harness.make_byzantine(byzantine_party, config);
+
+  Rng rng(5);
+  const RingTensor secret = random_ring(Shape{6, 2}, rng);
+  const auto views = share_secret(secret, rng);
+  std::array<RingTensor, 3> results;
+  harness.run([&](PartyContext& ctx) {
+    results[static_cast<std::size_t>(ctx.party)] =
+        open_value(ctx, views[static_cast<std::size_t>(ctx.party)]);
+  });
+
+  // Every HONEST party must still open the correct value (guaranteed
+  // output delivery).
+  for (int party = 0; party < 3; ++party) {
+    if (party == byzantine_party) {
+      continue;
+    }
+    EXPECT_EQ(results[static_cast<std::size_t>(party)], secret)
+        << "honest party " << party << " behavior "
+        << static_cast<int>(behavior);
+  }
+  EXPECT_GE(harness.adversary->attacks_launched(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPartiesAllBehaviors, OpenByzantineCase,
+    ::testing::Combine(
+        ::testing::Values(0, 1, 2),
+        ::testing::Values(
+            ByzantineConfig::Behavior::kConsistentCorruption,
+            ByzantineConfig::Behavior::kCommitmentViolationGlobal,
+            ByzantineConfig::Behavior::kCommitmentViolationSingle,
+            ByzantineConfig::Behavior::kDropMessages)));
+
+TEST(OpenTest, Case1GlobalViolationDetectedByBothHonestParties) {
+  ThreePartyHarness harness(SecurityMode::kMalicious);
+  ByzantineConfig config;
+  config.behavior = ByzantineConfig::Behavior::kCommitmentViolationGlobal;
+  harness.make_byzantine(1, config);
+  Rng rng(6);
+  open_once(harness, random_ring(Shape{4}, rng));
+  for (int party : {0, 2}) {
+    const auto& log = harness.contexts[static_cast<std::size_t>(party)]
+                          .detections;
+    EXPECT_EQ(log.count(DetectionEvent::Kind::kCommitmentViolation), 1u)
+        << "party " << party;
+    // The violator is correctly identified.
+    for (const auto& event : log.events) {
+      if (event.kind == DetectionEvent::Kind::kCommitmentViolation) {
+        EXPECT_EQ(event.suspect, 1);
+      }
+    }
+  }
+}
+
+TEST(OpenTest, Case2TargetedViolationDetectedOnlyByVictim) {
+  ThreePartyHarness harness(SecurityMode::kMalicious);
+  ByzantineConfig config;
+  config.behavior = ByzantineConfig::Behavior::kCommitmentViolationSingle;
+  config.target_peer = 0;
+  harness.make_byzantine(1, config);
+  Rng rng(7);
+  open_once(harness, random_ring(Shape{4}, rng));
+  const auto& victim = harness.contexts[0].detections;
+  const auto& bystander = harness.contexts[2].detections;
+  EXPECT_EQ(victim.count(DetectionEvent::Kind::kCommitmentViolation), 1u);
+  EXPECT_EQ(bystander.count(DetectionEvent::Kind::kCommitmentViolation), 0u);
+}
+
+TEST(OpenTest, Case3ConsistentCorruptionCaughtByDistanceRule) {
+  // Exercise the paper's bare decision rule: share authentication off.
+  ThreePartyHarness harness(SecurityMode::kMalicious);
+  for (auto& ctx : harness.contexts) {
+    ctx.share_authentication = false;
+  }
+  ByzantineConfig config;
+  config.behavior = ByzantineConfig::Behavior::kConsistentCorruption;
+  harness.make_byzantine(2, config);
+  Rng rng(8);
+  open_once(harness, random_ring(Shape{4}, rng));
+  for (int party : {0, 1}) {
+    const auto& log =
+        harness.contexts[static_cast<std::size_t>(party)].detections;
+    // No commitment violation (the hashes matched)...
+    EXPECT_EQ(log.count(DetectionEvent::Kind::kCommitmentViolation), 0u);
+    // ...but the distance rule flags and attributes the anomaly.
+    EXPECT_EQ(log.count(DetectionEvent::Kind::kDistanceAnomaly), 1u);
+    EXPECT_EQ(log.count(DetectionEvent::Kind::kByzantineSuspected), 1u);
+    for (const auto& event : log.events) {
+      if (event.kind == DetectionEvent::Kind::kByzantineSuspected) {
+        EXPECT_EQ(event.suspect, 2);
+      }
+    }
+  }
+}
+
+TEST(OpenTest, CoordinatedDeltaForgesAgreementUnderBareMinDistRule) {
+  // The attack the paper's §III-B argument misses: the Byzantine party
+  // holds copies of two share-1 values, so adding the SAME delta to
+  // all its components forges a reconstruction pair (s^j, ŝ^k), j!=k,
+  // that agrees exactly and ties with the honest pair.  With share
+  // authentication disabled (paper-faithful mode) honest parties adopt
+  // the shifted value.
+  ThreePartyHarness harness(SecurityMode::kMalicious);
+  for (auto& ctx : harness.contexts) {
+    ctx.share_authentication = false;
+  }
+  ByzantineConfig config;
+  config.behavior = ByzantineConfig::Behavior::kCoordinatedDelta;
+  harness.make_byzantine(1, config);
+  Rng rng(31);
+  const RingTensor secret = random_ring(Shape{4}, rng);
+  const auto results = open_once(harness, secret);
+  // Both honest parties are fooled into the same (wrong) value: the
+  // forged pair (s^1, ŝ^2-of-the-byzantine-set) is scanned before the
+  // honest pair and has distance zero.
+  EXPECT_NE(results[0], secret);
+  EXPECT_NE(results[2], secret);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(OpenTest, ShareAuthenticationDefeatsCoordinatedDelta) {
+  ThreePartyHarness harness(SecurityMode::kMalicious);
+  ByzantineConfig config;
+  config.behavior = ByzantineConfig::Behavior::kCoordinatedDelta;
+  harness.make_byzantine(1, config);
+  Rng rng(32);
+  const RingTensor secret = random_ring(Shape{4}, rng);
+  const auto results = open_once(harness, secret);
+  EXPECT_EQ(results[0], secret);
+  EXPECT_EQ(results[2], secret);
+  // Each honest observer attributes the tamper to party 1 via its own
+  // share copy.
+  for (int party : {0, 2}) {
+    const auto& log =
+        harness.contexts[static_cast<std::size_t>(party)].detections;
+    EXPECT_GE(log.count(DetectionEvent::Kind::kShareAuthFailure), 1u)
+        << "party " << party;
+    for (const auto& event : log.events) {
+      if (event.kind == DetectionEvent::Kind::kShareAuthFailure) {
+        EXPECT_EQ(event.suspect, 1);
+      }
+    }
+  }
+}
+
+TEST(OpenTest, StealthyDupSecondAttackAttributedByOneObserver) {
+  // Tampering only the duplicate + second components evades the
+  // own-primary check at one observer.  The observer holding the
+  // primary copy of the tampered duplicate attributes the attack and
+  // recovers; the other observer can only detect the copy conflict
+  // (documented limitation; classic RSS with replicated share-2 would
+  // close it).
+  ThreePartyHarness harness(SecurityMode::kMalicious);
+  ByzantineConfig config;
+  config.behavior = ByzantineConfig::Behavior::kStealthyDupSecond;
+  harness.make_byzantine(1, config);
+  Rng rng(33);
+  const RingTensor secret = random_ring(Shape{4}, rng);
+  const auto results = open_once(harness, secret);
+  // Party 2 owns the primary copy of party 1's duplicated share-1
+  // (set 2), so it attributes and recovers.
+  EXPECT_EQ(results[2], secret);
+  EXPECT_GE(harness.contexts[2].detections.count(
+                DetectionEvent::Kind::kShareAuthFailure),
+            1u);
+  // Party 0 sees conflicting copies of set 2's share-1 and flags the
+  // ambiguity.
+  EXPECT_GE(harness.contexts[0].detections.count(
+                DetectionEvent::Kind::kShareCopyConflict),
+            1u);
+}
+
+TEST(OpenTest, SilentPartyToleratedViaTimeouts) {
+  net::NetworkConfig net_config;
+  net_config.recv_timeout = std::chrono::milliseconds(80);
+  ThreePartyHarness harness(SecurityMode::kMalicious, net_config);
+  ByzantineConfig config;
+  config.behavior = ByzantineConfig::Behavior::kDropMessages;
+  harness.make_byzantine(0, config);
+  Rng rng(9);
+  const RingTensor secret = random_ring(Shape{3}, rng);
+  const auto results = open_once(harness, secret);
+  EXPECT_EQ(results[1], secret);
+  EXPECT_EQ(results[2], secret);
+  EXPECT_GE(harness.contexts[1].detections.count(
+                DetectionEvent::Kind::kMissingMessage),
+            1u);
+}
+
+TEST(OpenTest, MalformedPayloadInvalidatesSenderOnly) {
+  // A Byzantine party sending structurally bogus bytes must not crash
+  // honest parties.
+  class GarbageAdversary final : public AdversaryHooks {
+   public:
+    std::optional<std::vector<PartyShare>> replace_shares_for(
+        std::uint64_t, int, const std::vector<PartyShare>&) override {
+      // Send one tiny wrong-shaped share vector.
+      std::vector<PartyShare> bogus(1);
+      bogus[0] = zero_share(Shape{1});
+      return bogus;
+    }
+  };
+  ThreePartyHarness harness(SecurityMode::kMalicious);
+  GarbageAdversary garbage;
+  harness.contexts[1].adversary = &garbage;
+  Rng rng(10);
+  const RingTensor secret = random_ring(Shape{4, 4}, rng);
+  const auto results = open_once(harness, secret);
+  EXPECT_EQ(results[0], secret);
+  EXPECT_EQ(results[2], secret);
+}
+
+TEST(OpenTest, ToleranceAcceptsOffByOneUlpReconstructions) {
+  // Share-local truncation perturbs different sets by ±1 ulp; the
+  // decision rule must treat those as equal.  Emulate by nudging one
+  // share by 1.
+  ThreePartyHarness harness(SecurityMode::kMalicious);
+  Rng rng(11);
+  const RingTensor secret = random_ring(Shape{4}, rng);
+  auto views = share_secret(secret, rng);
+  views[0].primary[0] += 1;  // set 0 reconstructs secret+1
+  std::array<RingTensor, 3> results;
+  harness.run([&](PartyContext& ctx) {
+    results[static_cast<std::size_t>(ctx.party)] =
+        open_value(ctx, views[static_cast<std::size_t>(ctx.party)]);
+  });
+  for (int party = 0; party < 3; ++party) {
+    EXPECT_LE(ring_distance(results[static_cast<std::size_t>(party)], secret),
+              1u);
+    EXPECT_EQ(harness.contexts[static_cast<std::size_t>(party)]
+                  .detections.count(DetectionEvent::Kind::kDistanceAnomaly),
+              0u);
+  }
+}
+
+TEST(OpenTest, Case3ConsistentCorruptionAttributedByShareAuthentication) {
+  // Same attack with the hardening enabled: the copy checks attribute
+  // it before the distance rule even runs.
+  ThreePartyHarness harness(SecurityMode::kMalicious);
+  ByzantineConfig config;
+  config.behavior = ByzantineConfig::Behavior::kConsistentCorruption;
+  harness.make_byzantine(2, config);
+  Rng rng(8);
+  const RingTensor secret = random_ring(Shape{4}, rng);
+  const auto results = open_once(harness, secret);
+  EXPECT_EQ(results[0], secret);
+  EXPECT_EQ(results[1], secret);
+  for (int party : {0, 1}) {
+    const auto& log =
+        harness.contexts[static_cast<std::size_t>(party)].detections;
+    EXPECT_GE(log.count(DetectionEvent::Kind::kShareAuthFailure), 1u);
+    for (const auto& event : log.events) {
+      if (event.kind == DetectionEvent::Kind::kShareAuthFailure) {
+        EXPECT_EQ(event.suspect, 2);
+      }
+    }
+  }
+}
+
+TEST(OpenTest, ProbabilisticAttackerCaughtOnAttackedSteps) {
+  ThreePartyHarness harness(SecurityMode::kMalicious);
+  for (auto& ctx : harness.contexts) {
+    ctx.share_authentication = false;  // count distance-rule catches
+  }
+  ByzantineConfig config;
+  config.behavior = ByzantineConfig::Behavior::kConsistentCorruption;
+  config.probability = 0.5;
+  harness.make_byzantine(1, config);
+  Rng rng(12);
+  const int rounds = 20;
+  std::vector<std::array<PartyShare, 3>> all_views;
+  std::vector<RingTensor> secrets;
+  for (int round = 0; round < rounds; ++round) {
+    secrets.push_back(random_ring(Shape{3}, rng));
+    all_views.push_back(share_secret(secrets.back(), rng));
+  }
+  std::array<std::vector<RingTensor>, 3> results;
+  harness.run([&](PartyContext& ctx) {
+    for (int round = 0; round < rounds; ++round) {
+      results[static_cast<std::size_t>(ctx.party)].push_back(open_value(
+          ctx,
+          all_views[static_cast<std::size_t>(round)]
+                   [static_cast<std::size_t>(ctx.party)]));
+    }
+  });
+  for (int round = 0; round < rounds; ++round) {
+    EXPECT_EQ(results[0][static_cast<std::size_t>(round)],
+              secrets[static_cast<std::size_t>(round)]);
+    EXPECT_EQ(results[2][static_cast<std::size_t>(round)],
+              secrets[static_cast<std::size_t>(round)]);
+  }
+  const auto attacks = harness.adversary->attacks_launched();
+  EXPECT_GT(attacks, 0u);
+  EXPECT_LT(attacks, static_cast<std::uint64_t>(rounds));
+  EXPECT_EQ(harness.contexts[0].detections.count(
+                DetectionEvent::Kind::kDistanceAnomaly),
+            attacks);
+}
+
+}  // namespace
+}  // namespace trustddl::mpc

@@ -1,0 +1,157 @@
+#include "mpc/protocols_hbc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mpc/sharing.hpp"
+#include "net/runtime.hpp"
+#include "numeric/fixed_point.hpp"
+#include "test_util.hpp"
+
+namespace trustddl::mpc {
+namespace {
+
+using testing::random_real;
+
+constexpr int kF = fx::kDefaultFracBits;
+
+/// Deal a plain Beaver triple for N parties.
+std::vector<PlainTriple> deal_plain_triples(const Shape& a_shape,
+                                            const Shape& b_shape,
+                                            bool matrix, int n, Rng& rng) {
+  RingTensor a(a_shape);
+  RingTensor b(b_shape);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.next_u64();
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = rng.next_u64();
+  }
+  const RingTensor c = matrix ? matmul(a, b) : hadamard(a, b);
+  const auto a_shares = create_additive_shares(a, n, rng);
+  const auto b_shares = create_additive_shares(b, n, rng);
+  const auto c_shares = create_additive_shares(c, n, rng);
+  std::vector<PlainTriple> out;
+  for (int party = 0; party < n; ++party) {
+    const auto index = static_cast<std::size_t>(party);
+    out.push_back(PlainTriple{a_shares[index], b_shares[index],
+                              c_shares[index]});
+  }
+  return out;
+}
+
+class PlainProtocolSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlainProtocolSweep, SecMulMatchesPlaintextForNParties) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 31);
+  const Shape shape{4, 3};
+  const RealTensor x = random_real(shape, rng);
+  const RealTensor y = random_real(shape, rng);
+  const auto x_shares = create_additive_shares(to_ring(x, kF), n, rng);
+  const auto y_shares = create_additive_shares(to_ring(y, kF), n, rng);
+  const auto triples = deal_plain_triples(shape, shape, false, n, rng);
+
+  net::Network network(net::NetworkConfig{.num_parties = n});
+  std::vector<RingTensor> z_shares(static_cast<std::size_t>(n));
+  net::run_parties(n, [&](net::PartyId party) {
+    const auto index = static_cast<std::size_t>(party);
+    PlainContext ctx{network.endpoint(party), party, n, 0};
+    z_shares[index] = sec_mul(ctx, x_shares[index], y_shares[index],
+                              triples[index], /*designated=*/n - 1);
+  });
+
+  const RealTensor result =
+      to_real(truncate(reconstruct_additive(z_shares), kF), kF);
+  EXPECT_LT(max_abs_diff(result, hadamard(x, y)), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartyCounts, PlainProtocolSweep,
+                         ::testing::Values(2, 3, 4));
+
+TEST(PlainProtocolTest, SecMatMulMatchesPlaintext) {
+  const int n = 2;
+  Rng rng(41);
+  const RealTensor x = random_real(Shape{3, 5}, rng, 2.0);
+  const RealTensor y = random_real(Shape{5, 2}, rng, 2.0);
+  const auto x_shares = create_additive_shares(to_ring(x, kF), n, rng);
+  const auto y_shares = create_additive_shares(to_ring(y, kF), n, rng);
+  const auto triples =
+      deal_plain_triples(Shape{3, 5}, Shape{5, 2}, true, n, rng);
+
+  net::Network network(net::NetworkConfig{.num_parties = n});
+  std::vector<RingTensor> z_shares(static_cast<std::size_t>(n));
+  net::run_parties(n, [&](net::PartyId party) {
+    const auto index = static_cast<std::size_t>(party);
+    PlainContext ctx{network.endpoint(party), party, n, 0};
+    z_shares[index] = sec_matmul(ctx, x_shares[index], y_shares[index],
+                                 triples[index], /*designated=*/0);
+  });
+
+  const RealTensor result =
+      to_real(truncate(reconstruct_additive(z_shares), kF), kF);
+  EXPECT_LT(max_abs_diff(result, matmul(x, y)), 1e-3);
+}
+
+TEST(PlainProtocolTest, SecCompRevealsSignsToAllParties) {
+  const int n = 3;
+  Rng rng(43);
+  const Shape shape{7};
+  const RealTensor x = random_real(shape, rng);
+  const RealTensor y = random_real(shape, rng);
+  const auto x_shares = create_additive_shares(to_ring(x, kF), n, rng);
+  const auto y_shares = create_additive_shares(to_ring(y, kF), n, rng);
+  RingTensor t(shape);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = fx::encode(rng.next_double(0.5, 2.0), kF);
+  }
+  const auto t_shares = create_additive_shares(t, n, rng);
+  const auto triples = deal_plain_triples(shape, shape, false, n, rng);
+
+  net::Network network(net::NetworkConfig{.num_parties = n});
+  std::vector<RingTensor> signs(static_cast<std::size_t>(n));
+  net::run_parties(n, [&](net::PartyId party) {
+    const auto index = static_cast<std::size_t>(party);
+    PlainContext ctx{network.endpoint(party), party, n, 0};
+    signs[index] = sec_comp(ctx, x_shares[index], y_shares[index],
+                            t_shares[index], triples[index],
+                            /*designated=*/1);
+  });
+
+  for (int party = 0; party < n; ++party) {
+    const auto& result = signs[static_cast<std::size_t>(party)];
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      const int expected = (x[i] - y[i] > 0) ? 1 : ((x[i] - y[i] < 0) ? -1 : 0);
+      EXPECT_EQ(static_cast<std::int64_t>(result[i]), expected)
+          << "party " << party << " element " << i;
+    }
+  }
+}
+
+TEST(PlainProtocolTest, DesignatedPartyOptimizationReducesTraffic) {
+  // With the designated-party optimization, masked shares flow to one
+  // party and the public result back: 2(N-1) tensor messages instead
+  // of N(N-1) for all-to-all exchange.
+  const int n = 4;
+  Rng rng(45);
+  const Shape shape{16, 16};
+  const RealTensor x = random_real(shape, rng);
+  const RealTensor y = random_real(shape, rng);
+  const auto x_shares = create_additive_shares(to_ring(x, kF), n, rng);
+  const auto y_shares = create_additive_shares(to_ring(y, kF), n, rng);
+  const auto triples = deal_plain_triples(shape, shape, false, n, rng);
+
+  net::Network network(net::NetworkConfig{.num_parties = n});
+  net::run_parties(n, [&](net::PartyId party) {
+    const auto index = static_cast<std::size_t>(party);
+    PlainContext ctx{network.endpoint(party), party, n, 0};
+    (void)sec_mul(ctx, x_shares[index], y_shares[index], triples[index], 0);
+  });
+  // Upstream: (n-1) messages carrying e,f shares; downstream: (n-1)
+  // broadcasts of the reconstructed e,f.
+  EXPECT_EQ(network.traffic().total_messages,
+            static_cast<std::uint64_t>(2 * (n - 1)));
+}
+
+}  // namespace
+}  // namespace trustddl::mpc

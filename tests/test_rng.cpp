@@ -1,0 +1,109 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace trustddl {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.next_double();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, DoubleRangeRespected) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.next_double(-2.5, 7.5);
+    EXPECT_GE(value, -2.5);
+    EXPECT_LT(value, 7.5);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowZeroIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(99);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(variance, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParameters) {
+  Rng rng(99);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.next_gaussian(5.0, 0.5);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) {
+    values.insert(parent.next_u64());
+    values.insert(child.next_u64());
+  }
+  EXPECT_EQ(values.size(), 100u);
+}
+
+TEST(RngTest, FillVector) {
+  Rng rng(3);
+  std::vector<std::uint64_t> values(64, 0);
+  rng.fill_u64(values);
+  std::set<std::uint64_t> unique(values.begin(), values.end());
+  EXPECT_EQ(unique.size(), 64u);
+}
+
+}  // namespace
+}  // namespace trustddl

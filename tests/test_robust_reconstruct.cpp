@@ -1,0 +1,144 @@
+// Owner-side robust reconstruction (mpc/robust_reconstruct.hpp): the
+// data/model owner combines the three parties' share triples and must
+// survive one corrupted or missing triple.
+#include "mpc/robust_reconstruct.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace trustddl::mpc {
+namespace {
+
+using testing::random_ring;
+
+std::array<std::optional<PartyShare>, 3> as_optional(
+    const std::array<PartyShare, 3>& views) {
+  return {views[0], views[1], views[2]};
+}
+
+TEST(RobustReconstructTest, AllHonestExact) {
+  Rng rng(1);
+  const RingTensor secret = random_ring(Shape{5, 3}, rng);
+  ReconstructReport report;
+  const RingTensor value =
+      robust_reconstruct(as_optional(share_secret(secret, rng)), 8, &report);
+  EXPECT_EQ(value, secret);
+  EXPECT_FALSE(report.anomaly);
+  EXPECT_FALSE(report.ambiguous);
+  EXPECT_EQ(report.suspect, -1);
+}
+
+class RobustReconstructMissingParty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RobustReconstructMissingParty, TwoTriplesSuffice) {
+  const int missing = GetParam();
+  Rng rng(2);
+  const RingTensor secret = random_ring(Shape{4}, rng);
+  auto triples = as_optional(share_secret(secret, rng));
+  triples[static_cast<std::size_t>(missing)].reset();
+  EXPECT_EQ(robust_reconstruct(triples, 8), secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parties, RobustReconstructMissingParty,
+                         ::testing::Values(0, 1, 2));
+
+class RobustReconstructCorruptComponent
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RobustReconstructCorruptComponent, SingleComponentCorruptionHealed) {
+  const auto [party, component] = GetParam();
+  Rng rng(3);
+  const RingTensor secret = random_ring(Shape{6}, rng);
+  auto views = share_secret(secret, rng);
+  RingTensor* target = nullptr;
+  switch (component) {
+    case 0:
+      target = &views[static_cast<std::size_t>(party)].primary;
+      break;
+    case 1:
+      target = &views[static_cast<std::size_t>(party)].duplicate;
+      break;
+    default:
+      target = &views[static_cast<std::size_t>(party)].second;
+      break;
+  }
+  for (std::size_t i = 0; i < target->size(); ++i) {
+    (*target)[i] += rng.next_u64() | (1ull << 42);
+  }
+  ReconstructReport report;
+  EXPECT_EQ(robust_reconstruct(as_optional(views), 8, &report), secret)
+      << "party " << party << " component " << component;
+  EXPECT_TRUE(report.anomaly);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RobustReconstructCorruptComponent,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(RobustReconstructTest, FullTripleCorruptionAttributed) {
+  Rng rng(4);
+  const RingTensor secret = random_ring(Shape{4}, rng);
+  auto views = share_secret(secret, rng);
+  // Party 1 corrupts second component only (primary/duplicate tampering
+  // is caught by the copy conflict check, which invalidates the set
+  // rather than attributing — test the attributable path).
+  for (std::size_t i = 0; i < views[1].second.size(); ++i) {
+    views[1].second[i] += (1ull << 50) + i;
+  }
+  ReconstructReport report;
+  EXPECT_EQ(robust_reconstruct(as_optional(views), 8, &report), secret);
+  EXPECT_TRUE(report.anomaly);
+  EXPECT_EQ(report.suspect, 1);
+}
+
+TEST(RobustReconstructTest, CopyConflictInvalidatesSet) {
+  Rng rng(5);
+  const RingTensor secret = random_ring(Shape{4}, rng);
+  auto views = share_secret(secret, rng);
+  // Tamper the duplicate copy of set 1's share-1 (held by party 0):
+  // primary copy at party 1 stays intact -> conflicting copies.
+  views[0].duplicate[2] += 12345;
+  ReconstructReport report;
+  EXPECT_EQ(robust_reconstruct(as_optional(views), 8, &report), secret);
+  EXPECT_TRUE(report.anomaly);
+}
+
+TEST(RobustReconstructTest, GarbageShapeTreatedAsAbsent) {
+  Rng rng(6);
+  const RingTensor secret = random_ring(Shape{4}, rng);
+  auto views = share_secret(secret, rng);
+  views[2].primary = RingTensor(Shape{1});   // wrong shape
+  views[2].duplicate = RingTensor(Shape{1});
+  views[2].second = RingTensor(Shape{1});
+  EXPECT_EQ(robust_reconstruct(as_optional(views), 8), secret);
+}
+
+TEST(RobustReconstructTest, FewerThanTwoTriplesThrows) {
+  Rng rng(7);
+  const RingTensor secret = random_ring(Shape{4}, rng);
+  auto triples = as_optional(share_secret(secret, rng));
+  triples[0].reset();
+  triples[1].reset();
+  EXPECT_THROW(robust_reconstruct(triples, 8), ProtocolError);
+}
+
+TEST(RobustReconstructTest, SmallUlpDriftTolerated) {
+  // Share-local truncation drift: sets differ by 1 ulp; within
+  // tolerance this is not an anomaly.  Drift enters via the second
+  // shares (the share-1 copies are identical by construction, so
+  // tampering a single copy would correctly trip the conflict check).
+  Rng rng(8);
+  const RingTensor secret = random_ring(Shape{4}, rng);
+  auto views = share_secret(secret, rng);
+  views[static_cast<std::size_t>(holder_of_second(0))].second[0] += 1;
+  ReconstructReport report;
+  const RingTensor value = robust_reconstruct(as_optional(views), 8, &report);
+  EXPECT_LE(ring_distance(value, secret), 1u);
+  EXPECT_FALSE(report.anomaly);
+}
+
+}  // namespace
+}  // namespace trustddl::mpc

@@ -1,0 +1,71 @@
+#include "common/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace trustddl {
+namespace {
+
+// FIPS 180-4 / NIST CAVP reference vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256::hex(Sha256::hash(std::string{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256::hex(Sha256::hash(std::string{"abc"})),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256::hex(Sha256::hash(std::string{
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"})),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    hasher.update(chunk);
+  }
+  EXPECT_EQ(Sha256::hex(hasher.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 64-byte input exercises the padding-into-new-block path.
+  const std::string input(64, 'x');
+  Sha256 one_shot;
+  one_shot.update(input);
+  Sha256 split;
+  split.update(input.substr(0, 17));
+  split.update(input.substr(17));
+  EXPECT_EQ(Sha256::hex(one_shot.finish()), Sha256::hex(split.finish()));
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string input = "TrustDDL commitment phase test payload";
+  Sha256 incremental;
+  for (char character : input) {
+    incremental.update(std::string(1, character));
+  }
+  EXPECT_EQ(Sha256::hex(incremental.finish()),
+            Sha256::hex(Sha256::hash(input)));
+}
+
+TEST(Sha256Test, DifferentInputsDiffer) {
+  EXPECT_NE(Sha256::hex(Sha256::hash(std::string{"share-a"})),
+            Sha256::hex(Sha256::hash(std::string{"share-b"})));
+}
+
+TEST(Sha256Test, BytesOverloadMatchesString) {
+  const std::string text = "payload";
+  const Bytes bytes(text.begin(), text.end());
+  EXPECT_EQ(Sha256::hash(bytes), Sha256::hash(text));
+}
+
+}  // namespace
+}  // namespace trustddl

@@ -1,0 +1,116 @@
+// Serialization of shares, triples and tensors (mpc/share_serde.hpp,
+// numeric/serde.hpp), including robustness to hostile payloads.
+#include "mpc/share_serde.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "numeric/serde.hpp"
+#include "test_util.hpp"
+
+namespace trustddl::mpc {
+namespace {
+
+using testing::random_ring;
+
+TEST(ShareSerdeTest, PartyShareRoundTrip) {
+  Rng rng(1);
+  const auto views = share_secret(random_ring(Shape{3, 4}, rng), rng);
+  for (const auto& view : views) {
+    ByteWriter writer;
+    write_party_share(writer, view);
+    ByteReader reader(writer.bytes());
+    const PartyShare restored = read_party_share(reader);
+    EXPECT_EQ(restored.primary, view.primary);
+    EXPECT_EQ(restored.duplicate, view.duplicate);
+    EXPECT_EQ(restored.second, view.second);
+    EXPECT_TRUE(reader.at_end());
+  }
+}
+
+TEST(ShareSerdeTest, BeaverTripleRoundTrip) {
+  Rng rng(2);
+  const auto triples = deal_matmul_triple(3, 4, 2, rng);
+  ByteWriter writer;
+  write_beaver_share(writer, triples[1]);
+  ByteReader reader(writer.bytes());
+  const BeaverTripleShare restored = read_beaver_share(reader);
+  EXPECT_EQ(restored.a.primary, triples[1].a.primary);
+  EXPECT_EQ(restored.b.second, triples[1].b.second);
+  EXPECT_EQ(restored.c.duplicate, triples[1].c.duplicate);
+}
+
+TEST(ShareSerdeTest, TruncPairRoundTrip) {
+  Rng rng(3);
+  const auto pairs = deal_trunc_pair(Shape{7}, 20, rng);
+  ByteWriter writer;
+  write_trunc_pair(writer, pairs[2]);
+  ByteReader reader(writer.bytes());
+  const TruncPairShare restored = read_trunc_pair(reader);
+  EXPECT_EQ(restored.r.primary, pairs[2].r.primary);
+  EXPECT_EQ(restored.r_shifted.second, pairs[2].r_shifted.second);
+}
+
+TEST(ShareSerdeTest, TruncatedPayloadThrows) {
+  Rng rng(4);
+  const auto views = share_secret(random_ring(Shape{8}, rng), rng);
+  ByteWriter writer;
+  write_party_share(writer, views[0]);
+  Bytes data = writer.take();
+  data.resize(data.size() / 2);
+  ByteReader reader(data);
+  EXPECT_THROW(read_party_share(reader), SerializationError);
+}
+
+TEST(TensorSerdeTest, RoundTripVariousShapes) {
+  Rng rng(5);
+  for (const Shape& shape :
+       {Shape{1}, Shape{16}, Shape{3, 5}, Shape{2, 3, 4}}) {
+    const RingTensor tensor = random_ring(shape, rng);
+    EXPECT_EQ(tensor_from_bytes(tensor_to_bytes(tensor)), tensor);
+  }
+}
+
+TEST(TensorSerdeTest, RealTensorRoundTrip) {
+  Rng rng(6);
+  RealTensor tensor(Shape{4, 4});
+  for (std::size_t i = 0; i < tensor.size(); ++i) {
+    tensor[i] = rng.next_double(-1e6, 1e6);
+  }
+  ByteWriter writer;
+  write_real_tensor(writer, tensor);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(read_real_tensor(reader).values(), tensor.values());
+}
+
+TEST(TensorSerdeTest, HostileRankRejected) {
+  ByteWriter writer;
+  writer.write_u64(99);  // absurd rank
+  EXPECT_THROW(tensor_from_bytes(writer.bytes()), SerializationError);
+}
+
+TEST(TensorSerdeTest, HostileSizeRejectedBeforeAllocation) {
+  ByteWriter writer;
+  writer.write_u64(2);                   // rank 2
+  writer.write_u64(1u << 30);            // dims whose product is huge
+  writer.write_u64(1u << 30);
+  EXPECT_THROW(tensor_from_bytes(writer.bytes()), SerializationError);
+}
+
+TEST(TensorSerdeTest, TrailingBytesRejected) {
+  Rng rng(7);
+  Bytes data = tensor_to_bytes(random_ring(Shape{2}, rng));
+  data.push_back(0);
+  EXPECT_THROW(tensor_from_bytes(data), SerializationError);
+}
+
+TEST(TensorSerdeTest, BitFlipChangesTensor) {
+  Rng rng(8);
+  const RingTensor tensor = random_ring(Shape{4}, rng);
+  Bytes data = tensor_to_bytes(tensor);
+  data.back() ^= 0x01;
+  EXPECT_NE(tensor_from_bytes(data), tensor);
+}
+
+}  // namespace
+}  // namespace trustddl::mpc

@@ -1,0 +1,174 @@
+#include "numeric/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "numeric/fixed_point.hpp"
+
+namespace trustddl {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  RealTensor t(Shape{2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t[i], 0.0);
+  }
+}
+
+TEST(TensorTest, DataSizeMismatchThrows) {
+  EXPECT_THROW(RealTensor(Shape{2, 2}, std::vector<double>{1.0, 2.0}),
+               InvalidArgument);
+}
+
+TEST(TensorTest, FullAndAt) {
+  auto t = RealTensor::full(Shape{2, 2}, 7.0);
+  t.at(0, 1) = 3.0;
+  EXPECT_EQ(t.at(0, 0), 7.0);
+  EXPECT_EQ(t.at(0, 1), 3.0);
+  EXPECT_EQ(t[1], 3.0);  // row-major layout
+}
+
+TEST(TensorTest, AddSubtract) {
+  RealTensor a(Shape{2}, {1.0, 2.0});
+  RealTensor b(Shape{2}, {10.0, 20.0});
+  EXPECT_EQ((a + b).values(), (std::vector<double>{11.0, 22.0}));
+  EXPECT_EQ((b - a).values(), (std::vector<double>{9.0, 18.0}));
+  EXPECT_EQ((-a).values(), (std::vector<double>{-1.0, -2.0}));
+}
+
+TEST(TensorTest, ShapeMismatchThrows) {
+  RealTensor a(Shape{2});
+  RealTensor b(Shape{3});
+  EXPECT_THROW(a += b, InvalidArgument);
+}
+
+TEST(TensorTest, RingArithmeticWraps) {
+  RingTensor a(Shape{1}, {~std::uint64_t{0}});
+  RingTensor b(Shape{1}, {1});
+  EXPECT_EQ((a + b)[0], 0u);
+  RingTensor zero(Shape{1}, {0});
+  EXPECT_EQ((zero - b)[0], ~std::uint64_t{0});
+}
+
+TEST(TensorTest, MatmulKnownValues) {
+  RealTensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  RealTensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  const RealTensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.values(), (std::vector<double>{58, 64, 139, 154}));
+}
+
+TEST(TensorTest, MatmulAgainstNaiveReference) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = 1 + rng.next_below(8);
+    const std::size_t k = 1 + rng.next_below(8);
+    const std::size_t n = 1 + rng.next_below(8);
+    RealTensor a(Shape{m, k});
+    RealTensor b(Shape{k, n});
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = rng.next_double(-2, 2);
+    }
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b[i] = rng.next_double(-2, 2);
+    }
+    const RealTensor fast = matmul(a, b);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0;
+        for (std::size_t p = 0; p < k; ++p) {
+          acc += a.at(i, p) * b.at(p, j);
+        }
+        EXPECT_NEAR(fast.at(i, j), acc, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(TensorTest, MatmulDimensionMismatchThrows) {
+  RealTensor a(Shape{2, 3});
+  RealTensor b(Shape{2, 3});
+  EXPECT_THROW(matmul(a, b), InvalidArgument);
+}
+
+TEST(TensorTest, Transpose) {
+  RealTensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const RealTensor t = transpose(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.values(), (std::vector<double>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(TensorTest, HadamardAndScale) {
+  RealTensor a(Shape{3}, {1, 2, 3});
+  RealTensor b(Shape{3}, {4, 5, 6});
+  EXPECT_EQ(hadamard(a, b).values(), (std::vector<double>{4, 10, 18}));
+  EXPECT_EQ(scale(a, 2.0).values(), (std::vector<double>{2, 4, 6}));
+}
+
+TEST(TensorTest, SumAndSumRows) {
+  RealTensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(sum(a), 21.0);
+  EXPECT_EQ(sum_rows(a).values(), (std::vector<double>{5, 7, 9}));
+}
+
+TEST(TensorTest, Argmax) {
+  RealTensor a(Shape{5}, {0.1, 0.9, 0.3, 0.9, 0.2});
+  EXPECT_EQ(argmax(a), 1u);  // first maximum wins
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  RealTensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const RealTensor b = a.reshape(Shape{3, 2});
+  EXPECT_EQ(b.values(), a.values());
+  EXPECT_THROW(a.reshape(Shape{4, 2}), InvalidArgument);
+}
+
+TEST(TensorTest, RingRealConversionRoundTrip) {
+  Rng rng(77);
+  RealTensor real(Shape{4, 4});
+  for (std::size_t i = 0; i < real.size(); ++i) {
+    real[i] = rng.next_double(-100, 100);
+  }
+  const RealTensor round_tripped =
+      to_real(to_ring(real, fx::kDefaultFracBits), fx::kDefaultFracBits);
+  EXPECT_LT(max_abs_diff(real, round_tripped), fx::epsilon() * 2);
+}
+
+TEST(TensorTest, TruncateRescalesRingProducts) {
+  const RealTensor x(Shape{2}, {1.5, -2.0});
+  const RealTensor y(Shape{2}, {4.0, 3.0});
+  const RingTensor product =
+      hadamard(to_ring(x, 20), to_ring(y, 20));  // scale 2^40
+  const RealTensor rescaled = to_real(truncate(product, 20), 20);
+  EXPECT_NEAR(rescaled[0], 6.0, 1e-4);
+  EXPECT_NEAR(rescaled[1], -6.0, 1e-4);
+}
+
+TEST(TensorTest, RingDistanceDetectsCorruption) {
+  RingTensor a(Shape{3}, {10, 20, 30});
+  RingTensor b = a;
+  EXPECT_EQ(ring_distance(a, b), 0u);
+  b[1] += 5;
+  EXPECT_EQ(ring_distance(a, b), 5u);
+}
+
+TEST(TensorTest, EqualityOperators) {
+  RingTensor a(Shape{2}, {1, 2});
+  RingTensor b(Shape{2}, {1, 2});
+  RingTensor c(Shape{2}, {1, 3});
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a != c);
+}
+
+TEST(TensorTest, ShapeToString) {
+  EXPECT_EQ(shape_to_string(Shape{2, 3, 4}), "[2, 3, 4]");
+  EXPECT_EQ(shape_to_string(Shape{}), "[]");
+}
+
+}  // namespace
+}  // namespace trustddl
