@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_layerwise.dir/bench_ablation_layerwise.cpp.o"
+  "CMakeFiles/bench_ablation_layerwise.dir/bench_ablation_layerwise.cpp.o.d"
+  "bench_ablation_layerwise"
+  "bench_ablation_layerwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_layerwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

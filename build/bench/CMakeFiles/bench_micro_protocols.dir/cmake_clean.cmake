@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_protocols.dir/bench_micro_protocols.cpp.o"
+  "CMakeFiles/bench_micro_protocols.dir/bench_micro_protocols.cpp.o.d"
+  "bench_micro_protocols"
+  "bench_micro_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_recovery.dir/byzantine_recovery.cpp.o"
+  "CMakeFiles/byzantine_recovery.dir/byzantine_recovery.cpp.o.d"
+  "byzantine_recovery"
+  "byzantine_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

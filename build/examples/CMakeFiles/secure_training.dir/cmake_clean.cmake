@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_training.dir/secure_training.cpp.o"
+  "CMakeFiles/secure_training.dir/secure_training.cpp.o.d"
+  "secure_training"
+  "secure_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustddl_baselines.dir/adapters.cpp.o"
+  "CMakeFiles/trustddl_baselines.dir/adapters.cpp.o.d"
+  "CMakeFiles/trustddl_baselines.dir/falcon/falcon.cpp.o"
+  "CMakeFiles/trustddl_baselines.dir/falcon/falcon.cpp.o.d"
+  "CMakeFiles/trustddl_baselines.dir/generic_net_helpers.cpp.o"
+  "CMakeFiles/trustddl_baselines.dir/generic_net_helpers.cpp.o.d"
+  "CMakeFiles/trustddl_baselines.dir/securenn/securenn.cpp.o"
+  "CMakeFiles/trustddl_baselines.dir/securenn/securenn.cpp.o.d"
+  "libtrustddl_baselines.a"
+  "libtrustddl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustddl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustddl_common.dir/error.cpp.o"
+  "CMakeFiles/trustddl_common.dir/error.cpp.o.d"
+  "CMakeFiles/trustddl_common.dir/logging.cpp.o"
+  "CMakeFiles/trustddl_common.dir/logging.cpp.o.d"
+  "CMakeFiles/trustddl_common.dir/rng.cpp.o"
+  "CMakeFiles/trustddl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/trustddl_common.dir/sha256.cpp.o"
+  "CMakeFiles/trustddl_common.dir/sha256.cpp.o.d"
+  "libtrustddl_common.a"
+  "libtrustddl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustddl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustddl_core.dir/engine.cpp.o"
+  "CMakeFiles/trustddl_core.dir/engine.cpp.o.d"
+  "CMakeFiles/trustddl_core.dir/owner_link.cpp.o"
+  "CMakeFiles/trustddl_core.dir/owner_link.cpp.o.d"
+  "CMakeFiles/trustddl_core.dir/owner_service.cpp.o"
+  "CMakeFiles/trustddl_core.dir/owner_service.cpp.o.d"
+  "CMakeFiles/trustddl_core.dir/secure_model.cpp.o"
+  "CMakeFiles/trustddl_core.dir/secure_model.cpp.o.d"
+  "libtrustddl_core.a"
+  "libtrustddl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustddl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

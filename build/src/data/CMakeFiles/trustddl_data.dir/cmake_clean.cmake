@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustddl_data.dir/synthetic_mnist.cpp.o"
+  "CMakeFiles/trustddl_data.dir/synthetic_mnist.cpp.o.d"
+  "libtrustddl_data.a"
+  "libtrustddl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustddl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpc/adversary.cpp" "src/mpc/CMakeFiles/trustddl_mpc.dir/adversary.cpp.o" "gcc" "src/mpc/CMakeFiles/trustddl_mpc.dir/adversary.cpp.o.d"
+  "/root/repo/src/mpc/beaver.cpp" "src/mpc/CMakeFiles/trustddl_mpc.dir/beaver.cpp.o" "gcc" "src/mpc/CMakeFiles/trustddl_mpc.dir/beaver.cpp.o.d"
+  "/root/repo/src/mpc/context.cpp" "src/mpc/CMakeFiles/trustddl_mpc.dir/context.cpp.o" "gcc" "src/mpc/CMakeFiles/trustddl_mpc.dir/context.cpp.o.d"
+  "/root/repo/src/mpc/open.cpp" "src/mpc/CMakeFiles/trustddl_mpc.dir/open.cpp.o" "gcc" "src/mpc/CMakeFiles/trustddl_mpc.dir/open.cpp.o.d"
+  "/root/repo/src/mpc/protocols_bt.cpp" "src/mpc/CMakeFiles/trustddl_mpc.dir/protocols_bt.cpp.o" "gcc" "src/mpc/CMakeFiles/trustddl_mpc.dir/protocols_bt.cpp.o.d"
+  "/root/repo/src/mpc/protocols_hbc.cpp" "src/mpc/CMakeFiles/trustddl_mpc.dir/protocols_hbc.cpp.o" "gcc" "src/mpc/CMakeFiles/trustddl_mpc.dir/protocols_hbc.cpp.o.d"
+  "/root/repo/src/mpc/robust_reconstruct.cpp" "src/mpc/CMakeFiles/trustddl_mpc.dir/robust_reconstruct.cpp.o" "gcc" "src/mpc/CMakeFiles/trustddl_mpc.dir/robust_reconstruct.cpp.o.d"
+  "/root/repo/src/mpc/share_serde.cpp" "src/mpc/CMakeFiles/trustddl_mpc.dir/share_serde.cpp.o" "gcc" "src/mpc/CMakeFiles/trustddl_mpc.dir/share_serde.cpp.o.d"
+  "/root/repo/src/mpc/sharing.cpp" "src/mpc/CMakeFiles/trustddl_mpc.dir/sharing.cpp.o" "gcc" "src/mpc/CMakeFiles/trustddl_mpc.dir/sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trustddl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/trustddl_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trustddl_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

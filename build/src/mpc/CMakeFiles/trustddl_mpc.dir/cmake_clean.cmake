@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustddl_mpc.dir/adversary.cpp.o"
+  "CMakeFiles/trustddl_mpc.dir/adversary.cpp.o.d"
+  "CMakeFiles/trustddl_mpc.dir/beaver.cpp.o"
+  "CMakeFiles/trustddl_mpc.dir/beaver.cpp.o.d"
+  "CMakeFiles/trustddl_mpc.dir/context.cpp.o"
+  "CMakeFiles/trustddl_mpc.dir/context.cpp.o.d"
+  "CMakeFiles/trustddl_mpc.dir/open.cpp.o"
+  "CMakeFiles/trustddl_mpc.dir/open.cpp.o.d"
+  "CMakeFiles/trustddl_mpc.dir/protocols_bt.cpp.o"
+  "CMakeFiles/trustddl_mpc.dir/protocols_bt.cpp.o.d"
+  "CMakeFiles/trustddl_mpc.dir/protocols_hbc.cpp.o"
+  "CMakeFiles/trustddl_mpc.dir/protocols_hbc.cpp.o.d"
+  "CMakeFiles/trustddl_mpc.dir/robust_reconstruct.cpp.o"
+  "CMakeFiles/trustddl_mpc.dir/robust_reconstruct.cpp.o.d"
+  "CMakeFiles/trustddl_mpc.dir/share_serde.cpp.o"
+  "CMakeFiles/trustddl_mpc.dir/share_serde.cpp.o.d"
+  "CMakeFiles/trustddl_mpc.dir/sharing.cpp.o"
+  "CMakeFiles/trustddl_mpc.dir/sharing.cpp.o.d"
+  "libtrustddl_mpc.a"
+  "libtrustddl_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustddl_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

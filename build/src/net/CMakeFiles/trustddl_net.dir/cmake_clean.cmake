@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustddl_net.dir/network.cpp.o"
+  "CMakeFiles/trustddl_net.dir/network.cpp.o.d"
+  "CMakeFiles/trustddl_net.dir/runtime.cpp.o"
+  "CMakeFiles/trustddl_net.dir/runtime.cpp.o.d"
+  "libtrustddl_net.a"
+  "libtrustddl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustddl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtrustddl_net.a"
+)

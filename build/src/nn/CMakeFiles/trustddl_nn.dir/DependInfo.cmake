@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/trustddl_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/trustddl_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/trustddl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/trustddl_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/trustddl_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/trustddl_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/trustddl_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/trustddl_nn.dir/model_zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trustddl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/trustddl_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

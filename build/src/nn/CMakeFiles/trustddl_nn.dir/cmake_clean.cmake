@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustddl_nn.dir/layers.cpp.o"
+  "CMakeFiles/trustddl_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/trustddl_nn.dir/loss.cpp.o"
+  "CMakeFiles/trustddl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/trustddl_nn.dir/model.cpp.o"
+  "CMakeFiles/trustddl_nn.dir/model.cpp.o.d"
+  "CMakeFiles/trustddl_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/trustddl_nn.dir/model_zoo.cpp.o.d"
+  "libtrustddl_nn.a"
+  "libtrustddl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustddl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/conv.cpp" "src/numeric/CMakeFiles/trustddl_numeric.dir/conv.cpp.o" "gcc" "src/numeric/CMakeFiles/trustddl_numeric.dir/conv.cpp.o.d"
+  "/root/repo/src/numeric/fixed_point.cpp" "src/numeric/CMakeFiles/trustddl_numeric.dir/fixed_point.cpp.o" "gcc" "src/numeric/CMakeFiles/trustddl_numeric.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/numeric/serde.cpp" "src/numeric/CMakeFiles/trustddl_numeric.dir/serde.cpp.o" "gcc" "src/numeric/CMakeFiles/trustddl_numeric.dir/serde.cpp.o.d"
+  "/root/repo/src/numeric/tensor.cpp" "src/numeric/CMakeFiles/trustddl_numeric.dir/tensor.cpp.o" "gcc" "src/numeric/CMakeFiles/trustddl_numeric.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trustddl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustddl_numeric.dir/conv.cpp.o"
+  "CMakeFiles/trustddl_numeric.dir/conv.cpp.o.d"
+  "CMakeFiles/trustddl_numeric.dir/fixed_point.cpp.o"
+  "CMakeFiles/trustddl_numeric.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/trustddl_numeric.dir/serde.cpp.o"
+  "CMakeFiles/trustddl_numeric.dir/serde.cpp.o.d"
+  "CMakeFiles/trustddl_numeric.dir/tensor.cpp.o"
+  "CMakeFiles/trustddl_numeric.dir/tensor.cpp.o.d"
+  "libtrustddl_numeric.a"
+  "libtrustddl_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustddl_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dealer.dir/test_dealer.cpp.o"
+  "CMakeFiles/test_dealer.dir/test_dealer.cpp.o.d"
+  "test_dealer"
+  "test_dealer.pdb"
+  "test_dealer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dealer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

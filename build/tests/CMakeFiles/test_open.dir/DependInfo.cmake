@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_open.cpp" "tests/CMakeFiles/test_open.dir/test_open.cpp.o" "gcc" "tests/CMakeFiles/test_open.dir/test_open.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trustddl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/trustddl_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trustddl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/trustddl_mpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_open.dir/test_open.cpp.o"
+  "CMakeFiles/test_open.dir/test_open.cpp.o.d"
+  "test_open"
+  "test_open.pdb"
+  "test_open[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_open.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

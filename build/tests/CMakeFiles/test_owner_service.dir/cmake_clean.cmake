@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_owner_service.dir/test_owner_service.cpp.o"
+  "CMakeFiles/test_owner_service.dir/test_owner_service.cpp.o.d"
+  "test_owner_service"
+  "test_owner_service.pdb"
+  "test_owner_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_owner_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocols_bt.dir/test_protocols_bt.cpp.o"
+  "CMakeFiles/test_protocols_bt.dir/test_protocols_bt.cpp.o.d"
+  "test_protocols_bt"
+  "test_protocols_bt.pdb"
+  "test_protocols_bt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocols_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocols_hbc.dir/test_protocols_hbc.cpp.o"
+  "CMakeFiles/test_protocols_hbc.dir/test_protocols_hbc.cpp.o.d"
+  "test_protocols_hbc"
+  "test_protocols_hbc.pdb"
+  "test_protocols_hbc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocols_hbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

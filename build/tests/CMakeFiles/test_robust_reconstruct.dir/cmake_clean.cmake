@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robust_reconstruct.dir/test_robust_reconstruct.cpp.o"
+  "CMakeFiles/test_robust_reconstruct.dir/test_robust_reconstruct.cpp.o.d"
+  "test_robust_reconstruct"
+  "test_robust_reconstruct.pdb"
+  "test_robust_reconstruct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robust_reconstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secure_model.dir/test_secure_model.cpp.o"
+  "CMakeFiles/test_secure_model.dir/test_secure_model.cpp.o.d"
+  "test_secure_model"
+  "test_secure_model.pdb"
+  "test_secure_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secure_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_share_serde.dir/test_share_serde.cpp.o"
+  "CMakeFiles/test_share_serde.dir/test_share_serde.cpp.o.d"
+  "test_share_serde"
+  "test_share_serde.pdb"
+  "test_share_serde[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_share_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sha256[1]_include.cmake")
+include("/root/repo/build/tests/test_bytes[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_fixed_point[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_conv[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_sharing[1]_include.cmake")
+include("/root/repo/build/tests/test_open[1]_include.cmake")
+include("/root/repo/build/tests/test_protocols_bt[1]_include.cmake")
+include("/root/repo/build/tests/test_protocols_hbc[1]_include.cmake")
+include("/root/repo/build/tests/test_layers[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_secure_model[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_robust_reconstruct[1]_include.cmake")
+include("/root/repo/build/tests/test_share_serde[1]_include.cmake")
+include("/root/repo/build/tests/test_owner_service[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_dealer[1]_include.cmake")
