@@ -1,12 +1,22 @@
 // Microbenchmarks of the protocol building blocks (google-benchmark):
 // sharing/reconstruction, SHA-256 commitment hashing, the robust
 // opening in each security mode, SecMul-BT / SecMatMul-BT /
-// SecComp-BT, and both fixed-point truncation strategies.  Each
+// SecComp-BT, both fixed-point truncation strategies, and the
+// deferred-opening round scheduler (sequential vs batched).  Each
 // protocol iteration runs the real three-thread execution over the
 // in-process network.
+//
+// Pass --rounds_json=<path> to additionally record a round-accounting
+// snapshot of one Table I CNN training step (malicious mode, batching
+// off vs on) — the before/after evidence for the OpenBatch scheduler.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
 #include "common/sha256.hpp"
+#include "core/engine.hpp"
 #include "mpc/beaver.hpp"
 #include "mpc/open.hpp"
 #include "mpc/protocols_bt.hpp"
@@ -221,7 +231,213 @@ BENCHMARK_CAPTURE(BM_Truncation, local, mpc::TruncationMode::kLocal)
 BENCHMARK_CAPTURE(BM_Truncation, masked_open, mpc::TruncationMode::kMaskedOpen)
     ->Arg(1 << 12);
 
+/// Sequential-vs-batched opening of `range(0)` values: the per-call
+/// round cost the OpenBatch scheduler amortizes.  Counters report
+/// opening rounds per iteration and the achieved values-per-round
+/// (openings-per-call is 1 for the sequential baseline by definition).
+void BM_OpenScheduling(benchmark::State& state, bool batched) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  Rng rng(12);
+  const Shape shape{256};
+  std::vector<std::array<mpc::PartyShare, 3>> views;
+  for (std::size_t i = 0; i < count; ++i) {
+    views.push_back(mpc::share_secret(random_ring(shape, rng), rng));
+  }
+  std::uint64_t rounds = 0;
+  std::uint64_t values = 0;
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    net::Network network(net::NetworkConfig{.num_parties = 3});
+    std::array<mpc::PartyContext, 3> contexts;
+    for (int party = 0; party < 3; ++party) {
+      auto& ctx = contexts[static_cast<std::size_t>(party)];
+      ctx.endpoint = network.endpoint(party);
+      ctx.party = party;
+    }
+    net::run_parties(3, [&](net::PartyId party) {
+      auto& ctx = contexts[static_cast<std::size_t>(party)];
+      if (batched) {
+        mpc::OpenBatch batch(ctx);
+        std::vector<mpc::DeferredTensor> handles;
+        for (const auto& view : views) {
+          handles.push_back(
+              batch.enqueue_value(view[static_cast<std::size_t>(party)]));
+        }
+        batch.flush();
+        benchmark::DoNotOptimize(handles.back().get());
+      } else {
+        for (const auto& view : views) {
+          benchmark::DoNotOptimize(mpc::open_value(
+              ctx, view[static_cast<std::size_t>(party)]));
+        }
+      }
+    });
+    rounds += contexts[0].detections.opens;
+    values += contexts[0].detections.values_opened;
+    messages += network.traffic().total_messages;
+  }
+  const double iterations = static_cast<double>(state.iterations());
+  state.counters["rounds_per_batch"] = static_cast<double>(rounds) / iterations;
+  state.counters["values_per_round"] =
+      static_cast<double>(values) / static_cast<double>(rounds);
+  state.counters["messages"] = static_cast<double>(messages) / iterations;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK_CAPTURE(BM_OpenScheduling, sequential, false)->Arg(2)->Arg(8);
+BENCHMARK_CAPTURE(BM_OpenScheduling, batched, true)->Arg(2)->Arg(8);
+
+/// The converted layer-backward hot path: two data-independent matmuls
+/// with masked-open rescale, eager (4 rounds) vs one batch (2 rounds).
+void BM_BackwardPairRescaled(benchmark::State& state, bool batched) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  const auto x_views = mpc::share_secret(random_ring(Shape{n, n}, rng), rng);
+  const auto y_views = mpc::share_secret(random_ring(Shape{n, n}, rng), rng);
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    net::Network network(net::NetworkConfig{.num_parties = 3});
+    auto dealer = std::make_shared<mpc::SharedDealer>(14, kF);
+    std::array<mpc::PartyContext, 3> contexts;
+    for (int party = 0; party < 3; ++party) {
+      auto& ctx = contexts[static_cast<std::size_t>(party)];
+      ctx.endpoint = network.endpoint(party);
+      ctx.party = party;
+    }
+    net::run_parties(3, [&](net::PartyId party) {
+      const auto index = static_cast<std::size_t>(party);
+      auto& ctx = contexts[index];
+      mpc::LocalTripleSource source(dealer, party);
+      mpc::OpenBatch batch(ctx);
+      std::array<mpc::DeferredShare, 2> products;
+      for (auto& product : products) {
+        const auto triple = source.matmul_triple(n, n, n);
+        const auto pair = source.trunc_pair(Shape{n, n});
+        product = mpc::sec_matmul_bt_rescaled_prepare(
+            batch, x_views[index], y_views[index], triple,
+            mpc::TruncationMode::kMaskedOpen, &pair);
+        if (!batched) {
+          batch.flush_all();
+        }
+      }
+      batch.flush_all();
+      benchmark::DoNotOptimize(products[0].get());
+      benchmark::DoNotOptimize(products[1].get());
+    });
+    rounds += contexts[0].detections.opens;
+    messages += network.traffic().total_messages;
+  }
+  const double iterations = static_cast<double>(state.iterations());
+  state.counters["rounds_per_batch"] = static_cast<double>(rounds) / iterations;
+  state.counters["messages"] = static_cast<double>(messages) / iterations;
+}
+BENCHMARK_CAPTURE(BM_BackwardPairRescaled, eager, false)->Arg(16)->Arg(64);
+BENCHMARK_CAPTURE(BM_BackwardPairRescaled, batched, true)->Arg(16)->Arg(64);
+
+/// One Table I CNN training step through the full engine; returns the
+/// cost report for the round-accounting snapshot.
+core::CostReport table1_train_step_cost(bool batch_openings,
+                                        core::TruncationMode trunc_mode) {
+  data::SyntheticMnistConfig data_config;
+  data_config.train_count = 2;
+  data_config.test_count = 2;
+  data_config.seed = 42;
+  const auto split = data::generate_synthetic_mnist(data_config);
+
+  core::EngineConfig config;
+  config.mode = mpc::SecurityMode::kMalicious;
+  config.trunc_mode = trunc_mode;
+  config.batch_openings = batch_openings;
+  config.emulate_latency = true;
+  config.link_latency = std::chrono::microseconds(1);
+  config.collect_timeout = std::chrono::milliseconds(300);
+  core::TrustDdlEngine engine(nn::mnist_cnn_spec(), config);
+
+  core::TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = split.train.size();  // exactly one SGD step
+  options.learning_rate = 0.2;
+  options.reveal_weights = false;  // pure per-step protocol cost
+  return engine.train(split.train, split.test, options).cost;
+}
+
+void append_snapshot_entry(std::ostream& out, const char* key,
+                           const core::CostReport& cost) {
+  out << "    \"" << key << "\": {"
+      << "\"opening_rounds\": " << cost.opening_rounds << ", "
+      << "\"values_opened\": " << cost.values_opened << ", "
+      << "\"openings_per_round\": "
+      << static_cast<double>(cost.values_opened) /
+             static_cast<double>(cost.opening_rounds)
+      << ", \"total_messages\": " << cost.total_messages
+      << ", \"total_bytes\": " << cost.total_bytes << "}";
+}
+
+/// Record the before/after round accounting of the deferred-opening
+/// scheduler on one Table I CNN training step.  Returns false if the
+/// snapshot could not be written.
+bool write_rounds_snapshot(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << "{\n"
+      << "  \"workload\": \"table1_cnn_train_step\",\n"
+      << "  \"mode\": \"malicious\",\n"
+      << "  \"emulate_latency\": true,\n";
+  for (const auto trunc : {core::TruncationMode::kMaskedOpen,
+                           core::TruncationMode::kLocal}) {
+    const bool masked = trunc == core::TruncationMode::kMaskedOpen;
+    const auto before = table1_train_step_cost(false, trunc);
+    const auto after = table1_train_step_cost(true, trunc);
+    out << "  \"" << (masked ? "masked_open" : "local_trunc") << "\": {\n";
+    append_snapshot_entry(out, "unbatched", before);
+    out << ",\n";
+    append_snapshot_entry(out, "batched", after);
+    out << ",\n    \"message_reduction\": "
+        << 1.0 - static_cast<double>(after.total_messages) /
+                     static_cast<double>(before.total_messages)
+        << ",\n    \"round_reduction\": "
+        << 1.0 - static_cast<double>(after.opening_rounds) /
+                     static_cast<double>(before.opening_rounds)
+        << "\n  }" << (masked ? ",\n" : "\n");
+  }
+  out << "}\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "error: failed writing " << path << "\n";
+    return false;
+  }
+  std::cout << "wrote round-accounting snapshot to " << path << "\n";
+  return true;
+}
+
 }  // namespace
 }  // namespace trustddl
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string rounds_json;
+  // Strip our flag before google-benchmark parses the rest.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--rounds_json=", 14) == 0) {
+      rounds_json = argv[i] + 14;
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      break;
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  if (!rounds_json.empty() && !trustddl::write_rounds_snapshot(rounds_json)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

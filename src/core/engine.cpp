@@ -66,6 +66,34 @@ std::string pred_tag(std::size_t step) {
 
 }  // namespace
 
+mpc::PartyContext make_party_context(const EngineConfig& config, int party,
+                                     net::Endpoint endpoint,
+                                     mpc::AdversaryHooks* adversary) {
+  mpc::PartyContext pctx;
+  pctx.endpoint = std::move(endpoint);
+  pctx.party = party;
+  pctx.mode = config.mode;
+  pctx.frac_bits = config.frac_bits;
+  pctx.dist_tolerance = config.dist_tolerance;
+  pctx.share_authentication = config.share_authentication;
+  pctx.optimistic = config.optimistic_open;
+  if (party == config.byzantine_party) {
+    pctx.adversary = adversary;
+  }
+  return pctx;
+}
+
+SecureExecContext make_exec_context(const EngineConfig& config,
+                                    mpc::PartyContext& pctx, OwnerLink& link) {
+  SecureExecContext sctx;
+  sctx.mpc = &pctx;
+  sctx.triples = &link;
+  sctx.owner = &link;
+  sctx.trunc_mode = config.resolved_trunc_mode();
+  sctx.batch_openings = config.batch_openings;
+  return sctx;
+}
+
 TrustDdlEngine::TrustDdlEngine(nn::ModelSpec spec, EngineConfig config)
     : spec_(std::move(spec)), config_(config), model_([&] {
         Rng rng(config.seed);
@@ -101,6 +129,8 @@ CostReport TrustDdlEngine::collect_cost(
         log.count(mpc::DetectionEvent::Kind::kShareAuthFailure);
     report.recovered_opens += log.recovered_opens;
   }
+  report.opening_rounds = logs[0].opens;
+  report.values_opened = logs[0].values_opened;
   return report;
 }
 
@@ -112,6 +142,8 @@ TrainResult TrustDdlEngine::train(const data::Dataset& train_data,
   net::NetworkConfig net_config;
   net_config.num_parties = kNumActors;
   net_config.recv_timeout = config_.recv_timeout;
+  net_config.emulate_latency = config_.emulate_latency;
+  net_config.link_latency = config_.link_latency;
   network_ = std::make_unique<net::Network>(net_config);
 
   // Pre-compute the batch schedule (deterministic shuffling), shared
@@ -212,22 +244,9 @@ TrainResult TrustDdlEngine::train(const data::Dataset& train_data,
       }
       SecureModel model(spec_, std::move(param_shares));
 
-      mpc::PartyContext pctx;
-      pctx.endpoint = endpoint;
-      pctx.party = party;
-      pctx.mode = config_.mode;
-      pctx.frac_bits = config_.frac_bits;
-      pctx.dist_tolerance = config_.dist_tolerance;
-      pctx.share_authentication = config_.share_authentication;
-      pctx.optimistic = config_.optimistic_open;
-      if (party == config_.byzantine_party) {
-        pctx.adversary = adversary.get();
-      }
-      SecureExecContext sctx;
-      sctx.mpc = &pctx;
-      sctx.triples = &link;
-      sctx.owner = &link;
-      sctx.trunc_mode = config_.resolved_trunc_mode();
+      mpc::PartyContext pctx =
+          make_party_context(config_, party, endpoint, adversary.get());
+      SecureExecContext sctx = make_exec_context(config_, pctx, link);
 
       std::size_t epoch = 0;
       for (std::size_t step = 0; step < batches.size(); ++step) {
@@ -306,6 +325,8 @@ InferResult TrustDdlEngine::infer(const data::Dataset& inputs,
   net::NetworkConfig net_config;
   net_config.num_parties = kNumActors;
   net_config.recv_timeout = config_.recv_timeout;
+  net_config.emulate_latency = config_.emulate_latency;
+  net_config.link_latency = config_.link_latency;
   network_ = std::make_unique<net::Network>(net_config);
 
   std::vector<data::Dataset> batches;
@@ -413,22 +434,9 @@ InferResult TrustDdlEngine::infer(const data::Dataset& inputs,
       }
       SecureModel model(spec_, std::move(param_shares));
 
-      mpc::PartyContext pctx;
-      pctx.endpoint = endpoint;
-      pctx.party = party;
-      pctx.mode = config_.mode;
-      pctx.frac_bits = config_.frac_bits;
-      pctx.dist_tolerance = config_.dist_tolerance;
-      pctx.share_authentication = config_.share_authentication;
-      pctx.optimistic = config_.optimistic_open;
-      if (party == config_.byzantine_party) {
-        pctx.adversary = adversary.get();
-      }
-      SecureExecContext sctx;
-      sctx.mpc = &pctx;
-      sctx.triples = &link;
-      sctx.owner = &link;
-      sctx.trunc_mode = config_.resolved_trunc_mode();
+      mpc::PartyContext pctx =
+          make_party_context(config_, party, endpoint, adversary.get());
+      SecureExecContext sctx = make_exec_context(config_, pctx, link);
 
       for (std::size_t step = 0; step < batches.size(); ++step) {
         ByteReader reader(

@@ -41,11 +41,25 @@ struct EngineConfig {
   TruncationMode resolved_trunc_mode() const {
     return trunc_mode.value_or(TruncationMode::kLocal);
   }
+  /// Decision-rule tolerance, propagated into every party context and
+  /// the owner service.  Must stay in sync with the
+  /// mpc::PartyContext::dist_tolerance default — EngineConfigTest
+  /// asserts the two agree so a party context built outside the engine
+  /// behaves the same.
   std::uint64_t dist_tolerance = 64;
   bool share_authentication = true;
   /// Optimistic openings in malicious mode (the paper's future-work
   /// communication optimization; see mpc::PartyContext::optimistic).
   bool optimistic_open = false;
+  /// Deferred-opening round scheduling (mpc::OpenBatch): independent
+  /// openings within a layer/step share commitment rounds.  Off
+  /// reproduces the eager one-round-per-protocol-call structure with
+  /// bit-identical results; only the round-trip count changes.
+  bool batch_openings = true;
+  /// Sleep link_latency per message to emulate a LAN, making round
+  /// trips dominate wall time as they would in deployment.
+  bool emulate_latency = false;
+  std::chrono::microseconds link_latency{50};
   std::chrono::milliseconds recv_timeout{2000};
   std::chrono::milliseconds collect_timeout{500};
   std::uint64_t seed = 1;
@@ -65,6 +79,12 @@ struct CostReport {
   std::size_t distance_anomalies = 0;
   std::size_t share_auth_failures = 0;
   std::size_t recovered_opens = 0;
+  /// Robust opening ROUNDS and individual values opened, as counted by
+  /// computing party 0 (the counters are identical at every honest
+  /// party — the protocol is SPMD).  values_opened / opening_rounds is
+  /// the batching factor achieved by the deferred-opening scheduler.
+  std::uint64_t opening_rounds = 0;
+  std::uint64_t values_opened = 0;
 
   double total_megabytes() const {
     return static_cast<double>(total_bytes) / (1024.0 * 1024.0);
@@ -93,6 +113,22 @@ struct InferResult {
   std::vector<std::size_t> labels;
   CostReport cost;
 };
+
+/// Build one computing party's protocol context from the engine
+/// configuration.  Factored out of the training/inference actor bodies
+/// so tests can assert every EngineConfig knob lands in the context
+/// (EngineConfigTest) — a silent default mismatch here once shipped a
+/// dist_tolerance of 8 in hand-rolled contexts vs 64 in the engine.
+/// `adversary` may be nullptr; it is attached only when `party` equals
+/// config.byzantine_party.
+mpc::PartyContext make_party_context(const EngineConfig& config, int party,
+                                     net::Endpoint endpoint,
+                                     mpc::AdversaryHooks* adversary = nullptr);
+
+/// Build the layer-execution context over an already-built party
+/// context and owner link; propagates trunc_mode and batch_openings.
+SecureExecContext make_exec_context(const EngineConfig& config,
+                                    mpc::PartyContext& pctx, OwnerLink& link);
 
 class TrustDdlEngine {
  public:

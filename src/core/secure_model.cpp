@@ -13,6 +13,41 @@ mpc::PartyShare SecureExecContext::rescale(const mpc::PartyShare& product) {
   return mpc::truncate_product_local(product, mpc->frac_bits);
 }
 
+mpc::DeferredShare SecureExecContext::rescale_prepare(
+    mpc::OpenBatch& batch, const mpc::PartyShare& product) {
+  if (trunc_mode == TruncationMode::kMaskedOpen) {
+    const mpc::TruncPairShare pair = triples->trunc_pair(product.shape());
+    mpc::DeferredShare out =
+        mpc::truncate_product_masked_prepare(batch, product, pair);
+    if (!batch_openings) {
+      batch.flush_all();
+    }
+    return out;
+  }
+  mpc::DeferredShare out;
+  out.set(mpc::truncate_product_local(product, mpc->frac_bits));
+  return out;
+}
+
+mpc::DeferredShare SecureExecContext::matmul_rescaled_prepare(
+    mpc::OpenBatch& batch, const mpc::PartyShare& x, const mpc::PartyShare& y,
+    const mpc::BeaverTripleShare& triple) {
+  mpc::DeferredShare out;
+  if (trunc_mode == TruncationMode::kMaskedOpen) {
+    const mpc::TruncPairShare pair =
+        triples->trunc_pair(Shape{x.shape()[0], y.shape()[1]});
+    out = mpc::sec_matmul_bt_rescaled_prepare(
+        batch, x, y, triple, TruncationMode::kMaskedOpen, &pair);
+  } else {
+    out = mpc::sec_matmul_bt_rescaled_prepare(batch, x, y, triple,
+                                              TruncationMode::kLocal, nullptr);
+  }
+  if (!batch_openings) {
+    batch.flush_all();
+  }
+  return out;
+}
+
 void add_row_broadcast(mpc::PartyShare& matrix, const mpc::PartyShare& bias) {
   TRUSTDDL_REQUIRE(bias.shape().size() == 2 && bias.shape()[0] == 1 &&
                        matrix.shape().size() == 2 &&
@@ -66,11 +101,16 @@ mpc::PartyShare SecureDense::backward(SecureExecContext& ctx,
   const std::size_t in_features = cached_input_.shape()[1];
   const std::size_t out_features = grad_output.shape()[1];
 
+  // The weight and input gradients are data-independent, so their
+  // Beaver-mask openings (and, in masked-open mode, their truncation
+  // openings) ride the same rounds.
+  mpc::OpenBatch open_batch(*ctx.mpc);
+
   const mpc::PartyShare input_t = mpc::transpose_share(cached_input_);
   const mpc::BeaverTripleShare w_triple =
       ctx.triples->matmul_triple(in_features, batch, out_features);
-  weights_.grad += ctx.rescale(
-      mpc::sec_matmul_bt(*ctx.mpc, input_t, grad_output, w_triple));
+  mpc::DeferredShare w_grad =
+      ctx.matmul_rescaled_prepare(open_batch, input_t, grad_output, w_triple);
 
   bias_.grad += mpc::transform_share(grad_output, [](const RingTensor& g) {
     return sum_rows(g);
@@ -79,8 +119,12 @@ mpc::PartyShare SecureDense::backward(SecureExecContext& ctx,
   const mpc::PartyShare weights_t = mpc::transpose_share(weights_.value);
   const mpc::BeaverTripleShare x_triple =
       ctx.triples->matmul_triple(batch, out_features, in_features);
-  return ctx.rescale(
-      mpc::sec_matmul_bt(*ctx.mpc, grad_output, weights_t, x_triple));
+  mpc::DeferredShare x_grad = ctx.matmul_rescaled_prepare(
+      open_batch, grad_output, weights_t, x_triple);
+
+  open_batch.flush_all();
+  weights_.grad += w_grad.take();
+  return x_grad.take();
 }
 
 mpc::PartyShare SecureConv::forward(SecureExecContext& ctx,
@@ -110,11 +154,15 @@ mpc::PartyShare SecureConv::backward(SecureExecContext& ctx,
         return rows_to_maps(g, spec_.out_channels, pixels);
       });
 
+  // As in SecureDense::backward, the two gradient matmuls are
+  // data-independent and share opening rounds.
+  mpc::OpenBatch open_batch(*ctx.mpc);
+
   const mpc::PartyShare columns_t = mpc::transpose_share(cached_columns_);
   const mpc::BeaverTripleShare w_triple = ctx.triples->matmul_triple(
       spec_.out_channels, batch * pixels, spec_.col_rows());
-  weights_.grad += ctx.rescale(
-      mpc::sec_matmul_bt(*ctx.mpc, grad_maps, columns_t, w_triple));
+  mpc::DeferredShare w_grad =
+      ctx.matmul_rescaled_prepare(open_batch, grad_maps, columns_t, w_triple);
 
   bias_.grad += mpc::transform_share(grad_maps, [](const RingTensor& g) {
     return sum_cols(g);
@@ -123,8 +171,12 @@ mpc::PartyShare SecureConv::backward(SecureExecContext& ctx,
   const mpc::PartyShare weights_t = mpc::transpose_share(weights_.value);
   const mpc::BeaverTripleShare x_triple = ctx.triples->matmul_triple(
       spec_.col_rows(), spec_.out_channels, batch * pixels);
-  const mpc::PartyShare grad_columns = ctx.rescale(
-      mpc::sec_matmul_bt(*ctx.mpc, weights_t, grad_maps, x_triple));
+  mpc::DeferredShare x_grad =
+      ctx.matmul_rescaled_prepare(open_batch, weights_t, grad_maps, x_triple);
+
+  open_batch.flush_all();
+  weights_.grad += w_grad.take();
+  const mpc::PartyShare grad_columns = x_grad.take();
   return mpc::transform_share(grad_columns, [&](const RingTensor& cols) {
     return batch_col2im(cols, spec_, batch);
   });
@@ -344,17 +396,26 @@ void SecureModel::sgd_step(SecureExecContext& ctx, double learning_rate,
                            int frac_bits) {
   const std::uint64_t lr_encoded = fx::encode(learning_rate, frac_bits);
   (void)frac_bits;
-  for (SecureParameter* parameter : parameters()) {
-    // grad * lr is a share-times-public product at scale 2f.  The
-    // rescale MUST follow the configured truncation mode: share-local
-    // truncation here would re-introduce the cross-set ulp drift that
-    // masked-open mode exists to eliminate (weight shares are
-    // persistent state, so any drift compounds into divergence between
-    // parties under attack — see DESIGN.md §4).
-    const mpc::PartyShare delta =
-        ctx.rescale(parameter->grad.scaled(lr_encoded));
-    parameter->value -= delta;
-    parameter->zero_grad();
+  // grad * lr is a share-times-public product at scale 2f.  The rescale
+  // MUST follow the configured truncation mode: share-local truncation
+  // here would re-introduce the cross-set ulp drift that masked-open
+  // mode exists to eliminate (weight shares are persistent state, so
+  // any drift compounds into divergence between parties under attack —
+  // see DESIGN.md §4).  The per-parameter rescales are independent, so
+  // in masked-open mode their openings share ONE round for the whole
+  // update.
+  mpc::OpenBatch open_batch(*ctx.mpc);
+  std::vector<SecureParameter*> params = parameters();
+  std::vector<mpc::DeferredShare> deltas;
+  deltas.reserve(params.size());
+  for (SecureParameter* parameter : params) {
+    deltas.push_back(
+        ctx.rescale_prepare(open_batch, parameter->grad.scaled(lr_encoded)));
+  }
+  open_batch.flush_all();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value -= deltas[i].take();
+    params[i]->zero_grad();
   }
 }
 

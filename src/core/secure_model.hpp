@@ -33,10 +33,29 @@ struct SecureExecContext {
   mpc::TripleSource* triples = nullptr;   ///< preprocessing material
   OwnerLink* owner = nullptr;             ///< Softmax outsourcing
   TruncationMode trunc_mode = TruncationMode::kLocal;
+  /// Schedule data-independent openings within a layer/step through a
+  /// shared mpc::OpenBatch so they travel in one round.  Off reproduces
+  /// the pre-scheduler round structure (each protocol call flushes
+  /// immediately) — reconstructed values are identical either way; only
+  /// the number of round trips changes.
+  bool batch_openings = true;
 
   /// Rescale a double-precision product share back to f fractional
   /// bits according to the configured strategy.
   mpc::PartyShare rescale(const mpc::PartyShare& product);
+
+  /// Deferred rescale against `batch` (fetches the truncation pair now,
+  /// keeping SPMD preprocessing order aligned).  With kLocal truncation
+  /// the result is ready immediately; with kMaskedOpen it resolves one
+  /// flush later.
+  mpc::DeferredShare rescale_prepare(mpc::OpenBatch& batch,
+                                     const mpc::PartyShare& product);
+
+  /// Deferred matmul + rescale against `batch`; honours batch_openings
+  /// by flushing eagerly when batching is off.
+  mpc::DeferredShare matmul_rescaled_prepare(
+      mpc::OpenBatch& batch, const mpc::PartyShare& x,
+      const mpc::PartyShare& y, const mpc::BeaverTripleShare& triple);
 };
 
 /// A shared trainable parameter and its shared gradient accumulator.

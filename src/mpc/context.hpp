@@ -60,7 +60,15 @@ struct DetectionEvent {
 /// Per-party tally of what the robust protocols observed.
 struct DetectionLog {
   std::vector<DetectionEvent> events;
-  std::uint64_t opens = 0;              ///< robust openings performed
+  /// Opening ROUNDS performed (one commitment/confirmation/exchange
+  /// round trip each).  A batched opening scheduled through
+  /// mpc::OpenBatch counts once here no matter how many values it
+  /// covers — `opens` is the round count the deferred-opening
+  /// scheduler exists to minimize.
+  std::uint64_t opens = 0;
+  /// Individual values reconstructed across all rounds;
+  /// values_opened / opens is the achieved batching factor.
+  std::uint64_t values_opened = 0;
   std::uint64_t recovered_opens = 0;    ///< openings that excluded data
 
   void record(DetectionEvent::Kind kind, std::uint64_t step,
@@ -87,8 +95,13 @@ struct PartyContext {
   /// Decision-rule tolerance in ring units: reconstructions within
   /// this distance count as (approximately) equal.  Honest
   /// disagreement comes only from share-local truncation (±1 ulp per
-  /// truncation), so a few ulp suffice.
-  std::uint64_t dist_tolerance = 8;
+  /// truncation), so a few ulp per truncation suffice; the default of
+  /// 64 leaves headroom for values that accumulate several truncated
+  /// products (e.g. gradient sums) while staying far below any real
+  /// corruption.  This is THE project-wide default: EngineConfig uses
+  /// the same value and propagates it into every party context (see
+  /// core::make_party_context), asserted by EngineConfigTest.
+  std::uint64_t dist_tolerance = 64;
   /// Cross-authenticate peers' share-1 components against the local
   /// duplicate copies during robust openings.  This hardening (beyond
   /// the paper; see DESIGN.md §4) costs no communication and defeats

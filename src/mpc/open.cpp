@@ -178,6 +178,7 @@ std::vector<RingTensor> open_hbc(PartyContext& ctx,
   }
 
   ctx.detections.opens += 1;
+  ctx.detections.values_opened += values.size();
   std::vector<RingTensor> opened;
   opened.reserve(values.size());
   for (std::size_t v = 0; v < values.size(); ++v) {
@@ -221,7 +222,8 @@ bool corruptible_by(int peer, int set, bool hat) {
 std::vector<RingTensor> decide_from_triples(
     PartyContext& ctx, const std::vector<PartyShare>& values,
     const std::array<ReceivedTriples, kNumParties>& from,
-    std::array<bool, kNumParties>& provider_valid, std::uint64_t step) {
+    std::array<bool, kNumParties>& provider_valid, std::uint64_t step,
+    const std::vector<std::size_t>& group_sizes) {
   const auto peers = peers_of(ctx.party);
   // --- Share-copy cross-authentication (hardening beyond the paper;
   // see DESIGN.md §4).  Each share-1 value exists in two copies held
@@ -296,6 +298,7 @@ std::vector<RingTensor> decide_from_triples(
 
   // --- Six reconstructions per value + decision rule (lines 15-20). ---
   ctx.detections.opens += 1;
+  ctx.detections.values_opened += values.size();
   struct Reconstruction {
     RingTensor tensor;
     bool valid = false;
@@ -332,134 +335,155 @@ std::vector<RingTensor> decide_from_triples(
     }
   }
 
-  // Minimum summed distance over pairs (s^j, ŝ^k), j != k, both valid.
-  long best_j = -1;
-  [[maybe_unused]] long best_k = -1;  // kept for diagnostics/symmetry
-  std::uint64_t best_dist = ~std::uint64_t{0};
-  for (int j = 0; j < kNumSets; ++j) {
-    for (int k = 0; k < kNumSets; ++k) {
-      if (j == k) {
-        continue;
-      }
-      bool usable = true;
-      std::uint64_t total = 0;
-      for (std::size_t v = 0; v < values.size(); ++v) {
-        const auto& lhs = plain[v][static_cast<std::size_t>(j)];
-        const auto& rhs = hats[v][static_cast<std::size_t>(k)];
-        if (!lhs.valid || !rhs.valid) {
-          usable = false;
-          break;
-        }
-        const std::uint64_t d = ring_distance(lhs.tensor, rhs.tensor);
-        total = (total > ~d) ? ~std::uint64_t{0} : total + d;
-      }
-      if (usable && total < best_dist) {
-        best_dist = total;
-        best_j = j;
-        best_k = k;
-      }
-    }
-  }
+  // The decision rule runs independently over each group — a group is
+  // one protocol call's open set (e.g. Algorithm 4's {e, f}).  Pair
+  // selection minimizes the summed distance WITHIN a group only, so a
+  // batched round adopts exactly the reconstructions its calls would
+  // have chosen unbatched: under share-local truncation different
+  // groups can legitimately favor different pairs (ulp drift), and one
+  // round-global choice would flag honest drift as an anomaly.
+  std::vector<RingTensor> opened;
+  opened.reserve(values.size());
+  std::size_t group_lo = 0;
+  for (const std::size_t group_size : group_sizes) {
+    const std::size_t group_hi = group_lo + group_size;
+    TRUSTDDL_REQUIRE(group_hi <= values.size(),
+                     "open_values: group sizes exceed value count");
 
-  if (best_j < 0) {
-    throw ProtocolError(
-        "open_values: no valid reconstruction pair — more than one party "
-        "failed, which exceeds the fault model");
-  }
-
-  // Detect whether any *valid* reconstruction deviates from the chosen
-  // pair; if so the opening recovered from a corruption and we try to
-  // implicate the responsible peer.
-  bool anomaly = false;
-  // deviations[set][hat]: some value's reconstruction of that kind
-  // disagrees with the chosen pair.
-  bool deviations[kNumSets][2] = {};
-  for (std::size_t v = 0; v < values.size(); ++v) {
-    const auto& reference = plain[v][static_cast<std::size_t>(best_j)].tensor;
-    for (int set = 0; set < kNumSets; ++set) {
-      const auto set_index = static_cast<std::size_t>(set);
-      for (int hat = 0; hat < 2; ++hat) {
-        const auto& candidate =
-            (hat == 0) ? plain[v][set_index] : hats[v][set_index];
-        if (!candidate.valid) {
+    // Minimum summed distance over pairs (s^j, ŝ^k), j != k, both
+    // valid.
+    long best_j = -1;
+    [[maybe_unused]] long best_k = -1;  // kept for diagnostics/symmetry
+    std::uint64_t best_dist = ~std::uint64_t{0};
+    for (int j = 0; j < kNumSets; ++j) {
+      for (int k = 0; k < kNumSets; ++k) {
+        if (j == k) {
           continue;
         }
-        if (ring_distance(candidate.tensor, reference) > ctx.dist_tolerance) {
-          anomaly = true;
-          deviations[set][hat] = true;
+        bool usable = true;
+        std::uint64_t total = 0;
+        for (std::size_t v = group_lo; v < group_hi; ++v) {
+          const auto& lhs = plain[v][static_cast<std::size_t>(j)];
+          const auto& rhs = hats[v][static_cast<std::size_t>(k)];
+          if (!lhs.valid || !rhs.valid) {
+            usable = false;
+            break;
+          }
+          const std::uint64_t d = ring_distance(lhs.tensor, rhs.tensor);
+          total = (total > ~d) ? ~std::uint64_t{0} : total + d;
+        }
+        if (usable && total < best_dist) {
+          best_dist = total;
+          best_j = j;
+          best_k = k;
         }
       }
     }
-  }
 
-  if (anomaly) {
-    ctx.detections.record(DetectionEvent::Kind::kDistanceAnomaly, step);
-    ctx.detections.recovered_opens += 1;
-    // A peer is the plausible culprit if EVERY deviating reconstruction
-    // is one it can touch; exactly one such peer means attribution.
-    int suspect = -1;
-    int implicated = 0;
-    for (int peer : peers) {
-      bool explains_all = true;
-      for (int set = 0; set < kNumSets && explains_all; ++set) {
+    if (best_j < 0) {
+      throw ProtocolError(
+          "open_values: no valid reconstruction pair — more than one party "
+          "failed, which exceeds the fault model");
+    }
+
+    // Detect whether any *valid* reconstruction deviates from the
+    // chosen pair; if so the opening recovered from a corruption and
+    // we try to implicate the responsible peer.
+    bool anomaly = false;
+    // deviations[set][hat]: some value's reconstruction of that kind
+    // disagrees with the chosen pair.
+    bool deviations[kNumSets][2] = {};
+    for (std::size_t v = group_lo; v < group_hi; ++v) {
+      const auto& reference =
+          plain[v][static_cast<std::size_t>(best_j)].tensor;
+      for (int set = 0; set < kNumSets; ++set) {
+        const auto set_index = static_cast<std::size_t>(set);
         for (int hat = 0; hat < 2; ++hat) {
-          if (deviations[set][hat] && !corruptible_by(peer, set, hat == 1)) {
-            explains_all = false;
-            break;
+          const auto& candidate =
+              (hat == 0) ? plain[v][set_index] : hats[v][set_index];
+          if (!candidate.valid) {
+            continue;
+          }
+          if (ring_distance(candidate.tensor, reference) >
+              ctx.dist_tolerance) {
+            anomaly = true;
+            deviations[set][hat] = true;
           }
         }
       }
-      if (explains_all) {
-        suspect = peer;
-        ++implicated;
-      }
     }
-    if (implicated == 1) {
-      ctx.detections.record(DetectionEvent::Kind::kByzantineSuspected, step,
-                            suspect);
-      TRUSTDDL_LOG_WARN(kLog)
-          << "party " << ctx.party << ": reconstruction anomaly at step "
-          << step << " implicates party " << suspect
-          << " — recovered via redundant reconstruction";
-    } else {
-      TRUSTDDL_LOG_WARN(kLog)
-          << "party " << ctx.party << ": reconstruction anomaly at step "
-          << step << " — recovered via minimum-distance rule";
-    }
-  }
 
-  std::vector<RingTensor> opened;
-  opened.reserve(values.size());
-  if (best_dist <= ctx.dist_tolerance * values.size()) {
-    for (std::size_t v = 0; v < values.size(); ++v) {
-      opened.push_back(plain[v][static_cast<std::size_t>(best_j)].tensor);
+    if (anomaly) {
+      ctx.detections.record(DetectionEvent::Kind::kDistanceAnomaly, step);
+      ctx.detections.recovered_opens += 1;
+      // A peer is the plausible culprit if EVERY deviating
+      // reconstruction is one it can touch; exactly one such peer
+      // means attribution.
+      int suspect = -1;
+      int implicated = 0;
+      for (int peer : peers) {
+        bool explains_all = true;
+        for (int set = 0; set < kNumSets && explains_all; ++set) {
+          for (int hat = 0; hat < 2; ++hat) {
+            if (deviations[set][hat] && !corruptible_by(peer, set, hat == 1)) {
+              explains_all = false;
+              break;
+            }
+          }
+        }
+        if (explains_all) {
+          suspect = peer;
+          ++implicated;
+        }
+      }
+      if (implicated == 1) {
+        ctx.detections.record(DetectionEvent::Kind::kByzantineSuspected, step,
+                              suspect);
+        TRUSTDDL_LOG_WARN(kLog)
+            << "party " << ctx.party << ": reconstruction anomaly at step "
+            << step << " implicates party " << suspect
+            << " — recovered via redundant reconstruction";
+      } else {
+        TRUSTDDL_LOG_WARN(kLog)
+            << "party " << ctx.party << ": reconstruction anomaly at step "
+            << step << " — recovered via minimum-distance rule";
+      }
     }
-    return opened;
-  }
 
-  // Even the closest pair disagrees beyond tolerance (e.g. several
-  // share-local truncation glitches landing together).  Guarantee
-  // output delivery with the elementwise median of every valid
-  // reconstruction.
-  ctx.detections.recovered_opens += 1;
-  TRUSTDDL_LOG_WARN(kLog) << "party " << ctx.party
-                          << ": min-distance pair beyond tolerance at step "
-                          << step << " — falling back to elementwise median";
-  for (std::size_t v = 0; v < values.size(); ++v) {
-    std::vector<const RingTensor*> candidates;
-    for (int set = 0; set < kNumSets; ++set) {
-      const auto set_index = static_cast<std::size_t>(set);
-      if (plain[v][set_index].valid) {
-        candidates.push_back(&plain[v][set_index].tensor);
+    if (best_dist <= ctx.dist_tolerance * group_size) {
+      for (std::size_t v = group_lo; v < group_hi; ++v) {
+        opened.push_back(plain[v][static_cast<std::size_t>(best_j)].tensor);
       }
-      if (hats[v][set_index].valid) {
-        candidates.push_back(&hats[v][set_index].tensor);
-      }
+      group_lo = group_hi;
+      continue;
     }
-    opened.push_back(elementwise_median(candidates));
+
+    // Even the closest pair disagrees beyond tolerance (e.g. several
+    // share-local truncation glitches landing together).  Guarantee
+    // output delivery with the elementwise median of every valid
+    // reconstruction.
+    ctx.detections.recovered_opens += 1;
+    TRUSTDDL_LOG_WARN(kLog) << "party " << ctx.party
+                            << ": min-distance pair beyond tolerance at step "
+                            << step << " — falling back to elementwise median";
+    for (std::size_t v = group_lo; v < group_hi; ++v) {
+      std::vector<const RingTensor*> candidates;
+      for (int set = 0; set < kNumSets; ++set) {
+        const auto set_index = static_cast<std::size_t>(set);
+        if (plain[v][set_index].valid) {
+          candidates.push_back(&plain[v][set_index].tensor);
+        }
+        if (hats[v][set_index].valid) {
+          candidates.push_back(&hats[v][set_index].tensor);
+        }
+      }
+      opened.push_back(elementwise_median(candidates));
+    }
+    group_lo = group_hi;
   }
+  TRUSTDDL_REQUIRE(group_lo == values.size(),
+                   "open_values: group sizes must cover every value");
   return opened;
-
 }
 
 
@@ -504,8 +528,9 @@ Sha256Digest component_digest(std::uint64_t step, int sender, int component,
 ///              reaches everyone directly.
 ///  escalation  full triples exchanged and verified against the SAME
 ///              commitments, then the standard six-way decision rule.
-std::vector<RingTensor> open_optimistic(PartyContext& ctx,
-                                        const std::vector<PartyShare>& values) {
+std::vector<RingTensor> open_optimistic(
+    PartyContext& ctx, const std::vector<PartyShare>& values,
+    const std::vector<std::size_t>& group_sizes) {
   const std::uint64_t step = ctx.next_step();
   const auto peers = peers_of(ctx.party);
 
@@ -706,6 +731,7 @@ std::vector<RingTensor> open_optimistic(PartyContext& ctx,
   }
 
   ctx.detections.opens += 1;
+  ctx.detections.values_opened += values.size();
   if (!escalate) {
     std::vector<RingTensor> opened;
     opened.reserve(values.size());
@@ -781,20 +807,29 @@ std::vector<RingTensor> open_optimistic(PartyContext& ctx,
                             peer);
     }
   }
-  return decide_from_triples(ctx, values, from, provider_valid, step);
+  return decide_from_triples(ctx, values, from, provider_valid, step,
+                             group_sizes);
 }
 
 }  // namespace
 
-std::vector<RingTensor> open_values(PartyContext& ctx,
-                                    const std::vector<PartyShare>& values) {
+std::vector<RingTensor> open_values_grouped(
+    PartyContext& ctx, const std::vector<PartyShare>& values,
+    const std::vector<std::size_t>& group_sizes) {
   TRUSTDDL_REQUIRE(!values.empty(), "open_values: nothing to open");
+  std::size_t grouped = 0;
+  for (const std::size_t group_size : group_sizes) {
+    grouped += group_size;
+  }
+  TRUSTDDL_REQUIRE(grouped == values.size(),
+                   "open_values_grouped: group sizes must sum to the value "
+                   "count");
   if (ctx.mode == SecurityMode::kHonestButCurious ||
       ctx.mode == SecurityMode::kCrashFault) {
     return open_hbc(ctx, values);
   }
   if (ctx.optimistic) {
-    return open_optimistic(ctx, values);
+    return open_optimistic(ctx, values, group_sizes);
   }
 
   const std::uint64_t step = ctx.next_step();
@@ -928,11 +963,94 @@ std::vector<RingTensor> open_values(PartyContext& ctx,
     }
   }
 
-return decide_from_triples(ctx, values, from, provider_valid, step);
+return decide_from_triples(ctx, values, from, provider_valid, step,
+                           group_sizes);
+}
+
+std::vector<RingTensor> open_values(PartyContext& ctx,
+                                    const std::vector<PartyShare>& values) {
+  return open_values_grouped(ctx, values, {values.size()});
 }
 
 RingTensor open_value(PartyContext& ctx, const PartyShare& value) {
   return open_values(ctx, {value})[0];
+}
+
+OpenBatch::~OpenBatch() {
+  if (!pending_.empty()) {
+    // Cannot flush from a destructor (it communicates and may throw);
+    // unflushed work is a bug unless we are unwinding from an error.
+    TRUSTDDL_LOG_WARN(kLog)
+        << "party " << ctx_.party << ": OpenBatch destroyed with "
+        << pending_.size() << " unflushed opening(s)";
+  }
+}
+
+void OpenBatch::enqueue(std::vector<PartyShare> values, Continuation on_open) {
+  TRUSTDDL_REQUIRE(!values.empty(), "OpenBatch::enqueue: nothing to open");
+  PendingOpen entry;
+  entry.count = values.size();
+  entry.on_open = std::move(on_open);
+  for (auto& value : values) {
+    queue_.push_back(std::move(value));
+  }
+  pending_.push_back(std::move(entry));
+  ++enqueued_;
+}
+
+DeferredTensor OpenBatch::enqueue_value(PartyShare value) {
+  DeferredTensor result;
+  std::vector<PartyShare> values;
+  values.push_back(std::move(value));
+  enqueue(std::move(values), [result](std::vector<RingTensor> opened) mutable {
+    result.set(std::move(opened[0]));
+  });
+  return result;
+}
+
+void OpenBatch::flush() {
+  if (pending_.empty()) {
+    return;
+  }
+  const std::vector<PartyShare> values = std::move(queue_);
+  const std::vector<PendingOpen> dispatch = std::move(pending_);
+  queue_.clear();
+  pending_.clear();
+  ++flushes_;
+
+  // ONE robust opening round covers every pending value: a single
+  // commitment, confirmation and exchange regardless of how many
+  // protocol calls contributed.  The decision rule still runs per
+  // enqueued group so every call adopts the reconstruction pair it
+  // would have chosen unbatched.
+  std::vector<std::size_t> group_sizes;
+  group_sizes.reserve(dispatch.size());
+  for (const PendingOpen& entry : dispatch) {
+    group_sizes.push_back(entry.count);
+  }
+  std::vector<RingTensor> opened =
+      open_values_grouped(ctx_, values, group_sizes);
+
+  // Dispatch reconstructed slices back to the continuations in enqueue
+  // order.  Continuations may enqueue follow-up openings; those landed
+  // in the (now fresh) queue and wait for the next flush.
+  std::size_t offset = 0;
+  for (const PendingOpen& entry : dispatch) {
+    std::vector<RingTensor> slice(
+        std::make_move_iterator(opened.begin() +
+                                static_cast<std::ptrdiff_t>(offset)),
+        std::make_move_iterator(opened.begin() +
+                                static_cast<std::ptrdiff_t>(offset +
+                                                            entry.count)));
+    offset += entry.count;
+    entry.on_open(std::move(slice));
+  }
+}
+
+void OpenBatch::flush_all() {
+  while (!pending_.empty()) {
+    flush();
+  }
 }
 
 }  // namespace trustddl::mpc

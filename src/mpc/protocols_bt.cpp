@@ -24,60 +24,206 @@ PartyShare combine_with_triple(const RingTensor& e, const RingTensor& f,
   return z;
 }
 
+RingTensor hadamard_product(const RingTensor& lhs, const RingTensor& rhs) {
+  return hadamard(lhs, rhs);
+}
+
+RingTensor matmul_product(const RingTensor& lhs, const RingTensor& rhs) {
+  return matmul(lhs, rhs);
+}
+
+/// Shared head of the deferred multiplications: enqueue the opening of
+/// (e, f) = (x − a, y − b) and hand the continuation the combine step.
+template <typename ProductFn>
+DeferredShare masked_multiply_prepare(OpenBatch& batch, const PartyShare& x,
+                                      const PartyShare& y,
+                                      const BeaverTripleShare& triple,
+                                      const ProductFn& product) {
+  DeferredShare out;
+  std::vector<PartyShare> masked;
+  masked.push_back(x - triple.a);
+  masked.push_back(y - triple.b);
+  batch.enqueue(std::move(masked),
+                [out, triple, product](std::vector<RingTensor> opened) mutable {
+                  out.set(combine_with_triple(opened[0], opened[1], triple,
+                                              product));
+                });
+  return out;
+}
+
+RingTensor signs_from_beta(const RingTensor& beta) {
+  RingTensor signs(beta.shape());
+  for (std::size_t i = 0; i < signs.size(); ++i) {
+    signs[i] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(fx::sign(beta[i])));
+  }
+  return signs;
+}
+
+RingTensor shift_public(const RingTensor& d, int frac_bits) {
+  RingTensor shifted(d.shape());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    shifted[i] = fx::truncate(d[i], frac_bits);
+  }
+  return shifted;
+}
+
 }  // namespace
+
+DeferredShare sec_mul_bt_prepare(OpenBatch& batch, const PartyShare& x,
+                                 const PartyShare& y,
+                                 const BeaverTripleShare& triple) {
+  TRUSTDDL_REQUIRE(x.shape() == y.shape(),
+                   "sec_mul_bt: operand shapes differ");
+  return masked_multiply_prepare(batch, x, y, triple, hadamard_product);
+}
+
+DeferredShare sec_matmul_bt_prepare(OpenBatch& batch, const PartyShare& x,
+                                    const PartyShare& y,
+                                    const BeaverTripleShare& triple) {
+  TRUSTDDL_REQUIRE(x.shape().size() == 2 && y.shape().size() == 2 &&
+                       x.shape()[1] == y.shape()[0],
+                   "sec_matmul_bt: incompatible operand shapes");
+  return masked_multiply_prepare(batch, x, y, triple, matmul_product);
+}
+
+DeferredTensor sec_comp_bt_prepare(OpenBatch& batch, const PartyShare& x,
+                                   const PartyShare& y,
+                                   const PartyShare& t_aux,
+                                   const BeaverTripleShare& triple) {
+  TRUSTDDL_REQUIRE(x.shape() == y.shape(),
+                   "sec_comp_bt: operand shapes differ");
+  DeferredTensor out;
+  // beta = t ⊙ (x - y); t has positive entries, so sign(beta) equals
+  // sign(x - y) while the magnitude stays masked.
+  const PartyShare alpha = x - y;
+  std::vector<PartyShare> masked;
+  masked.push_back(t_aux - triple.a);
+  masked.push_back(alpha - triple.b);
+  batch.enqueue(
+      std::move(masked),
+      [&batch, out, triple](std::vector<RingTensor> opened) mutable {
+        PartyShare beta = combine_with_triple(opened[0], opened[1], triple,
+                                              hadamard_product);
+        // The β opening depends on this round's result, so it lands in
+        // the NEXT flush — alongside every other chained opening.
+        std::vector<PartyShare> follow_up;
+        follow_up.push_back(std::move(beta));
+        batch.enqueue(std::move(follow_up),
+                      [out](std::vector<RingTensor> opened_beta) mutable {
+                        out.set(signs_from_beta(opened_beta[0]));
+                      });
+      });
+  return out;
+}
+
+DeferredTensor sec_sign_bt_prepare(OpenBatch& batch, const PartyShare& x,
+                                   const PartyShare& t_aux,
+                                   const BeaverTripleShare& triple) {
+  return sec_comp_bt_prepare(batch, x, zero_share(x.shape()), t_aux, triple);
+}
+
+DeferredShare truncate_product_masked_prepare(OpenBatch& batch,
+                                              const PartyShare& z,
+                                              const TruncPairShare& pair) {
+  TRUSTDDL_REQUIRE(z.shape() == pair.r.shape(),
+                   "truncate_product_masked: pair shape mismatch");
+  DeferredShare out;
+  const int frac_bits = batch.context().frac_bits;
+  // Open d = v - r; r is uniform 62-bit so d never wraps for bounded v
+  // and statistically hides it.  The public shift is then exact and,
+  // crucially, identical at every party — all six reconstructions of
+  // downstream values stay consistent.
+  std::vector<PartyShare> masked;
+  masked.push_back(z - pair.r);
+  batch.enqueue(std::move(masked),
+                [out, pair, frac_bits](std::vector<RingTensor> opened) mutable {
+                  PartyShare result = pair.r_shifted;
+                  result.add_public(shift_public(opened[0], frac_bits));
+                  out.set(std::move(result));
+                });
+  return out;
+}
+
+DeferredShare sec_matmul_bt_rescaled_prepare(
+    OpenBatch& batch, const PartyShare& x, const PartyShare& y,
+    const BeaverTripleShare& triple, TruncationMode trunc_mode,
+    const TruncPairShare* pair) {
+  TRUSTDDL_REQUIRE(x.shape().size() == 2 && y.shape().size() == 2 &&
+                       x.shape()[1] == y.shape()[0],
+                   "sec_matmul_bt: incompatible operand shapes");
+  DeferredShare out;
+  const int frac_bits = batch.context().frac_bits;
+  if (trunc_mode == TruncationMode::kLocal) {
+    std::vector<PartyShare> masked;
+    masked.push_back(x - triple.a);
+    masked.push_back(y - triple.b);
+    batch.enqueue(std::move(masked),
+                  [out, triple, frac_bits](
+                      std::vector<RingTensor> opened) mutable {
+                    PartyShare z = combine_with_triple(
+                        opened[0], opened[1], triple, matmul_product);
+                    z.truncate_local(frac_bits);
+                    out.set(std::move(z));
+                  });
+    return out;
+  }
+  TRUSTDDL_REQUIRE(pair != nullptr,
+                   "sec_matmul_bt_rescaled_prepare: masked-open rescale "
+                   "needs a truncation pair");
+  const TruncPairShare trunc = *pair;
+  TRUSTDDL_REQUIRE(
+      trunc.r.shape() == Shape({x.shape()[0], y.shape()[1]}),
+      "sec_matmul_bt_rescaled_prepare: pair shape mismatch");
+  std::vector<PartyShare> masked;
+  masked.push_back(x - triple.a);
+  masked.push_back(y - triple.b);
+  batch.enqueue(
+      std::move(masked),
+      [&batch, out, triple, trunc,
+       frac_bits](std::vector<RingTensor> opened) mutable {
+        const PartyShare z = combine_with_triple(opened[0], opened[1], triple,
+                                                 matmul_product);
+        // Chain the masked-open truncation into the next flush: every
+        // matmul prepared against this batch shares that round too.
+        std::vector<PartyShare> follow_up;
+        follow_up.push_back(z - trunc.r);
+        batch.enqueue(std::move(follow_up),
+                      [out, trunc, frac_bits](
+                          std::vector<RingTensor> opened_d) mutable {
+                        PartyShare result = trunc.r_shifted;
+                        result.add_public(
+                            shift_public(opened_d[0], frac_bits));
+                        out.set(std::move(result));
+                      });
+      });
+  return out;
+}
 
 PartyShare sec_mul_bt(PartyContext& ctx, const PartyShare& x,
                       const PartyShare& y, const BeaverTripleShare& triple) {
-  TRUSTDDL_REQUIRE(x.shape() == y.shape(),
-                   "sec_mul_bt: operand shapes differ");
-  const PartyShare e_share = x - triple.a;
-  const PartyShare f_share = y - triple.b;
-  const std::vector<RingTensor> opened =
-      open_values(ctx, {e_share, f_share});
-  const RingTensor& e = opened[0];
-  const RingTensor& f = opened[1];
-  return combine_with_triple(
-      e, f, triple,
-      [](const RingTensor& lhs, const RingTensor& rhs) {
-        return hadamard(lhs, rhs);
-      });
+  OpenBatch batch(ctx);
+  DeferredShare z = sec_mul_bt_prepare(batch, x, y, triple);
+  batch.flush_all();
+  return z.take();
 }
 
 PartyShare sec_matmul_bt(PartyContext& ctx, const PartyShare& x,
                          const PartyShare& y,
                          const BeaverTripleShare& triple) {
-  TRUSTDDL_REQUIRE(x.shape().size() == 2 && y.shape().size() == 2 &&
-                       x.shape()[1] == y.shape()[0],
-                   "sec_matmul_bt: incompatible operand shapes");
-  const PartyShare e_share = x - triple.a;
-  const PartyShare f_share = y - triple.b;
-  const std::vector<RingTensor> opened =
-      open_values(ctx, {e_share, f_share});
-  const RingTensor& e = opened[0];
-  const RingTensor& f = opened[1];
-  return combine_with_triple(
-      e, f, triple,
-      [](const RingTensor& lhs, const RingTensor& rhs) {
-        return matmul(lhs, rhs);
-      });
+  OpenBatch batch(ctx);
+  DeferredShare z = sec_matmul_bt_prepare(batch, x, y, triple);
+  batch.flush_all();
+  return z.take();
 }
 
 RingTensor sec_comp_bt(PartyContext& ctx, const PartyShare& x,
                        const PartyShare& y, const PartyShare& t_aux,
                        const BeaverTripleShare& triple) {
-  TRUSTDDL_REQUIRE(x.shape() == y.shape(),
-                   "sec_comp_bt: operand shapes differ");
-  const PartyShare alpha = x - y;
-  // beta = t ⊙ (x - y); t has positive entries, so sign(beta) equals
-  // sign(x - y) while the magnitude stays masked.
-  const PartyShare beta = sec_mul_bt(ctx, t_aux, alpha, triple);
-  const RingTensor opened_beta = open_value(ctx, beta);
-  RingTensor signs(opened_beta.shape());
-  for (std::size_t i = 0; i < signs.size(); ++i) {
-    signs[i] = static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(fx::sign(opened_beta[i])));
-  }
-  return signs;
+  OpenBatch batch(ctx);
+  DeferredTensor signs = sec_comp_bt_prepare(batch, x, y, t_aux, triple);
+  batch.flush_all();
+  return signs.take();
 }
 
 RingTensor sec_sign_bt(PartyContext& ctx, const PartyShare& x,
@@ -102,21 +248,10 @@ PartyShare truncate_product_local(const PartyShare& z, int frac_bits) {
 
 PartyShare truncate_product_masked(PartyContext& ctx, const PartyShare& z,
                                    const TruncPairShare& pair) {
-  TRUSTDDL_REQUIRE(z.shape() == pair.r.shape(),
-                   "truncate_product_masked: pair shape mismatch");
-  // Open d = v - r; r is uniform 62-bit so d never wraps for bounded v
-  // and statistically hides it.  The public shift is then exact and,
-  // crucially, identical at every party — all six reconstructions of
-  // downstream values stay consistent.
-  const PartyShare d_share = z - pair.r;
-  const RingTensor d = open_value(ctx, d_share);
-  RingTensor d_shifted(d.shape());
-  for (std::size_t i = 0; i < d.size(); ++i) {
-    d_shifted[i] = fx::truncate(d[i], ctx.frac_bits);
-  }
-  PartyShare out = pair.r_shifted;
-  out.add_public(d_shifted);
-  return out;
+  OpenBatch batch(ctx);
+  DeferredShare out = truncate_product_masked_prepare(batch, z, pair);
+  batch.flush_all();
+  return out.take();
 }
 
 }  // namespace trustddl::mpc

@@ -67,4 +67,59 @@ PartyShare truncate_product_local(const PartyShare& z, int frac_bits);
 PartyShare truncate_product_masked(PartyContext& ctx, const PartyShare& z,
                                    const TruncPairShare& pair);
 
+// --- Deferred (prepare/finalize) variants -------------------------------
+//
+// Each `_prepare` call enqueues its opening(s) into an OpenBatch
+// instead of blocking on a round trip; the returned Deferred handle
+// resolves once the batch flushed every round the result depends on
+// (`OpenBatch::flush_all`).  Data-independent calls prepared against
+// the same batch therefore share opening rounds: their masked shares
+// travel under ONE commitment/confirmation/exchange, and (for the
+// chained variants) their follow-up openings share the next round.
+// The eager functions above are thin wrappers: prepare + immediate
+// flush, with identical traffic to the pre-scheduler code.
+//
+// The batch dispatches continuations in enqueue order at every party,
+// so preprocessing material must be fetched at prepare time (as these
+// functions' signatures force) to keep the SPMD request order aligned.
+
+/// Deferred SecMul-BT: resolves after one flush.
+DeferredShare sec_mul_bt_prepare(OpenBatch& batch, const PartyShare& x,
+                                 const PartyShare& y,
+                                 const BeaverTripleShare& triple);
+
+/// Deferred SecMatMul-BT: resolves after one flush.
+DeferredShare sec_matmul_bt_prepare(OpenBatch& batch, const PartyShare& x,
+                                    const PartyShare& y,
+                                    const BeaverTripleShare& triple);
+
+/// Deferred SecComp-BT: the Beaver-mask opening rides the first flush,
+/// the β = t⊙(x−y) opening the second; resolves after two flushes.
+DeferredTensor sec_comp_bt_prepare(OpenBatch& batch, const PartyShare& x,
+                                   const PartyShare& y,
+                                   const PartyShare& t_aux,
+                                   const BeaverTripleShare& triple);
+
+/// Deferred sign(x); same round structure as sec_comp_bt_prepare.
+DeferredTensor sec_sign_bt_prepare(OpenBatch& batch, const PartyShare& x,
+                                   const PartyShare& t_aux,
+                                   const BeaverTripleShare& triple);
+
+/// Deferred masked-open rescale: resolves after one flush.
+DeferredShare truncate_product_masked_prepare(OpenBatch& batch,
+                                              const PartyShare& z,
+                                              const TruncPairShare& pair);
+
+/// Deferred SecMatMul-BT fused with the fixed-point rescale.  With
+/// kLocal truncation the product is shifted share-locally as soon as
+/// the Beaver masks open (one flush); with kMaskedOpen the truncation
+/// opening is enqueued from the matmul's continuation, so the
+/// truncations of every matmul prepared against the same batch share
+/// the SECOND flush (`pair` must be non-null, dealt for the product
+/// shape).  frac_bits is taken from the batch's context.
+DeferredShare sec_matmul_bt_rescaled_prepare(
+    OpenBatch& batch, const PartyShare& x, const PartyShare& y,
+    const BeaverTripleShare& triple, TruncationMode trunc_mode,
+    const TruncPairShare* pair);
+
 }  // namespace trustddl::mpc

@@ -1,5 +1,7 @@
 #include "mpc/protocols_hbc.hpp"
 
+#include <utility>
+
 #include "common/error.hpp"
 #include "numeric/fixed_point.hpp"
 #include "numeric/serde.hpp"
@@ -56,71 +58,169 @@ std::vector<RingTensor> reconstruct_at_designated(
 }
 
 template <typename ProductFn>
-RingTensor masked_multiply(PlainContext& ctx, const RingTensor& x_share,
-                           const RingTensor& y_share,
-                           const PlainTriple& triple, int designated,
-                           const ProductFn& product) {
-  TRUSTDDL_REQUIRE(designated >= 0 && designated < ctx.num_parties,
-                   "sec_mul: designated party out of range");
-  const std::uint64_t step = ctx.next_step();
-  const RingTensor e_share = x_share - triple.a;
-  const RingTensor f_share = y_share - triple.b;
-  const std::vector<RingTensor> opened =
-      reconstruct_at_designated(ctx, step, {e_share, f_share}, designated);
-  const RingTensor& e = opened[0];
-  const RingTensor& f = opened[1];
-
+Deferred<RingTensor> masked_multiply_prepare(PlainOpenBatch& batch,
+                                             const RingTensor& x_share,
+                                             const RingTensor& y_share,
+                                             const PlainTriple& triple,
+                                             const ProductFn& product) {
+  PlainContext& ctx = batch.context();
+  TRUSTDDL_REQUIRE(
+      batch.designated() >= 0 && batch.designated() < ctx.num_parties,
+      "sec_mul: designated party out of range");
+  Deferred<RingTensor> out;
+  const bool is_designated = ctx.party == batch.designated();
   // [z]_i = [c]_i + e * [b]_i + [a]_i * f, and the designated party
   // additionally adds the public term e * f (Algorithm 2 lines 7/11).
-  RingTensor z = triple.c + product(e, triple.b) + product(triple.a, f);
-  if (ctx.party == designated) {
-    z += product(e, f);
-  }
-  return z;
+  batch.enqueue({x_share - triple.a, y_share - triple.b},
+                [out, triple, is_designated,
+                 product](std::vector<RingTensor> opened) mutable {
+                  const RingTensor& e = opened[0];
+                  const RingTensor& f = opened[1];
+                  RingTensor z =
+                      triple.c + product(e, triple.b) + product(triple.a, f);
+                  if (is_designated) {
+                    z += product(e, f);
+                  }
+                  out.set(std::move(z));
+                });
+  return out;
 }
 
 }  // namespace
 
+void PlainOpenBatch::enqueue(std::vector<RingTensor> values,
+                             Continuation on_open) {
+  TRUSTDDL_REQUIRE(!values.empty(), "PlainOpenBatch: empty enqueue");
+  PendingOpen entry;
+  entry.count = values.size();
+  entry.on_open = std::move(on_open);
+  pending_.push_back(std::move(entry));
+  for (auto& value : values) {
+    queue_.push_back(std::move(value));
+  }
+}
+
+void PlainOpenBatch::flush() {
+  if (pending_.empty()) {
+    return;
+  }
+  std::vector<RingTensor> queue = std::move(queue_);
+  std::vector<PendingOpen> pending = std::move(pending_);
+  queue_.clear();
+  pending_.clear();
+
+  const std::uint64_t step = ctx_.next_step();
+  std::vector<RingTensor> opened =
+      reconstruct_at_designated(ctx_, step, queue, designated_);
+  flushes_ += 1;
+
+  std::size_t cursor = 0;
+  for (auto& entry : pending) {
+    std::vector<RingTensor> slice(
+        std::make_move_iterator(opened.begin() + cursor),
+        std::make_move_iterator(opened.begin() + cursor + entry.count));
+    cursor += entry.count;
+    entry.on_open(std::move(slice));
+  }
+}
+
+void PlainOpenBatch::flush_all() {
+  while (!pending_.empty()) {
+    flush();
+  }
+}
+
+Deferred<RingTensor> sec_mul_prepare(PlainOpenBatch& batch,
+                                     const RingTensor& x_share,
+                                     const RingTensor& y_share,
+                                     const PlainTriple& triple) {
+  TRUSTDDL_REQUIRE(x_share.shape() == y_share.shape(),
+                   "sec_mul: operand shapes differ");
+  return masked_multiply_prepare(batch, x_share, y_share, triple,
+                                 [](const RingTensor& lhs,
+                                    const RingTensor& rhs) {
+                                   return hadamard(lhs, rhs);
+                                 });
+}
+
+Deferred<RingTensor> sec_matmul_prepare(PlainOpenBatch& batch,
+                                        const RingTensor& x_share,
+                                        const RingTensor& y_share,
+                                        const PlainTriple& triple) {
+  TRUSTDDL_REQUIRE(x_share.rank() == 2 && y_share.rank() == 2 &&
+                       x_share.cols() == y_share.rows(),
+                   "sec_matmul: incompatible operand shapes");
+  return masked_multiply_prepare(batch, x_share, y_share, triple,
+                                 [](const RingTensor& lhs,
+                                    const RingTensor& rhs) {
+                                   return matmul(lhs, rhs);
+                                 });
+}
+
+Deferred<RingTensor> sec_comp_prepare(PlainOpenBatch& batch,
+                                      const RingTensor& x_share,
+                                      const RingTensor& y_share,
+                                      const RingTensor& t_share,
+                                      const PlainTriple& triple) {
+  TRUSTDDL_REQUIRE(x_share.shape() == y_share.shape(),
+                   "sec_comp: operand shapes differ");
+  PlainContext& ctx = batch.context();
+  const RingTensor alpha = x_share - y_share;
+  const bool is_designated = ctx.party == batch.designated();
+  Deferred<RingTensor> out;
+  // β = t ⊙ (x - y): the Beaver masks open in this flush; the
+  // continuation enqueues β's own reconstruction, which flush_all
+  // drains in the NEXT round together with any other chained work.
+  batch.enqueue(
+      {t_share - triple.a, alpha - triple.b},
+      [out, triple, is_designated,
+       &batch](std::vector<RingTensor> opened) mutable {
+        const RingTensor& e = opened[0];
+        const RingTensor& f = opened[1];
+        RingTensor beta_share =
+            triple.c + hadamard(e, triple.b) + hadamard(triple.a, f);
+        if (is_designated) {
+          beta_share += hadamard(e, f);
+        }
+        batch.enqueue({std::move(beta_share)},
+                      [out](std::vector<RingTensor> beta) mutable {
+                        RingTensor signs(beta[0].shape());
+                        for (std::size_t i = 0; i < signs.size(); ++i) {
+                          signs[i] = static_cast<std::uint64_t>(
+                              static_cast<std::int64_t>(fx::sign(beta[0][i])));
+                        }
+                        out.set(std::move(signs));
+                      });
+      });
+  return out;
+}
+
 RingTensor sec_mul(PlainContext& ctx, const RingTensor& x_share,
                    const RingTensor& y_share, const PlainTriple& triple,
                    int designated) {
-  TRUSTDDL_REQUIRE(x_share.shape() == y_share.shape(),
-                   "sec_mul: operand shapes differ");
-  return masked_multiply(ctx, x_share, y_share, triple, designated,
-                         [](const RingTensor& lhs, const RingTensor& rhs) {
-                           return hadamard(lhs, rhs);
-                         });
+  PlainOpenBatch batch(ctx, designated);
+  Deferred<RingTensor> z = sec_mul_prepare(batch, x_share, y_share, triple);
+  batch.flush_all();
+  return z.take();
 }
 
 RingTensor sec_matmul(PlainContext& ctx, const RingTensor& x_share,
                       const RingTensor& y_share, const PlainTriple& triple,
                       int designated) {
-  TRUSTDDL_REQUIRE(x_share.rank() == 2 && y_share.rank() == 2 &&
-                       x_share.cols() == y_share.rows(),
-                   "sec_matmul: incompatible operand shapes");
-  return masked_multiply(ctx, x_share, y_share, triple, designated,
-                         [](const RingTensor& lhs, const RingTensor& rhs) {
-                           return matmul(lhs, rhs);
-                         });
+  PlainOpenBatch batch(ctx, designated);
+  Deferred<RingTensor> z = sec_matmul_prepare(batch, x_share, y_share, triple);
+  batch.flush_all();
+  return z.take();
 }
 
 RingTensor sec_comp(PlainContext& ctx, const RingTensor& x_share,
                     const RingTensor& y_share, const RingTensor& t_share,
                     const PlainTriple& triple, int designated) {
-  TRUSTDDL_REQUIRE(x_share.shape() == y_share.shape(),
-                   "sec_comp: operand shapes differ");
-  const RingTensor alpha = x_share - y_share;
-  const RingTensor beta_share =
-      sec_mul(ctx, t_share, alpha, triple, designated);
-  const std::uint64_t step = ctx.next_step();
-  const std::vector<RingTensor> opened =
-      reconstruct_at_designated(ctx, step, {beta_share}, designated);
-  RingTensor signs(opened[0].shape());
-  for (std::size_t i = 0; i < signs.size(); ++i) {
-    signs[i] = static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(fx::sign(opened[0][i])));
-  }
-  return signs;
+  PlainOpenBatch batch(ctx, designated);
+  Deferred<RingTensor> signs =
+      sec_comp_prepare(batch, x_share, y_share, t_share, triple);
+  batch.flush_all();
+  return signs.take();
 }
 
 }  // namespace trustddl::mpc

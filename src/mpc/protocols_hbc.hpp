@@ -10,7 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
+#include "mpc/open.hpp"
 #include "net/network.hpp"
 #include "numeric/tensor.hpp"
 
@@ -50,5 +53,60 @@ RingTensor sec_matmul(PlainContext& ctx, const RingTensor& x_share,
 RingTensor sec_comp(PlainContext& ctx, const RingTensor& x_share,
                     const RingTensor& y_share, const RingTensor& t_share,
                     const PlainTriple& triple, int designated);
+
+/// Round scheduler for the designated-party reconstruction — the plain
+/// N-party analogue of mpc::OpenBatch.  Calls prepared against the
+/// same batch send their masked shares to the designated party in ONE
+/// gather/broadcast round per flush; the fixed designated party plays
+/// the role the commitment round plays in the BT scheduler.  Eager
+/// sec_mul/sec_matmul/sec_comp are thin wrappers (prepare + flush).
+class PlainOpenBatch {
+ public:
+  using Continuation = std::function<void(std::vector<RingTensor>)>;
+
+  PlainOpenBatch(PlainContext& ctx, int designated)
+      : ctx_(ctx), designated_(designated) {}
+  PlainOpenBatch(const PlainOpenBatch&) = delete;
+  PlainOpenBatch& operator=(const PlainOpenBatch&) = delete;
+
+  PlainContext& context() { return ctx_; }
+  int designated() const { return designated_; }
+
+  void enqueue(std::vector<RingTensor> values, Continuation on_open);
+  std::size_t pending() const { return pending_.size(); }
+  void flush();
+  void flush_all();
+  std::uint64_t flushes() const { return flushes_; }
+
+ private:
+  struct PendingOpen {
+    std::size_t count = 0;
+    Continuation on_open;
+  };
+
+  PlainContext& ctx_;
+  int designated_;
+  std::vector<RingTensor> queue_;
+  std::vector<PendingOpen> pending_;
+  std::uint64_t flushes_ = 0;
+};
+
+/// Deferred Algorithm 2 variants: resolve after one flush.
+Deferred<RingTensor> sec_mul_prepare(PlainOpenBatch& batch,
+                                     const RingTensor& x_share,
+                                     const RingTensor& y_share,
+                                     const PlainTriple& triple);
+Deferred<RingTensor> sec_matmul_prepare(PlainOpenBatch& batch,
+                                        const RingTensor& x_share,
+                                        const RingTensor& y_share,
+                                        const PlainTriple& triple);
+
+/// Deferred Algorithm 3: the Beaver masks open in the first flush, the
+/// β reconstruction rides the second (see OpenBatch::flush_all).
+Deferred<RingTensor> sec_comp_prepare(PlainOpenBatch& batch,
+                                      const RingTensor& x_share,
+                                      const RingTensor& y_share,
+                                      const RingTensor& t_share,
+                                      const PlainTriple& triple);
 
 }  // namespace trustddl::mpc

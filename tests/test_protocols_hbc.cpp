@@ -128,6 +128,77 @@ TEST(PlainProtocolTest, SecCompRevealsSignsToAllParties) {
   }
 }
 
+TEST(PlainProtocolTest, BatchedPreparesMatchSequentialAndShareOneRound) {
+  // Two multiplications and a comparison prepared against one
+  // PlainOpenBatch must reconstruct bit-identically to the eager calls
+  // while their Beaver-mask openings share a single designated-party
+  // round (the comparison's β reconstruction chains into a second).
+  const int n = 3;
+  Rng rng(47);
+  const Shape shape{5, 4};
+  const RealTensor x = random_real(shape, rng);
+  const RealTensor y = random_real(shape, rng);
+  const auto x_shares = create_additive_shares(to_ring(x, kF), n, rng);
+  const auto y_shares = create_additive_shares(to_ring(y, kF), n, rng);
+  RingTensor t(shape);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = fx::encode(rng.next_double(0.5, 2.0), kF);
+  }
+  const auto t_shares = create_additive_shares(t, n, rng);
+  const auto mul_triples = deal_plain_triples(shape, shape, false, n, rng);
+  const auto comp_triples = deal_plain_triples(shape, shape, false, n, rng);
+
+  std::vector<RingTensor> eager_mul(static_cast<std::size_t>(n));
+  std::vector<RingTensor> eager_comp(static_cast<std::size_t>(n));
+  {
+    net::Network network(net::NetworkConfig{.num_parties = n});
+    net::run_parties(n, [&](net::PartyId party) {
+      const auto index = static_cast<std::size_t>(party);
+      PlainContext ctx{network.endpoint(party), party, n, 0};
+      eager_mul[index] = sec_mul(ctx, x_shares[index], y_shares[index],
+                                 mul_triples[index], /*designated=*/2);
+      eager_comp[index] = sec_comp(ctx, x_shares[index], y_shares[index],
+                                   t_shares[index], comp_triples[index],
+                                   /*designated=*/2);
+    });
+  }
+
+  net::Network network(net::NetworkConfig{.num_parties = n});
+  std::vector<RingTensor> batched_mul(static_cast<std::size_t>(n));
+  std::vector<RingTensor> batched_comp(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> rounds(static_cast<std::size_t>(n));
+  net::run_parties(n, [&](net::PartyId party) {
+    const auto index = static_cast<std::size_t>(party);
+    PlainContext ctx{network.endpoint(party), party, n, 0};
+    PlainOpenBatch batch(ctx, /*designated=*/2);
+    Deferred<RingTensor> mul = sec_mul_prepare(batch, x_shares[index],
+                                               y_shares[index],
+                                               mul_triples[index]);
+    Deferred<RingTensor> comp =
+        sec_comp_prepare(batch, x_shares[index], y_shares[index],
+                         t_shares[index], comp_triples[index]);
+    batch.flush_all();
+    rounds[index] = batch.flushes();
+    batched_mul[index] = mul.take();
+    batched_comp[index] = comp.take();
+  });
+
+  for (int party = 0; party < n; ++party) {
+    const auto index = static_cast<std::size_t>(party);
+    EXPECT_EQ(rounds[index], 2u) << "party " << party;
+    ASSERT_EQ(batched_mul[index].size(), eager_mul[index].size());
+    for (std::size_t i = 0; i < eager_mul[index].size(); ++i) {
+      EXPECT_EQ(batched_mul[index][i], eager_mul[index][i])
+          << "party " << party << " element " << i;
+    }
+    ASSERT_EQ(batched_comp[index].size(), eager_comp[index].size());
+    for (std::size_t i = 0; i < eager_comp[index].size(); ++i) {
+      EXPECT_EQ(batched_comp[index][i], eager_comp[index][i])
+          << "party " << party << " element " << i;
+    }
+  }
+}
+
 TEST(PlainProtocolTest, DesignatedPartyOptimizationReducesTraffic) {
   // With the designated-party optimization, masked shares flow to one
   // party and the public result back: 2(N-1) tensor messages instead
