@@ -1,0 +1,210 @@
+// Transport comparison: the five-actor secure-training workload over
+// the in-memory mailbox network vs real loopback TCP sockets
+// (net::TcpFabric), each with the deferred-opening scheduler on and
+// off.
+//
+// The byte volume is near-identical across transports (each message is
+// metered once, at its sender); what TCP adds is a real per-message
+// and per-round cost, which is exactly what the deferred-opening
+// scheduler amortizes.  Training is used as the workload because its
+// backward pass and SGD step carry several independent openings per
+// batch — inference opens too few values at a time for the scheduler
+// to matter.  Masked-open truncation maximizes what there is to batch.
+//
+// Loopback sockets have ~microsecond round trips, so both transports
+// also run with an emulated kLinkLatency one-way delay (delivery-time
+// stamping, no thread blocks) to show the round-count reduction as
+// wall-clock the way a real LAN would.
+//
+// Pass --json=<path> to write the snapshot committed as
+// BENCH_transport.json at the repo root.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "net/tcp_transport.hpp"
+
+using namespace trustddl;
+
+namespace {
+
+constexpr std::size_t kRows = 24;
+constexpr std::size_t kBatch = 8;
+constexpr int kRepetitions = 3;
+constexpr std::chrono::milliseconds kLinkLatency{3};
+
+/// A deep, narrow MLP: many layers (= many opening rounds per step)
+/// over small tensors (= little fixed per-byte cost), so the round
+/// structure — the thing the transports differ on — dominates.
+nn::ModelSpec bench_spec() {
+  nn::ModelSpec spec;
+  spec.name = "deep-narrow-mlp";
+  spec.input_features = 784;
+  spec.classes = 10;
+  spec.layers = {nn::LayerSpec::make_dense(784, 16),
+                 nn::LayerSpec::make_relu(),
+                 nn::LayerSpec::make_dense(16, 16),
+                 nn::LayerSpec::make_relu(),
+                 nn::LayerSpec::make_dense(16, 16),
+                 nn::LayerSpec::make_relu(),
+                 nn::LayerSpec::make_dense(16, 10),
+                 nn::LayerSpec::make_softmax()};
+  return spec;
+}
+
+struct RunStats {
+  double wall_seconds = 0.0;  // best of kRepetitions
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t opening_rounds = 0;
+  std::uint64_t values_opened = 0;
+  std::vector<double> accuracy;
+};
+
+RunStats run(const nn::ModelSpec& spec, const core::EngineConfig& config,
+             const data::TrainTestSplit& split,
+             const core::TrainOptions& options, bool over_tcp) {
+  RunStats stats;
+  stats.wall_seconds = 1e100;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    std::unique_ptr<net::TcpFabric> fabric;
+    std::unique_ptr<core::TrustDdlEngine> engine;
+    if (over_tcp) {
+      net::NetworkConfig net_config;
+      net_config.num_parties = core::kNumActors;
+      net_config.emulate_latency = config.emulate_latency;
+      net_config.link_latency = config.link_latency;
+      fabric = std::make_unique<net::TcpFabric>(net_config);
+      engine = std::make_unique<core::TrustDdlEngine>(spec, config, *fabric);
+    } else {
+      engine = std::make_unique<core::TrustDdlEngine>(spec, config);
+    }
+    const core::TrainResult result =
+        engine->train(split.train, split.test, options);
+    if (result.cost.wall_seconds < stats.wall_seconds) {
+      stats.wall_seconds = result.cost.wall_seconds;
+    }
+    stats.total_bytes = result.cost.total_bytes;
+    stats.total_messages = result.cost.total_messages;
+    stats.opening_rounds = result.cost.opening_rounds;
+    stats.values_opened = result.cost.values_opened;
+    stats.accuracy = result.epoch_test_accuracy;
+  }
+  return stats;
+}
+
+void print_row(const char* name, const RunStats& stats) {
+  std::printf("%-22s %10.3f %12.2f %10llu %10llu %10llu\n", name,
+              stats.wall_seconds,
+              static_cast<double>(stats.total_bytes) / (1 << 20),
+              static_cast<unsigned long long>(stats.total_messages),
+              static_cast<unsigned long long>(stats.opening_rounds),
+              static_cast<unsigned long long>(stats.values_opened));
+}
+
+void write_json_entry(std::FILE* file, const char* key,
+                      const RunStats& stats, const char* suffix) {
+  std::fprintf(file,
+               "    \"%s\": {\"wall_seconds\": %.6f, \"total_bytes\": %llu, "
+               "\"total_messages\": %llu, \"opening_rounds\": %llu, "
+               "\"values_opened\": %llu}%s\n",
+               key, stats.wall_seconds,
+               static_cast<unsigned long long>(stats.total_bytes),
+               static_cast<unsigned long long>(stats.total_messages),
+               static_cast<unsigned long long>(stats.opening_rounds),
+               static_cast<unsigned long long>(stats.values_opened), suffix);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+
+  data::SyntheticMnistConfig data_config;
+  data_config.train_count = kRows;
+  data_config.test_count = 16;
+  const auto split = data::generate_synthetic_mnist(data_config);
+  const nn::ModelSpec spec = bench_spec();
+
+  core::EngineConfig config;
+  config.mode = mpc::SecurityMode::kMalicious;
+  config.trunc_mode = core::TruncationMode::kMaskedOpen;
+  config.seed = 7;
+  config.emulate_latency = true;
+  config.link_latency = kLinkLatency;
+
+  core::TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = kBatch;
+  options.learning_rate = 0.3;
+
+  std::printf("=== Transport: in-memory mailboxes vs loopback TCP "
+              "(MLP secure training, %zu rows, malicious) ===\n\n",
+              kRows);
+  std::printf("%-22s %10s %12s %10s %10s %10s\n", "transport", "wall (s)",
+              "comm (MB)", "messages", "rounds", "opened");
+
+  config.batch_openings = true;
+  const RunStats memory_batched = run(spec, config, split, options, false);
+  const RunStats tcp_batched = run(spec, config, split, options, true);
+  config.batch_openings = false;
+  const RunStats memory_unbatched = run(spec, config, split, options, false);
+  const RunStats tcp_unbatched = run(spec, config, split, options, true);
+
+  print_row("in-memory batched", memory_batched);
+  print_row("in-memory unbatched", memory_unbatched);
+  print_row("tcp batched", tcp_batched);
+  print_row("tcp unbatched", tcp_unbatched);
+
+  // The transport must not change what is computed, only how fast.
+  if (tcp_batched.accuracy != memory_batched.accuracy ||
+      tcp_unbatched.accuracy != memory_unbatched.accuracy ||
+      tcp_batched.total_bytes != memory_batched.total_bytes) {
+    std::fprintf(stderr, "FATAL: transports disagree on results\n");
+    return 1;
+  }
+
+  const double tcp_speedup =
+      tcp_unbatched.wall_seconds / tcp_batched.wall_seconds;
+  std::printf("\nTCP wall-clock speedup from batched openings: %.2fx "
+              "(%llu -> %llu opening rounds, %llu -> %llu messages)\n",
+              tcp_speedup,
+              static_cast<unsigned long long>(tcp_unbatched.opening_rounds),
+              static_cast<unsigned long long>(tcp_batched.opening_rounds),
+              static_cast<unsigned long long>(tcp_unbatched.total_messages),
+              static_cast<unsigned long long>(tcp_batched.total_messages));
+
+  if (!json_path.empty()) {
+    std::FILE* file = std::fopen(json_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(file,
+                 "{\n  \"workload\": \"mlp_secure_training_%zu_rows\",\n"
+                 "  \"mode\": \"malicious\",\n"
+                 "  \"trunc_mode\": \"masked_open\",\n"
+                 "  \"repetitions\": %d,\n",
+                 kRows, kRepetitions);
+    std::fprintf(file, "  \"in_memory\": {\n");
+    write_json_entry(file, "batched", memory_batched, ",");
+    write_json_entry(file, "unbatched", memory_unbatched, "");
+    std::fprintf(file, "  },\n  \"tcp\": {\n");
+    write_json_entry(file, "batched", tcp_batched, ",");
+    write_json_entry(file, "unbatched", tcp_unbatched, "");
+    std::fprintf(file, "  },\n  \"tcp_batched_speedup\": %.4f\n}\n",
+                 tcp_speedup);
+    std::fclose(file);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

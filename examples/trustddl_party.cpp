@@ -1,0 +1,475 @@
+// trustddl_party: run one (or several) of TrustDDL's five actors as
+// an OS process, communicating with its peers over real TCP sockets.
+//
+// Every process derives the model, the synthetic dataset and the batch
+// schedule deterministically from --seed/--data-seed, so a multi-
+// process deployment reconstructs exactly the outputs of the
+// in-process engine, bit for bit.  The data owner can assert this with
+// --check, which re-runs the same workload on the in-memory engine and
+// compares results.
+//
+// Three-process secure inference on localhost:
+//
+//   ./build/examples/trustddl_party --party-ids 1 &
+//   ./build/examples/trustddl_party --party-ids 2 &
+//   ./build/examples/trustddl_party --party-ids 0,3,4 --check
+//
+// Flags:
+//   --party-ids LIST     comma-separated actor ids hosted by this
+//                        process (0-2 computing parties, 3 data owner,
+//                        4 model owner); --party-id is an alias
+//   --port-base N        party i listens on 127.0.0.1:(N+i)  [29500]
+//   --peers LIST         explicit mesh: id=host:port,... for all 5 ids
+//                        (overrides --port-base)
+//   --listen HOST        bind host for hosted ids [host from the mesh]
+//   --task infer|train   workload [infer]
+//   --model mlp|cnn|tiny-cnn   architecture [mlp]
+//   --images N           inference queries / test rows [12]
+//   --rows N             training rows [64]
+//   --batch N            batch size [4]
+//   --epochs N           training epochs [1]
+//   --lr F               learning rate [0.3]
+//   --mode malicious|hbc security mode [malicious]
+//   --batch-openings on|off    deferred-opening scheduler [on]
+//   --seed N             model/protocol seed [1]
+//   --data-seed N        synthetic-dataset seed [7]
+//   --check              verify against an in-memory run (data owner
+//                        for infer, model owner for train); exits 2 on
+//                        mismatch
+//   --connect-timeout-ms N     mesh rendezvous budget [10000]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/actors.hpp"
+#include "core/engine.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "net/tcp_transport.hpp"
+#include "nn/loss.hpp"
+
+using namespace trustddl;
+
+namespace {
+
+struct Options {
+  std::vector<int> party_ids;
+  std::string listen_host;  // empty: use the host from the mesh entry
+  int port_base = 29500;
+  std::vector<std::string> peers;  // [actor id] -> host:port
+  std::string task = "infer";
+  std::string model = "mlp";
+  std::size_t images = 12;
+  std::size_t rows = 64;
+  std::size_t batch = 4;
+  std::size_t epochs = 1;
+  double learning_rate = 0.3;
+  std::string mode = "malicious";
+  bool batch_openings = true;
+  std::uint64_t seed = 1;
+  std::uint64_t data_seed = 7;
+  bool check = false;
+  int connect_timeout_ms = 10000;
+};
+
+[[noreturn]] void usage_error(const std::string& reason) {
+  std::fprintf(stderr, "trustddl_party: %s\n(see the header comment of "
+               "examples/trustddl_party.cpp for flags)\n",
+               reason.c_str());
+  std::exit(64);
+}
+
+std::vector<int> parse_id_list(const std::string& text) {
+  std::vector<int> ids;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (item.empty()) {
+      usage_error("empty entry in id list '" + text + "'");
+    }
+    const int id = std::atoi(item.c_str());
+    if (id < 0 || id >= core::kNumActors) {
+      usage_error("party id out of range: " + item);
+    }
+    ids.push_back(id);
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return ids;
+}
+
+/// "id=host:port,id=host:port,..." covering all five actors.
+std::vector<std::string> parse_peer_list(const std::string& text) {
+  std::vector<std::string> addresses(core::kNumActors);
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? comma : comma - start);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      usage_error("peer entry '" + item + "' is not id=host:port");
+    }
+    const int id = std::atoi(item.substr(0, eq).c_str());
+    if (id < 0 || id >= core::kNumActors) {
+      usage_error("peer id out of range in '" + item + "'");
+    }
+    addresses[static_cast<std::size_t>(id)] = item.substr(eq + 1);
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  for (int id = 0; id < core::kNumActors; ++id) {
+    if (addresses[static_cast<std::size_t>(id)].empty()) {
+      usage_error("--peers must list all five actors (missing id " +
+                  std::to_string(id) + ")");
+    }
+  }
+  return addresses;
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      usage_error(std::string("missing value for ") + argv[i]);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--party-ids" || arg == "--party-id") {
+      opt.party_ids = parse_id_list(value(i));
+    } else if (arg == "--port-base") {
+      opt.port_base = std::atoi(value(i).c_str());
+    } else if (arg == "--peers") {
+      opt.peers = parse_peer_list(value(i));
+    } else if (arg == "--listen") {
+      opt.listen_host = value(i);
+    } else if (arg == "--task") {
+      opt.task = value(i);
+    } else if (arg == "--model") {
+      opt.model = value(i);
+    } else if (arg == "--images") {
+      opt.images = static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--rows") {
+      opt.rows = static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--batch") {
+      opt.batch = static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--epochs") {
+      opt.epochs = static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--lr") {
+      opt.learning_rate = std::atof(value(i).c_str());
+    } else if (arg == "--mode") {
+      opt.mode = value(i);
+    } else if (arg == "--batch-openings") {
+      opt.batch_openings = value(i) == "on";
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(value(i).c_str(), nullptr, 10);
+    } else if (arg == "--data-seed") {
+      opt.data_seed = std::strtoull(value(i).c_str(), nullptr, 10);
+    } else if (arg == "--check") {
+      opt.check = true;
+    } else if (arg == "--connect-timeout-ms") {
+      opt.connect_timeout_ms = std::atoi(value(i).c_str());
+    } else {
+      usage_error("unknown flag " + arg);
+    }
+  }
+  if (opt.party_ids.empty()) {
+    usage_error("--party-ids is required");
+  }
+  if (opt.task != "infer" && opt.task != "train") {
+    usage_error("--task must be infer or train");
+  }
+  if (opt.mode != "malicious" && opt.mode != "hbc") {
+    usage_error("--mode must be malicious or hbc");
+  }
+  if (opt.images < 1 || opt.rows < 1 || opt.batch < 1 || opt.epochs < 1) {
+    usage_error("--images/--rows/--batch/--epochs must be >= 1");
+  }
+  return opt;
+}
+
+const char* role_name(int id) {
+  switch (id) {
+    case core::kDataOwner:
+      return "data-owner";
+    case core::kModelOwner:
+      return "model-owner";
+    default:
+      return "computing-party";
+  }
+}
+
+nn::ModelSpec spec_for(const std::string& name) {
+  if (name == "mlp") {
+    return nn::mnist_mlp_spec();
+  }
+  if (name == "cnn") {
+    return nn::mnist_cnn_spec();
+  }
+  if (name == "tiny-cnn") {
+    return nn::tiny_cnn_spec();
+  }
+  usage_error("--model must be mlp, cnn or tiny-cnn");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+
+  // --- Deterministic shared state: every process derives the same
+  // configuration, model and batch schedule from the flags alone.
+  core::EngineConfig config;
+  config.mode = opt.mode == "hbc" ? mpc::SecurityMode::kHonestButCurious
+                                  : mpc::SecurityMode::kMalicious;
+  config.batch_openings = opt.batch_openings;
+  config.seed = opt.seed;
+  // Processes start at different times; give the model owner's
+  // collective ops more slack than the in-process default.
+  config.collect_timeout = std::chrono::milliseconds(2000);
+
+  const nn::ModelSpec spec = spec_for(opt.model);
+  Rng model_rng(config.seed);
+  nn::Sequential model = nn::build_model(spec, model_rng);
+  const std::size_t param_count = model.parameters().size();
+
+  data::SyntheticMnistConfig data_config;
+  data_config.train_count = opt.rows;
+  data_config.test_count = opt.images;
+  data_config.seed = opt.data_seed;
+  const auto split = data::generate_synthetic_mnist(data_config);
+  const data::Dataset sample = data::slice(split.test, 0, opt.images);
+
+  core::TrainOptions train_options;
+  train_options.epochs = opt.epochs;
+  train_options.batch_size = opt.batch;
+  train_options.learning_rate = opt.learning_rate;
+
+  const bool training = opt.task == "train";
+  std::unique_ptr<core::InferJob> infer_job;
+  std::unique_ptr<core::TrainJob> train_job;
+  if (training) {
+    train_job = std::make_unique<core::TrainJob>(core::make_train_job(
+        spec, config, train_options, split.train, param_count));
+  } else {
+    infer_job = std::make_unique<core::InferJob>(
+        core::make_infer_job(spec, config, param_count, sample, opt.batch));
+  }
+
+  // --- Mesh addresses: explicit --peers, or 127.0.0.1:(base+id).
+  std::vector<std::string> addresses = opt.peers;
+  if (addresses.empty()) {
+    for (int id = 0; id < core::kNumActors; ++id) {
+      addresses.push_back("127.0.0.1:" +
+                          std::to_string(opt.port_base + id));
+    }
+  }
+
+  net::NetworkConfig net_config;
+  net_config.num_parties = core::kNumActors;
+  net_config.connect.connect_timeout =
+      std::chrono::milliseconds(opt.connect_timeout_ms);
+
+  try {
+    // Bind every hosted id before dialing anyone, then rendezvous
+    // concurrently: each connect() blocks until that id's mesh is up.
+    std::vector<std::unique_ptr<net::TcpTransport>> transports;
+    for (const int id : opt.party_ids) {
+      std::string listen = addresses[static_cast<std::size_t>(id)];
+      if (!opt.listen_host.empty()) {
+        listen = opt.listen_host + ":" +
+                 std::to_string(net::parse_address(listen).port);
+      }
+      std::printf("[party %d] %s listening on %s\n", id, role_name(id),
+                  listen.c_str());
+      transports.push_back(std::make_unique<net::TcpTransport>(
+          static_cast<net::PartyId>(id), listen, net_config));
+    }
+    {
+      std::vector<std::thread> dialers;
+      std::vector<std::exception_ptr> errors(transports.size());
+      for (std::size_t i = 0; i < transports.size(); ++i) {
+        dialers.emplace_back([&, i] {
+          try {
+            transports[i]->connect(addresses);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        });
+      }
+      for (auto& dialer : dialers) {
+        dialer.join();
+      }
+      for (const auto& error : errors) {
+        if (error) {
+          std::rethrow_exception(error);
+        }
+      }
+    }
+    std::printf("mesh connected (%zu local actor%s)\n", transports.size(),
+                transports.size() == 1 ? "" : "s");
+
+    // --- Run the hosted actor bodies, one thread per id.
+    std::unique_ptr<core::ModelOwnerService> service;
+    for (const auto& transport : transports) {
+      if (transport->self() == core::kModelOwner) {
+        service = std::make_unique<core::ModelOwnerService>(
+            transport->endpoint(core::kModelOwner),
+            core::make_owner_service_config(config, training));
+      }
+    }
+
+    std::vector<std::size_t> labels;
+    std::vector<std::thread> bodies;
+    std::vector<std::exception_ptr> errors(transports.size());
+    for (std::size_t i = 0; i < transports.size(); ++i) {
+      const int id = static_cast<int>(transports[i]->self());
+      bodies.emplace_back([&, id, i] {
+        try {
+          net::Endpoint endpoint =
+              transports[i]->endpoint(static_cast<net::PartyId>(id));
+          if (id == core::kModelOwner) {
+            if (training) {
+              core::train_model_owner_body(*train_job, endpoint, model,
+                                           *service);
+            } else {
+              core::infer_model_owner_body(*infer_job, endpoint, model,
+                                           *service);
+            }
+          } else if (id == core::kDataOwner) {
+            if (training) {
+              core::train_data_owner_body(*train_job, endpoint);
+            } else {
+              labels = core::infer_data_owner_body(*infer_job, endpoint);
+            }
+          } else {
+            const mpc::DetectionLog log =
+                training ? core::train_computing_party_body(*train_job, id,
+                                                            endpoint, nullptr)
+                         : core::infer_computing_party_body(*infer_job, id,
+                                                            endpoint, nullptr);
+            std::printf("[party %d] done: %llu opening rounds, %zu "
+                        "anomalies detected\n",
+                        id, static_cast<unsigned long long>(log.opens),
+                        log.events.size());
+          }
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    for (auto& body : bodies) {
+      body.join();
+    }
+    for (std::size_t i = 0; i < transports.size(); ++i) {
+      if (errors[i]) {
+        std::rethrow_exception(errors[i]);
+      }
+    }
+
+    // --- Report per-process traffic (each frame metered once at its
+    // sender, so summing the rows across processes reproduces the
+    // in-memory engine's totals).
+    for (const auto& transport : transports) {
+      const net::TrafficSnapshot traffic = transport->traffic();
+      std::uint64_t sent_bytes = 0;
+      std::uint64_t sent_messages = 0;
+      const auto self = static_cast<std::size_t>(transport->self());
+      for (const auto& link : traffic.links[self]) {
+        sent_bytes += link.bytes;
+        sent_messages += link.messages;
+      }
+      std::printf("[party %d] sent %llu messages, %.2f MB\n",
+                  static_cast<int>(transport->self()),
+                  static_cast<unsigned long long>(sent_messages),
+                  static_cast<double>(sent_bytes) / (1 << 20));
+    }
+
+    int exit_code = 0;
+    const bool hosts_data_owner =
+        std::count(opt.party_ids.begin(), opt.party_ids.end(),
+                   static_cast<int>(core::kDataOwner)) > 0;
+    const bool hosts_model_owner =
+        std::count(opt.party_ids.begin(), opt.party_ids.end(),
+                   static_cast<int>(core::kModelOwner)) > 0;
+
+    if (!training && hosts_data_owner) {
+      std::printf("[party %d] predicted labels:", core::kDataOwner);
+      for (std::size_t i = 0; i < labels.size() && i < 24; ++i) {
+        std::printf(" %zu", labels[i]);
+      }
+      std::printf("%s\n", labels.size() > 24 ? " ..." : "");
+      if (opt.check) {
+        core::TrustDdlEngine engine(spec, config);
+        const core::InferResult expected = engine.infer(sample, opt.batch);
+        const bool match = expected.labels == labels;
+        std::printf("check: %s (in-memory engine, same seeds)\n",
+                    match ? "MATCH" : "MISMATCH");
+        if (!match) {
+          exit_code = 2;
+        }
+      }
+    }
+
+    if (training && hosts_model_owner) {
+      // Apply the robustly reconstructed weights per epoch and report
+      // test accuracy, exactly as TrustDdlEngine::train does.
+      std::vector<double> accuracies;
+      const auto parameters = model.parameters();
+      for (std::size_t epoch = 0; epoch < opt.epochs; ++epoch) {
+        bool complete = true;
+        for (std::size_t p = 0; p < parameters.size(); ++p) {
+          const auto it =
+              service->revealed().find(core::reveal_key(epoch, p));
+          if (it == service->revealed().end()) {
+            complete = false;
+            break;
+          }
+          parameters[p]->value = to_real(it->second, config.frac_bits);
+        }
+        if (!complete) {
+          std::printf("[party %d] epoch %zu: weights not revealed\n",
+                      core::kModelOwner, epoch);
+          continue;
+        }
+        accuracies.push_back(
+            model.accuracy(split.test.images, split.test.labels));
+        std::printf("[party %d] epoch %zu test accuracy: %.4f\n",
+                    core::kModelOwner, epoch, accuracies.back());
+      }
+      if (opt.check) {
+        core::TrustDdlEngine engine(spec, config);
+        const core::TrainResult expected =
+            engine.train(split.train, split.test, train_options);
+        const bool match = expected.epoch_test_accuracy == accuracies;
+        std::printf("check: %s (in-memory engine, same seeds)\n",
+                    match ? "MATCH" : "MISMATCH");
+        if (!match) {
+          exit_code = 2;
+        }
+      }
+    }
+
+    // Let in-flight frames from peers drain before tearing the
+    // sockets down (a peer's last stop/ack may still be in transit).
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    for (auto& transport : transports) {
+      transport->shutdown();
+    }
+    return exit_code;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "trustddl_party: %s\n", error.what());
+    return 1;
+  }
+}

@@ -4,15 +4,12 @@
 
 #include "common/logging.hpp"
 #include "common/stopwatch.hpp"
-#include "mpc/robust_reconstruct.hpp"
-#include "mpc/share_serde.hpp"
-#include "nn/loss.hpp"
+#include "core/actors.hpp"
 
 namespace trustddl::core {
 namespace {
 
 constexpr const char* kLog = "core.engine";
-constexpr auto kActorTimeout = std::chrono::seconds(60);
 
 /// Run heterogeneous actor bodies on their own threads; rethrow the
 /// first failure of an actor marked critical (honest parties, owners).
@@ -51,19 +48,6 @@ void run_actors(const std::vector<std::function<void()>>& bodies,
   }
 }
 
-std::string init_tag(std::size_t index) {
-  return "init/" + std::to_string(index);
-}
-std::string batch_tag(std::size_t step, const char* what) {
-  return "b/" + std::to_string(step) + "/" + what;
-}
-std::string reveal_key(std::size_t epoch, std::size_t param) {
-  return "e/" + std::to_string(epoch) + "/p/" + std::to_string(param);
-}
-std::string pred_tag(std::size_t step) {
-  return "pred/" + std::to_string(step);
-}
-
 }  // namespace
 
 mpc::PartyContext make_party_context(const EngineConfig& config, int party,
@@ -100,11 +84,34 @@ TrustDdlEngine::TrustDdlEngine(nn::ModelSpec spec, EngineConfig config)
         return nn::build_model(spec_, rng);
       }()) {}
 
+TrustDdlEngine::TrustDdlEngine(nn::ModelSpec spec, EngineConfig config,
+                               net::Transport& transport)
+    : TrustDdlEngine(std::move(spec), config) {
+  TRUSTDDL_REQUIRE(transport.num_parties() >= kNumActors,
+                   "external transport must serve all five actors");
+  external_transport_ = &transport;
+}
+
+net::Transport& TrustDdlEngine::prepare_transport() {
+  if (external_transport_ != nullptr) {
+    external_transport_->reset_traffic();
+    return *external_transport_;
+  }
+  net::NetworkConfig net_config;
+  net_config.num_parties = kNumActors;
+  net_config.recv_timeout = config_.recv_timeout;
+  net_config.emulate_latency = config_.emulate_latency;
+  net_config.link_latency = config_.link_latency;
+  network_ = std::make_unique<net::Network>(net_config);
+  return *network_;
+}
+
 CostReport TrustDdlEngine::collect_cost(
-    double wall_seconds, const std::array<mpc::DetectionLog, 3>& logs) const {
+    const net::Transport& transport, double wall_seconds,
+    const std::array<mpc::DetectionLog, 3>& logs) const {
   CostReport report;
   report.wall_seconds = wall_seconds;
-  const net::TrafficSnapshot traffic = network_->traffic();
+  const net::TrafficSnapshot traffic = transport.traffic();
   report.total_bytes = traffic.total_bytes;
   report.total_messages = traffic.total_messages;
   for (int i = 0; i < kNumActors; ++i) {
@@ -137,48 +144,19 @@ CostReport TrustDdlEngine::collect_cost(
 TrainResult TrustDdlEngine::train(const data::Dataset& train_data,
                                   const data::Dataset& test_data,
                                   const TrainOptions& options) {
-  TRUSTDDL_REQUIRE(options.epochs >= 1 && options.batch_size >= 1,
-                   "train: invalid options");
-  net::NetworkConfig net_config;
-  net_config.num_parties = kNumActors;
-  net_config.recv_timeout = config_.recv_timeout;
-  net_config.emulate_latency = config_.emulate_latency;
-  net_config.link_latency = config_.link_latency;
-  network_ = std::make_unique<net::Network>(net_config);
-
-  // Pre-compute the batch schedule (deterministic shuffling), shared
-  // by the data owner and the parties.
-  std::vector<data::Dataset> batches;
-  std::vector<std::size_t> epoch_last_step;
-  {
-    Rng shuffle_rng(options.shuffle_seed);
-    for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
-      const auto indices =
-          data::shuffled_indices(train_data.size(), shuffle_rng);
-      for (std::size_t start = 0; start < train_data.size();
-           start += options.batch_size) {
-        const std::size_t count =
-            std::min(options.batch_size, train_data.size() - start);
-        batches.push_back(data::gather(train_data, indices, start, count));
-      }
-      epoch_last_step.push_back(batches.size() - 1);
-    }
-  }
+  net::Transport& transport = prepare_transport();
 
   const auto parameters = model_.parameters();
-  const std::size_t param_count = parameters.size();
+  const TrainJob job =
+      make_train_job(spec_, config_, options, train_data, parameters.size());
 
   std::unique_ptr<mpc::StandardAdversary> adversary;
   if (config_.byzantine_party >= 0) {
     adversary = std::make_unique<mpc::StandardAdversary>(config_.byzantine);
   }
 
-  OwnerServiceConfig owner_config;
-  owner_config.frac_bits = config_.frac_bits;
-  owner_config.dist_tolerance = config_.dist_tolerance;
-  owner_config.collect_timeout = config_.collect_timeout;
-  owner_config.seed = config_.seed * 31 + 7;
-  ModelOwnerService service(network_->endpoint(kModelOwner), owner_config);
+  ModelOwnerService service(transport.endpoint(kModelOwner),
+                            make_owner_service_config(config_, true));
 
   std::array<mpc::DetectionLog, 3> logs;
   Stopwatch watch;
@@ -186,103 +164,20 @@ TrainResult TrustDdlEngine::train(const data::Dataset& train_data,
   std::vector<std::function<void()>> bodies;
   std::vector<bool> critical;
 
-  // Model owner: share initial parameters, then serve.
   bodies.push_back([&] {
-    Rng rng(config_.seed * 101 + 3);
-    net::Endpoint endpoint = network_->endpoint(kModelOwner);
-    for (std::size_t i = 0; i < param_count; ++i) {
-      const auto views = mpc::share_secret(
-          to_ring(parameters[i]->value, config_.frac_bits), rng);
-      for (int party = 0; party < kComputingParties; ++party) {
-        ByteWriter writer;
-        mpc::write_party_share(writer,
-                               views[static_cast<std::size_t>(party)]);
-        endpoint.send(party, init_tag(i), writer.take());
-      }
-    }
-    service.run();
+    train_model_owner_body(job, transport.endpoint(kModelOwner), model_,
+                           service);
   });
   critical.push_back(true);
 
-  // Data owner: share every batch's inputs and one-hot labels.
-  bodies.push_back([&] {
-    Rng rng(config_.seed * 203 + 11);
-    net::Endpoint endpoint = network_->endpoint(kDataOwner);
-    for (std::size_t step = 0; step < batches.size(); ++step) {
-      const auto& batch = batches[step];
-      const auto x_views = mpc::share_secret(
-          to_ring(batch.images, config_.frac_bits), rng);
-      const auto y_views = mpc::share_secret(
-          to_ring(nn::one_hot(batch.labels, spec_.classes),
-                  config_.frac_bits),
-          rng);
-      for (int party = 0; party < kComputingParties; ++party) {
-        const auto index = static_cast<std::size_t>(party);
-        ByteWriter x_writer;
-        mpc::write_party_share(x_writer, x_views[index]);
-        endpoint.send(party, batch_tag(step, "x"), x_writer.take());
-        ByteWriter y_writer;
-        mpc::write_party_share(y_writer, y_views[index]);
-        endpoint.send(party, batch_tag(step, "y"), y_writer.take());
-      }
-    }
-  });
+  bodies.push_back(
+      [&] { train_data_owner_body(job, transport.endpoint(kDataOwner)); });
   critical.push_back(true);
 
-  // Computing parties.
   for (int party = 0; party < kComputingParties; ++party) {
     bodies.push_back([&, party] {
-      net::Endpoint endpoint = network_->endpoint(party);
-      OwnerLink link(endpoint, party, kActorTimeout);
-
-      std::vector<mpc::PartyShare> param_shares;
-      param_shares.reserve(param_count);
-      for (std::size_t i = 0; i < param_count; ++i) {
-        ByteReader reader(
-            endpoint.recv(kModelOwner, init_tag(i), kActorTimeout));
-        param_shares.push_back(mpc::read_party_share(reader));
-      }
-      SecureModel model(spec_, std::move(param_shares));
-
-      mpc::PartyContext pctx =
-          make_party_context(config_, party, endpoint, adversary.get());
-      SecureExecContext sctx = make_exec_context(config_, pctx, link);
-
-      std::size_t epoch = 0;
-      for (std::size_t step = 0; step < batches.size(); ++step) {
-        ByteReader x_reader(
-            endpoint.recv(kDataOwner, batch_tag(step, "x"), kActorTimeout));
-        const mpc::PartyShare x = mpc::read_party_share(x_reader);
-        ByteReader y_reader(
-            endpoint.recv(kDataOwner, batch_tag(step, "y"), kActorTimeout));
-        const mpc::PartyShare y = mpc::read_party_share(y_reader);
-
-        const mpc::PartyShare probabilities = model.forward(sctx, x);
-        // Fused softmax + cross-entropy gradient: p - y, computed
-        // locally on shares (§III-C); the batch mean folds into the
-        // learning rate.
-        const mpc::PartyShare grad_logits = probabilities - y;
-        model.backward_from_logit_grad(sctx, grad_logits);
-        const std::size_t batch_rows = x.shape()[0];
-        model.sgd_step(sctx,
-                       options.learning_rate /
-                           static_cast<double>(batch_rows),
-                       config_.frac_bits);
-
-        if (step == epoch_last_step[epoch]) {
-          const bool last_epoch = epoch + 1 == options.epochs;
-          if (options.reveal_weights &&
-              (options.evaluate_each_epoch || last_epoch)) {
-            const auto params = model.parameters();
-            for (std::size_t i = 0; i < params.size(); ++i) {
-              link.reveal(reveal_key(epoch, i), params[i]->value);
-            }
-          }
-          ++epoch;
-        }
-      }
-      link.stop();
-      logs[static_cast<std::size_t>(party)] = pctx.detections;
+      logs[static_cast<std::size_t>(party)] = train_computing_party_body(
+          job, party, transport.endpoint(party), adversary.get());
     });
     critical.push_back(party != config_.byzantine_party);
   }
@@ -299,7 +194,7 @@ TrainResult TrustDdlEngine::train(const data::Dataset& train_data,
       continue;
     }
     bool complete = true;
-    for (std::size_t i = 0; i < param_count; ++i) {
+    for (std::size_t i = 0; i < parameters.size(); ++i) {
       const auto it = service.revealed().find(reveal_key(epoch, i));
       if (it == service.revealed().end()) {
         complete = false;
@@ -315,140 +210,47 @@ TrainResult TrustDdlEngine::train(const data::Dataset& train_data,
     result.epoch_test_accuracy.push_back(
         model_.accuracy(test_data.images, test_data.labels));
   }
-  result.cost = collect_cost(wall, logs);
+  result.cost = collect_cost(transport, wall, logs);
   return result;
 }
 
 InferResult TrustDdlEngine::infer(const data::Dataset& inputs,
                                   std::size_t batch_size) {
-  TRUSTDDL_REQUIRE(batch_size >= 1, "infer: invalid batch size");
-  net::NetworkConfig net_config;
-  net_config.num_parties = kNumActors;
-  net_config.recv_timeout = config_.recv_timeout;
-  net_config.emulate_latency = config_.emulate_latency;
-  net_config.link_latency = config_.link_latency;
-  network_ = std::make_unique<net::Network>(net_config);
+  net::Transport& transport = prepare_transport();
 
-  std::vector<data::Dataset> batches;
-  for (std::size_t start = 0; start < inputs.size(); start += batch_size) {
-    batches.push_back(data::slice(
-        inputs, start, std::min(batch_size, inputs.size() - start)));
-  }
-
-  const auto parameters = model_.parameters();
-  const std::size_t param_count = parameters.size();
+  const InferJob job = make_infer_job(
+      spec_, config_, model_.parameters().size(), inputs, batch_size);
 
   std::unique_ptr<mpc::StandardAdversary> adversary;
   if (config_.byzantine_party >= 0) {
     adversary = std::make_unique<mpc::StandardAdversary>(config_.byzantine);
   }
 
-  OwnerServiceConfig owner_config;
-  owner_config.frac_bits = config_.frac_bits;
-  owner_config.dist_tolerance = config_.dist_tolerance;
-  owner_config.collect_timeout = config_.collect_timeout;
-  owner_config.seed = config_.seed * 41 + 17;
-  ModelOwnerService service(network_->endpoint(kModelOwner), owner_config);
+  ModelOwnerService service(transport.endpoint(kModelOwner),
+                            make_owner_service_config(config_, false));
 
   std::array<mpc::DetectionLog, 3> logs;
-  std::vector<std::size_t> labels(inputs.size());
+  std::vector<std::size_t> labels;
   Stopwatch watch;
 
   std::vector<std::function<void()>> bodies;
   std::vector<bool> critical;
 
   bodies.push_back([&] {
-    Rng rng(config_.seed * 59 + 29);
-    net::Endpoint endpoint = network_->endpoint(kModelOwner);
-    for (std::size_t i = 0; i < param_count; ++i) {
-      const auto views = mpc::share_secret(
-          to_ring(parameters[i]->value, config_.frac_bits), rng);
-      for (int party = 0; party < kComputingParties; ++party) {
-        ByteWriter writer;
-        mpc::write_party_share(writer,
-                               views[static_cast<std::size_t>(party)]);
-        endpoint.send(party, init_tag(i), writer.take());
-      }
-    }
-    service.run();
+    infer_model_owner_body(job, transport.endpoint(kModelOwner), model_,
+                           service);
   });
   critical.push_back(true);
 
   bodies.push_back([&] {
-    Rng rng(config_.seed * 71 + 5);
-    net::Endpoint endpoint = network_->endpoint(kDataOwner);
-    for (std::size_t step = 0; step < batches.size(); ++step) {
-      const auto x_views = mpc::share_secret(
-          to_ring(batches[step].images, config_.frac_bits), rng);
-      for (int party = 0; party < kComputingParties; ++party) {
-        ByteWriter writer;
-        mpc::write_party_share(writer,
-                               x_views[static_cast<std::size_t>(party)]);
-        endpoint.send(party, batch_tag(step, "x"), writer.take());
-      }
-    }
-    // Collect prediction shares and reconstruct (the data owner
-    // receives the inference result — paper §III-A).
-    std::size_t row_offset = 0;
-    for (std::size_t step = 0; step < batches.size(); ++step) {
-      std::array<std::optional<mpc::PartyShare>, kComputingParties> triples;
-      for (int party = 0; party < kComputingParties; ++party) {
-        try {
-          ByteReader reader(
-              endpoint.recv(party, pred_tag(step), kActorTimeout));
-          triples[static_cast<std::size_t>(party)] =
-              mpc::read_party_share(reader);
-        } catch (const Error&) {
-          TRUSTDDL_LOG_WARN(kLog) << "no prediction share from party "
-                                  << party << " for step " << step;
-        }
-      }
-      const RealTensor probabilities = to_real(
-          mpc::robust_reconstruct(triples, config_.dist_tolerance),
-          config_.frac_bits);
-      for (std::size_t row = 0; row < probabilities.rows(); ++row) {
-        std::size_t best = 0;
-        for (std::size_t col = 1; col < probabilities.cols(); ++col) {
-          if (probabilities.at(row, col) > probabilities.at(row, best)) {
-            best = col;
-          }
-        }
-        labels[row_offset + row] = best;
-      }
-      row_offset += probabilities.rows();
-    }
+    labels = infer_data_owner_body(job, transport.endpoint(kDataOwner));
   });
   critical.push_back(true);
 
   for (int party = 0; party < kComputingParties; ++party) {
     bodies.push_back([&, party] {
-      net::Endpoint endpoint = network_->endpoint(party);
-      OwnerLink link(endpoint, party, kActorTimeout);
-
-      std::vector<mpc::PartyShare> param_shares;
-      param_shares.reserve(param_count);
-      for (std::size_t i = 0; i < param_count; ++i) {
-        ByteReader reader(
-            endpoint.recv(kModelOwner, init_tag(i), kActorTimeout));
-        param_shares.push_back(mpc::read_party_share(reader));
-      }
-      SecureModel model(spec_, std::move(param_shares));
-
-      mpc::PartyContext pctx =
-          make_party_context(config_, party, endpoint, adversary.get());
-      SecureExecContext sctx = make_exec_context(config_, pctx, link);
-
-      for (std::size_t step = 0; step < batches.size(); ++step) {
-        ByteReader reader(
-            endpoint.recv(kDataOwner, batch_tag(step, "x"), kActorTimeout));
-        const mpc::PartyShare x = mpc::read_party_share(reader);
-        const mpc::PartyShare probabilities = model.forward(sctx, x);
-        ByteWriter writer;
-        mpc::write_party_share(writer, probabilities);
-        endpoint.send(kDataOwner, pred_tag(step), writer.take());
-      }
-      link.stop();
-      logs[static_cast<std::size_t>(party)] = pctx.detections;
+      logs[static_cast<std::size_t>(party)] = infer_computing_party_body(
+          job, party, transport.endpoint(party), adversary.get());
     });
     critical.push_back(party != config_.byzantine_party);
   }
@@ -457,7 +259,7 @@ InferResult TrustDdlEngine::infer(const data::Dataset& inputs,
 
   InferResult result;
   result.labels = std::move(labels);
-  result.cost = collect_cost(watch.elapsed_seconds(), logs);
+  result.cost = collect_cost(transport, watch.elapsed_seconds(), logs);
   return result;
 }
 

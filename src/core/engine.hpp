@@ -132,7 +132,19 @@ SecureExecContext make_exec_context(const EngineConfig& config,
 
 class TrustDdlEngine {
  public:
+  /// Engine over an internally-owned in-memory Network (one fresh
+  /// network per train()/infer() call).
   TrustDdlEngine(nn::ModelSpec spec, EngineConfig config);
+
+  /// Engine over an externally-owned transport — e.g. a net::TcpFabric
+  /// running every actor over real loopback sockets.  The transport
+  /// must serve at least kNumActors endpoints and outlive the engine;
+  /// its traffic counters are reset at the start of each call.  The
+  /// EngineConfig latency/timeout knobs that configure the internal
+  /// network (emulate_latency, link_latency, recv_timeout) are the
+  /// transport owner's responsibility in this mode.
+  TrustDdlEngine(nn::ModelSpec spec, EngineConfig config,
+                 net::Transport& transport);
 
   /// Secure training over `train`; test accuracy evaluated on the
   /// reconstructed weights after each epoch.
@@ -151,13 +163,19 @@ class TrustDdlEngine {
   const EngineConfig& config() const { return config_; }
 
  private:
-  CostReport collect_cost(double wall_seconds,
+  /// The transport the next run's actors communicate over: the
+  /// external one (counters reset) or a freshly built Network.
+  net::Transport& prepare_transport();
+
+  CostReport collect_cost(const net::Transport& transport,
+                          double wall_seconds,
                           const std::array<mpc::DetectionLog, 3>& logs) const;
 
   nn::ModelSpec spec_;
   EngineConfig config_;
   nn::Sequential model_;
   std::unique_ptr<net::Network> network_;
+  net::Transport* external_transport_ = nullptr;
 };
 
 }  // namespace trustddl::core

@@ -1,0 +1,59 @@
+#include "net/mailbox.hpp"
+
+#include <algorithm>
+
+namespace trustddl::net {
+
+void TagMailbox::push(Message message, Clock::time_point deliver_at) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(Entry{std::move(message), deliver_at});
+  }
+  cv_.notify_all();
+}
+
+std::optional<Bytes> TagMailbox::recv(const std::string& tag,
+                                      std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline = Clock::now() + timeout;
+  for (;;) {
+    const auto now = Clock::now();
+    // The next wake-up is either the deadline or the earliest matching
+    // message still in its emulated-latency window.
+    auto next_wake = deadline;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->message.tag != tag) {
+        continue;
+      }
+      if (it->deliver_at <= now) {
+        Bytes payload = std::move(it->message.payload);
+        pending_.erase(it);
+        return payload;
+      }
+      next_wake = std::min(next_wake, it->deliver_at);
+    }
+    // Scanning before this check re-examines the queue once after a
+    // timeout, so a notify racing the deadline is never lost.
+    if (now >= deadline) {
+      return std::nullopt;
+    }
+    cv_.wait_until(lock, next_wake);
+  }
+}
+
+bool TagMailbox::try_recv(const std::string& tag, Bytes& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = Clock::now();
+  const auto it = std::find_if(
+      pending_.begin(), pending_.end(), [&](const Entry& entry) {
+        return entry.message.tag == tag && entry.deliver_at <= now;
+      });
+  if (it == pending_.end()) {
+    return false;
+  }
+  out = std::move(it->message.payload);
+  pending_.erase(it);
+  return true;
+}
+
+}  // namespace trustddl::net

@@ -1,62 +1,17 @@
 #include "net/network.hpp"
 
-#include <algorithm>
-#include <thread>
-
 #include "common/error.hpp"
 
 namespace trustddl::net {
-
-int Endpoint::num_parties() const {
-  TRUSTDDL_ASSERT(network_ != nullptr);
-  return network_->num_parties();
-}
-
-void Endpoint::send(PartyId to, const std::string& tag, Bytes payload) const {
-  TRUSTDDL_ASSERT(network_ != nullptr);
-  TRUSTDDL_REQUIRE(to >= 0 && to < network_->num_parties(),
-                   "send: receiver out of range");
-  TRUSTDDL_REQUIRE(to != id_, "send: party cannot message itself");
-  Message message;
-  message.sender = id_;
-  message.receiver = to;
-  message.tag = tag;
-  message.payload = std::move(payload);
-  network_->deliver(std::move(message));
-}
-
-Bytes Endpoint::recv(PartyId from, const std::string& tag) const {
-  TRUSTDDL_ASSERT(network_ != nullptr);
-  return network_->blocking_recv(id_, from, tag,
-                                 network_->config().recv_timeout);
-}
-
-Bytes Endpoint::recv(PartyId from, const std::string& tag,
-                     std::chrono::milliseconds timeout) const {
-  TRUSTDDL_ASSERT(network_ != nullptr);
-  return network_->blocking_recv(id_, from, tag, timeout);
-}
-
-bool Endpoint::try_recv(PartyId from, const std::string& tag,
-                        Bytes& out) const {
-  TRUSTDDL_ASSERT(network_ != nullptr);
-  return network_->probe(id_, from, tag, out);
-}
 
 Network::Network(NetworkConfig config) : config_(config) {
   TRUSTDDL_REQUIRE(config_.num_parties >= 2, "network needs >= 2 parties");
   const auto n = static_cast<std::size_t>(config_.num_parties);
   mailboxes_.reserve(n * n);
   for (std::size_t i = 0; i < n * n; ++i) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
+    mailboxes_.push_back(std::make_unique<TagMailbox>());
   }
   link_metrics_.assign(n, std::vector<LinkMetrics>(n));
-}
-
-Endpoint Network::endpoint(PartyId id) {
-  TRUSTDDL_REQUIRE(id >= 0 && id < config_.num_parties,
-                   "endpoint id out of range");
-  return Endpoint(this, id);
 }
 
 void Network::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
@@ -64,7 +19,7 @@ void Network::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
   injector_ = std::move(injector);
 }
 
-void Network::deliver(Message message) {
+void Network::send(Message message) {
   // Meter the traffic the sender put on the wire, even if a fault
   // later drops it: the bytes were still sent.
   {
@@ -93,19 +48,16 @@ void Network::deliver(Message message) {
       message.payload.back() ^= 0xa5;
     }
   }
-  if (decision.delay.count() > 0) {
-    std::this_thread::sleep_for(decision.delay);
-  }
-  if (config_.emulate_latency) {
-    std::this_thread::sleep_for(config_.link_latency);
-  }
 
-  Mailbox& box = mailbox(message.receiver, message.sender);
-  {
-    std::lock_guard<std::mutex> lock(box.mu);
-    box.pending.push_back(std::move(message));
+  // Emulated latency and fault delays are charged to the *receiver*
+  // via the delivery timestamp; the sending thread never sleeps, so
+  // its fan-out to the other parties overlaps like real links.
+  auto deliver_at = TagMailbox::Clock::now() + decision.delay;
+  if (config_.emulate_latency) {
+    deliver_at += config_.link_latency;
   }
-  box.cv.notify_all();
+  mailbox(message.receiver, message.sender)
+      .push(std::move(message), deliver_at);
 }
 
 Bytes Network::blocking_recv(PartyId receiver, PartyId from,
@@ -113,45 +65,16 @@ Bytes Network::blocking_recv(PartyId receiver, PartyId from,
                              std::chrono::milliseconds timeout) {
   TRUSTDDL_REQUIRE(from >= 0 && from < config_.num_parties,
                    "recv: sender out of range");
-  Mailbox& box = mailbox(receiver, from);
-  std::unique_lock<std::mutex> lock(box.mu);
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
-  for (;;) {
-    auto it = std::find_if(box.pending.begin(), box.pending.end(),
-                           [&](const Message& m) { return m.tag == tag; });
-    if (it != box.pending.end()) {
-      Bytes payload = std::move(it->payload);
-      box.pending.erase(it);
-      return payload;
-    }
-    if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
-      // Re-scan once in case of a late notify racing the timeout.
-      it = std::find_if(box.pending.begin(), box.pending.end(),
-                        [&](const Message& m) { return m.tag == tag; });
-      if (it != box.pending.end()) {
-        Bytes payload = std::move(it->payload);
-        box.pending.erase(it);
-        return payload;
-      }
-      throw TimeoutError("recv timeout: party " + std::to_string(receiver) +
-                         " waiting for '" + tag + "' from party " +
-                         std::to_string(from));
-    }
+  auto payload = mailbox(receiver, from).recv(tag, timeout);
+  if (!payload) {
+    throw_recv_timeout(receiver, from, tag);
   }
+  return std::move(*payload);
 }
 
 bool Network::probe(PartyId receiver, PartyId from, const std::string& tag,
                     Bytes& out) {
-  Mailbox& box = mailbox(receiver, from);
-  std::lock_guard<std::mutex> lock(box.mu);
-  auto it = std::find_if(box.pending.begin(), box.pending.end(),
-                         [&](const Message& m) { return m.tag == tag; });
-  if (it == box.pending.end()) {
-    return false;
-  }
-  out = std::move(it->payload);
-  box.pending.erase(it);
-  return true;
+  return mailbox(receiver, from).try_recv(tag, out);
 }
 
 TrafficSnapshot Network::traffic() const {

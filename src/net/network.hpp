@@ -1,129 +1,55 @@
-// In-process simulated network.
+// In-process simulated network (the mailbox Transport).
 //
 // One `Network` hosts N endpoints (one per actor thread).  Each ordered
 // pair of endpoints has a mailbox; `Endpoint::recv` blocks until a
 // message with a matching (sender, tag) arrives or the timeout expires
 // (TimeoutError).  All links are metered: the benchmark harness reads
 // bytes/messages per link to report the paper's communication costs.
+//
+// Latency emulation stamps messages with an earliest-delivery time and
+// makes the *receiver* wait, so a sender fanning out to several peers
+// pays the link latency once (overlapped), as on real links — not once
+// per message.
 #pragma once
 
-#include <chrono>
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
 #include <memory>
-#include <mutex>
-#include <string>
 #include <vector>
 
-#include "net/fault_injector.hpp"
-#include "net/message.hpp"
+#include "net/mailbox.hpp"
+#include "net/transport.hpp"
 
 namespace trustddl::net {
 
-struct NetworkConfig {
-  int num_parties = 3;
-  /// recv() wait bound; protocols treat expiry as a dropped message.
-  std::chrono::milliseconds recv_timeout{2000};
-  /// If true, the network sleeps `link_latency` per message to emulate
-  /// a LAN; off by default so tests stay fast.
-  bool emulate_latency = false;
-  std::chrono::microseconds link_latency{50};
-};
-
-/// Byte/message counters for one directed link.
-struct LinkMetrics {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-};
-
-/// Aggregated traffic snapshot.
-struct TrafficSnapshot {
-  std::vector<std::vector<LinkMetrics>> links;  // [sender][receiver]
-  std::uint64_t total_messages = 0;
-  std::uint64_t total_bytes = 0;
-
-  double total_megabytes() const {
-    return static_cast<double>(total_bytes) / (1024.0 * 1024.0);
-  }
-};
-
-class Network;
-
-/// A party's handle onto the network.  Cheap to copy; thread-affine use
-/// is expected (one endpoint per party thread).
-class Endpoint {
- public:
-  Endpoint() = default;
-
-  PartyId id() const { return id_; }
-  int num_parties() const;
-
-  /// Send `payload` to `to` under `tag`.
-  void send(PartyId to, const std::string& tag, Bytes payload) const;
-
-  /// Block until a message from `from` with tag `tag` arrives; throws
-  /// TimeoutError after the configured timeout.
-  Bytes recv(PartyId from, const std::string& tag) const;
-
-  /// recv with an explicit timeout override.
-  Bytes recv(PartyId from, const std::string& tag,
-             std::chrono::milliseconds timeout) const;
-
-  /// Non-blocking probe; returns true and fills `out` if available.
-  bool try_recv(PartyId from, const std::string& tag, Bytes& out) const;
-
- private:
-  friend class Network;
-  Endpoint(Network* network, PartyId id) : network_(network), id_(id) {}
-
-  Network* network_ = nullptr;
-  PartyId id_ = -1;
-};
-
-class Network {
+class Network final : public Transport {
  public:
   explicit Network(NetworkConfig config = {});
-  ~Network() = default;
+  ~Network() override = default;
 
-  Network(const Network&) = delete;
-  Network& operator=(const Network&) = delete;
-
-  int num_parties() const { return config_.num_parties; }
+  int num_parties() const override { return config_.num_parties; }
   const NetworkConfig& config() const { return config_; }
+  std::chrono::milliseconds default_recv_timeout() const override {
+    return config_.recv_timeout;
+  }
 
-  Endpoint endpoint(PartyId id);
+  void send(Message message) override;
+  Bytes blocking_recv(PartyId receiver, PartyId from, const std::string& tag,
+                      std::chrono::milliseconds timeout) override;
+  bool probe(PartyId receiver, PartyId from, const std::string& tag,
+             Bytes& out) override;
 
-  /// Install a transport fault injector (nullptr restores NoFaults).
-  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
-
-  /// Traffic counters since construction or the last reset.
-  TrafficSnapshot traffic() const;
-  void reset_traffic();
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector) override;
+  TrafficSnapshot traffic() const override;
+  void reset_traffic() override;
 
  private:
-  friend class Endpoint;
-
-  struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Message> pending;
-  };
-
-  void deliver(Message message);
-  Bytes blocking_recv(PartyId receiver, PartyId from, const std::string& tag,
-                      std::chrono::milliseconds timeout);
-  bool probe(PartyId receiver, PartyId from, const std::string& tag,
-             Bytes& out);
-
-  Mailbox& mailbox(PartyId receiver, PartyId sender) {
+  TagMailbox& mailbox(PartyId receiver, PartyId sender) {
     return *mailboxes_[static_cast<std::size_t>(receiver) *
                            static_cast<std::size_t>(config_.num_parties) +
                        static_cast<std::size_t>(sender)];
   }
 
   NetworkConfig config_;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<TagMailbox>> mailboxes_;
 
   mutable std::mutex metrics_mu_;
   std::vector<std::vector<LinkMetrics>> link_metrics_;

@@ -1,0 +1,577 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace trustddl::net {
+namespace {
+
+constexpr const char* kLog = "net.tcp";
+
+constexpr std::uint32_t kMagic = 0x314c4454;  // "TDL1"
+constexpr std::uint32_t kMaxTagLen = 1u << 16;
+constexpr std::uint64_t kMaxPayloadLen = 1ull << 33;
+constexpr std::size_t kFrameHeaderLen = 12;  // magic + sender + tag_len
+
+void put_u32(std::uint8_t* out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+void put_u64(std::uint8_t* out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t get_u64(const std::uint8_t* in) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return value;
+}
+
+/// Read exactly `size` bytes; false on EOF/error (connection gone).
+bool read_exact(int fd, std::uint8_t* out, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::recv(fd, out + done, size - done, 0);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR)) {
+      continue;
+    }
+    return false;  // orderly shutdown (0) or hard error
+  }
+  return true;
+}
+
+/// Write exactly `size` bytes; throws on a dead connection.
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    throw ProtocolError(std::string("tcp send failed: ") +
+                        std::strerror(errno));
+  }
+}
+
+void close_quietly(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+struct ResolvedAddress {
+  sockaddr_storage storage{};
+  socklen_t length = 0;
+};
+
+ResolvedAddress resolve(const TcpAddress& address) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string port = std::to_string(address.port);
+  const int rc = ::getaddrinfo(address.host.c_str(), port.c_str(), &hints,
+                               &result);
+  if (rc != 0 || result == nullptr) {
+    throw InvalidArgument("cannot resolve address '" + address.host + ":" +
+                          port + "': " + ::gai_strerror(rc));
+  }
+  ResolvedAddress out;
+  std::memcpy(&out.storage, result->ai_addr, result->ai_addrlen);
+  out.length = result->ai_addrlen;
+  ::freeaddrinfo(result);
+  return out;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpAddress parse_address(const std::string& text) {
+  const auto colon = text.rfind(':');
+  TRUSTDDL_REQUIRE(colon != std::string::npos && colon > 0 &&
+                       colon + 1 < text.size(),
+                   "address must be host:port");
+  TcpAddress address;
+  address.host = text.substr(0, colon);
+  // Port 0 is allowed: binding to it picks an ephemeral port.
+  const long port = std::strtol(text.c_str() + colon + 1, nullptr, 10);
+  TRUSTDDL_REQUIRE(port >= 0 && port <= 65535, "port out of range");
+  address.port = static_cast<std::uint16_t>(port);
+  return address;
+}
+
+TcpTransport::TcpTransport(PartyId self, const std::string& listen_address,
+                           NetworkConfig config)
+    : self_(self), config_(config) {
+  TRUSTDDL_REQUIRE(config_.num_parties >= 2, "transport needs >= 2 parties");
+  TRUSTDDL_REQUIRE(self >= 0 && self < config_.num_parties,
+                   "self id out of range");
+  const auto n = static_cast<std::size_t>(config_.num_parties);
+  peers_.resize(n);
+  inboxes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    peers_[i] = std::make_unique<Peer>();
+    inboxes_[i] = std::make_unique<TagMailbox>();
+  }
+  link_metrics_.assign(n, std::vector<LinkMetrics>(n));
+
+  const TcpAddress address = parse_address(listen_address);
+  const ResolvedAddress resolved = resolve(address);
+  listen_fd_ = ::socket(resolved.storage.ss_family, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw ProtocolError(std::string("tcp socket failed: ") +
+                        std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_,
+             reinterpret_cast<const sockaddr*>(&resolved.storage),
+             resolved.length) != 0 ||
+      ::listen(listen_fd_, config_.num_parties + 8) != 0) {
+    const std::string reason = std::strerror(errno);
+    close_quietly(listen_fd_);
+    throw ProtocolError("tcp bind/listen on " + listen_address +
+                        " failed: " + reason);
+  }
+  sockaddr_storage bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    if (bound.ss_family == AF_INET) {
+      bound_port_ = ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+    } else if (bound.ss_family == AF_INET6) {
+      bound_port_ =
+          ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+    }
+  }
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+int TcpTransport::connect_with_retry(PartyId peer_id,
+                                     const TcpAddress& address) {
+  TRUSTDDL_REQUIRE(address.port != 0, "cannot dial port 0");
+  const ResolvedAddress resolved = resolve(address);
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.connect.connect_timeout;
+  auto backoff = config_.connect.initial_backoff;
+  for (;;) {
+    const int fd = ::socket(resolved.storage.ss_family, SOCK_STREAM, 0);
+    if (fd >= 0 &&
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&resolved.storage),
+                  resolved.length) == 0) {
+      set_nodelay(fd);
+      // Handshake: tell the acceptor who dialed.
+      std::uint8_t hello[8];
+      put_u32(hello, kMagic);
+      put_u32(hello + 4, static_cast<std::uint32_t>(self_));
+      write_all(fd, hello, sizeof(hello));
+      return fd;
+    }
+    int closing = fd;
+    close_quietly(closing);
+    if (std::chrono::steady_clock::now() + backoff > deadline) {
+      throw TimeoutError("tcp rendezvous: party " + std::to_string(self_) +
+                         " could not connect to party " +
+                         std::to_string(peer_id) + " at " + address.host +
+                         ":" + std::to_string(address.port) + " within " +
+                         std::to_string(config_.connect.connect_timeout
+                                            .count()) +
+                         " ms");
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(
+        std::chrono::milliseconds(static_cast<long>(
+            static_cast<double>(backoff.count()) *
+            config_.connect.backoff_multiplier)),
+        config_.connect.max_backoff);
+  }
+}
+
+void TcpTransport::accept_higher_peers(int expected) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.connect.connect_timeout;
+  int accepted = 0;
+  while (accepted < expected) {
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      throw TimeoutError("tcp rendezvous: party " + std::to_string(self_) +
+                         " timed out waiting for " +
+                         std::to_string(expected - accepted) +
+                         " inbound peer connection(s)");
+    }
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (rc <= 0) {
+      continue;  // timeout re-checked above; EINTR retried
+    }
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    std::uint8_t hello[8];
+    if (!read_exact(fd, hello, sizeof(hello)) ||
+        get_u32(hello) != kMagic) {
+      TRUSTDDL_LOG_WARN(kLog) << "rejecting connection with bad handshake";
+      close_quietly(fd);
+      continue;
+    }
+    const auto peer_id = static_cast<PartyId>(get_u32(hello + 4));
+    if (peer_id <= self_ || peer_id >= config_.num_parties ||
+        peers_[static_cast<std::size_t>(peer_id)]->fd >= 0) {
+      TRUSTDDL_LOG_WARN(kLog)
+          << "rejecting connection claiming party " << peer_id;
+      close_quietly(fd);
+      continue;
+    }
+    set_nodelay(fd);
+    peers_[static_cast<std::size_t>(peer_id)]->fd = fd;
+    start_reader(peer_id);
+    ++accepted;
+  }
+}
+
+void TcpTransport::connect(const std::vector<std::string>& peer_addresses) {
+  TRUSTDDL_REQUIRE(
+      peer_addresses.size() ==
+          static_cast<std::size_t>(config_.num_parties),
+      "connect: need one address per party");
+  // Dial lower ids first; their listeners have existed since
+  // construction, so at worst we retry while the peer process starts.
+  for (PartyId peer = 0; peer < self_; ++peer) {
+    const TcpAddress address =
+        parse_address(peer_addresses[static_cast<std::size_t>(peer)]);
+    peers_[static_cast<std::size_t>(peer)]->fd =
+        connect_with_retry(peer, address);
+    start_reader(peer);
+  }
+  accept_higher_peers(config_.num_parties - 1 - self_);
+}
+
+void TcpTransport::start_reader(PartyId peer_id) {
+  Peer& peer = *peers_[static_cast<std::size_t>(peer_id)];
+  peer.reader = std::thread([this, peer_id] { reader_loop(peer_id); });
+}
+
+void TcpTransport::reader_loop(PartyId peer_id) {
+  const int fd = peers_[static_cast<std::size_t>(peer_id)]->fd;
+  std::vector<std::uint8_t> scratch;
+  for (;;) {
+    std::uint8_t header[kFrameHeaderLen];
+    if (!read_exact(fd, header, sizeof(header))) {
+      break;
+    }
+    const std::uint32_t magic = get_u32(header);
+    const auto sender = static_cast<PartyId>(get_u32(header + 4));
+    const std::uint32_t tag_len = get_u32(header + 8);
+    if (magic != kMagic || sender != peer_id || tag_len > kMaxTagLen) {
+      if (running_.load()) {
+        TRUSTDDL_LOG_WARN(kLog)
+            << "party " << self_ << ": malformed frame from peer "
+            << peer_id << "; closing link";
+      }
+      break;
+    }
+    Message message;
+    message.sender = sender;
+    message.receiver = self_;
+    message.tag.resize(tag_len);
+    scratch.resize(tag_len + 8);
+    if (!read_exact(fd, scratch.data(), tag_len + 8)) {
+      break;
+    }
+    std::memcpy(message.tag.data(), scratch.data(), tag_len);
+    const std::uint64_t payload_len = get_u64(scratch.data() + tag_len);
+    if (payload_len > kMaxPayloadLen) {
+      TRUSTDDL_LOG_WARN(kLog)
+          << "party " << self_ << ": oversized frame ("
+          << payload_len << " bytes) from peer " << peer_id
+          << "; closing link";
+      break;
+    }
+    message.payload.resize(payload_len);
+    if (payload_len > 0 &&
+        !read_exact(fd, message.payload.data(), payload_len)) {
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      auto& link = link_metrics_[static_cast<std::size_t>(sender)]
+                                [static_cast<std::size_t>(self_)];
+      link.messages += 1;
+      link.bytes += message.wire_size();
+    }
+    // Emulated link latency is applied on the receiving side, exactly
+    // like the in-memory network: the frame is already here, but it
+    // only becomes visible to recv() once the modeled one-way delay
+    // has elapsed.  Nobody blocks, so independent messages overlap.
+    auto deliver_at = TagMailbox::Clock::now();
+    if (config_.emulate_latency) {
+      deliver_at += config_.link_latency;
+    }
+    inboxes_[static_cast<std::size_t>(sender)]->push(std::move(message),
+                                                    deliver_at);
+  }
+}
+
+Endpoint TcpTransport::endpoint(PartyId id) {
+  TRUSTDDL_REQUIRE(id == self_,
+                   "TcpTransport only serves its own party's endpoint");
+  return make_endpoint(id);
+}
+
+void TcpTransport::send(Message message) {
+  TRUSTDDL_REQUIRE(message.sender == self_,
+                   "TcpTransport can only send as its own party");
+  TRUSTDDL_REQUIRE(message.receiver >= 0 &&
+                       message.receiver < config_.num_parties &&
+                       message.receiver != self_,
+                   "send: receiver out of range");
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    auto& link = link_metrics_[static_cast<std::size_t>(self_)]
+                              [static_cast<std::size_t>(message.receiver)];
+    link.messages += 1;
+    link.bytes += message.wire_size();
+  }
+
+  FaultDecision decision;
+  {
+    std::lock_guard<std::mutex> lock(injector_mu_);
+    if (injector_) {
+      decision = injector_->on_message(message);
+    }
+  }
+  if (decision.drop) {
+    return;  // metered but never written, like the in-memory network
+  }
+  if (decision.corrupt && !message.payload.empty()) {
+    message.payload.back() ^= 0xa5;
+  }
+  if (decision.delay.count() > 0) {
+    // Injected delays are a test-only feature; the frame format has no
+    // delivery-time field, so the sender sleeps.  Emulated *latency*
+    // is never applied here — the wire provides the real thing.
+    std::this_thread::sleep_for(decision.delay);
+  }
+
+  Peer& peer = *peers_[static_cast<std::size_t>(message.receiver)];
+  std::vector<std::uint8_t> frame(kFrameHeaderLen + message.tag.size() + 8 +
+                                  message.payload.size());
+  put_u32(frame.data(), kMagic);
+  put_u32(frame.data() + 4, static_cast<std::uint32_t>(self_));
+  put_u32(frame.data() + 8, static_cast<std::uint32_t>(message.tag.size()));
+  std::memcpy(frame.data() + kFrameHeaderLen, message.tag.data(),
+              message.tag.size());
+  put_u64(frame.data() + kFrameHeaderLen + message.tag.size(),
+          message.payload.size());
+  std::memcpy(frame.data() + kFrameHeaderLen + message.tag.size() + 8,
+              message.payload.data(), message.payload.size());
+
+  std::lock_guard<std::mutex> lock(peer.send_mu);
+  TRUSTDDL_REQUIRE(peer.fd >= 0, "send: no connection to receiver");
+  write_all(peer.fd, frame.data(), frame.size());
+}
+
+Bytes TcpTransport::blocking_recv(PartyId receiver, PartyId from,
+                                  const std::string& tag,
+                                  std::chrono::milliseconds timeout) {
+  TRUSTDDL_REQUIRE(receiver == self_,
+                   "TcpTransport can only receive as its own party");
+  TRUSTDDL_REQUIRE(from >= 0 && from < config_.num_parties && from != self_,
+                   "recv: sender out of range");
+  auto payload = inboxes_[static_cast<std::size_t>(from)]->recv(tag, timeout);
+  if (!payload) {
+    throw_recv_timeout(receiver, from, tag);
+  }
+  return std::move(*payload);
+}
+
+bool TcpTransport::probe(PartyId receiver, PartyId from,
+                         const std::string& tag, Bytes& out) {
+  TRUSTDDL_REQUIRE(receiver == self_,
+                   "TcpTransport can only receive as its own party");
+  return inboxes_[static_cast<std::size_t>(from)]->try_recv(tag, out);
+}
+
+void TcpTransport::set_fault_injector(
+    std::shared_ptr<FaultInjector> injector) {
+  std::lock_guard<std::mutex> lock(injector_mu_);
+  injector_ = std::move(injector);
+}
+
+TrafficSnapshot TcpTransport::traffic() const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  TrafficSnapshot snapshot;
+  snapshot.links = link_metrics_;
+  for (const auto& row : link_metrics_) {
+    for (const auto& link : row) {
+      snapshot.total_messages += link.messages;
+      snapshot.total_bytes += link.bytes;
+    }
+  }
+  return snapshot;
+}
+
+void TcpTransport::reset_traffic() {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  for (auto& row : link_metrics_) {
+    for (auto& link : row) {
+      link = LinkMetrics{};
+    }
+  }
+}
+
+void TcpTransport::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shut_down_) {
+      return;
+    }
+    shut_down_ = true;
+  }
+  running_.store(false);
+  // Shutting down the sockets wakes every reader blocked in recv();
+  // fds are closed only after the join so no reader touches a reused
+  // descriptor.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  for (auto& peer : peers_) {
+    if (peer->fd >= 0) {
+      ::shutdown(peer->fd, SHUT_RDWR);
+    }
+  }
+  for (auto& peer : peers_) {
+    if (peer->reader.joinable()) {
+      peer->reader.join();
+    }
+    close_quietly(peer->fd);
+  }
+  close_quietly(listen_fd_);
+}
+
+TcpFabric::TcpFabric(NetworkConfig config) : config_(config) {
+  const auto n = static_cast<std::size_t>(config_.num_parties);
+  transports_.reserve(n);
+  std::vector<std::string> addresses(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    transports_.push_back(std::make_unique<TcpTransport>(
+        static_cast<PartyId>(id), "127.0.0.1:0", config_));
+    addresses[id] =
+        "127.0.0.1:" + std::to_string(transports_[id]->bound_port());
+  }
+  // The rendezvous blocks until the mesh is up, so every party must
+  // run it concurrently.
+  std::vector<std::exception_ptr> errors(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    threads.emplace_back([&, id] {
+      try {
+        transports_[id]->connect(addresses);
+      } catch (...) {
+        errors[id] = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (const auto& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+TcpFabric::~TcpFabric() {
+  for (auto& transport : transports_) {
+    transport->shutdown();
+  }
+}
+
+void TcpFabric::send(Message message) {
+  transport(message.sender).send(std::move(message));
+}
+
+Bytes TcpFabric::blocking_recv(PartyId receiver, PartyId from,
+                               const std::string& tag,
+                               std::chrono::milliseconds timeout) {
+  return transport(receiver).blocking_recv(receiver, from, tag, timeout);
+}
+
+bool TcpFabric::probe(PartyId receiver, PartyId from, const std::string& tag,
+                      Bytes& out) {
+  return transport(receiver).probe(receiver, from, tag, out);
+}
+
+void TcpFabric::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  for (auto& transport : transports_) {
+    transport->set_fault_injector(injector);
+  }
+}
+
+TrafficSnapshot TcpFabric::traffic() const {
+  const auto n = static_cast<std::size_t>(config_.num_parties);
+  TrafficSnapshot snapshot;
+  snapshot.links.assign(n, std::vector<LinkMetrics>(n));
+  for (std::size_t sender = 0; sender < n; ++sender) {
+    snapshot.links[sender] = transports_[sender]->traffic().links[sender];
+    for (const auto& link : snapshot.links[sender]) {
+      snapshot.total_messages += link.messages;
+      snapshot.total_bytes += link.bytes;
+    }
+  }
+  return snapshot;
+}
+
+void TcpFabric::reset_traffic() {
+  for (auto& transport : transports_) {
+    transport->reset_traffic();
+  }
+}
+
+}  // namespace trustddl::net

@@ -1,0 +1,56 @@
+#include "net/transport.hpp"
+
+#include "common/error.hpp"
+
+namespace trustddl::net {
+
+int Endpoint::num_parties() const {
+  TRUSTDDL_ASSERT(transport_ != nullptr);
+  return transport_->num_parties();
+}
+
+void Endpoint::send(PartyId to, const std::string& tag, Bytes payload) const {
+  TRUSTDDL_ASSERT(transport_ != nullptr);
+  TRUSTDDL_REQUIRE(to >= 0 && to < transport_->num_parties(),
+                   "send: receiver out of range");
+  TRUSTDDL_REQUIRE(to != id_, "send: party cannot message itself");
+  Message message;
+  message.sender = id_;
+  message.receiver = to;
+  message.tag = tag;
+  message.payload = std::move(payload);
+  transport_->send(std::move(message));
+}
+
+Bytes Endpoint::recv(PartyId from, const std::string& tag) const {
+  TRUSTDDL_ASSERT(transport_ != nullptr);
+  return transport_->blocking_recv(id_, from, tag,
+                                   transport_->default_recv_timeout());
+}
+
+Bytes Endpoint::recv(PartyId from, const std::string& tag,
+                     std::chrono::milliseconds timeout) const {
+  TRUSTDDL_ASSERT(transport_ != nullptr);
+  return transport_->blocking_recv(id_, from, tag, timeout);
+}
+
+bool Endpoint::try_recv(PartyId from, const std::string& tag,
+                        Bytes& out) const {
+  TRUSTDDL_ASSERT(transport_ != nullptr);
+  return transport_->probe(id_, from, tag, out);
+}
+
+Endpoint Transport::endpoint(PartyId id) {
+  TRUSTDDL_REQUIRE(id >= 0 && id < num_parties(),
+                   "endpoint id out of range");
+  return make_endpoint(id);
+}
+
+void throw_recv_timeout(PartyId receiver, PartyId from,
+                        const std::string& tag) {
+  throw TimeoutError("recv timeout: party " + std::to_string(receiver) +
+                     " waiting for '" + tag + "' from party " +
+                     std::to_string(from));
+}
+
+}  // namespace trustddl::net

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/tcp_transport.hpp"
 #include "nn/loss.hpp"
 
 namespace trustddl::core {
@@ -129,6 +130,30 @@ TEST(EngineTest, InferenceToleratesByzantineParty) {
   }
   EXPECT_GE(matches, 7u);
   EXPECT_GT(result.cost.commitment_violations, 0u);
+}
+
+TEST(EngineTest, SecureInferenceOverTcpMatchesInMemory) {
+  // The same BT (malicious-mode) inference over real loopback sockets:
+  // all randomness is seed-derived, so the reconstructed predictions
+  // must be bit-identical to the in-memory engine's, and the metered
+  // traffic (counted once per message, at the sender) must agree.
+  const auto split = small_split(30, 16);
+  const data::Dataset sample = data::slice(split.test, 0, 6);
+
+  TrustDdlEngine in_memory(nn::mnist_mlp_spec(), fast_config());
+  const InferResult expected = in_memory.infer(sample, /*batch_size=*/3);
+
+  net::NetworkConfig net_config;
+  net_config.num_parties = kNumActors;
+  net::TcpFabric fabric(net_config);
+  TrustDdlEngine over_tcp(nn::mnist_mlp_spec(), fast_config(), fabric);
+  const InferResult actual = over_tcp.infer(sample, /*batch_size=*/3);
+
+  EXPECT_EQ(actual.labels, expected.labels);
+  EXPECT_EQ(actual.cost.total_messages, expected.cost.total_messages);
+  EXPECT_EQ(actual.cost.total_bytes, expected.cost.total_bytes);
+  EXPECT_EQ(actual.cost.opening_rounds, expected.cost.opening_rounds);
+  EXPECT_EQ(actual.cost.commitment_violations, 0u);
 }
 
 TEST(EngineTest, CostReportSplitsProxyAndOwnerTraffic) {
