@@ -1,0 +1,227 @@
+// Compute-kernel microbenchmark: the naive single-threaded matmul vs
+// the cache-blocked, thread-pooled kernel (numeric/kernels.hpp) on the
+// matrix shapes the Table I CNN actually produces, plus a larger
+// square product where blocking has room to work.
+//
+// Shapes (batch 10, the paper's SGD batch size):
+//   conv im2col   [5 x 25]    * [25 x 1960]   (5x5 kernel, 14x14 out)
+//   dense 980x100 [100 x 980] * [980 x 10]
+//   dense 100x10  [10 x 100]  * [100 x 10]
+//   square 384    [384 x 384] * [384 x 384]   (cache-resident reference)
+//   square 1024   (B is 8 MB — exceeds L2, where blocking pays off)
+//
+// Reported metric is GFLOP-equivalent throughput (2*m*k*n multiply-add
+// "flops" per second — for the ring kernels these are 64-bit integer
+// operations, counted the same way so the columns compare).  Each
+// variant runs on both domains: Z_{2^64} (RingTensor, the share
+// domain) and double (the plaintext engine).
+//
+// Ring results are asserted bit-identical between naive and blocked at
+// every thread count before timing — a bench that measured a wrong
+// kernel would be worse than no bench.
+//
+// Flags: --threads=N   thread count for the parallel column (default 4)
+//        --json=PATH   write the machine-readable snapshot committed
+//                      as BENCH_kernels.json at the repo root
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "numeric/kernels.hpp"
+#include "numeric/tensor.hpp"
+
+using namespace trustddl;
+
+namespace {
+
+struct ShapeCase {
+  std::string name;
+  std::size_t m, k, n;
+};
+
+const std::vector<ShapeCase> kShapes = {
+    {"cnn_conv_im2col_b10", 5, 25, 1960},
+    {"cnn_dense_980x100_b10", 100, 980, 10},
+    {"cnn_dense_100x10_b10", 10, 100, 10},
+    {"square_384", 384, 384, 384},
+    {"square_1024", 1024, 1024, 1024},
+};
+
+double gflops(const ShapeCase& shape, double seconds) {
+  return 2.0 * static_cast<double>(shape.m) * static_cast<double>(shape.k) *
+         static_cast<double>(shape.n) / seconds / 1e9;
+}
+
+/// Best-of-repetitions timing of `fn`, auto-scaling the inner
+/// iteration count so each repetition runs at least ~20 ms.
+template <typename Fn>
+double time_best_seconds(const Fn& fn) {
+  // Warm up + calibrate.
+  Stopwatch calibrate;
+  fn();
+  const double once = calibrate.elapsed_seconds();
+  const int iters = once > 0.02 ? 1 : static_cast<int>(0.02 / (once + 1e-9)) + 1;
+  double best = 1e100;
+  for (int rep = 0; rep < 5; ++rep) {
+    Stopwatch watch;
+    for (int i = 0; i < iters; ++i) {
+      fn();
+    }
+    best = std::min(best, watch.elapsed_seconds() / iters);
+  }
+  return best;
+}
+
+RingTensor random_ring(const Shape& shape, Rng& rng) {
+  RingTensor out(shape);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = rng.next_u64();
+  }
+  return out;
+}
+
+RealTensor random_real(const Shape& shape, Rng& rng) {
+  RealTensor out(shape);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = rng.next_double(-2.0, 2.0);
+  }
+  return out;
+}
+
+std::string arg_string(int argc, char** argv, const std::string& key) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return "";
+}
+
+struct CaseResult {
+  ShapeCase shape;
+  // seconds per product
+  double ring_naive, ring_blocked_1t, ring_blocked_nt;
+  double real_naive, real_blocked_1t, real_blocked_nt;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::arg_size(argc, argv, "threads", 4);
+  const std::string json_path = arg_string(argc, argv, "json");
+
+  kernels::KernelConfig serial;
+  serial.threads = 1;
+  kernels::KernelConfig parallel;
+  parallel.threads = static_cast<int>(threads);
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf("=== Compute kernels: naive vs blocked matmul ===\n");
+  std::printf("hardware_concurrency=%u, parallel column uses %zu thread(s)\n\n",
+              hardware, threads);
+  std::printf("%-24s %14s %14s %14s %9s\n", "shape (GFLOP-equiv)",
+              "naive 1t", "blocked 1t", "blocked Nt", "Nt/naive");
+
+  Rng rng(4242);
+  std::vector<CaseResult> results;
+  for (const ShapeCase& shape : kShapes) {
+    const RingTensor ra = random_ring(Shape{shape.m, shape.k}, rng);
+    const RingTensor rb = random_ring(Shape{shape.k, shape.n}, rng);
+    const RealTensor da = random_real(Shape{shape.m, shape.k}, rng);
+    const RealTensor db = random_real(Shape{shape.k, shape.n}, rng);
+
+    // Correctness gate before timing: ring kernels must agree exactly.
+    const RingTensor reference = kernels::matmul_naive(ra, rb);
+    if (kernels::matmul_blocked(serial, ra, rb) != reference ||
+        kernels::matmul_blocked(parallel, ra, rb) != reference) {
+      std::fprintf(stderr, "FATAL: blocked ring kernel mismatch on %s\n",
+                   shape.name.c_str());
+      return 1;
+    }
+
+    CaseResult result;
+    result.shape = shape;
+    result.ring_naive =
+        time_best_seconds([&] { (void)kernels::matmul_naive(ra, rb); });
+    result.ring_blocked_1t = time_best_seconds(
+        [&] { (void)kernels::matmul_blocked(serial, ra, rb); });
+    result.ring_blocked_nt = time_best_seconds(
+        [&] { (void)kernels::matmul_blocked(parallel, ra, rb); });
+    result.real_naive =
+        time_best_seconds([&] { (void)kernels::matmul_naive(da, db); });
+    result.real_blocked_1t = time_best_seconds(
+        [&] { (void)kernels::matmul_blocked(serial, da, db); });
+    result.real_blocked_nt = time_best_seconds(
+        [&] { (void)kernels::matmul_blocked(parallel, da, db); });
+    results.push_back(result);
+
+    std::printf("%-24s %14.3f %14.3f %14.3f %8.2fx  (ring)\n",
+                shape.name.c_str(), gflops(shape, result.ring_naive),
+                gflops(shape, result.ring_blocked_1t),
+                gflops(shape, result.ring_blocked_nt),
+                result.ring_naive / result.ring_blocked_nt);
+    std::printf("%-24s %14.3f %14.3f %14.3f %8.2fx  (double)\n", "",
+                gflops(shape, result.real_naive),
+                gflops(shape, result.real_blocked_1t),
+                gflops(shape, result.real_blocked_nt),
+                result.real_naive / result.real_blocked_nt);
+  }
+
+  double ring_geomean = 1.0;
+  for (const CaseResult& result : results) {
+    ring_geomean *= result.ring_naive / result.ring_blocked_nt;
+  }
+  ring_geomean =
+      std::pow(ring_geomean, 1.0 / static_cast<double>(results.size()));
+  std::printf("\ngeomean ring speedup (blocked %zut vs naive 1t): %.2fx\n",
+              threads, ring_geomean);
+  if (hardware < threads) {
+    std::printf("NOTE: only %u hardware thread(s) available — the %zu-thread "
+                "column cannot exceed single-core throughput here.\n",
+                hardware, threads);
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"hardware_concurrency\": %u,\n", hardware);
+    std::fprintf(out, "  \"parallel_threads\": %zu,\n", threads);
+    std::fprintf(out, "  \"metric\": \"gflop_equivalent_throughput\",\n");
+    std::fprintf(out, "  \"ring_geomean_speedup_blocked_nt_vs_naive\": %.4f,\n",
+                 ring_geomean);
+    std::fprintf(out, "  \"shapes\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const CaseResult& r = results[i];
+      std::fprintf(out,
+                   "    {\"name\": \"%s\", \"m\": %zu, \"k\": %zu, \"n\": %zu,\n"
+                   "     \"ring\": {\"naive_1t\": %.4f, \"blocked_1t\": %.4f, "
+                   "\"blocked_nt\": %.4f},\n"
+                   "     \"double\": {\"naive_1t\": %.4f, \"blocked_1t\": %.4f, "
+                   "\"blocked_nt\": %.4f}}%s\n",
+                   r.shape.name.c_str(), r.shape.m, r.shape.k, r.shape.n,
+                   gflops(r.shape, r.ring_naive),
+                   gflops(r.shape, r.ring_blocked_1t),
+                   gflops(r.shape, r.ring_blocked_nt),
+                   gflops(r.shape, r.real_naive),
+                   gflops(r.shape, r.real_blocked_1t),
+                   gflops(r.shape, r.real_blocked_nt),
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

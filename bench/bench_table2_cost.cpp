@@ -28,6 +28,7 @@
 #include "common/rng.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "nn/loss.hpp"
+#include "numeric/kernels.hpp"
 
 using namespace trustddl;
 using baselines::StepCost;
@@ -59,12 +60,23 @@ StepCost marginal_infer(baselines::Framework& framework,
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
+  // --threads=N pins the compute-kernel pool for every framework in
+  // the comparison (0 = hardware concurrency, 1 = serial kernels).
+  const std::size_t threads =
+      bench::arg_size(argc, argv, "threads",
+                      static_cast<std::size_t>(
+                          kernels::global_config().resolved_threads()));
+  {
+    kernels::KernelConfig kernel_config = kernels::global_config();
+    kernel_config.threads = static_cast<int>(threads);
+    kernels::set_global_config(kernel_config);
+  }
+
   std::printf("=== Table II: Runtime and Communication Cost ===\n");
   std::printf("Workload: Table I CNN, batch size 1, 64-bit fixed point "
-              "(%d fractional bits); marginal per-step cost.\n\n",
-              fx::kDefaultFracBits);
+              "(%d fractional bits); marginal per-step cost; "
+              "%zu kernel thread(s).\n\n",
+              fx::kDefaultFracBits, threads);
 
   const nn::ModelSpec spec = nn::mnist_cnn_spec();
   data::SyntheticMnistConfig data_config;

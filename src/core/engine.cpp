@@ -61,6 +61,7 @@ mpc::PartyContext make_party_context(const EngineConfig& config, int party,
   pctx.dist_tolerance = config.dist_tolerance;
   pctx.share_authentication = config.share_authentication;
   pctx.optimistic = config.optimistic_open;
+  pctx.kernels = config.kernels;
   if (party == config.byzantine_party) {
     pctx.adversary = adversary;
   }
@@ -144,6 +145,10 @@ CostReport TrustDdlEngine::collect_cost(
 TrainResult TrustDdlEngine::train(const data::Dataset& train_data,
                                   const data::Dataset& test_data,
                                   const TrainOptions& options) {
+  // Free tensor/conv kernels pick their parallelism up from the
+  // process-global config; pin it to this engine's setting so the
+  // whole run (including plaintext evaluation) honours it.
+  kernels::set_global_config(config_.kernels);
   net::Transport& transport = prepare_transport();
 
   const auto parameters = model_.parameters();
@@ -216,6 +221,7 @@ TrainResult TrustDdlEngine::train(const data::Dataset& train_data,
 
 InferResult TrustDdlEngine::infer(const data::Dataset& inputs,
                                   std::size_t batch_size) {
+  kernels::set_global_config(config_.kernels);
   net::Transport& transport = prepare_transport();
 
   const InferJob job = make_infer_job(

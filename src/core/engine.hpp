@@ -20,6 +20,7 @@
 #include "data/synthetic_mnist.hpp"
 #include "mpc/adversary.hpp"
 #include "nn/model_zoo.hpp"
+#include "numeric/kernels.hpp"
 
 namespace trustddl::core {
 
@@ -67,6 +68,14 @@ struct EngineConfig {
   /// behaviour (-1 = all honest).
   int byzantine_party = -1;
   mpc::ByzantineConfig byzantine{};
+  /// Compute-kernel settings (thread count, matmul block sizes) for
+  /// the whole run: copied into every party context and installed as
+  /// the process-global config at the start of train()/infer().
+  /// Defaults to the environment (TRUSTDDL_THREADS etc.); threads = 1
+  /// reproduces the serial kernels exactly, and ring results are
+  /// bit-identical at any thread count (see numeric/kernels.hpp).
+  ::trustddl::kernels::KernelConfig kernels =
+      ::trustddl::kernels::global_config();
 };
 
 struct CostReport {

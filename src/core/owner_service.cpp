@@ -75,8 +75,14 @@ void ModelOwnerService::run() {
       const bool complete = members == kComputingParties;
       const bool expired =
           members >= 2 && now > group.created + config_.collect_timeout;
-      const bool draining = grace_deadline.has_value() && members >= 2;
-      if (complete || expired || draining) {
+      // Do NOT short-circuit 2-member groups just because two parties
+      // already stopped: a live third party's fire-and-forget payloads
+      // (weight reveals) may still be in flight, and reconstructing
+      // from 2 instead of 3 shares can differ by a few fixed-point
+      // ulps once local truncation has decorrelated the share sets.
+      // The grace window exists precisely so the straggler can finish;
+      // partial groups are only drained at the deadline below.
+      if (complete || expired) {
         process_group(id, group);
         progress = true;
       }

@@ -16,6 +16,7 @@
 
 #include "net/network.hpp"
 #include "numeric/fixed_point.hpp"
+#include "numeric/kernels.hpp"
 
 namespace trustddl::mpc {
 
@@ -120,6 +121,12 @@ struct PartyContext {
   bool optimistic = false;
   /// Protocol-level misbehaviour; nullptr for an honest party.
   AdversaryHooks* adversary = nullptr;
+  /// Compute-kernel configuration for this party's protocol work
+  /// (reconstruction candidates, share-auth scans, commitment
+  /// digests).  Defaults to the process-global/env settings;
+  /// core::make_party_context copies EngineConfig.kernels here.
+  ::trustddl::kernels::KernelConfig kernels =
+      ::trustddl::kernels::global_config();
   /// Step counter feeding message tags; advances identically at every
   /// party because the protocol program is SPMD.
   std::uint64_t step = 0;

@@ -7,6 +7,7 @@
 #include "common/logging.hpp"
 #include "common/sha256.hpp"
 #include "mpc/adversary.hpp"
+#include "numeric/kernels.hpp"
 #include "numeric/serde.hpp"
 
 namespace trustddl::mpc {
@@ -63,17 +64,23 @@ Sha256Digest commitment_digest(std::uint64_t step, int sender,
 RingTensor elementwise_median(const std::vector<const RingTensor*>& candidates) {
   TRUSTDDL_ASSERT(!candidates.empty());
   RingTensor out(candidates[0]->shape());
-  std::vector<std::int64_t> scratch(candidates.size());
-  for (std::size_t e = 0; e < out.size(); ++e) {
-    for (std::size_t c = 0; c < candidates.size(); ++c) {
-      scratch[c] = static_cast<std::int64_t>((*candidates[c])[e]);
+  // Each element's median is independent — chunks own disjoint output
+  // ranges (and their own scratch), so the result is exact at any
+  // thread count.
+  kernels::parallel_for(out.size(), 2048, [&](std::size_t lo,
+                                              std::size_t hi) {
+    std::vector<std::int64_t> scratch(candidates.size());
+    for (std::size_t e = lo; e < hi; ++e) {
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        scratch[c] = static_cast<std::int64_t>((*candidates[c])[e]);
+      }
+      std::nth_element(scratch.begin(),
+                       scratch.begin() + static_cast<std::ptrdiff_t>(
+                                             scratch.size() / 2),
+                       scratch.end());
+      out[e] = static_cast<std::uint64_t>(scratch[scratch.size() / 2]);
     }
-    std::nth_element(scratch.begin(),
-                     scratch.begin() + static_cast<std::ptrdiff_t>(
-                                           scratch.size() / 2),
-                     scratch.end());
-    out[e] = static_cast<std::uint64_t>(scratch[scratch.size() / 2]);
-  }
+  });
   return out;
 }
 
@@ -248,10 +255,31 @@ std::vector<RingTensor> decide_from_triples(
     // Pass 1 — attributable checks against the observer's OWN copies.
     // A failure proves the peer tampered (the local copy is trusted),
     // so its entire contribution is discarded, exactly like a
-    // commitment violation.
+    // commitment violation.  The tensor comparisons (the expensive
+    // part) run in parallel over the batched values into per-value
+    // flags; the fold below walks the flags in v order so the
+    // detection events land exactly where the serial loop put them.
+    std::vector<std::uint8_t> a_mismatch(values.size(), 0);
+    std::vector<std::uint8_t> b_mismatch(values.size(), 0);
+    const bool check_a = from[a_index].present && provider_valid[a_index];
+    const bool check_b = from[b_index].present && provider_valid[b_index];
+    if (check_a || check_b) {
+      kernels::parallel_for(
+          ctx.kernels, values.size(), 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t v = lo; v < hi; ++v) {
+              if (check_a &&
+                  from[a_index].triples[v].primary != values[v].duplicate) {
+                a_mismatch[v] = 1;
+              }
+              if (check_b &&
+                  from[b_index].triples[v].duplicate != values[v].primary) {
+                b_mismatch[v] = 1;
+              }
+            }
+          });
+    }
     for (std::size_t v = 0; v < values.size(); ++v) {
-      if (from[a_index].present && provider_valid[a_index] &&
-          from[a_index].triples[v].primary != values[v].duplicate) {
+      if (a_mismatch[v] && provider_valid[a_index]) {
         provider_valid[a_index] = false;
         ctx.detections.record(DetectionEvent::Kind::kShareAuthFailure, step,
                               peer_a);
@@ -260,8 +288,7 @@ std::vector<RingTensor> decide_from_triples(
             << "for party " << peer_a << "'s primary at step " << step
             << " — discarding its shares";
       }
-      if (from[b_index].present && provider_valid[b_index] &&
-          from[b_index].triples[v].duplicate != values[v].primary) {
+      if (b_mismatch[v] && provider_valid[b_index]) {
         provider_valid[b_index] = false;
         ctx.detections.record(DetectionEvent::Kind::kShareAuthFailure, step,
                               peer_b);
@@ -278,9 +305,18 @@ std::vector<RingTensor> decide_from_triples(
     // which; both reconstructions of that set are dropped.
     if (from[a_index].present && provider_valid[a_index] &&
         from[b_index].present && provider_valid[b_index]) {
+      std::vector<std::uint8_t> conflict(values.size(), 0);
+      kernels::parallel_for(
+          ctx.kernels, values.size(), 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t v = lo; v < hi; ++v) {
+              if (from[a_index].triples[v].duplicate !=
+                  from[b_index].triples[v].primary) {
+                conflict[v] = 1;
+              }
+            }
+          });
       for (std::size_t v = 0; v < values.size(); ++v) {
-        if (from[a_index].triples[v].duplicate !=
-            from[b_index].triples[v].primary) {
+        if (conflict[v]) {
           const auto conflicted =
               static_cast<std::size_t>(set_primary(peer_b));
           component_invalid[v][conflicted][0] = true;
@@ -312,28 +348,34 @@ std::vector<RingTensor> decide_from_triples(
            provider_valid[static_cast<std::size_t>(party)];
   };
 
-  for (std::size_t v = 0; v < values.size(); ++v) {
-    for (int set = 0; set < kNumSets; ++set) {
-      const int p1 = holder_of_primary(set);
-      const int p2 = holder_of_second(set);
-      const int pd = holder_of_duplicate(set);
-      const auto set_index = static_cast<std::size_t>(set);
-      if (provider_ok(p1) && provider_ok(p2) &&
-          !component_invalid[v][set_index][0]) {
-        plain[v][set_index].tensor =
-            from[static_cast<std::size_t>(p1)].triples[v].primary +
-            from[static_cast<std::size_t>(p2)].triples[v].second;
-        plain[v][set_index].valid = true;
-      }
-      if (provider_ok(pd) && provider_ok(p2) &&
-          !component_invalid[v][set_index][1]) {
-        hats[v][set_index].tensor =
-            from[static_cast<std::size_t>(pd)].triples[v].duplicate +
-            from[static_cast<std::size_t>(p2)].triples[v].second;
-        hats[v][set_index].valid = true;
-      }
-    }
-  }
+  // Candidate construction is pure ring arithmetic over disjoint
+  // [v][set] slots — the six reconstructions of every batched value
+  // build concurrently.
+  kernels::parallel_for(
+      ctx.kernels, values.size(), 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t v = lo; v < hi; ++v) {
+          for (int set = 0; set < kNumSets; ++set) {
+            const int p1 = holder_of_primary(set);
+            const int p2 = holder_of_second(set);
+            const int pd = holder_of_duplicate(set);
+            const auto set_index = static_cast<std::size_t>(set);
+            if (provider_ok(p1) && provider_ok(p2) &&
+                !component_invalid[v][set_index][0]) {
+              plain[v][set_index].tensor =
+                  from[static_cast<std::size_t>(p1)].triples[v].primary +
+                  from[static_cast<std::size_t>(p2)].triples[v].second;
+              plain[v][set_index].valid = true;
+            }
+            if (provider_ok(pd) && provider_ok(p2) &&
+                !component_invalid[v][set_index][1]) {
+              hats[v][set_index].tensor =
+                  from[static_cast<std::size_t>(pd)].triples[v].duplicate +
+                  from[static_cast<std::size_t>(p2)].triples[v].second;
+              hats[v][set_index].valid = true;
+            }
+          }
+        }
+      });
 
   // The decision rule runs independently over each group — a group is
   // one protocol call's open set (e.g. Algorithm 4's {e, f}).  Pair
@@ -540,11 +582,14 @@ std::vector<RingTensor> open_optimistic(
   }
 
   // --- Commit to every component separately. ---
+  // Three independent SHA-256 streams: hash them side by side (each
+  // digest's bytes are untouched — only the hashers run concurrently).
   std::array<Sha256Digest, 3> own_digests;
-  for (int component = 0; component < 3; ++component) {
-    own_digests[static_cast<std::size_t>(component)] =
-        component_digest(step, ctx.party, component, wire_triples);
-  }
+  kernels::parallel_invoke(
+      ctx.kernels,
+      {[&] { own_digests[0] = component_digest(step, ctx.party, 0, wire_triples); },
+       [&] { own_digests[1] = component_digest(step, ctx.party, 1, wire_triples); },
+       [&] { own_digests[2] = component_digest(step, ctx.party, 2, wire_triples); }});
   const std::string commit_tag = ctx.tag(step, "c");
   for (int peer : peers) {
     if (ctx.adversary != nullptr &&
@@ -640,12 +685,25 @@ std::vector<RingTensor> open_optimistic(
         throw SerializationError("structurally invalid pair");
       }
       pairs[peer_index].present = true;
-      const bool hashes_ok =
-          commitments[peer_index].has_value() &&
-          (*commitments[peer_index])[0] ==
-              component_digest(step, peer, 0, pairs[peer_index].triples) &&
-          (*commitments[peer_index])[2] ==
-              component_digest(step, peer, 2, pairs[peer_index].triples);
+      bool hashes_ok = commitments[peer_index].has_value();
+      if (hashes_ok) {
+        // The pair carries components 0 and 2; verify both digests
+        // concurrently (each stream is hashed whole, byte-identical).
+        Sha256Digest digest0;
+        Sha256Digest digest2;
+        kernels::parallel_invoke(
+            ctx.kernels,
+            {[&] {
+               digest0 =
+                   component_digest(step, peer, 0, pairs[peer_index].triples);
+             },
+             [&] {
+               digest2 =
+                   component_digest(step, peer, 2, pairs[peer_index].triples);
+             }});
+        hashes_ok = (*commitments[peer_index])[0] == digest0 &&
+                    (*commitments[peer_index])[2] == digest2;
+      }
       if (!hashes_ok) {
         own_escalate = true;
         ctx.detections.record(DetectionEvent::Kind::kCommitmentViolation,

@@ -1,6 +1,7 @@
 #include "mpc/protocols_bt.hpp"
 
 #include "numeric/fixed_point.hpp"
+#include "numeric/kernels.hpp"
 
 namespace trustddl::mpc {
 namespace {
@@ -25,7 +26,7 @@ PartyShare combine_with_triple(const RingTensor& e, const RingTensor& f,
 }
 
 RingTensor hadamard_product(const RingTensor& lhs, const RingTensor& rhs) {
-  return hadamard(lhs, rhs);
+  return kernels::hadamard_parallel(lhs, rhs);
 }
 
 RingTensor matmul_product(const RingTensor& lhs, const RingTensor& rhs) {

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "numeric/fixed_point.hpp"
+#include "numeric/kernels.hpp"
 #include "numeric/serde.hpp"
 
 namespace trustddl::mpc {
@@ -139,7 +140,7 @@ Deferred<RingTensor> sec_mul_prepare(PlainOpenBatch& batch,
   return masked_multiply_prepare(batch, x_share, y_share, triple,
                                  [](const RingTensor& lhs,
                                     const RingTensor& rhs) {
-                                   return hadamard(lhs, rhs);
+                                   return kernels::hadamard_parallel(lhs, rhs);
                                  });
 }
 
@@ -177,10 +178,11 @@ Deferred<RingTensor> sec_comp_prepare(PlainOpenBatch& batch,
        &batch](std::vector<RingTensor> opened) mutable {
         const RingTensor& e = opened[0];
         const RingTensor& f = opened[1];
-        RingTensor beta_share =
-            triple.c + hadamard(e, triple.b) + hadamard(triple.a, f);
+        RingTensor beta_share = triple.c +
+                                kernels::hadamard_parallel(e, triple.b) +
+                                kernels::hadamard_parallel(triple.a, f);
         if (is_designated) {
-          beta_share += hadamard(e, f);
+          beta_share += kernels::hadamard_parallel(e, f);
         }
         batch.enqueue({std::move(beta_share)},
                       [out](std::vector<RingTensor> beta) mutable {

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "numeric/kernels.hpp"
 
 namespace trustddl::mpc {
 namespace {
@@ -21,17 +22,22 @@ bool corruptible_by(int party, int set, bool hat) {
 RingTensor median_of(const std::vector<const RingTensor*>& candidates) {
   TRUSTDDL_ASSERT(!candidates.empty());
   RingTensor out(candidates[0]->shape());
-  std::vector<std::int64_t> scratch(candidates.size());
-  for (std::size_t e = 0; e < out.size(); ++e) {
-    for (std::size_t c = 0; c < candidates.size(); ++c) {
-      scratch[c] = static_cast<std::int64_t>((*candidates[c])[e]);
+  // Per-element medians over disjoint output chunks — exact at any
+  // thread count.
+  kernels::parallel_for(out.size(), 2048, [&](std::size_t lo,
+                                              std::size_t hi) {
+    std::vector<std::int64_t> scratch(candidates.size());
+    for (std::size_t e = lo; e < hi; ++e) {
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        scratch[c] = static_cast<std::int64_t>((*candidates[c])[e]);
+      }
+      std::nth_element(
+          scratch.begin(),
+          scratch.begin() + static_cast<std::ptrdiff_t>(scratch.size() / 2),
+          scratch.end());
+      out[e] = static_cast<std::uint64_t>(scratch[scratch.size() / 2]);
     }
-    std::nth_element(
-        scratch.begin(),
-        scratch.begin() + static_cast<std::ptrdiff_t>(scratch.size() / 2),
-        scratch.end());
-    out[e] = static_cast<std::uint64_t>(scratch[scratch.size() / 2]);
-  }
+  });
   return out;
 }
 
@@ -110,27 +116,33 @@ RingTensor robust_reconstruct(
   };
   Candidate plain[kNumSets];
   Candidate hats[kNumSets];
-  for (int set = 0; set < kNumSets; ++set) {
-    const int p1 = holder_of_primary(set);
-    const int p2 = holder_of_second(set);
-    const int pd = holder_of_duplicate(set);
-    if (present(p1) && present(p2) && !set_conflicted[set]) {
-      const auto& primary = triples[static_cast<std::size_t>(p1)]->primary;
-      const auto& second = triples[static_cast<std::size_t>(p2)]->second;
-      if (primary.shape() == second.shape()) {
-        plain[set].tensor = primary + second;
-        plain[set].valid = true;
+  // The six candidate reconstructions (plain + hat per set) are
+  // independent ring additions into disjoint slots — build them
+  // concurrently.
+  kernels::parallel_for(kNumSets, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      const int set = static_cast<int>(s);
+      const int p1 = holder_of_primary(set);
+      const int p2 = holder_of_second(set);
+      const int pd = holder_of_duplicate(set);
+      if (present(p1) && present(p2) && !set_conflicted[set]) {
+        const auto& primary = triples[static_cast<std::size_t>(p1)]->primary;
+        const auto& second = triples[static_cast<std::size_t>(p2)]->second;
+        if (primary.shape() == second.shape()) {
+          plain[set].tensor = primary + second;
+          plain[set].valid = true;
+        }
+      }
+      if (present(pd) && present(p2) && !set_conflicted[set]) {
+        const auto& dup = triples[static_cast<std::size_t>(pd)]->duplicate;
+        const auto& second = triples[static_cast<std::size_t>(p2)]->second;
+        if (dup.shape() == second.shape()) {
+          hats[set].tensor = dup + second;
+          hats[set].valid = true;
+        }
       }
     }
-    if (present(pd) && present(p2) && !set_conflicted[set]) {
-      const auto& dup = triples[static_cast<std::size_t>(pd)]->duplicate;
-      const auto& second = triples[static_cast<std::size_t>(p2)]->second;
-      if (dup.shape() == second.shape()) {
-        hats[set].tensor = dup + second;
-        hats[set].valid = true;
-      }
-    }
-  }
+  });
 
   int best_j = -1;
   std::uint64_t best_dist = ~std::uint64_t{0};

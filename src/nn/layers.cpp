@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "numeric/kernels.hpp"
+
 namespace trustddl::nn {
 namespace {
 
@@ -71,24 +73,27 @@ RealTensor ConvLayer::forward(const RealTensor& input) {
   const std::size_t batch = input.rows();
   const std::size_t out_pixels = spec_.out_height() * spec_.out_width();
   RealTensor output(Shape{batch, spec_.out_channels * out_pixels});
-  cached_columns_.clear();
-  cached_columns_.reserve(batch);
-  for (std::size_t sample = 0; sample < batch; ++sample) {
-    RealTensor image(Shape{in_size});
-    for (std::size_t i = 0; i < in_size; ++i) {
-      image[i] = input.at(sample, i);
-    }
-    RealTensor columns = im2col(image, spec_);
-    // feature_maps: [out_channels, outH*outW]
-    const RealTensor feature_maps = matmul(weights_.value, columns);
-    cached_columns_.push_back(std::move(columns));
-    for (std::size_t channel = 0; channel < spec_.out_channels; ++channel) {
-      for (std::size_t pixel = 0; pixel < out_pixels; ++pixel) {
-        output.at(sample, channel * out_pixels + pixel) =
-            feature_maps.at(channel, pixel) + bias_.value[channel];
+  cached_columns_.assign(batch, RealTensor());
+  // Samples are independent: each writes its own output row and
+  // cached-columns slot (pre-sized above, so no reallocation races).
+  kernels::parallel_for(batch, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t sample = lo; sample < hi; ++sample) {
+      RealTensor image(Shape{in_size});
+      for (std::size_t i = 0; i < in_size; ++i) {
+        image[i] = input.at(sample, i);
+      }
+      RealTensor columns = im2col(image, spec_);
+      // feature_maps: [out_channels, outH*outW]
+      const RealTensor feature_maps = matmul(weights_.value, columns);
+      cached_columns_[sample] = std::move(columns);
+      for (std::size_t channel = 0; channel < spec_.out_channels; ++channel) {
+        for (std::size_t pixel = 0; pixel < out_pixels; ++pixel) {
+          output.at(sample, channel * out_pixels + pixel) =
+              feature_maps.at(channel, pixel) + bias_.value[channel];
+        }
       }
     }
-  }
+  });
   return output;
 }
 

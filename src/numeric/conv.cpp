@@ -1,44 +1,112 @@
 #include "numeric/conv.hpp"
 
+#include "numeric/kernels.hpp"
+
 namespace trustddl {
+namespace {
+
+/// im2col for one image into a slice of a (possibly batched) column
+/// matrix: writes rows [row_lo, row_hi) of the patch matrix at column
+/// offset `col0`, where the destination has `dst_cols` columns per
+/// row.  Each (channel, ky, kx) row is independent, so callers can
+/// partition rows freely.
+template <typename T>
+void im2col_rows(const T* src, const ConvSpec& spec, T* dst,
+                 std::size_t dst_cols, std::size_t col0, std::size_t row_lo,
+                 std::size_t row_hi) {
+  const std::size_t out_h = spec.out_height();
+  const std::size_t out_w = spec.out_width();
+  for (std::size_t row = row_lo; row < row_hi; ++row) {
+    const std::size_t kx = row % spec.kernel_w;
+    const std::size_t ky = (row / spec.kernel_w) % spec.kernel_h;
+    const std::size_t channel = row / (spec.kernel_w * spec.kernel_h);
+    const T* plane = src + channel * spec.in_height * spec.in_width;
+    T* out_row = dst + row * dst_cols + col0;
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      const std::ptrdiff_t in_y =
+          static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+          static_cast<std::ptrdiff_t>(spec.pad);
+      T* out = out_row + oy * out_w;
+      if (in_y < 0 || in_y >= static_cast<std::ptrdiff_t>(spec.in_height)) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+          out[ox] = T{};
+        }
+        continue;
+      }
+      const T* in_row =
+          plane + static_cast<std::size_t>(in_y) * spec.in_width;
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        const std::ptrdiff_t in_x =
+            static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+            static_cast<std::ptrdiff_t>(spec.pad);
+        out[ox] =
+            (in_x >= 0 && in_x < static_cast<std::ptrdiff_t>(spec.in_width))
+                ? in_row[static_cast<std::size_t>(in_x)]
+                : T{};
+      }
+    }
+  }
+}
+
+/// col2im for the patch rows of channels [ch_lo, ch_hi): accumulates
+/// into the corresponding image planes.  Rows belonging to different
+/// channels touch disjoint planes, so channel ranges parallelise; the
+/// ky/kx/oy/ox order within a channel matches the serial loop, keeping
+/// double accumulation deterministic.
+template <typename T>
+void col2im_channels(const T* columns, std::size_t src_cols, std::size_t col0,
+                     const ConvSpec& spec, T* dst, std::size_t ch_lo,
+                     std::size_t ch_hi) {
+  const std::size_t out_h = spec.out_height();
+  const std::size_t out_w = spec.out_width();
+  for (std::size_t channel = ch_lo; channel < ch_hi; ++channel) {
+    T* plane = dst + channel * spec.in_height * spec.in_width;
+    for (std::size_t ky = 0; ky < spec.kernel_h; ++ky) {
+      for (std::size_t kx = 0; kx < spec.kernel_w; ++kx) {
+        const std::size_t row =
+            (channel * spec.kernel_h + ky) * spec.kernel_w + kx;
+        const T* in_row = columns + row * src_cols + col0;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const std::ptrdiff_t in_y =
+              static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+              static_cast<std::ptrdiff_t>(spec.pad);
+          if (in_y < 0 ||
+              in_y >= static_cast<std::ptrdiff_t>(spec.in_height)) {
+            continue;
+          }
+          T* img_row =
+              plane + static_cast<std::size_t>(in_y) * spec.in_width;
+          const T* in = in_row + oy * out_w;
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::ptrdiff_t in_x =
+                static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                static_cast<std::ptrdiff_t>(spec.pad);
+            if (in_x >= 0 &&
+                in_x < static_cast<std::ptrdiff_t>(spec.in_width)) {
+              img_row[static_cast<std::size_t>(in_x)] += in[ox];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 template <typename T>
 Tensor<T> im2col(const Tensor<T>& image, const ConvSpec& spec) {
   TRUSTDDL_REQUIRE(
       image.size() == spec.in_channels * spec.in_height * spec.in_width,
       "im2col: image size does not match ConvSpec");
-  const std::size_t out_h = spec.out_height();
-  const std::size_t out_w = spec.out_width();
   Tensor<T> columns(Shape{spec.col_rows(), spec.col_cols()});
-
-  const T* src = image.data();
-  for (std::size_t channel = 0; channel < spec.in_channels; ++channel) {
-    for (std::size_t ky = 0; ky < spec.kernel_h; ++ky) {
-      for (std::size_t kx = 0; kx < spec.kernel_w; ++kx) {
-        const std::size_t row =
-            (channel * spec.kernel_h + ky) * spec.kernel_w + kx;
-        for (std::size_t oy = 0; oy < out_h; ++oy) {
-          const std::ptrdiff_t in_y =
-              static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
-              static_cast<std::ptrdiff_t>(spec.pad);
-          for (std::size_t ox = 0; ox < out_w; ++ox) {
-            const std::ptrdiff_t in_x =
-                static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
-                static_cast<std::ptrdiff_t>(spec.pad);
-            T value = T{};
-            if (in_y >= 0 && in_y < static_cast<std::ptrdiff_t>(spec.in_height) &&
-                in_x >= 0 && in_x < static_cast<std::ptrdiff_t>(spec.in_width)) {
-              value = src[(channel * spec.in_height +
-                           static_cast<std::size_t>(in_y)) *
-                              spec.in_width +
-                          static_cast<std::size_t>(in_x)];
-            }
-            columns.at(row, oy * out_w + ox) = value;
-          }
-        }
-      }
-    }
-  }
+  const std::size_t per_row = spec.col_cols();
+  kernels::parallel_for(spec.col_rows(),
+                        std::max<std::size_t>(1, 4096 / std::max<std::size_t>(per_row, 1)),
+                        [&](std::size_t lo, std::size_t hi) {
+                          im2col_rows(image.data(), spec, columns.data(),
+                                      spec.col_cols(), 0, lo, hi);
+                        });
   return columns;
 }
 
@@ -47,40 +115,12 @@ Tensor<T> col2im(const Tensor<T>& columns, const ConvSpec& spec) {
   TRUSTDDL_REQUIRE(columns.rank() == 2 && columns.rows() == spec.col_rows() &&
                        columns.cols() == spec.col_cols(),
                    "col2im: column shape does not match ConvSpec");
-  const std::size_t out_h = spec.out_height();
-  const std::size_t out_w = spec.out_width();
   Tensor<T> image(Shape{spec.in_channels, spec.in_height, spec.in_width});
-
-  T* dst = image.data();
-  for (std::size_t channel = 0; channel < spec.in_channels; ++channel) {
-    for (std::size_t ky = 0; ky < spec.kernel_h; ++ky) {
-      for (std::size_t kx = 0; kx < spec.kernel_w; ++kx) {
-        const std::size_t row =
-            (channel * spec.kernel_h + ky) * spec.kernel_w + kx;
-        for (std::size_t oy = 0; oy < out_h; ++oy) {
-          const std::ptrdiff_t in_y =
-              static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
-              static_cast<std::ptrdiff_t>(spec.pad);
-          if (in_y < 0 || in_y >= static_cast<std::ptrdiff_t>(spec.in_height)) {
-            continue;
-          }
-          for (std::size_t ox = 0; ox < out_w; ++ox) {
-            const std::ptrdiff_t in_x =
-                static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
-                static_cast<std::ptrdiff_t>(spec.pad);
-            if (in_x < 0 ||
-                in_x >= static_cast<std::ptrdiff_t>(spec.in_width)) {
-              continue;
-            }
-            dst[(channel * spec.in_height + static_cast<std::size_t>(in_y)) *
-                    spec.in_width +
-                static_cast<std::size_t>(in_x)] +=
-                columns.at(row, oy * out_w + ox);
-          }
-        }
-      }
-    }
-  }
+  kernels::parallel_for(spec.in_channels, 1,
+                        [&](std::size_t lo, std::size_t hi) {
+                          col2im_channels(columns.data(), spec.col_cols(), 0,
+                                          spec, image.data(), lo, hi);
+                        });
   return image;
 }
 
@@ -90,18 +130,16 @@ Tensor<T> batch_im2col(const Tensor<T>& input, const ConvSpec& spec) {
   const std::size_t pixels = spec.col_cols();
   const std::size_t k = spec.col_rows();
   Tensor<T> columns(Shape{k, batch * pixels});
-  for (std::size_t sample = 0; sample < batch; ++sample) {
-    Tensor<T> image(Shape{input.cols()});
-    for (std::size_t i = 0; i < input.cols(); ++i) {
-      image[i] = input.at(sample, i);
+  const T* src = input.data();
+  T* dst = columns.data();
+  const std::size_t in_size = input.cols();
+  // Each sample owns a disjoint column slice [sample*pixels, ...).
+  kernels::parallel_for(batch, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t sample = lo; sample < hi; ++sample) {
+      im2col_rows(src + sample * in_size, spec, dst, batch * pixels,
+                  sample * pixels, 0, k);
     }
-    const Tensor<T> sample_cols = im2col(image, spec);
-    for (std::size_t row = 0; row < k; ++row) {
-      for (std::size_t pixel = 0; pixel < pixels; ++pixel) {
-        columns.at(row, sample * pixels + pixel) = sample_cols.at(row, pixel);
-      }
-    }
-  }
+  });
   return columns;
 }
 
@@ -112,18 +150,14 @@ Tensor<T> batch_col2im(const Tensor<T>& columns, const ConvSpec& spec,
   const std::size_t in_size =
       spec.in_channels * spec.in_height * spec.in_width;
   Tensor<T> input(Shape{batch, in_size});
-  for (std::size_t sample = 0; sample < batch; ++sample) {
-    Tensor<T> sample_cols(Shape{spec.col_rows(), pixels});
-    for (std::size_t row = 0; row < spec.col_rows(); ++row) {
-      for (std::size_t pixel = 0; pixel < pixels; ++pixel) {
-        sample_cols.at(row, pixel) = columns.at(row, sample * pixels + pixel);
-      }
+  const T* src = columns.data();
+  T* dst = input.data();
+  kernels::parallel_for(batch, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t sample = lo; sample < hi; ++sample) {
+      col2im_channels(src, batch * pixels, sample * pixels, spec,
+                      dst + sample * in_size, 0, spec.in_channels);
     }
-    const Tensor<T> image = col2im(sample_cols, spec);
-    for (std::size_t i = 0; i < in_size; ++i) {
-      input.at(sample, i) = image[i];
-    }
-  }
+  });
   return input;
 }
 
@@ -132,14 +166,20 @@ Tensor<T> maps_to_rows(const Tensor<T>& maps, std::size_t batch,
                        std::size_t pixels) {
   const std::size_t channels = maps.rows();
   Tensor<T> rows(Shape{batch, channels * pixels});
-  for (std::size_t channel = 0; channel < channels; ++channel) {
-    for (std::size_t sample = 0; sample < batch; ++sample) {
-      for (std::size_t pixel = 0; pixel < pixels; ++pixel) {
-        rows.at(sample, channel * pixels + pixel) =
-            maps.at(channel, sample * pixels + pixel);
+  const T* src = maps.data();
+  T* dst = rows.data();
+  kernels::parallel_for(batch, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t sample = lo; sample < hi; ++sample) {
+      T* out_row = dst + sample * channels * pixels;
+      for (std::size_t channel = 0; channel < channels; ++channel) {
+        const T* in = src + channel * batch * pixels + sample * pixels;
+        T* out = out_row + channel * pixels;
+        for (std::size_t pixel = 0; pixel < pixels; ++pixel) {
+          out[pixel] = in[pixel];
+        }
       }
     }
-  }
+  });
   return rows;
 }
 
@@ -148,27 +188,44 @@ Tensor<T> rows_to_maps(const Tensor<T>& rows, std::size_t channels,
                        std::size_t pixels) {
   const std::size_t batch = rows.rows();
   Tensor<T> maps(Shape{channels, batch * pixels});
-  for (std::size_t channel = 0; channel < channels; ++channel) {
-    for (std::size_t sample = 0; sample < batch; ++sample) {
-      for (std::size_t pixel = 0; pixel < pixels; ++pixel) {
-        maps.at(channel, sample * pixels + pixel) =
-            rows.at(sample, channel * pixels + pixel);
+  const T* src = rows.data();
+  T* dst = maps.data();
+  kernels::parallel_for(batch, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t sample = lo; sample < hi; ++sample) {
+      const T* in_row = src + sample * channels * pixels;
+      for (std::size_t channel = 0; channel < channels; ++channel) {
+        const T* in = in_row + channel * pixels;
+        T* out = dst + channel * batch * pixels + sample * pixels;
+        for (std::size_t pixel = 0; pixel < pixels; ++pixel) {
+          out[pixel] = in[pixel];
+        }
       }
     }
-  }
+  });
   return maps;
 }
 
 template <typename T>
 Tensor<T> sum_cols(const Tensor<T>& matrix) {
-  Tensor<T> out(Shape{matrix.rows()});
-  for (std::size_t row = 0; row < matrix.rows(); ++row) {
-    T total{};
-    for (std::size_t col = 0; col < matrix.cols(); ++col) {
-      total += matrix.at(row, col);
-    }
-    out[row] = total;
-  }
+  const std::size_t rows = matrix.rows();
+  const std::size_t cols = matrix.cols();
+  Tensor<T> out(Shape{rows});
+  const T* src = matrix.data();
+  T* dst = out.data();
+  // Row-major walk; each output row is owned by one chunk and summed
+  // in ascending column order (same as serial).
+  kernels::parallel_for(
+      rows, std::max<std::size_t>(1, 4096 / std::max<std::size_t>(cols, 1)),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t row = lo; row < hi; ++row) {
+          const T* in = src + row * cols;
+          T total{};
+          for (std::size_t col = 0; col < cols; ++col) {
+            total += in[col];
+          }
+          dst[row] = total;
+        }
+      });
   return out;
 }
 

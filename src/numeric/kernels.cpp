@@ -1,0 +1,506 @@
+#include "numeric/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace trustddl::kernels {
+namespace {
+
+/// True on pool worker threads: nested parallel sections run inline
+/// there, which both avoids deadlock (a worker never blocks waiting on
+/// work only it could execute) and keeps the outermost partition the
+/// only one that matters for scheduling.
+thread_local bool t_in_pool_worker = false;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw) {
+    return fallback;
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// A multi-chunk job: workers and the submitting caller claim chunk
+/// indices from `next` until exhausted; `done` (guarded by `mutex`)
+/// tracks completion for the caller's wait.
+struct Job {
+  std::function<void(std::size_t)> run_chunk;
+  std::size_t total = 0;
+  std::atomic<std::size_t> next{0};
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t done = 0;
+  std::exception_ptr error;
+
+  void execute(std::size_t chunk) {
+    std::exception_ptr failure;
+    try {
+      run_chunk(chunk);
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    // On failure, cancel the chunks nobody has claimed yet: exchange
+    // returns the claim counter at cancellation time, so chunks
+    // [prev, total) will never run and must be accounted as done or
+    // the submitter would wait forever.  Claims issued before the
+    // exchange all execute (and count themselves); claims after it
+    // see >= total and are no-ops.
+    std::size_t cancelled = 0;
+    if (failure) {
+      const std::size_t prev = next.exchange(total, std::memory_order_relaxed);
+      if (prev < total) {
+        cancelled = total - prev;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    if (failure && !error) {
+      error = failure;
+    }
+    done += 1 + cancelled;
+    if (done >= total) {
+      done_cv.notify_all();
+    }
+  }
+};
+
+/// Persistent process-wide pool.  Workers are started lazily, up to
+/// one less than the highest parallelism any kernel call has asked
+/// for (the caller itself is always the +1).  Idle workers block on a
+/// condition variable; multiple concurrent parallel sections (e.g.
+/// three computing-party actor threads issuing matmuls at once) share
+/// the same queue safely.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    for (auto& worker : workers_) {
+      worker.join();
+    }
+  }
+
+  /// Run `total` chunks of `job`; the caller participates and returns
+  /// only when every chunk finished.
+  void run(const std::shared_ptr<Job>& job, int max_workers) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ensure_workers(max_workers);
+      jobs_.push_back(job);
+    }
+    queue_cv_.notify_all();
+
+    std::size_t chunk;
+    while ((chunk = job->next.fetch_add(1, std::memory_order_relaxed)) <
+           job->total) {
+      job->execute(chunk);
+    }
+
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->done_cv.wait(lock, [&] { return job->done >= job->total; });
+    if (job->error) {
+      std::rethrow_exception(job->error);
+    }
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void ensure_workers(int wanted) {
+    // Cap the pool well above any sane configuration but below
+    // anything that could run away.
+    constexpr int kMaxWorkers = 64;
+    wanted = std::min(wanted, kMaxWorkers);
+    while (static_cast<int>(workers_.size()) < wanted) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void worker_loop() {
+    t_in_pool_worker = true;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      queue_cv_.wait(lock, [&] { return stopping_ || !jobs_.empty(); });
+      if (stopping_) {
+        return;
+      }
+      const std::shared_ptr<Job> job = jobs_.front();
+      const std::size_t chunk =
+          job->next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= job->total) {
+        // Exhausted: drop it from the queue (it may already be gone if
+        // another worker raced us past the same state).
+        if (!jobs_.empty() && jobs_.front() == job) {
+          jobs_.pop_front();
+        }
+        continue;
+      }
+      lock.unlock();
+      job->execute(chunk);
+      lock.lock();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+std::mutex& config_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+KernelConfig& config_storage() {
+  static KernelConfig config = KernelConfig::from_env();
+  return config;
+}
+
+/// Deterministic chunk boundary: chunk c of n covers
+/// [c*count/n, (c+1)*count/n).
+std::size_t chunk_bound(std::size_t count, std::size_t chunks,
+                        std::size_t index) {
+  return count / chunks * index + count % chunks * index / chunks;
+}
+
+void run_chunked(const KernelConfig& config, std::size_t count,
+                 std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t,
+                                          std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  const std::size_t chunks = plan_chunk_count(config, count, grain);
+  if (chunks <= 1 || t_in_pool_worker) {
+    body(0, 0, count);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->total = chunks;
+  job->run_chunk = [&body, count, chunks](std::size_t chunk) {
+    body(chunk, chunk_bound(count, chunks, chunk),
+         chunk_bound(count, chunks, chunk + 1));
+  };
+  ThreadPool::instance().run(job, static_cast<int>(chunks) - 1);
+}
+
+}  // namespace
+
+KernelConfig KernelConfig::from_env() {
+  KernelConfig config;
+  config.threads = static_cast<int>(
+      env_size("TRUSTDDL_THREADS", static_cast<std::size_t>(config.threads)));
+  config.block_m = env_size("TRUSTDDL_BLOCK_M", config.block_m);
+  config.block_k = env_size("TRUSTDDL_BLOCK_K", config.block_k);
+  config.block_n = env_size("TRUSTDDL_BLOCK_N", config.block_n);
+  config.grain = env_size("TRUSTDDL_GRAIN", config.grain);
+  return config;
+}
+
+int KernelConfig::resolved_threads() const {
+  if (threads > 0) {
+    return threads;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+KernelConfig global_config() {
+  std::lock_guard<std::mutex> lock(config_mutex());
+  return config_storage();
+}
+
+void set_global_config(const KernelConfig& config) {
+  std::lock_guard<std::mutex> lock(config_mutex());
+  config_storage() = config;
+}
+
+std::size_t plan_chunk_count(const KernelConfig& config, std::size_t count,
+                             std::size_t grain) {
+  if (count == 0) {
+    return 0;
+  }
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t by_grain = (count + grain - 1) / grain;
+  const auto by_threads =
+      static_cast<std::size_t>(std::max(config.resolved_threads(), 1));
+  return std::max<std::size_t>(1, std::min(by_grain, by_threads));
+}
+
+void parallel_for(const KernelConfig& config, std::size_t count,
+                  std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  run_chunked(config, count, grain,
+              [&body](std::size_t, std::size_t lo, std::size_t hi) {
+                body(lo, hi);
+              });
+}
+
+void parallel_for(std::size_t count, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for(global_config(), count, grain, body);
+}
+
+void parallel_chunks(
+    const KernelConfig& config, std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  run_chunked(config, count, grain, body);
+}
+
+void parallel_invoke(const KernelConfig& config,
+                     std::initializer_list<std::function<void()>> tasks) {
+  const std::vector<std::function<void()>> list(tasks);
+  // grain = 1: every task is its own chunk (capped by config.threads).
+  run_chunked(config, list.size(), 1,
+              [&list](std::size_t, std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                  list[i]();
+                }
+              });
+}
+
+void parallel_invoke(std::initializer_list<std::function<void()>> tasks) {
+  parallel_invoke(global_config(), tasks);
+}
+
+template <typename T>
+Tensor<T> matmul_naive(const Tensor<T>& lhs, const Tensor<T>& rhs) {
+  TRUSTDDL_REQUIRE(lhs.rank() == 2 && rhs.rank() == 2,
+                   "matmul requires rank-2 tensors");
+  TRUSTDDL_REQUIRE(lhs.cols() == rhs.rows(),
+                   "matmul inner dimensions differ: " +
+                       shape_to_string(lhs.shape()) + " x " +
+                       shape_to_string(rhs.shape()));
+  const std::size_t m = lhs.rows();
+  const std::size_t k = lhs.cols();
+  const std::size_t n = rhs.cols();
+  Tensor<T> out(Shape{m, n});
+  const T* a = lhs.data();
+  const T* b = rhs.data();
+  T* c = out.data();
+  // i-k-j loop order for contiguous inner access.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const T a_ip = a[i * k + p];
+      if (a_ip == T{}) {
+        continue;
+      }
+      const T* b_row = b + p * n;
+      T* c_row = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        c_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// The RHS packed into column panels: panel jb holds columns
+/// [jb*block_n, ...) of B contiguously, row-major within the panel, so
+/// the innermost kernel loop streams both the panel row and the C row.
+template <typename T>
+struct PackedRhs {
+  std::vector<T> data;
+  std::size_t k = 0;
+  std::size_t n = 0;
+  std::size_t block_n = 0;
+
+  const T* panel(std::size_t jb) const {
+    return data.data() + jb * block_n * k;
+  }
+  std::size_t panel_cols(std::size_t j0) const {
+    return std::min(block_n, n - j0);
+  }
+};
+
+template <typename T>
+PackedRhs<T> pack_rhs(const KernelConfig& config, const T* b, std::size_t k,
+                      std::size_t n) {
+  PackedRhs<T> packed;
+  packed.k = k;
+  packed.n = n;
+  packed.block_n = std::max<std::size_t>(config.block_n, 8);
+  const std::size_t panels = (n + packed.block_n - 1) / packed.block_n;
+  packed.data.resize(panels * packed.block_n * k);
+  // Pack panels in parallel: each panel writes a disjoint region; a
+  // ragged last panel is zero-padded (the kernel never reads the pad,
+  // but keeping the stride uniform simplifies addressing).
+  parallel_for(config, panels, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t jb = lo; jb < hi; ++jb) {
+      const std::size_t j0 = jb * packed.block_n;
+      const std::size_t width = packed.panel_cols(j0);
+      T* dst = packed.data.data() + jb * packed.block_n * k;
+      for (std::size_t p = 0; p < k; ++p) {
+        const T* src = b + p * n + j0;
+        T* row = dst + p * packed.block_n;
+        std::copy(src, src + width, row);
+        std::fill(row + width, row + packed.block_n, T{});
+      }
+    }
+  });
+  return packed;
+}
+
+/// Blocked kernel over a row range of C.  Accumulation order for every
+/// C element is p ascending (kb blocks ascend, p ascends within each
+/// block), independent of the thread count and of the row chunking —
+/// this is what makes the double path bit-identical across thread
+/// counts.
+template <typename T>
+void matmul_rows(const KernelConfig& config, const T* a,
+                 const PackedRhs<T>& packed, T* c, std::size_t row_lo,
+                 std::size_t row_hi, std::size_t k, std::size_t n) {
+  const std::size_t block_m = std::max<std::size_t>(config.block_m, 1);
+  const std::size_t block_k = std::max<std::size_t>(config.block_k, 1);
+  const std::size_t block_n = packed.block_n;
+  for (std::size_t i0 = row_lo; i0 < row_hi; i0 += block_m) {
+    const std::size_t i1 = std::min(i0 + block_m, row_hi);
+    for (std::size_t j0 = 0; j0 < n; j0 += block_n) {
+      const std::size_t width = packed.panel_cols(j0);
+      const T* panel = packed.panel(j0 / block_n);
+      for (std::size_t p0 = 0; p0 < k; p0 += block_k) {
+        const std::size_t p1 = std::min(p0 + block_k, k);
+        for (std::size_t i = i0; i < i1; ++i) {
+          const T* a_row = a + i * k;
+          T* c_row = c + i * n + j0;
+          for (std::size_t p = p0; p < p1; ++p) {
+            const T a_ip = a_row[p];
+            const T* b_row = panel + p * block_n;
+            for (std::size_t j = 0; j < width; ++j) {
+              c_row[j] += a_ip * b_row[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+Tensor<T> matmul_blocked(const KernelConfig& config, const Tensor<T>& lhs,
+                         const Tensor<T>& rhs) {
+  TRUSTDDL_REQUIRE(lhs.rank() == 2 && rhs.rank() == 2,
+                   "matmul requires rank-2 tensors");
+  TRUSTDDL_REQUIRE(lhs.cols() == rhs.rows(),
+                   "matmul inner dimensions differ: " +
+                       shape_to_string(lhs.shape()) + " x " +
+                       shape_to_string(rhs.shape()));
+  const std::size_t m = lhs.rows();
+  const std::size_t k = lhs.cols();
+  const std::size_t n = rhs.cols();
+  Tensor<T> out(Shape{m, n});
+  if (m == 0 || k == 0 || n == 0) {
+    return out;
+  }
+  const PackedRhs<T> packed = pack_rhs(config, rhs.data(), k, n);
+  const T* a = lhs.data();
+  T* c = out.data();
+  // Parallelise across output rows; grain keeps each chunk's share of
+  // the k*n work above config.grain multiply-adds.
+  const std::size_t per_row = std::max<std::size_t>(k * n / std::max<std::size_t>(m, 1), 1);
+  const std::size_t grain_rows =
+      std::max<std::size_t>(1, config.grain / std::max<std::size_t>(per_row, 1));
+  parallel_for(config, m, grain_rows, [&](std::size_t lo, std::size_t hi) {
+    matmul_rows(config, a, packed, c, lo, hi, k, n);
+  });
+  return out;
+}
+
+template <typename T>
+Tensor<T> matmul(const KernelConfig& config, const Tensor<T>& lhs,
+                 const Tensor<T>& rhs) {
+  // Tiny products: the packing pass and block bookkeeping cost more
+  // than the multiply itself.  The cutoff is shape-only, so the
+  // dispatch is identical at every thread count.
+  constexpr std::size_t kNaiveCutoff = 16 * 1024;
+  if (lhs.rank() == 2 && rhs.rank() == 2 &&
+      lhs.rows() * lhs.cols() * rhs.cols() <= kNaiveCutoff) {
+    return matmul_naive(lhs, rhs);
+  }
+  return matmul_blocked(config, lhs, rhs);
+}
+
+template <typename T>
+Tensor<T> matmul(const Tensor<T>& lhs, const Tensor<T>& rhs) {
+  return matmul(global_config(), lhs, rhs);
+}
+
+template <typename T>
+Tensor<T> hadamard_parallel(const KernelConfig& config, const Tensor<T>& lhs,
+                            const Tensor<T>& rhs) {
+  TRUSTDDL_REQUIRE(lhs.same_shape(rhs), "hadamard: shape mismatch");
+  Tensor<T> out(lhs.shape());
+  const T* a = lhs.data();
+  const T* b = rhs.data();
+  T* c = out.data();
+  parallel_for(config, out.size(), config.grain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) {
+                   c[i] = a[i] * b[i];
+                 }
+               });
+  return out;
+}
+
+template <typename T>
+Tensor<T> hadamard_parallel(const Tensor<T>& lhs, const Tensor<T>& rhs) {
+  return hadamard_parallel(global_config(), lhs, rhs);
+}
+
+template Tensor<double> matmul_naive(const Tensor<double>&,
+                                     const Tensor<double>&);
+template Tensor<std::uint64_t> matmul_naive(const Tensor<std::uint64_t>&,
+                                            const Tensor<std::uint64_t>&);
+template Tensor<double> matmul_blocked(const KernelConfig&,
+                                       const Tensor<double>&,
+                                       const Tensor<double>&);
+template Tensor<std::uint64_t> matmul_blocked(const KernelConfig&,
+                                              const Tensor<std::uint64_t>&,
+                                              const Tensor<std::uint64_t>&);
+template Tensor<double> matmul(const KernelConfig&, const Tensor<double>&,
+                               const Tensor<double>&);
+template Tensor<std::uint64_t> matmul(const KernelConfig&,
+                                      const Tensor<std::uint64_t>&,
+                                      const Tensor<std::uint64_t>&);
+template Tensor<double> matmul(const Tensor<double>&, const Tensor<double>&);
+template Tensor<std::uint64_t> matmul(const Tensor<std::uint64_t>&,
+                                      const Tensor<std::uint64_t>&);
+template Tensor<double> hadamard_parallel(const KernelConfig&,
+                                          const Tensor<double>&,
+                                          const Tensor<double>&);
+template Tensor<std::uint64_t> hadamard_parallel(const KernelConfig&,
+                                                 const Tensor<std::uint64_t>&,
+                                                 const Tensor<std::uint64_t>&);
+template Tensor<double> hadamard_parallel(const Tensor<double>&,
+                                          const Tensor<double>&);
+template Tensor<std::uint64_t> hadamard_parallel(const Tensor<std::uint64_t>&,
+                                                 const Tensor<std::uint64_t>&);
+
+}  // namespace trustddl::kernels

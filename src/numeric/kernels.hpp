@@ -1,0 +1,142 @@
+// Parallel compute-kernel subsystem.
+//
+// TrustDDL's cost model is dominated by local share arithmetic: every
+// SecMatMul(-BT) invocation performs several full matrix products per
+// party, and the Conv2D layers route all work through im2col + matmul.
+// This module provides the shared substrate those hot paths run on:
+//
+//  * a persistent chunked thread pool exposed through `parallel_for`
+//    with DETERMINISTIC work partitioning (chunk boundaries depend only
+//    on the iteration count and the grain, never on timing),
+//  * a cache-blocked matrix-multiply kernel with a packed/transposed
+//    RHS for both `Tensor<std::uint64_t>` (the Z_{2^64} share domain)
+//    and `Tensor<double>` (the plaintext reference engine),
+//  * small helpers (parallel elementwise product, chunked reductions)
+//    used by the tensor/conv/protocol layers.
+//
+// Determinism contract (asserted by tests/test_kernels.cpp):
+//  * Ring kernels are BIT-IDENTICAL to the naive single-threaded loops
+//    at any thread count — Z_{2^64} arithmetic is exact and every
+//    output element is written by exactly one chunk.
+//  * Double kernels use a fixed accumulation order that is independent
+//    of the thread count (blocking is configured by block sizes, and
+//    parallel chunks only partition disjoint output regions), so runs
+//    with 1, 2 or N threads produce bit-identical doubles.  Blocked
+//    double results may differ from the naive loop by normal
+//    floating-point reassociation, which tests bound in ulps.
+//
+// Configuration: a process-global KernelConfig (env-overridable via
+// TRUSTDDL_THREADS / TRUSTDDL_BLOCK_{M,K,N} / TRUSTDDL_GRAIN) feeds the
+// free tensor functions; mpc::PartyContext and core::EngineConfig carry
+// a copy so protocol code and the engine can pin an explicit setting.
+// `threads = 1` reproduces the pre-kernel serial behaviour exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "numeric/tensor.hpp"
+
+namespace trustddl::kernels {
+
+struct KernelConfig {
+  /// Worker parallelism for all kernels. 0 = hardware concurrency,
+  /// 1 = run everything inline on the calling thread (exact pre-kernel
+  /// behaviour), N = at most N-way chunking.
+  int threads = 0;
+  /// Cache block sizes for the blocked matmul: rows of A/C per block,
+  /// depth of the K panel, and columns of the packed B panel.
+  std::size_t block_m = 64;
+  std::size_t block_k = 128;
+  std::size_t block_n = 128;
+  /// Minimum elements of work per parallel chunk; below this the body
+  /// runs inline.  Keeps tiny tensors (bias rows, scalars) off the
+  /// pool.
+  std::size_t grain = 4096;
+
+  /// Defaults overridden by TRUSTDDL_THREADS, TRUSTDDL_BLOCK_M,
+  /// TRUSTDDL_BLOCK_K, TRUSTDDL_BLOCK_N and TRUSTDDL_GRAIN.
+  static KernelConfig from_env();
+
+  /// The effective thread count (resolves 0 to hardware concurrency).
+  int resolved_threads() const;
+};
+
+/// Snapshot of the process-global kernel configuration (initialised
+/// from the environment on first use).
+KernelConfig global_config();
+
+/// Replace the process-global configuration.  Thread-safe; kernels
+/// already running keep the snapshot they started with.
+void set_global_config(const KernelConfig& config);
+
+/// Deterministic chunk count `parallel_for`/`parallel_chunks` will use
+/// for `count` iterations at the given grain — exposed so reductions
+/// can pre-size per-chunk partial buffers.
+std::size_t plan_chunk_count(const KernelConfig& config, std::size_t count,
+                             std::size_t grain);
+
+/// Run body(lo, hi) over a deterministic partition of [0, count).
+/// Chunks execute concurrently on the persistent pool (the caller
+/// participates); nested calls from pool workers run inline.  The
+/// partition depends only on (count, grain, config.threads) — bodies
+/// that write disjoint output per index are therefore deterministic at
+/// any thread count.  Exceptions thrown by the body are rethrown to
+/// the caller (first one wins).
+void parallel_for(const KernelConfig& config, std::size_t count,
+                  std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// parallel_for against the process-global configuration.
+void parallel_for(std::size_t count, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Like parallel_for but the body also receives the chunk index
+/// (0 .. plan_chunk_count-1) for per-chunk partial reductions.
+void parallel_chunks(
+    const KernelConfig& config, std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t chunk, std::size_t lo,
+                             std::size_t hi)>& body);
+
+/// Run a handful of independent tasks concurrently; returns when all
+/// finished.  Used for e.g. the three per-component commitment digests
+/// of an optimistic opening (each digest stays byte-identical — only
+/// the hashers run side by side).
+void parallel_invoke(const KernelConfig& config,
+                     std::initializer_list<std::function<void()>> tasks);
+void parallel_invoke(std::initializer_list<std::function<void()>> tasks);
+
+/// The seed's single-threaded triple-loop matmul, kept as the
+/// differential-test oracle and the bench baseline.
+template <typename T>
+Tensor<T> matmul_naive(const Tensor<T>& lhs, const Tensor<T>& rhs);
+
+/// Cache-blocked matmul over a packed (transposed-panel) RHS,
+/// parallelised across row blocks of the output.  See the determinism
+/// contract above.
+template <typename T>
+Tensor<T> matmul_blocked(const KernelConfig& config, const Tensor<T>& lhs,
+                         const Tensor<T>& rhs);
+
+/// Dispatching matmul: naive loop for tiny products (where blocking
+/// and pool overhead dominate), blocked kernel above the cutoff.  The
+/// cutoff depends only on the shape, never the thread count.
+template <typename T>
+Tensor<T> matmul(const KernelConfig& config, const Tensor<T>& lhs,
+                 const Tensor<T>& rhs);
+template <typename T>
+Tensor<T> matmul(const Tensor<T>& lhs, const Tensor<T>& rhs);
+
+/// Parallel elementwise product (exact in the ring; deterministic for
+/// doubles — each element is one multiply).
+template <typename T>
+Tensor<T> hadamard_parallel(const KernelConfig& config, const Tensor<T>& lhs,
+                            const Tensor<T>& rhs);
+template <typename T>
+Tensor<T> hadamard_parallel(const Tensor<T>& lhs, const Tensor<T>& rhs);
+
+}  // namespace trustddl::kernels

@@ -1,8 +1,10 @@
 #include "numeric/tensor.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "numeric/fixed_point.hpp"
+#include "numeric/kernels.hpp"
 
 namespace trustddl {
 
@@ -28,34 +30,10 @@ std::size_t shape_size(const Shape& shape) {
 
 template <typename T>
 Tensor<T> matmul(const Tensor<T>& lhs, const Tensor<T>& rhs) {
-  TRUSTDDL_REQUIRE(lhs.rank() == 2 && rhs.rank() == 2,
-                   "matmul requires rank-2 tensors");
-  TRUSTDDL_REQUIRE(lhs.cols() == rhs.rows(),
-                   "matmul inner dimensions differ: " +
-                       shape_to_string(lhs.shape()) + " x " +
-                       shape_to_string(rhs.shape()));
-  const std::size_t m = lhs.rows();
-  const std::size_t k = lhs.cols();
-  const std::size_t n = rhs.cols();
-  Tensor<T> out(Shape{m, n});
-  const T* a = lhs.data();
-  const T* b = rhs.data();
-  T* c = out.data();
-  // i-k-j loop order for contiguous inner access.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const T a_ip = a[i * k + p];
-      if (a_ip == T{}) {
-        continue;
-      }
-      const T* b_row = b + p * n;
-      T* c_row = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        c_row[j] += a_ip * b_row[j];
-      }
-    }
-  }
-  return out;
+  // Blocked, thread-pooled kernel (falls back to the naive loop for
+  // tiny products); see numeric/kernels.hpp for the determinism
+  // contract.
+  return kernels::matmul(lhs, rhs);
 }
 
 template <typename T>
@@ -64,23 +42,49 @@ Tensor<T> transpose(const Tensor<T>& input) {
   const std::size_t rows = input.rows();
   const std::size_t cols = input.cols();
   Tensor<T> out(Shape{cols, rows});
-  for (std::size_t i = 0; i < rows; ++i) {
-    for (std::size_t j = 0; j < cols; ++j) {
-      out.at(j, i) = input.at(i, j);
+  const T* src = input.data();
+  T* dst = out.data();
+  // Cache-blocked: both the row-major read and the strided write stay
+  // within one block, so each cache line fetched for `dst` is reused
+  // kBlock times instead of once.
+  constexpr std::size_t kBlock = 32;
+  kernels::parallel_for(rows, kBlock * kBlock, [&](std::size_t lo,
+                                                   std::size_t hi) {
+    for (std::size_t i0 = lo; i0 < hi; i0 += kBlock) {
+      const std::size_t i1 = std::min(i0 + kBlock, hi);
+      for (std::size_t j0 = 0; j0 < cols; j0 += kBlock) {
+        const std::size_t j1 = std::min(j0 + kBlock, cols);
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t j = j0; j < j1; ++j) {
+            dst[j * rows + i] = src[i * cols + j];
+          }
+        }
+      }
     }
-  }
+  });
   return out;
 }
 
 template <typename T>
 Tensor<T> sum_rows(const Tensor<T>& tensor) {
   TRUSTDDL_REQUIRE(tensor.rank() == 2, "sum_rows requires a rank-2 tensor");
-  Tensor<T> out(Shape{1, tensor.cols()});
-  for (std::size_t i = 0; i < tensor.rows(); ++i) {
-    for (std::size_t j = 0; j < tensor.cols(); ++j) {
-      out.at(0, j) += tensor.at(i, j);
+  const std::size_t rows = tensor.rows();
+  const std::size_t cols = tensor.cols();
+  Tensor<T> out(Shape{1, cols});
+  const T* src = tensor.data();
+  T* dst = out.data();
+  // Row-major accumulation: parallel over output columns so every
+  // chunk owns a disjoint slice of `dst` and rows are added in the
+  // same (ascending) order as the serial loop — deterministic for
+  // doubles at any thread count.
+  kernels::parallel_for(cols, 1024, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      const T* row = src + i * cols;
+      for (std::size_t j = lo; j < hi; ++j) {
+        dst[j] += row[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -105,33 +109,63 @@ std::size_t argmax(const RealTensor& tensor) {
 
 RingTensor to_ring(const RealTensor& real, int frac_bits) {
   RingTensor out(real.shape());
-  for (std::size_t i = 0; i < real.size(); ++i) {
-    out[i] = fx::encode(real[i], frac_bits);
-  }
+  const double* src = real.data();
+  std::uint64_t* dst = out.data();
+  kernels::parallel_for(real.size(), 4096,
+                        [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t i = lo; i < hi; ++i) {
+                            dst[i] = fx::encode(src[i], frac_bits);
+                          }
+                        });
   return out;
 }
 
 RealTensor to_real(const RingTensor& ring, int frac_bits) {
   RealTensor out(ring.shape());
-  for (std::size_t i = 0; i < ring.size(); ++i) {
-    out[i] = fx::decode(ring[i], frac_bits);
-  }
+  const std::uint64_t* src = ring.data();
+  double* dst = out.data();
+  kernels::parallel_for(ring.size(), 4096,
+                        [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t i = lo; i < hi; ++i) {
+                            dst[i] = fx::decode(src[i], frac_bits);
+                          }
+                        });
   return out;
 }
 
 RingTensor truncate(const RingTensor& ring, int frac_bits) {
   RingTensor out(ring.shape());
-  for (std::size_t i = 0; i < ring.size(); ++i) {
-    out[i] = fx::truncate(ring[i], frac_bits);
-  }
+  const std::uint64_t* src = ring.data();
+  std::uint64_t* dst = out.data();
+  kernels::parallel_for(ring.size(), 4096,
+                        [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t i = lo; i < hi; ++i) {
+                            dst[i] = fx::truncate(src[i], frac_bits);
+                          }
+                        });
   return out;
 }
 
 std::uint64_t ring_distance(const RingTensor& lhs, const RingTensor& rhs) {
   TRUSTDDL_REQUIRE(lhs.same_shape(rhs), "ring_distance shape mismatch");
+  const kernels::KernelConfig config = kernels::global_config();
+  const std::size_t chunks =
+      kernels::plan_chunk_count(config, lhs.size(), 4096);
+  std::vector<std::uint64_t> partial(chunks, 0);
+  const std::uint64_t* a = lhs.data();
+  const std::uint64_t* b = rhs.data();
+  kernels::parallel_chunks(
+      config, lhs.size(), 4096,
+      [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+        std::uint64_t worst = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          worst = std::max(worst, fx::ring_distance(a[i], b[i]));
+        }
+        partial[chunk] = worst;
+      });
   std::uint64_t worst = 0;
-  for (std::size_t i = 0; i < lhs.size(); ++i) {
-    worst = std::max(worst, fx::ring_distance(lhs[i], rhs[i]));
+  for (std::uint64_t value : partial) {
+    worst = std::max(worst, value);
   }
   return worst;
 }

@@ -184,5 +184,47 @@ TEST(EngineTest, MaskedOpenTruncationAlsoTrains) {
   EXPECT_GT(result.epoch_test_accuracy[0], initial_accuracy);
 }
 
+TEST(KernelDeterminismTest, TrainedWeightsBitIdenticalAcrossThreadCounts) {
+  // The kernel determinism contract, end to end: the whole secure
+  // training loop (sharing, SecMatMul-BT, truncation, robust openings,
+  // weight write-back) must produce BIT-IDENTICAL weights with serial
+  // kernels and with a 4-thread pool — the protocol's ring arithmetic
+  // is exact and the double paths use thread-count-independent
+  // accumulation orders.
+  const auto split = small_split(64, 24);
+  TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 8;
+  options.learning_rate = 0.3;
+
+  auto train_with_threads = [&](int threads) {
+    EngineConfig config = fast_config();
+    // A short collect timeout can expire a reveal group and
+    // reconstruct the weights from 2-of-3 shares under heavy machine
+    // load; after local truncation the share sets disagree by a few
+    // ulps, so the 2-share median differs.  That is crash-tolerance
+    // timing, not kernel nondeterminism — keep it out of this test.
+    config.collect_timeout = std::chrono::seconds(30);
+    config.kernels.threads = threads;
+    TrustDdlEngine engine(nn::mnist_mlp_spec(), config);
+    (void)engine.train(split.train, split.test, options);
+    std::vector<RealTensor> weights;
+    for (nn::Parameter* parameter : engine.reference_model().parameters()) {
+      weights.push_back(parameter->value);
+    }
+    return weights;
+  };
+
+  const std::vector<RealTensor> serial = train_with_threads(1);
+  const std::vector<RealTensor> threaded = train_with_threads(4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  ASSERT_FALSE(serial.empty());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    // Tensor operator== compares every element exactly (doubles
+    // included) — no tolerance.
+    EXPECT_EQ(serial[p], threaded[p]) << "parameter " << p;
+  }
+}
+
 }  // namespace
 }  // namespace trustddl::core
