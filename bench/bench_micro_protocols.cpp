@@ -9,19 +9,27 @@
 // Pass --rounds_json=<path> to additionally record a round-accounting
 // snapshot of one Table I CNN training step (malicious mode, batching
 // off vs on) — the before/after evidence for the OpenBatch scheduler.
+//
+// Pass --obs_json=<path> to measure the metrics-registry overhead on
+// the SecMatMul-BT hot path (telemetry disabled vs enabled) and write
+// the result — the evidence for the observability layer's <= 2%
+// overhead contract (DESIGN.md §Observability).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 
 #include "common/sha256.hpp"
+#include "common/stopwatch.hpp"
 #include "core/engine.hpp"
 #include "mpc/beaver.hpp"
 #include "mpc/open.hpp"
 #include "mpc/protocols_bt.hpp"
 #include "net/runtime.hpp"
 #include "numeric/fixed_point.hpp"
+#include "obs/metrics.hpp"
 
 namespace trustddl {
 namespace {
@@ -140,33 +148,49 @@ void BM_SecMulBt(benchmark::State& state) {
 }
 BENCHMARK(BM_SecMulBt)->Arg(1 << 8)->Arg(1 << 12);
 
-void BM_SecMatMulBt(benchmark::State& state) {
+/// One full three-party SecMatMul-BT; shared by the plain benchmark,
+/// the metrics-enabled/-disabled comparison column and the --obs_json
+/// overhead measurement.
+void run_sec_matmul_bt_once(std::size_t n,
+                            const std::array<mpc::PartyShare, 3>& x_views,
+                            const std::array<mpc::PartyShare, 3>& y_views) {
+  net::Network network(net::NetworkConfig{.num_parties = 3});
+  auto dealer = std::make_shared<mpc::SharedDealer>(7, kF);
+  std::array<mpc::PartyContext, 3> contexts;
+  for (int party = 0; party < 3; ++party) {
+    auto& ctx = contexts[static_cast<std::size_t>(party)];
+    ctx.endpoint = network.endpoint(party);
+    ctx.party = party;
+  }
+  net::run_parties(3, [&](net::PartyId party) {
+    mpc::LocalTripleSource source(dealer, party);
+    const auto triple = source.matmul_triple(n, n, n);
+    benchmark::DoNotOptimize(mpc::sec_matmul_bt(
+        contexts[static_cast<std::size_t>(party)],
+        x_views[static_cast<std::size_t>(party)],
+        y_views[static_cast<std::size_t>(party)], triple));
+  });
+}
+
+/// metrics = false/true gives the disabled/enabled column of the
+/// telemetry-overhead comparison; the flag is restored afterwards so
+/// later benchmarks run under the process default.
+void BM_SecMatMulBt(benchmark::State& state, bool metrics) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   Rng rng(6);
   const auto x_views =
       mpc::share_secret(random_ring(Shape{n, n}, rng), rng);
   const auto y_views =
       mpc::share_secret(random_ring(Shape{n, n}, rng), rng);
+  const bool was_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(metrics);
   for (auto _ : state) {
-    net::Network network(net::NetworkConfig{.num_parties = 3});
-    auto dealer = std::make_shared<mpc::SharedDealer>(7, kF);
-    std::array<mpc::PartyContext, 3> contexts;
-    for (int party = 0; party < 3; ++party) {
-      auto& ctx = contexts[static_cast<std::size_t>(party)];
-      ctx.endpoint = network.endpoint(party);
-      ctx.party = party;
-    }
-    net::run_parties(3, [&](net::PartyId party) {
-      mpc::LocalTripleSource source(dealer, party);
-      const auto triple = source.matmul_triple(n, n, n);
-      benchmark::DoNotOptimize(mpc::sec_matmul_bt(
-          contexts[static_cast<std::size_t>(party)],
-          x_views[static_cast<std::size_t>(party)],
-          y_views[static_cast<std::size_t>(party)], triple));
-    });
+    run_sec_matmul_bt_once(n, x_views, y_views);
   }
+  obs::set_metrics_enabled(was_enabled);
 }
-BENCHMARK(BM_SecMatMulBt)->Arg(16)->Arg(64);
+BENCHMARK_CAPTURE(BM_SecMatMulBt, metrics_off, false)->Arg(16)->Arg(64);
+BENCHMARK_CAPTURE(BM_SecMatMulBt, metrics_on, true)->Arg(16)->Arg(64);
 
 void BM_SecCompBt(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -414,27 +438,98 @@ bool write_rounds_snapshot(const std::string& path) {
   return true;
 }
 
+/// Wall time of `iterations` SecMatMul-BT protocol runs at the current
+/// metrics setting.
+double sec_matmul_bt_seconds(std::size_t n, int iterations) {
+  Rng rng(6);
+  const auto x_views = mpc::share_secret(random_ring(Shape{n, n}, rng), rng);
+  const auto y_views = mpc::share_secret(random_ring(Shape{n, n}, rng), rng);
+  Stopwatch watch;
+  for (int i = 0; i < iterations; ++i) {
+    run_sec_matmul_bt_once(n, x_views, y_views);
+  }
+  return watch.elapsed_seconds();
+}
+
+/// Measure the telemetry overhead on SecMatMul-BT (the busiest
+/// instrumented path: spans, per-tag-class transport counters, recv
+/// wait and kernel-pool histograms all fire) and write the snapshot.
+/// Repetitions alternate disabled/enabled and the minimum per mode is
+/// kept, so drift hits both columns alike.  Returns false if the
+/// snapshot could not be written.
+bool write_obs_snapshot(const std::string& path) {
+  constexpr std::size_t kN = 64;
+  constexpr int kIterations = 12;
+  constexpr int kRepetitions = 5;
+  const bool was_enabled = obs::metrics_enabled();
+
+  obs::set_metrics_enabled(false);
+  sec_matmul_bt_seconds(kN, 2);  // warm caches, pool threads, dealer
+  double off_seconds = 1e300;
+  double on_seconds = 1e300;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    obs::set_metrics_enabled(false);
+    off_seconds = std::min(off_seconds, sec_matmul_bt_seconds(kN, kIterations));
+    obs::set_metrics_enabled(true);
+    on_seconds = std::min(on_seconds, sec_matmul_bt_seconds(kN, kIterations));
+  }
+  obs::set_metrics_enabled(was_enabled);
+
+  const double overhead_percent = (on_seconds / off_seconds - 1.0) * 100.0;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << "{\n"
+      << "  \"workload\": \"sec_matmul_bt\",\n"
+      << "  \"matrix_n\": " << kN << ",\n"
+      << "  \"iterations_per_repetition\": " << kIterations << ",\n"
+      << "  \"repetitions\": " << kRepetitions << ",\n"
+      << "  \"seconds_metrics_off\": " << off_seconds << ",\n"
+      << "  \"seconds_metrics_on\": " << on_seconds << ",\n"
+      << "  \"overhead_percent\": " << overhead_percent << ",\n"
+      << "  \"overhead_target_percent\": 2.0\n"
+      << "}\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "error: failed writing " << path << "\n";
+    return false;
+  }
+  std::cout << "wrote telemetry-overhead snapshot to " << path << " ("
+            << overhead_percent << "% enabled-mode overhead)\n";
+  return true;
+}
+
 }  // namespace
 }  // namespace trustddl
 
 int main(int argc, char** argv) {
   std::string rounds_json;
-  // Strip our flag before google-benchmark parses the rest.
-  for (int i = 1; i < argc; ++i) {
+  std::string obs_json;
+  // Strip our flags before google-benchmark parses the rest.
+  for (int i = 1; i < argc;) {
     if (std::strncmp(argv[i], "--rounds_json=", 14) == 0) {
       rounds_json = argv[i] + 14;
-      for (int j = i; j + 1 < argc; ++j) {
-        argv[j] = argv[j + 1];
-      }
-      --argc;
-      break;
+    } else if (std::strncmp(argv[i], "--obs_json=", 11) == 0) {
+      obs_json = argv[i] + 11;
+    } else {
+      ++i;
+      continue;
     }
+    for (int j = i; j + 1 < argc; ++j) {
+      argv[j] = argv[j + 1];
+    }
+    --argc;
   }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
   if (!rounds_json.empty() && !trustddl::write_rounds_snapshot(rounds_json)) {
+    return 1;
+  }
+  if (!obs_json.empty() && !trustddl::write_obs_snapshot(obs_json)) {
     return 1;
   }
   ::benchmark::RunSpecifiedBenchmarks();

@@ -17,8 +17,16 @@
 // SafeML/TrustDDL in communication; TrustDDL-malicious costs more than
 // TrustDDL-HbC but escalates LESS than Falcon does from HbC to
 // malicious (paper §IV-C: 0.44x vs 0.62x increase).
+//
+// Pass --phases for the protocol-phase breakdown mode instead of the
+// framework table: one TrustDDL-malicious training step + inference
+// with the metrics registry enabled, reported as time per span
+// (model/layer/protocol/opening-phase taxonomy from the obs layer).
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/adapters.hpp"
@@ -29,6 +37,7 @@
 #include "data/synthetic_mnist.hpp"
 #include "nn/loss.hpp"
 #include "numeric/kernels.hpp"
+#include "obs/metrics.hpp"
 
 using namespace trustddl;
 using baselines::StepCost;
@@ -57,9 +66,75 @@ StepCost marginal_infer(baselines::Framework& framework,
   return (three - one).scaled(0.5);
 }
 
+/// --phases: run one TrustDDL-malicious training step and one
+/// inference with the metrics registry on, then print every span
+/// accumulator (span.<name>.us / span.<name>.count).  Spans NEST —
+/// model.forward contains the layer.* spans, which contain proto.* and
+/// open.* — so the rows are a taxonomy, not a partition; comparing
+/// siblings (e.g. the open.* phases against each other) is the
+/// intended reading.
+int run_phase_breakdown(const nn::ModelSpec& spec, const RealTensor& image,
+                        const RealTensor& onehot, double lr) {
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry::global().reset();
+
+  auto framework =
+      baselines::make_trustddl(spec, mpc::SecurityMode::kMalicious, 7);
+  const StepCost train_cost = framework->train(image, onehot, lr, 1);
+  const StepCost infer_cost = framework->infer(image, 1);
+
+  struct PhaseRow {
+    std::string name;
+    std::uint64_t us = 0;
+    std::uint64_t count = 0;
+  };
+  std::vector<PhaseRow> phases;
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::global().snapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    constexpr const char* kPrefix = "span.";
+    constexpr const char* kSuffix = ".us";
+    if (name.rfind(kPrefix, 0) != 0 || name.size() < 8 ||
+        name.compare(name.size() - 3, 3, kSuffix) != 0) {
+      continue;
+    }
+    PhaseRow row;
+    row.name = name.substr(5, name.size() - 8);
+    row.us = value;
+    row.count = snapshot.counter_sum("span." + row.name + ".count");
+    phases.push_back(std::move(row));
+  }
+  std::sort(phases.begin(), phases.end(),
+            [](const PhaseRow& a, const PhaseRow& b) { return a.us > b.us; });
+
+  std::printf("=== TrustDDL malicious: per-phase span breakdown ===\n");
+  std::printf("Workload: Table I CNN, one training step + one inference, "
+              "batch size 1.\nSpans nest (model > layer > proto > open); "
+              "compare siblings, not the column sum.\n\n");
+  std::printf("%-28s %10s %12s %12s\n", "Span", "Calls", "Total (ms)",
+              "us/call");
+  for (const PhaseRow& row : phases) {
+    std::printf("%-28s %10llu %12.3f %12.1f\n", row.name.c_str(),
+                static_cast<unsigned long long>(row.count),
+                static_cast<double>(row.us) / 1000.0,
+                row.count == 0 ? 0.0
+                               : static_cast<double>(row.us) /
+                                     static_cast<double>(row.count));
+  }
+  std::printf("\nStep wall time: train %.4f s, inference %.4f s "
+              "(metrics enabled).\n",
+              train_cost.wall_seconds, infer_cost.wall_seconds);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool phases = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--phases") == 0) {
+      phases = true;
+    }
+  }
   // --threads=N pins the compute-kernel pool for every framework in
   // the comparison (0 = hardware concurrency, 1 = serial kernels).
   const std::size_t threads =
@@ -72,11 +147,13 @@ int main(int argc, char** argv) {
     kernels::set_global_config(kernel_config);
   }
 
-  std::printf("=== Table II: Runtime and Communication Cost ===\n");
-  std::printf("Workload: Table I CNN, batch size 1, 64-bit fixed point "
-              "(%d fractional bits); marginal per-step cost; "
-              "%zu kernel thread(s).\n\n",
-              fx::kDefaultFracBits, threads);
+  if (!phases) {
+    std::printf("=== Table II: Runtime and Communication Cost ===\n");
+    std::printf("Workload: Table I CNN, batch size 1, 64-bit fixed point "
+                "(%d fractional bits); marginal per-step cost; "
+                "%zu kernel thread(s).\n\n",
+                fx::kDefaultFracBits, threads);
+  }
 
   const nn::ModelSpec spec = nn::mnist_cnn_spec();
   data::SyntheticMnistConfig data_config;
@@ -86,6 +163,10 @@ int main(int argc, char** argv) {
   const RealTensor image = split.train.images;
   const RealTensor onehot = nn::one_hot(split.train.labels, 10);
   const double lr = 0.1;
+
+  if (phases) {
+    return run_phase_breakdown(spec, image, onehot, lr);
+  }
 
   std::vector<Row> rows;
 

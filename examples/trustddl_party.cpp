@@ -22,7 +22,15 @@
 //   --peers LIST         explicit mesh: id=host:port,... for all 5 ids
 //                        (overrides --port-base)
 //   --listen HOST        bind host for hosted ids [host from the mesh]
-//   --task infer|train   workload [infer]
+//   --task infer|train|malicious-inference   workload [infer];
+//                        malicious-inference runs infer with computing
+//                        party 1 mounting consistent-corruption attacks
+//                        (Case 3) against every opening
+//   --metrics-out PATH   write the observability export (JSON, schema
+//                        trustddl.metrics.v1: metrics registry,
+//                        detection events, traffic matrix, cost) after
+//                        the run; enables metrics collection
+//   --trace-out PATH     write a protocol-phase trace (JSONL spans)
 //   --model mlp|cnn|tiny-cnn   architecture [mlp]
 //   --images N           inference queries / test rows [12]
 //   --rows N             training rows [64]
@@ -45,11 +53,16 @@
 #include <thread>
 #include <vector>
 
+#include "common/stopwatch.hpp"
 #include "core/actors.hpp"
 #include "core/engine.hpp"
+#include "core/metrics_export.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "net/tcp_transport.hpp"
 #include "nn/loss.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace trustddl;
 
@@ -73,6 +86,8 @@ struct Options {
   std::uint64_t data_seed = 7;
   bool check = false;
   int connect_timeout_ms = 10000;
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 [[noreturn]] void usage_error(const std::string& reason) {
@@ -180,6 +195,10 @@ Options parse_options(int argc, char** argv) {
       opt.check = true;
     } else if (arg == "--connect-timeout-ms") {
       opt.connect_timeout_ms = std::atoi(value(i).c_str());
+    } else if (arg == "--metrics-out") {
+      opt.metrics_out = value(i);
+    } else if (arg == "--trace-out") {
+      opt.trace_out = value(i);
     } else {
       usage_error("unknown flag " + arg);
     }
@@ -187,8 +206,12 @@ Options parse_options(int argc, char** argv) {
   if (opt.party_ids.empty()) {
     usage_error("--party-ids is required");
   }
-  if (opt.task != "infer" && opt.task != "train") {
-    usage_error("--task must be infer or train");
+  if (opt.task != "infer" && opt.task != "train" &&
+      opt.task != "malicious-inference") {
+    usage_error("--task must be infer, train or malicious-inference");
+  }
+  if (opt.task == "malicious-inference" && opt.mode != "malicious") {
+    usage_error("--task malicious-inference requires --mode malicious");
   }
   if (opt.mode != "malicious" && opt.mode != "hbc") {
     usage_error("--mode must be malicious or hbc");
@@ -238,6 +261,33 @@ int main(int argc, char** argv) {
   // Processes start at different times; give the model owner's
   // collective ops more slack than the in-process default.
   config.collect_timeout = std::chrono::milliseconds(2000);
+
+  const bool malicious_task = opt.task == "malicious-inference";
+  if (malicious_task) {
+    // Computing party 1 mounts consistent-corruption (Case 3) attacks:
+    // commitment-consistent but corrupted shares, caught by share-copy
+    // authentication at each honest observer (one attributable
+    // share_auth_failure per attacked opening).  Masked-open rescaling
+    // is mandatory under an active adversary — share-local truncation
+    // would let the honest parties' states drift apart (DESIGN.md §4).
+    config.byzantine_party = 1;
+    config.byzantine.behavior =
+        mpc::ByzantineConfig::Behavior::kConsistentCorruption;
+    config.trunc_mode = mpc::TruncationMode::kMaskedOpen;
+  }
+
+  // Telemetry: arm the sinks before any actor runs so every span,
+  // counter and detection event of this process's actors is captured.
+  if (!opt.metrics_out.empty()) {
+    obs::set_metrics_enabled(true);
+    obs::MetricsRegistry::global().reset();
+  }
+  if (!opt.trace_out.empty()) {
+    obs::Tracer::global().open(opt.trace_out);
+  }
+  if (!opt.metrics_out.empty() || !opt.trace_out.empty()) {
+    obs::EventLog::global().clear();
+  }
 
   const nn::ModelSpec spec = spec_for(opt.model);
   Rng model_rng(config.seed);
@@ -330,6 +380,16 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Protocol-level adversary for the hosted Byzantine party (if
+    // any); make_party_context attaches it only at that party.
+    std::unique_ptr<mpc::StandardAdversary> adversary;
+    if (config.byzantine_party >= 0) {
+      adversary = std::make_unique<mpc::StandardAdversary>(config.byzantine);
+    }
+
+    std::vector<mpc::DetectionLog> party_logs(transports.size());
+    Stopwatch watch;
+
     std::vector<std::size_t> labels;
     std::vector<std::thread> bodies;
     std::vector<std::exception_ptr> errors(transports.size());
@@ -355,14 +415,15 @@ int main(int argc, char** argv) {
             }
           } else {
             const mpc::DetectionLog log =
-                training ? core::train_computing_party_body(*train_job, id,
-                                                            endpoint, nullptr)
-                         : core::infer_computing_party_body(*infer_job, id,
-                                                            endpoint, nullptr);
+                training ? core::train_computing_party_body(
+                               *train_job, id, endpoint, adversary.get())
+                         : core::infer_computing_party_body(
+                               *infer_job, id, endpoint, adversary.get());
             std::printf("[party %d] done: %llu opening rounds, %zu "
                         "anomalies detected\n",
                         id, static_cast<unsigned long long>(log.opens),
                         log.events.size());
+            party_logs[i] = log;
           }
         } catch (...) {
           errors[i] = std::current_exception();
@@ -394,6 +455,77 @@ int main(int argc, char** argv) {
                   static_cast<int>(transport->self()),
                   static_cast<unsigned long long>(sent_messages),
                   static_cast<double>(sent_bytes) / (1 << 20));
+    }
+
+    // --- Observability export for THIS process's hosted actors: the
+    // traffic matrices of the hosted transports merged cell-wise (each
+    // single-transport total counts the sender row only, so the merge
+    // keeps once-per-message semantics), detection tallies from the
+    // hosted computing parties, opening rounds from the lowest-id
+    // hosted honest computing party (the counters are identical at
+    // every honest party — the protocol is SPMD).
+    if (!opt.metrics_out.empty()) {
+      net::TrafficSnapshot traffic;
+      traffic.links.assign(
+          core::kNumActors,
+          std::vector<net::LinkMetrics>(core::kNumActors));
+      for (const auto& transport : transports) {
+        const net::TrafficSnapshot local = transport->traffic();
+        for (std::size_t i = 0; i < local.links.size(); ++i) {
+          for (std::size_t j = 0; j < local.links[i].size(); ++j) {
+            traffic.links[i][j].bytes += local.links[i][j].bytes;
+            traffic.links[i][j].messages += local.links[i][j].messages;
+          }
+        }
+        traffic.total_bytes += local.total_bytes;
+        traffic.total_messages += local.total_messages;
+      }
+
+      core::CostReport cost;
+      cost.wall_seconds = watch.elapsed_seconds();
+      cost.total_bytes = traffic.total_bytes;
+      cost.total_messages = traffic.total_messages;
+      for (int i = 0; i < core::kNumActors; ++i) {
+        for (int j = 0; j < core::kNumActors; ++j) {
+          const auto bytes = traffic.links[static_cast<std::size_t>(i)]
+                                          [static_cast<std::size_t>(j)]
+                                              .bytes;
+          if (i < core::kComputingParties && j < core::kComputingParties) {
+            cost.proxy_bytes += bytes;
+          } else {
+            cost.owner_bytes += bytes;
+          }
+        }
+      }
+      int rounds_party = core::kNumActors;
+      for (std::size_t i = 0; i < transports.size(); ++i) {
+        const int id = static_cast<int>(transports[i]->self());
+        if (id >= core::kComputingParties) {
+          continue;
+        }
+        const mpc::DetectionLog& log = party_logs[i];
+        cost.commitment_violations +=
+            log.count(mpc::DetectionEvent::Kind::kCommitmentViolation);
+        cost.distance_anomalies +=
+            log.count(mpc::DetectionEvent::Kind::kDistanceAnomaly);
+        cost.share_auth_failures +=
+            log.count(mpc::DetectionEvent::Kind::kShareAuthFailure);
+        cost.recovered_opens += log.recovered_opens;
+        if (id != config.byzantine_party && id < rounds_party) {
+          rounds_party = id;
+          cost.opening_rounds = log.opens;
+          cost.values_opened = log.values_opened;
+        }
+      }
+
+      core::write_metrics_export(opt.metrics_out,
+                                 obs::MetricsRegistry::global().snapshot(),
+                                 obs::EventLog::global().snapshot(), traffic,
+                                 cost);
+      std::printf("metrics export written to %s\n", opt.metrics_out.c_str());
+    }
+    if (!opt.trace_out.empty()) {
+      obs::Tracer::global().close();
     }
 
     int exit_code = 0;

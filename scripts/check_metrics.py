@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Validate a trustddl.metrics.v1 export (and optionally its trace).
+
+Stdlib only — no jsonschema dependency.  Checks, against
+docs/metrics.schema.json's contract:
+
+  * the file parses and carries the v1 schema tag;
+  * every required section and cost/traffic key is present with the
+    right type;
+  * histogram bounds are the power-of-four ladder with 16 buckets and
+    bucket counts summing to `count`;
+  * the link matrices are square and cell sums are >= the totals
+    (receipt rows of remote transports may be included; the totals are
+    sender-row-only, counting each message once);
+  * the `net.sent.bytes.*` counter sum equals traffic.total_bytes
+    (transport metering and the metrics registry agree);
+  * detection-event consistency: events are well formed and the
+    per-kind event counts match both the cost section and the
+    `detect.<kind>` counters.
+
+Usage:
+  check_metrics.py METRICS_JSON [--trace TRACE_JSONL]
+      [--expect-events N] [--expect-suspect P] [--expect-phase PH]
+
+Exit code 0 when every check passes; 1 with a message on stderr
+otherwise.
+"""
+import argparse
+import json
+import sys
+
+KINDS = {
+    "commitment_violation": "commitment_violations",
+    "distance_anomaly": "distance_anomalies",
+    "share_auth_failure": "share_auth_failures",
+}
+
+COST_KEYS = [
+    "wall_seconds", "total_bytes", "total_messages", "proxy_bytes",
+    "owner_bytes", "commitment_violations", "distance_anomalies",
+    "share_auth_failures", "recovered_opens", "opening_rounds",
+    "values_opened",
+]
+
+EVENT_KEYS = ["party", "suspect", "step", "kind", "phase", "recovery"]
+
+
+def fail(message):
+    print("check_metrics: FAIL: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def require(condition, message):
+    if not condition:
+        fail(message)
+
+
+def check_metrics_section(metrics):
+    for section in ("counters", "gauges", "histograms"):
+        require(section in metrics, "metrics missing '%s'" % section)
+    for name, value in metrics["counters"].items():
+        require(isinstance(value, int) and value >= 0,
+                "counter %r is not a non-negative integer" % name)
+    for name, gauge in metrics["gauges"].items():
+        require(set(gauge) == {"value", "peak"},
+                "gauge %r keys %r" % (name, sorted(gauge)))
+    for name, hist in metrics["histograms"].items():
+        for key in ("count", "sum", "bounds", "buckets"):
+            require(key in hist, "histogram %r missing '%s'" % (name, key))
+        require(len(hist["buckets"]) == 16,
+                "histogram %r has %d buckets" % (name, len(hist["buckets"])))
+        require(hist["bounds"] == [4 ** i for i in range(15)],
+                "histogram %r bounds are not the 4^i ladder" % name)
+        require(sum(hist["buckets"]) == hist["count"],
+                "histogram %r buckets sum %d != count %d"
+                % (name, sum(hist["buckets"]), hist["count"]))
+
+
+def check_traffic_section(traffic, counters):
+    for key in ("total_bytes", "total_messages", "links_bytes",
+                "links_messages"):
+        require(key in traffic, "traffic missing '%s'" % key)
+    for key in ("links_bytes", "links_messages"):
+        matrix = traffic[key]
+        require(len(matrix) > 0 and all(len(row) == len(matrix)
+                                        for row in matrix),
+                "traffic.%s is not a square matrix" % key)
+    cell_bytes = sum(sum(row) for row in traffic["links_bytes"])
+    cell_messages = sum(sum(row) for row in traffic["links_messages"])
+    require(cell_bytes >= traffic["total_bytes"],
+            "links_bytes cells %d < total_bytes %d"
+            % (cell_bytes, traffic["total_bytes"]))
+    require(cell_messages >= traffic["total_messages"],
+            "links_messages cells %d < total_messages %d"
+            % (cell_messages, traffic["total_messages"]))
+
+    sent_bytes = sum(value for name, value in counters.items()
+                     if name.startswith("net.sent.bytes."))
+    require(sent_bytes == traffic["total_bytes"],
+            "net.sent.bytes.* counter sum %d != traffic.total_bytes %d"
+            % (sent_bytes, traffic["total_bytes"]))
+    sent_messages = sum(value for name, value in counters.items()
+                        if name.startswith("net.sent.messages."))
+    require(sent_messages == traffic["total_messages"],
+            "net.sent.messages.* counter sum %d != traffic.total_messages %d"
+            % (sent_messages, traffic["total_messages"]))
+
+
+def check_events_section(events, cost, counters, args):
+    per_kind = {}
+    for index, event in enumerate(events):
+        for key in EVENT_KEYS:
+            require(key in event, "event %d missing '%s'" % (index, key))
+        require(event["party"] != event["suspect"],
+                "event %d: observer accuses itself" % index)
+        per_kind[event["kind"]] = per_kind.get(event["kind"], 0) + 1
+        if args.expect_suspect is not None:
+            require(event["suspect"] == args.expect_suspect,
+                    "event %d suspect %d != expected %d"
+                    % (index, event["suspect"], args.expect_suspect))
+        if args.expect_phase is not None:
+            require(event["phase"] == args.expect_phase,
+                    "event %d phase %r != expected %r"
+                    % (index, event["phase"], args.expect_phase))
+
+    for kind, cost_key in KINDS.items():
+        event_count = per_kind.get(kind, 0)
+        require(event_count == cost[cost_key],
+                "%d %s events != cost.%s %d"
+                % (event_count, kind, cost_key, cost[cost_key]))
+        counter = counters.get("detect." + kind, 0)
+        require(event_count == counter,
+                "%d %s events != detect.%s counter %d"
+                % (event_count, kind, kind, counter))
+
+    if args.expect_events is not None:
+        require(len(events) == args.expect_events,
+                "%d events != expected %d" % (len(events),
+                                              args.expect_events))
+
+
+def check_trace(path):
+    spans = 0
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail("%s:%d is not valid JSON: %s" % (path, number, error))
+            for key in ("kind", "name", "ts_us"):
+                require(key in record, "%s:%d missing '%s'"
+                        % (path, number, key))
+            require(record["kind"] in ("span", "instant", "event"),
+                    "%s:%d unknown kind %r" % (path, number, record["kind"]))
+            spans += record["kind"] == "span"
+    return spans
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", help="metrics export JSON path")
+    parser.add_argument("--trace", help="optional trace JSONL to validate")
+    parser.add_argument("--expect-events", type=int, default=None,
+                        help="require exactly N detection events")
+    parser.add_argument("--expect-suspect", type=int, default=None,
+                        help="require every event to accuse this party")
+    parser.add_argument("--expect-phase", default=None,
+                        help="require every event in this phase")
+    args = parser.parse_args()
+
+    with open(args.metrics) as handle:
+        try:
+            export = json.load(handle)
+        except json.JSONDecodeError as error:
+            fail("%s is not valid JSON: %s" % (args.metrics, error))
+
+    for section in ("schema", "metrics", "events", "traffic", "cost"):
+        require(section in export, "missing top-level '%s'" % section)
+    require(export["schema"] == "trustddl.metrics.v1",
+            "unknown schema %r" % export["schema"])
+    for key in COST_KEYS:
+        require(key in export["cost"], "cost missing '%s'" % key)
+
+    counters = export["metrics"]["counters"]
+    check_metrics_section(export["metrics"])
+    check_traffic_section(export["traffic"], counters)
+    check_events_section(export["events"], export["cost"], counters, args)
+
+    summary = ("check_metrics: OK: %d counters, %d events, "
+               "%d bytes / %d messages"
+               % (len(counters), len(export["events"]),
+                  export["traffic"]["total_bytes"],
+                  export["traffic"]["total_messages"]))
+    if args.trace:
+        summary += ", %d trace spans" % check_trace(args.trace)
+    print(summary)
+
+
+if __name__ == "__main__":
+    main()

@@ -4,8 +4,18 @@
 // level so integration tests and examples can show the recovery path.
 // The logger is process-global but all mutable state is behind a mutex
 // (CP.2: avoid data races).
+//
+// Each line carries an ISO-8601 UTC timestamp and, when the logging
+// thread has been tagged via `set_thread_party`, a `[pN]` party-id
+// prefix — so interleaved lines from the three party threads (or the
+// multi-process runner) stay attributable.  Components can be raised
+// or lowered individually with `set_component_level`; the TRUSTDDL_LOG
+// macro gates on the lock-free floor of all configured levels, so a
+// fully disabled level still costs one relaxed atomic load.
 #pragma once
 
+#include <atomic>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -17,10 +27,33 @@ enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// Process-global logging configuration and sink.
 class Logger {
  public:
+  /// Capture buffer bound: 1 MiB, then a truncation marker.
+  static constexpr std::size_t kCaptureLimit = 1u << 20;
+  static constexpr const char* kTruncationMarker =
+      "[log capture truncated at 1 MiB]\n";
+
   static Logger& instance();
 
   void set_level(LogLevel level);
   LogLevel level() const;
+
+  /// Per-component override; takes precedence over the global level
+  /// for exact component-name matches.
+  void set_component_level(const std::string& component, LogLevel level);
+  void clear_component_levels();
+  LogLevel effective_level(const std::string& component) const;
+
+  /// Lock-free lower bound of the global level and every component
+  /// override — the macro's early-out gate.  A line that passes this
+  /// floor is still re-checked against its component's effective
+  /// level in write().
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+
+  /// Tag the calling thread with a party id (shown as `[pN]`); pass a
+  /// negative value to clear.
+  static void set_thread_party(int party);
 
   /// Write one formatted line if `level` is enabled.  Thread safe.
   void write(LogLevel level, const std::string& component,
@@ -35,9 +68,14 @@ class Logger {
  private:
   Logger() = default;
 
+  void recompute_min_level_locked();
+
   mutable std::mutex mu_;
   LogLevel level_ = LogLevel::kWarn;
+  std::map<std::string, LogLevel> component_levels_;
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kWarn)};
   bool capture_ = false;
+  bool capture_truncated_ = false;
   std::string captured_;
 };
 
@@ -56,7 +94,7 @@ struct LogLine {
 
 #define TRUSTDDL_LOG(lvl, component)                                       \
   if (static_cast<int>(lvl) <                                              \
-      static_cast<int>(::trustddl::Logger::instance().level())) {          \
+      static_cast<int>(::trustddl::Logger::instance().min_level())) {      \
   } else                                                                   \
     ::trustddl::detail::LogLine(lvl, component).stream
 

@@ -5,11 +5,46 @@
 #include "common/logging.hpp"
 #include "common/stopwatch.hpp"
 #include "core/actors.hpp"
+#include "core/metrics_export.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace trustddl::core {
 namespace {
 
 constexpr const char* kLog = "core.engine";
+
+/// Arm the telemetry sinks the config asks for.  metrics_out enables
+/// the registry (never disables it — TRUSTDDL_METRICS may have turned
+/// it on process-wide) and zeroes it so the export covers exactly this
+/// run; either sink clears the detection event log.
+void begin_observation(const EngineConfig& config) {
+  if (!config.metrics_out.empty()) {
+    obs::set_metrics_enabled(true);
+    obs::MetricsRegistry::global().reset();
+  }
+  if (!config.trace_out.empty()) {
+    obs::Tracer::global().open(config.trace_out);
+  }
+  if (!config.metrics_out.empty() || !config.trace_out.empty()) {
+    obs::EventLog::global().clear();
+  }
+}
+
+void finish_observation(const EngineConfig& config,
+                        const net::Transport& transport,
+                        const CostReport& cost) {
+  if (!config.metrics_out.empty()) {
+    write_metrics_export(config.metrics_out,
+                         obs::MetricsRegistry::global().snapshot(),
+                         obs::EventLog::global().snapshot(),
+                         transport.traffic(), cost);
+  }
+  if (!config.trace_out.empty()) {
+    obs::Tracer::global().close();
+  }
+}
 
 /// Run heterogeneous actor bodies on their own threads; rethrow the
 /// first failure of an actor marked critical (honest parties, owners).
@@ -56,6 +91,7 @@ mpc::PartyContext make_party_context(const EngineConfig& config, int party,
   mpc::PartyContext pctx;
   pctx.endpoint = std::move(endpoint);
   pctx.party = party;
+  pctx.detections.party = party;
   pctx.mode = config.mode;
   pctx.frac_bits = config.frac_bits;
   pctx.dist_tolerance = config.dist_tolerance;
@@ -149,6 +185,7 @@ TrainResult TrustDdlEngine::train(const data::Dataset& train_data,
   // process-global config; pin it to this engine's setting so the
   // whole run (including plaintext evaluation) honours it.
   kernels::set_global_config(config_.kernels);
+  begin_observation(config_);
   net::Transport& transport = prepare_transport();
 
   const auto parameters = model_.parameters();
@@ -216,12 +253,14 @@ TrainResult TrustDdlEngine::train(const data::Dataset& train_data,
         model_.accuracy(test_data.images, test_data.labels));
   }
   result.cost = collect_cost(transport, wall, logs);
+  finish_observation(config_, transport, result.cost);
   return result;
 }
 
 InferResult TrustDdlEngine::infer(const data::Dataset& inputs,
                                   std::size_t batch_size) {
   kernels::set_global_config(config_.kernels);
+  begin_observation(config_);
   net::Transport& transport = prepare_transport();
 
   const InferJob job = make_infer_job(
@@ -266,6 +305,7 @@ InferResult TrustDdlEngine::infer(const data::Dataset& inputs,
   InferResult result;
   result.labels = std::move(labels);
   result.cost = collect_cost(transport, watch.elapsed_seconds(), logs);
+  finish_observation(config_, transport, result.cost);
   return result;
 }
 

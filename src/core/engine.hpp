@@ -76,6 +76,15 @@ struct EngineConfig {
   /// bit-identical at any thread count (see numeric/kernels.hpp).
   ::trustddl::kernels::KernelConfig kernels =
       ::trustddl::kernels::global_config();
+  /// Write the observability export (schema trustddl.metrics.v1; see
+  /// core/metrics_export.hpp) here after each train()/infer() call.
+  /// Setting this enables metrics collection for the run and resets
+  /// the registry + detection event log at the start of the call.
+  std::string metrics_out;
+  /// Write a protocol-phase trace (one JSON object per line) here;
+  /// opened at the start of each train()/infer() call, closed at the
+  /// end.  Tracing also captures detection events.
+  std::string trace_out;
 };
 
 struct CostReport {

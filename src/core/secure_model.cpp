@@ -2,6 +2,7 @@
 
 #include "numeric/conv.hpp"
 #include "numeric/fixed_point.hpp"
+#include "obs/trace.hpp"
 
 namespace trustddl::core {
 
@@ -83,6 +84,7 @@ void add_col_broadcast(mpc::PartyShare& matrix, const mpc::PartyShare& bias) {
 
 mpc::PartyShare SecureDense::forward(SecureExecContext& ctx,
                                      const mpc::PartyShare& input) {
+  obs::ScopedSpan span("layer.dense.forward", ctx.mpc->party, ctx.mpc->step);
   cached_input_ = input;
   const std::size_t batch = input.shape()[0];
   const std::size_t in_features = input.shape()[1];
@@ -97,6 +99,7 @@ mpc::PartyShare SecureDense::forward(SecureExecContext& ctx,
 
 mpc::PartyShare SecureDense::backward(SecureExecContext& ctx,
                                       const mpc::PartyShare& grad_output) {
+  obs::ScopedSpan span("layer.dense.backward", ctx.mpc->party, ctx.mpc->step);
   const std::size_t batch = cached_input_.shape()[0];
   const std::size_t in_features = cached_input_.shape()[1];
   const std::size_t out_features = grad_output.shape()[1];
@@ -129,6 +132,7 @@ mpc::PartyShare SecureDense::backward(SecureExecContext& ctx,
 
 mpc::PartyShare SecureConv::forward(SecureExecContext& ctx,
                                     const mpc::PartyShare& input) {
+  obs::ScopedSpan span("layer.conv.forward", ctx.mpc->party, ctx.mpc->step);
   const std::size_t batch = input.shape()[0];
   cached_batch_ = batch;
   const std::size_t pixels = spec_.col_cols();
@@ -147,6 +151,7 @@ mpc::PartyShare SecureConv::forward(SecureExecContext& ctx,
 
 mpc::PartyShare SecureConv::backward(SecureExecContext& ctx,
                                      const mpc::PartyShare& grad_output) {
+  obs::ScopedSpan span("layer.conv.backward", ctx.mpc->party, ctx.mpc->step);
   const std::size_t batch = cached_batch_;
   const std::size_t pixels = spec_.col_cols();
   const mpc::PartyShare grad_maps =
@@ -184,6 +189,7 @@ mpc::PartyShare SecureConv::backward(SecureExecContext& ctx,
 
 mpc::PartyShare SecureRelu::forward(SecureExecContext& ctx,
                                     const mpc::PartyShare& input) {
+  obs::ScopedSpan span("layer.relu.forward", ctx.mpc->party, ctx.mpc->step);
   const Shape& shape = input.shape();
   const mpc::PartyShare t_aux = ctx.triples->comp_aux(shape);
   const mpc::BeaverTripleShare triple = ctx.triples->mul_triple(shape);
@@ -196,6 +202,7 @@ mpc::PartyShare SecureRelu::forward(SecureExecContext& ctx,
 
 mpc::PartyShare SecureRelu::backward(SecureExecContext& /*ctx*/,
                                      const mpc::PartyShare& grad_output) {
+  obs::ScopedSpan span("layer.relu.backward");
   TRUSTDDL_REQUIRE(grad_output.shape() == cached_mask_.shape(),
                    "secure relu: backward before forward");
   mpc::PartyShare grad = grad_output;
@@ -205,6 +212,7 @@ mpc::PartyShare SecureRelu::backward(SecureExecContext& /*ctx*/,
 
 mpc::PartyShare SecureMaxPool::forward(SecureExecContext& ctx,
                                        const mpc::PartyShare& input) {
+  obs::ScopedSpan span("layer.maxpool.forward", ctx.mpc->party, ctx.mpc->step);
   TRUSTDDL_REQUIRE(input.shape().size() == 2 &&
                        input.shape()[1] == spec_.in_features(),
                    "secure maxpool: input shape mismatch");
@@ -305,6 +313,7 @@ mpc::PartyShare SecureMaxPool::forward(SecureExecContext& ctx,
 
 mpc::PartyShare SecureMaxPool::backward(SecureExecContext& /*ctx*/,
                                         const mpc::PartyShare& grad_output) {
+  obs::ScopedSpan span("layer.maxpool.backward");
   TRUSTDDL_REQUIRE(grad_output.shape().size() == 2 &&
                        grad_output.shape()[0] == cached_batch_ &&
                        grad_output.shape()[1] == spec_.out_features(),
@@ -324,12 +333,15 @@ mpc::PartyShare SecureMaxPool::backward(SecureExecContext& /*ctx*/,
 
 mpc::PartyShare SecureSoftmax::forward(SecureExecContext& ctx,
                                        const mpc::PartyShare& input) {
+  obs::ScopedSpan span("layer.softmax.forward", ctx.mpc->party, ctx.mpc->step);
   cached_probabilities_ = ctx.owner->softmax_forward(input);
   return cached_probabilities_;
 }
 
 mpc::PartyShare SecureSoftmax::backward(SecureExecContext& ctx,
                                         const mpc::PartyShare& grad_output) {
+  obs::ScopedSpan span("layer.softmax.backward", ctx.mpc->party,
+                       ctx.mpc->step);
   return ctx.owner->softmax_backward(cached_probabilities_, grad_output);
 }
 
@@ -375,6 +387,7 @@ SecureModel::SecureModel(const nn::ModelSpec& spec,
 
 mpc::PartyShare SecureModel::forward(SecureExecContext& ctx,
                                      const mpc::PartyShare& input) {
+  obs::ScopedSpan span("model.forward", ctx.mpc->party, ctx.mpc->step);
   mpc::PartyShare activation = input;
   for (auto& layer : layers_) {
     activation = layer->forward(ctx, activation);
@@ -384,6 +397,7 @@ mpc::PartyShare SecureModel::forward(SecureExecContext& ctx,
 
 void SecureModel::backward_from_logit_grad(
     SecureExecContext& ctx, const mpc::PartyShare& grad_logits) {
+  obs::ScopedSpan span("model.backward", ctx.mpc->party, ctx.mpc->step);
   mpc::PartyShare grad = grad_logits;
   // Skip the trailing softmax layer: the fused gradient is already
   // w.r.t. the logits.
@@ -394,6 +408,7 @@ void SecureModel::backward_from_logit_grad(
 
 void SecureModel::sgd_step(SecureExecContext& ctx, double learning_rate,
                            int frac_bits) {
+  obs::ScopedSpan span("model.sgd_step", ctx.mpc->party, ctx.mpc->step);
   const std::uint64_t lr_encoded = fx::encode(learning_rate, frac_bits);
   (void)frac_bits;
   // grad * lr is a share-times-public product at scale 2f.  The rescale

@@ -1,5 +1,7 @@
 #include "mpc/context.hpp"
 
+#include "obs/events.hpp"
+
 namespace trustddl::mpc {
 
 const char* to_string(SecurityMode mode) {
@@ -12,6 +14,40 @@ const char* to_string(SecurityMode mode) {
       return "Crash-Fault";
   }
   return "?";
+}
+
+const char* to_string(DetectionEvent::Kind kind) {
+  switch (kind) {
+    case DetectionEvent::Kind::kCommitmentViolation:
+      return "commitment_violation";
+    case DetectionEvent::Kind::kMissingMessage:
+      return "missing_message";
+    case DetectionEvent::Kind::kDistanceAnomaly:
+      return "distance_anomaly";
+    case DetectionEvent::Kind::kByzantineSuspected:
+      return "byzantine_suspected";
+    case DetectionEvent::Kind::kShareAuthFailure:
+      return "share_auth_failure";
+    case DetectionEvent::Kind::kShareCopyConflict:
+      return "share_copy_conflict";
+  }
+  return "?";
+}
+
+void DetectionLog::record(DetectionEvent::Kind kind, std::uint64_t step,
+                          int suspect, const char* phase,
+                          const char* recovery) {
+  events.push_back(DetectionEvent{kind, step, suspect, phase, recovery});
+  if (obs::events_enabled()) {
+    obs::DetectionEventRecord record;
+    record.party = party;
+    record.suspect = suspect;
+    record.step = step;
+    record.kind = to_string(kind);
+    record.phase = phase;
+    record.recovery = recovery;
+    obs::EventLog::global().record(record);
+  }
 }
 
 }  // namespace trustddl::mpc

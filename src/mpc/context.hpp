@@ -56,10 +56,20 @@ struct DetectionEvent {
   Kind kind;
   std::uint64_t step = 0;
   int suspect = -1;  ///< implicated party, -1 if unknown
+  /// Protocol phase where the anomaly surfaced ("commit", "exchange",
+  /// "decide", …) and the recovery path taken; string literals owned
+  /// by the recording call site.
+  const char* phase = "";
+  const char* recovery = "";
 };
+
+const char* to_string(DetectionEvent::Kind kind);
 
 /// Per-party tally of what the robust protocols observed.
 struct DetectionLog {
+  /// Observing party (set by core::make_party_context); only used to
+  /// attribute events in the global obs::EventLog.
+  int party = -1;
   std::vector<DetectionEvent> events;
   /// Opening ROUNDS performed (one commitment/confirmation/exchange
   /// round trip each).  A batched opening scheduled through
@@ -72,10 +82,11 @@ struct DetectionLog {
   std::uint64_t values_opened = 0;
   std::uint64_t recovered_opens = 0;    ///< openings that excluded data
 
+  /// Appends one event and mirrors it into the global structured
+  /// detection event log (obs::EventLog) when telemetry is enabled.
   void record(DetectionEvent::Kind kind, std::uint64_t step,
-              int suspect = -1) {
-    events.push_back(DetectionEvent{kind, step, suspect});
-  }
+              int suspect = -1, const char* phase = "",
+              const char* recovery = "");
 
   std::size_t count(DetectionEvent::Kind kind) const {
     std::size_t total = 0;

@@ -9,6 +9,8 @@
 #include "mpc/adversary.hpp"
 #include "numeric/kernels.hpp"
 #include "numeric/serde.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace trustddl::mpc {
 namespace {
@@ -128,6 +130,7 @@ std::vector<RingTensor> open_hbc(PartyContext& ctx,
   if (crash_fault) {
     // Heartbeat/ack round: parties confirm liveness before the
     // exchange (SafeML's crash-detection handshake).
+    obs::ScopedSpan heartbeat_span("open.heartbeat", ctx.party, step);
     const std::string ack_tag = ctx.tag(step, "hb");
     for (int peer : peers) {
       ctx.endpoint.send(peer, ack_tag, Bytes{1});
@@ -140,52 +143,55 @@ std::vector<RingTensor> open_hbc(PartyContext& ctx,
         (void)ctx.endpoint.recv(peer, ack_tag);
       } catch (const TimeoutError&) {
         ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
-                              peer);
+                              peer, "heartbeat", "reconstruct_remaining");
       }
     }
-  }
-
-  for (int peer : peers) {
-    ctx.endpoint.send(peer, share_tag, wire);
   }
 
   std::array<ReceivedTriples, kNumParties> from;
   from[static_cast<std::size_t>(ctx.party)].present = true;
   from[static_cast<std::size_t>(ctx.party)].triples = values;
-  for (int peer : peers) {
-    auto& slot = from[static_cast<std::size_t>(peer)];
-    if (crash_fault && ctx.peer_excluded(peer)) {
-      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
-                            peer);
-      continue;
+  {
+    obs::ScopedSpan exchange_span("open.exchange", ctx.party, step);
+    for (int peer : peers) {
+      ctx.endpoint.send(peer, share_tag, wire);
     }
-    try {
-      const Bytes payload = ctx.endpoint.recv(peer, share_tag);
-      slot.triples =
-          deserialize_triples(payload, /*include_duplicate=*/false);
-      if (!triples_compatible(slot.triples, values,
-                              /*include_duplicate=*/false)) {
-        throw ProtocolError("open (HbC): malformed shares from party " +
-                            std::to_string(peer));
+    for (int peer : peers) {
+      auto& slot = from[static_cast<std::size_t>(peer)];
+      if (crash_fault && ctx.peer_excluded(peer)) {
+        ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                              peer, "exchange", "reconstruct_remaining");
+        continue;
       }
-      slot.present = true;
-      ctx.note_peer_ok(peer);
-    } catch (const TimeoutError&) {
-      if (!crash_fault) {
-        throw;
+      try {
+        const Bytes payload = ctx.endpoint.recv(peer, share_tag);
+        slot.triples =
+            deserialize_triples(payload, /*include_duplicate=*/false);
+        if (!triples_compatible(slot.triples, values,
+                                /*include_duplicate=*/false)) {
+          throw ProtocolError("open (HbC): malformed shares from party " +
+                              std::to_string(peer));
+        }
+        slot.present = true;
+        ctx.note_peer_ok(peer);
+      } catch (const TimeoutError&) {
+        if (!crash_fault) {
+          throw;
+        }
+        ctx.note_peer_miss(peer);
+        ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                              peer, "exchange", "reconstruct_remaining");
+        TRUSTDDL_LOG_WARN(kLog)
+            << "party " << ctx.party << ": party " << peer
+            << " silent at step " << step
+            << " — reconstructing from remaining sets";
       }
-      ctx.note_peer_miss(peer);
-      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
-                            peer);
-      TRUSTDDL_LOG_WARN(kLog)
-          << "party " << ctx.party << ": party " << peer
-          << " silent at step " << step
-          << " — reconstructing from remaining sets";
     }
   }
 
   ctx.detections.opens += 1;
   ctx.detections.values_opened += values.size();
+  obs::ScopedSpan reconstruct_span("open.reconstruct", ctx.party, step);
   std::vector<RingTensor> opened;
   opened.reserve(values.size());
   for (std::size_t v = 0; v < values.size(); ++v) {
@@ -231,6 +237,7 @@ std::vector<RingTensor> decide_from_triples(
     const std::array<ReceivedTriples, kNumParties>& from,
     std::array<bool, kNumParties>& provider_valid, std::uint64_t step,
     const std::vector<std::size_t>& group_sizes) {
+  obs::ScopedSpan decide_span("open.decide", ctx.party, step);
   const auto peers = peers_of(ctx.party);
   // --- Share-copy cross-authentication (hardening beyond the paper;
   // see DESIGN.md §4).  Each share-1 value exists in two copies held
@@ -282,7 +289,7 @@ std::vector<RingTensor> decide_from_triples(
       if (a_mismatch[v] && provider_valid[a_index]) {
         provider_valid[a_index] = false;
         ctx.detections.record(DetectionEvent::Kind::kShareAuthFailure, step,
-                              peer_a);
+                              peer_a, "exchange", "discard_shares");
         TRUSTDDL_LOG_WARN(kLog)
             << "party " << ctx.party << ": share-copy authentication failed "
             << "for party " << peer_a << "'s primary at step " << step
@@ -291,7 +298,7 @@ std::vector<RingTensor> decide_from_triples(
       if (b_mismatch[v] && provider_valid[b_index]) {
         provider_valid[b_index] = false;
         ctx.detections.record(DetectionEvent::Kind::kShareAuthFailure, step,
-                              peer_b);
+                              peer_b, "exchange", "discard_shares");
         TRUSTDDL_LOG_WARN(kLog)
             << "party " << ctx.party << ": share-copy authentication failed "
             << "for party " << peer_b << "'s duplicate at step " << step
@@ -322,7 +329,7 @@ std::vector<RingTensor> decide_from_triples(
           component_invalid[v][conflicted][0] = true;
           component_invalid[v][conflicted][1] = true;
           ctx.detections.record(DetectionEvent::Kind::kShareCopyConflict,
-                                step);
+                                step, -1, "decide", "drop_set");
           TRUSTDDL_LOG_WARN(kLog)
               << "party " << ctx.party << ": conflicting share-1 copies for "
               << "set " << set_primary(peer_b) << " at step " << step
@@ -456,7 +463,8 @@ std::vector<RingTensor> decide_from_triples(
     }
 
     if (anomaly) {
-      ctx.detections.record(DetectionEvent::Kind::kDistanceAnomaly, step);
+      ctx.detections.record(DetectionEvent::Kind::kDistanceAnomaly, step, -1,
+                            "decide", "min_distance");
       ctx.detections.recovered_opens += 1;
       // A peer is the plausible culprit if EVERY deviating
       // reconstruction is one it can touch; exactly one such peer
@@ -480,7 +488,7 @@ std::vector<RingTensor> decide_from_triples(
       }
       if (implicated == 1) {
         ctx.detections.record(DetectionEvent::Kind::kByzantineSuspected, step,
-                              suspect);
+                              suspect, "decide", "redundant_reconstruction");
         TRUSTDDL_LOG_WARN(kLog)
             << "party " << ctx.party << ": reconstruction anomaly at step "
             << step << " implicates party " << suspect
@@ -582,147 +590,158 @@ std::vector<RingTensor> open_optimistic(
   }
 
   // --- Commit to every component separately. ---
-  // Three independent SHA-256 streams: hash them side by side (each
-  // digest's bytes are untouched — only the hashers run concurrently).
-  std::array<Sha256Digest, 3> own_digests;
-  kernels::parallel_invoke(
-      ctx.kernels,
-      {[&] { own_digests[0] = component_digest(step, ctx.party, 0, wire_triples); },
-       [&] { own_digests[1] = component_digest(step, ctx.party, 1, wire_triples); },
-       [&] { own_digests[2] = component_digest(step, ctx.party, 2, wire_triples); }});
-  const std::string commit_tag = ctx.tag(step, "c");
-  for (int peer : peers) {
-    if (ctx.adversary != nullptr &&
-        ctx.adversary->drop_messages_to(step, peer)) {
-      continue;
-    }
-    Bytes commit;
-    for (const auto& digest : own_digests) {
-      commit.insert(commit.end(), digest.begin(), digest.end());
-    }
-    ctx.endpoint.send(peer, commit_tag, std::move(commit));
-  }
   std::array<std::optional<std::array<Sha256Digest, 3>>, kNumParties>
       commitments;
-  for (int peer : peers) {
-    if (ctx.peer_excluded(peer)) {
-      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
-                            peer);
-      continue;
-    }
-    try {
-      const Bytes payload = ctx.endpoint.recv(peer, commit_tag);
-      if (payload.size() == 96) {
-        std::array<Sha256Digest, 3> digests;
-        for (int component = 0; component < 3; ++component) {
-          std::copy(payload.begin() + 32 * component,
-                    payload.begin() + 32 * (component + 1),
-                    digests[static_cast<std::size_t>(component)].begin());
-        }
-        commitments[static_cast<std::size_t>(peer)] = digests;
+  {
+    obs::ScopedSpan commit_span("open.commit", ctx.party, step);
+    // Three independent SHA-256 streams: hash them side by side (each
+    // digest's bytes are untouched — only the hashers run concurrently).
+    std::array<Sha256Digest, 3> own_digests;
+    kernels::parallel_invoke(
+        ctx.kernels,
+        {[&] { own_digests[0] = component_digest(step, ctx.party, 0, wire_triples); },
+         [&] { own_digests[1] = component_digest(step, ctx.party, 1, wire_triples); },
+         [&] { own_digests[2] = component_digest(step, ctx.party, 2, wire_triples); }});
+    const std::string commit_tag = ctx.tag(step, "c");
+    for (int peer : peers) {
+      if (ctx.adversary != nullptr &&
+          ctx.adversary->drop_messages_to(step, peer)) {
+        continue;
       }
-    } catch (const TimeoutError&) {
-      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
-                            peer);
+      Bytes commit;
+      for (const auto& digest : own_digests) {
+        commit.insert(commit.end(), digest.begin(), digest.end());
+      }
+      ctx.endpoint.send(peer, commit_tag, std::move(commit));
+    }
+    for (int peer : peers) {
+      if (ctx.peer_excluded(peer)) {
+        ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                              peer, "commit", "escalate");
+        continue;
+      }
+      try {
+        const Bytes payload = ctx.endpoint.recv(peer, commit_tag);
+        if (payload.size() == 96) {
+          std::array<Sha256Digest, 3> digests;
+          for (int component = 0; component < 3; ++component) {
+            std::copy(payload.begin() + 32 * component,
+                      payload.begin() + 32 * (component + 1),
+                      digests[static_cast<std::size_t>(component)].begin());
+          }
+          commitments[static_cast<std::size_t>(peer)] = digests;
+        }
+      } catch (const TimeoutError&) {
+        ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                              peer, "commit", "escalate");
+      }
     }
   }
 
   // --- Ack round (Algorithm 4 line 8). ---
-  const std::string ack_tag = ctx.tag(step, "a");
-  for (int peer : peers) {
-    if (ctx.adversary != nullptr &&
-        ctx.adversary->drop_messages_to(step, peer)) {
-      continue;
+  {
+    obs::ScopedSpan confirm_span("open.confirm", ctx.party, step);
+    const std::string ack_tag = ctx.tag(step, "a");
+    for (int peer : peers) {
+      if (ctx.adversary != nullptr &&
+          ctx.adversary->drop_messages_to(step, peer)) {
+        continue;
+      }
+      ctx.endpoint.send(peer, ack_tag, Bytes{1});
     }
-    ctx.endpoint.send(peer, ack_tag, Bytes{1});
-  }
-  for (int peer : peers) {
-    if (ctx.peer_excluded(peer)) {
-      continue;
-    }
-    try {
-      (void)ctx.endpoint.recv(peer, ack_tag);
-    } catch (const TimeoutError&) {
+    for (int peer : peers) {
+      if (ctx.peer_excluded(peer)) {
+        continue;
+      }
+      try {
+        (void)ctx.endpoint.recv(peer, ack_tag);
+      } catch (const TimeoutError&) {
+      }
     }
   }
 
   // --- Fast path: pair exchange. ---
-  const std::string pair_tag = ctx.tag(step, "s");
-  for (int peer : peers) {
-    if (ctx.adversary != nullptr &&
-        ctx.adversary->drop_messages_to(step, peer)) {
-      continue;
-    }
-    std::vector<PartyShare> to_send = wire_triples;
-    if (ctx.adversary != nullptr) {
-      if (auto replacement =
-              ctx.adversary->replace_shares_for(step, peer, wire_triples)) {
-        to_send = std::move(*replacement);
-      }
-    }
-    ctx.endpoint.send(peer, pair_tag,
-                      serialize_triples(to_send, /*include_duplicate=*/false));
-  }
-
   std::array<ReceivedTriples, kNumParties> pairs;
   pairs[static_cast<std::size_t>(ctx.party)].present = true;
   pairs[static_cast<std::size_t>(ctx.party)].triples = values;
   bool own_escalate = false;
-  for (int peer : peers) {
-    const auto peer_index = static_cast<std::size_t>(peer);
-    if (ctx.peer_excluded(peer)) {
-      own_escalate = true;
-      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
-                            peer);
-      continue;
+  {
+    obs::ScopedSpan exchange_span("open.exchange", ctx.party, step);
+    const std::string pair_tag = ctx.tag(step, "s");
+    for (int peer : peers) {
+      if (ctx.adversary != nullptr &&
+          ctx.adversary->drop_messages_to(step, peer)) {
+        continue;
+      }
+      std::vector<PartyShare> to_send = wire_triples;
+      if (ctx.adversary != nullptr) {
+        if (auto replacement =
+                ctx.adversary->replace_shares_for(step, peer, wire_triples)) {
+          to_send = std::move(*replacement);
+        }
+      }
+      ctx.endpoint.send(
+          peer, pair_tag,
+          serialize_triples(to_send, /*include_duplicate=*/false));
     }
-    try {
-      const Bytes payload = ctx.endpoint.recv(peer, pair_tag);
-      pairs[peer_index].triples =
-          deserialize_triples(payload, /*include_duplicate=*/false);
-      if (!triples_compatible(pairs[peer_index].triples, values,
-                              /*include_duplicate=*/false)) {
-        throw SerializationError("structurally invalid pair");
+
+    for (int peer : peers) {
+      const auto peer_index = static_cast<std::size_t>(peer);
+      if (ctx.peer_excluded(peer)) {
+        own_escalate = true;
+        ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                              peer, "exchange", "escalate");
+        continue;
       }
-      pairs[peer_index].present = true;
-      bool hashes_ok = commitments[peer_index].has_value();
-      if (hashes_ok) {
-        // The pair carries components 0 and 2; verify both digests
-        // concurrently (each stream is hashed whole, byte-identical).
-        Sha256Digest digest0;
-        Sha256Digest digest2;
-        kernels::parallel_invoke(
-            ctx.kernels,
-            {[&] {
-               digest0 =
-                   component_digest(step, peer, 0, pairs[peer_index].triples);
-             },
-             [&] {
-               digest2 =
-                   component_digest(step, peer, 2, pairs[peer_index].triples);
-             }});
-        hashes_ok = (*commitments[peer_index])[0] == digest0 &&
-                    (*commitments[peer_index])[2] == digest2;
-      }
-      if (!hashes_ok) {
+      try {
+        const Bytes payload = ctx.endpoint.recv(peer, pair_tag);
+        pairs[peer_index].triples =
+            deserialize_triples(payload, /*include_duplicate=*/false);
+        if (!triples_compatible(pairs[peer_index].triples, values,
+                                /*include_duplicate=*/false)) {
+          throw SerializationError("structurally invalid pair");
+        }
+        pairs[peer_index].present = true;
+        bool hashes_ok = commitments[peer_index].has_value();
+        if (hashes_ok) {
+          // The pair carries components 0 and 2; verify both digests
+          // concurrently (each stream is hashed whole, byte-identical).
+          Sha256Digest digest0;
+          Sha256Digest digest2;
+          kernels::parallel_invoke(
+              ctx.kernels,
+              {[&] {
+                 digest0 =
+                     component_digest(step, peer, 0, pairs[peer_index].triples);
+               },
+               [&] {
+                 digest2 =
+                     component_digest(step, peer, 2, pairs[peer_index].triples);
+               }});
+          hashes_ok = (*commitments[peer_index])[0] == digest0 &&
+                      (*commitments[peer_index])[2] == digest2;
+        }
+        if (!hashes_ok) {
+          own_escalate = true;
+          ctx.detections.record(DetectionEvent::Kind::kCommitmentViolation,
+                                step, peer, "exchange", "escalate");
+        }
+      } catch (const TimeoutError&) {
+        own_escalate = true;
+        ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                              peer, "exchange", "escalate");
+      } catch (const SerializationError&) {
         own_escalate = true;
         ctx.detections.record(DetectionEvent::Kind::kCommitmentViolation,
-                              step, peer);
+                              step, peer, "exchange", "escalate");
       }
-    } catch (const TimeoutError&) {
-      own_escalate = true;
-      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
-                            peer);
-    } catch (const SerializationError&) {
-      own_escalate = true;
-      ctx.detections.record(DetectionEvent::Kind::kCommitmentViolation, step,
-                            peer);
     }
   }
 
   // Three set reconstructions; any disagreement forces escalation.
   std::vector<std::array<RingTensor, kNumSets>> sets(values.size());
   if (!own_escalate) {
+    obs::ScopedSpan reconstruct_span("open.reconstruct", ctx.party, step);
     for (std::size_t v = 0; v < values.size() && !own_escalate; ++v) {
       for (int set = 0; set < kNumSets; ++set) {
         sets[v][static_cast<std::size_t>(set)] =
@@ -740,7 +759,7 @@ std::vector<RingTensor> open_optimistic(
               ctx.dist_tolerance) {
             own_escalate = true;
             ctx.detections.record(DetectionEvent::Kind::kDistanceAnomaly,
-                                  step);
+                                  step, -1, "reconstruct", "escalate");
             break;
           }
         }
@@ -750,41 +769,45 @@ std::vector<RingTensor> open_optimistic(
 
   // --- Verdict broadcast + forwarding (keeps honest escalation
   // decisions in agreement even under equivocation). ---
-  const std::string verdict_tag = ctx.tag(step, "v");
-  const std::string forward_tag = ctx.tag(step, "w");
-  for (int peer : peers) {
-    ctx.endpoint.send(peer, verdict_tag,
-                      Bytes{own_escalate ? std::uint8_t{1} : std::uint8_t{0}});
-  }
   bool escalate = own_escalate;
-  std::array<std::uint8_t, 2> received_verdicts{1, 1};  // missing => escalate
-  for (std::size_t i = 0; i < peers.size(); ++i) {
-    if (ctx.peer_excluded(peers[i])) {
-      escalate = true;
-      continue;
+  {
+    obs::ScopedSpan verdict_span("open.verdict", ctx.party, step);
+    const std::string verdict_tag = ctx.tag(step, "v");
+    const std::string forward_tag = ctx.tag(step, "w");
+    for (int peer : peers) {
+      ctx.endpoint.send(
+          peer, verdict_tag,
+          Bytes{own_escalate ? std::uint8_t{1} : std::uint8_t{0}});
     }
-    try {
-      const Bytes verdict = ctx.endpoint.recv(peers[i], verdict_tag);
-      received_verdicts[i] = verdict.empty() ? 1 : verdict[0];
-    } catch (const TimeoutError&) {
+    std::array<std::uint8_t, 2> received_verdicts{1, 1};  // missing => escalate
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      if (ctx.peer_excluded(peers[i])) {
+        escalate = true;
+        continue;
+      }
+      try {
+        const Bytes verdict = ctx.endpoint.recv(peers[i], verdict_tag);
+        received_verdicts[i] = verdict.empty() ? 1 : verdict[0];
+      } catch (const TimeoutError&) {
+      }
+      escalate = escalate || received_verdicts[i] != 0;
     }
-    escalate = escalate || received_verdicts[i] != 0;
-  }
-  for (std::size_t i = 0; i < peers.size(); ++i) {
-    // Forward the OTHER peer\'s verdict to this peer.
-    ctx.endpoint.send(peers[i], forward_tag,
-                      Bytes{received_verdicts[1 - i]});
-  }
-  for (int peer : peers) {
-    if (ctx.peer_excluded(peer)) {
-      escalate = true;
-      continue;
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      // Forward the OTHER peer\'s verdict to this peer.
+      ctx.endpoint.send(peers[i], forward_tag,
+                        Bytes{received_verdicts[1 - i]});
     }
-    try {
-      const Bytes forwarded = ctx.endpoint.recv(peer, forward_tag);
-      escalate = escalate || forwarded.empty() || forwarded[0] != 0;
-    } catch (const TimeoutError&) {
-      escalate = true;
+    for (int peer : peers) {
+      if (ctx.peer_excluded(peer)) {
+        escalate = true;
+        continue;
+      }
+      try {
+        const Bytes forwarded = ctx.endpoint.recv(peer, forward_tag);
+        escalate = escalate || forwarded.empty() || forwarded[0] != 0;
+      } catch (const TimeoutError&) {
+        escalate = true;
+      }
     }
   }
 
@@ -806,6 +829,7 @@ std::vector<RingTensor> open_optimistic(
                           << ": optimistic opening escalated at step "
                           << step;
   ctx.detections.recovered_opens += 1;
+  obs::ScopedSpan escalate_span("open.escalate", ctx.party, step);
   const std::string full_tag = ctx.tag(step, "s2");
   for (int peer : peers) {
     if (ctx.adversary != nullptr &&
@@ -831,7 +855,7 @@ std::vector<RingTensor> open_optimistic(
     const auto peer_index = static_cast<std::size_t>(peer);
     if (ctx.peer_excluded(peer)) {
       ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
-                            peer);
+                            peer, "escalate", "reconstruct_remaining");
       continue;
     }
     try {
@@ -854,15 +878,15 @@ std::vector<RingTensor> open_optimistic(
       ctx.note_peer_ok(peer);
       if (!commit_ok) {
         ctx.detections.record(DetectionEvent::Kind::kCommitmentViolation,
-                              step, peer);
+                              step, peer, "escalate", "discard_shares");
       }
     } catch (const TimeoutError&) {
       ctx.note_peer_miss(peer);
       ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
-                            peer);
+                            peer, "escalate", "reconstruct_remaining");
     } catch (const SerializationError&) {
       ctx.detections.record(DetectionEvent::Kind::kCommitmentViolation, step,
-                            peer);
+                            peer, "escalate", "discard_shares");
     }
   }
   return decide_from_triples(ctx, values, from, provider_valid, step,
@@ -903,126 +927,138 @@ std::vector<RingTensor> open_values_grouped(
   const Sha256Digest own_digest = commitment_digest(step, ctx.party, wire);
 
   // --- Round 1: commitment phase (Algorithm 4 lines 3-7). ---
-  const std::string commit_tag = ctx.tag(step, "c");
-  for (int peer : peers) {
-    if (ctx.adversary != nullptr &&
-        ctx.adversary->drop_messages_to(step, peer)) {
-      continue;
-    }
-    Bytes commit(own_digest.begin(), own_digest.end());
-    ctx.endpoint.send(peer, commit_tag, std::move(commit));
-  }
   std::array<std::optional<Sha256Digest>, kNumParties> commitments;
-  for (int peer : peers) {
-    if (ctx.peer_excluded(peer)) {
-      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
-                            peer);
-      continue;
-    }
-    try {
-      const Bytes payload = ctx.endpoint.recv(peer, commit_tag);
-      if (payload.size() == 32) {
-        Sha256Digest digest;
-        std::copy(payload.begin(), payload.end(), digest.begin());
-        commitments[static_cast<std::size_t>(peer)] = digest;
+  {
+    obs::ScopedSpan commit_span("open.commit", ctx.party, step);
+    const std::string commit_tag = ctx.tag(step, "c");
+    for (int peer : peers) {
+      if (ctx.adversary != nullptr &&
+          ctx.adversary->drop_messages_to(step, peer)) {
+        continue;
       }
-    } catch (const TimeoutError&) {
-      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step, peer);
-      TRUSTDDL_LOG_WARN(kLog) << "party " << ctx.party
-                              << ": no commitment from party " << peer
-                              << " at step " << step;
+      Bytes commit(own_digest.begin(), own_digest.end());
+      ctx.endpoint.send(peer, commit_tag, std::move(commit));
+    }
+    for (int peer : peers) {
+      if (ctx.peer_excluded(peer)) {
+        ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                              peer, "commit", "discard_shares");
+        continue;
+      }
+      try {
+        const Bytes payload = ctx.endpoint.recv(peer, commit_tag);
+        if (payload.size() == 32) {
+          Sha256Digest digest;
+          std::copy(payload.begin(), payload.end(), digest.begin());
+          commitments[static_cast<std::size_t>(peer)] = digest;
+        }
+      } catch (const TimeoutError&) {
+        ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                              peer, "commit", "discard_shares");
+        TRUSTDDL_LOG_WARN(kLog) << "party " << ctx.party
+                                << ": no commitment from party " << peer
+                                << " at step " << step;
+      }
     }
   }
 
   // --- Round 2: confirm receipt (Algorithm 4 line 8). ---
-  const std::string ack_tag = ctx.tag(step, "a");
-  for (int peer : peers) {
-    if (ctx.adversary != nullptr &&
-        ctx.adversary->drop_messages_to(step, peer)) {
-      continue;
+  {
+    obs::ScopedSpan confirm_span("open.confirm", ctx.party, step);
+    const std::string ack_tag = ctx.tag(step, "a");
+    for (int peer : peers) {
+      if (ctx.adversary != nullptr &&
+          ctx.adversary->drop_messages_to(step, peer)) {
+        continue;
+      }
+      ctx.endpoint.send(peer, ack_tag, Bytes{1});
     }
-    ctx.endpoint.send(peer, ack_tag, Bytes{1});
-  }
-  for (int peer : peers) {
-    if (ctx.peer_excluded(peer)) {
-      continue;
-    }
-    try {
-      (void)ctx.endpoint.recv(peer, ack_tag);
-    } catch (const TimeoutError&) {
-      // A missing ack cannot block the opening: proceed; the peer's
-      // shares will simply fail the commitment check if inconsistent.
+    for (int peer : peers) {
+      if (ctx.peer_excluded(peer)) {
+        continue;
+      }
+      try {
+        (void)ctx.endpoint.recv(peer, ack_tag);
+      } catch (const TimeoutError&) {
+        // A missing ack cannot block the opening: proceed; the peer's
+        // shares will simply fail the commitment check if inconsistent.
+      }
     }
   }
 
   // --- Round 3: share exchange + commitment check (lines 9-14). ---
-  const std::string share_tag = ctx.tag(step, "s");
-  for (int peer : peers) {
-    if (ctx.adversary != nullptr &&
-        ctx.adversary->drop_messages_to(step, peer)) {
-      continue;
-    }
-    Bytes to_send = wire;
-    if (ctx.adversary != nullptr) {
-      // Case 1/2: shares sent may differ from the committed ones.
-      if (auto replacement =
-              ctx.adversary->replace_shares_for(step, peer, wire_triples)) {
-        to_send = serialize_triples(*replacement, /*include_duplicate=*/true);
-      }
-    }
-    ctx.endpoint.send(peer, share_tag, std::move(to_send));
-  }
-
   std::array<ReceivedTriples, kNumParties> from;
   std::array<bool, kNumParties> provider_valid{};
   from[static_cast<std::size_t>(ctx.party)].present = true;
   from[static_cast<std::size_t>(ctx.party)].triples = values;
   provider_valid[static_cast<std::size_t>(ctx.party)] = true;
-
-  for (int peer : peers) {
-    const auto peer_index = static_cast<std::size_t>(peer);
-    if (ctx.peer_excluded(peer)) {
-      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
-                            peer);
-      continue;
+  {
+    obs::ScopedSpan exchange_span("open.exchange", ctx.party, step);
+    const std::string share_tag = ctx.tag(step, "s");
+    for (int peer : peers) {
+      if (ctx.adversary != nullptr &&
+          ctx.adversary->drop_messages_to(step, peer)) {
+        continue;
+      }
+      Bytes to_send = wire;
+      if (ctx.adversary != nullptr) {
+        // Case 1/2: shares sent may differ from the committed ones.
+        if (auto replacement =
+                ctx.adversary->replace_shares_for(step, peer, wire_triples)) {
+          to_send =
+              serialize_triples(*replacement, /*include_duplicate=*/true);
+        }
+      }
+      ctx.endpoint.send(peer, share_tag, std::move(to_send));
     }
-    try {
-      const Bytes payload = ctx.endpoint.recv(peer, share_tag);
-      const Sha256Digest received_digest =
-          commitment_digest(step, peer, payload);
-      from[peer_index].triples =
-          deserialize_triples(payload, /*include_duplicate=*/true);
-      if (!triples_compatible(from[peer_index].triples, values,
-                              /*include_duplicate=*/true)) {
-        throw SerializationError("structurally invalid triples");
+
+    for (int peer : peers) {
+      const auto peer_index = static_cast<std::size_t>(peer);
+      if (ctx.peer_excluded(peer)) {
+        ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                              peer, "exchange", "reconstruct_remaining");
+        continue;
       }
-      from[peer_index].present = true;
-      const bool commit_ok =
-          commitments[peer_index].has_value() &&
-          *commitments[peer_index] == received_digest;
-      provider_valid[peer_index] = commit_ok;
-      ctx.note_peer_ok(peer);
-      if (!commit_ok) {
+      try {
+        const Bytes payload = ctx.endpoint.recv(peer, share_tag);
+        const Sha256Digest received_digest =
+            commitment_digest(step, peer, payload);
+        from[peer_index].triples =
+            deserialize_triples(payload, /*include_duplicate=*/true);
+        if (!triples_compatible(from[peer_index].triples, values,
+                                /*include_duplicate=*/true)) {
+          throw SerializationError("structurally invalid triples");
+        }
+        from[peer_index].present = true;
+        const bool commit_ok =
+            commitments[peer_index].has_value() &&
+            *commitments[peer_index] == received_digest;
+        provider_valid[peer_index] = commit_ok;
+        ctx.note_peer_ok(peer);
+        if (!commit_ok) {
+          ctx.detections.record(DetectionEvent::Kind::kCommitmentViolation,
+                                step, peer, "exchange", "discard_shares");
+          TRUSTDDL_LOG_WARN(kLog)
+              << "party " << ctx.party
+              << ": commitment check failed for party " << peer << " at step "
+              << step << " — discarding its shares";
+        }
+      } catch (const TimeoutError&) {
+        ctx.note_peer_miss(peer);
+        ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step,
+                              peer, "exchange", "reconstruct_remaining");
+        TRUSTDDL_LOG_WARN(kLog) << "party " << ctx.party
+                                << ": no shares from party " << peer
+                                << " at step " << step;
+      } catch (const SerializationError&) {
         ctx.detections.record(DetectionEvent::Kind::kCommitmentViolation,
-                              step, peer);
-        TRUSTDDL_LOG_WARN(kLog)
-            << "party " << ctx.party << ": commitment check failed for party "
-            << peer << " at step " << step << " — discarding its shares";
+                              step, peer, "exchange", "discard_shares");
       }
-    } catch (const TimeoutError&) {
-      ctx.note_peer_miss(peer);
-      ctx.detections.record(DetectionEvent::Kind::kMissingMessage, step, peer);
-      TRUSTDDL_LOG_WARN(kLog) << "party " << ctx.party
-                              << ": no shares from party " << peer
-                              << " at step " << step;
-    } catch (const SerializationError&) {
-      ctx.detections.record(DetectionEvent::Kind::kCommitmentViolation, step,
-                            peer);
     }
   }
 
-return decide_from_triples(ctx, values, from, provider_valid, step,
-                           group_sizes);
+  return decide_from_triples(ctx, values, from, provider_valid, step,
+                             group_sizes);
 }
 
 std::vector<RingTensor> open_values(PartyContext& ctx,
@@ -1086,6 +1122,15 @@ void OpenBatch::flush() {
   for (const PendingOpen& entry : dispatch) {
     group_sizes.push_back(entry.count);
   }
+  if (obs::metrics_enabled()) {
+    obs::count("open.batch.flushes");
+    obs::count("open.batch.values", values.size());
+    obs::count("open.batch.groups", group_sizes.size());
+  }
+  obs::trace_instant("open.flush", ctx_.party, ctx_.step,
+                     "\"values\": " + std::to_string(values.size()) +
+                         ", \"groups\": " +
+                         std::to_string(group_sizes.size()));
   std::vector<RingTensor> opened =
       open_values_grouped(ctx_, values, group_sizes);
 

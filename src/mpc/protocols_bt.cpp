@@ -2,6 +2,7 @@
 
 #include "numeric/fixed_point.hpp"
 #include "numeric/kernels.hpp"
+#include "obs/trace.hpp"
 
 namespace trustddl::mpc {
 namespace {
@@ -41,14 +42,19 @@ DeferredShare masked_multiply_prepare(OpenBatch& batch, const PartyShare& x,
                                       const BeaverTripleShare& triple,
                                       const ProductFn& product) {
   DeferredShare out;
+  const int party = batch.context().party;
   std::vector<PartyShare> masked;
-  masked.push_back(x - triple.a);
-  masked.push_back(y - triple.b);
-  batch.enqueue(std::move(masked),
-                [out, triple, product](std::vector<RingTensor> opened) mutable {
-                  out.set(combine_with_triple(opened[0], opened[1], triple,
-                                              product));
-                });
+  {
+    obs::ScopedSpan mask_span("proto.mask", party, batch.context().step);
+    masked.push_back(x - triple.a);
+    masked.push_back(y - triple.b);
+  }
+  batch.enqueue(
+      std::move(masked),
+      [out, triple, product, party](std::vector<RingTensor> opened) mutable {
+        obs::ScopedSpan combine_span("proto.combine", party);
+        out.set(combine_with_triple(opened[0], opened[1], triple, product));
+      });
   return out;
 }
 
@@ -203,6 +209,7 @@ DeferredShare sec_matmul_bt_rescaled_prepare(
 
 PartyShare sec_mul_bt(PartyContext& ctx, const PartyShare& x,
                       const PartyShare& y, const BeaverTripleShare& triple) {
+  obs::ScopedSpan span("proto.sec_mul_bt", ctx.party, ctx.step);
   OpenBatch batch(ctx);
   DeferredShare z = sec_mul_bt_prepare(batch, x, y, triple);
   batch.flush_all();
@@ -212,6 +219,7 @@ PartyShare sec_mul_bt(PartyContext& ctx, const PartyShare& x,
 PartyShare sec_matmul_bt(PartyContext& ctx, const PartyShare& x,
                          const PartyShare& y,
                          const BeaverTripleShare& triple) {
+  obs::ScopedSpan span("proto.sec_matmul_bt", ctx.party, ctx.step);
   OpenBatch batch(ctx);
   DeferredShare z = sec_matmul_bt_prepare(batch, x, y, triple);
   batch.flush_all();
@@ -221,6 +229,7 @@ PartyShare sec_matmul_bt(PartyContext& ctx, const PartyShare& x,
 RingTensor sec_comp_bt(PartyContext& ctx, const PartyShare& x,
                        const PartyShare& y, const PartyShare& t_aux,
                        const BeaverTripleShare& triple) {
+  obs::ScopedSpan span("proto.sec_comp_bt", ctx.party, ctx.step);
   OpenBatch batch(ctx);
   DeferredTensor signs = sec_comp_bt_prepare(batch, x, y, t_aux, triple);
   batch.flush_all();

@@ -6,6 +6,7 @@
 #include "numeric/fixed_point.hpp"
 #include "numeric/kernels.hpp"
 #include "numeric/serde.hpp"
+#include "obs/trace.hpp"
 
 namespace trustddl::mpc {
 namespace {
@@ -200,6 +201,7 @@ Deferred<RingTensor> sec_comp_prepare(PlainOpenBatch& batch,
 RingTensor sec_mul(PlainContext& ctx, const RingTensor& x_share,
                    const RingTensor& y_share, const PlainTriple& triple,
                    int designated) {
+  obs::ScopedSpan span("proto.sec_mul", ctx.party);
   PlainOpenBatch batch(ctx, designated);
   Deferred<RingTensor> z = sec_mul_prepare(batch, x_share, y_share, triple);
   batch.flush_all();
@@ -209,6 +211,7 @@ RingTensor sec_mul(PlainContext& ctx, const RingTensor& x_share,
 RingTensor sec_matmul(PlainContext& ctx, const RingTensor& x_share,
                       const RingTensor& y_share, const PlainTriple& triple,
                       int designated) {
+  obs::ScopedSpan span("proto.sec_matmul", ctx.party);
   PlainOpenBatch batch(ctx, designated);
   Deferred<RingTensor> z = sec_matmul_prepare(batch, x_share, y_share, triple);
   batch.flush_all();
@@ -218,6 +221,7 @@ RingTensor sec_matmul(PlainContext& ctx, const RingTensor& x_share,
 RingTensor sec_comp(PlainContext& ctx, const RingTensor& x_share,
                     const RingTensor& y_share, const RingTensor& t_share,
                     const PlainTriple& triple, int designated) {
+  obs::ScopedSpan span("proto.sec_comp", ctx.party);
   PlainOpenBatch batch(ctx, designated);
   Deferred<RingTensor> signs =
       sec_comp_prepare(batch, x_share, y_share, t_share, triple);

@@ -2,13 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace trustddl::net {
+namespace {
+
+/// Aggregate queued-message depth across every mailbox in the
+/// process; the peak is the interesting number (how far receivers
+/// fall behind senders).
+obs::Gauge& depth_gauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::global().gauge("net.mailbox.depth");
+  return gauge;
+}
+
+}  // namespace
 
 void TagMailbox::push(Message message, Clock::time_point deliver_at) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     pending_.push_back(Entry{std::move(message), deliver_at});
   }
+  depth_gauge().add(1);
   cv_.notify_all();
 }
 
@@ -28,6 +43,7 @@ std::optional<Bytes> TagMailbox::recv(const std::string& tag,
       if (it->deliver_at <= now) {
         Bytes payload = std::move(it->message.payload);
         pending_.erase(it);
+        depth_gauge().sub(1);
         return payload;
       }
       next_wake = std::min(next_wake, it->deliver_at);
@@ -53,6 +69,7 @@ bool TagMailbox::try_recv(const std::string& tag, Bytes& out) {
   }
   out = std::move(it->message.payload);
   pending_.erase(it);
+  depth_gauge().sub(1);
   return true;
 }
 

@@ -1,8 +1,27 @@
 #include "net/network.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace trustddl::net {
+namespace {
+
+/// Cached registry references — stable for the process lifetime, so
+/// the enabled hot path skips the name lookup.
+obs::Histogram& recv_wait_histogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::global().histogram("net.recv_wait_us");
+  return histogram;
+}
+
+obs::Histogram& msg_bytes_histogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::global().histogram("net.msg_bytes");
+  return histogram;
+}
+
+}  // namespace
 
 Network::Network(NetworkConfig config) : config_(config) {
   TRUSTDDL_REQUIRE(config_.num_parties >= 2, "network needs >= 2 parties");
@@ -28,6 +47,12 @@ void Network::send(Message message) {
                               [static_cast<std::size_t>(message.receiver)];
     link.messages += 1;
     link.bytes += message.wire_size();
+  }
+  if (obs::metrics_enabled()) {
+    const std::string cls = tag_class(message.tag);
+    obs::count("net.sent.messages." + cls);
+    obs::count("net.sent.bytes." + cls, message.wire_size());
+    msg_bytes_histogram().observe(message.wire_size());
   }
 
   FaultDecision decision;
@@ -65,7 +90,12 @@ Bytes Network::blocking_recv(PartyId receiver, PartyId from,
                              std::chrono::milliseconds timeout) {
   TRUSTDDL_REQUIRE(from >= 0 && from < config_.num_parties,
                    "recv: sender out of range");
+  const bool timed = obs::metrics_enabled();
+  const std::uint64_t start_us = timed ? obs::now_us() : 0;
   auto payload = mailbox(receiver, from).recv(tag, timeout);
+  if (timed) {
+    recv_wait_histogram().observe(obs::now_us() - start_us);
+  }
   if (!payload) {
     throw_recv_timeout(receiver, from, tag);
   }

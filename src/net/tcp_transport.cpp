@@ -15,6 +15,8 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace trustddl::net {
 namespace {
@@ -376,6 +378,12 @@ void TcpTransport::send(Message message) {
     link.messages += 1;
     link.bytes += message.wire_size();
   }
+  if (obs::metrics_enabled()) {
+    const std::string cls = tag_class(message.tag);
+    obs::count("net.sent.messages." + cls);
+    obs::count("net.sent.bytes." + cls, message.wire_size());
+    obs::observe("net.msg_bytes", message.wire_size());
+  }
 
   FaultDecision decision;
   {
@@ -422,7 +430,12 @@ Bytes TcpTransport::blocking_recv(PartyId receiver, PartyId from,
                    "TcpTransport can only receive as its own party");
   TRUSTDDL_REQUIRE(from >= 0 && from < config_.num_parties && from != self_,
                    "recv: sender out of range");
+  const bool timed = obs::metrics_enabled();
+  const std::uint64_t start_us = timed ? obs::now_us() : 0;
   auto payload = inboxes_[static_cast<std::size_t>(from)]->recv(tag, timeout);
+  if (timed) {
+    obs::observe("net.recv_wait_us", obs::now_us() - start_us);
+  }
   if (!payload) {
     throw_recv_timeout(receiver, from, tag);
   }
@@ -446,11 +459,13 @@ TrafficSnapshot TcpTransport::traffic() const {
   std::lock_guard<std::mutex> lock(metrics_mu_);
   TrafficSnapshot snapshot;
   snapshot.links = link_metrics_;
-  for (const auto& row : link_metrics_) {
-    for (const auto& link : row) {
-      snapshot.total_messages += link.messages;
-      snapshot.total_bytes += link.bytes;
-    }
+  // The matrix holds both this party's sends (row self_) and its
+  // receipts (column self_); the totals count each message once — the
+  // sender row only — matching the in-memory network's semantics.
+  // Receipt cells stay in `links` so callers can verify delivery.
+  for (const auto& link : link_metrics_[static_cast<std::size_t>(self_)]) {
+    snapshot.total_messages += link.messages;
+    snapshot.total_bytes += link.bytes;
   }
   return snapshot;
 }

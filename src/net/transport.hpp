@@ -65,6 +65,15 @@ struct TrafficSnapshot {
   double total_megabytes() const {
     return static_cast<double>(total_bytes) / (1024.0 * 1024.0);
   }
+
+  /// Zero every link counter and the totals (the matrix shape is
+  /// kept).
+  void reset();
+
+  /// Per-link and total deltas since `before` (which must have the
+  /// same matrix shape, or be empty).  Lets benches and the metrics
+  /// layer measure a section of a run without re-creating transports.
+  TrafficSnapshot diff(const TrafficSnapshot& before) const;
 };
 
 class Transport;
@@ -150,5 +159,12 @@ class Transport {
 /// on the message) agree.
 [[noreturn]] void throw_recv_timeout(PartyId receiver, PartyId from,
                                      const std::string& tag);
+
+/// Collapse a message tag into its protocol class for per-class
+/// metrics: the last '/'-separated segment ("12/c" -> "c",
+/// "7/s2" -> "s2"), falling back to the first segment when the last is
+/// purely numeric ("init/3" -> "init", "e/0/p/2" -> "e").  Tags with
+/// no '/' map to themselves.
+std::string tag_class(const std::string& tag);
 
 }  // namespace trustddl::net

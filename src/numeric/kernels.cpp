@@ -10,9 +10,46 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace trustddl::kernels {
 namespace {
+
+// Pool instrumentation.  Function-local statics cache the registry
+// references so the enabled path costs one relaxed RMW and the
+// disabled path one relaxed load (inside Counter::add / the explicit
+// metrics_enabled() gates around clock reads).
+obs::Counter& jobs_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("kernels.jobs");
+  return counter;
+}
+obs::Counter& inline_runs_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("kernels.inline_runs");
+  return counter;
+}
+obs::Counter& caller_chunks_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("kernels.chunks.caller");
+  return counter;
+}
+obs::Counter& worker_chunks_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("kernels.chunks.worker");
+  return counter;
+}
+obs::Histogram& caller_wait_histogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::global().histogram("kernels.caller_wait_us");
+  return histogram;
+}
+obs::Histogram& worker_idle_histogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::global().histogram("kernels.worker_idle_us");
+  return histogram;
+}
 
 /// True on pool worker threads: nested parallel sections run inline
 /// there, which both avoids deadlock (a worker never blocks waiting on
@@ -114,11 +151,19 @@ class ThreadPool {
     std::size_t chunk;
     while ((chunk = job->next.fetch_add(1, std::memory_order_relaxed)) <
            job->total) {
+      caller_chunks_counter().add(1);
       job->execute(chunk);
     }
 
+    // Time only the wait for chunks still running on workers — that
+    // tail is the pool's load-balance quality signal.
+    const bool timed = obs::metrics_enabled();
+    const std::uint64_t wait_start_us = timed ? obs::now_us() : 0;
     std::unique_lock<std::mutex> lock(job->mutex);
     job->done_cv.wait(lock, [&] { return job->done >= job->total; });
+    if (timed) {
+      caller_wait_histogram().observe(obs::now_us() - wait_start_us);
+    }
     if (job->error) {
       std::rethrow_exception(job->error);
     }
@@ -141,7 +186,12 @@ class ThreadPool {
     t_in_pool_worker = true;
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
+      const bool timed = obs::metrics_enabled();
+      const std::uint64_t idle_start_us = timed ? obs::now_us() : 0;
       queue_cv_.wait(lock, [&] { return stopping_ || !jobs_.empty(); });
+      if (timed) {
+        worker_idle_histogram().observe(obs::now_us() - idle_start_us);
+      }
       if (stopping_) {
         return;
       }
@@ -157,6 +207,7 @@ class ThreadPool {
         continue;
       }
       lock.unlock();
+      worker_chunks_counter().add(1);
       job->execute(chunk);
       lock.lock();
     }
@@ -195,9 +246,11 @@ void run_chunked(const KernelConfig& config, std::size_t count,
   }
   const std::size_t chunks = plan_chunk_count(config, count, grain);
   if (chunks <= 1 || t_in_pool_worker) {
+    inline_runs_counter().add(1);
     body(0, 0, count);
     return;
   }
+  jobs_counter().add(1);
   auto job = std::make_shared<Job>();
   job->total = chunks;
   job->run_chunk = [&body, count, chunks](std::size_t chunk) {

@@ -1,0 +1,68 @@
+#include "obs/events.hpp"
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace trustddl::obs {
+
+bool events_enabled() { return metrics_enabled() || tracing_enabled(); }
+
+EventLog& EventLog::global() {
+  static EventLog* log = new EventLog();
+  return *log;
+}
+
+void EventLog::record(const DetectionEventRecord& event) {
+  if (!events_enabled()) {
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+  }
+  count(std::string("detect.") + event.kind);
+  if (tracing_enabled()) {
+    std::ostringstream extra;
+    extra << "\"suspect\": " << event.suspect << ", \"phase\": \""
+          << event.phase << "\", \"recovery\": \"" << event.recovery << "\"";
+    Tracer::global().emit("event", event.kind, event.party, event.step,
+                          now_us(), 0, extra.str());
+  }
+}
+
+std::vector<DetectionEventRecord> EventLog::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t EventLog::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void EventLog::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::string EventLog::to_json(
+    const std::vector<DetectionEventRecord>& events) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& event = events[i];
+    if (i != 0) {
+      out << ", ";
+    }
+    out << "{\"party\": " << event.party << ", \"suspect\": " << event.suspect
+        << ", \"step\": " << event.step << ", \"kind\": \"" << event.kind
+        << "\", \"phase\": \"" << event.phase << "\", \"recovery\": \""
+        << event.recovery << "\"}";
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace trustddl::obs

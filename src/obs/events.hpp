@@ -1,0 +1,57 @@
+// Structured Byzantine detection event log.
+//
+// Each robust-opening anomaly (commitment mismatch, share-copy
+// authentication failure, missing message, distance anomaly, …)
+// lands here as one record naming the observing party, the accused
+// party, the protocol phase where the mismatch surfaced and the
+// recovery path taken — the structured replacement for the ad-hoc
+// TRUSTDDL_LOG(warn) strings (which remain for test compatibility).
+//
+// `mpc::DetectionLog::record` forwards into this global sink whenever
+// metrics or tracing are enabled; `kind`/`phase`/`recovery` are string
+// literals owned by the call sites, so records are cheap to copy.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace trustddl::obs {
+
+struct DetectionEventRecord {
+  int party = -1;    ///< observing (honest) party
+  int suspect = -1;  ///< accused party, -1 when not attributable
+  std::uint64_t step = 0;
+  const char* kind = "";
+  const char* phase = "";
+  const char* recovery = "";
+};
+
+/// True when detection events should be captured (metrics or tracing
+/// enabled).
+bool events_enabled();
+
+class EventLog {
+ public:
+  static EventLog& global();
+
+  /// Appends (when enabled), bumps the `detect.<kind>` counter and
+  /// mirrors the record onto the trace as an "event" line.
+  void record(const DetectionEventRecord& event);
+
+  std::vector<DetectionEventRecord> snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+  /// JSON array of event objects.
+  static std::string to_json(const std::vector<DetectionEventRecord>& events);
+
+ private:
+  EventLog() = default;
+
+  mutable std::mutex mu_;
+  std::vector<DetectionEventRecord> events_;
+};
+
+}  // namespace trustddl::obs

@@ -1,0 +1,248 @@
+#include "obs/metrics.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace trustddl::obs {
+namespace detail {
+
+namespace {
+
+bool env_enabled() {
+  const char* value = std::getenv("TRUSTDDL_METRICS");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+}  // namespace
+
+std::atomic<bool> g_metrics_enabled{env_enabled()};
+
+}  // namespace detail
+
+void set_metrics_enabled(bool enabled) {
+  detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Gauge::add(std::int64_t delta) {
+  if (!metrics_enabled()) {
+    return;
+  }
+  const std::int64_t now =
+      value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  std::int64_t seen = peak_.load(std::memory_order_relaxed);
+  while (now > seen &&
+         !peak_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::reset() {
+  value_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_bound(std::size_t index) {
+  return std::uint64_t{1} << (2 * index);
+}
+
+void Histogram::observe(std::uint64_t sample) {
+  if (!metrics_enabled()) {
+    return;
+  }
+  std::size_t index = 0;
+  while (index + 1 < kBucketCount && sample > bucket_bound(index)) {
+    ++index;
+  }
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsSnapshot::counter_sum(const std::string& prefix) const {
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : counters) {
+    if (name.rfind(prefix, 0) == 0) {
+      total += value;
+    }
+  }
+  return total;
+}
+
+namespace {
+
+void append_json_string(std::ostringstream& out, const std::string& text) {
+  out << '"';
+  for (const char ch : text) {
+    switch (ch) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out << "\\u00" << "0123456789abcdef"[(ch >> 4) & 0xf]
+              << "0123456789abcdef"[ch & 0xf];
+        } else {
+          out << ch;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) {
+      out << ", ";
+    }
+    first = false;
+    append_json_string(out, name);
+    out << ": " << value;
+  }
+  out << "}, \"gauges\": {";
+  first = true;
+  for (const auto& gauge : gauges) {
+    if (!first) {
+      out << ", ";
+    }
+    first = false;
+    append_json_string(out, gauge.name);
+    out << ": {\"value\": " << gauge.value << ", \"peak\": " << gauge.peak
+        << "}";
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& histogram : histograms) {
+    if (!first) {
+      out << ", ";
+    }
+    first = false;
+    append_json_string(out, histogram.name);
+    out << ": {\"count\": " << histogram.count
+        << ", \"sum\": " << histogram.sum << ", \"bounds\": [";
+    for (std::size_t i = 0; i + 1 < Histogram::kBucketCount; ++i) {
+      if (i != 0) {
+        out << ", ";
+      }
+      out << Histogram::bucket_bound(i);
+    }
+    out << "], \"buckets\": [";
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      if (i != 0) {
+        out << ", ";
+      }
+      out << histogram.buckets[i];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->value(), gauge->peak()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.name = name;
+    data.count = histogram->count();
+    data.sum = histogram->sum();
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      data.buckets[i] = histogram->bucket(i);
+    }
+    snapshot.histograms.push_back(std::move(data));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->reset();
+  }
+}
+
+void count(const std::string& name, std::uint64_t delta) {
+  if (metrics_enabled()) {
+    MetricsRegistry::global().counter(name).add(delta);
+  }
+}
+
+void gauge_add(const std::string& name, std::int64_t delta) {
+  if (metrics_enabled()) {
+    MetricsRegistry::global().gauge(name).add(delta);
+  }
+}
+
+void observe(const std::string& name, std::uint64_t sample) {
+  if (metrics_enabled()) {
+    MetricsRegistry::global().histogram(name).observe(sample);
+  }
+}
+
+}  // namespace trustddl::obs

@@ -1,0 +1,163 @@
+// Runtime-gated metrics registry (the telemetry spine of DESIGN.md
+// §Observability).
+//
+// Instruments are process-global, thread-safe and ~free when metrics
+// are disabled: every hot-path update first reads one relaxed atomic
+// flag and returns.  Enabled updates are single relaxed atomic RMWs —
+// no locks on the update path — so kernel-pool workers, transport
+// reader threads and the three party threads can all hammer the same
+// counter.  Registration (name -> instrument) is mutex-protected and
+// returns stable references; `reset()` zeroes values without
+// invalidating references, so cached `Counter&`s survive across runs.
+//
+// Naming scheme: dot-separated `<layer>.<thing>[.<class>]`, e.g.
+// `net.sent.bytes.s`, `kernels.chunks.worker`, `span.open.commit.us`.
+// The TRUSTDDL_METRICS environment variable (any non-empty value
+// except "0") enables collection at process start; the engine and
+// `trustddl_party --metrics-out` enable it programmatically.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace trustddl::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// The global collection gate.  One relaxed load — this is the entire
+/// disabled-mode overhead of every instrument update.
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled);
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    if (metrics_enabled()) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Signed gauge with a high-water mark (e.g. mailbox queue depth: the
+/// current value is usually 0 by export time; the peak is the signal).
+class Gauge {
+ public:
+  void add(std::int64_t delta);
+  void sub(std::int64_t delta) { add(-delta); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  std::int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
+/// Fixed-bucket histogram for latencies (microseconds) and sizes
+/// (bytes).  Bucket i counts samples <= 4^i; the last bucket is the
+/// overflow.  Power-of-four bounds span 1 .. ~2.7e8 in 16 buckets,
+/// which covers both sub-millisecond recv waits and multi-second
+/// stalls (or byte sizes up to ~256 MiB).
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 16;
+
+  /// Upper bound of bucket `index` (4^index); the final bucket has no
+  /// bound (overflow).
+  static std::uint64_t bucket_bound(std::size_t index);
+
+  void observe(std::uint64_t sample);
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Point-in-time copy of every registered instrument, sorted by name
+/// (deterministic export).
+struct MetricsSnapshot {
+  struct GaugeData {
+    std::string name;
+    std::int64_t value = 0;
+    std::int64_t peak = 0;
+  };
+  struct HistogramData {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, Histogram::kBucketCount> buckets{};
+  };
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<GaugeData> gauges;
+  std::vector<HistogramData> histograms;
+
+  /// Sum of every counter whose name starts with `prefix`.
+  std::uint64_t counter_sum(const std::string& prefix) const;
+
+  /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+  std::string to_json() const;
+};
+
+/// Process-global name -> instrument table.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  /// Look up or create; the returned reference is stable for the
+  /// process lifetime (reset() zeroes values, never removes entries).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Convenience wrappers for call sites with dynamic names (per-tag-
+/// class transport counters).  No-ops when metrics are disabled — the
+/// name string need not even be built by callers that check
+/// metrics_enabled() first.
+void count(const std::string& name, std::uint64_t delta = 1);
+void gauge_add(const std::string& name, std::int64_t delta);
+void observe(const std::string& name, std::uint64_t sample);
+
+}  // namespace trustddl::obs

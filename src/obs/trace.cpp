@@ -1,0 +1,89 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace trustddl::obs {
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::open(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_ = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  TRUSTDDL_REQUIRE(out_->good(), "cannot open trace file: " + path);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::close() {
+  enabled_.store(false, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (out_) {
+    out_->flush();
+    out_.reset();
+  }
+}
+
+void Tracer::emit(const char* kind, const char* name, int party,
+                  std::uint64_t step, std::uint64_t ts_us,
+                  std::uint64_t dur_us, const std::string& extra) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!out_) {
+    return;
+  }
+  auto& out = *out_;
+  out << "{\"kind\": \"" << kind << "\", \"name\": \"" << name
+      << "\", \"party\": " << party << ", \"step\": " << step
+      << ", \"ts_us\": " << ts_us << ", \"dur_us\": " << dur_us;
+  if (!extra.empty()) {
+    out << ", " << extra;
+  }
+  out << "}\n";
+}
+
+std::uint64_t now_us() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+ScopedSpan::ScopedSpan(const char* name, int party, std::uint64_t step)
+    : name_(name), party_(party), step_(step) {
+  active_ = tracing_enabled() || metrics_enabled();
+  if (active_) {
+    start_us_ = now_us();
+  }
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) {
+    return;
+  }
+  const std::uint64_t end_us = now_us();
+  const std::uint64_t dur_us = end_us - start_us_;
+  if (tracing_enabled()) {
+    Tracer::global().emit("span", name_, party_, step_, start_us_, dur_us);
+  }
+  if (metrics_enabled()) {
+    auto& registry = MetricsRegistry::global();
+    const std::string base = std::string("span.") + name_;
+    registry.counter(base + ".us").add(dur_us);
+    registry.counter(base + ".count").add(1);
+  }
+}
+
+void trace_instant(const char* name, int party, std::uint64_t step,
+                   const std::string& extra) {
+  if (tracing_enabled()) {
+    Tracer::global().emit("instant", name, party, step, now_us(), 0, extra);
+  }
+}
+
+}  // namespace trustddl::obs

@@ -1,0 +1,79 @@
+// Protocol-phase tracer: JSONL spans for robust-opening phases
+// (commit/confirm/exchange/decide), BT protocol invocations, per-layer
+// forward/backward and OpenBatch round boundaries.
+//
+// A `ScopedSpan` is inert (no clock read) unless tracing or metrics
+// are enabled.  On destruction it (a) appends one JSONL line to the
+// trace file when tracing, and (b) folds its duration into the
+// `span.<name>.us` / `span.<name>.count` counters when metrics are on
+// — which is how `bench_table2_cost --phases` produces its per-phase
+// breakdown without parsing the trace.
+//
+// Span names are `const char*` literals at every call site so the
+// disabled path never allocates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace trustddl::obs {
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// Opens (truncates) `path` and enables tracing process-wide.
+  void open(const std::string& path);
+  void close();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one JSONL record.  `kind` is "span", "instant" or
+  /// "event"; `extra` is raw pre-rendered JSON members appended after
+  /// the standard fields (may be empty).
+  void emit(const char* kind, const char* name, int party,
+            std::uint64_t step, std::uint64_t ts_us, std::uint64_t dur_us,
+            const std::string& extra = std::string());
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::mutex mu_;
+  std::unique_ptr<std::ofstream> out_;
+};
+
+inline bool tracing_enabled() { return Tracer::global().enabled(); }
+
+/// Microseconds since process start (steady clock).
+std::uint64_t now_us();
+
+/// RAII span.  Durations land in the tracer and/or the metrics
+/// registry; when both are disabled the constructor does one relaxed
+/// load and nothing else.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, int party = -1,
+                      std::uint64_t step = 0);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  int party_;
+  std::uint64_t step_;
+  std::uint64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+/// Zero-duration marker (e.g. an OpenBatch flush boundary).  `extra`
+/// follows the Tracer::emit convention.
+void trace_instant(const char* name, int party, std::uint64_t step,
+                   const std::string& extra = std::string());
+
+}  // namespace trustddl::obs

@@ -1,0 +1,532 @@
+// Observability subsystem tests: metrics registry (gating, concurrency,
+// snapshot determinism), protocol-phase tracer JSONL output, logger
+// component overrides / prefixes / capture cap, traffic snapshot
+// arithmetic and tag classing, TCP-vs-in-memory metering consistency,
+// and the end-to-end malicious-inference detection event log.
+//
+// Suite names contain "Obs" so the CI thread-sanitizer job picks them
+// up — the registry's whole point is to be hammered from kernel-pool
+// workers, transport readers and party threads at once.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "core/engine.hpp"
+#include "net/network.hpp"
+#include "net/tcp_transport.hpp"
+#include "numeric/kernels.hpp"
+#include "obs/events.hpp"
+#include "obs/trace.hpp"
+
+namespace trustddl {
+namespace {
+
+/// Save/restore the process-global metrics flag so tests compose in
+/// one process regardless of TRUSTDDL_METRICS.
+class MetricsFlagGuard {
+ public:
+  explicit MetricsFlagGuard(bool enabled) : saved_(obs::metrics_enabled()) {
+    obs::set_metrics_enabled(enabled);
+  }
+  ~MetricsFlagGuard() { obs::set_metrics_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+std::string temp_path(const std::string& stem) {
+  return testing::TempDir() + stem;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ObsMetricsTest, DisabledInstrumentsAreNoOps) {
+  MetricsFlagGuard guard(false);
+  auto& registry = obs::MetricsRegistry::global();
+  auto& counter = registry.counter("test.disabled.counter");
+  auto& gauge = registry.gauge("test.disabled.gauge");
+  auto& histogram = registry.histogram("test.disabled.histogram");
+  counter.reset();
+  gauge.reset();
+  histogram.reset();
+
+  counter.add(7);
+  gauge.add(3);
+  histogram.observe(42);
+  obs::count("test.disabled.counter", 5);
+  obs::gauge_add("test.disabled.gauge", 5);
+  obs::observe("test.disabled.histogram", 5);
+
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(gauge.peak(), 0);
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.sum(), 0u);
+}
+
+TEST(ObsMetricsTest, EnabledInstrumentsAccumulate) {
+  MetricsFlagGuard guard(true);
+  auto& registry = obs::MetricsRegistry::global();
+  auto& counter = registry.counter("test.enabled.counter");
+  auto& gauge = registry.gauge("test.enabled.gauge");
+  counter.reset();
+  gauge.reset();
+
+  counter.add(2);
+  counter.add();
+  EXPECT_EQ(counter.value(), 3u);
+
+  gauge.add(5);
+  gauge.add(2);
+  gauge.sub(6);
+  EXPECT_EQ(gauge.value(), 1);
+  EXPECT_EQ(gauge.peak(), 7);
+}
+
+TEST(ObsMetricsTest, HistogramBucketBoundaries) {
+  MetricsFlagGuard guard(true);
+  auto& histogram =
+      obs::MetricsRegistry::global().histogram("test.buckets.histogram");
+  histogram.reset();
+
+  // Bucket i counts samples <= 4^i; bound(0)=1, bound(1)=4, ...
+  EXPECT_EQ(obs::Histogram::bucket_bound(0), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_bound(1), 4u);
+  EXPECT_EQ(obs::Histogram::bucket_bound(3), 64u);
+
+  histogram.observe(0);
+  histogram.observe(1);  // both land in bucket 0
+  histogram.observe(2);
+  histogram.observe(4);  // bucket 1
+  histogram.observe(5);  // bucket 2
+  // Far beyond bound(14) = 4^14: the final bucket is the overflow.
+  histogram.observe(obs::Histogram::bucket_bound(14) * 100);
+
+  EXPECT_EQ(histogram.bucket(0), 2u);
+  EXPECT_EQ(histogram.bucket(1), 2u);
+  EXPECT_EQ(histogram.bucket(2), 1u);
+  EXPECT_EQ(histogram.bucket(obs::Histogram::kBucketCount - 1), 1u);
+  EXPECT_EQ(histogram.count(), 6u);
+  EXPECT_EQ(histogram.sum(),
+            0u + 1 + 2 + 4 + 5 + obs::Histogram::bucket_bound(14) * 100);
+}
+
+TEST(ObsMetricsTest, RegistryReferencesSurviveReset) {
+  MetricsFlagGuard guard(true);
+  auto& registry = obs::MetricsRegistry::global();
+  auto& counter = registry.counter("test.stable.counter");
+  counter.add(9);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add(1);
+  EXPECT_EQ(registry.counter("test.stable.counter").value(), 1u);
+  EXPECT_EQ(&registry.counter("test.stable.counter"), &counter);
+}
+
+TEST(ObsMetricsTest, SnapshotIsSortedAndDeterministic) {
+  MetricsFlagGuard guard(true);
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("test.sort.zebra").add(1);
+  registry.counter("test.sort.alpha").add(2);
+  registry.gauge("test.sort.gauge").add(4);
+
+  const obs::MetricsSnapshot first = registry.snapshot();
+  const obs::MetricsSnapshot second = registry.snapshot();
+  ASSERT_EQ(first.counters.size(), second.counters.size());
+  for (std::size_t i = 0; i + 1 < first.counters.size(); ++i) {
+    EXPECT_LT(first.counters[i].first, first.counters[i + 1].first);
+  }
+  EXPECT_EQ(first.to_json(), second.to_json());
+  EXPECT_EQ(first.counter_sum("test.sort."), 3u);
+}
+
+TEST(ObsMetricsTest, SnapshotToJsonShape) {
+  MetricsFlagGuard guard(true);
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("test.json.counter").reset();
+  registry.counter("test.json.counter").add(11);
+  registry.gauge("test.json.gauge").reset();
+  registry.gauge("test.json.gauge").add(5);
+  registry.histogram("test.json.histogram").reset();
+  registry.histogram("test.json.histogram").observe(3);
+
+  const std::string json = registry.snapshot().to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\": 11"), std::string::npos);
+  EXPECT_NE(json.find("\"peak\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\""), std::string::npos);
+}
+
+/// Many kernel-pool workers hammering one counter, one gauge and one
+/// histogram concurrently — the TSan target, and a totals check.
+TEST(ObsMetricsTest, ConcurrentUpdatesFromKernelPool) {
+  MetricsFlagGuard guard(true);
+  auto& registry = obs::MetricsRegistry::global();
+  auto& counter = registry.counter("test.concurrent.counter");
+  auto& gauge = registry.gauge("test.concurrent.gauge");
+  auto& histogram = registry.histogram("test.concurrent.histogram");
+  counter.reset();
+  gauge.reset();
+  histogram.reset();
+
+  kernels::KernelConfig config;
+  config.threads = 4;
+  constexpr std::size_t kIterations = 20000;
+  kernels::parallel_for(config, kIterations, /*grain=*/64,
+                        [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t i = lo; i < hi; ++i) {
+                            counter.add(1);
+                            gauge.add(1);
+                            gauge.sub(1);
+                            histogram.observe(i % 17);
+                            // Registration from multiple threads too.
+                            obs::count("test.concurrent.dynamic", 1);
+                          }
+                        });
+
+  EXPECT_EQ(counter.value(), kIterations);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(histogram.count(), kIterations);
+  EXPECT_EQ(registry.counter("test.concurrent.dynamic").value(), kIterations);
+}
+
+TEST(ObsTraceTest, ScopedSpanFeedsMetricsCounters) {
+  MetricsFlagGuard guard(true);
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("span.test.unit.us").reset();
+  registry.counter("span.test.unit.count").reset();
+  {
+    obs::ScopedSpan span("test.unit", /*party=*/1, /*step=*/3);
+  }
+  {
+    obs::ScopedSpan span("test.unit");
+  }
+  EXPECT_EQ(registry.counter("span.test.unit.count").value(), 2u);
+}
+
+TEST(ObsTraceTest, TracerWritesValidJsonl) {
+  MetricsFlagGuard guard(false);
+  const std::string path = temp_path("trustddl_test_obs_trace.jsonl");
+  obs::Tracer::global().open(path);
+  ASSERT_TRUE(obs::tracing_enabled());
+  {
+    obs::ScopedSpan span("test.trace.span", /*party=*/2, /*step=*/7);
+  }
+  obs::trace_instant("test.trace.marker", /*party=*/0, /*step=*/1,
+                     "\"values\": 4");
+  obs::Tracer::global().close();
+  EXPECT_FALSE(obs::tracing_enabled());
+
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_NE(lines[0].find("\"kind\": \"span\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"name\": \"test.trace.span\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"party\": 2"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"step\": 7"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\": \"instant\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"values\": 4"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsEventTest, EventLogCapturesAndCounts) {
+  MetricsFlagGuard guard(true);
+  obs::MetricsRegistry::global().counter("detect.test_kind").reset();
+  obs::EventLog::global().clear();
+
+  obs::DetectionEventRecord record;
+  record.party = 0;
+  record.suspect = 1;
+  record.step = 12;
+  record.kind = "test_kind";
+  record.phase = "exchange";
+  record.recovery = "dropped_pair";
+  obs::EventLog::global().record(record);
+
+  ASSERT_EQ(obs::EventLog::global().size(), 1u);
+  const auto events = obs::EventLog::global().snapshot();
+  EXPECT_EQ(events[0].suspect, 1);
+  EXPECT_STREQ(events[0].phase, "exchange");
+  EXPECT_EQ(
+      obs::MetricsRegistry::global().counter("detect.test_kind").value(), 1u);
+
+  const std::string json = obs::EventLog::to_json(events);
+  EXPECT_NE(json.find("\"kind\": \"test_kind\""), std::string::npos);
+  EXPECT_NE(json.find("\"suspect\": 1"), std::string::npos);
+  obs::EventLog::global().clear();
+  EXPECT_EQ(obs::EventLog::global().size(), 0u);
+}
+
+TEST(ObsEventTest, DisabledEventLogRecordsNothing) {
+  MetricsFlagGuard guard(false);
+  ASSERT_FALSE(obs::events_enabled());
+  obs::EventLog::global().clear();
+  obs::DetectionEventRecord record;
+  record.kind = "test_kind";
+  obs::EventLog::global().record(record);
+  EXPECT_EQ(obs::EventLog::global().size(), 0u);
+}
+
+TEST(ObsLoggerTest, ComponentLevelOverrides) {
+  Logger& logger = Logger::instance();
+  logger.set_level(LogLevel::kWarn);
+  logger.clear_component_levels();
+
+  EXPECT_EQ(logger.effective_level("mpc.open"), LogLevel::kWarn);
+  logger.set_component_level("mpc.open", LogLevel::kDebug);
+  logger.set_component_level("net.tcp", LogLevel::kError);
+  EXPECT_EQ(logger.effective_level("mpc.open"), LogLevel::kDebug);
+  EXPECT_EQ(logger.effective_level("net.tcp"), LogLevel::kError);
+  EXPECT_EQ(logger.effective_level("core.engine"), LogLevel::kWarn);
+  // The macro's lock-free floor tracks the most verbose configuration.
+  EXPECT_EQ(logger.min_level(), LogLevel::kDebug);
+
+  logger.set_capture(true);
+  logger.clear_captured();
+  TRUSTDDL_LOG_DEBUG("mpc.open") << "visible debug line";
+  TRUSTDDL_LOG_DEBUG("core.engine") << "suppressed debug line";
+  TRUSTDDL_LOG_WARN("net.tcp") << "suppressed warn line";
+  TRUSTDDL_LOG_ERROR("net.tcp") << "visible error line";
+  const std::string captured = logger.captured();
+  logger.set_capture(false);
+  logger.clear_component_levels();
+
+  EXPECT_NE(captured.find("visible debug line"), std::string::npos);
+  EXPECT_NE(captured.find("visible error line"), std::string::npos);
+  EXPECT_EQ(captured.find("suppressed debug line"), std::string::npos);
+  EXPECT_EQ(captured.find("suppressed warn line"), std::string::npos);
+}
+
+TEST(ObsLoggerTest, LinePrefixHasTimestampAndParty) {
+  Logger& logger = Logger::instance();
+  logger.set_level(LogLevel::kWarn);
+  logger.clear_component_levels();
+  logger.set_capture(true);
+  logger.clear_captured();
+
+  Logger::set_thread_party(2);
+  TRUSTDDL_LOG_WARN("test.prefix") << "tagged line";
+  Logger::set_thread_party(-1);
+  TRUSTDDL_LOG_WARN("test.prefix") << "untagged line";
+  const std::string captured = logger.captured();
+  logger.set_capture(false);
+
+  std::istringstream in(captured);
+  std::string tagged;
+  std::string untagged;
+  std::getline(in, tagged);
+  std::getline(in, untagged);
+  // ISO-8601 UTC timestamp: "2026-..T..Z" leads every line.
+  ASSERT_GE(tagged.size(), 21u);
+  EXPECT_EQ(tagged[4], '-');
+  EXPECT_EQ(tagged[10], 'T');
+  EXPECT_NE(tagged.find("Z "), std::string::npos);
+  EXPECT_NE(tagged.find("[p2]"), std::string::npos);
+  EXPECT_NE(tagged.find("tagged line"), std::string::npos);
+  EXPECT_EQ(untagged.find("[p"), std::string::npos);
+}
+
+TEST(ObsLoggerTest, CaptureStopsAtLimitWithMarker) {
+  Logger& logger = Logger::instance();
+  logger.set_level(LogLevel::kWarn);
+  logger.clear_component_levels();
+  logger.set_capture(true);
+  logger.clear_captured();
+
+  const std::string chunk(4096, 'x');
+  // ~1.5 MiB of payload against the 1 MiB cap.
+  for (int i = 0; i < 384; ++i) {
+    TRUSTDDL_LOG_WARN("test.capture") << chunk;
+  }
+  const std::string captured = logger.captured();
+  logger.set_capture(false);
+  logger.clear_captured();
+
+  const std::string marker = Logger::kTruncationMarker;
+  EXPECT_LE(captured.size(), Logger::kCaptureLimit + marker.size());
+  ASSERT_GE(captured.size(), marker.size());
+  EXPECT_EQ(captured.substr(captured.size() - marker.size()), marker);
+  // The marker appears exactly once, at the end.
+  EXPECT_EQ(captured.find(marker), captured.size() - marker.size());
+}
+
+TEST(ObsTrafficTest, SnapshotResetAndDiff) {
+  net::NetworkConfig config;
+  config.num_parties = 2;
+  net::Network network(config);
+  const auto alice = network.endpoint(0);
+  const auto bob = network.endpoint(1);
+
+  alice.send(1, "t", Bytes{1, 2, 3});
+  (void)bob.recv(0, "t");
+  const net::TrafficSnapshot before = network.traffic();
+  EXPECT_EQ(before.total_messages, 1u);
+  // Metered size is payload + per-message framing (tag, header); with a
+  // fixed tag the framing is constant, so differences are exact.
+  ASSERT_GE(before.links[0][1].bytes, 3u);
+  const std::uint64_t framing = before.links[0][1].bytes - 3u;
+
+  alice.send(1, "t", Bytes{4, 5});
+  bob.send(0, "t", Bytes{6});
+  (void)bob.recv(0, "t");
+  (void)alice.recv(1, "t");
+
+  const net::TrafficSnapshot delta = network.traffic().diff(before);
+  EXPECT_EQ(delta.total_messages, 2u);
+  EXPECT_EQ(delta.total_bytes, 3u + 2 * framing);
+  EXPECT_EQ(delta.links[0][1].messages, 1u);
+  EXPECT_EQ(delta.links[0][1].bytes, 2u + framing);
+  EXPECT_EQ(delta.links[1][0].bytes, 1u + framing);
+
+  net::TrafficSnapshot snapshot = network.traffic();
+  snapshot.reset();
+  EXPECT_EQ(snapshot.total_bytes, 0u);
+  EXPECT_EQ(snapshot.total_messages, 0u);
+  for (const auto& row : snapshot.links) {
+    for (const auto& cell : row) {
+      EXPECT_EQ(cell.bytes, 0u);
+      EXPECT_EQ(cell.messages, 0u);
+    }
+  }
+
+  // diff against an empty "before" is the identity.
+  const net::TrafficSnapshot same = network.traffic().diff(snapshot);
+  EXPECT_EQ(same.total_bytes, network.traffic().total_bytes);
+}
+
+TEST(ObsTrafficTest, TagClassCollapsesProtocolTags) {
+  EXPECT_EQ(net::tag_class("12/c"), "c");
+  EXPECT_EQ(net::tag_class("7/s2"), "s2");
+  EXPECT_EQ(net::tag_class("3/hb"), "hb");
+  EXPECT_EQ(net::tag_class("init/3"), "init");
+  EXPECT_EQ(net::tag_class("e/0/p/2"), "e");
+  EXPECT_EQ(net::tag_class("plain"), "plain");
+}
+
+/// The TCP fabric must meter exactly like the in-memory network: same
+/// totals, same [sender][receiver] matrix, for the same message
+/// pattern.  (A single TcpTransport's totals count its send row only;
+/// the fabric merges per-party transports into the network's shape.)
+TEST(ObsTrafficTest, TcpFabricMatchesInMemoryMetering) {
+  net::NetworkConfig config;
+  config.num_parties = 3;
+  config.recv_timeout = std::chrono::milliseconds(2000);
+  net::Network network(config);
+  net::TcpFabric fabric(config);
+
+  const auto exchange = [](net::Transport& transport) {
+    // 0 -> 1 (5 bytes), 1 -> 2 (2 bytes), 2 -> 0 twice (1 + 4 bytes).
+    transport.endpoint(0).send(1, "a", Bytes(5, 0xaa));
+    transport.endpoint(1).send(2, "b", Bytes(2, 0xbb));
+    transport.endpoint(2).send(0, "c", Bytes(1, 0xcc));
+    transport.endpoint(2).send(0, "c", Bytes(4, 0xdd));
+    (void)transport.endpoint(1).recv(0, "a");
+    (void)transport.endpoint(2).recv(1, "b");
+    (void)transport.endpoint(0).recv(2, "c");
+    (void)transport.endpoint(0).recv(2, "c");
+  };
+  exchange(network);
+  exchange(fabric);
+
+  const net::TrafficSnapshot memory = network.traffic();
+  const net::TrafficSnapshot tcp = fabric.traffic();
+  EXPECT_EQ(tcp.total_messages, memory.total_messages);
+  EXPECT_EQ(tcp.total_bytes, memory.total_bytes);
+  ASSERT_EQ(tcp.links.size(), memory.links.size());
+  for (std::size_t i = 0; i < memory.links.size(); ++i) {
+    for (std::size_t j = 0; j < memory.links[i].size(); ++j) {
+      EXPECT_EQ(tcp.links[i][j].messages, memory.links[i][j].messages)
+          << "link " << i << "->" << j;
+      EXPECT_EQ(tcp.links[i][j].bytes, memory.links[i][j].bytes)
+          << "link " << i << "->" << j;
+    }
+  }
+}
+
+/// End-to-end: malicious inference with a consistently-corrupting
+/// party 1 must attribute every attack in the structured event log —
+/// correct suspect, correct phase — and agree with the CostReport and
+/// the written metrics export.
+TEST(ObsEngineTest, MaliciousInferenceEventLogNamesAdversary) {
+  MetricsFlagGuard guard(false);  // engine arms metrics via metrics_out
+  const std::string path = temp_path("trustddl_test_obs_metrics.json");
+
+  data::SyntheticMnistConfig data_config;
+  data_config.train_count = 20;
+  data_config.test_count = 12;
+  data_config.seed = 42;
+  const auto split = data::generate_synthetic_mnist(data_config);
+
+  core::EngineConfig config;
+  config.mode = mpc::SecurityMode::kMalicious;
+  config.collect_timeout = std::chrono::milliseconds(300);
+  config.byzantine_party = 1;
+  config.byzantine.behavior =
+      mpc::ByzantineConfig::Behavior::kConsistentCorruption;
+  // Local truncation drifts honest states apart under attack
+  // (DESIGN.md §4) — adversarial runs need the attack-consistent mode.
+  config.trunc_mode = core::TruncationMode::kMaskedOpen;
+  config.metrics_out = path;
+
+  core::TrustDdlEngine engine(nn::mnist_mlp_spec(), config);
+  const data::Dataset sample = data::slice(split.test, 0, 6);
+  const core::InferResult result = engine.infer(sample, /*batch_size=*/2);
+
+  // The attack fired and was detected; every event names party 1 in
+  // the exchange phase (Case 3 corruption feeds commitment and
+  // exchange consistently, so attribution is unambiguous).
+  EXPECT_GT(result.cost.share_auth_failures, 0u);
+  const auto events = obs::EventLog::global().snapshot();
+  ASSERT_EQ(events.size(), result.cost.share_auth_failures);
+  for (const auto& event : events) {
+    EXPECT_EQ(event.suspect, 1);
+    EXPECT_NE(event.party, 1);
+    EXPECT_STREQ(event.kind, "share_auth_failure");
+    EXPECT_STREQ(event.phase, "exchange");
+    EXPECT_STREQ(event.recovery, "discard_shares");
+  }
+  EXPECT_EQ(obs::MetricsRegistry::global()
+                .counter("detect.share_auth_failure")
+                .value(),
+            result.cost.share_auth_failures);
+
+  // Inference still works despite the live adversary.
+  EXPECT_EQ(result.labels.size(), 6u);
+
+  // The export was written and carries the v1 schema sections; the
+  // metered byte total round-trips through the net.sent counters.
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"schema\": \"trustddl.metrics.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"events\""), std::string::npos);
+  EXPECT_NE(json.find("\"traffic\""), std::string::npos);
+  EXPECT_NE(json.find("\"cost\""), std::string::npos);
+  EXPECT_EQ(obs::MetricsRegistry::global().snapshot().counter_sum(
+                "net.sent.bytes."),
+            result.cost.total_bytes);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace trustddl
