@@ -1,0 +1,352 @@
+// trustddl_client: drive secure inference requests against a serving
+// deployment started with `trustddl_party --task serve`.
+//
+// The client is actor id >= 5 on the same TCP mesh as the parties: it
+// secret-shares each query locally (no party ever sees the plaintext),
+// sends one share triple to each computing party, notifies the model
+// owner for admission into the dynamic batcher, then reconstructs the
+// class probabilities from any two of the three parties' result
+// shares, out-voting a Byzantine party via robust reconstruction.
+//
+// Four-process smoke on localhost (3 parties + owner in 3 processes,
+// then this client in the foreground):
+//
+//   ./build/examples/trustddl_party --task serve --party-ids 1 &
+//   ./build/examples/trustddl_party --task serve --party-ids 2 &
+//   ./build/examples/trustddl_party --task serve --party-ids 0,4 &
+//   ./build/examples/trustddl_client --requests 16 --check
+//
+// Flags:
+//   --client-id N        this client's actor id [5]; clients occupy
+//                        ids 5..5+clients-1
+//   --clients N          total clients in the deployment [1] (must
+//                        match the parties' --clients)
+//   --port-base N        actor i listens on 127.0.0.1:(N+i)  [29500]
+//   --peers LIST         explicit mesh: id=host:port,...; must cover
+//                        ids 0,1,2,4 and this client's own id
+//   --listen HOST        bind host for the client id [from the mesh]
+//   --requests N         inference requests to issue [16]
+//   --concurrency N      submitter threads sharing this client [4]
+//   --rows N             input rows per request [1]
+//   --model mlp|cnn|tiny-cnn   architecture [mlp] (must match parties)
+//   --mode malicious|hbc       security mode [malicious] (ditto)
+//   --batch-openings on|off    deferred-opening scheduler [on] (ditto)
+//   --seed N             model/protocol seed [1] (ditto)
+//   --data-seed N        synthetic query-set seed [7]
+//   --deadline-ms N      owner-enforced queue deadline [2000]
+//   --response-timeout-ms N    client-side wait for result shares
+//                        [10000]
+//   --check              re-run the same queries on the in-memory
+//                        engine (same seeds) and compare predicted
+//                        labels; exits 2 on mismatch
+//   --connect-timeout-ms N     mesh rendezvous budget [10000]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/roles.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "net/tcp_transport.hpp"
+#include "nn/model_zoo.hpp"
+#include "serve/client.hpp"
+
+using namespace trustddl;
+
+namespace {
+
+struct Options {
+  int client_id = serve::kFirstClientId;
+  int clients = 1;
+  int port_base = 29500;
+  std::string peers_text;
+  std::string listen_host;
+  std::size_t requests = 16;
+  int concurrency = 4;
+  std::size_t rows = 1;
+  std::string model = "mlp";
+  std::string mode = "malicious";
+  bool batch_openings = true;
+  std::uint64_t seed = 1;
+  std::uint64_t data_seed = 7;
+  int deadline_ms = 2000;
+  int response_timeout_ms = 10000;
+  bool check = false;
+  int connect_timeout_ms = 10000;
+};
+
+[[noreturn]] void usage_error(const std::string& reason) {
+  std::fprintf(stderr, "trustddl_client: %s\n(see the header comment of "
+               "examples/trustddl_client.cpp for flags)\n",
+               reason.c_str());
+  std::exit(64);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      usage_error(std::string("missing value for ") + argv[i]);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--client-id") {
+      opt.client_id = std::atoi(value(i).c_str());
+    } else if (arg == "--clients") {
+      opt.clients = std::atoi(value(i).c_str());
+    } else if (arg == "--port-base") {
+      opt.port_base = std::atoi(value(i).c_str());
+    } else if (arg == "--peers") {
+      opt.peers_text = value(i);
+    } else if (arg == "--listen") {
+      opt.listen_host = value(i);
+    } else if (arg == "--requests") {
+      opt.requests = static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--concurrency") {
+      opt.concurrency = std::atoi(value(i).c_str());
+    } else if (arg == "--rows") {
+      opt.rows = static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--model") {
+      opt.model = value(i);
+    } else if (arg == "--mode") {
+      opt.mode = value(i);
+    } else if (arg == "--batch-openings") {
+      opt.batch_openings = value(i) == "on";
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(value(i).c_str(), nullptr, 10);
+    } else if (arg == "--data-seed") {
+      opt.data_seed = std::strtoull(value(i).c_str(), nullptr, 10);
+    } else if (arg == "--deadline-ms") {
+      opt.deadline_ms = std::atoi(value(i).c_str());
+    } else if (arg == "--response-timeout-ms") {
+      opt.response_timeout_ms = std::atoi(value(i).c_str());
+    } else if (arg == "--check") {
+      opt.check = true;
+    } else if (arg == "--connect-timeout-ms") {
+      opt.connect_timeout_ms = std::atoi(value(i).c_str());
+    } else {
+      usage_error("unknown flag " + arg);
+    }
+  }
+  if (opt.clients < 1) {
+    usage_error("--clients must be >= 1");
+  }
+  if (opt.client_id < serve::kFirstClientId ||
+      opt.client_id >= serve::kFirstClientId + opt.clients) {
+    usage_error("--client-id must be in [5, 5 + clients)");
+  }
+  if (opt.requests < 1 || opt.rows < 1 || opt.concurrency < 1) {
+    usage_error("--requests/--rows/--concurrency must be >= 1");
+  }
+  if (opt.mode != "malicious" && opt.mode != "hbc") {
+    usage_error("--mode must be malicious or hbc");
+  }
+  return opt;
+}
+
+nn::ModelSpec spec_for(const std::string& name) {
+  if (name == "mlp") {
+    return nn::mnist_mlp_spec();
+  }
+  if (name == "cnn") {
+    return nn::mnist_cnn_spec();
+  }
+  if (name == "tiny-cnn") {
+    return nn::tiny_cnn_spec();
+  }
+  usage_error("--model must be mlp, cnn or tiny-cnn");
+}
+
+std::vector<std::string> mesh_addresses(const Options& opt, int num_actors) {
+  std::vector<std::string> addresses(static_cast<std::size_t>(num_actors));
+  if (opt.peers_text.empty()) {
+    for (int id = 0; id < num_actors; ++id) {
+      addresses[static_cast<std::size_t>(id)] =
+          "127.0.0.1:" + std::to_string(opt.port_base + id);
+    }
+    return addresses;
+  }
+  std::size_t start = 0;
+  const std::string& text = opt.peers_text;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? comma : comma - start);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      usage_error("peer entry '" + item + "' is not id=host:port");
+    }
+    const int id = std::atoi(item.substr(0, eq).c_str());
+    if (id < 0 || id >= num_actors) {
+      usage_error("peer id out of range in '" + item + "'");
+    }
+    addresses[static_cast<std::size_t>(id)] = item.substr(eq + 1);
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  for (const int id : {0, 1, 2, core::kModelOwner, opt.client_id}) {
+    if (addresses[static_cast<std::size_t>(id)].empty()) {
+      usage_error("--peers is missing actor id " + std::to_string(id));
+    }
+  }
+  return addresses;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  const int num_actors = core::kNumActors + opt.clients;
+
+  // Same derivations as trustddl_party/the in-memory engine, so the
+  // parties evaluate exactly the model --check compares against.
+  core::EngineConfig config;
+  config.mode = opt.mode == "hbc" ? mpc::SecurityMode::kHonestButCurious
+                                  : mpc::SecurityMode::kMalicious;
+  config.batch_openings = opt.batch_openings;
+  config.seed = opt.seed;
+  config.collect_timeout = std::chrono::milliseconds(2000);
+
+  const nn::ModelSpec spec = spec_for(opt.model);
+
+  data::SyntheticMnistConfig data_config;
+  data_config.train_count = 1;
+  data_config.test_count = opt.requests * opt.rows;
+  data_config.seed = opt.data_seed;
+  const auto split = data::generate_synthetic_mnist(data_config);
+
+  const std::vector<std::string> addresses = mesh_addresses(opt, num_actors);
+
+  net::NetworkConfig net_config;
+  net_config.num_parties = num_actors;
+  net_config.connect.connect_timeout =
+      std::chrono::milliseconds(opt.connect_timeout_ms);
+
+  try {
+    std::string listen = addresses[static_cast<std::size_t>(opt.client_id)];
+    if (!opt.listen_host.empty()) {
+      listen = opt.listen_host + ":" +
+               std::to_string(net::parse_address(listen).port);
+    }
+    std::printf("[client %d] listening on %s\n", opt.client_id,
+                listen.c_str());
+    net::TcpTransport transport(static_cast<net::PartyId>(opt.client_id),
+                                listen, net_config);
+    transport.connect(addresses,
+                      {0, 1, 2, static_cast<net::PartyId>(core::kModelOwner)});
+    std::printf("[client %d] connected to parties and model owner\n",
+                opt.client_id);
+
+    serve::ClientOptions client_options;
+    client_options.frac_bits = config.frac_bits;
+    client_options.dist_tolerance = config.dist_tolerance;
+    // Distinct sharing randomness per client slot (same derivation as
+    // the in-process serving harness).
+    const int slot = opt.client_id - serve::kFirstClientId;
+    client_options.seed = opt.seed * 1000003ULL +
+                          17ULL * static_cast<std::uint64_t>(slot + 1);
+    client_options.deadline = std::chrono::milliseconds(opt.deadline_ms);
+    client_options.response_timeout =
+        std::chrono::milliseconds(opt.response_timeout_ms);
+    serve::InferenceClient client(
+        transport.endpoint(static_cast<net::PartyId>(opt.client_id)),
+        client_options);
+
+    // `concurrency` threads share the one client, pulling request
+    // indices from a counter; request r carries test rows
+    // [r*rows, (r+1)*rows).
+    std::vector<serve::InferenceResult> results(opt.requests);
+    std::atomic<std::size_t> next_request{0};
+    std::vector<std::thread> submitters;
+    const int threads =
+        static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(opt.concurrency), opt.requests));
+    for (int t = 0; t < threads; ++t) {
+      submitters.emplace_back([&] {
+        while (true) {
+          const std::size_t r = next_request.fetch_add(1);
+          if (r >= opt.requests) {
+            return;
+          }
+          const data::Dataset slice =
+              data::slice(split.test, r * opt.rows, opt.rows);
+          results[r] = client.infer(slice.images);
+        }
+      });
+    }
+    for (auto& submitter : submitters) {
+      submitter.join();
+    }
+    client.stop();
+
+    std::size_t ok = 0;
+    std::size_t anomalies = 0;
+    std::vector<std::size_t> labels;
+    for (const auto& result : results) {
+      if (result.status == serve::Status::kOk) {
+        ++ok;
+        labels.insert(labels.end(), result.labels.begin(),
+                      result.labels.end());
+      }
+      if (result.anomaly) {
+        ++anomalies;
+      }
+    }
+    std::printf("[client %d] completed %zu/%zu requests (%zu with a "
+                "flagged share set)\n",
+                opt.client_id, ok, opt.requests, anomalies);
+    std::printf("[client %d] predicted labels:", opt.client_id);
+    for (std::size_t i = 0; i < labels.size() && i < 24; ++i) {
+      std::printf(" %zu", labels[i]);
+    }
+    std::printf("%s\n", labels.size() > 24 ? " ..." : "");
+
+    int exit_code = 0;
+    if (opt.check) {
+      if (ok != opt.requests) {
+        std::printf("serve check: MISMATCH (%zu/%zu requests completed)\n",
+                    ok, opt.requests);
+        exit_code = 2;
+      } else {
+        // Reference: the in-memory engine over the same query set with
+        // the same seeds.  Per-request labels must match its labels
+        // row for row.
+        core::TrustDdlEngine engine(spec, config);
+        const core::InferResult expected =
+            engine.infer(split.test, std::max<std::size_t>(opt.rows, 4));
+        bool match = true;
+        for (std::size_t r = 0; r < opt.requests && match; ++r) {
+          for (std::size_t i = 0; i < opt.rows; ++i) {
+            if (results[r].labels[i] != expected.labels[r * opt.rows + i]) {
+              match = false;
+              break;
+            }
+          }
+        }
+        std::printf("serve check: %s (in-memory engine, same seeds)\n",
+                    match ? "MATCH" : "MISMATCH");
+        if (!match) {
+          exit_code = 2;
+        }
+      }
+    }
+
+    // Let the final stop notice drain before closing the sockets.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    transport.shutdown();
+    return exit_code;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "trustddl_client: %s\n", error.what());
+    return 1;
+  }
+}

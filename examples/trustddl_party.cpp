@@ -22,10 +22,23 @@
 //   --peers LIST         explicit mesh: id=host:port,... for all 5 ids
 //                        (overrides --port-base)
 //   --listen HOST        bind host for hosted ids [host from the mesh]
-//   --task infer|train|malicious-inference   workload [infer];
+//   --task infer|train|malicious-inference|serve   workload [infer];
 //                        malicious-inference runs infer with computing
 //                        party 1 mounting consistent-corruption attacks
-//                        (Case 3) against every opening
+//                        (Case 3) against every opening; serve runs the
+//                        inference serving layer (parties 0-2 + model
+//                        owner 4; clients attach via trustddl_client)
+//   --clients N          serve: number of client actors [1]; clients
+//                        occupy ids 5..5+N-1 and the data owner id 3
+//                        is unused
+//   --serve-max-batch N  serve: flush a batch at this many rows [8]
+//   --serve-window-ms N  serve: max wait before a partial batch is
+//                        flushed [20]
+//   --serve-queue-cap N  serve: bounded-queue capacity; requests
+//                        beyond it are rejected (backpressure) [64]
+//   --serve-corrupt-results    serve: hosted computing parties return
+//                        corrupted result shares (Byzantine serving-
+//                        edge fault injection; clients must out-vote)
 //   --metrics-out PATH   write the observability export (JSON, schema
 //                        trustddl.metrics.v1: metrics registry,
 //                        detection events, traffic matrix, cost) after
@@ -46,8 +59,10 @@
 //                        mismatch
 //   --connect-timeout-ms N     mesh rendezvous budget [10000]
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
@@ -63,6 +78,8 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
 
 using namespace trustddl;
 
@@ -72,8 +89,15 @@ struct Options {
   std::vector<int> party_ids;
   std::string listen_host;  // empty: use the host from the mesh entry
   int port_base = 29500;
+  std::string peers_text;          // raw --peers value (parsed after
+                                   // --task/--clients are known)
   std::vector<std::string> peers;  // [actor id] -> host:port
   std::string task = "infer";
+  int clients = 1;
+  std::size_t serve_max_batch = 8;
+  int serve_window_ms = 20;
+  std::size_t serve_queue_cap = 64;
+  bool serve_corrupt_results = false;
   std::string model = "mlp";
   std::size_t images = 12;
   std::size_t rows = 64;
@@ -120,9 +144,13 @@ std::vector<int> parse_id_list(const std::string& text) {
   return ids;
 }
 
-/// "id=host:port,id=host:port,..." covering all five actors.
-std::vector<std::string> parse_peer_list(const std::string& text) {
-  std::vector<std::string> addresses(core::kNumActors);
+/// "id=host:port,id=host:port,...": fills a vector indexed by actor
+/// id.  Which ids must be present depends on the task (serve never
+/// uses the data owner, and a party process never dials client slots),
+/// so the caller validates completeness.
+std::vector<std::string> parse_peer_list(const std::string& text,
+                                         int num_actors) {
+  std::vector<std::string> addresses(static_cast<std::size_t>(num_actors));
   std::size_t start = 0;
   while (start <= text.size()) {
     const std::size_t comma = text.find(',', start);
@@ -133,7 +161,7 @@ std::vector<std::string> parse_peer_list(const std::string& text) {
       usage_error("peer entry '" + item + "' is not id=host:port");
     }
     const int id = std::atoi(item.substr(0, eq).c_str());
-    if (id < 0 || id >= core::kNumActors) {
+    if (id < 0 || id >= num_actors) {
       usage_error("peer id out of range in '" + item + "'");
     }
     addresses[static_cast<std::size_t>(id)] = item.substr(eq + 1);
@@ -142,13 +170,30 @@ std::vector<std::string> parse_peer_list(const std::string& text) {
     }
     start = comma + 1;
   }
-  for (int id = 0; id < core::kNumActors; ++id) {
-    if (addresses[static_cast<std::size_t>(id)].empty()) {
-      usage_error("--peers must list all five actors (missing id " +
-                  std::to_string(id) + ")");
-    }
-  }
   return addresses;
+}
+
+/// The single source of truth for workload names: validation and the
+/// usage string both derive from this table, so adding a task cannot
+/// leave the error message stale.
+constexpr const char* kTaskNames[] = {"infer", "train", "malicious-inference",
+                                      "serve"};
+
+bool known_task(const std::string& task) {
+  return std::any_of(std::begin(kTaskNames), std::end(kTaskNames),
+                     [&](const char* name) { return task == name; });
+}
+
+std::string task_usage() {
+  std::string text;
+  const std::size_t count = std::size(kTaskNames);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i > 0) {
+      text += i + 1 == count ? " or " : ", ";
+    }
+    text += kTaskNames[i];
+  }
+  return text;
 }
 
 Options parse_options(int argc, char** argv) {
@@ -166,7 +211,19 @@ Options parse_options(int argc, char** argv) {
     } else if (arg == "--port-base") {
       opt.port_base = std::atoi(value(i).c_str());
     } else if (arg == "--peers") {
-      opt.peers = parse_peer_list(value(i));
+      opt.peers_text = value(i);
+    } else if (arg == "--clients") {
+      opt.clients = std::atoi(value(i).c_str());
+    } else if (arg == "--serve-max-batch") {
+      opt.serve_max_batch =
+          static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--serve-window-ms") {
+      opt.serve_window_ms = std::atoi(value(i).c_str());
+    } else if (arg == "--serve-queue-cap") {
+      opt.serve_queue_cap =
+          static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--serve-corrupt-results") {
+      opt.serve_corrupt_results = true;
     } else if (arg == "--listen") {
       opt.listen_host = value(i);
     } else if (arg == "--task") {
@@ -206,9 +263,8 @@ Options parse_options(int argc, char** argv) {
   if (opt.party_ids.empty()) {
     usage_error("--party-ids is required");
   }
-  if (opt.task != "infer" && opt.task != "train" &&
-      opt.task != "malicious-inference") {
-    usage_error("--task must be infer, train or malicious-inference");
+  if (!known_task(opt.task)) {
+    usage_error("--task must be " + task_usage());
   }
   if (opt.task == "malicious-inference" && opt.mode != "malicious") {
     usage_error("--task malicious-inference requires --mode malicious");
@@ -218,6 +274,38 @@ Options parse_options(int argc, char** argv) {
   }
   if (opt.images < 1 || opt.rows < 1 || opt.batch < 1 || opt.epochs < 1) {
     usage_error("--images/--rows/--batch/--epochs must be >= 1");
+  }
+  const bool serving = opt.task == "serve";
+  if (serving) {
+    if (opt.clients < 1) {
+      usage_error("--clients must be >= 1");
+    }
+    if (opt.serve_max_batch < 1 || opt.serve_queue_cap < 1 ||
+        opt.serve_window_ms < 0) {
+      usage_error("--serve-max-batch/--serve-queue-cap must be >= 1 and "
+                  "--serve-window-ms >= 0");
+    }
+    for (const int id : opt.party_ids) {
+      if (id == core::kDataOwner) {
+        usage_error("--task serve has no data-owner actor (id 3)");
+      }
+    }
+  }
+  // Peers are parsed only once the task is known: serving adds client
+  // actor ids and drops the data owner from the required set (client
+  // slots may also stay empty here — a party process accepts client
+  // connections, it never dials them).
+  const int num_actors = core::kNumActors + (serving ? opt.clients : 0);
+  if (!opt.peers_text.empty()) {
+    opt.peers = parse_peer_list(opt.peers_text, num_actors);
+    for (int id = 0; id < core::kNumActors; ++id) {
+      if (serving && id == core::kDataOwner) {
+        continue;
+      }
+      if (opt.peers[static_cast<std::size_t>(id)].empty()) {
+        usage_error("--peers is missing actor id " + std::to_string(id));
+      }
+    }
   }
   return opt;
 }
@@ -244,6 +332,256 @@ nn::ModelSpec spec_for(const std::string& name) {
     return nn::tiny_cnn_spec();
   }
   usage_error("--model must be mlp, cnn or tiny-cnn");
+}
+
+// Per-process traffic report (each frame metered once at its sender,
+// so summing the rows across processes reproduces the in-memory
+// engine's totals).
+void print_traffic(
+    const std::vector<std::unique_ptr<net::TcpTransport>>& transports) {
+  for (const auto& transport : transports) {
+    const net::TrafficSnapshot traffic = transport->traffic();
+    std::uint64_t sent_bytes = 0;
+    std::uint64_t sent_messages = 0;
+    const auto self = static_cast<std::size_t>(transport->self());
+    for (const auto& link : traffic.links[self]) {
+      sent_bytes += link.bytes;
+      sent_messages += link.messages;
+    }
+    std::printf("[party %d] sent %llu messages, %.2f MB\n",
+                static_cast<int>(transport->self()),
+                static_cast<unsigned long long>(sent_messages),
+                static_cast<double>(sent_bytes) / (1 << 20));
+  }
+}
+
+// Observability export for THIS process's hosted actors: the traffic
+// matrices of the hosted transports merged cell-wise (each single-
+// transport total counts the sender row only, so the merge keeps
+// once-per-message semantics), detection tallies from the hosted
+// computing parties, opening rounds from the lowest-id hosted honest
+// computing party (the counters are identical at every honest party —
+// the protocol is SPMD).  `party_logs` is indexed like `transports`.
+void write_process_export(
+    const Options& opt,
+    const std::vector<std::unique_ptr<net::TcpTransport>>& transports,
+    const std::vector<mpc::DetectionLog>& party_logs, double wall_seconds,
+    int num_actors, int byzantine_party) {
+  if (opt.metrics_out.empty()) {
+    return;
+  }
+  net::TrafficSnapshot traffic;
+  traffic.links.assign(static_cast<std::size_t>(num_actors),
+                       std::vector<net::LinkMetrics>(
+                           static_cast<std::size_t>(num_actors)));
+  for (const auto& transport : transports) {
+    const net::TrafficSnapshot local = transport->traffic();
+    for (std::size_t i = 0; i < local.links.size(); ++i) {
+      for (std::size_t j = 0; j < local.links[i].size(); ++j) {
+        traffic.links[i][j].bytes += local.links[i][j].bytes;
+        traffic.links[i][j].messages += local.links[i][j].messages;
+      }
+    }
+    traffic.total_bytes += local.total_bytes;
+    traffic.total_messages += local.total_messages;
+  }
+
+  core::CostReport cost;
+  cost.wall_seconds = wall_seconds;
+  cost.total_bytes = traffic.total_bytes;
+  cost.total_messages = traffic.total_messages;
+  for (int i = 0; i < num_actors; ++i) {
+    for (int j = 0; j < num_actors; ++j) {
+      const auto bytes = traffic.links[static_cast<std::size_t>(i)]
+                                      [static_cast<std::size_t>(j)]
+                                          .bytes;
+      if (i < core::kComputingParties && j < core::kComputingParties) {
+        cost.proxy_bytes += bytes;
+      } else {
+        cost.owner_bytes += bytes;
+      }
+    }
+  }
+  int rounds_party = num_actors;
+  for (std::size_t i = 0; i < transports.size(); ++i) {
+    const int id = static_cast<int>(transports[i]->self());
+    if (id >= core::kComputingParties) {
+      continue;
+    }
+    const mpc::DetectionLog& log = party_logs[i];
+    cost.commitment_violations +=
+        log.count(mpc::DetectionEvent::Kind::kCommitmentViolation);
+    cost.distance_anomalies +=
+        log.count(mpc::DetectionEvent::Kind::kDistanceAnomaly);
+    cost.share_auth_failures +=
+        log.count(mpc::DetectionEvent::Kind::kShareAuthFailure);
+    cost.recovered_opens += log.recovered_opens;
+    if (id != byzantine_party && id < rounds_party) {
+      rounds_party = id;
+      cost.opening_rounds = log.opens;
+      cost.values_opened = log.values_opened;
+    }
+  }
+
+  core::write_metrics_export(opt.metrics_out,
+                             obs::MetricsRegistry::global().snapshot(),
+                             obs::EventLog::global().snapshot(), traffic,
+                             cost);
+  std::printf("metrics export written to %s\n", opt.metrics_out.c_str());
+}
+
+// --task serve: host any of parties 0-2 and the model owner.  Clients
+// (ids >= serve::kFirstClientId) attach with trustddl_client; the data
+// owner (id 3) does not participate.  The mesh is a subset mesh —
+// parties and owner interconnect fully and accept client connections,
+// but never dial client address slots.
+int run_serve(const Options& opt, const core::EngineConfig& config,
+              const nn::ModelSpec& spec, nn::Sequential& model,
+              std::size_t param_count) {
+  const int num_actors = core::kNumActors + opt.clients;
+
+  std::vector<std::string> addresses = opt.peers;
+  if (addresses.empty()) {
+    for (int id = 0; id < num_actors; ++id) {
+      addresses.push_back("127.0.0.1:" + std::to_string(opt.port_base + id));
+    }
+  }
+
+  net::NetworkConfig net_config;
+  net_config.num_parties = num_actors;
+  net_config.connect.connect_timeout =
+      std::chrono::milliseconds(opt.connect_timeout_ms);
+
+  serve::ServeConfig serve_config;
+  serve_config.max_batch_rows = opt.serve_max_batch;
+  serve_config.batch_window = std::chrono::milliseconds(opt.serve_window_ms);
+  serve_config.queue_capacity = opt.serve_queue_cap;
+
+  try {
+    std::vector<std::unique_ptr<net::TcpTransport>> transports;
+    for (const int id : opt.party_ids) {
+      std::string listen = addresses[static_cast<std::size_t>(id)];
+      if (!opt.listen_host.empty()) {
+        listen = opt.listen_host + ":" +
+                 std::to_string(net::parse_address(listen).port);
+      }
+      std::printf("[party %d] %s listening on %s\n", id, role_name(id),
+                  listen.c_str());
+      transports.push_back(std::make_unique<net::TcpTransport>(
+          static_cast<net::PartyId>(id), listen, net_config));
+    }
+
+    // Serving topology: party p links the other parties, the owner and
+    // every client; the owner links the parties and every client.
+    const auto peers_for = [&](int id) {
+      std::vector<net::PartyId> peers;
+      for (int p = 0; p < core::kComputingParties; ++p) {
+        if (p != id) {
+          peers.push_back(static_cast<net::PartyId>(p));
+        }
+      }
+      if (id != core::kModelOwner) {
+        peers.push_back(core::kModelOwner);
+      }
+      for (int c = 0; c < opt.clients; ++c) {
+        peers.push_back(static_cast<net::PartyId>(serve::kFirstClientId + c));
+      }
+      return peers;
+    };
+    {
+      std::vector<std::thread> dialers;
+      std::vector<std::exception_ptr> errors(transports.size());
+      for (std::size_t i = 0; i < transports.size(); ++i) {
+        dialers.emplace_back([&, i] {
+          try {
+            transports[i]->connect(
+                addresses, peers_for(static_cast<int>(transports[i]->self())));
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        });
+      }
+      for (auto& dialer : dialers) {
+        dialer.join();
+      }
+      for (const auto& error : errors) {
+        if (error) {
+          std::rethrow_exception(error);
+        }
+      }
+    }
+    std::printf("serve mesh connected (%zu local actor%s, %d client%s)\n",
+                transports.size(), transports.size() == 1 ? "" : "s",
+                opt.clients, opt.clients == 1 ? "" : "s");
+
+    std::vector<mpc::DetectionLog> party_logs(transports.size());
+    Stopwatch watch;
+    std::vector<std::thread> bodies;
+    std::vector<std::exception_ptr> errors(transports.size());
+    for (std::size_t i = 0; i < transports.size(); ++i) {
+      const int id = static_cast<int>(transports[i]->self());
+      bodies.emplace_back([&, id, i] {
+        try {
+          net::Endpoint endpoint =
+              transports[i]->endpoint(static_cast<net::PartyId>(id));
+          if (id == core::kModelOwner) {
+            serve::SchedulerStats stats;
+            serve::serve_model_owner_body(spec, config, model, endpoint,
+                                          serve_config, opt.clients, &stats);
+            std::printf(
+                "[party %d] serve done: %llu admitted = %llu completed + "
+                "%llu rejected + %llu deadline-missed (%llu batches, "
+                "%llu rows)\n",
+                id, static_cast<unsigned long long>(stats.admitted),
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.rejected),
+                static_cast<unsigned long long>(stats.deadline_missed),
+                static_cast<unsigned long long>(stats.batches),
+                static_cast<unsigned long long>(stats.batched_rows));
+          } else {
+            serve::ServerOptions server_options;
+            server_options.serve = serve_config;
+            server_options.corrupt_results = opt.serve_corrupt_results;
+            std::size_t batches = 0;
+            party_logs[i] = serve::serve_computing_party_body(
+                spec, config, param_count, id, endpoint, server_options,
+                &batches);
+            std::printf("[party %d] serve done: %zu batch%s executed\n", id,
+                        batches, batches == 1 ? "" : "es");
+          }
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    for (auto& body : bodies) {
+      body.join();
+    }
+    for (std::size_t i = 0; i < transports.size(); ++i) {
+      if (errors[i]) {
+        std::rethrow_exception(errors[i]);
+      }
+    }
+
+    print_traffic(transports);
+    write_process_export(opt, transports, party_logs, watch.elapsed_seconds(),
+                         num_actors, config.byzantine_party);
+    if (!opt.trace_out.empty()) {
+      obs::Tracer::global().close();
+    }
+
+    // Let in-flight frames from peers drain before tearing the
+    // sockets down (a client's last result ack may still be in
+    // transit).
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    for (auto& transport : transports) {
+      transport->shutdown();
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "trustddl_party: %s\n", error.what());
+    return 1;
+  }
 }
 
 }  // namespace
@@ -293,6 +631,13 @@ int main(int argc, char** argv) {
   Rng model_rng(config.seed);
   nn::Sequential model = nn::build_model(spec, model_rng);
   const std::size_t param_count = model.parameters().size();
+
+  if (opt.task == "serve") {
+    // The serving workload has no dataset or jobs of its own — clients
+    // bring the inputs.  It gets its own driver with the larger actor
+    // space and subset-mesh rendezvous.
+    return run_serve(opt, config, spec, model, param_count);
+  }
 
   data::SyntheticMnistConfig data_config;
   data_config.train_count = opt.rows;
@@ -439,91 +784,9 @@ int main(int argc, char** argv) {
       }
     }
 
-    // --- Report per-process traffic (each frame metered once at its
-    // sender, so summing the rows across processes reproduces the
-    // in-memory engine's totals).
-    for (const auto& transport : transports) {
-      const net::TrafficSnapshot traffic = transport->traffic();
-      std::uint64_t sent_bytes = 0;
-      std::uint64_t sent_messages = 0;
-      const auto self = static_cast<std::size_t>(transport->self());
-      for (const auto& link : traffic.links[self]) {
-        sent_bytes += link.bytes;
-        sent_messages += link.messages;
-      }
-      std::printf("[party %d] sent %llu messages, %.2f MB\n",
-                  static_cast<int>(transport->self()),
-                  static_cast<unsigned long long>(sent_messages),
-                  static_cast<double>(sent_bytes) / (1 << 20));
-    }
-
-    // --- Observability export for THIS process's hosted actors: the
-    // traffic matrices of the hosted transports merged cell-wise (each
-    // single-transport total counts the sender row only, so the merge
-    // keeps once-per-message semantics), detection tallies from the
-    // hosted computing parties, opening rounds from the lowest-id
-    // hosted honest computing party (the counters are identical at
-    // every honest party — the protocol is SPMD).
-    if (!opt.metrics_out.empty()) {
-      net::TrafficSnapshot traffic;
-      traffic.links.assign(
-          core::kNumActors,
-          std::vector<net::LinkMetrics>(core::kNumActors));
-      for (const auto& transport : transports) {
-        const net::TrafficSnapshot local = transport->traffic();
-        for (std::size_t i = 0; i < local.links.size(); ++i) {
-          for (std::size_t j = 0; j < local.links[i].size(); ++j) {
-            traffic.links[i][j].bytes += local.links[i][j].bytes;
-            traffic.links[i][j].messages += local.links[i][j].messages;
-          }
-        }
-        traffic.total_bytes += local.total_bytes;
-        traffic.total_messages += local.total_messages;
-      }
-
-      core::CostReport cost;
-      cost.wall_seconds = watch.elapsed_seconds();
-      cost.total_bytes = traffic.total_bytes;
-      cost.total_messages = traffic.total_messages;
-      for (int i = 0; i < core::kNumActors; ++i) {
-        for (int j = 0; j < core::kNumActors; ++j) {
-          const auto bytes = traffic.links[static_cast<std::size_t>(i)]
-                                          [static_cast<std::size_t>(j)]
-                                              .bytes;
-          if (i < core::kComputingParties && j < core::kComputingParties) {
-            cost.proxy_bytes += bytes;
-          } else {
-            cost.owner_bytes += bytes;
-          }
-        }
-      }
-      int rounds_party = core::kNumActors;
-      for (std::size_t i = 0; i < transports.size(); ++i) {
-        const int id = static_cast<int>(transports[i]->self());
-        if (id >= core::kComputingParties) {
-          continue;
-        }
-        const mpc::DetectionLog& log = party_logs[i];
-        cost.commitment_violations +=
-            log.count(mpc::DetectionEvent::Kind::kCommitmentViolation);
-        cost.distance_anomalies +=
-            log.count(mpc::DetectionEvent::Kind::kDistanceAnomaly);
-        cost.share_auth_failures +=
-            log.count(mpc::DetectionEvent::Kind::kShareAuthFailure);
-        cost.recovered_opens += log.recovered_opens;
-        if (id != config.byzantine_party && id < rounds_party) {
-          rounds_party = id;
-          cost.opening_rounds = log.opens;
-          cost.values_opened = log.values_opened;
-        }
-      }
-
-      core::write_metrics_export(opt.metrics_out,
-                                 obs::MetricsRegistry::global().snapshot(),
-                                 obs::EventLog::global().snapshot(), traffic,
-                                 cost);
-      std::printf("metrics export written to %s\n", opt.metrics_out.c_str());
-    }
+    print_traffic(transports);
+    write_process_export(opt, transports, party_logs, watch.elapsed_seconds(),
+                         core::kNumActors, config.byzantine_party);
     if (!opt.trace_out.empty()) {
       obs::Tracer::global().close();
     }

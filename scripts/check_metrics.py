@@ -16,7 +16,12 @@ docs/metrics.schema.json's contract:
     (transport metering and the metrics registry agree);
   * detection-event consistency: events are well formed and the
     per-kind event counts match both the cost section and the
-    `detect.<kind>` counters.
+    `detect.<kind>` counters;
+  * serving-ledger consistency (only when the export carries serve.*
+    counters): every admitted request has exactly one outcome
+    (admitted == completed + rejected + deadline_missed) and the
+    serve.batch.rows histogram saw every dispatched batch
+    (count == serve.batches).
 
 Usage:
   check_metrics.py METRICS_JSON [--trace TRACE_JSONL]
@@ -106,6 +111,31 @@ def check_traffic_section(traffic, counters):
             % (sent_messages, traffic["total_messages"]))
 
 
+def check_serve_section(metrics):
+    """Serving request-ledger invariants, skipped for non-serving runs.
+
+    The owner's scheduler assigns every admitted request exactly one
+    terminal outcome, so the counters must balance; any imbalance means
+    a request was dropped or double-counted.
+    """
+    counters = metrics["counters"]
+    if "serve.requests.admitted" not in counters:
+        return
+    admitted = counters["serve.requests.admitted"]
+    outcomes = (counters.get("serve.requests.completed", 0)
+                + counters.get("serve.requests.rejected", 0)
+                + counters.get("serve.requests.deadline_missed", 0))
+    require(admitted == outcomes,
+            "serve.requests.admitted %d != completed+rejected+"
+            "deadline_missed %d" % (admitted, outcomes))
+    batches = counters.get("serve.batches", 0)
+    rows_hist = metrics["histograms"].get("serve.batch.rows")
+    if rows_hist is not None:
+        require(rows_hist["count"] == batches,
+                "serve.batch.rows count %d != serve.batches %d"
+                % (rows_hist["count"], batches))
+
+
 def check_events_section(events, cost, counters, args):
     per_kind = {}
     for index, event in enumerate(events):
@@ -188,6 +218,7 @@ def main():
     check_metrics_section(export["metrics"])
     check_traffic_section(export["traffic"], counters)
     check_events_section(export["events"], export["cost"], counters, args)
+    check_serve_section(export["metrics"])
 
     summary = ("check_metrics: OK: %d counters, %d events, "
                "%d bytes / %d messages"

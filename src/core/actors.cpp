@@ -25,7 +25,8 @@ std::string pred_tag(std::size_t step) {
   return "pred/" + std::to_string(step);
 }
 
-/// Share `model`'s parameters to the three computing parties.
+}  // namespace
+
 void share_parameters(nn::Sequential& model, net::Endpoint endpoint,
                       int frac_bits, Rng& rng) {
   const auto parameters = model.parameters();
@@ -40,7 +41,6 @@ void share_parameters(nn::Sequential& model, net::Endpoint endpoint,
   }
 }
 
-/// Receive the shared parameters at a computing party.
 std::vector<mpc::PartyShare> receive_parameters(net::Endpoint endpoint,
                                                 std::size_t param_count) {
   std::vector<mpc::PartyShare> shares;
@@ -51,8 +51,6 @@ std::vector<mpc::PartyShare> receive_parameters(net::Endpoint endpoint,
   }
   return shares;
 }
-
-}  // namespace
 
 OwnerServiceConfig make_owner_service_config(const EngineConfig& config,
                                              bool training) {
@@ -75,6 +73,7 @@ InferJob make_infer_job(nn::ModelSpec spec, const EngineConfig& config,
                         std::size_t param_count, const data::Dataset& inputs,
                         std::size_t batch_size) {
   TRUSTDDL_REQUIRE(batch_size >= 1, "infer: invalid batch size");
+  TRUSTDDL_REQUIRE(inputs.size() >= 1, "infer: empty dataset");
   InferJob job;
   job.spec = std::move(spec);
   job.config = config;

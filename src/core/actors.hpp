@@ -25,6 +25,19 @@ OwnerServiceConfig make_owner_service_config(const EngineConfig& config,
 /// the model owner.
 std::string reveal_key(std::size_t epoch, std::size_t param);
 
+/// Share `model`'s parameters from the model owner to the three
+/// computing parties (tags "init/<i>").  Exposed for actor bodies that
+/// live outside this translation unit — e.g. the serving layer's
+/// model-owner body — so every deployment distributes parameters the
+/// same way.
+void share_parameters(nn::Sequential& model, net::Endpoint endpoint,
+                      int frac_bits, Rng& rng);
+
+/// Receive the shared parameters at a computing party (counterpart of
+/// share_parameters).
+std::vector<mpc::PartyShare> receive_parameters(net::Endpoint endpoint,
+                                                std::size_t param_count);
+
 // --- Secure inference -----------------------------------------------
 
 /// Everything an inference actor needs to know up front.  All actors

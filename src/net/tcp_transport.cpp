@@ -276,20 +276,40 @@ void TcpTransport::accept_higher_peers(int expected) {
 }
 
 void TcpTransport::connect(const std::vector<std::string>& peer_addresses) {
+  std::vector<PartyId> peers;
+  peers.reserve(static_cast<std::size_t>(config_.num_parties) - 1);
+  for (PartyId id = 0; id < config_.num_parties; ++id) {
+    if (id != self_) {
+      peers.push_back(id);
+    }
+  }
+  connect(peer_addresses, peers);
+}
+
+void TcpTransport::connect(const std::vector<std::string>& peer_addresses,
+                           const std::vector<PartyId>& peers) {
   TRUSTDDL_REQUIRE(
       peer_addresses.size() ==
           static_cast<std::size_t>(config_.num_parties),
-      "connect: need one address per party");
+      "connect: need one address slot per party");
   // Dial lower ids first; their listeners have existed since
   // construction, so at worst we retry while the peer process starts.
-  for (PartyId peer = 0; peer < self_; ++peer) {
+  int higher = 0;
+  for (const PartyId peer : peers) {
+    TRUSTDDL_REQUIRE(peer >= 0 && peer < config_.num_parties &&
+                         peer != self_,
+                     "connect: invalid peer id");
+    if (peer > self_) {
+      ++higher;
+      continue;
+    }
     const TcpAddress address =
         parse_address(peer_addresses[static_cast<std::size_t>(peer)]);
     peers_[static_cast<std::size_t>(peer)]->fd =
         connect_with_retry(peer, address);
     start_reader(peer);
   }
-  accept_higher_peers(config_.num_parties - 1 - self_);
+  accept_higher_peers(higher);
 }
 
 void TcpTransport::start_reader(PartyId peer_id) {

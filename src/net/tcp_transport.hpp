@@ -62,6 +62,16 @@ class TcpTransport final : public Transport {
   /// the RetryPolicy budget runs out.
   void connect(const std::vector<std::string>& peer_addresses);
 
+  /// Subset-mesh rendezvous: link only the ids in `peers` (dialing
+  /// the lower ones, accepting the higher ones).  `peer_addresses` is
+  /// still indexed by party id; slots for non-peers may be empty.
+  /// Topologies that are not a full mesh — e.g. serving, where clients
+  /// talk to the parties and the model owner but parties never dial
+  /// clients — must agree on pairs: for every a in b's list, b must be
+  /// in a's list, or the rendezvous times out.
+  void connect(const std::vector<std::string>& peer_addresses,
+               const std::vector<PartyId>& peers);
+
   /// Graceful teardown: closes every socket and joins the reader
   /// threads.  Idempotent; also run by the destructor.
   void shutdown();

@@ -1,0 +1,169 @@
+#include "serve/client.hpp"
+
+#include <array>
+#include <optional>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "mpc/robust_reconstruct.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace trustddl::serve {
+namespace {
+
+constexpr const char* kLog = "serve.client";
+
+std::vector<std::size_t> argmax_rows(const RealTensor& probabilities) {
+  std::vector<std::size_t> labels(probabilities.rows());
+  for (std::size_t row = 0; row < probabilities.rows(); ++row) {
+    std::size_t best = 0;
+    for (std::size_t col = 1; col < probabilities.cols(); ++col) {
+      if (probabilities.at(row, col) > probabilities.at(row, best)) {
+        best = col;
+      }
+    }
+    labels[row] = best;
+  }
+  return labels;
+}
+
+}  // namespace
+
+InferenceClient::InferenceClient(net::Endpoint endpoint,
+                                 ClientOptions options)
+    : endpoint_(endpoint), options_(options), rng_(options.seed) {
+  TRUSTDDL_REQUIRE(endpoint_.id() >= kFirstClientId,
+                   "serve: client endpoint must use a client actor id");
+}
+
+std::uint64_t InferenceClient::submit(const RealTensor& images) {
+  TRUSTDDL_REQUIRE(images.rank() == 2 && images.rows() >= 1,
+                   "serve: submit expects a non-empty [rows, features] "
+                   "tensor");
+  std::uint64_t seq = 0;
+  std::array<mpc::PartyShare, mpc::kNumParties> views;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = next_seq_++;
+    views = mpc::share_secret(to_ring(images, options_.frac_bits), rng_);
+  }
+  // Input shares first, then the admission notice: the manifest a
+  // party acts on is usually sent after the shares already sit in its
+  // mailbox.  (Reordering is still harmless — parties wait input_wait
+  // per entry.)
+  for (int party = 0; party < mpc::kNumParties; ++party) {
+    endpoint_.send(party, input_tag(seq),
+                   encode_share(views[static_cast<std::size_t>(party)]));
+  }
+  RequestNotice notice;
+  notice.seq = seq;
+  notice.rows = images.rows();
+  notice.deadline_ms =
+      static_cast<std::uint64_t>(options_.deadline.count());
+  endpoint_.send(core::kModelOwner, notice_tag(seq), encode_notice(notice));
+  return seq;
+}
+
+InferenceResult InferenceClient::await(std::uint64_t seq, std::size_t rows) {
+  const auto start = std::chrono::steady_clock::now();
+  std::array<std::optional<mpc::PartyShare>, mpc::kNumParties> triples;
+  int responders = 0;
+  std::optional<std::chrono::steady_clock::time_point> second_arrival;
+  InferenceResult result;
+
+  while (true) {
+    Bytes payload;
+    for (int party = 0; party < mpc::kNumParties; ++party) {
+      const auto slot = static_cast<std::size_t>(party);
+      if (!triples[slot] &&
+          endpoint_.try_recv(party, result_tag(seq), payload)) {
+        try {
+          mpc::PartyShare share = decode_share(std::move(payload));
+          TRUSTDDL_REQUIRE(share.shape().size() == 2 &&
+                               share.shape()[0] == rows,
+                           "serve: result share row mismatch");
+          triples[slot] = std::move(share);
+          if (++responders == 2) {
+            second_arrival = std::chrono::steady_clock::now();
+          }
+        } catch (const Error& error) {
+          // A malformed frame counts as no answer from that party.
+          TRUSTDDL_LOG_WARN(kLog)
+              << "client " << endpoint_.id() << " seq " << seq
+              << ": discarding garbled result from party " << party << " ("
+              << error.what() << ")";
+        }
+      }
+    }
+    if (endpoint_.try_recv(core::kModelOwner, control_tag(seq), payload)) {
+      const ControlResponse control = decode_control(std::move(payload));
+      result.status = control.status;
+      result.responders = responders;
+      return result;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (responders == mpc::kNumParties) {
+      break;
+    }
+    if (responders >= 2 && now - *second_arrival >=
+                               options_.straggler_grace) {
+      break;
+    }
+    if (now - start >= options_.response_timeout) {
+      if (responders >= 2) {
+        break;
+      }
+      result.status = Status::kDeadlineMissed;
+      result.responders = responders;
+      return result;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+
+  mpc::ReconstructReport report;
+  const RingTensor ring =
+      mpc::robust_reconstruct(triples, options_.dist_tolerance, &report);
+  result.status = Status::kOk;
+  result.probabilities = to_real(ring, options_.frac_bits);
+  result.labels = argmax_rows(result.probabilities);
+  result.responders = responders;
+  result.anomaly = report.anomaly;
+  result.suspect = report.suspect;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  obs::observe("serve.e2e.us",
+               static_cast<std::uint64_t>(elapsed.count()));
+  return result;
+}
+
+InferenceResult InferenceClient::infer(const RealTensor& images) {
+  auto backoff = options_.retry_backoff;
+  for (int attempt = 0;; ++attempt) {
+    const std::uint64_t seq = submit(images);
+    InferenceResult result = await(seq, images.rows());
+    result.attempts = attempt + 1;
+    if (result.status == Status::kRejected &&
+        attempt < options_.max_retries) {
+      obs::count("serve.client.retries");
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+      continue;
+    }
+    return result;
+  }
+}
+
+void InferenceClient::stop() {
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = next_seq_++;
+  }
+  RequestNotice notice;
+  notice.kind = NoticeKind::kStop;
+  notice.seq = seq;
+  endpoint_.send(core::kModelOwner, notice_tag(seq), encode_notice(notice));
+}
+
+}  // namespace trustddl::serve

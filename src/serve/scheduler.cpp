@@ -1,0 +1,141 @@
+#include "serve/scheduler.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "core/roles.hpp"
+#include "obs/metrics.hpp"
+#include "serve/wire.hpp"
+
+namespace trustddl::serve {
+namespace {
+
+constexpr const char* kLog = "serve.scheduler";
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(net::Endpoint endpoint, ServeConfig config,
+                               int num_clients)
+    : endpoint_(endpoint), config_(config), num_clients_(num_clients),
+      queue_(config.queue_capacity, config.max_batch_rows,
+             config.batch_window) {
+  TRUSTDDL_REQUIRE(num_clients >= 1, "serve: need at least one client");
+}
+
+void BatchScheduler::run() {
+  std::vector<std::uint64_t> next_seq(static_cast<std::size_t>(num_clients_),
+                                      0);
+  std::vector<bool> stopped(static_cast<std::size_t>(num_clients_), false);
+  int stopped_count = 0;
+  while (true) {
+    bool progress = false;
+    for (int index = 0; index < num_clients_; ++index) {
+      const auto slot = static_cast<std::size_t>(index);
+      if (stopped[slot]) {
+        continue;
+      }
+      const net::PartyId client = kFirstClientId + index;
+      Bytes payload;
+      // Notices are read strictly in per-client seq order; seq is the
+      // only framing, so concurrent submitters on one client need no
+      // wire-level ordering.
+      while (endpoint_.try_recv(client, notice_tag(next_seq[slot]),
+                                payload)) {
+        progress = true;
+        ++next_seq[slot];
+        const RequestNotice notice = decode_notice(std::move(payload));
+        if (notice.kind == NoticeKind::kStop) {
+          stopped[slot] = true;
+          ++stopped_count;
+          break;
+        }
+        handle_notice(client, notice);
+      }
+    }
+
+    const auto now = BatchQueue::Clock::now();
+    for (const auto& dead : queue_.expire(now)) {
+      progress = true;
+      ++stats_.deadline_missed;
+      obs::count("serve.requests.deadline_missed");
+      obs::gauge_add("serve.queue.depth", -1);
+      send_control(dead.client, dead.seq, Status::kDeadlineMissed);
+    }
+    if (queue_.should_flush(now)) {
+      progress = true;
+      dispatch(queue_.pop_batch());
+    }
+    if (stopped_count == num_clients_ && queue_.empty()) {
+      break;
+    }
+    if (!progress) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  BatchManifest goodbye;
+  goodbye.index = next_manifest_++;
+  goodbye.shutdown = true;
+  const Bytes payload = encode_manifest(goodbye);
+  for (int party = 0; party < core::kComputingParties; ++party) {
+    endpoint_.send(party, manifest_tag(goodbye.index), payload);
+  }
+  TRUSTDDL_LOG_INFO(kLog) << "scheduler done: " << stats_.admitted
+                          << " admitted, " << stats_.completed
+                          << " dispatched in " << stats_.batches
+                          << " batches, " << stats_.rejected << " rejected, "
+                          << stats_.deadline_missed << " deadline-missed";
+}
+
+void BatchScheduler::handle_notice(net::PartyId client,
+                                   const RequestNotice& notice) {
+  ++stats_.admitted;
+  obs::count("serve.requests.admitted");
+  const auto now = BatchQueue::Clock::now();
+  BatchQueue::Entry entry;
+  entry.client = client;
+  entry.seq = notice.seq;
+  entry.rows = notice.rows;
+  entry.admitted = now;
+  entry.deadline =
+      now + (notice.deadline_ms != 0
+                 ? std::chrono::milliseconds(notice.deadline_ms)
+                 : config_.default_deadline);
+  if (queue_.push(entry)) {
+    obs::gauge_add("serve.queue.depth", 1);
+  } else {
+    ++stats_.rejected;
+    obs::count("serve.requests.rejected");
+    send_control(client, notice.seq, Status::kRejected);
+  }
+}
+
+void BatchScheduler::dispatch(std::vector<BatchQueue::Entry> batch) {
+  BatchManifest manifest;
+  manifest.index = next_manifest_++;
+  manifest.entries.reserve(batch.size());
+  for (const auto& entry : batch) {
+    manifest.entries.push_back({entry.client, entry.seq, entry.rows});
+  }
+  const Bytes payload = encode_manifest(manifest);
+  for (int party = 0; party < core::kComputingParties; ++party) {
+    endpoint_.send(party, manifest_tag(manifest.index), payload);
+  }
+  ++stats_.batches;
+  stats_.completed += batch.size();
+  stats_.batched_rows += manifest.total_rows();
+  obs::count("serve.batches");
+  obs::count("serve.requests.completed", batch.size());
+  obs::observe("serve.batch.rows", manifest.total_rows());
+  obs::gauge_add("serve.queue.depth",
+                 -static_cast<std::int64_t>(batch.size()));
+}
+
+void BatchScheduler::send_control(net::PartyId client, std::uint64_t seq,
+                                  Status status) {
+  endpoint_.send(client, control_tag(seq),
+                 encode_control(ControlResponse{status, seq}));
+}
+
+}  // namespace trustddl::serve

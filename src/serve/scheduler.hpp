@@ -1,0 +1,65 @@
+// Owner-side batch sequencer for the serving layer.
+//
+// Dynamic batching needs every computing party to execute IDENTICAL
+// batches (the MPC protocols are SPMD — a one-request disagreement
+// desynchronises every subsequent opening).  Local timers at the
+// parties cannot guarantee that, and a party-elected leader would hand
+// a Byzantine party a denial-of-service lever.  The model owner is
+// trusted in the paper's deployment model (it already deals all
+// preprocessing material and computes outsourced Softmax), so it is
+// the natural single sequencer: clients notify it of submitted
+// requests, it runs the bounded BatchQueue, and it broadcasts each
+// batch manifest to the three parties, which follow in lockstep.
+//
+// The scheduler owns the request lifecycle ledger: every admitted
+// notice ends in exactly one of {completed (dispatched in a manifest),
+// rejected, deadline_missed} — the serve.requests.* counters satisfy
+//   admitted == completed + rejected + deadline_missed
+// by construction, and scripts/check_metrics.py enforces it.
+#pragma once
+
+#include <cstdint>
+
+#include "net/transport.hpp"
+#include "serve/batch_queue.hpp"
+#include "serve/wire.hpp"
+
+namespace trustddl::serve {
+
+struct SchedulerStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t deadline_missed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_rows = 0;
+};
+
+class BatchScheduler {
+ public:
+  /// `endpoint` must be the model owner's; clients occupy actor ids
+  /// kFirstClientId .. kFirstClientId + num_clients - 1.
+  BatchScheduler(net::Endpoint endpoint, ServeConfig config,
+                 int num_clients);
+
+  /// Sequence batches until every client sent its stop notice and the
+  /// queue drained; then broadcast the shutdown manifest.  Runs on the
+  /// model owner's thread (alongside, not inside, ModelOwnerService).
+  void run();
+
+  const SchedulerStats& stats() const { return stats_; }
+
+ private:
+  void handle_notice(net::PartyId client, const RequestNotice& notice);
+  void dispatch(std::vector<BatchQueue::Entry> batch);
+  void send_control(net::PartyId client, std::uint64_t seq, Status status);
+
+  net::Endpoint endpoint_;
+  ServeConfig config_;
+  int num_clients_;
+  BatchQueue queue_;
+  SchedulerStats stats_;
+  std::uint64_t next_manifest_ = 0;
+};
+
+}  // namespace trustddl::serve

@@ -1,0 +1,163 @@
+#include "serve/server.hpp"
+
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/wire.hpp"
+
+namespace trustddl::serve {
+namespace {
+
+constexpr const char* kLog = "serve.server";
+
+/// Generous bound for the next manifest: the owner may legitimately be
+/// idle while no client has anything to ask.
+constexpr auto kManifestTimeout = std::chrono::seconds(60);
+
+/// Byzantine result corruption: a constant offset on every component —
+/// the share frame stays well-formed, the reconstructed value is junk.
+mpc::PartyShare corrupted(const mpc::PartyShare& share) {
+  return mpc::transform_share(share, [](const RingTensor& component) {
+    RingTensor out = component;
+    for (auto& value : out.values()) {
+      value += 0x517e57ab1e0ddba1ULL;
+    }
+    return out;
+  });
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(int party, net::Endpoint endpoint,
+                                 ServerOptions options)
+    : party_(party), endpoint_(endpoint), options_(std::move(options)) {}
+
+bool InferenceServer::run(core::SecureModel& model,
+                          core::SecureExecContext& ctx,
+                          std::size_t input_features) {
+  for (std::uint64_t index = 0;; ++index) {
+    const BatchManifest manifest = decode_manifest(
+        endpoint_.recv(core::kModelOwner, manifest_tag(index),
+                       kManifestTimeout));
+    if (manifest.shutdown) {
+      return true;
+    }
+    TRUSTDDL_REQUIRE(!manifest.entries.empty(), "serve: empty manifest");
+
+    obs::ScopedSpan span("serve.batch", party_, index);
+    std::vector<mpc::PartyShare> inputs;
+    inputs.reserve(manifest.entries.size());
+    for (const auto& entry : manifest.entries) {
+      const Shape expected{entry.rows, input_features};
+      mpc::PartyShare share = mpc::zero_share(expected);
+      try {
+        share = decode_share(endpoint_.recv(entry.client,
+                                            input_tag(entry.seq),
+                                            options_.serve.input_wait));
+        TRUSTDDL_REQUIRE(share.shape() == expected,
+                         "serve: input share shape mismatch");
+      } catch (const Error& error) {
+        // Missing or malformed input: stay in lockstep with a zero
+        // share; the client's robust 2-of-3 reconstruction covers the
+        // gap at this party.
+        share = mpc::zero_share(expected);
+        obs::count("serve.party.input_substituted");
+        TRUSTDDL_LOG_WARN(kLog)
+            << "party " << party_ << " batch " << index
+            << ": substituting zero input for client " << entry.client
+            << " seq " << entry.seq << " (" << error.what() << ")";
+      }
+      inputs.push_back(std::move(share));
+    }
+
+    const mpc::PartyShare probabilities =
+        model.forward(ctx, concat_rows(inputs));
+
+    std::size_t offset = 0;
+    for (const auto& entry : manifest.entries) {
+      mpc::PartyShare result =
+          slice_rows(probabilities, offset, entry.rows);
+      offset += entry.rows;
+      if (options_.corrupt_results) {
+        result = corrupted(result);
+      }
+      endpoint_.send(entry.client, result_tag(entry.seq),
+                     encode_share(result));
+    }
+    ++batches_;
+    obs::count("serve.party.batches");
+
+    if (options_.max_batches != 0 && batches_ >= options_.max_batches) {
+      TRUSTDDL_LOG_WARN(kLog) << "party " << party_
+                              << " crashing after batch " << index
+                              << " (fault injection)";
+      return false;
+    }
+  }
+}
+
+mpc::DetectionLog serve_computing_party_body(
+    const nn::ModelSpec& spec, const core::EngineConfig& config,
+    std::size_t param_count, int party, net::Endpoint endpoint,
+    const ServerOptions& options, std::size_t* batches_out) {
+  core::OwnerLink link(endpoint, party, std::chrono::seconds(60));
+  core::SecureModel model(spec,
+                          core::receive_parameters(endpoint, param_count));
+
+  mpc::PartyContext pctx = core::make_party_context(config, party, endpoint);
+  core::SecureExecContext sctx = core::make_exec_context(config, pctx, link);
+
+  InferenceServer server(party, endpoint, options);
+  const bool clean = server.run(model, sctx, spec.input_features);
+  if (batches_out != nullptr) {
+    *batches_out = server.batches_executed();
+  }
+  if (clean) {
+    link.stop();
+  }
+  return pctx.detections;
+}
+
+void serve_model_owner_body(const nn::ModelSpec& spec,
+                            const core::EngineConfig& config,
+                            nn::Sequential& model, net::Endpoint endpoint,
+                            const ServeConfig& serve_config, int num_clients,
+                            SchedulerStats* stats_out) {
+  // Same parameter-sharing seed derivation as one-shot inference, so a
+  // serving deployment distributes bit-identical parameter shares.
+  Rng rng(config.seed * 59 + 29);
+  core::share_parameters(model, endpoint, config.frac_bits, rng);
+
+  core::ModelOwnerService service(
+      endpoint, core::make_owner_service_config(config, /*training=*/false));
+  std::exception_ptr service_error;
+  std::thread service_thread([&] {
+    try {
+      service.run();
+    } catch (...) {
+      service_error = std::current_exception();
+    }
+  });
+
+  BatchScheduler scheduler(endpoint, serve_config, num_clients);
+  try {
+    scheduler.run();
+  } catch (...) {
+    service_thread.join();
+    throw;
+  }
+  service_thread.join();
+  if (stats_out != nullptr) {
+    *stats_out = scheduler.stats();
+  }
+  if (service_error) {
+    std::rethrow_exception(service_error);
+  }
+}
+
+}  // namespace trustddl::serve

@@ -1,0 +1,174 @@
+#include "serve/wire.hpp"
+
+#include "mpc/share_serde.hpp"
+
+namespace trustddl::serve {
+namespace {
+
+std::string srv_tag(std::uint64_t number, const char* what) {
+  return "srv/" + std::to_string(number) + "/" + what;
+}
+
+Status status_from_u8(std::uint8_t raw) {
+  TRUSTDDL_REQUIRE(raw <= static_cast<std::uint8_t>(Status::kDeadlineMissed),
+                   "serve: unknown status byte");
+  return static_cast<Status>(raw);
+}
+
+}  // namespace
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kRejected:
+      return "rejected";
+    case Status::kDeadlineMissed:
+      return "deadline_missed";
+  }
+  return "unknown";
+}
+
+std::string notice_tag(std::uint64_t seq) { return srv_tag(seq, "notice"); }
+std::string input_tag(std::uint64_t seq) { return srv_tag(seq, "in"); }
+std::string manifest_tag(std::uint64_t index) { return srv_tag(index, "man"); }
+std::string control_tag(std::uint64_t seq) { return srv_tag(seq, "ctl"); }
+std::string result_tag(std::uint64_t seq) { return srv_tag(seq, "res"); }
+
+Bytes encode_notice(const RequestNotice& notice) {
+  ByteWriter writer;
+  writer.write_u8(static_cast<std::uint8_t>(notice.kind));
+  writer.write_u64(notice.seq);
+  writer.write_u64(notice.rows);
+  writer.write_u64(notice.deadline_ms);
+  return writer.take();
+}
+
+RequestNotice decode_notice(Bytes payload) {
+  ByteReader reader(std::move(payload));
+  RequestNotice notice;
+  const std::uint8_t kind = reader.read_u8();
+  TRUSTDDL_REQUIRE(kind <= static_cast<std::uint8_t>(NoticeKind::kStop),
+                   "serve: unknown notice kind");
+  notice.kind = static_cast<NoticeKind>(kind);
+  notice.seq = reader.read_u64();
+  notice.rows = reader.read_u64();
+  notice.deadline_ms = reader.read_u64();
+  return notice;
+}
+
+std::size_t BatchManifest::total_rows() const {
+  std::size_t rows = 0;
+  for (const auto& entry : entries) {
+    rows += entry.rows;
+  }
+  return rows;
+}
+
+Bytes encode_manifest(const BatchManifest& manifest) {
+  ByteWriter writer;
+  writer.write_u64(manifest.index);
+  writer.write_u8(manifest.shutdown ? 1 : 0);
+  writer.write_u32(static_cast<std::uint32_t>(manifest.entries.size()));
+  for (const auto& entry : manifest.entries) {
+    writer.write_u32(static_cast<std::uint32_t>(entry.client));
+    writer.write_u64(entry.seq);
+    writer.write_u64(entry.rows);
+  }
+  return writer.take();
+}
+
+BatchManifest decode_manifest(Bytes payload) {
+  ByteReader reader(std::move(payload));
+  BatchManifest manifest;
+  manifest.index = reader.read_u64();
+  manifest.shutdown = reader.read_u8() != 0;
+  const std::uint32_t count = reader.read_u32();
+  manifest.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ManifestEntry entry;
+    entry.client = static_cast<net::PartyId>(reader.read_u32());
+    entry.seq = reader.read_u64();
+    entry.rows = reader.read_u64();
+    manifest.entries.push_back(entry);
+  }
+  return manifest;
+}
+
+Bytes encode_control(const ControlResponse& control) {
+  ByteWriter writer;
+  writer.write_u8(static_cast<std::uint8_t>(control.status));
+  writer.write_u64(control.seq);
+  return writer.take();
+}
+
+ControlResponse decode_control(Bytes payload) {
+  ByteReader reader(std::move(payload));
+  ControlResponse control;
+  control.status = status_from_u8(reader.read_u8());
+  control.seq = reader.read_u64();
+  return control;
+}
+
+Bytes encode_share(const mpc::PartyShare& share) {
+  ByteWriter writer;
+  mpc::write_party_share(writer, share);
+  return writer.take();
+}
+
+mpc::PartyShare decode_share(Bytes payload) {
+  ByteReader reader(std::move(payload));
+  return mpc::read_party_share(reader);
+}
+
+mpc::PartyShare concat_rows(const std::vector<mpc::PartyShare>& parts) {
+  TRUSTDDL_REQUIRE(!parts.empty(), "serve: concat of zero shares");
+  const std::size_t cols = parts.front().shape().at(1);
+  std::size_t rows = 0;
+  for (const auto& part : parts) {
+    TRUSTDDL_REQUIRE(part.shape().size() == 2 && part.shape()[1] == cols,
+                     "serve: concat shape mismatch");
+    rows += part.shape()[0];
+  }
+  auto concat_component = [&](auto accessor) {
+    RingTensor out(Shape{rows, cols});
+    std::uint64_t* cursor = out.data();
+    for (const auto& part : parts) {
+      const RingTensor& component = accessor(part);
+      std::copy(component.data(), component.data() + component.size(),
+                cursor);
+      cursor += component.size();
+    }
+    return out;
+  };
+  mpc::PartyShare out;
+  out.primary =
+      concat_component([](const mpc::PartyShare& s) -> const RingTensor& {
+        return s.primary;
+      });
+  out.duplicate =
+      concat_component([](const mpc::PartyShare& s) -> const RingTensor& {
+        return s.duplicate;
+      });
+  out.second =
+      concat_component([](const mpc::PartyShare& s) -> const RingTensor& {
+        return s.second;
+      });
+  return out;
+}
+
+mpc::PartyShare slice_rows(const mpc::PartyShare& share, std::size_t start,
+                           std::size_t count) {
+  TRUSTDDL_REQUIRE(share.shape().size() == 2 &&
+                       start + count <= share.shape()[0],
+                   "serve: row slice out of range");
+  const std::size_t cols = share.shape()[1];
+  return mpc::transform_share(share, [&](const RingTensor& component) {
+    RingTensor out(Shape{count, cols});
+    std::copy(component.data() + start * cols,
+              component.data() + (start + count) * cols, out.data());
+    return out;
+  });
+}
+
+}  // namespace trustddl::serve

@@ -1,0 +1,114 @@
+// Wire format of the secure inference serving layer.
+//
+// Serving adds a sixth role to the paper's five actors: clients, at
+// actor ids kFirstClientId onward.  A request travels over three
+// dedicated tag classes (see net::tag_class):
+//
+//   client -> party        "srv/<seq>/in"     input share triple
+//   client -> model owner  "srv/<seq>/notice" admission notice
+//   owner  -> party        "srv/<n>/man"      batch manifest
+//   owner  -> client       "srv/<seq>/ctl"    rejection / deadline verdict
+//   party  -> client       "srv/<seq>/res"    result share triple
+//
+// `seq` is a per-client monotonic request counter, so every message of
+// one request is matched by (sender, tag) alone and arrival order
+// never matters.  The model owner — trusted in the paper's model, and
+// already the dealer and Softmax hub — is the single batch sequencer:
+// it turns admitted requests into manifests, and the three computing
+// parties execute identical manifests in lockstep, preserving the SPMD
+// property the MPC protocols require.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/roles.hpp"
+#include "mpc/sharing.hpp"
+
+namespace trustddl::serve {
+
+/// First actor id used for serving clients (after the five core
+/// roles); client k is actor kFirstClientId + k and the transport must
+/// be sized core::kNumActors + num_clients.
+inline constexpr net::PartyId kFirstClientId = core::kNumActors;
+
+/// Terminal status of one inference request, as seen by the client.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  /// Bounded queue was full at admission — retryable backpressure.
+  kRejected = 1,
+  /// Deadline expired: in the owner's queue, or client-side while
+  /// waiting for result shares.
+  kDeadlineMissed = 2,
+};
+
+const char* status_name(Status status);
+
+/// Kinds of client -> owner notices.  kStop is the final message on a
+/// client's notice stream; its seq is one past the last request.
+enum class NoticeKind : std::uint8_t { kRequest = 0, kStop = 1 };
+
+std::string notice_tag(std::uint64_t seq);
+std::string input_tag(std::uint64_t seq);
+std::string manifest_tag(std::uint64_t index);
+std::string control_tag(std::uint64_t seq);
+std::string result_tag(std::uint64_t seq);
+
+/// Client -> owner admission notice for request `seq`.
+struct RequestNotice {
+  NoticeKind kind = NoticeKind::kRequest;
+  std::uint64_t seq = 0;
+  std::uint64_t rows = 0;
+  /// Milliseconds the request may wait in the owner's queue before it
+  /// is declared dead (0 = use the scheduler's default).
+  std::uint64_t deadline_ms = 0;
+};
+
+Bytes encode_notice(const RequestNotice& notice);
+RequestNotice decode_notice(Bytes payload);
+
+/// One request inside a batch manifest.
+struct ManifestEntry {
+  net::PartyId client = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t rows = 0;
+};
+
+/// Owner -> party batch instruction: the requests to coalesce into one
+/// SecureModel forward, in queue order.  Identical at every party.  A
+/// manifest with `shutdown` set carries no entries and ends the serve
+/// loop.
+struct BatchManifest {
+  std::uint64_t index = 0;
+  bool shutdown = false;
+  std::vector<ManifestEntry> entries;
+
+  std::size_t total_rows() const;
+};
+
+Bytes encode_manifest(const BatchManifest& manifest);
+BatchManifest decode_manifest(Bytes payload);
+
+/// Owner -> client verdict for a request that never reached a batch.
+struct ControlResponse {
+  Status status = Status::kRejected;
+  std::uint64_t seq = 0;
+};
+
+Bytes encode_control(const ControlResponse& control);
+ControlResponse decode_control(Bytes payload);
+
+/// Share-triple payloads (inputs and results use the same framing).
+Bytes encode_share(const mpc::PartyShare& share);
+mpc::PartyShare decode_share(Bytes payload);
+
+/// Row-wise concatenation of rank-2 share triples (batch coalescing).
+mpc::PartyShare concat_rows(const std::vector<mpc::PartyShare>& parts);
+
+/// Rows [start, start+count) of a rank-2 share triple (batch split).
+mpc::PartyShare slice_rows(const mpc::PartyShare& share, std::size_t start,
+                           std::size_t count);
+
+}  // namespace trustddl::serve

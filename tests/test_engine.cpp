@@ -226,5 +226,45 @@ TEST(KernelDeterminismTest, TrainedWeightsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(EngineTest, InferBatchLargerThanDatasetRunsOnePartialBatch) {
+  const auto split = small_split(50, 30);
+  TrustDdlEngine engine(nn::mnist_mlp_spec(), fast_config());
+
+  const data::Dataset sample = data::slice(split.test, 0, 3);
+  const InferResult result = engine.infer(sample, /*batch_size=*/8);
+
+  ASSERT_EQ(result.labels.size(), 3u);
+  const auto plain = engine.reference_model().predict(sample.images);
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < result.labels.size(); ++i) {
+    matches += (result.labels[i] == plain[i]) ? 1 : 0;
+  }
+  EXPECT_GE(matches, 2u);
+}
+
+TEST(EngineTest, InferHandlesPartialFinalBatch) {
+  const auto split = small_split(50, 30);
+  TrustDdlEngine engine(nn::mnist_mlp_spec(), fast_config());
+
+  // 10 rows at batch 4: two full batches and a final batch of 2.
+  const data::Dataset sample = data::slice(split.test, 0, 10);
+  const InferResult result = engine.infer(sample, /*batch_size=*/4);
+
+  ASSERT_EQ(result.labels.size(), 10u);
+  const auto plain = engine.reference_model().predict(sample.images);
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < result.labels.size(); ++i) {
+    matches += (result.labels[i] == plain[i]) ? 1 : 0;
+  }
+  EXPECT_GE(matches, 9u);
+}
+
+TEST(EngineTest, InferRejectsEmptyDataset) {
+  const auto split = small_split(50, 30);
+  TrustDdlEngine engine(nn::mnist_mlp_spec(), fast_config());
+  EXPECT_THROW(engine.infer(data::Dataset{}, /*batch_size=*/4),
+               InvalidArgument);
+}
+
 }  // namespace
 }  // namespace trustddl::core
