@@ -1,0 +1,195 @@
+// Offline/online split: prefetched triple stores vs synchronous
+// per-op dealing on the Table I CNN (DESIGN.md §10).
+//
+// One inference session runs the same 8-row batch three times in the
+// "sync" configuration (every Beaver triple / comparison aux /
+// truncation pair is fetched from the owner with a blocking round
+// trip at the moment a layer needs it) and in the "prefetch"
+// configuration (the demand profiler plans the whole job, a warm
+// phase fills the shape-keyed TripleStore with batched kBatchFill
+// round trips, and the online phase pops material lock-free).
+//
+// Links carry an emulated one-way delay so the round-trip savings
+// show up as wall clock the way a real LAN would.  The offline phase
+// is read back from the `span.triple.warm.us` counter; the parties
+// warm concurrently, so the summed span time over-counts the offline
+// wall segment and `online_seconds = wall - warm` is a conservative
+// (low) estimate of the online phase — the headline comparison is the
+// measured total wall, which already includes the warm phase.
+//
+// Both configurations must predict identical labels: prefetching is a
+// scheduling decision, never a results change (the store serves the
+// same derived-seed streams in the same order).
+//
+// Pass --json=<path> to write the snapshot committed as
+// BENCH_offline.json at the repo root.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/adapters.hpp"
+#include "bench_util.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "obs/metrics.hpp"
+
+using namespace trustddl;
+using baselines::StepCost;
+
+namespace {
+
+constexpr std::size_t kBatchRows = 8;
+constexpr int kRepeats = 3;
+constexpr std::chrono::milliseconds kLinkLatency{2};
+
+struct RunStats {
+  StepCost cost;
+  std::vector<std::size_t> labels;
+  // From the metrics snapshot of the run.
+  double warm_seconds = 0.0;      // summed span.triple.warm.us
+  double online_seconds = 0.0;    // wall - warm (clamped at 0)
+  std::uint64_t online_wait_us = 0;
+  std::uint64_t store_misses = 0;
+  std::uint64_t produced = 0;
+  std::uint64_t consumed = 0;
+};
+
+RunStats run(bool prefetch, const data::Dataset& batch) {
+  core::EngineConfig config;
+  config.mode = mpc::SecurityMode::kMalicious;
+  config.seed = 7;
+  config.emulate_latency = true;
+  config.link_latency = kLinkLatency;
+  config.triple_prefetch = prefetch;
+  // Uncapped store depth: the warm phase prefetches the whole job's
+  // demand so the online phase never waits on dealing.
+  config.triple_max_depth = std::size_t{1} << 40;
+
+  obs::MetricsRegistry::global().reset();
+  obs::set_metrics_enabled(true);
+  baselines::EngineFramework framework("TrustDDL", nn::mnist_cnn_spec(),
+                                       config);
+  RunStats stats;
+  stats.cost = framework.infer(batch.images, kRepeats, &stats.labels);
+  obs::set_metrics_enabled(false);
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::global().snapshot();
+
+  stats.warm_seconds =
+      static_cast<double>(snapshot.counter_sum("span.triple.warm.us")) / 1e6;
+  stats.online_seconds =
+      std::max(0.0, stats.cost.wall_seconds - stats.warm_seconds);
+  stats.store_misses = snapshot.counter_sum("triple.store.miss");
+  stats.produced = snapshot.counter_sum("triple.produced");
+  stats.consumed = snapshot.counter_sum("triple.consumed");
+  for (const auto& histogram : snapshot.histograms) {
+    if (histogram.name == "triple.online_wait.us") {
+      stats.online_wait_us = histogram.sum;
+    }
+  }
+  return stats;
+}
+
+void print_row(const char* name, const RunStats& stats) {
+  std::printf("%-10s %10.3f %10.3f %10.3f %10llu %12llu %8llu\n", name,
+              stats.cost.wall_seconds, stats.warm_seconds,
+              stats.online_seconds,
+              static_cast<unsigned long long>(stats.cost.messages),
+              static_cast<unsigned long long>(stats.online_wait_us),
+              static_cast<unsigned long long>(stats.store_misses));
+}
+
+void write_json_entry(std::FILE* file, const char* key, const RunStats& stats,
+                      const char* suffix) {
+  std::fprintf(
+      file,
+      "  \"%s\": {\"wall_seconds\": %.6f, \"warm_seconds\": %.6f, "
+      "\"online_seconds\": %.6f, \"messages\": %llu, \"megabytes\": %.3f, "
+      "\"online_wait_us\": %llu, \"store_misses\": %llu, "
+      "\"triples_produced\": %llu, \"triples_consumed\": %llu}%s\n",
+      key, stats.cost.wall_seconds, stats.warm_seconds, stats.online_seconds,
+      static_cast<unsigned long long>(stats.cost.messages),
+      stats.cost.megabytes(),
+      static_cast<unsigned long long>(stats.online_wait_us),
+      static_cast<unsigned long long>(stats.store_misses),
+      static_cast<unsigned long long>(stats.produced),
+      static_cast<unsigned long long>(stats.consumed), suffix);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+
+  data::SyntheticMnistConfig data_config;
+  data_config.train_count = 1;
+  data_config.test_count = kBatchRows;
+  data_config.seed = 42;
+  const auto split = data::generate_synthetic_mnist(data_config);
+  const data::Dataset batch = data::slice(split.test, 0, kBatchRows);
+
+  std::printf("=== Offline/online split: prefetch vs synchronous dealing "
+              "(Table I CNN, %zu rows x %d batches, malicious, %lldms "
+              "links) ===\n\n",
+              kBatchRows, kRepeats,
+              static_cast<long long>(kLinkLatency.count()));
+  std::printf("%-10s %10s %10s %10s %10s %12s %8s\n", "config", "wall (s)",
+              "warm (s)", "online(s)", "messages", "wait (us)", "misses");
+
+  const RunStats sync = run(/*prefetch=*/false, batch);
+  const RunStats prefetched = run(/*prefetch=*/true, batch);
+
+  print_row("sync", sync);
+  print_row("prefetch", prefetched);
+
+  // Prefetching is a scheduling decision: predictions must not change.
+  if (sync.labels != prefetched.labels) {
+    std::fprintf(stderr, "FATAL: configurations disagree on predictions\n");
+    return 1;
+  }
+  if (prefetched.store_misses != 0) {
+    std::fprintf(stderr,
+                 "FATAL: warm store missed %llu times — the demand "
+                 "profiler under-counted\n",
+                 static_cast<unsigned long long>(prefetched.store_misses));
+    return 1;
+  }
+
+  const double total_speedup =
+      sync.cost.wall_seconds / prefetched.cost.wall_seconds;
+  const double online_speedup =
+      sync.cost.wall_seconds / prefetched.online_seconds;
+  std::printf("\nPrefetch total speedup (warm included): %.2fx; online "
+              "phase vs all-online sync: %.2fx\n",
+              total_speedup, online_speedup);
+
+  if (!json_path.empty()) {
+    std::FILE* file = std::fopen(json_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(file,
+                 "{\n  \"workload\": \"cnn_offline_online_infer\",\n"
+                 "  \"model\": \"mnist_cnn (Table I)\",\n"
+                 "  \"mode\": \"malicious\",\n  \"batch_rows\": %zu,\n"
+                 "  \"batches\": %d,\n  \"link_latency_ms\": %lld,\n",
+                 kBatchRows, kRepeats,
+                 static_cast<long long>(kLinkLatency.count()));
+    write_json_entry(file, "sync", sync, ",");
+    write_json_entry(file, "prefetch", prefetched, ",");
+    std::fprintf(file,
+                 "  \"total_speedup\": %.4f,\n"
+                 "  \"online_speedup\": %.4f\n}\n",
+                 total_speedup, online_speedup);
+    std::fclose(file);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -44,6 +44,18 @@
 //                        detection events, traffic matrix, cost) after
 //                        the run; enables metrics collection
 //   --trace-out PATH     write a protocol-phase trace (JSONL spans)
+//   --triple-prefetch    offline/online split: prefetch preprocessing
+//                        material into shape-keyed triple stores ahead
+//                        of the online phase (DESIGN.md §10)
+//   --triple-low-water F producer refill trigger as a fraction of each
+//                        store's target depth [0.5]
+//   --triple-store-dir PATH    persist/restore triple stores under
+//                        this directory (per party and per mode;
+//                        survives process restarts)
+//   --mnist-dir PATH     load the real MNIST idx files from this
+//                        directory (train/t10k images + labels);
+//                        falls back to the synthetic substitute when
+//                        absent or incomplete
 //   --model mlp|cnn|tiny-cnn   architecture [mlp]
 //   --images N           inference queries / test rows [12]
 //   --rows N             training rows [64]
@@ -72,6 +84,7 @@
 #include "core/actors.hpp"
 #include "core/engine.hpp"
 #include "core/metrics_export.hpp"
+#include "data/mnist_idx.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "net/tcp_transport.hpp"
 #include "nn/loss.hpp"
@@ -112,6 +125,10 @@ struct Options {
   int connect_timeout_ms = 10000;
   std::string metrics_out;
   std::string trace_out;
+  bool triple_prefetch = false;
+  double triple_low_water = 0.5;
+  std::string triple_store_dir;
+  std::string mnist_dir;
 };
 
 [[noreturn]] void usage_error(const std::string& reason) {
@@ -256,6 +273,14 @@ Options parse_options(int argc, char** argv) {
       opt.metrics_out = value(i);
     } else if (arg == "--trace-out") {
       opt.trace_out = value(i);
+    } else if (arg == "--triple-prefetch") {
+      opt.triple_prefetch = true;
+    } else if (arg == "--triple-low-water") {
+      opt.triple_low_water = std::atof(value(i).c_str());
+    } else if (arg == "--triple-store-dir") {
+      opt.triple_store_dir = value(i);
+    } else if (arg == "--mnist-dir") {
+      opt.mnist_dir = value(i);
     } else {
       usage_error("unknown flag " + arg);
     }
@@ -274,6 +299,9 @@ Options parse_options(int argc, char** argv) {
   }
   if (opt.images < 1 || opt.rows < 1 || opt.batch < 1 || opt.epochs < 1) {
     usage_error("--images/--rows/--batch/--epochs must be >= 1");
+  }
+  if (opt.triple_low_water <= 0.0 || opt.triple_low_water > 1.0) {
+    usage_error("--triple-low-water must be in (0, 1]");
   }
   const bool serving = opt.task == "serve";
   if (serving) {
@@ -596,6 +624,9 @@ int main(int argc, char** argv) {
                                   : mpc::SecurityMode::kMalicious;
   config.batch_openings = opt.batch_openings;
   config.seed = opt.seed;
+  config.triple_prefetch = opt.triple_prefetch;
+  config.triple_low_water = opt.triple_low_water;
+  config.triple_store_dir = opt.triple_store_dir;
   // Processes start at different times; give the model owner's
   // collective ops more slack than the in-process default.
   config.collect_timeout = std::chrono::milliseconds(2000);
@@ -643,8 +674,16 @@ int main(int argc, char** argv) {
   data_config.train_count = opt.rows;
   data_config.test_count = opt.images;
   data_config.seed = opt.data_seed;
-  const auto split = data::generate_synthetic_mnist(data_config);
-  const data::Dataset sample = data::slice(split.test, 0, opt.images);
+  const auto split =
+      data::load_mnist_or_synthetic(opt.mnist_dir, data_config);
+  if (!opt.mnist_dir.empty() && !data::mnist_files_present(opt.mnist_dir)) {
+    std::fprintf(stderr,
+                 "trustddl_party: %s is missing MNIST idx files; using the "
+                 "synthetic substitute\n",
+                 opt.mnist_dir.c_str());
+  }
+  const data::Dataset sample =
+      data::slice(split.test, 0, std::min(opt.images, split.test.size()));
 
   core::TrainOptions train_options;
   train_options.epochs = opt.epochs;
@@ -806,7 +845,13 @@ int main(int argc, char** argv) {
       }
       std::printf("%s\n", labels.size() > 24 ? " ..." : "");
       if (opt.check) {
-        core::TrustDdlEngine engine(spec, config);
+        // The reference engine must not touch the multi-process store
+        // files: it spawns its own in-memory parties whose stream
+        // cursors start at 0, while a restored store resumes mid-
+        // stream.  Dealing stays bit-identical either way.
+        core::EngineConfig check_config = config;
+        check_config.triple_store_dir.clear();
+        core::TrustDdlEngine engine(spec, check_config);
         const core::InferResult expected = engine.infer(sample, opt.batch);
         const bool match = expected.labels == labels;
         std::printf("check: %s (in-memory engine, same seeds)\n",
@@ -844,7 +889,9 @@ int main(int argc, char** argv) {
                     core::kModelOwner, epoch, accuracies.back());
       }
       if (opt.check) {
-        core::TrustDdlEngine engine(spec, config);
+        core::EngineConfig check_config = config;
+        check_config.triple_store_dir.clear();
+        core::TrustDdlEngine engine(spec, check_config);
         const core::TrainResult expected =
             engine.train(split.train, split.test, train_options);
         const bool match = expected.epoch_test_accuracy == accuracies;

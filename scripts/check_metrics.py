@@ -21,7 +21,12 @@ docs/metrics.schema.json's contract:
     counters): every admitted request has exactly one outcome
     (admitted == completed + rejected + deadline_missed) and the
     serve.batch.rows histogram saw every dispatched batch
-    (count == serve.batches).
+    (count == serve.batches);
+  * triple-ledger consistency (only when the export carries triple.*
+    counters, i.e. the run prefetched material): per kind,
+    triple.produced.<kind> == triple.consumed.<kind> + the
+    triple.store.depth.<kind> gauge — every dealt entry was either
+    consumed online or is still buffered, none vanished.
 
 Usage:
   check_metrics.py METRICS_JSON [--trace TRACE_JSONL]
@@ -136,6 +141,27 @@ def check_serve_section(metrics):
                 % (rows_hist["count"], batches))
 
 
+def check_triple_section(metrics):
+    """Preprocessing-ledger invariants, skipped for sync-dealing runs.
+
+    The TripleStore counts every entry it deals (produced) and every
+    entry the online phase pops (consumed); whatever remains buffered
+    is the store-depth gauge.  An imbalance means material was dealt
+    and lost, or served twice.
+    """
+    counters = metrics["counters"]
+    if not any(name.startswith("triple.produced.") for name in counters):
+        return
+    for kind in ("mul", "matmul", "comp_aux", "trunc_pair"):
+        produced = counters.get("triple.produced." + kind, 0)
+        consumed = counters.get("triple.consumed." + kind, 0)
+        depth_gauge = metrics["gauges"].get("triple.store.depth." + kind)
+        in_store = depth_gauge["value"] if depth_gauge is not None else 0
+        require(produced == consumed + in_store,
+                "triple.produced.%s %d != consumed %d + in-store %d"
+                % (kind, produced, consumed, in_store))
+
+
 def check_events_section(events, cost, counters, args):
     per_kind = {}
     for index, event in enumerate(events):
@@ -219,6 +245,7 @@ def main():
     check_traffic_section(export["traffic"], counters)
     check_events_section(export["events"], export["cost"], counters, args)
     check_serve_section(export["metrics"])
+    check_triple_section(export["metrics"])
 
     summary = ("check_metrics: OK: %d counters, %d events, "
                "%d bytes / %d messages"

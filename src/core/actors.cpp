@@ -1,6 +1,7 @@
 #include "core/actors.hpp"
 
 #include "common/logging.hpp"
+#include "core/triple_pipeline.hpp"
 #include "mpc/robust_reconstruct.hpp"
 #include "mpc/share_serde.hpp"
 #include "nn/loss.hpp"
@@ -151,6 +152,24 @@ mpc::DetectionLog infer_computing_party_body(const InferJob& job, int party,
       make_party_context(job.config, party, endpoint, adversary);
   SecureExecContext sctx = make_exec_context(job.config, pctx, link);
 
+  // Offline phase: size the stores from the exact per-batch demand,
+  // warm them synchronously, then keep them topped up in the
+  // background while the online steps run.
+  TriplePipeline pipeline(job.config, link, party, /*training=*/false);
+  if (pipeline.active()) {
+    std::vector<std::size_t> batch_rows;
+    batch_rows.reserve(job.batches.size());
+    for (const auto& batch : job.batches) {
+      batch_rows.push_back(batch.size());
+    }
+    pipeline.plan(profile_job_demand(job.spec, batch_rows,
+                                     job.config.resolved_trunc_mode(),
+                                     /*training=*/false));
+    pipeline.warm();
+    pipeline.start();
+    sctx.triples = &pipeline.source();
+  }
+
   for (std::size_t step = 0; step < job.batches.size(); ++step) {
     ByteReader reader(
         endpoint.recv(kDataOwner, batch_tag(step, "x"), kActorTimeout));
@@ -160,6 +179,7 @@ mpc::DetectionLog infer_computing_party_body(const InferJob& job, int party,
     mpc::write_party_share(writer, probabilities);
     endpoint.send(kDataOwner, pred_tag(step), writer.take());
   }
+  pipeline.shutdown();  // stop the producer before the owner link closes
   link.stop();
   return pctx.detections;
 }
@@ -232,6 +252,21 @@ mpc::DetectionLog train_computing_party_body(const TrainJob& job, int party,
       make_party_context(job.config, party, endpoint, adversary);
   SecureExecContext sctx = make_exec_context(job.config, pctx, link);
 
+  TriplePipeline pipeline(job.config, link, party, /*training=*/true);
+  if (pipeline.active()) {
+    std::vector<std::size_t> batch_rows;
+    batch_rows.reserve(job.batches.size());
+    for (const auto& batch : job.batches) {
+      batch_rows.push_back(batch.size());
+    }
+    pipeline.plan(profile_job_demand(job.spec, batch_rows,
+                                     job.config.resolved_trunc_mode(),
+                                     /*training=*/true));
+    pipeline.warm();
+    pipeline.start();
+    sctx.triples = &pipeline.source();
+  }
+
   std::size_t epoch = 0;
   for (std::size_t step = 0; step < job.batches.size(); ++step) {
     ByteReader x_reader(
@@ -264,6 +299,7 @@ mpc::DetectionLog train_computing_party_body(const TrainJob& job, int party,
       ++epoch;
     }
   }
+  pipeline.shutdown();  // stop the producer before the owner link closes
   link.stop();
   return pctx.detections;
 }

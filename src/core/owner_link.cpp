@@ -5,71 +5,110 @@
 #include "numeric/serde.hpp"
 
 namespace trustddl::core {
-namespace {
 
-void write_shape(ByteWriter& writer, const Shape& shape) {
-  writer.write_u64(shape.size());
-  for (std::size_t dim : shape) {
-    writer.write_u64(dim);
+Bytes OwnerLink::unary_roundtrip(Bytes request) {
+  std::uint64_t id = 0;
+  {
+    // Counter allocation and send are one atomic step so ids reach the
+    // owner gap-free and in order per party.
+    std::lock_guard<std::mutex> lock(mu_);
+    id = unary_counter_++;
+    endpoint_.send(kModelOwner, "req/" + std::to_string(id),
+                   std::move(request));
   }
-}
-
-}  // namespace
-
-Bytes OwnerLink::roundtrip(Bytes request) {
-  const std::uint64_t id = counter_++;
-  endpoint_.send(kModelOwner, "req/" + std::to_string(id),
-                 std::move(request));
   return endpoint_.recv(kModelOwner, "rsp/" + std::to_string(id),
                         response_timeout_);
 }
 
-void OwnerLink::send_only(Bytes request) {
-  const std::uint64_t id = counter_++;
-  endpoint_.send(kModelOwner, "req/" + std::to_string(id),
+Bytes OwnerLink::collective_roundtrip(Bytes request) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = collective_counter_++;
+  }
+  endpoint_.send(kModelOwner, "col/" + std::to_string(id),
+                 std::move(request));
+  return endpoint_.recv(kModelOwner, "crsp/" + std::to_string(id),
+                        response_timeout_);
+}
+
+void OwnerLink::collective_send(Bytes request) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = collective_counter_++;
+  }
+  endpoint_.send(kModelOwner, "col/" + std::to_string(id),
                  std::move(request));
 }
 
-mpc::BeaverTripleShare OwnerLink::mul_triple(const Shape& shape) {
+mpc::MaterialBatch OwnerLink::fill(const mpc::TripleKey& key,
+                                   std::uint64_t start, std::size_t count) {
   ByteWriter request;
-  request.write_u8(static_cast<std::uint8_t>(OwnerOp::kMulTriple));
-  write_shape(request, shape);
-  ByteReader response(roundtrip(request.take()));
-  return mpc::read_beaver_share(response);
+  request.write_u8(static_cast<std::uint8_t>(OwnerOp::kBatchFill));
+  request.write_u8(static_cast<std::uint8_t>(key.kind));
+  request.write_u64(key.dims.size());
+  for (std::size_t dim : key.dims) {
+    request.write_u64(dim);
+  }
+  request.write_u64(start);
+  request.write_u32(static_cast<std::uint32_t>(count));
+
+  ByteReader response(unary_roundtrip(request.take()));
+  const std::uint32_t served = response.read_u32();
+  if (served != count) {
+    throw ProtocolError("owner served short material batch");
+  }
+  mpc::MaterialBatch batch;
+  for (std::uint32_t i = 0; i < served; ++i) {
+    switch (key.kind) {
+      case mpc::TripleKind::kMul:
+      case mpc::TripleKind::kMatMul:
+        batch.triples.push_back(mpc::read_beaver_share(response));
+        break;
+      case mpc::TripleKind::kCompAux:
+        batch.aux.push_back(mpc::read_party_share(response));
+        break;
+      case mpc::TripleKind::kTruncPair:
+        batch.pairs.push_back(mpc::read_trunc_pair(response));
+        break;
+    }
+  }
+  return batch;
+}
+
+mpc::MaterialBatch OwnerLink::next_single(const mpc::TripleKey& key) {
+  std::uint64_t index = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    index = stream_cursor_[key]++;
+  }
+  return fill(key, index, 1);
+}
+
+mpc::BeaverTripleShare OwnerLink::mul_triple(const Shape& shape) {
+  return std::move(next_single(mpc::TripleKey::mul(shape)).triples.at(0));
 }
 
 mpc::BeaverTripleShare OwnerLink::matmul_triple(std::size_t m, std::size_t k,
                                                 std::size_t n) {
-  ByteWriter request;
-  request.write_u8(static_cast<std::uint8_t>(OwnerOp::kMatMulTriple));
-  request.write_u64(m);
-  request.write_u64(k);
-  request.write_u64(n);
-  ByteReader response(roundtrip(request.take()));
-  return mpc::read_beaver_share(response);
+  return std::move(
+      next_single(mpc::TripleKey::matmul(m, k, n)).triples.at(0));
 }
 
 mpc::PartyShare OwnerLink::comp_aux(const Shape& shape) {
-  ByteWriter request;
-  request.write_u8(static_cast<std::uint8_t>(OwnerOp::kCompAux));
-  write_shape(request, shape);
-  ByteReader response(roundtrip(request.take()));
-  return mpc::read_party_share(response);
+  return std::move(next_single(mpc::TripleKey::comp_aux(shape)).aux.at(0));
 }
 
 mpc::TruncPairShare OwnerLink::trunc_pair(const Shape& shape) {
-  ByteWriter request;
-  request.write_u8(static_cast<std::uint8_t>(OwnerOp::kTruncPair));
-  write_shape(request, shape);
-  ByteReader response(roundtrip(request.take()));
-  return mpc::read_trunc_pair(response);
+  return std::move(next_single(mpc::TripleKey::trunc_pair(shape)).pairs.at(0));
 }
 
 mpc::PartyShare OwnerLink::softmax_forward(const mpc::PartyShare& logits) {
   ByteWriter request;
   request.write_u8(static_cast<std::uint8_t>(OwnerOp::kSoftmaxForward));
   mpc::write_party_share(request, logits);
-  ByteReader response(roundtrip(request.take()));
+  ByteReader response(collective_roundtrip(request.take()));
   return mpc::read_party_share(response);
 }
 
@@ -79,7 +118,7 @@ mpc::PartyShare OwnerLink::softmax_backward(
   request.write_u8(static_cast<std::uint8_t>(OwnerOp::kSoftmaxBackward));
   mpc::write_party_share(request, probabilities);
   mpc::write_party_share(request, grad);
-  ByteReader response(roundtrip(request.take()));
+  ByteReader response(collective_roundtrip(request.take()));
   return mpc::read_party_share(response);
 }
 
@@ -88,13 +127,13 @@ void OwnerLink::reveal(const std::string& key, const mpc::PartyShare& share) {
   request.write_u8(static_cast<std::uint8_t>(OwnerOp::kReveal));
   request.write_string(key);
   mpc::write_party_share(request, share);
-  send_only(request.take());
+  collective_send(request.take());
 }
 
 void OwnerLink::stop() {
   ByteWriter request;
   request.write_u8(static_cast<std::uint8_t>(OwnerOp::kStop));
-  send_only(request.take());
+  collective_send(request.take());
 }
 
 }  // namespace trustddl::core

@@ -1,5 +1,6 @@
 #include "core/owner_service.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "common/logging.hpp"
@@ -24,12 +25,17 @@ Shape read_shape(ByteReader& reader) {
   return shape;
 }
 
-bool is_unary(OwnerOp op) {
-  return op == OwnerOp::kMulTriple || op == OwnerOp::kMatMulTriple ||
-         op == OwnerOp::kCompAux || op == OwnerOp::kTruncPair;
-}
-
 }  // namespace
+
+std::size_t ModelOwnerService::BytesHash::operator()(
+    const Bytes& bytes) const {
+  // FNV-1a over the payload; requests are tens of bytes.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t byte : bytes) {
+    h = (h ^ byte) * 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
 
 ModelOwnerService::ModelOwnerService(net::Endpoint endpoint,
                                      OwnerServiceConfig config)
@@ -41,23 +47,36 @@ void ModelOwnerService::run() {
   for (;;) {
     bool progress = false;
     for (int party = 0; party < kComputingParties; ++party) {
-      if (stopped_[static_cast<std::size_t>(party)]) {
+      const auto slot = static_cast<std::size_t>(party);
+      Bytes payload;
+      // stop means the party is done: stop polling both its streams.
+      if (stopped_[slot]) {
         continue;
       }
-      Bytes payload;
-      const std::uint64_t id =
-          next_counter_[static_cast<std::size_t>(party)];
-      if (endpoint_.try_recv(party, "req/" + std::to_string(id), payload)) {
+      if (endpoint_.try_recv(party,
+                             "req/" + std::to_string(next_unary_[slot]),
+                             payload)) {
         try {
-          if (handle_request(party, payload, id)) {
-            progress = true;
-          }
+          handle_unary(party, payload, next_unary_[slot]);
         } catch (const Error& error) {
           TRUSTDDL_LOG_WARN(kLog)
-              << "malformed request " << id << " from party " << party
-              << ": " << error.what();
+              << "malformed fill request " << next_unary_[slot]
+              << " from party " << party << ": " << error.what();
         }
-        next_counter_[static_cast<std::size_t>(party)] += 1;
+        next_unary_[slot] += 1;
+        progress = true;
+      }
+      if (endpoint_.try_recv(
+              party, "col/" + std::to_string(next_collective_[slot]),
+              payload)) {
+        try {
+          handle_collective(party, payload, next_collective_[slot]);
+        } catch (const Error& error) {
+          TRUSTDDL_LOG_WARN(kLog)
+              << "malformed collective request " << next_collective_[slot]
+              << " from party " << party << ": " << error.what();
+        }
+        next_collective_[slot] += 1;
         progress = true;
       }
     }
@@ -91,7 +110,8 @@ void ModelOwnerService::run() {
     if (stop_count_ >= 2 && !grace_deadline) {
       grace_deadline = now + config_.collect_timeout;
     }
-    if (stop_count_ >= kComputingParties || (grace_deadline && now > *grace_deadline)) {
+    if (stop_count_ >= kComputingParties ||
+        (grace_deadline && now > *grace_deadline)) {
       // Final drain of any processable groups, then exit.
       for (auto& [id, group] : groups_) {
         if (!group.processed) {
@@ -112,84 +132,100 @@ void ModelOwnerService::run() {
   }
 }
 
-bool ModelOwnerService::handle_request(int party, const Bytes& payload,
-                                       std::uint64_t id) {
+void ModelOwnerService::handle_unary(int party, const Bytes& payload,
+                                     std::uint64_t id) {
+  ByteReader peek(payload);
+  const auto op = static_cast<OwnerOp>(peek.read_u8());
+  if (op != OwnerOp::kBatchFill) {
+    throw ProtocolError("unexpected op on unary stream");
+  }
+
+  auto it = fill_cache_.find(payload);
+  if (it == fill_cache_.end()) {
+    ByteReader reader(payload);
+    (void)reader.read_u8();
+    mpc::TripleKey key;
+    key.kind = static_cast<mpc::TripleKind>(reader.read_u8());
+    if (key.kind > mpc::TripleKind::kTruncPair) {
+      throw SerializationError("unknown material kind");
+    }
+    key.dims = read_shape(reader);
+    const std::uint64_t start = reader.read_u64();
+    const std::uint32_t count = reader.read_u32();
+    if (count == 0 || count > config_.max_batch_entries) {
+      throw ProtocolError("fill count out of bounds");
+    }
+    std::size_t entry_values = 1;
+    for (std::size_t dim : key.dims) {
+      entry_values *= std::max<std::size_t>(dim, 1);
+    }
+    if (entry_values * count > (std::size_t{1} << 28)) {
+      throw ProtocolError("fill request too large");
+    }
+
+    // Stateless derived-seed dealing: the response is a pure function
+    // of (request payload, service seed).
+    const auto views = mpc::deal_material(key, start, count, config_.seed,
+                                          config_.frac_bits);
+    FillCacheEntry entry;
+    for (int p = 0; p < kComputingParties; ++p) {
+      const auto& view = views[static_cast<std::size_t>(p)];
+      ByteWriter writer;
+      writer.write_u32(count);
+      switch (key.kind) {
+        case mpc::TripleKind::kMul:
+        case mpc::TripleKind::kMatMul:
+          for (const auto& triple : view.triples) {
+            mpc::write_beaver_share(writer, triple);
+          }
+          break;
+        case mpc::TripleKind::kCompAux:
+          for (const auto& aux : view.aux) {
+            mpc::write_party_share(writer, aux);
+          }
+          break;
+        case mpc::TripleKind::kTruncPair:
+          for (const auto& pair : view.pairs) {
+            mpc::write_trunc_pair(writer, pair);
+          }
+          break;
+      }
+      entry.responses[static_cast<std::size_t>(p)] = writer.take();
+    }
+    // Evict BEFORE inserting so the fresh entry is never the victim
+    // (FIFO records can be stale after the all-served fast path below).
+    while (fill_cache_.size() >= kMaxFillCacheEntries &&
+           !fill_cache_fifo_.empty()) {
+      fill_cache_.erase(fill_cache_fifo_.front());
+      fill_cache_fifo_.pop_front();
+    }
+    it = fill_cache_.emplace(payload, std::move(entry)).first;
+    fill_cache_fifo_.push_back(payload);
+  }
+  endpoint_.send(party, "rsp/" + std::to_string(id),
+                 it->second.responses[static_cast<std::size_t>(party)]);
+  it->second.served |= (1 << party);
+  ++fills_served_;
+  if (it->second.served == 0b111) {
+    // All parties took this range; drop it early (the FIFO record goes
+    // stale, which the eviction sweep tolerates).
+    fill_cache_.erase(it);
+  }
+}
+
+void ModelOwnerService::handle_collective(int party, const Bytes& payload,
+                                          std::uint64_t id) {
   ByteReader peek(payload);
   const auto op = static_cast<OwnerOp>(peek.read_u8());
 
   if (op == OwnerOp::kStop) {
     stopped_[static_cast<std::size_t>(party)] = true;
     ++stop_count_;
-    return true;
+    return;
   }
-
-  if (is_unary(op)) {
-    auto it = unary_cache_.find(id);
-    if (it == unary_cache_.end()) {
-      std::array<Bytes, kComputingParties> responses;
-      ByteReader reader(payload);
-      (void)reader.read_u8();
-      switch (op) {
-        case OwnerOp::kMulTriple: {
-          const Shape shape = read_shape(reader);
-          const auto views = mpc::deal_mul_triple(shape, rng_);
-          for (int p = 0; p < kComputingParties; ++p) {
-            ByteWriter writer;
-            mpc::write_beaver_share(writer,
-                                    views[static_cast<std::size_t>(p)]);
-            responses[static_cast<std::size_t>(p)] = writer.take();
-          }
-          break;
-        }
-        case OwnerOp::kMatMulTriple: {
-          const std::size_t m = reader.read_u64();
-          const std::size_t k = reader.read_u64();
-          const std::size_t n = reader.read_u64();
-          const auto views = mpc::deal_matmul_triple(m, k, n, rng_);
-          for (int p = 0; p < kComputingParties; ++p) {
-            ByteWriter writer;
-            mpc::write_beaver_share(writer,
-                                    views[static_cast<std::size_t>(p)]);
-            responses[static_cast<std::size_t>(p)] = writer.take();
-          }
-          break;
-        }
-        case OwnerOp::kCompAux: {
-          const Shape shape = read_shape(reader);
-          const auto views =
-              mpc::deal_positive_aux(shape, config_.frac_bits, rng_);
-          for (int p = 0; p < kComputingParties; ++p) {
-            ByteWriter writer;
-            mpc::write_party_share(writer,
-                                   views[static_cast<std::size_t>(p)]);
-            responses[static_cast<std::size_t>(p)] = writer.take();
-          }
-          break;
-        }
-        case OwnerOp::kTruncPair: {
-          const Shape shape = read_shape(reader);
-          const auto views =
-              mpc::deal_trunc_pair(shape, config_.frac_bits, rng_);
-          for (int p = 0; p < kComputingParties; ++p) {
-            ByteWriter writer;
-            mpc::write_trunc_pair(writer, views[static_cast<std::size_t>(p)]);
-            responses[static_cast<std::size_t>(p)] = writer.take();
-          }
-          break;
-        }
-        default:
-          break;
-      }
-      it = unary_cache_.emplace(id, std::make_pair(std::move(responses), 0))
-               .first;
-    }
-    endpoint_.send(party, "rsp/" + std::to_string(id),
-                   it->second.first[static_cast<std::size_t>(party)]);
-    it->second.second |= (1 << party);
-    if (it->second.second == 0b111) {
-      unary_cache_.erase(it);
-    }
-    return true;
+  if (op != OwnerOp::kSoftmaxForward && op != OwnerOp::kSoftmaxBackward &&
+      op != OwnerOp::kReveal) {
+    throw ProtocolError("unexpected op on collective stream");
   }
 
   // Collective ops: stash the payload; a cached processed group serves
@@ -205,12 +241,11 @@ bool ModelOwnerService::handle_request(int party, const Bytes& payload,
     // Late arrival: serve the cached response if any.
     if (group.responses[static_cast<std::size_t>(party)].has_value() &&
         !group.responded[static_cast<std::size_t>(party)]) {
-      endpoint_.send(party, "rsp/" + std::to_string(id),
+      endpoint_.send(party, "crsp/" + std::to_string(id),
                      *group.responses[static_cast<std::size_t>(party)]);
       group.responded[static_cast<std::size_t>(party)] = true;
     }
   }
-  return true;
 }
 
 RingTensor ModelOwnerService::reconstruct_collective(
@@ -300,7 +335,7 @@ void ModelOwnerService::process_group(std::uint64_t id, Group& group) {
   for (int party = 0; party < kComputingParties; ++party) {
     if (group.payloads[static_cast<std::size_t>(party)].has_value() &&
         group.responses[static_cast<std::size_t>(party)].has_value()) {
-      endpoint_.send(party, "rsp/" + std::to_string(id),
+      endpoint_.send(party, "crsp/" + std::to_string(id),
                      *group.responses[static_cast<std::size_t>(party)]);
       group.responded[static_cast<std::size_t>(party)] = true;
     }

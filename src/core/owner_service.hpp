@@ -1,16 +1,22 @@
 // Model-owner service loop.
 //
-// Serves the computing parties' requests over the metered network:
-//  * unary preprocessing requests (Beaver triples, comparison
-//    auxiliaries, truncation pairs) — answered immediately; the same
-//    request counter yields the same underlying material for every
-//    party, so share views stay consistent;
-//  * collective requests (Softmax forward/backward, reveals) — the
-//    owner collects the three parties' shares for one counter,
-//    robustly reconstructs (a Byzantine party may send junk or stay
-//    silent), computes, re-shares, and responds.  Responses are cached
-//    so a slow-but-honest party arriving after the group deadline is
-//    still served.
+// Serves the computing parties' requests over the metered network.
+// Each party speaks on two independent streams (see owner_link.hpp):
+//
+//  * unary stream ("req/<id>"): batched material fills (kBatchFill).
+//    Material is dealt *statelessly* — entry (key, index) is generated
+//    from a seed derived from the service seed, so the same range
+//    request yields the same shares no matter which party asks first,
+//    how requests interleave with prefetch traffic, or whether the
+//    service restarted in between.  A small response cache only saves
+//    recomputation when the three parties request the same range
+//    back-to-back; evicting it is always safe.
+//  * collective stream ("col/<id>"): Softmax forward/backward,
+//    reveals, stop.  The owner collects the three parties' shares for
+//    one collective counter, robustly reconstructs (a Byzantine party
+//    may send junk or stay silent), computes, re-shares, and responds
+//    on "crsp/<id>".  Responses are cached so a slow-but-honest party
+//    arriving after the group deadline is still served.
 //
 // The loop exits once at least two parties sent kStop (the fault model
 // guarantees two honest parties) and pending groups are drained.
@@ -18,6 +24,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <string>
@@ -38,7 +45,13 @@ struct OwnerServiceConfig {
   /// How long a collective op waits for stragglers before processing
   /// with the members present.
   std::chrono::milliseconds collect_timeout{1000};
+  /// Master seed of the derived-seed material streams AND of the
+  /// owner's re-sharing randomness.  Parties comparing runs must agree
+  /// on it (the engine derives it from EngineConfig::seed).
   std::uint64_t seed = 0xdea1e5;
+  /// Upper bound on entries per kBatchFill request (backpressure
+  /// against a buggy or hostile party asking for gigabytes).
+  std::uint32_t max_batch_entries = 8192;
 };
 
 class ModelOwnerService {
@@ -57,6 +70,9 @@ class ModelOwnerService {
   /// Anomalies observed while reconstructing collective inputs.
   std::size_t reconstruction_anomalies() const { return anomalies_; }
 
+  /// kBatchFill requests served (all parties, all streams).
+  std::uint64_t fills_served() const { return fills_served_; }
+
  private:
   struct Group {
     OwnerOp op = OwnerOp::kSoftmaxForward;
@@ -67,9 +83,11 @@ class ModelOwnerService {
     std::array<bool, kComputingParties> responded{};
   };
 
-  bool handle_request(int party, const Bytes& payload, std::uint64_t id);
+  /// Unary-stream request (kBatchFill).
+  void handle_unary(int party, const Bytes& payload, std::uint64_t id);
+  /// Collective-stream request (softmax/reveal/stop).
+  void handle_collective(int party, const Bytes& payload, std::uint64_t id);
   void process_group(std::uint64_t id, Group& group);
-  Bytes unary_response(std::uint64_t id, const Bytes& payload);
 
   RingTensor reconstruct_collective(const Group& group,
                                     std::size_t payload_offset_values);
@@ -78,18 +96,30 @@ class ModelOwnerService {
   OwnerServiceConfig config_;
   Rng rng_;
 
-  std::array<std::uint64_t, kComputingParties> next_counter_{};
+  std::array<std::uint64_t, kComputingParties> next_unary_{};
+  std::array<std::uint64_t, kComputingParties> next_collective_{};
   int stop_count_ = 0;
   std::array<bool, kComputingParties> stopped_{};
 
-  // Unary material cache: counter -> per-party serialized responses +
-  // served mask.
-  std::unordered_map<std::uint64_t,
-                     std::pair<std::array<Bytes, kComputingParties>, int>>
-      unary_cache_;
+  /// Fill-response cache keyed by the raw request payload: the three
+  /// parties issue byte-identical requests for a range, so the second
+  /// and third hit the cache instead of re-dealing.  Bounded FIFO;
+  /// dealing is stateless, so eviction never changes served material.
+  static constexpr std::size_t kMaxFillCacheEntries = 64;
+  struct FillCacheEntry {
+    std::array<Bytes, kComputingParties> responses;
+    int served = 0;
+  };
+  struct BytesHash {
+    std::size_t operator()(const Bytes& bytes) const;
+  };
+  std::unordered_map<Bytes, FillCacheEntry, BytesHash> fill_cache_;
+  std::deque<Bytes> fill_cache_fifo_;
+
   std::unordered_map<std::uint64_t, Group> groups_;
   std::map<std::string, RingTensor> revealed_;
   std::size_t anomalies_ = 0;
+  std::uint64_t fills_served_ = 0;
 };
 
 }  // namespace trustddl::core

@@ -1,0 +1,308 @@
+#include "core/triple_pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hpp"
+#include "core/actors.hpp"
+#include "obs/trace.hpp"
+
+namespace trustddl::core {
+namespace {
+
+constexpr const char* kLog = "core.triples";
+
+}  // namespace
+
+void DemandPlan::add(const mpc::TripleKey& key, std::size_t count) {
+  if (count == 0) {
+    return;
+  }
+  for (auto& [existing, existing_count] : counts) {
+    if (existing == key) {
+      existing_count += count;
+      return;
+    }
+  }
+  counts.emplace_back(key, count);
+}
+
+void DemandPlan::merge(const DemandPlan& other) {
+  for (const auto& [key, count] : other.counts) {
+    add(key, count);
+  }
+}
+
+std::size_t DemandPlan::total() const {
+  std::size_t sum = 0;
+  for (const auto& [key, count] : counts) {
+    (void)key;
+    sum += count;
+  }
+  return sum;
+}
+
+DemandPlan profile_step_demand(const nn::ModelSpec& spec,
+                               std::size_t batch_rows,
+                               TruncationMode trunc_mode, bool training) {
+  // This walk mirrors the consumption sites in secure_model.cpp — the
+  // shapes below must match the Secure* layers' requests exactly or a
+  // "warm" store will still miss.  PrefetchExactnessTest pins that
+  // equivalence (miss count zero, store drained after the job).
+  const bool masked = trunc_mode == TruncationMode::kMaskedOpen;
+  DemandPlan plan;
+  std::size_t features = spec.input_features;
+  for (const nn::LayerSpec& layer : spec.layers) {
+    switch (layer.kind) {
+      case nn::LayerSpec::Kind::kDense: {
+        // forward: one matmul triple + masked rescale of the product.
+        plan.add(mpc::TripleKey::matmul(batch_rows, layer.in, layer.out), 1);
+        if (masked) {
+          plan.add(mpc::TripleKey::trunc_pair(Shape{batch_rows, layer.out}),
+                   1);
+        }
+        if (training) {
+          // backward: weight grad (in x batch)·(batch x out), input
+          // grad (batch x out)·(out x in), each rescaled.
+          plan.add(mpc::TripleKey::matmul(layer.in, batch_rows, layer.out),
+                   1);
+          plan.add(mpc::TripleKey::matmul(batch_rows, layer.out, layer.in),
+                   1);
+          if (masked) {
+            plan.add(mpc::TripleKey::trunc_pair(Shape{layer.in, layer.out}),
+                     1);
+            plan.add(
+                mpc::TripleKey::trunc_pair(Shape{batch_rows, layer.in}), 1);
+          }
+        }
+        features = layer.out;
+        break;
+      }
+      case nn::LayerSpec::Kind::kConv: {
+        const ConvSpec& conv = layer.conv;
+        const std::size_t pixels = conv.col_cols();
+        const std::size_t cols = batch_rows * pixels;
+        plan.add(
+            mpc::TripleKey::matmul(conv.out_channels, conv.col_rows(), cols),
+            1);
+        if (masked) {
+          plan.add(
+              mpc::TripleKey::trunc_pair(Shape{conv.out_channels, cols}), 1);
+        }
+        if (training) {
+          plan.add(mpc::TripleKey::matmul(conv.out_channels, cols,
+                                          conv.col_rows()),
+                   1);
+          plan.add(mpc::TripleKey::matmul(conv.col_rows(), conv.out_channels,
+                                          cols),
+                   1);
+          if (masked) {
+            plan.add(mpc::TripleKey::trunc_pair(
+                         Shape{conv.out_channels, conv.col_rows()}),
+                     1);
+            plan.add(
+                mpc::TripleKey::trunc_pair(Shape{conv.col_rows(), cols}), 1);
+          }
+        }
+        features = conv.out_channels * pixels;
+        break;
+      }
+      case nn::LayerSpec::Kind::kRelu: {
+        // forward: one SecSign = comparison auxiliary + mul triple on
+        // the activation shape.  Backward is a public-mask product —
+        // no material.
+        const Shape shape{batch_rows, features};
+        plan.add(mpc::TripleKey::comp_aux(shape), 1);
+        plan.add(mpc::TripleKey::mul(shape), 1);
+        break;
+      }
+      case nn::LayerSpec::Kind::kMaxPool: {
+        // Tournament over window^2 candidates: window^2 - 1 batched
+        // comparisons, each on the [batch, pools] candidate shape.
+        const std::size_t window_size = layer.pool.window * layer.pool.window;
+        const Shape shape{batch_rows, layer.pool.out_features()};
+        if (window_size > 1) {
+          plan.add(mpc::TripleKey::comp_aux(shape), window_size - 1);
+          plan.add(mpc::TripleKey::mul(shape), window_size - 1);
+        }
+        features = layer.pool.out_features();
+        break;
+      }
+      case nn::LayerSpec::Kind::kSoftmax:
+        // Outsourced to the model owner — no dealt material.
+        break;
+    }
+  }
+  if (training && masked) {
+    // sgd_step: one masked rescale per parameter, in layer order.
+    for (const nn::LayerSpec& layer : spec.layers) {
+      if (layer.kind == nn::LayerSpec::Kind::kDense) {
+        plan.add(mpc::TripleKey::trunc_pair(Shape{layer.in, layer.out}), 1);
+        plan.add(mpc::TripleKey::trunc_pair(Shape{1, layer.out}), 1);
+      } else if (layer.kind == nn::LayerSpec::Kind::kConv) {
+        plan.add(mpc::TripleKey::trunc_pair(
+                     Shape{layer.conv.out_channels, layer.conv.col_rows()}),
+                 1);
+        plan.add(mpc::TripleKey::trunc_pair(Shape{layer.conv.out_channels}),
+                 1);
+      }
+    }
+  }
+  return plan;
+}
+
+DemandPlan profile_job_demand(const nn::ModelSpec& spec,
+                              const std::vector<std::size_t>& batch_rows,
+                              TruncationMode trunc_mode, bool training) {
+  DemandPlan plan;
+  for (std::size_t rows : batch_rows) {
+    plan.merge(profile_step_demand(spec, rows, trunc_mode, training));
+  }
+  return plan;
+}
+
+std::uint64_t TriplePipeline::store_provenance(const EngineConfig& config,
+                                               bool training) {
+  const OwnerServiceConfig owner = make_owner_service_config(config, training);
+  // Any change to the dealing seed or the fixed-point format makes
+  // persisted material unusable; fold both into the tag.
+  return mpc::derive_material_seed(
+      owner.seed, mpc::TripleKey::mul(Shape{static_cast<std::size_t>(
+                      config.frac_bits)}),
+      0x7d57);
+}
+
+std::string TriplePipeline::store_path(const std::string& dir, int party,
+                                       bool training) {
+  return dir + "/party" + std::to_string(party) +
+         (training ? ".train" : ".infer") + ".triples";
+}
+
+TriplePipeline::TriplePipeline(const EngineConfig& config, OwnerLink& link,
+                               int party, bool training)
+    : config_(config), link_(link), party_(party), training_(training) {
+  if (!config_.triple_prefetch && config_.triple_store_dir.empty()) {
+    return;
+  }
+  store_ = std::make_unique<mpc::TripleStore>(link_, party_);
+  if (!config_.triple_store_dir.empty()) {
+    const std::string path =
+        store_path(config_.triple_store_dir, party_, training_);
+    if (store_->load(path, store_provenance(config_, training_))) {
+      TRUSTDDL_LOG_INFO(kLog)
+          << "party " << party_ << " restored " << store_->depth()
+          << " prefetched entries from " << path;
+    }
+  }
+}
+
+TriplePipeline::~TriplePipeline() {
+  try {
+    shutdown();
+  } catch (const Error& error) {
+    TRUSTDDL_LOG_WARN(kLog)
+        << "party " << party_ << " pipeline shutdown: " << error.what();
+  }
+}
+
+mpc::TripleSource& TriplePipeline::source() {
+  if (store_ != nullptr) {
+    return *store_;
+  }
+  return link_;
+}
+
+void TriplePipeline::plan(const DemandPlan& plan) {
+  if (store_ == nullptr) {
+    return;
+  }
+  for (const auto& [key, count] : plan.counts) {
+    store_->demand(key, std::min(count, config_.triple_max_depth));
+  }
+}
+
+void TriplePipeline::plan_step(const nn::ModelSpec& spec, std::size_t rows,
+                               std::size_t depth_factor) {
+  if (store_ == nullptr) {
+    return;
+  }
+  DemandPlan step = profile_step_demand(spec, rows,
+                                        config_.resolved_trunc_mode(),
+                                        /*training=*/false);
+  DemandPlan scaled;
+  for (const auto& [key, count] : step.counts) {
+    scaled.add(key, count * std::max<std::size_t>(depth_factor, 1));
+  }
+  plan(scaled);
+}
+
+std::size_t TriplePipeline::warm() {
+  if (store_ == nullptr || !config_.triple_prefetch) {
+    return 0;
+  }
+  obs::ScopedSpan span("triple.warm", party_);
+  std::size_t total = 0;
+  for (;;) {
+    const std::size_t added =
+        store_->refill_toward_targets(config_.triple_refill_batch);
+    if (added == 0) {
+      break;
+    }
+    total += added;
+  }
+  return total;
+}
+
+std::size_t TriplePipeline::refill_once() {
+  if (store_ == nullptr || !config_.triple_prefetch) {
+    return 0;
+  }
+  return store_->refill_toward_targets(config_.triple_refill_batch);
+}
+
+void TriplePipeline::start() {
+  if (store_ == nullptr || !config_.triple_prefetch || producer_.joinable()) {
+    return;
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  producer_ = std::thread([this] { producer_loop(); });
+}
+
+void TriplePipeline::producer_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::size_t added = 0;
+    for (const mpc::TripleKey& key :
+         store_->keys_below(config_.triple_low_water)) {
+      if (stop_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      added += store_->refill(key, config_.triple_refill_batch);
+    }
+    if (added == 0) {
+      // Nothing under water: idle briefly rather than spin on the
+      // owner link.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+void TriplePipeline::shutdown() {
+  if (producer_.joinable()) {
+    stop_.store(true, std::memory_order_relaxed);
+    producer_.join();
+  }
+  if (shut_down_ || store_ == nullptr) {
+    return;
+  }
+  shut_down_ = true;
+  if (!config_.triple_store_dir.empty()) {
+    const std::string path =
+        store_path(config_.triple_store_dir, party_, training_);
+    store_->save(path, store_provenance(config_, training_));
+    TRUSTDDL_LOG_INFO(kLog)
+        << "party " << party_ << " persisted " << store_->depth()
+        << " prefetched entries to " << path;
+  }
+}
+
+}  // namespace trustddl::core

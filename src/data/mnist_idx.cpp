@@ -1,0 +1,149 @@
+#include "data/mnist_idx.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace trustddl::data {
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SerializationError("mnist: cannot open " + path);
+  }
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+/// Sequential big-endian reader over a loaded idx file.
+class IdxReader {
+ public:
+  IdxReader(const std::vector<std::uint8_t>& bytes, const std::string& path)
+      : bytes_(bytes), path_(path) {}
+
+  std::uint32_t read_u32() {
+    if (offset_ + 4 > bytes_.size()) {
+      throw SerializationError("mnist: truncated header in " + path_);
+    }
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value = (value << 8) | bytes_[offset_++];
+    }
+    return value;
+  }
+
+  const std::uint8_t* take_payload(std::size_t count) {
+    if (offset_ + count > bytes_.size()) {
+      throw SerializationError("mnist: truncated payload in " + path_);
+    }
+    const std::uint8_t* data = bytes_.data() + offset_;
+    offset_ += count;
+    return data;
+  }
+
+  void expect_end() const {
+    if (offset_ != bytes_.size()) {
+      throw SerializationError("mnist: trailing bytes in " + path_);
+    }
+  }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::string path_;
+  std::size_t offset_ = 0;
+};
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path, std::ios::binary).good();
+}
+
+Dataset truncate(const Dataset& dataset, std::size_t count) {
+  if (count == 0 || count >= dataset.size()) {
+    return dataset;
+  }
+  return slice(dataset, 0, count);
+}
+
+}  // namespace
+
+Dataset load_idx_pair(const std::string& images_path,
+                      const std::string& labels_path) {
+  const auto image_bytes = read_file(images_path);
+  IdxReader images(image_bytes, images_path);
+  if (images.read_u32() != kIdxImagesMagic) {
+    throw SerializationError("mnist: bad image magic in " + images_path);
+  }
+  const std::size_t count = images.read_u32();
+  const std::size_t height = images.read_u32();
+  const std::size_t width = images.read_u32();
+  if (count == 0 || height == 0 || width == 0) {
+    throw SerializationError("mnist: empty dimension in " + images_path);
+  }
+
+  const auto label_bytes = read_file(labels_path);
+  IdxReader labels(label_bytes, labels_path);
+  if (labels.read_u32() != kIdxLabelsMagic) {
+    throw SerializationError("mnist: bad label magic in " + labels_path);
+  }
+  if (labels.read_u32() != count) {
+    throw SerializationError("mnist: image/label count mismatch between " +
+                             images_path + " and " + labels_path);
+  }
+
+  Dataset dataset;
+  const std::size_t pixels = height * width;
+  const std::uint8_t* image_data = images.take_payload(count * pixels);
+  images.expect_end();
+  dataset.images = RealTensor(Shape{count, pixels});
+  for (std::size_t i = 0; i < count * pixels; ++i) {
+    dataset.images[i] = static_cast<double>(image_data[i]) / 255.0;
+  }
+
+  const std::uint8_t* label_data = labels.take_payload(count);
+  labels.expect_end();
+  dataset.labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (label_data[i] > 9) {
+      throw SerializationError("mnist: label out of range in " + labels_path);
+    }
+    dataset.labels[i] = label_data[i];
+  }
+  return dataset;
+}
+
+bool mnist_files_present(const std::string& dir) {
+  if (dir.empty()) {
+    return false;
+  }
+  const std::string base = dir + "/";
+  return file_exists(base + kMnistTrainImages) &&
+         file_exists(base + kMnistTrainLabels) &&
+         file_exists(base + kMnistTestImages) &&
+         file_exists(base + kMnistTestLabels);
+}
+
+TrainTestSplit load_mnist_dir(const std::string& dir) {
+  const std::string base = dir + "/";
+  TrainTestSplit split;
+  split.train = load_idx_pair(base + kMnistTrainImages,
+                              base + kMnistTrainLabels);
+  split.test =
+      load_idx_pair(base + kMnistTestImages, base + kMnistTestLabels);
+  return split;
+}
+
+TrainTestSplit load_mnist_or_synthetic(const std::string& dir,
+                                       const SyntheticMnistConfig& config) {
+  if (!mnist_files_present(dir)) {
+    return generate_synthetic_mnist(config);
+  }
+  TrainTestSplit split = load_mnist_dir(dir);
+  split.train = truncate(split.train, config.train_count);
+  split.test = truncate(split.test, config.test_count);
+  return split;
+}
+
+}  // namespace trustddl::data

@@ -1,0 +1,50 @@
+// Reader for the original MNIST idx file format (the four files
+// distributed by Lecun et al.: train/t10k images + labels).
+//
+// The format is self-describing: a big-endian magic (0x00000803 for
+// rank-3 u8 image files, 0x00000801 for rank-1 u8 label files)
+// followed by big-endian u32 dimensions, then the raw bytes.  Parsed
+// with no external dependencies; pixels are normalized to [0,1] so a
+// loaded Dataset is a drop-in replacement for the synthetic generator
+// (same shapes, value range and class count — see DESIGN.md §5).
+//
+// load_mnist_or_synthetic() is the entry point the CLI uses: a real
+// dataset directory when one is supplied and complete, the procedural
+// substitute otherwise.
+#pragma once
+
+#include <string>
+
+#include "data/synthetic_mnist.hpp"
+
+namespace trustddl::data {
+
+/// Expected magics (big-endian on the wire).
+inline constexpr std::uint32_t kIdxImagesMagic = 2051;  // 0x00000803
+inline constexpr std::uint32_t kIdxLabelsMagic = 2049;  // 0x00000801
+
+/// Canonical file names inside an MNIST directory.
+inline constexpr const char* kMnistTrainImages = "train-images-idx3-ubyte";
+inline constexpr const char* kMnistTrainLabels = "train-labels-idx1-ubyte";
+inline constexpr const char* kMnistTestImages = "t10k-images-idx3-ubyte";
+inline constexpr const char* kMnistTestLabels = "t10k-labels-idx1-ubyte";
+
+/// Parse one images + labels file pair.  Throws SerializationError on
+/// a bad magic, truncated payload, trailing bytes or a count mismatch
+/// between the two files.
+Dataset load_idx_pair(const std::string& images_path,
+                      const std::string& labels_path);
+
+/// True when all four canonical files exist under `dir`.
+bool mnist_files_present(const std::string& dir);
+
+/// Load the canonical train/test split from `dir`.
+TrainTestSplit load_mnist_dir(const std::string& dir);
+
+/// Real MNIST from `dir` when it is non-empty and holds all four
+/// files, truncated to config.train_count / config.test_count rows
+/// (0 = keep everything); the synthetic substitute otherwise.
+TrainTestSplit load_mnist_or_synthetic(const std::string& dir,
+                                       const SyntheticMnistConfig& config);
+
+}  // namespace trustddl::data

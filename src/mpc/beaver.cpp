@@ -1,5 +1,7 @@
 #include "mpc/beaver.hpp"
 
+#include <utility>
+
 #include "common/error.hpp"
 #include "numeric/fixed_point.hpp"
 
@@ -26,6 +28,14 @@ std::array<BeaverTripleShare, kNumParties> package_triple(
                                    c_views[index]};
   }
   return out;
+}
+
+/// splitmix64 finalizer: the standard 64-bit avalanche mix.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
@@ -79,62 +89,173 @@ std::array<TruncPairShare, kNumParties> deal_trunc_pair(const Shape& shape,
   return out;
 }
 
-SharedDealer::SharedDealer(std::uint64_t seed, int frac_bits)
-    : rng_(seed), frac_bits_(frac_bits) {
-  for (auto& counters : counters_per_party_) {
-    counters = {0, 0, 0, 0};
+const char* triple_kind_name(TripleKind kind) {
+  switch (kind) {
+    case TripleKind::kMul:
+      return "mul";
+    case TripleKind::kMatMul:
+      return "matmul";
+    case TripleKind::kCompAux:
+      return "comp_aux";
+    case TripleKind::kTruncPair:
+      return "trunc_pair";
   }
+  return "unknown";
 }
 
-template <typename Item>
-Item SharedDealer::fetch(
-    std::unordered_map<std::uint64_t, std::pair<std::array<Item, 3>, int>>&
-        cache,
-    std::uint64_t index, int party,
-    const std::function<std::array<Item, 3>()>& generate) {
-  auto it = cache.find(index);
-  if (it == cache.end()) {
-    it = cache.emplace(index, std::make_pair(generate(), 0)).first;
+std::size_t TripleKeyHash::operator()(const TripleKey& key) const {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(key.kind) + 1);
+  for (std::size_t dim : key.dims) {
+    h = mix64(h ^ static_cast<std::uint64_t>(dim));
   }
-  Item view = it->second.first[static_cast<std::size_t>(party)];
-  it->second.second |= (1 << party);
-  if (it->second.second == 0b111) {
-    cache.erase(it);
+  return static_cast<std::size_t>(h);
+}
+
+std::uint64_t derive_material_seed(std::uint64_t master_seed,
+                                   const TripleKey& key, std::uint64_t index) {
+  std::uint64_t h = mix64(master_seed);
+  h = mix64(h ^ (static_cast<std::uint64_t>(key.kind) + 0x51ULL));
+  h = mix64(h ^ static_cast<std::uint64_t>(key.dims.size()));
+  for (std::size_t dim : key.dims) {
+    h = mix64(h ^ static_cast<std::uint64_t>(dim));
+  }
+  return mix64(h ^ index);
+}
+
+std::array<MaterialBatch, kNumParties> deal_material(const TripleKey& key,
+                                                     std::uint64_t start,
+                                                     std::size_t count,
+                                                     std::uint64_t master_seed,
+                                                     int frac_bits) {
+  std::array<MaterialBatch, kNumParties> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Fresh generator per entry: material is addressable by (key,
+    // index) alone, independent of the range it was requested in.
+    Rng rng(derive_material_seed(master_seed, key, start + i));
+    switch (key.kind) {
+      case TripleKind::kMul: {
+        const auto views = deal_mul_triple(key.dims, rng);
+        for (int p = 0; p < kNumParties; ++p) {
+          out[static_cast<std::size_t>(p)].triples.push_back(
+              views[static_cast<std::size_t>(p)]);
+        }
+        break;
+      }
+      case TripleKind::kMatMul: {
+        if (key.dims.size() != 3) {
+          throw InvalidArgument("matmul triple key needs dims {m, k, n}");
+        }
+        const auto views =
+            deal_matmul_triple(key.dims[0], key.dims[1], key.dims[2], rng);
+        for (int p = 0; p < kNumParties; ++p) {
+          out[static_cast<std::size_t>(p)].triples.push_back(
+              views[static_cast<std::size_t>(p)]);
+        }
+        break;
+      }
+      case TripleKind::kCompAux: {
+        const auto views = deal_positive_aux(key.dims, frac_bits, rng);
+        for (int p = 0; p < kNumParties; ++p) {
+          out[static_cast<std::size_t>(p)].aux.push_back(
+              views[static_cast<std::size_t>(p)]);
+        }
+        break;
+      }
+      case TripleKind::kTruncPair: {
+        const auto views = deal_trunc_pair(key.dims, frac_bits, rng);
+        for (int p = 0; p < kNumParties; ++p) {
+          out[static_cast<std::size_t>(p)].pairs.push_back(
+              views[static_cast<std::size_t>(p)]);
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+SharedDealer::SharedDealer(std::uint64_t seed, int frac_bits)
+    : seed_(seed), frac_bits_(frac_bits) {}
+
+MaterialBatch SharedDealer::fetch(const TripleKey& key, std::uint64_t index,
+                                  int party) {
+  auto& per_key = cache_[key];
+  auto it = per_key.find(index);
+  if (it == per_key.end()) {
+    // Derived-seed generation: regenerating an evicted entry yields the
+    // identical material, so eviction below is always safe.
+    it = per_key
+             .emplace(index,
+                      Entry{deal_material(key, index, 1, seed_, frac_bits_),
+                            0})
+             .first;
+    cache_fifo_.emplace_back(key, index);
+    ++cache_size_;
+    while (cache_size_ > kMaxCacheEntries) {
+      const auto [old_key, old_index] = cache_fifo_.front();
+      cache_fifo_.pop_front();
+      auto bucket = cache_.find(old_key);
+      if (bucket != cache_.end() && bucket->second.erase(old_index) > 0) {
+        --cache_size_;
+        if (bucket->second.empty()) {
+          cache_.erase(bucket);
+        }
+      }
+      // The FIFO may hold stale records for entries already retired by
+      // the all-parties-served fast path; skip those and keep draining.
+      // The entry just inserted is newest in FIFO order, so it is never
+      // evicted here and `it` stays valid (erase only invalidates
+      // iterators to the erased elements).
+    }
+  }
+  MaterialBatch view = it->second.views[static_cast<std::size_t>(party)];
+  it->second.served |= (1 << party);
+  if (it->second.served == 0b111) {
+    cache_[key].erase(index);
+    if (cache_[key].empty()) {
+      cache_.erase(key);
+    }
+    --cache_size_;
   }
   return view;
 }
 
 BeaverTripleShare SharedDealer::mul_triple(int party, const Shape& shape) {
   std::lock_guard<std::mutex> lock(mu_);
-  const std::uint64_t index = counters_per_party_[party][0]++;
-  return fetch<BeaverTripleShare>(mul_cache_, index, party, [&] {
-    return deal_mul_triple(shape, rng_);
-  });
+  const TripleKey key = TripleKey::mul(shape);
+  const std::uint64_t index =
+      counters_[key][static_cast<std::size_t>(party)]++;
+  return std::move(fetch(key, index, party).triples[0]);
 }
 
 BeaverTripleShare SharedDealer::matmul_triple(int party, std::size_t m,
                                               std::size_t k, std::size_t n) {
   std::lock_guard<std::mutex> lock(mu_);
-  const std::uint64_t index = counters_per_party_[party][1]++;
-  return fetch<BeaverTripleShare>(matmul_cache_, index, party, [&] {
-    return deal_matmul_triple(m, k, n, rng_);
-  });
+  const TripleKey key = TripleKey::matmul(m, k, n);
+  const std::uint64_t index =
+      counters_[key][static_cast<std::size_t>(party)]++;
+  return std::move(fetch(key, index, party).triples[0]);
 }
 
 PartyShare SharedDealer::comp_aux(int party, const Shape& shape) {
   std::lock_guard<std::mutex> lock(mu_);
-  const std::uint64_t index = counters_per_party_[party][2]++;
-  return fetch<PartyShare>(aux_cache_, index, party, [&] {
-    return deal_positive_aux(shape, frac_bits_, rng_);
-  });
+  const TripleKey key = TripleKey::comp_aux(shape);
+  const std::uint64_t index =
+      counters_[key][static_cast<std::size_t>(party)]++;
+  return std::move(fetch(key, index, party).aux[0]);
 }
 
 TruncPairShare SharedDealer::trunc_pair(int party, const Shape& shape) {
   std::lock_guard<std::mutex> lock(mu_);
-  const std::uint64_t index = counters_per_party_[party][3]++;
-  return fetch<TruncPairShare>(trunc_cache_, index, party, [&] {
-    return deal_trunc_pair(shape, frac_bits_, rng_);
-  });
+  const TripleKey key = TripleKey::trunc_pair(shape);
+  const std::uint64_t index =
+      counters_[key][static_cast<std::size_t>(party)]++;
+  return std::move(fetch(key, index, party).pairs[0]);
+}
+
+std::size_t SharedDealer::cache_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_size_;
 }
 
 }  // namespace trustddl::mpc

@@ -11,13 +11,25 @@
 //  * truncation pairs        (r, ⌊r/2^f⌋) for the exact masked-open
 //    fixed-point rescale (see protocols_bt.hpp for the two truncation
 //    strategies)
+//
+// Material is organized into *streams*: one FIFO sequence per
+// (kind, dims) shape class, addressed by a `TripleKey` and an entry
+// index.  Entry i of a stream is generated from a seed derived from
+// (master seed, key, i) alone — never from arrival order — so any
+// backend (the in-process SharedDealer, the networked owner service)
+// regenerates the same entry at any time.  That makes caches and
+// prefetch stores pure optimizations: eviction, restarts and
+// request-interleaving differences between parties cannot change what
+// a party receives for a given (key, index).
 #pragma once
 
 #include <array>
-#include <functional>
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "mpc/sharing.hpp"
@@ -53,6 +65,77 @@ std::array<TruncPairShare, kNumParties> deal_trunc_pair(const Shape& shape,
                                                         int frac_bits,
                                                         Rng& rng);
 
+// --- Material streams -----------------------------------------------
+
+/// The four kinds of dealt material.  Values are wire/persistence
+/// format — do not renumber.
+enum class TripleKind : std::uint8_t {
+  kMul = 0,
+  kMatMul = 1,
+  kCompAux = 2,
+  kTruncPair = 3,
+};
+
+/// Stable lowercase name for metrics/logs ("mul", "matmul",
+/// "comp_aux", "trunc_pair").
+const char* triple_kind_name(TripleKind kind);
+
+/// Identity of one material shape class.  For kMul / kCompAux /
+/// kTruncPair `dims` is the tensor shape; for kMatMul it is {m, k, n}.
+struct TripleKey {
+  TripleKind kind = TripleKind::kMul;
+  Shape dims;
+
+  bool operator==(const TripleKey& other) const {
+    return kind == other.kind && dims == other.dims;
+  }
+
+  static TripleKey mul(const Shape& shape) {
+    return TripleKey{TripleKind::kMul, shape};
+  }
+  static TripleKey matmul(std::size_t m, std::size_t k, std::size_t n) {
+    return TripleKey{TripleKind::kMatMul, Shape{m, k, n}};
+  }
+  static TripleKey comp_aux(const Shape& shape) {
+    return TripleKey{TripleKind::kCompAux, shape};
+  }
+  static TripleKey trunc_pair(const Shape& shape) {
+    return TripleKey{TripleKind::kTruncPair, shape};
+  }
+};
+
+struct TripleKeyHash {
+  std::size_t operator()(const TripleKey& key) const;
+};
+
+/// Seed of entry `index` of stream `key` under `master_seed`
+/// (splitmix-style mixing).  The whole offline/online split rests on
+/// this being a pure function of its arguments.
+std::uint64_t derive_material_seed(std::uint64_t master_seed,
+                                   const TripleKey& key, std::uint64_t index);
+
+/// One party's view of a contiguous range of a material stream.
+/// Exactly one vector is populated, selected by the key's kind.
+struct MaterialBatch {
+  std::vector<BeaverTripleShare> triples;  ///< kMul / kMatMul
+  std::vector<PartyShare> aux;             ///< kCompAux
+  std::vector<TruncPairShare> pairs;       ///< kTruncPair
+
+  std::size_t count() const {
+    return triples.size() + aux.size() + pairs.size();
+  }
+};
+
+/// All three parties' views of entries [start, start+count) of stream
+/// `key`.  Deterministic in (key, start, count, master_seed,
+/// frac_bits); requesting overlapping ranges yields overlapping
+/// entries bit for bit.
+std::array<MaterialBatch, kNumParties> deal_material(const TripleKey& key,
+                                                     std::uint64_t start,
+                                                     std::size_t count,
+                                                     std::uint64_t master_seed,
+                                                     int frac_bits);
+
 /// Per-party access to preprocessing material.  Implementations must
 /// return the *same* underlying triples to all parties for the same
 /// request sequence (the protocols are SPMD, so parties request in
@@ -67,14 +150,52 @@ class TripleSource {
   virtual TruncPairShare trunc_pair(const Shape& shape) = 0;
 };
 
+/// Batched range access to one party's material streams — the
+/// offline-phase counterpart of TripleSource.  One call fills N
+/// entries of a shape class (one round trip when the backend is the
+/// networked owner link).
+class TripleBackend {
+ public:
+  virtual ~TripleBackend() = default;
+  virtual MaterialBatch fill(const TripleKey& key, std::uint64_t start,
+                             std::size_t count) = 0;
+};
+
+/// In-process TripleBackend for one party: derives every entry
+/// locally from the master seed (the same derivation the owner
+/// service uses, so in-process and networked supplies agree).
+class DealerBackend final : public TripleBackend {
+ public:
+  DealerBackend(std::uint64_t master_seed, int frac_bits, int party)
+      : master_seed_(master_seed), frac_bits_(frac_bits), party_(party) {}
+
+  MaterialBatch fill(const TripleKey& key, std::uint64_t start,
+                     std::size_t count) override {
+    return std::move(deal_material(key, start, count, master_seed_,
+                                   frac_bits_)[static_cast<std::size_t>(
+        party_)]);
+  }
+
+ private:
+  std::uint64_t master_seed_;
+  int frac_bits_;
+  int party_;
+};
+
 /// Dealer shared by the three in-process parties; thread-safe.  Each
-/// party's LocalTripleSource pulls its view; entries are generated on
-/// first request and retired once all parties fetched them.  Used by
+/// party's LocalTripleSource pulls its view by per-key stream index;
+/// entries are derived-seed generated on first request and retired
+/// once all parties fetched them.  The cache is bounded: a crashed or
+/// silent party can no longer leak every subsequent triple — evicted
+/// entries are simply regenerated if a straggler asks later.  Used by
 /// unit tests and microbenchmarks; the full framework deals through
-/// the network instead (core/preprocessing.hpp) so dealing traffic is
-/// metered.
+/// the network instead so dealing traffic is metered.
 class SharedDealer {
  public:
+  /// Retire-on-eviction bound: at most this many in-flight entries are
+  /// cached before the oldest is dropped (regenerable, so always safe).
+  static constexpr std::size_t kMaxCacheEntries = 256;
+
   SharedDealer(std::uint64_t seed, int frac_bits);
 
   BeaverTripleShare mul_triple(int party, const Shape& shape);
@@ -83,28 +204,31 @@ class SharedDealer {
   PartyShare comp_aux(int party, const Shape& shape);
   TruncPairShare trunc_pair(int party, const Shape& shape);
 
- private:
-  template <typename Item>
-  Item fetch(std::unordered_map<std::uint64_t, std::pair<std::array<Item, 3>,
-                                                         int>>& cache,
-             std::uint64_t index, int party,
-             const std::function<std::array<Item, 3>()>& generate);
+  /// Entries currently cached (regression guard for the bounded-cache
+  /// fix; never exceeds kMaxCacheEntries).
+  std::size_t cache_entries() const;
 
-  std::mutex mu_;
-  Rng rng_;
+ private:
+  struct Entry {
+    std::array<MaterialBatch, kNumParties> views;
+    int served = 0;  ///< bitmask of parties that fetched their view
+  };
+
+  /// The party's view of entry (key, index): cache hit, or derived-seed
+  /// regeneration on miss.  Caller holds mu_.
+  MaterialBatch fetch(const TripleKey& key, std::uint64_t index, int party);
+
+  mutable std::mutex mu_;
+  std::uint64_t seed_;
   int frac_bits_;
-  std::array<std::uint64_t, 4> counters_per_party_[kNumParties];
-  std::unordered_map<std::uint64_t,
-                     std::pair<std::array<BeaverTripleShare, 3>, int>>
-      mul_cache_;
-  std::unordered_map<std::uint64_t,
-                     std::pair<std::array<BeaverTripleShare, 3>, int>>
-      matmul_cache_;
-  std::unordered_map<std::uint64_t, std::pair<std::array<PartyShare, 3>, int>>
-      aux_cache_;
-  std::unordered_map<std::uint64_t,
-                     std::pair<std::array<TruncPairShare, 3>, int>>
-      trunc_cache_;
+  std::unordered_map<TripleKey, std::array<std::uint64_t, kNumParties>,
+                     TripleKeyHash>
+      counters_;
+  std::unordered_map<TripleKey, std::unordered_map<std::uint64_t, Entry>,
+                     TripleKeyHash>
+      cache_;
+  std::deque<std::pair<TripleKey, std::uint64_t>> cache_fifo_;
+  std::size_t cache_size_ = 0;
 };
 
 /// TripleSource view of a SharedDealer for one party.

@@ -1,0 +1,428 @@
+#include "mpc/triple_store.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "mpc/share_serde.hpp"
+#include "obs/metrics.hpp"
+
+namespace trustddl::mpc {
+namespace {
+
+/// "TDST" little-endian: triple-store file magic.
+constexpr std::uint32_t kStoreMagic = 0x54534454;
+constexpr std::uint32_t kStoreVersion = 1;
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t cap = 1;
+  while (cap < n) {
+    cap <<= 1;
+  }
+  return cap;
+}
+
+void count_kind(const char* stem, TripleKind kind, std::uint64_t delta) {
+  if (obs::metrics_enabled()) {
+    obs::count(std::string(stem) + triple_kind_name(kind), delta);
+  }
+}
+
+void gauge_kind(TripleKind kind, std::int64_t delta) {
+  if (obs::metrics_enabled()) {
+    obs::gauge_add(std::string("triple.store.depth.") +
+                       triple_kind_name(kind),
+                   delta);
+  }
+}
+
+}  // namespace
+
+TripleStore::TripleStore(TripleBackend& backend, int party)
+    : backend_(backend), party_(party) {
+  (void)party_;  // identifies the store in errors/persistence only
+}
+
+TripleStore::KeyQueue& TripleStore::queue_for(const TripleKey& key) {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  auto& slot = queues_[key];
+  if (!slot) {
+    slot = std::make_unique<KeyQueue>();
+  }
+  return *slot;
+}
+
+const TripleStore::KeyQueue* TripleStore::find_queue(
+    const TripleKey& key) const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  const auto it = queues_.find(key);
+  return it == queues_.end() ? nullptr : it->second.get();
+}
+
+TripleStore::Slot TripleStore::pop(const TripleKey& key) {
+  KeyQueue& queue = queue_for(key);
+  const std::uint64_t head = queue.head.load(std::memory_order_relaxed);
+  if (head != queue.tail.load(std::memory_order_acquire)) {
+    // Hot path: prefetched entry, no lock, no wait.
+    Slot slot = std::move(queue.ring[head & (queue.capacity() - 1)]);
+    queue.head.store(head + 1, std::memory_order_release);
+    count_kind("triple.consumed.", key.kind, 1);
+    gauge_kind(key.kind, -1);
+    if (obs::metrics_enabled()) {
+      obs::observe("triple.online_wait.us", 0);
+    }
+    return slot;
+  }
+
+  // Store dry: fall back to an on-demand single-entry fetch.  The fill
+  // mutex serializes against the producer so the stream cursor stays
+  // strictly ordered.
+  const auto start = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(queue.fill_mu);
+  Slot slot;
+  const std::uint64_t head2 = queue.head.load(std::memory_order_relaxed);
+  if (head2 != queue.tail.load(std::memory_order_acquire)) {
+    // The producer filled while we were acquiring the lock.
+    slot = std::move(queue.ring[head2 & (queue.capacity() - 1)]);
+    queue.head.store(head2 + 1, std::memory_order_release);
+    count_kind("triple.consumed.", key.kind, 1);
+    gauge_kind(key.kind, -1);
+  } else {
+    MaterialBatch batch = backend_.fill(key, queue.next_fill, 1);
+    queue.next_fill += 1;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    count_kind("triple.produced.", key.kind, 1);
+    count_kind("triple.consumed.", key.kind, 1);
+    obs::count("triple.store.miss");
+    switch (key.kind) {
+      case TripleKind::kMul:
+      case TripleKind::kMatMul:
+        slot.triple = std::move(batch.triples.at(0));
+        break;
+      case TripleKind::kCompAux:
+        slot.aux = std::move(batch.aux.at(0));
+        break;
+      case TripleKind::kTruncPair:
+        slot.pair = std::move(batch.pairs.at(0));
+        break;
+    }
+  }
+  if (obs::metrics_enabled()) {
+    const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    obs::observe("triple.online_wait.us", static_cast<std::uint64_t>(waited));
+  }
+  return slot;
+}
+
+BeaverTripleShare TripleStore::mul_triple(const Shape& shape) {
+  return std::move(pop(TripleKey::mul(shape)).triple);
+}
+
+BeaverTripleShare TripleStore::matmul_triple(std::size_t m, std::size_t k,
+                                             std::size_t n) {
+  return std::move(pop(TripleKey::matmul(m, k, n)).triple);
+}
+
+PartyShare TripleStore::comp_aux(const Shape& shape) {
+  return std::move(pop(TripleKey::comp_aux(shape)).aux);
+}
+
+TruncPairShare TripleStore::trunc_pair(const Shape& shape) {
+  return std::move(pop(TripleKey::trunc_pair(shape)).pair);
+}
+
+void TripleStore::grow_ring(KeyQueue& queue, std::size_t min_capacity) {
+  const std::size_t new_cap = next_pow2(min_capacity);
+  if (new_cap <= queue.capacity()) {
+    return;
+  }
+  std::vector<Slot> fresh(new_cap);
+  const std::uint64_t head = queue.head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = queue.tail.load(std::memory_order_relaxed);
+  for (std::uint64_t i = head; i != tail; ++i) {
+    fresh[i & (new_cap - 1)] =
+        std::move(queue.ring[i & (queue.capacity() - 1)]);
+  }
+  queue.ring = std::move(fresh);
+}
+
+void TripleStore::demand(const TripleKey& key, std::size_t count) {
+  KeyQueue& queue = queue_for(key);
+  std::lock_guard<std::mutex> lock(queue.fill_mu);
+  if (count > queue.target) {
+    queue.target = count;
+  }
+  if (queue.target > queue.capacity()) {
+    grow_ring(queue, queue.target);
+  }
+}
+
+std::size_t TripleStore::target(const TripleKey& key) const {
+  const KeyQueue* queue = find_queue(key);
+  if (queue == nullptr) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(queue->fill_mu);
+  return queue->target;
+}
+
+std::vector<TripleKey> TripleStore::keys_below(
+    double low_water_fraction) const {
+  std::vector<TripleKey> out;
+  std::lock_guard<std::mutex> lock(map_mu_);
+  for (const auto& [key, queue] : queues_) {
+    std::size_t target = 0;
+    {
+      std::lock_guard<std::mutex> fill_lock(queue->fill_mu);
+      target = queue->target;
+    }
+    if (target == 0) {
+      continue;
+    }
+    const double depth = static_cast<double>(queue->depth_now());
+    if (depth < low_water_fraction * static_cast<double>(target)) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+std::size_t TripleStore::fill_locked(const TripleKey& key, KeyQueue& queue,
+                                     std::size_t want) {
+  const std::uint64_t head = queue.head.load(std::memory_order_acquire);
+  const std::uint64_t tail = queue.tail.load(std::memory_order_relaxed);
+  const std::size_t depth = static_cast<std::size_t>(tail - head);
+  const std::size_t space = queue.capacity() - depth;
+  if (want > space) {
+    want = space;
+  }
+  if (want == 0) {
+    return 0;
+  }
+  MaterialBatch batch = backend_.fill(key, queue.next_fill, want);
+  if (batch.count() != want) {
+    throw ProtocolError("triple backend returned short batch");
+  }
+  for (std::size_t i = 0; i < want; ++i) {
+    Slot& slot = queue.ring[(tail + i) & (queue.capacity() - 1)];
+    switch (key.kind) {
+      case TripleKind::kMul:
+      case TripleKind::kMatMul:
+        slot.triple = std::move(batch.triples[i]);
+        break;
+      case TripleKind::kCompAux:
+        slot.aux = std::move(batch.aux[i]);
+        break;
+      case TripleKind::kTruncPair:
+        slot.pair = std::move(batch.pairs[i]);
+        break;
+    }
+  }
+  queue.tail.store(tail + want, std::memory_order_release);
+  queue.next_fill += want;
+  count_kind("triple.produced.", key.kind, want);
+  gauge_kind(key.kind, static_cast<std::int64_t>(want));
+  if (obs::metrics_enabled()) {
+    obs::observe("triple.refill.batch", want);
+  }
+  return want;
+}
+
+std::size_t TripleStore::refill(const TripleKey& key,
+                                std::size_t max_entries) {
+  KeyQueue& queue = queue_for(key);
+  std::lock_guard<std::mutex> lock(queue.fill_mu);
+  const std::size_t depth = queue.depth_now();
+  if (depth >= queue.target) {
+    return 0;
+  }
+  std::size_t want = queue.target - depth;
+  if (want > max_entries) {
+    want = max_entries;
+  }
+  return fill_locked(key, queue, want);
+}
+
+std::size_t TripleStore::refill_toward_targets(std::size_t max_entries) {
+  std::vector<TripleKey> keys;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    keys.reserve(queues_.size());
+    for (const auto& [key, queue] : queues_) {
+      (void)queue;
+      keys.push_back(key);
+    }
+  }
+  std::size_t added = 0;
+  for (const auto& key : keys) {
+    added += refill(key, max_entries);
+  }
+  return added;
+}
+
+std::size_t TripleStore::depth() const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  std::size_t total = 0;
+  for (const auto& [key, queue] : queues_) {
+    (void)key;
+    total += queue->depth_now();
+  }
+  return total;
+}
+
+std::size_t TripleStore::depth(const TripleKey& key) const {
+  const KeyQueue* queue = find_queue(key);
+  return queue == nullptr ? 0 : queue->depth_now();
+}
+
+std::uint64_t TripleStore::consumed(const TripleKey& key) const {
+  const KeyQueue* queue = find_queue(key);
+  if (queue == nullptr) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(queue->fill_mu);
+  return queue->next_fill - queue->depth_now();
+}
+
+std::uint64_t TripleStore::misses() const {
+  return misses_.load(std::memory_order_relaxed);
+}
+
+void TripleStore::save(const std::string& path,
+                       std::uint64_t provenance) const {
+  ByteWriter writer;
+  writer.write_u32(kStoreMagic);
+  writer.write_u32(kStoreVersion);
+  writer.write_u64(provenance);
+  writer.write_u32(static_cast<std::uint32_t>(party_));
+
+  std::lock_guard<std::mutex> lock(map_mu_);
+  writer.write_u64(queues_.size());
+  for (const auto& [key, queue] : queues_) {
+    std::lock_guard<std::mutex> fill_lock(queue->fill_mu);
+    const std::uint64_t head = queue->head.load(std::memory_order_acquire);
+    const std::uint64_t tail = queue->tail.load(std::memory_order_acquire);
+    const std::uint64_t depth = tail - head;
+    writer.write_u8(static_cast<std::uint8_t>(key.kind));
+    writer.write_u64(key.dims.size());
+    for (std::size_t dim : key.dims) {
+      writer.write_u64(dim);
+    }
+    writer.write_u64(queue->next_fill - depth);  // stream cursor
+    writer.write_u64(queue->target);
+    writer.write_u64(depth);
+    for (std::uint64_t i = head; i != tail; ++i) {
+      const Slot& slot = queue->ring[i & (queue->capacity() - 1)];
+      switch (key.kind) {
+        case TripleKind::kMul:
+        case TripleKind::kMatMul:
+          write_beaver_share(writer, slot.triple);
+          break;
+        case TripleKind::kCompAux:
+          write_party_share(writer, slot.aux);
+          break;
+        case TripleKind::kTruncPair:
+          write_trunc_pair(writer, slot.pair);
+          break;
+      }
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw Error("triple store: cannot write " + path);
+  }
+  const Bytes& bytes = writer.bytes();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    throw Error("triple store: short write to " + path);
+  }
+}
+
+bool TripleStore::load(const std::string& path, std::uint64_t provenance) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return false;
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes bytes(static_cast<std::size_t>(size));
+  if (!in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    throw SerializationError("triple store: short read from " + path);
+  }
+  ByteReader reader(std::move(bytes));
+  if (reader.read_u32() != kStoreMagic) {
+    throw SerializationError("triple store: bad magic in " + path);
+  }
+  if (reader.read_u32() != kStoreVersion) {
+    throw SerializationError("triple store: unsupported version in " + path);
+  }
+  if (reader.read_u64() != provenance) {
+    throw SerializationError(
+        "triple store: provenance mismatch (file dealt under a different "
+        "seed): " +
+        path);
+  }
+  if (reader.read_u32() != static_cast<std::uint32_t>(party_)) {
+    throw SerializationError("triple store: file belongs to another party: " +
+                             path);
+  }
+  const std::uint64_t num_keys = reader.read_u64();
+  for (std::uint64_t k = 0; k < num_keys; ++k) {
+    TripleKey key;
+    key.kind = static_cast<TripleKind>(reader.read_u8());
+    if (key.kind > TripleKind::kTruncPair) {
+      throw SerializationError("triple store: unknown material kind");
+    }
+    const std::uint64_t rank = reader.read_u64();
+    if (rank > 8) {
+      throw SerializationError("triple store: shape rank too large");
+    }
+    key.dims.resize(rank);
+    for (auto& dim : key.dims) {
+      dim = reader.read_u64();
+    }
+    const std::uint64_t first_index = reader.read_u64();
+    const std::uint64_t target = reader.read_u64();
+    const std::uint64_t depth = reader.read_u64();
+
+    KeyQueue& queue = queue_for(key);
+    std::lock_guard<std::mutex> lock(queue.fill_mu);
+    if (queue.next_fill != 0 || queue.depth_now() != 0) {
+      throw SerializationError("triple store: load into a non-empty store");
+    }
+    queue.target = static_cast<std::size_t>(
+        std::max<std::uint64_t>(target, depth));
+    grow_ring(queue, std::max<std::size_t>(queue.target, 1));
+    for (std::uint64_t i = 0; i < depth; ++i) {
+      Slot& slot = queue.ring[i & (queue.capacity() - 1)];
+      switch (key.kind) {
+        case TripleKind::kMul:
+        case TripleKind::kMatMul:
+          slot.triple = read_beaver_share(reader);
+          break;
+        case TripleKind::kCompAux:
+          slot.aux = read_party_share(reader);
+          break;
+        case TripleKind::kTruncPair:
+          slot.pair = read_trunc_pair(reader);
+          break;
+      }
+    }
+    queue.tail.store(depth, std::memory_order_release);
+    queue.next_fill = first_index + depth;
+    count_kind("triple.produced.", key.kind, depth);
+    gauge_kind(key.kind, static_cast<std::int64_t>(depth));
+  }
+  if (!reader.at_end()) {
+    throw SerializationError("triple store: trailing bytes in " + path);
+  }
+  return true;
+}
+
+}  // namespace trustddl::mpc

@@ -41,9 +41,25 @@ bool InferenceServer::run(core::SecureModel& model,
                           core::SecureExecContext& ctx,
                           std::size_t input_features) {
   for (std::uint64_t index = 0;; ++index) {
-    const BatchManifest manifest = decode_manifest(
-        endpoint_.recv(core::kModelOwner, manifest_tag(index),
-                       kManifestTimeout));
+    // Poll for the next manifest, spending idle gaps on triple-store
+    // refills (the serving variant of the offline phase): with a
+    // pipeline attached, the wait between batches becomes productive
+    // preprocessing time instead of a blocking recv.
+    Bytes manifest_bytes;
+    const auto manifest_deadline =
+        std::chrono::steady_clock::now() + kManifestTimeout;
+    while (!endpoint_.try_recv(core::kModelOwner, manifest_tag(index),
+                               manifest_bytes)) {
+      if (std::chrono::steady_clock::now() > manifest_deadline) {
+        throw TimeoutError("serve: no manifest " + std::to_string(index));
+      }
+      const std::size_t refilled =
+          pipeline_ != nullptr ? pipeline_->refill_once() : 0;
+      if (refilled == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    const BatchManifest manifest = decode_manifest(manifest_bytes);
     if (manifest.shutdown) {
       return true;
     }
@@ -91,6 +107,17 @@ bool InferenceServer::run(core::SecureModel& model,
     }
     ++batches_;
     obs::count("serve.party.batches");
+    if (pipeline_ != nullptr && spec_ != nullptr) {
+      // Adaptive steady-state planning: the first manifest of a given
+      // row count pays the on-demand miss cost; raising the targets to
+      // two steps' worth lets later same-size batches pop prefetched
+      // entries filled during the idle poll above.
+      std::size_t total_rows = 0;
+      for (const auto& entry : manifest.entries) {
+        total_rows += entry.rows;
+      }
+      pipeline_->plan_step(*spec_, total_rows, 2);
+    }
 
     if (options_.max_batches != 0 && batches_ >= options_.max_batches) {
       TRUSTDDL_LOG_WARN(kLog) << "party " << party_
@@ -112,11 +139,21 @@ mpc::DetectionLog serve_computing_party_body(
   mpc::PartyContext pctx = core::make_party_context(config, party, endpoint);
   core::SecureExecContext sctx = core::make_exec_context(config, pctx, link);
 
+  // Serving uses the idle-poll refill inside InferenceServer::run
+  // rather than a producer thread: the gaps between manifests are the
+  // natural offline phase, and a restarted party restores whatever the
+  // previous incarnation persisted.
+  core::TriplePipeline pipeline(config, link, party, /*training=*/false);
   InferenceServer server(party, endpoint, options);
+  if (pipeline.active()) {
+    sctx.triples = &pipeline.source();
+    server.set_pipeline(&pipeline, &spec);
+  }
   const bool clean = server.run(model, sctx, spec.input_features);
   if (batches_out != nullptr) {
     *batches_out = server.batches_executed();
   }
+  pipeline.shutdown();  // persist the store before the link closes
   if (clean) {
     link.stop();
   }

@@ -20,6 +20,7 @@
 
 #include "core/actors.hpp"
 #include "core/secure_model.hpp"
+#include "core/triple_pipeline.hpp"
 #include "serve/batch_queue.hpp"
 #include "serve/scheduler.hpp"
 
@@ -40,6 +41,18 @@ class InferenceServer {
  public:
   InferenceServer(int party, net::Endpoint endpoint, ServerOptions options);
 
+  /// Attach the offline/online preprocessing pipeline (DESIGN.md §10).
+  /// While waiting for the next manifest the server tops the triple
+  /// stores up instead of idling, and after each executed batch it
+  /// raises the per-shape targets from the batch's demand so repeat
+  /// batch sizes pop prefetched material.  `spec` is needed for the
+  /// demand profile; both must outlive run().
+  void set_pipeline(core::TriplePipeline* pipeline,
+                    const nn::ModelSpec* spec) {
+    pipeline_ = pipeline;
+    spec_ = spec;
+  }
+
   /// Serve manifests until the owner's shutdown manifest (returns
   /// true) or the max_batches crash point (returns false).
   bool run(core::SecureModel& model, core::SecureExecContext& ctx,
@@ -52,6 +65,8 @@ class InferenceServer {
   net::Endpoint endpoint_;
   ServerOptions options_;
   std::size_t batches_ = 0;
+  core::TriplePipeline* pipeline_ = nullptr;
+  const nn::ModelSpec* spec_ = nullptr;
 };
 
 /// Full serving actor bodies, mirroring core/actors.hpp: identical

@@ -113,6 +113,38 @@ TEST(DealerTest, SequentialRequestsYieldIndependentTriples) {
   EXPECT_NE(first.a.primary, second_p0.a.primary);
 }
 
+TEST(DealerTest, CacheStaysBoundedWhenOnePartyRunsAhead) {
+  // Regression: the cache used to grow without bound when a party
+  // crashed or fell silent — every entry waited forever for the
+  // missing party's fetch.  With derived-seed dealing eviction is
+  // safe (a straggler's entry is regenerated on demand), so the cache
+  // is FIFO-bounded at kMaxCacheEntries.
+  auto dealer = std::make_shared<SharedDealer>(11, kF);
+  LocalTripleSource p0(dealer, 0);
+  constexpr std::size_t kAhead = 600;
+  std::vector<BeaverTripleShare> p0_triples;
+  p0_triples.reserve(kAhead);
+  for (std::size_t i = 0; i < kAhead; ++i) {
+    p0_triples.push_back(p0.mul_triple(Shape{3}));
+  }
+  EXPECT_LE(dealer->cache_entries(), SharedDealer::kMaxCacheEntries);
+
+  // The lagging parties catch up after eviction; regenerated entries
+  // must still combine with party 0's long-gone views into valid
+  // Beaver triples.
+  LocalTripleSource p1(dealer, 1);
+  LocalTripleSource p2(dealer, 2);
+  for (std::size_t i = 0; i < kAhead; ++i) {
+    const std::array<BeaverTripleShare, 3> triples = {
+        p0_triples[i], p1.mul_triple(Shape{3}), p2.mul_triple(Shape{3})};
+    const RingTensor a = reconstruct_member(triples, &BeaverTripleShare::a);
+    const RingTensor b = reconstruct_member(triples, &BeaverTripleShare::b);
+    const RingTensor c = reconstruct_member(triples, &BeaverTripleShare::c);
+    ASSERT_EQ(hadamard(a, b), c) << "entry " << i;
+  }
+  EXPECT_LE(dealer->cache_entries(), SharedDealer::kMaxCacheEntries);
+}
+
 TEST(DealerTest, MaskedTruncationUsesPairExactly) {
   // End-to-end check of the pair relation through the masked opening:
   // documented error bound is <= 2 ulp (one masking carry + one

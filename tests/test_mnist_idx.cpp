@@ -1,0 +1,172 @@
+// MNIST idx reader (data/mnist_idx.hpp): big-endian header parsing,
+// magic/shape validation, normalization, and the synthetic fallback.
+#include "data/mnist_idx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace trustddl::data {
+namespace {
+
+void append_u32_be(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good());
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Write a tiny but well-formed idx pair: `count` images of
+/// height x width whose pixel (i, p) is (i * 7 + p) % 256, labels
+/// i % 10.
+void write_idx_pair(const std::string& images_path,
+                    const std::string& labels_path, std::uint32_t count,
+                    std::uint32_t height, std::uint32_t width) {
+  std::vector<std::uint8_t> images;
+  append_u32_be(images, kIdxImagesMagic);
+  append_u32_be(images, count);
+  append_u32_be(images, height);
+  append_u32_be(images, width);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    for (std::uint32_t p = 0; p < height * width; ++p) {
+      images.push_back(static_cast<std::uint8_t>((i * 7 + p) % 256));
+    }
+  }
+  write_file(images_path, images);
+
+  std::vector<std::uint8_t> labels;
+  append_u32_be(labels, kIdxLabelsMagic);
+  append_u32_be(labels, count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    labels.push_back(static_cast<std::uint8_t>(i % 10));
+  }
+  write_file(labels_path, labels);
+}
+
+class MnistIdxTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) const {
+    return ::testing::TempDir() + name;
+  }
+};
+
+TEST_F(MnistIdxTest, ParsesImagesAndLabels) {
+  const std::string images = path("ok-images");
+  const std::string labels = path("ok-labels");
+  write_idx_pair(images, labels, 5, 4, 3);
+
+  const Dataset dataset = load_idx_pair(images, labels);
+  ASSERT_EQ(dataset.size(), 5u);
+  EXPECT_EQ(dataset.images.shape(), (Shape{5, 12}));
+  // Pixels normalized to [0, 1] with the exact /255 encoding.
+  EXPECT_DOUBLE_EQ(dataset.images.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dataset.images.at(1, 2), 9.0 / 255.0);
+  EXPECT_EQ(dataset.labels[0], 0u);
+  EXPECT_EQ(dataset.labels[4], 4u);
+}
+
+TEST_F(MnistIdxTest, RejectsBadMagic) {
+  const std::string images = path("badmagic-images");
+  const std::string labels = path("badmagic-labels");
+  write_idx_pair(images, labels, 2, 2, 2);
+  // Swap the files: the label magic appears where an image magic is
+  // required.
+  EXPECT_THROW(load_idx_pair(labels, images), SerializationError);
+}
+
+TEST_F(MnistIdxTest, RejectsTruncatedPayload) {
+  const std::string images = path("trunc-images");
+  const std::string labels = path("trunc-labels");
+  write_idx_pair(images, labels, 2, 2, 2);
+  std::vector<std::uint8_t> short_images;
+  append_u32_be(short_images, kIdxImagesMagic);
+  append_u32_be(short_images, 2);
+  append_u32_be(short_images, 2);
+  append_u32_be(short_images, 2);
+  short_images.push_back(1);  // 1 of 8 payload bytes
+  write_file(images, short_images);
+  EXPECT_THROW(load_idx_pair(images, labels), SerializationError);
+}
+
+TEST_F(MnistIdxTest, RejectsCountMismatch) {
+  const std::string images = path("mismatch-images");
+  const std::string labels = path("mismatch-labels");
+  const std::string labels3 = path("mismatch-labels3");
+  write_idx_pair(images, labels, 2, 2, 2);
+  write_idx_pair(path("mismatch-unused"), labels3, 3, 2, 2);
+  EXPECT_THROW(load_idx_pair(images, labels3), SerializationError);
+}
+
+TEST_F(MnistIdxTest, RejectsTrailingBytes) {
+  const std::string images = path("trailing-images");
+  const std::string labels = path("trailing-labels");
+  write_idx_pair(images, labels, 2, 2, 2);
+  std::ifstream in(images, std::ios::binary);
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  bytes.push_back(0);
+  write_file(images, bytes);
+  EXPECT_THROW(load_idx_pair(images, labels), SerializationError);
+}
+
+TEST_F(MnistIdxTest, MissingFilesAreReportedAbsent) {
+  EXPECT_FALSE(mnist_files_present(""));
+  EXPECT_FALSE(mnist_files_present(path("no-such-dir")));
+  EXPECT_THROW(load_idx_pair(path("nope-images"), path("nope-labels")),
+               SerializationError);
+}
+
+TEST_F(MnistIdxTest, FallsBackToSyntheticWhenDirIncomplete) {
+  SyntheticMnistConfig config;
+  config.train_count = 12;
+  config.test_count = 6;
+  config.seed = 9;
+  const TrainTestSplit split =
+      load_mnist_or_synthetic(path("incomplete-dir"), config);
+  EXPECT_EQ(split.train.size(), 12u);
+  EXPECT_EQ(split.test.size(), 6u);
+  EXPECT_EQ(split.train.images.cols(), config.height * config.width);
+}
+
+TEST_F(MnistIdxTest, LoadsRealDirectoryAndTruncatesToRequestedCounts) {
+  // A complete canonical directory: the loader must prefer it over the
+  // synthetic generator and respect the requested row counts.
+  const std::string dir = ::testing::TempDir() + "mnist-dir";
+  std::remove(dir.c_str());
+#ifdef _WIN32
+  GTEST_SKIP();
+#endif
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  write_idx_pair(dir + "/" + kMnistTrainImages,
+                 dir + "/" + kMnistTrainLabels, 10, 28, 28);
+  write_idx_pair(dir + "/" + kMnistTestImages, dir + "/" + kMnistTestLabels,
+                 4, 28, 28);
+  ASSERT_TRUE(mnist_files_present(dir));
+
+  SyntheticMnistConfig config;
+  config.train_count = 6;  // fewer than on disk: truncate
+  config.test_count = 0;   // 0: keep everything
+  const TrainTestSplit split = load_mnist_or_synthetic(dir, config);
+  EXPECT_EQ(split.train.size(), 6u);
+  EXPECT_EQ(split.test.size(), 4u);
+  EXPECT_EQ(split.train.images.shape(), (Shape{6, 784}));
+  EXPECT_EQ(split.test.labels[3], 3u);
+}
+
+}  // namespace
+}  // namespace trustddl::data

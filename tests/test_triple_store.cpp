@@ -1,0 +1,350 @@
+// Offline/online split (DESIGN.md §10): derived-seed material streams,
+// the shape-keyed TripleStore (prefetch, exhaustion fallback, disk
+// round trip, SPSC concurrency) and the engine-level guarantee that
+// prefetched and synchronous runs are bit-identical.
+#include "mpc/triple_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/triple_pipeline.hpp"
+#include "mpc/share_serde.hpp"
+#include "numeric/fixed_point.hpp"
+#include "obs/metrics.hpp"
+
+namespace trustddl::mpc {
+namespace {
+
+constexpr int kF = fx::kDefaultFracBits;
+constexpr std::uint64_t kSeed = 4242;
+
+Bytes encode(const BeaverTripleShare& triple) {
+  ByteWriter writer;
+  write_beaver_share(writer, triple);
+  return writer.take();
+}
+
+Bytes encode(const PartyShare& share) {
+  ByteWriter writer;
+  write_party_share(writer, share);
+  return writer.take();
+}
+
+Bytes encode(const TruncPairShare& pair) {
+  ByteWriter writer;
+  write_trunc_pair(writer, pair);
+  return writer.take();
+}
+
+/// Party 0's view of entry `index` of `key`, dealt directly.
+MaterialBatch stream_entry(const TripleKey& key, std::uint64_t index) {
+  return std::move(deal_material(key, index, 1, kSeed, kF)[0]);
+}
+
+TEST(DerivedSeedTest, EntriesArePureFunctionsOfKeyAndIndex) {
+  const TripleKey key = TripleKey::matmul(2, 3, 2);
+  const auto batch = deal_material(key, 0, 4, kSeed, kF);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const auto single = deal_material(key, i, 1, kSeed, kF);
+    for (std::size_t party = 0; party < kNumParties; ++party) {
+      EXPECT_EQ(encode(batch[party].triples[i]),
+                encode(single[party].triples[0]))
+          << "party " << party << " entry " << i;
+    }
+  }
+  // Overlapping ranges agree entry-wise — the property that lets
+  // caches, stores and restarts coexist.
+  const auto overlap = deal_material(key, 2, 2, kSeed, kF);
+  EXPECT_EQ(encode(overlap[0].triples[0]), encode(batch[0].triples[2]));
+  EXPECT_EQ(encode(overlap[0].triples[1]), encode(batch[0].triples[3]));
+  // Different indices yield different material.
+  EXPECT_NE(encode(batch[0].triples[0]), encode(batch[0].triples[1]));
+}
+
+TEST(DerivedSeedTest, DealtBatchesSatisfyTheBeaverRelation) {
+  const TripleKey key = TripleKey::matmul(3, 4, 2);
+  const auto views = deal_material(key, 7, 2, kSeed, kF);
+  for (std::size_t i = 0; i < 2; ++i) {
+    std::array<PartyShare, 3> a_views, b_views, c_views;
+    for (std::size_t party = 0; party < kNumParties; ++party) {
+      a_views[party] = views[party].triples[i].a;
+      b_views[party] = views[party].triples[i].b;
+      c_views[party] = views[party].triples[i].c;
+    }
+    EXPECT_EQ(matmul(reconstruct(a_views), reconstruct(b_views)),
+              reconstruct(c_views))
+        << "entry " << i;
+  }
+}
+
+TEST(TripleStoreTest, ServesTheStreamInOrderAndFallsBackWhenDry) {
+  DealerBackend backend(kSeed, kF, /*party=*/0);
+  TripleStore store(backend, /*party=*/0);
+  const TripleKey key = TripleKey::matmul(2, 3, 2);
+
+  store.demand(key, 3);
+  EXPECT_EQ(store.target(key), 3u);
+  EXPECT_EQ(store.refill(key, 8), 3u) << "refill is target-bounded";
+  EXPECT_EQ(store.depth(key), 3u);
+
+  // Five pops against three buffered entries: the last two exhaust the
+  // store and fall back to on-demand dealing — same stream, in order.
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const BeaverTripleShare triple = store.matmul_triple(2, 3, 2);
+    EXPECT_EQ(encode(triple), encode(stream_entry(key, i).triples[0]))
+        << "entry " << i;
+  }
+  EXPECT_EQ(store.misses(), 2u);
+  EXPECT_EQ(store.depth(key), 0u);
+  EXPECT_EQ(store.consumed(key), 5u);
+}
+
+TEST(TripleStoreTest, KindsKeepIndependentStreams) {
+  DealerBackend backend(kSeed, kF, /*party=*/0);
+  TripleStore store(backend, /*party=*/0);
+  const Shape shape{4, 2};
+  store.demand(TripleKey::mul(shape), 2);
+  store.demand(TripleKey::comp_aux(shape), 2);
+  store.demand(TripleKey::trunc_pair(shape), 2);
+  EXPECT_EQ(store.refill_toward_targets(16), 6u);
+  EXPECT_EQ(store.depth(), 6u);
+
+  EXPECT_EQ(encode(store.mul_triple(shape)),
+            encode(stream_entry(TripleKey::mul(shape), 0).triples[0]));
+  EXPECT_EQ(encode(store.comp_aux(shape)),
+            encode(stream_entry(TripleKey::comp_aux(shape), 0).aux[0]));
+  EXPECT_EQ(encode(store.trunc_pair(shape)),
+            encode(stream_entry(TripleKey::trunc_pair(shape), 0).pairs[0]));
+  EXPECT_EQ(store.misses(), 0u);
+}
+
+TEST(TripleStoreTest, LowWaterListsOnlyShallowKeys) {
+  DealerBackend backend(kSeed, kF, /*party=*/0);
+  TripleStore store(backend, /*party=*/0);
+  const TripleKey deep = TripleKey::mul(Shape{2});
+  const TripleKey shallow = TripleKey::mul(Shape{3});
+  store.demand(deep, 4);
+  store.demand(shallow, 4);
+  store.refill(deep, 4);
+  store.refill(shallow, 1);
+
+  const auto keys = store.keys_below(0.5);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], shallow);
+}
+
+TEST(TripleStoreTest, DiskRoundTripRestoresEntriesAndCursor) {
+  const std::string path = ::testing::TempDir() + "triple_store_rt.bin";
+  std::remove(path.c_str());
+  const std::uint64_t provenance = 0xfeedULL;
+  const TripleKey key = TripleKey::trunc_pair(Shape{3, 2});
+
+  {
+    DealerBackend backend(kSeed, kF, /*party=*/1);
+    TripleStore store(backend, /*party=*/1);
+    EXPECT_FALSE(store.load(path, provenance)) << "no file yet";
+    store.demand(key, 4);
+    store.refill(key, 4);
+    (void)store.trunc_pair(Shape{3, 2});  // consume entry 0
+    store.save(path, provenance);
+  }
+
+  DealerBackend backend(kSeed, kF, /*party=*/1);
+  TripleStore restored(backend, /*party=*/1);
+  EXPECT_THROW(restored.load(path, provenance + 1), SerializationError)
+      << "provenance mismatch must fail loudly";
+  ASSERT_TRUE(restored.load(path, provenance));
+  EXPECT_EQ(restored.depth(key), 3u);
+  EXPECT_EQ(restored.consumed(key), 1u);
+
+  // The restored store resumes the stream exactly where the saved one
+  // stopped: entries 1..3 from the buffer, entry 4 via fallback.
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    const auto pairs = deal_material(key, i, 1, kSeed, kF);
+    EXPECT_EQ(encode(restored.trunc_pair(Shape{3, 2})),
+              encode(pairs[1].pairs[0]))
+        << "entry " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TripleStoreTest, ConcurrentProducerAndConsumerPreserveStreamOrder) {
+  // SPSC contract under real concurrency (run under TSan in CI): a
+  // producer thread refills while the consumer pops; every pop must
+  // still see the stream in order, whether it hit the ring or missed.
+  DealerBackend backend(kSeed, kF, /*party=*/2);
+  TripleStore store(backend, /*party=*/2);
+  const TripleKey key = TripleKey::mul(Shape{4});
+  constexpr std::size_t kEntries = 400;
+  store.demand(key, 32);
+
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (store.refill(key, 8) == 0) {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::vector<Bytes> popped;
+  popped.reserve(kEntries);
+  for (std::size_t i = 0; i < kEntries; ++i) {
+    popped.push_back(encode(store.mul_triple(Shape{4})));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  producer.join();
+
+  const auto expected = deal_material(key, 0, kEntries, kSeed, kF);
+  for (std::size_t i = 0; i < kEntries; ++i) {
+    ASSERT_EQ(popped[i], encode(expected[2].triples[i])) << "entry " << i;
+  }
+  EXPECT_EQ(store.consumed(key), kEntries);
+}
+
+// --- Demand profiler + engine-level equivalence ----------------------
+
+data::TrainTestSplit tiny_split(std::size_t train, std::size_t test) {
+  data::SyntheticMnistConfig config;
+  config.train_count = train;
+  config.test_count = test;
+  config.seed = 42;
+  return data::generate_synthetic_mnist(config);
+}
+
+core::EngineConfig prefetch_config(bool prefetch) {
+  core::EngineConfig config;
+  config.collect_timeout = std::chrono::milliseconds(300);
+  config.triple_prefetch = prefetch;
+  // Uncapped targets: the warm phase prefetches the whole job's
+  // demand, so any online miss means the profiler under-counted.
+  config.triple_max_depth = std::size_t{1} << 40;
+  return config;
+}
+
+TEST(DemandProfilerTest, CountsMergeAcrossBatchSizes) {
+  const nn::ModelSpec spec = nn::mnist_mlp_spec();
+  const core::DemandPlan one =
+      core::profile_step_demand(spec, 8, TruncationMode::kLocal,
+                                /*training=*/false);
+  EXPECT_FALSE(one.empty());
+  const core::DemandPlan job = core::profile_job_demand(
+      spec, {8, 8, 4}, TruncationMode::kLocal, /*training=*/false);
+  // Two same-size steps share shape classes; the partial batch gets
+  // its own.
+  EXPECT_EQ(job.total(), 2 * one.total() +
+                             core::profile_step_demand(
+                                 spec, 4, TruncationMode::kLocal, false)
+                                 .total());
+  // Masked truncation adds pairs, training adds backward material.
+  EXPECT_GT(core::profile_step_demand(spec, 8, TruncationMode::kMaskedOpen,
+                                      true)
+                .total(),
+            one.total());
+}
+
+TEST(PrefetchExactnessTest, InferLabelsBitIdenticalAndStoreNeverMisses) {
+  const auto split = tiny_split(30, 16);
+  const data::Dataset sample = data::slice(split.test, 0, 6);
+
+  core::TrustDdlEngine sync_engine(nn::tiny_cnn_spec(),
+                                   prefetch_config(false));
+  const auto sync = sync_engine.infer(sample, /*batch_size=*/4);
+
+  obs::MetricsRegistry::global().reset();
+  obs::set_metrics_enabled(true);
+  core::TrustDdlEngine prefetch_engine(nn::tiny_cnn_spec(),
+                                       prefetch_config(true));
+  const auto prefetched = prefetch_engine.infer(sample, /*batch_size=*/4);
+  obs::set_metrics_enabled(false);
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::global().snapshot();
+
+  EXPECT_EQ(prefetched.labels, sync.labels);
+  // The demand profiler supplied every (kind, shape) the online phase
+  // consumed: no pop fell back to on-demand dealing...
+  EXPECT_EQ(snapshot.counter_sum("triple.store.miss"), 0u);
+  EXPECT_GT(snapshot.counter_sum("triple.consumed"), 0u);
+  // ...and the ledger balances: produced == consumed + still in store.
+  std::int64_t in_store = 0;
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name.rfind("triple.store.depth", 0) == 0) {
+      in_store += gauge.value;
+    }
+  }
+  EXPECT_EQ(snapshot.counter_sum("triple.produced"),
+            snapshot.counter_sum("triple.consumed") +
+                static_cast<std::uint64_t>(in_store));
+}
+
+TEST(PrefetchExactnessTest, TrainedWeightsBitIdenticalWithPrefetch) {
+  // The acceptance bar for the offline/online split: prefetched and
+  // synchronous training consume identical material streams in
+  // identical order, so the trained weights must match BIT FOR BIT —
+  // masked-open truncation included (it consumes trunc-pair streams).
+  const auto split = tiny_split(32, 12);
+  core::TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 8;
+  options.learning_rate = 0.3;
+
+  auto train_weights = [&](bool prefetch) {
+    core::EngineConfig config = prefetch_config(prefetch);
+    config.trunc_mode = TruncationMode::kMaskedOpen;
+    config.collect_timeout = std::chrono::seconds(30);
+    core::TrustDdlEngine engine(nn::mnist_mlp_spec(), config);
+    (void)engine.train(split.train, split.test, options);
+    std::vector<RealTensor> weights;
+    for (nn::Parameter* parameter : engine.reference_model().parameters()) {
+      weights.push_back(parameter->value);
+    }
+    return weights;
+  };
+
+  const auto sync = train_weights(false);
+  const auto prefetched = train_weights(true);
+  ASSERT_EQ(sync.size(), prefetched.size());
+  ASSERT_FALSE(sync.empty());
+  for (std::size_t p = 0; p < sync.size(); ++p) {
+    EXPECT_EQ(sync[p], prefetched[p]) << "parameter " << p;
+  }
+}
+
+TEST(TriplePipelineTest, PersistedStoreSurvivesARestart) {
+  // Same job twice against one store dir: the first run persists
+  // whatever its producer over-fetched; the second restores it and
+  // resumes the streams mid-cursor.  Results stay correct because the
+  // entries are position-addressed, not arrival-ordered.
+  const std::string dir = ::testing::TempDir();
+  for (int party = 0; party < 3; ++party) {
+    std::remove(
+        core::TriplePipeline::store_path(dir, party, false).c_str());
+  }
+  const auto split = tiny_split(20, 12);
+  const data::Dataset sample = data::slice(split.test, 0, 6);
+
+  core::EngineConfig config = prefetch_config(true);
+  config.triple_store_dir = dir;
+  // Cap the targets so the producer over-fetches a little and leaves
+  // entries to persist.
+  config.triple_max_depth = 8;
+
+  core::TrustDdlEngine first(nn::mnist_mlp_spec(), config);
+  const auto first_result = first.infer(sample, /*batch_size=*/3);
+
+  core::TrustDdlEngine second(nn::mnist_mlp_spec(), config);
+  const auto second_result = second.infer(sample, /*batch_size=*/3);
+  EXPECT_EQ(second_result.labels, first_result.labels);
+
+  for (int party = 0; party < 3; ++party) {
+    std::remove(
+        core::TriplePipeline::store_path(dir, party, false).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace trustddl::mpc
