@@ -1,0 +1,226 @@
+// Multi-owner robust training under data poisoning (ISSUE 7
+// acceptance experiment).  Three sessions share one synthetic dataset,
+// one model seed and one owner population (K = 5); the only deltas
+// are whether owner 4 poisons its submissions (a scale=25 gradient
+// inflation attack) and which aggregation rule the parties apply to
+// the per-owner gradient shares before the SGD step:
+//
+//   honest      all owners honest, coordinate-wise trimmed mean
+//   trimmed     owner 4 poisons,   coordinate-wise trimmed mean
+//   mean        owner 4 poisons,   plain mean (no robustness)
+//
+// Expected shape: the trimmed run's final-epoch test accuracy stays
+// within a point of the honest run (the poisoned coordinates land in
+// the trimmed extremes), while the plain-mean run degrades sharply —
+// one malicious owner out of five owns the average.
+//
+// Links emulate a LAN (2ms per message) so rounds/s is meaningful.
+// Pass --json=<path> to write the snapshot committed as
+// BENCH_train.json at the repo root.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/rng.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "mpc/robust_aggregate.hpp"
+#include "nn/model_zoo.hpp"
+#include "train/harness.hpp"
+
+using namespace trustddl;
+
+namespace {
+
+constexpr std::chrono::milliseconds kLinkLatency{2};
+constexpr int kOwners = 5;
+constexpr std::size_t kRoundsPerEpoch = 20;
+constexpr std::size_t kEpochs = 2;
+constexpr std::size_t kBatchRows = 12;
+constexpr std::uint64_t kSeed = 11;
+constexpr double kPoisonFactor = 100.0;
+
+bool g_fast = false;  // --fast: drop latency emulation (tuning runs)
+
+nn::ModelSpec bench_spec() {
+  nn::ModelSpec spec;
+  spec.name = "bench-train-mlp";
+  spec.input_features = 12 * 12;
+  spec.classes = 4;
+  spec.layers.push_back(nn::LayerSpec::make_dense(144, 32));
+  spec.layers.push_back(nn::LayerSpec::make_relu());
+  spec.layers.push_back(nn::LayerSpec::make_dense(32, 4));
+  spec.layers.push_back(nn::LayerSpec::make_softmax());
+  return spec;
+}
+
+struct RunStats {
+  double wall_seconds = 0.0;
+  double rounds_per_second = 0.0;
+  std::uint64_t rounds = 0;
+  std::uint64_t total_messages = 0;
+  double accuracy = 0.0;
+};
+
+RunStats run(mpc::AggregationRule rule, bool poisoned,
+             const data::TrainTestSplit& split, const nn::ModelSpec& spec) {
+  train::TrainSessionConfig session;
+  session.spec = spec;
+  session.engine.seed = kSeed;
+  session.engine.trunc_mode = mpc::TruncationMode::kMaskedOpen;
+  session.engine.emulate_latency = !g_fast;
+  session.engine.link_latency = kLinkLatency;
+  session.engine.collect_timeout = std::chrono::milliseconds(120000);
+  session.train.rule = rule;
+  session.train.trim = 1;
+  session.train.quorum = kOwners;
+  session.train.rounds_per_epoch = kRoundsPerEpoch;
+  session.train.epochs = kEpochs;
+  session.train.round_window = std::chrono::milliseconds(200);
+  session.train.input_wait = std::chrono::milliseconds(120000);
+  session.train.learning_rate = 0.15;
+  session.num_owners = kOwners;
+  session.submissions_per_owner = kRoundsPerEpoch * kEpochs;
+  session.owner_batch_rows = kBatchRows;
+  session.dataset = split.train;
+  if (poisoned) {
+    session.owners.resize(kOwners);
+    session.owners[kOwners - 1].poison =
+        train::parse_poison_spec("scale=" + std::to_string(kPoisonFactor));
+  }
+
+  const train::TrainSessionResult result = train::run_training_session(session);
+  if (!result.clean) {
+    std::fprintf(stderr, "FATAL: session did not end on a shutdown manifest\n");
+    std::exit(1);
+  }
+
+  // Plaintext evaluation: load the final epoch's revealed weights and
+  // score the shared test split.  The local model's init is irrelevant
+  // — every parameter is overwritten by a reveal.
+  Rng model_rng(kSeed);
+  nn::Sequential model = nn::build_model(spec, model_rng);
+  const std::size_t param_count = model.parameters().size();
+  if (!train::apply_revealed_weights(result.revealed, kEpochs - 1, param_count,
+                                     fx::kDefaultFracBits, model)) {
+    std::fprintf(stderr, "FATAL: final-epoch weight reveal is incomplete\n");
+    std::exit(1);
+  }
+
+  RunStats stats;
+  stats.wall_seconds = result.wall_seconds;
+  stats.rounds = result.sequencer.rounds;
+  stats.rounds_per_second =
+      static_cast<double>(stats.rounds) / result.wall_seconds;
+  stats.total_messages = result.traffic.total_messages;
+  stats.accuracy = model.accuracy(split.test.images, split.test.labels);
+  return stats;
+}
+
+void print_row(const char* name, const RunStats& stats) {
+  std::printf("%-10s %10.3f %10.2f %8llu %10llu %10.4f\n", name,
+              stats.wall_seconds, stats.rounds_per_second,
+              static_cast<unsigned long long>(stats.rounds),
+              static_cast<unsigned long long>(stats.total_messages),
+              stats.accuracy);
+}
+
+void write_json_entry(std::FILE* file, const char* key, const RunStats& stats,
+                      const char* suffix) {
+  std::fprintf(file,
+               "  \"%s\": {\"wall_seconds\": %.6f, \"rounds_per_second\": "
+               "%.3f, \"rounds\": %llu, \"total_messages\": %llu, "
+               "\"final_accuracy\": %.4f}%s\n",
+               key, stats.wall_seconds, stats.rounds_per_second,
+               static_cast<unsigned long long>(stats.rounds),
+               static_cast<unsigned long long>(stats.total_messages),
+               stats.accuracy, suffix);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--fast") == 0) {
+      g_fast = true;
+    }
+  }
+
+  const nn::ModelSpec spec = bench_spec();
+  data::SyntheticMnistConfig data_config;
+  data_config.train_count = 600;
+  data_config.test_count = 400;
+  data_config.height = 12;
+  data_config.width = 12;
+  data_config.classes = 4;
+  data_config.seed = 7;
+  const auto split = data::generate_synthetic_mnist(data_config);
+
+  std::printf("=== Multi-owner robust training: %d owners, 1 poisoner "
+              "(scale=%.0f), %zu rounds x %zu epochs, %lldms links ===\n\n",
+              kOwners, kPoisonFactor, kRoundsPerEpoch, kEpochs,
+              static_cast<long long>(kLinkLatency.count()));
+  std::printf("%-10s %10s %10s %8s %10s %10s\n", "config", "wall (s)",
+              "rounds/s", "rounds", "messages", "accuracy");
+
+  const RunStats honest =
+      run(mpc::AggregationRule::kTrimmedMean, /*poisoned=*/false, split, spec);
+  print_row("honest", honest);
+  const RunStats trimmed =
+      run(mpc::AggregationRule::kTrimmedMean, /*poisoned=*/true, split, spec);
+  print_row("trimmed", trimmed);
+  const RunStats mean =
+      run(mpc::AggregationRule::kMean, /*poisoned=*/true, split, spec);
+  print_row("mean", mean);
+
+  const double robust_gap = honest.accuracy - trimmed.accuracy;
+  const double mean_gap = honest.accuracy - mean.accuracy;
+  std::printf("\ntrimmed-mean vs honest accuracy gap: %+.4f "
+              "(plain mean: %+.4f)\n",
+              -robust_gap, -mean_gap);
+
+  // ISSUE 7 acceptance: trimming absorbs the poisoner (within one
+  // accuracy point of all-honest) while plain mean visibly degrades.
+  bool ok = true;
+  if (robust_gap > 0.01) {
+    std::fprintf(stderr, "FAIL: trimmed-mean lost %.4f vs honest (> 0.01)\n",
+                 robust_gap);
+    ok = false;
+  }
+  if (mean_gap < 0.05) {
+    std::fprintf(stderr, "FAIL: plain mean only lost %.4f vs honest "
+                 "(expected >= 0.05)\n", mean_gap);
+    ok = false;
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* file = std::fopen(json_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(file,
+                 "{\n  \"workload\": \"multi_owner_robust_training\",\n"
+                 "  \"model\": \"dense144x32x4 (12x12 synthetic, 4 "
+                 "classes)\",\n"
+                 "  \"owners\": %d,\n  \"poisoner\": \"owner %d, "
+                 "scale=%.0f\",\n  \"trim\": 1,\n"
+                 "  \"rounds_per_epoch\": %zu,\n  \"epochs\": %zu,\n"
+                 "  \"link_latency_ms\": %lld,\n",
+                 kOwners, kOwners - 1, kPoisonFactor, kRoundsPerEpoch, kEpochs,
+                 static_cast<long long>(kLinkLatency.count()));
+    write_json_entry(file, "honest_trimmed_mean", honest, ",");
+    write_json_entry(file, "poisoned_trimmed_mean", trimmed, ",");
+    write_json_entry(file, "poisoned_plain_mean", mean, ",");
+    std::fprintf(file,
+                 "  \"trimmed_accuracy_gap\": %.4f,\n"
+                 "  \"mean_accuracy_gap\": %.4f\n}\n",
+                 robust_gap, mean_gap);
+    std::fclose(file);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,302 @@
+// trustddl_owner: one data owner of a multi-owner robust training
+// deployment started with `trustddl_party --task train-serve`.
+//
+// The owner is actor id >= 5 on the same TCP mesh as the parties.  It
+// holds a private labelled shard (rows of the deterministic dataset
+// with row % owners == index), and per submission samples a minibatch,
+// secret-shares the fixed-point images and one-hot labels to the three
+// computing parties (no party ever sees plaintext), and notifies the
+// sequencer at the model owner.  All per-submission randomness derives
+// from (owner seed, seq), so a restarted owner regenerates
+// byte-identical submissions for any seq the hello ack asks for.
+//
+// Poisoning experiments run HERE, in the owner's data space — exactly
+// the malicious-owner threat the service's trimmed-mean / median
+// aggregation absorbs.
+//
+// Four-process session on localhost (3 parties + sequencer in 3
+// processes, then 3 owners, one of them poisoning):
+//
+//   ./build/examples/trustddl_party --task train-serve --party-ids 1 &
+//   ./build/examples/trustddl_party --task train-serve --party-ids 2 &
+//   ./build/examples/trustddl_party --task train-serve --party-ids 0,4 &
+//   ./build/examples/trustddl_owner --owner-index 0 &
+//   ./build/examples/trustddl_owner --owner-index 1 &
+//   ./build/examples/trustddl_owner --owner-index 2 --poison scale=10
+//
+// Flags:
+//   --owner-index N      this owner's 0-based index [0]; the actor id
+//                        is 5 + N
+//   --owners N           total owners in the deployment [3] (must
+//                        match the parties' --owners)
+//   --port-base N        actor i listens on 127.0.0.1:(N+i)  [29500]
+//   --peers LIST         explicit mesh: id=host:port,...; must cover
+//                        ids 0,1,2,4 and this owner's own id
+//   --listen HOST        bind host for the owner id [from the mesh]
+//   --submissions N      lifetime submission bound [4]; a resumed
+//                        owner continues from the hello ack's seq up
+//                        to this bound
+//   --batch-rows N       minibatch rows per submission [8]
+//   --rows N             total training rows of the shared dataset
+//                        [64] (must match the parties' --rows)
+//   --model mlp|cnn|tiny-cnn   architecture [mlp] (must match parties)
+//   --seed N             session seed [1] (ditto); this owner's stream
+//                        seed is owner_base_seed(seed, index)
+//   --data-seed N        dataset seed [7] (ditto)
+//   --mnist-dir PATH     load the real MNIST idx files (ditto)
+//   --poison SPEC        data poisoning: none, sign-flip, scale[=F]
+//                        or label-flip [none]
+//   --exit-after-submissions N   exit abruptly (no stop notice) after
+//                        N submissions this session; 0 = run to the
+//                        --submissions bound and stop cleanly.  Models
+//                        a killed owner: the sequencer must degrade to
+//                        quorum operation without it.
+//   --hello-timeout-ms N wait for the sequencer's hello ack [30000]
+//   --connect-timeout-ms N     mesh rendezvous budget [10000]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "core/roles.hpp"
+#include "data/mnist_idx.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "net/tcp_transport.hpp"
+#include "nn/model_zoo.hpp"
+#include "numeric/fixed_point.hpp"
+#include "train/harness.hpp"
+#include "train/owner_client.hpp"
+#include "train/wire.hpp"
+
+using namespace trustddl;
+
+namespace {
+
+struct Options {
+  int owner_index = 0;
+  int owners = 3;
+  int port_base = 29500;
+  std::string peers_text;
+  std::string listen_host;
+  std::size_t submissions = 4;
+  std::size_t batch_rows = 8;
+  std::size_t rows = 64;
+  std::string model = "mlp";
+  std::uint64_t seed = 1;
+  std::uint64_t data_seed = 7;
+  std::string mnist_dir;
+  std::string poison = "none";
+  std::size_t exit_after_submissions = 0;
+  int hello_timeout_ms = 30000;
+  int connect_timeout_ms = 10000;
+};
+
+[[noreturn]] void usage_error(const std::string& reason) {
+  std::fprintf(stderr, "trustddl_owner: %s\n(see the header comment of "
+               "examples/trustddl_owner.cpp for flags)\n",
+               reason.c_str());
+  std::exit(64);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      usage_error(std::string("missing value for ") + argv[i]);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--owner-index") {
+      opt.owner_index = std::atoi(value(i).c_str());
+    } else if (arg == "--owners") {
+      opt.owners = std::atoi(value(i).c_str());
+    } else if (arg == "--port-base") {
+      opt.port_base = std::atoi(value(i).c_str());
+    } else if (arg == "--peers") {
+      opt.peers_text = value(i);
+    } else if (arg == "--listen") {
+      opt.listen_host = value(i);
+    } else if (arg == "--submissions") {
+      opt.submissions = static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--batch-rows") {
+      opt.batch_rows = static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--rows") {
+      opt.rows = static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--model") {
+      opt.model = value(i);
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(value(i).c_str(), nullptr, 10);
+    } else if (arg == "--data-seed") {
+      opt.data_seed = std::strtoull(value(i).c_str(), nullptr, 10);
+    } else if (arg == "--mnist-dir") {
+      opt.mnist_dir = value(i);
+    } else if (arg == "--poison") {
+      opt.poison = value(i);
+    } else if (arg == "--exit-after-submissions") {
+      opt.exit_after_submissions =
+          static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--hello-timeout-ms") {
+      opt.hello_timeout_ms = std::atoi(value(i).c_str());
+    } else if (arg == "--connect-timeout-ms") {
+      opt.connect_timeout_ms = std::atoi(value(i).c_str());
+    } else {
+      usage_error("unknown flag " + arg);
+    }
+  }
+  if (opt.owners < 1) {
+    usage_error("--owners must be >= 1");
+  }
+  if (opt.owner_index < 0 || opt.owner_index >= opt.owners) {
+    usage_error("--owner-index must be in [0, owners)");
+  }
+  if (opt.submissions < 1 || opt.batch_rows < 1 || opt.rows < 1) {
+    usage_error("--submissions/--batch-rows/--rows must be >= 1");
+  }
+  return opt;
+}
+
+nn::ModelSpec spec_for(const std::string& name) {
+  if (name == "mlp") {
+    return nn::mnist_mlp_spec();
+  }
+  if (name == "cnn") {
+    return nn::mnist_cnn_spec();
+  }
+  if (name == "tiny-cnn") {
+    return nn::tiny_cnn_spec();
+  }
+  usage_error("--model must be mlp, cnn or tiny-cnn");
+}
+
+std::vector<std::string> mesh_addresses(const Options& opt, int owner_id,
+                                        int num_actors) {
+  std::vector<std::string> addresses(static_cast<std::size_t>(num_actors));
+  if (opt.peers_text.empty()) {
+    for (int id = 0; id < num_actors; ++id) {
+      addresses[static_cast<std::size_t>(id)] =
+          "127.0.0.1:" + std::to_string(opt.port_base + id);
+    }
+    return addresses;
+  }
+  std::size_t start = 0;
+  const std::string& text = opt.peers_text;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? comma : comma - start);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      usage_error("peer entry '" + item + "' is not id=host:port");
+    }
+    const int id = std::atoi(item.substr(0, eq).c_str());
+    if (id < 0 || id >= num_actors) {
+      usage_error("peer id out of range in '" + item + "'");
+    }
+    addresses[static_cast<std::size_t>(id)] = item.substr(eq + 1);
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  for (const int id : {0, 1, 2, core::kModelOwner, owner_id}) {
+    if (addresses[static_cast<std::size_t>(id)].empty()) {
+      usage_error("--peers is missing actor id " + std::to_string(id));
+    }
+  }
+  return addresses;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  const int owner_id = static_cast<int>(train::kFirstOwnerId) +
+                       opt.owner_index;
+  const int num_actors = core::kNumActors + opt.owners;
+
+  const nn::ModelSpec spec = spec_for(opt.model);
+
+  // Same dataset derivation as trustddl_party / the in-memory harness,
+  // so a restarted owner (or the party-side --check) sees the exact
+  // same shard.
+  data::SyntheticMnistConfig data_config;
+  data_config.train_count = opt.rows;
+  data_config.test_count = 1;
+  data_config.seed = opt.data_seed;
+  const auto split = data::load_mnist_or_synthetic(opt.mnist_dir, data_config);
+  const data::Dataset shard =
+      train::owner_shard(split.train, opt.owner_index, opt.owners);
+
+  const std::vector<std::string> addresses =
+      mesh_addresses(opt, owner_id, num_actors);
+
+  net::NetworkConfig net_config;
+  net_config.num_parties = num_actors;
+  net_config.connect.connect_timeout =
+      std::chrono::milliseconds(opt.connect_timeout_ms);
+
+  try {
+    std::string listen = addresses[static_cast<std::size_t>(owner_id)];
+    if (!opt.listen_host.empty()) {
+      listen = opt.listen_host + ":" +
+               std::to_string(net::parse_address(listen).port);
+    }
+    std::printf("[owner %d] listening on %s (%zu shard rows)\n", owner_id,
+                listen.c_str(), shard.size());
+    net::TcpTransport transport(static_cast<net::PartyId>(owner_id), listen,
+                                net_config);
+    transport.connect(addresses,
+                      {0, 1, 2, static_cast<net::PartyId>(core::kModelOwner)});
+    std::printf("[owner %d] connected to parties and sequencer\n", owner_id);
+
+    train::OwnerOptions options;
+    options.seed = train::owner_base_seed(opt.seed, opt.owner_index);
+    options.classes = spec.classes;
+    options.batch_rows = opt.batch_rows;
+    options.frac_bits = fx::kDefaultFracBits;
+    options.poison = train::parse_poison_spec(opt.poison);
+    options.hello_timeout = std::chrono::milliseconds(opt.hello_timeout_ms);
+    train::TrainingOwner owner(
+        transport.endpoint(static_cast<net::PartyId>(owner_id)), options);
+
+    if (options.poison.active()) {
+      std::printf("[owner %d] POISONING: %s\n", owner_id,
+                  train::poison_mode_name(options.poison.mode));
+    }
+
+    std::uint64_t first = owner.hello();
+    std::printf("[owner %d] joined; resuming at seq %llu\n", owner_id,
+                static_cast<unsigned long long>(first));
+    std::size_t made = 0;
+    std::size_t rows = 0;
+    for (std::uint64_t seq = first; seq < opt.submissions; ++seq) {
+      rows += owner.submit(seq, shard);
+      ++made;
+      if (opt.exit_after_submissions != 0 &&
+          made >= opt.exit_after_submissions) {
+        // Abrupt exit: no stop notice, no drain — the sequencer sees a
+        // silent owner and must mark it dormant.
+        std::printf("[owner %d] exiting abruptly after %zu submissions\n",
+                    owner_id, made);
+        transport.shutdown();
+        return 0;
+      }
+    }
+    owner.stop(opt.submissions);
+    std::printf("[owner %d] done: %zu submissions (%zu rows), stopped at "
+                "seq %llu\n",
+                owner_id, made, rows,
+                static_cast<unsigned long long>(opt.submissions));
+
+    // Let the stop notice drain before closing the sockets.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    transport.shutdown();
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "trustddl_owner: %s\n", error.what());
+    return 1;
+  }
+}

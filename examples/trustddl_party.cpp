@@ -27,7 +27,11 @@
 //                        party 1 mounting consistent-corruption attacks
 //                        (Case 3) against every opening; serve runs the
 //                        inference serving layer (parties 0-2 + model
-//                        owner 4; clients attach via trustddl_client)
+//                        owner 4; clients attach via trustddl_client);
+//                        train-serve runs the multi-owner robust
+//                        training service (parties 0-2 + model owner 4
+//                        as sequencer; data owners attach via
+//                        trustddl_owner)
 //   --clients N          serve: number of client actors [1]; clients
 //                        occupy ids 5..5+N-1 and the data owner id 3
 //                        is unused
@@ -39,6 +43,29 @@
 //   --serve-corrupt-results    serve: hosted computing parties return
 //                        corrupted result shares (Byzantine serving-
 //                        edge fault injection; clients must out-vote)
+//   --owners N           train-serve: data-owner clients [3]; owners
+//                        occupy ids 5..5+N-1 (data owner id 3 unused)
+//   --aggregation R      train-serve: mean, trimmed-mean or median
+//                        [trimmed-mean]
+//   --trim N             train-serve: owners trimmed per side [1]
+//   --quorum N           train-serve: min ready owners per round;
+//                        0 = all owners (deterministic manifests) [0]
+//   --rounds-per-epoch N train-serve: SGD rounds per epoch [4]
+//   --max-rounds N       train-serve: suspend (checkpoint + exit)
+//                        after N rounds; 0 = run to completion [0]
+//   --round-window-ms N  train-serve: sequencer wait for more owners
+//                        once quorum is met [50]
+//   --input-wait-ms N    train-serve: party wait per owner minibatch
+//                        before zero-share substitution [2000]
+//   --momentum F         train-serve: SGD momentum [0]
+//   --checkpoint-dir P   train-serve: TDCK checkpoint directory
+//                        (parties + sequencer) for suspend/resume
+//   --min-accuracy F     train-serve: exit 3 when the final epoch's
+//                        test accuracy is below F
+//   --submissions N      train-serve --check: per-owner lifetime
+//                        submissions the owners were launched with [4]
+//   --owner-batch-rows N train-serve --check: owners' minibatch rows
+//                        per submission [8]
 //   --metrics-out PATH   write the observability export (JSON, schema
 //                        trustddl.metrics.v1: metrics registry,
 //                        detection events, traffic matrix, cost) after
@@ -93,6 +120,7 @@
 #include "obs/trace.hpp"
 #include "serve/server.hpp"
 #include "serve/wire.hpp"
+#include "train/harness.hpp"
 
 using namespace trustddl;
 
@@ -111,6 +139,19 @@ struct Options {
   int serve_window_ms = 20;
   std::size_t serve_queue_cap = 64;
   bool serve_corrupt_results = false;
+  int owners = 3;
+  std::string aggregation = "trimmed-mean";
+  std::size_t trim = 1;
+  std::size_t quorum = 0;  // 0: all owners (deterministic manifests)
+  std::size_t rounds_per_epoch = 4;
+  std::size_t max_rounds = 0;
+  int round_window_ms = 50;
+  int input_wait_ms = 2000;
+  double momentum = 0.0;
+  std::string checkpoint_dir;
+  double min_accuracy = -1.0;
+  std::size_t submissions = 4;
+  std::size_t owner_batch_rows = 8;
   std::string model = "mlp";
   std::size_t images = 12;
   std::size_t rows = 64;
@@ -194,7 +235,7 @@ std::vector<std::string> parse_peer_list(const std::string& text,
 /// usage string both derive from this table, so adding a task cannot
 /// leave the error message stale.
 constexpr const char* kTaskNames[] = {"infer", "train", "malicious-inference",
-                                      "serve"};
+                                      "serve", "train-serve"};
 
 bool known_task(const std::string& task) {
   return std::any_of(std::begin(kTaskNames), std::end(kTaskNames),
@@ -241,6 +282,34 @@ Options parse_options(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(value(i).c_str()));
     } else if (arg == "--serve-corrupt-results") {
       opt.serve_corrupt_results = true;
+    } else if (arg == "--owners") {
+      opt.owners = std::atoi(value(i).c_str());
+    } else if (arg == "--aggregation") {
+      opt.aggregation = value(i);
+    } else if (arg == "--trim") {
+      opt.trim = static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--quorum") {
+      opt.quorum = static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--rounds-per-epoch") {
+      opt.rounds_per_epoch =
+          static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--max-rounds") {
+      opt.max_rounds = static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--round-window-ms") {
+      opt.round_window_ms = std::atoi(value(i).c_str());
+    } else if (arg == "--input-wait-ms") {
+      opt.input_wait_ms = std::atoi(value(i).c_str());
+    } else if (arg == "--momentum") {
+      opt.momentum = std::atof(value(i).c_str());
+    } else if (arg == "--checkpoint-dir") {
+      opt.checkpoint_dir = value(i);
+    } else if (arg == "--min-accuracy") {
+      opt.min_accuracy = std::atof(value(i).c_str());
+    } else if (arg == "--submissions") {
+      opt.submissions = static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--owner-batch-rows") {
+      opt.owner_batch_rows =
+          static_cast<std::size_t>(std::atoll(value(i).c_str()));
     } else if (arg == "--listen") {
       opt.listen_host = value(i);
     } else if (arg == "--task") {
@@ -304,6 +373,7 @@ Options parse_options(int argc, char** argv) {
     usage_error("--triple-low-water must be in (0, 1]");
   }
   const bool serving = opt.task == "serve";
+  const bool train_serving = opt.task == "train-serve";
   if (serving) {
     if (opt.clients < 1) {
       usage_error("--clients must be >= 1");
@@ -313,21 +383,43 @@ Options parse_options(int argc, char** argv) {
       usage_error("--serve-max-batch/--serve-queue-cap must be >= 1 and "
                   "--serve-window-ms >= 0");
     }
+  }
+  if (train_serving) {
+    if (opt.owners < 1) {
+      usage_error("--owners must be >= 1");
+    }
+    if (opt.aggregation != "mean" && opt.aggregation != "trimmed-mean" &&
+        opt.aggregation != "median") {
+      usage_error("--aggregation must be mean, trimmed-mean or median");
+    }
+    if (opt.quorum > static_cast<std::size_t>(opt.owners)) {
+      usage_error("--quorum must be <= --owners");
+    }
+    if (opt.rounds_per_epoch < 1 || opt.submissions < 1 ||
+        opt.owner_batch_rows < 1) {
+      usage_error("--rounds-per-epoch/--submissions/--owner-batch-rows "
+                  "must be >= 1");
+    }
+  }
+  if (serving || train_serving) {
     for (const int id : opt.party_ids) {
       if (id == core::kDataOwner) {
-        usage_error("--task serve has no data-owner actor (id 3)");
+        usage_error("--task " + opt.task +
+                    " has no data-owner actor (id 3)");
       }
     }
   }
   // Peers are parsed only once the task is known: serving adds client
-  // actor ids and drops the data owner from the required set (client
-  // slots may also stay empty here — a party process accepts client
-  // connections, it never dials them).
-  const int num_actors = core::kNumActors + (serving ? opt.clients : 0);
+  // (or training data owner) actor ids and drops the single data owner
+  // from the required set (the extra slots may also stay empty here —
+  // a party process accepts those connections, it never dials them).
+  const int num_actors =
+      core::kNumActors +
+      (serving ? opt.clients : train_serving ? opt.owners : 0);
   if (!opt.peers_text.empty()) {
     opt.peers = parse_peer_list(opt.peers_text, num_actors);
     for (int id = 0; id < core::kNumActors; ++id) {
-      if (serving && id == core::kDataOwner) {
+      if ((serving || train_serving) && id == core::kDataOwner) {
         continue;
       }
       if (opt.peers[static_cast<std::size_t>(id)].empty()) {
@@ -360,102 +452,6 @@ nn::ModelSpec spec_for(const std::string& name) {
     return nn::tiny_cnn_spec();
   }
   usage_error("--model must be mlp, cnn or tiny-cnn");
-}
-
-// Per-process traffic report (each frame metered once at its sender,
-// so summing the rows across processes reproduces the in-memory
-// engine's totals).
-void print_traffic(
-    const std::vector<std::unique_ptr<net::TcpTransport>>& transports) {
-  for (const auto& transport : transports) {
-    const net::TrafficSnapshot traffic = transport->traffic();
-    std::uint64_t sent_bytes = 0;
-    std::uint64_t sent_messages = 0;
-    const auto self = static_cast<std::size_t>(transport->self());
-    for (const auto& link : traffic.links[self]) {
-      sent_bytes += link.bytes;
-      sent_messages += link.messages;
-    }
-    std::printf("[party %d] sent %llu messages, %.2f MB\n",
-                static_cast<int>(transport->self()),
-                static_cast<unsigned long long>(sent_messages),
-                static_cast<double>(sent_bytes) / (1 << 20));
-  }
-}
-
-// Observability export for THIS process's hosted actors: the traffic
-// matrices of the hosted transports merged cell-wise (each single-
-// transport total counts the sender row only, so the merge keeps
-// once-per-message semantics), detection tallies from the hosted
-// computing parties, opening rounds from the lowest-id hosted honest
-// computing party (the counters are identical at every honest party —
-// the protocol is SPMD).  `party_logs` is indexed like `transports`.
-void write_process_export(
-    const Options& opt,
-    const std::vector<std::unique_ptr<net::TcpTransport>>& transports,
-    const std::vector<mpc::DetectionLog>& party_logs, double wall_seconds,
-    int num_actors, int byzantine_party) {
-  if (opt.metrics_out.empty()) {
-    return;
-  }
-  net::TrafficSnapshot traffic;
-  traffic.links.assign(static_cast<std::size_t>(num_actors),
-                       std::vector<net::LinkMetrics>(
-                           static_cast<std::size_t>(num_actors)));
-  for (const auto& transport : transports) {
-    const net::TrafficSnapshot local = transport->traffic();
-    for (std::size_t i = 0; i < local.links.size(); ++i) {
-      for (std::size_t j = 0; j < local.links[i].size(); ++j) {
-        traffic.links[i][j].bytes += local.links[i][j].bytes;
-        traffic.links[i][j].messages += local.links[i][j].messages;
-      }
-    }
-    traffic.total_bytes += local.total_bytes;
-    traffic.total_messages += local.total_messages;
-  }
-
-  core::CostReport cost;
-  cost.wall_seconds = wall_seconds;
-  cost.total_bytes = traffic.total_bytes;
-  cost.total_messages = traffic.total_messages;
-  for (int i = 0; i < num_actors; ++i) {
-    for (int j = 0; j < num_actors; ++j) {
-      const auto bytes = traffic.links[static_cast<std::size_t>(i)]
-                                      [static_cast<std::size_t>(j)]
-                                          .bytes;
-      if (i < core::kComputingParties && j < core::kComputingParties) {
-        cost.proxy_bytes += bytes;
-      } else {
-        cost.owner_bytes += bytes;
-      }
-    }
-  }
-  int rounds_party = num_actors;
-  for (std::size_t i = 0; i < transports.size(); ++i) {
-    const int id = static_cast<int>(transports[i]->self());
-    if (id >= core::kComputingParties) {
-      continue;
-    }
-    const mpc::DetectionLog& log = party_logs[i];
-    cost.commitment_violations +=
-        log.count(mpc::DetectionEvent::Kind::kCommitmentViolation);
-    cost.distance_anomalies +=
-        log.count(mpc::DetectionEvent::Kind::kDistanceAnomaly);
-    cost.share_auth_failures +=
-        log.count(mpc::DetectionEvent::Kind::kShareAuthFailure);
-    cost.recovered_opens += log.recovered_opens;
-    if (id != byzantine_party && id < rounds_party) {
-      rounds_party = id;
-      cost.opening_rounds = log.opens;
-      cost.values_opened = log.values_opened;
-    }
-  }
-
-  core::write_metrics_export(opt.metrics_out,
-                             obs::MetricsRegistry::global().snapshot(),
-                             obs::EventLog::global().snapshot(), traffic,
-                             cost);
-  std::printf("metrics export written to %s\n", opt.metrics_out.c_str());
 }
 
 // --task serve: host any of parties 0-2 and the model owner.  Clients
@@ -591,9 +587,10 @@ int run_serve(const Options& opt, const core::EngineConfig& config,
       }
     }
 
-    print_traffic(transports);
-    write_process_export(opt, transports, party_logs, watch.elapsed_seconds(),
-                         num_actors, config.byzantine_party);
+    core::print_process_traffic(transports);
+    core::write_process_export(opt.metrics_out, transports, party_logs,
+                               watch.elapsed_seconds(), num_actors,
+                               config.byzantine_party);
     if (!opt.trace_out.empty()) {
       obs::Tracer::global().close();
     }
@@ -606,6 +603,244 @@ int run_serve(const Options& opt, const core::EngineConfig& config,
       transport->shutdown();
     }
     return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "trustddl_party: %s\n", error.what());
+    return 1;
+  }
+}
+
+train::TrainConfig train_config_from(const Options& opt) {
+  train::TrainConfig tc;
+  tc.rule = opt.aggregation == "mean"     ? mpc::AggregationRule::kMean
+            : opt.aggregation == "median" ? mpc::AggregationRule::kMedian
+                                          : mpc::AggregationRule::kTrimmedMean;
+  tc.trim = opt.trim;
+  tc.quorum =
+      opt.quorum == 0 ? static_cast<std::size_t>(opt.owners) : opt.quorum;
+  tc.round_window = std::chrono::milliseconds(opt.round_window_ms);
+  tc.input_wait = std::chrono::milliseconds(opt.input_wait_ms);
+  tc.rounds_per_epoch = opt.rounds_per_epoch;
+  tc.epochs = opt.epochs;
+  tc.max_rounds = opt.max_rounds;
+  tc.learning_rate = opt.learning_rate;
+  tc.momentum = opt.momentum;
+  tc.checkpoint_dir = opt.checkpoint_dir;
+  return tc;
+}
+
+// --task train-serve: host any of parties 0-2 and the model owner
+// (who doubles as the round sequencer).  Data owners (ids >=
+// train::kFirstOwnerId) attach with trustddl_owner; the single-owner
+// actor id 3 is unused.  Same subset mesh as serving: parties and the
+// model owner interconnect fully and accept owner connections, but
+// never dial owner address slots.
+int run_train_serve(const Options& opt, const core::EngineConfig& config,
+                    const nn::ModelSpec& spec, nn::Sequential& model,
+                    std::size_t param_count) {
+  const int num_actors = core::kNumActors + opt.owners;
+
+  std::vector<std::string> addresses = opt.peers;
+  if (addresses.empty()) {
+    for (int id = 0; id < num_actors; ++id) {
+      addresses.push_back("127.0.0.1:" + std::to_string(opt.port_base + id));
+    }
+  }
+
+  net::NetworkConfig net_config;
+  net_config.num_parties = num_actors;
+  net_config.connect.connect_timeout =
+      std::chrono::milliseconds(opt.connect_timeout_ms);
+
+  const train::TrainConfig train_config = train_config_from(opt);
+
+  // Only the test split is evaluated here (per-epoch accuracy at the
+  // model owner); the training shards live with the owners.  The full
+  // split is still derived with the owners' seeds so --check can
+  // replay their exact data in memory.
+  data::SyntheticMnistConfig data_config;
+  data_config.train_count = opt.rows;
+  data_config.test_count = opt.images;
+  data_config.seed = opt.data_seed;
+  const auto split = data::load_mnist_or_synthetic(opt.mnist_dir, data_config);
+
+  try {
+    std::vector<std::unique_ptr<net::TcpTransport>> transports;
+    for (const int id : opt.party_ids) {
+      std::string listen = addresses[static_cast<std::size_t>(id)];
+      if (!opt.listen_host.empty()) {
+        listen = opt.listen_host + ":" +
+                 std::to_string(net::parse_address(listen).port);
+      }
+      std::printf("[party %d] %s listening on %s\n", id, role_name(id),
+                  listen.c_str());
+      transports.push_back(std::make_unique<net::TcpTransport>(
+          static_cast<net::PartyId>(id), listen, net_config));
+    }
+
+    const auto peers_for = [&](int id) {
+      std::vector<net::PartyId> peers;
+      for (int p = 0; p < core::kComputingParties; ++p) {
+        if (p != id) {
+          peers.push_back(static_cast<net::PartyId>(p));
+        }
+      }
+      if (id != core::kModelOwner) {
+        peers.push_back(core::kModelOwner);
+      }
+      for (int k = 0; k < opt.owners; ++k) {
+        peers.push_back(static_cast<net::PartyId>(train::kFirstOwnerId + k));
+      }
+      return peers;
+    };
+    {
+      std::vector<std::thread> dialers;
+      std::vector<std::exception_ptr> errors(transports.size());
+      for (std::size_t i = 0; i < transports.size(); ++i) {
+        dialers.emplace_back([&, i] {
+          try {
+            transports[i]->connect(
+                addresses, peers_for(static_cast<int>(transports[i]->self())));
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        });
+      }
+      for (auto& dialer : dialers) {
+        dialer.join();
+      }
+      for (const auto& error : errors) {
+        if (error) {
+          std::rethrow_exception(error);
+        }
+      }
+    }
+    std::printf("train mesh connected (%zu local actor%s, %d owner%s)\n",
+                transports.size(), transports.size() == 1 ? "" : "s",
+                opt.owners, opt.owners == 1 ? "" : "s");
+
+    std::vector<mpc::DetectionLog> party_logs(transports.size());
+    train::SequencerStats stats;
+    std::map<std::string, RingTensor> revealed;
+    Stopwatch watch;
+    std::vector<std::thread> bodies;
+    std::vector<std::exception_ptr> errors(transports.size());
+    for (std::size_t i = 0; i < transports.size(); ++i) {
+      const int id = static_cast<int>(transports[i]->self());
+      bodies.emplace_back([&, id, i] {
+        try {
+          net::Endpoint endpoint =
+              transports[i]->endpoint(static_cast<net::PartyId>(id));
+          if (id == core::kModelOwner) {
+            train::train_service_owner_body(config, model, endpoint,
+                                            train_config, opt.owners, &stats,
+                                            &revealed);
+            std::printf(
+                "[party %d] train done: %llu rounds, %llu admitted = "
+                "%llu consumed + %llu discarded, %llu dropped owner "
+                "slots%s\n",
+                id, static_cast<unsigned long long>(stats.rounds),
+                static_cast<unsigned long long>(stats.admitted),
+                static_cast<unsigned long long>(stats.consumed),
+                static_cast<unsigned long long>(stats.discarded),
+                static_cast<unsigned long long>(stats.dropped_owner_slots),
+                stats.suspended ? " (suspended)" : "");
+          } else {
+            bool clean = true;
+            std::uint64_t rounds = 0;
+            party_logs[i] = train::train_service_party_body(
+                spec, config, param_count, id, endpoint, train_config, &clean,
+                &rounds);
+            std::printf("[party %d] train done: %llu round%s executed%s\n",
+                        id, static_cast<unsigned long long>(rounds),
+                        rounds == 1 ? "" : "s",
+                        clean ? "" : " (suspended)");
+          }
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    for (auto& body : bodies) {
+      body.join();
+    }
+    for (std::size_t i = 0; i < transports.size(); ++i) {
+      if (errors[i]) {
+        std::rethrow_exception(errors[i]);
+      }
+    }
+
+    core::print_process_traffic(transports);
+    core::write_process_export(opt.metrics_out, transports, party_logs,
+                               watch.elapsed_seconds(), num_actors,
+                               config.byzantine_party);
+    if (!opt.trace_out.empty()) {
+      obs::Tracer::global().close();
+    }
+
+    int exit_code = 0;
+    const bool hosts_model_owner =
+        std::count(opt.party_ids.begin(), opt.party_ids.end(),
+                   static_cast<int>(core::kModelOwner)) > 0;
+    if (hosts_model_owner) {
+      std::vector<double> accuracies;
+      for (std::size_t epoch = 0; epoch < opt.epochs; ++epoch) {
+        if (!train::apply_revealed_weights(revealed, epoch, param_count,
+                                           config.frac_bits, model)) {
+          std::printf("[party %d] epoch %zu: weights not revealed\n",
+                      core::kModelOwner, epoch);
+          continue;
+        }
+        accuracies.push_back(
+            model.accuracy(split.test.images, split.test.labels));
+        std::printf("[party %d] epoch %zu test accuracy: %.4f\n",
+                    core::kModelOwner, epoch, accuracies.back());
+      }
+      if (!stats.suspended && opt.min_accuracy >= 0.0) {
+        const bool pass =
+            !accuracies.empty() && accuracies.back() >= opt.min_accuracy;
+        std::printf("min-accuracy check: %s (%.4f vs %.4f)\n",
+                    pass ? "PASS" : "FAIL",
+                    accuracies.empty() ? 0.0 : accuracies.back(),
+                    opt.min_accuracy);
+        if (!pass) {
+          exit_code = 3;
+        }
+      }
+      if (!stats.suspended && opt.check) {
+        // Reference: the in-memory harness over the same seeds and
+        // honest owners.  The revealed epoch weights must match BIT
+        // FOR BIT — the TCP deployment runs the same SPMD bodies.
+        train::TrainSessionConfig session;
+        session.spec = spec;
+        session.engine = config;
+        session.engine.triple_store_dir.clear();
+        session.engine.metrics_out.clear();
+        session.train = train_config;
+        session.train.checkpoint_dir.clear();
+        session.train.max_rounds = 0;
+        session.num_owners = opt.owners;
+        session.submissions_per_owner = opt.submissions;
+        session.owner_batch_rows = opt.owner_batch_rows;
+        session.dataset = split.train;
+        const train::TrainSessionResult expected =
+            train::run_training_session(session);
+        const bool match = expected.revealed == revealed;
+        std::printf("train check: %s (in-memory harness, same seeds)\n",
+                    match ? "MATCH" : "MISMATCH");
+        if (!match) {
+          exit_code = 2;
+        }
+      }
+    }
+
+    // Let in-flight frames from peers drain before tearing the
+    // sockets down (an owner's last stop notice may still be in
+    // transit).
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    for (auto& transport : transports) {
+      transport->shutdown();
+    }
+    return exit_code;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "trustddl_party: %s\n", error.what());
     return 1;
@@ -644,6 +879,13 @@ int main(int argc, char** argv) {
         mpc::ByzantineConfig::Behavior::kConsistentCorruption;
     config.trunc_mode = mpc::TruncationMode::kMaskedOpen;
   }
+  if (opt.task == "train-serve") {
+    // The aggregation rescale and checkpoint/resume both need value-
+    // exact truncation: under masked-open every opened value is a pure
+    // function of the inputs and the dealt material, so a resumed
+    // session replays bit-identically (DESIGN.md §11).
+    config.trunc_mode = mpc::TruncationMode::kMaskedOpen;
+  }
 
   // Telemetry: arm the sinks before any actor runs so every span,
   // counter and detection event of this process's actors is captured.
@@ -668,6 +910,9 @@ int main(int argc, char** argv) {
     // bring the inputs.  It gets its own driver with the larger actor
     // space and subset-mesh rendezvous.
     return run_serve(opt, config, spec, model, param_count);
+  }
+  if (opt.task == "train-serve") {
+    return run_train_serve(opt, config, spec, model, param_count);
   }
 
   data::SyntheticMnistConfig data_config;
@@ -823,9 +1068,10 @@ int main(int argc, char** argv) {
       }
     }
 
-    print_traffic(transports);
-    write_process_export(opt, transports, party_logs, watch.elapsed_seconds(),
-                         core::kNumActors, config.byzantine_party);
+    core::print_process_traffic(transports);
+    core::write_process_export(opt.metrics_out, transports, party_logs,
+                               watch.elapsed_seconds(), core::kNumActors,
+                               config.byzantine_party);
     if (!opt.trace_out.empty()) {
       obs::Tracer::global().close();
     }

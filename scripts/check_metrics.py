@@ -26,7 +26,12 @@ docs/metrics.schema.json's contract:
     counters, i.e. the run prefetched material): per kind,
     triple.produced.<kind> == triple.consumed.<kind> + the
     triple.store.depth.<kind> gauge — every dealt entry was either
-    consumed online or is still buffered, none vanished.
+    consumed online or is still buffered, none vanished;
+  * training-ledger consistency (only when the export carries train.*
+    counters, i.e. a --task train-serve run): gradient coordinates
+    (submitted == aggregated + trimmed), owner submissions
+    (admitted == consumed + discarded) and round slots
+    (expected == included + dropped) all balance.
 
 Usage:
   check_metrics.py METRICS_JSON [--trace TRACE_JSONL]
@@ -162,6 +167,45 @@ def check_triple_section(metrics):
                 % (kind, produced, consumed, in_store))
 
 
+def check_train_section(metrics):
+    """Training-ledger invariants, skipped for non-training runs.
+
+    Three ledgers must balance: every per-owner gradient coordinate
+    submitted to the robust aggregator was either averaged into the
+    step or trimmed as an extreme; every owner submission the sequencer
+    admitted was either consumed by a round manifest or discarded at
+    shutdown/dormancy; and every owner slot of a cut round was either
+    included or dropped (quorum operation past a dormant owner).
+    """
+    counters = metrics["counters"]
+    if "train.agg.values.submitted" not in counters:
+        return
+    submitted = counters["train.agg.values.submitted"]
+    placed = (counters.get("train.agg.values.aggregated", 0)
+              + counters.get("train.agg.values.trimmed", 0))
+    require(submitted == placed,
+            "train.agg.values.submitted %d != aggregated+trimmed %d"
+            % (submitted, placed))
+    admitted = counters.get("train.owner.submissions.admitted", 0)
+    settled = (counters.get("train.owner.submissions.consumed", 0)
+               + counters.get("train.owner.submissions.discarded", 0))
+    require(admitted == settled,
+            "train.owner.submissions.admitted %d != consumed+discarded %d"
+            % (admitted, settled))
+    expected = counters.get("train.owner.slots.expected", 0)
+    filled = (counters.get("train.owner.slots.included", 0)
+              + counters.get("train.owner.slots.dropped", 0))
+    require(expected == filled,
+            "train.owner.slots.expected %d != included+dropped %d"
+            % (expected, filled))
+    rounds = counters.get("train.rounds", 0)
+    owners_hist = metrics["histograms"].get("train.round.owners")
+    if owners_hist is not None:
+        require(owners_hist["count"] == rounds,
+                "train.round.owners count %d != train.rounds %d"
+                % (owners_hist["count"], rounds))
+
+
 def check_events_section(events, cost, counters, args):
     per_kind = {}
     for index, event in enumerate(events):
@@ -246,6 +290,7 @@ def main():
     check_events_section(export["events"], export["cost"], counters, args)
     check_serve_section(export["metrics"])
     check_triple_section(export["metrics"])
+    check_train_section(export["metrics"])
 
     summary = ("check_metrics: OK: %d counters, %d events, "
                "%d bytes / %d messages"

@@ -18,10 +18,12 @@
 // the CI schema check covers either producer.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "net/tcp_transport.hpp"
 #include "net/transport.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
@@ -42,5 +44,27 @@ void write_metrics_export(const std::string& path,
                           const std::vector<obs::DetectionEventRecord>& events,
                           const net::TrafficSnapshot& traffic,
                           const CostReport& cost);
+
+/// Per-process traffic report for multi-process runners (one line per
+/// hosted transport on stdout).  Each frame is metered once at its
+/// sender, so summing the printed rows across processes reproduces the
+/// in-memory engine's totals.
+void print_process_traffic(
+    const std::vector<std::unique_ptr<net::TcpTransport>>& transports);
+
+/// Observability export for ONE process's hosted actors in an
+/// `num_actors`-wide mesh: the hosted transports' traffic matrices are
+/// merged cell-wise (each single-transport total counts the sender row
+/// only, preserving once-per-message semantics), detection tallies
+/// come from the hosted computing parties, and opening rounds from the
+/// lowest-id hosted honest computing party (the counters are identical
+/// at every honest party — the protocol is SPMD).  `party_logs` is
+/// indexed like `transports`; ids >= kComputingParties contribute no
+/// detections.  No-op when `path` is empty.
+void write_process_export(
+    const std::string& path,
+    const std::vector<std::unique_ptr<net::TcpTransport>>& transports,
+    const std::vector<mpc::DetectionLog>& party_logs, double wall_seconds,
+    int num_actors, int byzantine_party);
 
 }  // namespace trustddl::core

@@ -161,6 +161,52 @@ DemandPlan profile_job_demand(const nn::ModelSpec& spec,
   return plan;
 }
 
+DemandPlan profile_train_round_demand(
+    const nn::ModelSpec& spec, const std::vector<std::size_t>& owner_rows,
+    TruncationMode trunc_mode, const mpc::AggregateOptions& aggregation,
+    bool momentum) {
+  const bool masked = trunc_mode == TruncationMode::kMaskedOpen;
+  DemandPlan plan;
+  for (std::size_t rows : owner_rows) {
+    plan.merge(profile_step_demand(spec, rows, trunc_mode, /*training=*/true));
+    if (masked) {
+      // Per-owner logit-gradient normalization: (p - y) * enc(1/rows)
+      // rescaled before backward so owner gradients are comparable.
+      plan.add(mpc::TripleKey::trunc_pair(Shape{rows, spec.classes}), 1);
+    }
+  }
+  // Parameter shapes in layer order (W then b), mirroring
+  // SecureModel::parameters().
+  std::vector<Shape> param_shapes;
+  for (const nn::LayerSpec& layer : spec.layers) {
+    if (layer.kind == nn::LayerSpec::Kind::kDense) {
+      param_shapes.push_back(Shape{layer.in, layer.out});
+      param_shapes.push_back(Shape{1, layer.out});
+    } else if (layer.kind == nn::LayerSpec::Kind::kConv) {
+      param_shapes.push_back(
+          Shape{layer.conv.out_channels, layer.conv.col_rows()});
+      param_shapes.push_back(Shape{layer.conv.out_channels});
+    }
+  }
+  mpc::AggregateOptions options = aggregation;
+  options.trunc_mode = trunc_mode;
+  for (const Shape& shape : param_shapes) {
+    const mpc::AggregateDemand demand =
+        mpc::aggregate_demand(owner_rows.size(), shape, options);
+    if (demand.needs_comparison) {
+      plan.add(mpc::TripleKey::comp_aux(demand.comparison_shape), 1);
+      plan.add(mpc::TripleKey::mul(demand.comparison_shape), 1);
+    }
+    if (demand.needs_trunc_pair) {
+      plan.add(mpc::TripleKey::trunc_pair(demand.trunc_shape), 1);
+    }
+    if (momentum && masked) {
+      plan.add(mpc::TripleKey::trunc_pair(shape), 1);
+    }
+  }
+  return plan;
+}
+
 std::uint64_t TriplePipeline::store_provenance(const EngineConfig& config,
                                                bool training) {
   const OwnerServiceConfig owner = make_owner_service_config(config, training);

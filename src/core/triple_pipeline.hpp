@@ -29,6 +29,7 @@
 
 #include "core/engine.hpp"
 #include "core/owner_link.hpp"
+#include "mpc/robust_aggregate.hpp"
 #include "mpc/triple_store.hpp"
 #include "nn/model_zoo.hpp"
 
@@ -60,6 +61,20 @@ DemandPlan profile_step_demand(const nn::ModelSpec& spec,
 DemandPlan profile_job_demand(const nn::ModelSpec& spec,
                               const std::vector<std::size_t>& batch_rows,
                               TruncationMode trunc_mode, bool training);
+
+/// Material one multi-owner training round consumes: per owner a full
+/// forward/backward step on that owner's minibatch plus the masked
+/// rescale of its normalized logit gradient, then per parameter the
+/// comparison and truncation demand of the robust aggregation (see
+/// mpc::aggregate_demand) and the optional momentum rescale.  Slightly
+/// over-counts the per-round SGD truncation pairs (once per owner
+/// instead of once per round) — a deliberate overshoot: store targets
+/// are maxima, and surplus prefetched entries persist for later
+/// rounds.
+DemandPlan profile_train_round_demand(
+    const nn::ModelSpec& spec, const std::vector<std::size_t>& owner_rows,
+    TruncationMode trunc_mode, const mpc::AggregateOptions& aggregation,
+    bool momentum);
 
 class TriplePipeline {
  public:

@@ -94,13 +94,12 @@ DeferredShare sec_matmul_bt_prepare(OpenBatch& batch, const PartyShare& x,
   return masked_multiply_prepare(batch, x, y, triple, matmul_product);
 }
 
-DeferredTensor sec_comp_bt_prepare(OpenBatch& batch, const PartyShare& x,
-                                   const PartyShare& y,
-                                   const PartyShare& t_aux,
-                                   const BeaverTripleShare& triple) {
+void sec_comp_bt_prepare_on(OpenBatch& batch, const PartyShare& x,
+                            const PartyShare& y, const PartyShare& t_aux,
+                            const BeaverTripleShare& triple,
+                            std::function<void(RingTensor)> on_signs) {
   TRUSTDDL_REQUIRE(x.shape() == y.shape(),
                    "sec_comp_bt: operand shapes differ");
-  DeferredTensor out;
   // beta = t ⊙ (x - y); t has positive entries, so sign(beta) equals
   // sign(x - y) while the magnitude stays masked.
   const PartyShare alpha = x - y;
@@ -109,7 +108,8 @@ DeferredTensor sec_comp_bt_prepare(OpenBatch& batch, const PartyShare& x,
   masked.push_back(alpha - triple.b);
   batch.enqueue(
       std::move(masked),
-      [&batch, out, triple](std::vector<RingTensor> opened) mutable {
+      [&batch, on_signs = std::move(on_signs),
+       triple](std::vector<RingTensor> opened) mutable {
         PartyShare beta = combine_with_triple(opened[0], opened[1], triple,
                                               hadamard_product);
         // The β opening depends on this round's result, so it lands in
@@ -117,10 +117,22 @@ DeferredTensor sec_comp_bt_prepare(OpenBatch& batch, const PartyShare& x,
         std::vector<PartyShare> follow_up;
         follow_up.push_back(std::move(beta));
         batch.enqueue(std::move(follow_up),
-                      [out](std::vector<RingTensor> opened_beta) mutable {
-                        out.set(signs_from_beta(opened_beta[0]));
+                      [on_signs = std::move(on_signs)](
+                          std::vector<RingTensor> opened_beta) mutable {
+                        on_signs(signs_from_beta(opened_beta[0]));
                       });
       });
+}
+
+DeferredTensor sec_comp_bt_prepare(OpenBatch& batch, const PartyShare& x,
+                                   const PartyShare& y,
+                                   const PartyShare& t_aux,
+                                   const BeaverTripleShare& triple) {
+  DeferredTensor out;
+  sec_comp_bt_prepare_on(batch, x, y, t_aux, triple,
+                         [out](RingTensor signs) mutable {
+                           out.set(std::move(signs));
+                         });
   return out;
 }
 

@@ -100,6 +100,17 @@ DeferredTensor sec_comp_bt_prepare(OpenBatch& batch, const PartyShare& x,
                                    const PartyShare& t_aux,
                                    const BeaverTripleShare& triple);
 
+/// Continuation-style SecComp-BT for protocols built on top of the
+/// revealed comparison (robust aggregation, tournaments): `on_signs`
+/// runs inside the β flush's dispatch, so it may enqueue follow-up
+/// openings against the same batch (they land in the NEXT flush).
+/// Round structure is identical to sec_comp_bt_prepare, which is a
+/// thin wrapper over this.
+void sec_comp_bt_prepare_on(OpenBatch& batch, const PartyShare& x,
+                            const PartyShare& y, const PartyShare& t_aux,
+                            const BeaverTripleShare& triple,
+                            std::function<void(RingTensor)> on_signs);
+
 /// Deferred sign(x); same round structure as sec_comp_bt_prepare.
 DeferredTensor sec_sign_bt_prepare(OpenBatch& batch, const PartyShare& x,
                                    const PartyShare& t_aux,

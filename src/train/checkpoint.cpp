@@ -1,0 +1,153 @@
+#include "train/checkpoint.hpp"
+
+#include <fstream>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "mpc/share_serde.hpp"
+
+namespace trustddl::train {
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x5444434bu;  // "TDCK"
+constexpr std::uint32_t kCheckpointVersion = 1;
+// Role field: parties store their id (0..2); the sequencer stores a
+// sentinel so party and sequencer files can never be confused.
+constexpr std::uint32_t kSequencerRole = 0xffffffffu;
+
+void write_file(const std::string& path, const Bytes& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw Error("checkpoint: cannot write " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    throw Error("checkpoint: short write to " + path);
+  }
+}
+
+/// Reads the whole file; returns false when it does not exist.
+bool read_file(const std::string& path, Bytes& bytes) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return false;
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  bytes.resize(static_cast<std::size_t>(size));
+  if (!in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    throw SerializationError("checkpoint: short read from " + path);
+  }
+  return true;
+}
+
+void write_header(ByteWriter& writer, std::uint64_t provenance,
+                  std::uint32_t role) {
+  writer.write_u32(kCheckpointMagic);
+  writer.write_u32(kCheckpointVersion);
+  writer.write_u64(provenance);
+  writer.write_u32(role);
+}
+
+void check_header(ByteReader& reader, std::uint64_t provenance,
+                  std::uint32_t role, const std::string& path) {
+  if (reader.read_u32() != kCheckpointMagic) {
+    throw SerializationError("checkpoint: bad magic in " + path);
+  }
+  if (reader.read_u32() != kCheckpointVersion) {
+    throw SerializationError("checkpoint: unsupported version in " + path);
+  }
+  if (reader.read_u64() != provenance) {
+    throw SerializationError(
+        "checkpoint: provenance mismatch (saved under a different session "
+        "seed): " +
+        path);
+  }
+  if (reader.read_u32() != role) {
+    throw SerializationError("checkpoint: file belongs to another role: " +
+                             path);
+  }
+}
+
+}  // namespace
+
+std::string party_checkpoint_path(const std::string& dir, net::PartyId party) {
+  return dir + "/party" + std::to_string(party) + ".tdck";
+}
+
+std::string sequencer_checkpoint_path(const std::string& dir) {
+  return dir + "/sequencer.tdck";
+}
+
+void save_party_checkpoint(const std::string& path, std::uint64_t provenance,
+                           net::PartyId party, const PartyCheckpoint& ckpt) {
+  ByteWriter writer;
+  write_header(writer, provenance, static_cast<std::uint32_t>(party));
+  writer.write_u64(ckpt.round);
+  writer.write_u64(ckpt.epoch);
+  writer.write_u64(ckpt.params.size());
+  for (const CheckpointParam& param : ckpt.params) {
+    writer.write_string(param.name);
+    mpc::write_party_share(writer, param.value);
+    writer.write_u8(param.has_velocity ? 1 : 0);
+    if (param.has_velocity) {
+      mpc::write_party_share(writer, param.velocity);
+    }
+  }
+  write_file(path, writer.bytes());
+}
+
+bool load_party_checkpoint(const std::string& path, std::uint64_t provenance,
+                           net::PartyId party, PartyCheckpoint& out) {
+  Bytes bytes;
+  if (!read_file(path, bytes)) {
+    return false;
+  }
+  ByteReader reader(std::move(bytes));
+  check_header(reader, provenance, static_cast<std::uint32_t>(party), path);
+  out.round = reader.read_u64();
+  out.epoch = reader.read_u64();
+  const std::uint64_t count = reader.read_u64();
+  out.params.clear();
+  out.params.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CheckpointParam param;
+    param.name = reader.read_string();
+    param.value = mpc::read_party_share(reader);
+    param.has_velocity = reader.read_u8() != 0;
+    if (param.has_velocity) {
+      param.velocity = mpc::read_party_share(reader);
+    }
+    out.params.push_back(std::move(param));
+  }
+  return true;
+}
+
+void save_sequencer_checkpoint(const std::string& path,
+                               std::uint64_t provenance,
+                               const SequencerCheckpoint& ckpt) {
+  ByteWriter writer;
+  write_header(writer, provenance, kSequencerRole);
+  writer.write_u64(ckpt.round);
+  writer.write_u64(ckpt.epoch);
+  writer.write_u64_vector(ckpt.consumed);
+  write_file(path, writer.bytes());
+}
+
+bool load_sequencer_checkpoint(const std::string& path,
+                               std::uint64_t provenance,
+                               SequencerCheckpoint& out) {
+  Bytes bytes;
+  if (!read_file(path, bytes)) {
+    return false;
+  }
+  ByteReader reader(std::move(bytes));
+  check_header(reader, provenance, kSequencerRole, path);
+  out.round = reader.read_u64();
+  out.epoch = reader.read_u64();
+  out.consumed = reader.read_u64_vector();
+  return true;
+}
+
+}  // namespace trustddl::train

@@ -1,0 +1,70 @@
+// TDCK checkpoint files for the multi-owner training service.
+//
+// Each party persists its model parameter shares (and optional
+// momentum velocity shares) plus the round cursor; the sequencer
+// persists the round cursor and each owner's consumed-submission
+// cursor.  The format mirrors the TDST triple store: magic / version /
+// provenance / role header, then the payload.  Provenance is the
+// session seed, so a checkpoint dealt under a different seed (whose
+// preprocessing stream and owner data would diverge) refuses to load
+// instead of silently corrupting training.
+//
+// Resume is bit-identical at the VALUE level: under masked-open
+// truncation every opened message is a pure function of input values
+// and dealt material, so restoring value shares (any valid splitting)
+// plus the triple-stream cursor reproduces the exact weight sequence
+// of an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpc/sharing.hpp"
+#include "net/transport.hpp"
+
+namespace trustddl::train {
+
+/// One named parameter's persisted state.
+struct CheckpointParam {
+  std::string name;
+  mpc::PartyShare value;
+  /// Momentum velocity share; empty tensor when momentum is off.
+  mpc::PartyShare velocity;
+  bool has_velocity = false;
+};
+
+/// A computing party's training state between sessions.
+struct PartyCheckpoint {
+  std::uint64_t round = 0;
+  std::uint64_t epoch = 0;
+  std::vector<CheckpointParam> params;
+};
+
+/// The sequencer's state: the next round to cut and, per owner slot,
+/// the next submission seq to consume.
+struct SequencerCheckpoint {
+  std::uint64_t round = 0;
+  std::uint64_t epoch = 0;
+  std::vector<std::uint64_t> consumed;
+};
+
+/// File path helpers; `dir` must exist (created by the caller).
+std::string party_checkpoint_path(const std::string& dir, net::PartyId party);
+std::string sequencer_checkpoint_path(const std::string& dir);
+
+void save_party_checkpoint(const std::string& path, std::uint64_t provenance,
+                           net::PartyId party, const PartyCheckpoint& ckpt);
+/// Returns false if the file does not exist; throws SerializationError
+/// on a malformed file or a provenance/party mismatch.
+bool load_party_checkpoint(const std::string& path, std::uint64_t provenance,
+                           net::PartyId party, PartyCheckpoint& out);
+
+void save_sequencer_checkpoint(const std::string& path,
+                               std::uint64_t provenance,
+                               const SequencerCheckpoint& ckpt);
+bool load_sequencer_checkpoint(const std::string& path,
+                               std::uint64_t provenance,
+                               SequencerCheckpoint& out);
+
+}  // namespace trustddl::train

@@ -1,0 +1,155 @@
+#include "train/owner_client.hpp"
+
+#include <array>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/roles.hpp"
+#include "mpc/share_serde.hpp"
+#include "nn/loss.hpp"
+
+namespace trustddl::train {
+namespace {
+
+Bytes encode_share(const mpc::PartyShare& share) {
+  ByteWriter writer;
+  mpc::write_party_share(writer, share);
+  return writer.take();
+}
+
+}  // namespace
+
+const char* poison_mode_name(PoisonMode mode) {
+  switch (mode) {
+    case PoisonMode::kNone:
+      return "none";
+    case PoisonMode::kSignFlip:
+      return "sign-flip";
+    case PoisonMode::kScale:
+      return "scale";
+    case PoisonMode::kLabelFlip:
+      return "label-flip";
+  }
+  return "unknown";
+}
+
+PoisonSpec parse_poison_spec(const std::string& text) {
+  PoisonSpec spec;
+  if (text.empty() || text == "none") {
+    return spec;
+  }
+  if (text == "sign-flip") {
+    spec.mode = PoisonMode::kSignFlip;
+    return spec;
+  }
+  if (text == "label-flip") {
+    spec.mode = PoisonMode::kLabelFlip;
+    return spec;
+  }
+  if (text.rfind("scale", 0) == 0) {
+    spec.mode = PoisonMode::kScale;
+    const auto eq = text.find('=');
+    if (eq != std::string::npos) {
+      spec.factor = std::stod(text.substr(eq + 1));
+    }
+    return spec;
+  }
+  throw Error("train: unknown poison spec '" + text +
+              "' (want none|sign-flip|scale[=F]|label-flip)");
+}
+
+data::Dataset apply_poison(const data::Dataset& batch,
+                           const PoisonSpec& poison, std::size_t classes) {
+  data::Dataset out = batch;
+  switch (poison.mode) {
+    case PoisonMode::kNone:
+      break;
+    case PoisonMode::kSignFlip:
+      for (std::size_t i = 0; i < out.images.size(); ++i) {
+        out.images[i] = -out.images[i];
+      }
+      break;
+    case PoisonMode::kScale:
+      for (std::size_t i = 0; i < out.images.size(); ++i) {
+        out.images[i] *= poison.factor;
+      }
+      break;
+    case PoisonMode::kLabelFlip:
+      for (std::size_t& label : out.labels) {
+        label = (label + 1) % classes;
+      }
+      break;
+  }
+  return out;
+}
+
+TrainingOwner::TrainingOwner(net::Endpoint endpoint, OwnerOptions options)
+    : endpoint_(endpoint), options_(options) {
+  TRUSTDDL_REQUIRE(endpoint_.id() >= kFirstOwnerId,
+                   "train: owner endpoint must use an owner actor id");
+  TRUSTDDL_REQUIRE(options_.batch_rows >= 1,
+                   "train: owner batch_rows must be at least 1");
+}
+
+std::uint64_t TrainingOwner::hello() {
+  endpoint_.send(core::kModelOwner, hello_tag(), encode_hello());
+  const auto start = std::chrono::steady_clock::now();
+  Bytes payload;
+  while (!endpoint_.try_recv(core::kModelOwner, hello_ack_tag(), payload)) {
+    if (std::chrono::steady_clock::now() - start >= options_.hello_timeout) {
+      throw Error("train: owner " + std::to_string(endpoint_.id()) +
+                  " timed out waiting for hello ack");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return decode_hello_ack(std::move(payload)).next_seq;
+}
+
+std::size_t TrainingOwner::submit(std::uint64_t seq,
+                                  const data::Dataset& shard) {
+  TRUSTDDL_REQUIRE(shard.size() >= 1, "train: owner shard is empty");
+  // Everything about this submission — which rows, and how they are
+  // split into shares — is a pure function of (owner seed, seq).
+  Rng rng(submission_seed(options_.seed, seq));
+  std::vector<std::size_t> indices(options_.batch_rows);
+  for (std::size_t& index : indices) {
+    index = static_cast<std::size_t>(rng.next_below(shard.size()));
+  }
+  data::Dataset batch =
+      data::gather(shard, indices, 0, indices.size());
+  batch = apply_poison(batch, options_.poison, options_.classes);
+
+  const RingTensor x = to_ring(batch.images, options_.frac_bits);
+  const RingTensor y =
+      to_ring(nn::one_hot(batch.labels, options_.classes),
+              options_.frac_bits);
+  const std::array<mpc::PartyShare, mpc::kNumParties> x_views =
+      mpc::share_secret(x, rng);
+  const std::array<mpc::PartyShare, mpc::kNumParties> y_views =
+      mpc::share_secret(y, rng);
+  // Input shares first, then the notice, so the manifest a party acts
+  // on usually finds the shares already in its mailbox.
+  for (int party = 0; party < mpc::kNumParties; ++party) {
+    const auto slot = static_cast<std::size_t>(party);
+    endpoint_.send(party, input_x_tag(seq), encode_share(x_views[slot]));
+    endpoint_.send(party, input_y_tag(seq), encode_share(y_views[slot]));
+  }
+  SubmitNotice notice;
+  notice.seq = seq;
+  notice.rows = batch.size();
+  endpoint_.send(core::kModelOwner, notice_tag(seq),
+                 encode_submit_notice(notice));
+  return batch.size();
+}
+
+void TrainingOwner::stop(std::uint64_t seq) {
+  SubmitNotice notice;
+  notice.kind = SubmitKind::kStop;
+  notice.seq = seq;
+  endpoint_.send(core::kModelOwner, notice_tag(seq),
+                 encode_submit_notice(notice));
+}
+
+}  // namespace trustddl::train

@@ -1,0 +1,93 @@
+// Data-owner client of the multi-owner training service.
+//
+// An owner holds a private labelled dataset shard.  Per submission it
+// samples a minibatch, secret-shares the fixed-point images and
+// one-hot labels to the three computing parties, and notifies the
+// sequencer.  ALL per-submission randomness (minibatch sampling and
+// share splitting) is drawn from an Rng seeded by
+// submission_seed(owner seed, seq), so an owner restarted after a
+// crash or suspend regenerates byte-identical submissions for any seq
+// the hello ack asks it to resume at.
+//
+// Poisoning attacks live here, in the owner's DATA SPACE, before
+// sharing: the parties never see plaintext, so a malicious owner can
+// only poison what it submits — exactly the threat the trimmed-mean /
+// median aggregation window is sized to absorb.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "data/synthetic_mnist.hpp"
+#include "net/transport.hpp"
+#include "numeric/fixed_point.hpp"
+#include "train/wire.hpp"
+
+namespace trustddl::train {
+
+/// Data-space poisoning modes for the malicious-owner experiments.
+enum class PoisonMode : std::uint8_t {
+  kNone = 0,
+  /// Negate every pixel: gradients point away from the true descent
+  /// direction.
+  kSignFlip = 1,
+  /// Multiply pixels by `factor`: a scaling attack that inflates the
+  /// owner's gradient magnitude.
+  kScale = 2,
+  /// Rotate each label to (label + 1) mod classes.
+  kLabelFlip = 3,
+};
+
+struct PoisonSpec {
+  PoisonMode mode = PoisonMode::kNone;
+  double factor = 10.0;  ///< kScale multiplier
+
+  bool active() const { return mode != PoisonMode::kNone; }
+};
+
+const char* poison_mode_name(PoisonMode mode);
+
+/// Parse "none", "sign-flip", "scale=<f>" / "scale", "label-flip".
+PoisonSpec parse_poison_spec(const std::string& text);
+
+/// Apply `poison` to a copy of `batch` (images and labels).
+data::Dataset apply_poison(const data::Dataset& batch,
+                           const PoisonSpec& poison, std::size_t classes);
+
+struct OwnerOptions {
+  /// Base seed of this owner's submission stream; use
+  /// owner_base_seed(session_seed, owner_index) so all deployments
+  /// agree.
+  std::uint64_t seed = 1;
+  std::size_t classes = 10;
+  /// Minibatch rows sampled (with replacement) from the local shard
+  /// per submission.
+  std::size_t batch_rows = 8;
+  int frac_bits = fx::kDefaultFracBits;
+  PoisonSpec poison;
+  std::chrono::milliseconds hello_timeout{30000};
+};
+
+class TrainingOwner {
+ public:
+  /// `endpoint` must use an owner actor id (kFirstOwnerId + index).
+  TrainingOwner(net::Endpoint endpoint, OwnerOptions options);
+
+  /// Join (or rejoin) the session: returns the seq of the first
+  /// submission the sequencer still needs from us.
+  std::uint64_t hello();
+
+  /// Sample, (optionally) poison, and secret-share one minibatch under
+  /// `seq`; returns the rows submitted.
+  std::size_t submit(std::uint64_t seq, const data::Dataset& shard);
+
+  /// Final notice; `seq` is one past the last submission.
+  void stop(std::uint64_t seq);
+
+ private:
+  net::Endpoint endpoint_;
+  OwnerOptions options_;
+};
+
+}  // namespace trustddl::train

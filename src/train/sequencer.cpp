@@ -1,0 +1,261 @@
+#include "train/sequencer.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "core/roles.hpp"
+#include "obs/metrics.hpp"
+
+namespace trustddl::train {
+namespace {
+
+constexpr const char* kLog = "train.sequencer";
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+RoundSequencer::RoundSequencer(net::Endpoint endpoint, TrainConfig config,
+                               int num_owners, std::uint64_t provenance)
+    : endpoint_(endpoint), config_(config), num_owners_(num_owners),
+      provenance_(provenance),
+      owners_(static_cast<std::size_t>(num_owners)),
+      consumed_(static_cast<std::size_t>(num_owners), 0) {
+  TRUSTDDL_REQUIRE(num_owners >= 1, "train: need at least one owner");
+  TRUSTDDL_REQUIRE(config.quorum >= 1 &&
+                       config.quorum <= static_cast<std::size_t>(num_owners),
+                   "train: quorum out of range");
+  TRUSTDDL_REQUIRE(config.rounds_per_epoch >= 1 && config.epochs >= 1,
+                   "train: need at least one round per epoch and one epoch");
+  if (!config_.checkpoint_dir.empty()) {
+    SequencerCheckpoint ckpt;
+    if (load_sequencer_checkpoint(
+            sequencer_checkpoint_path(config_.checkpoint_dir), provenance_,
+            ckpt)) {
+      TRUSTDDL_REQUIRE(ckpt.consumed.size() ==
+                           static_cast<std::size_t>(num_owners),
+                       "train: checkpoint owner count mismatch");
+      round_ = ckpt.round;
+      consumed_ = ckpt.consumed;
+      for (std::size_t slot = 0; slot < owners_.size(); ++slot) {
+        owners_[slot].next_seq = consumed_[slot];
+      }
+      TRUSTDDL_LOG_INFO(kLog)
+          << "resuming at round " << round_ << " from checkpoint";
+    }
+  }
+}
+
+void RoundSequencer::run() {
+  const std::size_t total_rounds = config_.total_rounds();
+  Clock::time_point window_start{};
+  bool window_open = false;
+  while (true) {
+    bool progress = poll_hellos();
+    if (poll_notices()) {
+      progress = true;
+    }
+
+    if (round_ >= total_rounds) {
+      break;
+    }
+    if (config_.max_rounds != 0 && round_ >= config_.max_rounds) {
+      // Suspend: checkpoint the cursors and tell the parties to do the
+      // same.  Anything still pending is discarded — restarted owners
+      // will regenerate those submissions from their seq-derived seeds.
+      discard_pending();
+      save_checkpoint();
+      RoundManifest suspend;
+      suspend.round = round_;
+      suspend.epoch = round_ / config_.rounds_per_epoch;
+      suspend.suspend = true;
+      broadcast(suspend);
+      stats_.suspended = true;
+      TRUSTDDL_LOG_INFO(kLog)
+          << "suspended at round " << round_ << ": " << stats_.consumed
+          << " consumed, " << stats_.discarded << " discarded";
+      return;
+    }
+
+    std::size_t ready = 0;
+    std::size_t live_waiting = 0;
+    bool all_stopped = true;
+    for (const OwnerState& owner : owners_) {
+      if (!owner.pending.empty()) {
+        ++ready;
+      } else if (!owner.stopped && !owner.dormant) {
+        ++live_waiting;
+      }
+      if (!owner.stopped && !owner.dormant) {
+        all_stopped = false;
+      }
+    }
+
+    if (ready >= config_.quorum) {
+      if (!window_open) {
+        window_start = Clock::now();
+        window_open = true;
+      }
+      // Cut as soon as every owner the window still waits for is ready
+      // (all_stopped makes this vacuous), or the window expires.
+      if (live_waiting == 0 ||
+          Clock::now() - window_start >= config_.round_window) {
+        cut_round();
+        window_open = false;
+        progress = true;
+      }
+    } else if (all_stopped) {
+      // No owner will ever complete the quorum again.
+      break;
+    }
+
+    if (!progress) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  discard_pending();
+  save_checkpoint();
+  RoundManifest goodbye;
+  goodbye.round = round_;
+  goodbye.epoch =
+      round_ == 0 ? 0 : (round_ - 1) / config_.rounds_per_epoch;
+  goodbye.shutdown = true;
+  broadcast(goodbye);
+  TRUSTDDL_LOG_INFO(kLog) << "sequencer done: " << stats_.rounds
+                          << " rounds, " << stats_.admitted << " admitted, "
+                          << stats_.consumed << " consumed, "
+                          << stats_.discarded << " discarded, "
+                          << stats_.dropped_owner_slots
+                          << " dropped owner slots";
+}
+
+bool RoundSequencer::poll_hellos() {
+  bool progress = false;
+  for (int index = 0; index < num_owners_; ++index) {
+    const net::PartyId owner = kFirstOwnerId + index;
+    Bytes payload;
+    while (endpoint_.try_recv(owner, hello_tag(), payload)) {
+      progress = true;
+      decode_hello(std::move(payload));
+      HelloAck ack;
+      ack.next_seq = consumed_[static_cast<std::size_t>(index)];
+      endpoint_.send(owner, hello_ack_tag(), encode_hello_ack(ack));
+    }
+  }
+  return progress;
+}
+
+bool RoundSequencer::poll_notices() {
+  bool progress = false;
+  for (int index = 0; index < num_owners_; ++index) {
+    const auto slot = static_cast<std::size_t>(index);
+    OwnerState& owner = owners_[slot];
+    if (owner.stopped) {
+      continue;
+    }
+    const net::PartyId id = kFirstOwnerId + index;
+    Bytes payload;
+    // Notices are read strictly in per-owner seq order; seq is the
+    // only framing, so arrival order over the transport never matters.
+    while (endpoint_.try_recv(id, notice_tag(owner.next_seq), payload)) {
+      progress = true;
+      ++owner.next_seq;
+      const SubmitNotice notice = decode_submit_notice(std::move(payload));
+      if (notice.kind == SubmitKind::kStop) {
+        owner.stopped = true;
+        break;
+      }
+      owner.pending.push_back(notice);
+      ++stats_.admitted;
+      obs::count("train.owner.submissions.admitted");
+      if (owner.dormant) {
+        owner.dormant = false;
+        owner.misses = 0;
+      }
+    }
+  }
+  return progress;
+}
+
+void RoundSequencer::cut_round() {
+  RoundManifest manifest;
+  manifest.round = round_;
+  manifest.epoch = round_ / config_.rounds_per_epoch;
+  manifest.epoch_end = (round_ + 1) % config_.rounds_per_epoch == 0;
+  std::uint64_t dropped = 0;
+  for (int index = 0; index < num_owners_; ++index) {
+    const auto slot = static_cast<std::size_t>(index);
+    OwnerState& owner = owners_[slot];
+    if (!owner.pending.empty()) {
+      const SubmitNotice notice = owner.pending.front();
+      owner.pending.pop_front();
+      manifest.entries.push_back(
+          {static_cast<net::PartyId>(kFirstOwnerId + index), notice.seq,
+           notice.rows});
+      consumed_[slot] = notice.seq + 1;
+      owner.misses = 0;
+      ++stats_.consumed;
+      obs::count("train.owner.submissions.consumed");
+      obs::count("train.owner.slots.included");
+    } else if (!owner.stopped && !owner.dormant) {
+      ++owner.misses;
+      if (owner.misses >= config_.dormant_after_misses) {
+        owner.dormant = true;
+        TRUSTDDL_LOG_INFO(kLog)
+            << "owner " << (kFirstOwnerId + index) << " dormant after "
+            << owner.misses << " missed rounds";
+      }
+      ++dropped;
+      ++stats_.dropped_owner_slots;
+      obs::count("train.owner.slots.dropped");
+    }
+  }
+  obs::count("train.owner.slots.expected",
+             manifest.entries.size() + dropped);
+  if (dropped != 0) {
+    obs::count("train.round.dropped_owners", dropped);
+  }
+  broadcast(manifest);
+  ++stats_.rounds;
+  obs::count("train.rounds");
+  obs::observe("train.round.owners", manifest.entries.size());
+  obs::observe("train.round.rows", manifest.total_rows());
+  if (manifest.epoch_end) {
+    ++stats_.epochs_completed;
+    obs::count("train.epochs");
+  }
+  ++round_;
+}
+
+void RoundSequencer::broadcast(const RoundManifest& manifest) {
+  const Bytes payload = encode_round_manifest(manifest);
+  for (int party = 0; party < core::kComputingParties; ++party) {
+    endpoint_.send(party, manifest_tag(manifest.round), payload);
+  }
+}
+
+void RoundSequencer::discard_pending() {
+  for (OwnerState& owner : owners_) {
+    while (!owner.pending.empty()) {
+      owner.pending.pop_front();
+      ++stats_.discarded;
+      obs::count("train.owner.submissions.discarded");
+    }
+  }
+}
+
+void RoundSequencer::save_checkpoint() {
+  if (config_.checkpoint_dir.empty()) {
+    return;
+  }
+  SequencerCheckpoint ckpt;
+  ckpt.round = round_;
+  ckpt.epoch = round_ / config_.rounds_per_epoch;
+  ckpt.consumed = consumed_;
+  save_sequencer_checkpoint(sequencer_checkpoint_path(config_.checkpoint_dir),
+                            provenance_, ckpt);
+}
+
+}  // namespace trustddl::train

@@ -1,0 +1,98 @@
+// Owner-side round sequencer for the multi-owner training service.
+//
+// Training rounds need every computing party to execute IDENTICAL
+// per-owner gradient batches (the MPC protocols are SPMD).  As in the
+// serving layer, the trusted model owner is the single sequencer: data
+// owners notify it of shared minibatches, it cuts rounds once a quorum
+// of owners is ready, and it broadcasts each round manifest to the
+// three parties, which follow in lockstep.
+//
+// The sequencer owns the submission lifecycle ledger: every admitted
+// minibatch notice ends in exactly one of {consumed (included in a
+// round manifest), discarded (left pending at shutdown or suspend)} —
+// the train.owner.submissions.* counters satisfy
+//   admitted == consumed + discarded
+// by construction.  Per round, every live owner slot is either
+// included or dropped:
+//   train.owner.slots.expected == included + dropped
+// and scripts/check_metrics.py enforces both.
+//
+// Straggler policy: a round is cut once `quorum` owners have a pending
+// submission AND (every live owner does, or `round_window` expired).
+// A live owner with nothing pending at the cut is dropped from that
+// round (train.round.dropped_owners); after `dormant_after_misses`
+// consecutive misses it is declared dormant and the window stops
+// waiting for it, so a killed owner degrades the service to quorum
+// operation instead of stalling it.  A dormant owner that submits
+// again is revived.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "train/checkpoint.hpp"
+#include "train/wire.hpp"
+
+namespace trustddl::train {
+
+struct SequencerStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t consumed = 0;
+  std::uint64_t discarded = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t epochs_completed = 0;
+  std::uint64_t dropped_owner_slots = 0;
+  /// True when the run ended with a suspend manifest (max_rounds hit)
+  /// rather than a shutdown manifest.
+  bool suspended = false;
+};
+
+class RoundSequencer {
+ public:
+  /// `endpoint` must be the model owner's; owners occupy actor ids
+  /// kFirstOwnerId .. kFirstOwnerId + num_owners - 1.  `provenance` is
+  /// the session seed and guards checkpoint compatibility.
+  RoundSequencer(net::Endpoint endpoint, TrainConfig config, int num_owners,
+                 std::uint64_t provenance);
+
+  /// Sequence rounds until the configured number of epochs completed
+  /// (or max_rounds triggered a suspend, or every owner stopped);
+  /// then broadcast the terminal manifest.  Runs on the model owner's
+  /// thread, alongside — not inside — ModelOwnerService.
+  void run();
+
+  const SequencerStats& stats() const { return stats_; }
+
+ private:
+  struct OwnerState {
+    std::uint64_t next_seq = 0;  ///< next notice to read off the wire
+    std::deque<SubmitNotice> pending;
+    bool stopped = false;
+    std::size_t misses = 0;
+    bool dormant = false;
+  };
+
+  bool poll_hellos();
+  bool poll_notices();
+  void cut_round();
+  void broadcast(const RoundManifest& manifest);
+  void discard_pending();
+  void save_checkpoint();
+
+  net::Endpoint endpoint_;
+  TrainConfig config_;
+  int num_owners_;
+  std::uint64_t provenance_;
+  std::vector<OwnerState> owners_;
+  /// Next submission seq each owner slot should produce for us —
+  /// the resume cursor persisted in the sequencer checkpoint and
+  /// returned in hello acks.
+  std::vector<std::uint64_t> consumed_;
+  std::uint64_t round_ = 0;
+  SequencerStats stats_;
+};
+
+}  // namespace trustddl::train

@@ -1,0 +1,125 @@
+#include "train/wire.hpp"
+
+namespace trustddl::train {
+namespace {
+
+std::string trn_tag(std::uint64_t number, const char* what) {
+  return "trn/" + std::to_string(number) + "/" + what;
+}
+
+/// splitmix64 finalizer — a cheap, well-mixed injection so seeds for
+/// nearby (owner, seq) pairs share no low-bit structure.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::string hello_tag() { return "trn/hello"; }
+std::string hello_ack_tag() { return "trn/hello/ack"; }
+std::string notice_tag(std::uint64_t seq) { return trn_tag(seq, "notice"); }
+std::string input_x_tag(std::uint64_t seq) { return trn_tag(seq, "x"); }
+std::string input_y_tag(std::uint64_t seq) { return trn_tag(seq, "y"); }
+std::string manifest_tag(std::uint64_t round) { return trn_tag(round, "man"); }
+
+Bytes encode_submit_notice(const SubmitNotice& notice) {
+  ByteWriter writer;
+  writer.write_u8(static_cast<std::uint8_t>(notice.kind));
+  writer.write_u64(notice.seq);
+  writer.write_u64(notice.rows);
+  return writer.take();
+}
+
+SubmitNotice decode_submit_notice(Bytes payload) {
+  ByteReader reader(std::move(payload));
+  SubmitNotice notice;
+  const std::uint8_t kind = reader.read_u8();
+  TRUSTDDL_REQUIRE(kind <= static_cast<std::uint8_t>(SubmitKind::kStop),
+                   "train: unknown notice kind");
+  notice.kind = static_cast<SubmitKind>(kind);
+  notice.seq = reader.read_u64();
+  notice.rows = reader.read_u64();
+  return notice;
+}
+
+Bytes encode_hello(std::uint32_t protocol_version) {
+  ByteWriter writer;
+  writer.write_u32(protocol_version);
+  return writer.take();
+}
+
+std::uint32_t decode_hello(Bytes payload) {
+  ByteReader reader(std::move(payload));
+  return reader.read_u32();
+}
+
+Bytes encode_hello_ack(const HelloAck& ack) {
+  ByteWriter writer;
+  writer.write_u64(ack.next_seq);
+  return writer.take();
+}
+
+HelloAck decode_hello_ack(Bytes payload) {
+  ByteReader reader(std::move(payload));
+  HelloAck ack;
+  ack.next_seq = reader.read_u64();
+  return ack;
+}
+
+std::size_t RoundManifest::total_rows() const {
+  std::size_t rows = 0;
+  for (const auto& entry : entries) {
+    rows += entry.rows;
+  }
+  return rows;
+}
+
+Bytes encode_round_manifest(const RoundManifest& manifest) {
+  ByteWriter writer;
+  writer.write_u64(manifest.round);
+  writer.write_u64(manifest.epoch);
+  writer.write_u8(manifest.epoch_end ? 1 : 0);
+  writer.write_u8(manifest.shutdown ? 1 : 0);
+  writer.write_u8(manifest.suspend ? 1 : 0);
+  writer.write_u32(static_cast<std::uint32_t>(manifest.entries.size()));
+  for (const auto& entry : manifest.entries) {
+    writer.write_u32(static_cast<std::uint32_t>(entry.owner));
+    writer.write_u64(entry.seq);
+    writer.write_u64(entry.rows);
+  }
+  return writer.take();
+}
+
+RoundManifest decode_round_manifest(Bytes payload) {
+  ByteReader reader(std::move(payload));
+  RoundManifest manifest;
+  manifest.round = reader.read_u64();
+  manifest.epoch = reader.read_u64();
+  manifest.epoch_end = reader.read_u8() != 0;
+  manifest.shutdown = reader.read_u8() != 0;
+  manifest.suspend = reader.read_u8() != 0;
+  const std::uint32_t count = reader.read_u32();
+  manifest.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TrainManifestEntry entry;
+    entry.owner = static_cast<net::PartyId>(reader.read_u32());
+    entry.seq = reader.read_u64();
+    entry.rows = reader.read_u64();
+    manifest.entries.push_back(entry);
+  }
+  return manifest;
+}
+
+std::uint64_t owner_base_seed(std::uint64_t session_seed, int owner_index) {
+  return mix64(session_seed * 0x100000001b3ull +
+               static_cast<std::uint64_t>(owner_index) + 1);
+}
+
+std::uint64_t submission_seed(std::uint64_t owner_seed, std::uint64_t seq) {
+  return mix64(owner_seed ^ mix64(seq + 0x5eed));
+}
+
+}  // namespace trustddl::train

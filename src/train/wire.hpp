@@ -1,0 +1,146 @@
+// Wire format of the multi-owner secure training service.
+//
+// Training-as-a-service reuses the serving layer's actor layout: K
+// data owners join as client-style actors at ids kFirstOwnerId onward
+// (transport sized core::kNumActors + num_owners; the single-owner
+// slot 3 stays unused), and the model owner — trusted, and already the
+// dealer and Softmax hub — is the single round sequencer, keeping the
+// three computing parties SPMD.  Traffic per submission:
+//
+//   owner -> party       "trn/<seq>/x","trn/<seq>/y"  minibatch shares
+//   owner -> model owner "trn/<seq>/notice"           submission notice
+//   owner -> model owner "trn/hello"                  (re)join handshake
+//   model owner -> owner "trn/hello/ack"              resume cursor
+//   model owner -> party "trn/<round>/man"            round manifest
+//
+// `seq` is a per-owner monotonic submission counter; every message of
+// one submission is matched by (sender, tag) alone.  The hello/ack
+// handshake makes owners restartable: the ack carries the first seq
+// the sequencer has NOT consumed, and owners derive each submission's
+// minibatch and sharing randomness from (owner seed, seq), so a
+// restarted owner regenerates byte-identical submissions for every
+// seq the service still needs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/roles.hpp"
+#include "mpc/robust_aggregate.hpp"
+#include "mpc/sharing.hpp"
+
+namespace trustddl::train {
+
+/// First actor id used for training data owners (after the five core
+/// roles); owner k is actor kFirstOwnerId + k.
+inline constexpr net::PartyId kFirstOwnerId = core::kNumActors;
+
+std::string hello_tag();
+std::string hello_ack_tag();
+std::string notice_tag(std::uint64_t seq);
+std::string input_x_tag(std::uint64_t seq);
+std::string input_y_tag(std::uint64_t seq);
+std::string manifest_tag(std::uint64_t round);
+
+/// Kinds of owner -> sequencer notices.  kStop is the final message on
+/// an owner's notice stream; its seq is one past the last submission.
+enum class SubmitKind : std::uint8_t { kMinibatch = 0, kStop = 1 };
+
+/// Owner -> sequencer notice for submission `seq` (`rows` labelled
+/// minibatch rows were shared to the parties under the same seq).
+struct SubmitNotice {
+  SubmitKind kind = SubmitKind::kMinibatch;
+  std::uint64_t seq = 0;
+  std::uint64_t rows = 0;
+};
+
+Bytes encode_submit_notice(const SubmitNotice& notice);
+SubmitNotice decode_submit_notice(Bytes payload);
+
+/// Sequencer -> owner handshake reply: the owner resumes submitting
+/// at `next_seq` (0 on a fresh session).
+struct HelloAck {
+  std::uint64_t next_seq = 0;
+};
+
+Bytes encode_hello(std::uint32_t protocol_version = 1);
+std::uint32_t decode_hello(Bytes payload);
+Bytes encode_hello_ack(const HelloAck& ack);
+HelloAck decode_hello_ack(Bytes payload);
+
+/// One owner's contribution to a training round.
+struct TrainManifestEntry {
+  net::PartyId owner = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t rows = 0;
+};
+
+/// Sequencer -> party round instruction: which owners' submissions
+/// form this round's per-owner gradients, in owner-id order (identical
+/// at every party — the SPMD anchor of the whole service).
+/// `shutdown` ends training cleanly; `suspend` asks the parties to
+/// checkpoint and exit so a later session resumes at `round`.
+struct RoundManifest {
+  std::uint64_t round = 0;
+  std::uint64_t epoch = 0;
+  bool epoch_end = false;
+  bool shutdown = false;
+  bool suspend = false;
+  std::vector<TrainManifestEntry> entries;
+
+  std::size_t total_rows() const;
+};
+
+Bytes encode_round_manifest(const RoundManifest& manifest);
+RoundManifest decode_round_manifest(Bytes payload);
+
+/// Seed of owner `owner_index`'s submission stream, derived from the
+/// session seed so in-memory and multi-process deployments share data
+/// bit for bit.
+std::uint64_t owner_base_seed(std::uint64_t session_seed, int owner_index);
+
+/// Seed of ONE submission's randomness (minibatch sampling + secret
+/// sharing).  Pure function of (owner seed, seq): a restarted owner
+/// regenerates identical shares for any seq it is asked to resend.
+std::uint64_t submission_seed(std::uint64_t owner_seed, std::uint64_t seq);
+
+/// Knobs of one training session, identical at the sequencer and all
+/// three parties (any divergence desynchronises the SPMD loop).
+struct TrainConfig {
+  mpc::AggregationRule rule = mpc::AggregationRule::kTrimmedMean;
+  /// Owners trimmed per side under kTrimmedMean (clamped per round to
+  /// the manifest's owner count).
+  std::size_t trim = 1;
+  /// A round is cut once at least this many owners have a pending
+  /// submission (and either every live owner does, or the window
+  /// expired).
+  std::size_t quorum = 1;
+  /// How long the sequencer waits for more owners once quorum is met.
+  std::chrono::milliseconds round_window{50};
+  /// How long a party waits for one owner's minibatch share before
+  /// substituting a zero share (the trim window absorbs the garbage
+  /// gradient exactly like a poisoned one).
+  std::chrono::milliseconds input_wait{2000};
+  std::size_t rounds_per_epoch = 4;
+  std::size_t epochs = 1;
+  /// Suspend (checkpoint + exit) after this many rounds; 0 = run to
+  /// completion.  A later session with the same checkpoint_dir
+  /// resumes at the saved round cursor.
+  std::size_t max_rounds = 0;
+  /// Consecutive rounds an owner may miss before it is declared
+  /// dormant and stops counting toward "every live owner".
+  std::size_t dormant_after_misses = 3;
+  double learning_rate = 0.1;
+  /// Momentum coefficient; 0 disables the velocity state entirely.
+  double momentum = 0.0;
+  /// Directory for TDCK checkpoints (parties + sequencer); empty
+  /// disables checkpointing.
+  std::string checkpoint_dir;
+
+  std::size_t total_rounds() const { return epochs * rounds_per_epoch; }
+};
+
+}  // namespace trustddl::train
