@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Perf regression gate over bench_kernels JSON snapshots.
+
+Compares a fresh ``bench_kernels --json`` run (the candidate) against
+the committed ``BENCH_kernels.json`` (the baseline) and fails on
+
+* a median regression of more than ``--tolerance`` (default 10%), or
+* a flaky candidate measurement (CV above ``--max-cv``, default 0.15).
+
+Absolute seconds are not comparable across machines (the committed
+snapshot and a CI runner differ in clocks, steal time and cache
+sizes), so medians are compared in *normalized* form: every variant's
+median is divided by the same run's scalar-naive median for that shape
+and domain before the two runs are compared.  The normalized ratio
+says "how much faster than the untuned baseline is this kernel on this
+machine", which is the property the SIMD/dispatch work claims and the
+one that must not regress.  Micro-kernel rows already carry an in-run
+speedup and are compared directly (only when both runs used the same
+SIMD backend — a scalar-only host cannot regress an AVX2 claim).
+
+Stdlib only; exits non-zero on any violation.
+
+Usage:
+    scripts/check_bench.py BENCH_kernels.json candidate.json \
+        [--tolerance 0.10] [--max-cv 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+FORMAT = "trustddl.bench_kernels.v2"
+REFERENCE_VARIANT = "naive_scalar_1t"
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("format") != FORMAT:
+        raise SystemExit(f"{path}: expected format {FORMAT!r}, "
+                         f"got {data.get('format')!r}")
+    return data
+
+
+def indexed_shapes(data):
+    return {shape["name"]: shape for shape in data.get("shapes", [])}
+
+
+def indexed_micro(data):
+    return {row["name"]: row for row in data.get("micro", [])}
+
+
+def iter_stat_blocks(data):
+    """Yield (label, stats-dict) for every non-null measurement."""
+    for shape in data.get("shapes", []):
+        for domain in ("ring", "double"):
+            for variant, stats in shape.get(domain, {}).items():
+                if stats is not None:
+                    yield f"{shape['name']}/{domain}/{variant}", stats
+    for row in data.get("micro", []):
+        for column in ("scalar", "simd"):
+            stats = row.get(column)
+            if stats is not None:
+                yield f"micro/{row['name']}/{column}", stats
+
+
+def normalized(shape, domain, variant):
+    """Variant median over the same run's scalar-naive median."""
+    block = shape.get(domain, {})
+    stats = block.get(variant)
+    reference = block.get(REFERENCE_VARIANT)
+    if stats is None or reference is None:
+        return None
+    if reference["median_s"] <= 0:
+        return None
+    return stats["median_s"] / reference["median_s"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_kernels.json")
+    parser.add_argument("candidate", help="fresh bench_kernels --json output")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative median regression "
+                             "(default 0.10)")
+    parser.add_argument("--max-cv", type=float, default=0.15,
+                        help="maximum coefficient of variation per "
+                             "candidate measurement (default 0.15)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    failures = []
+    checked = 0
+
+    # Flakiness gate: an unstable measurement cannot prove anything.
+    for label, stats in iter_stat_blocks(candidate):
+        checked += 1
+        if stats["cv"] > args.max_cv:
+            failures.append(f"FLAKY {label}: cv={stats['cv']:.3f} > "
+                            f"{args.max_cv:.2f}")
+
+    # Normalized median regressions on the matmul shapes.
+    base_shapes = indexed_shapes(baseline)
+    for shape in candidate.get("shapes", []):
+        base_shape = base_shapes.get(shape["name"])
+        if base_shape is None:
+            continue
+        for domain in ("ring", "double"):
+            for variant in shape.get(domain, {}):
+                if variant == REFERENCE_VARIANT:
+                    continue
+                cand_ratio = normalized(shape, domain, variant)
+                base_ratio = normalized(base_shape, domain, variant)
+                if cand_ratio is None or base_ratio is None:
+                    continue
+                checked += 1
+                if cand_ratio > base_ratio * (1.0 + args.tolerance):
+                    failures.append(
+                        f"REGRESSION {shape['name']}/{domain}/{variant}: "
+                        f"normalized median {cand_ratio:.3f} vs baseline "
+                        f"{base_ratio:.3f} (> +{args.tolerance:.0%})")
+
+    # Micro-kernel speedups, only when the SIMD backend matches.
+    same_backend = (baseline.get("simd_backend") ==
+                    candidate.get("simd_backend"))
+    if same_backend:
+        base_micro = indexed_micro(baseline)
+        for row in candidate.get("micro", []):
+            base_row = base_micro.get(row["name"])
+            if base_row is None:
+                continue
+            checked += 1
+            cand = row["speedup_simd_vs_scalar"]
+            base = base_row["speedup_simd_vs_scalar"]
+            if cand < base * (1.0 - args.tolerance):
+                failures.append(
+                    f"REGRESSION micro/{row['name']}: speedup {cand:.2f}x "
+                    f"vs baseline {base:.2f}x (> -{args.tolerance:.0%})")
+    else:
+        print(f"note: SIMD backend differs (baseline "
+              f"{baseline.get('simd_backend')!r}, candidate "
+              f"{candidate.get('simd_backend')!r}) — skipping micro "
+              f"speedup comparison")
+
+    for failure in failures:
+        print(failure)
+    verdict = "FAIL" if failures else "PASS"
+    print(f"check_bench: {verdict} ({checked} comparisons, "
+          f"{len(failures)} violation(s), tolerance {args.tolerance:.0%}, "
+          f"max cv {args.max_cv:.2f})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -552,16 +552,62 @@ Bytes serialize_component(const std::vector<PartyShare>& triples,
   return writer.take();
 }
 
-Sha256Digest component_digest(std::uint64_t step, int sender, int component,
-                              const std::vector<PartyShare>& triples) {
-  Sha256 hasher;
+/// The commitment stream for one component: 10-byte header then the
+/// serialized component — digests are over the concatenation, so the
+/// batched hasher sees the same bytes the old incremental updates did.
+Bytes component_message(std::uint64_t step, int sender, int component,
+                        const std::vector<PartyShare>& triples) {
   ByteWriter header;
   header.write_u64(step);
   header.write_u8(static_cast<std::uint8_t>(sender));
   header.write_u8(static_cast<std::uint8_t>(component));
-  hasher.update(header.bytes());
-  hasher.update(serialize_component(triples, component));
-  return hasher.finish();
+  Bytes message = header.take();
+  const Bytes payload = serialize_component(triples, component);
+  message.insert(message.end(), payload.begin(), payload.end());
+  return message;
+}
+
+/// Digests for a set of components of one sender's triples, hashed as
+/// one SIMD batch (4-lane lockstep where available; see
+/// common/sha256.hpp).  Serialization of the streams still fans out on
+/// the kernel pool.
+std::vector<Sha256Digest> component_digests(
+    std::uint64_t step, int sender, const std::vector<int>& components,
+    const kernels::KernelConfig& config,
+    const std::vector<PartyShare>& triples) {
+  std::vector<Bytes> messages(components.size());
+  if (components.size() == 2) {
+    kernels::parallel_invoke(
+        config,
+        {[&] {
+           messages[0] =
+               component_message(step, sender, components[0], triples);
+         },
+         [&] {
+           messages[1] =
+               component_message(step, sender, components[1], triples);
+         }});
+  } else if (components.size() == 3) {
+    kernels::parallel_invoke(
+        config,
+        {[&] {
+           messages[0] =
+               component_message(step, sender, components[0], triples);
+         },
+         [&] {
+           messages[1] =
+               component_message(step, sender, components[1], triples);
+         },
+         [&] {
+           messages[2] =
+               component_message(step, sender, components[2], triples);
+         }});
+  } else {
+    for (std::size_t i = 0; i < components.size(); ++i) {
+      messages[i] = component_message(step, sender, components[i], triples);
+    }
+  }
+  return sha256_batch(messages);
 }
 
 /// Optimistic malicious opening (the paper\'s future-work
@@ -594,14 +640,13 @@ std::vector<RingTensor> open_optimistic(
       commitments;
   {
     obs::ScopedSpan commit_span("open.commit", ctx.party, step);
-    // Three independent SHA-256 streams: hash them side by side (each
-    // digest's bytes are untouched — only the hashers run concurrently).
+    // Three independent SHA-256 streams: serialized side by side on
+    // the pool, then hashed as one lockstep SIMD batch (the digest
+    // bytes are identical either way).
     std::array<Sha256Digest, 3> own_digests;
-    kernels::parallel_invoke(
-        ctx.kernels,
-        {[&] { own_digests[0] = component_digest(step, ctx.party, 0, wire_triples); },
-         [&] { own_digests[1] = component_digest(step, ctx.party, 1, wire_triples); },
-         [&] { own_digests[2] = component_digest(step, ctx.party, 2, wire_triples); }});
+    const std::vector<Sha256Digest> batched = component_digests(
+        step, ctx.party, {0, 1, 2}, ctx.kernels, wire_triples);
+    std::copy(batched.begin(), batched.end(), own_digests.begin());
     const std::string commit_tag = ctx.tag(step, "c");
     for (int peer : peers) {
       if (ctx.adversary != nullptr &&
@@ -705,21 +750,11 @@ std::vector<RingTensor> open_optimistic(
         bool hashes_ok = commitments[peer_index].has_value();
         if (hashes_ok) {
           // The pair carries components 0 and 2; verify both digests
-          // concurrently (each stream is hashed whole, byte-identical).
-          Sha256Digest digest0;
-          Sha256Digest digest2;
-          kernels::parallel_invoke(
-              ctx.kernels,
-              {[&] {
-                 digest0 =
-                     component_digest(step, peer, 0, pairs[peer_index].triples);
-               },
-               [&] {
-                 digest2 =
-                     component_digest(step, peer, 2, pairs[peer_index].triples);
-               }});
-          hashes_ok = (*commitments[peer_index])[0] == digest0 &&
-                      (*commitments[peer_index])[2] == digest2;
+          // as one batch (each stream is hashed whole, byte-identical).
+          const std::vector<Sha256Digest> digests = component_digests(
+              step, peer, {0, 2}, ctx.kernels, pairs[peer_index].triples);
+          hashes_ok = (*commitments[peer_index])[0] == digests[0] &&
+                      (*commitments[peer_index])[2] == digests[1];
         }
         if (!hashes_ok) {
           own_escalate = true;
@@ -868,11 +903,14 @@ std::vector<RingTensor> open_optimistic(
       }
       from[peer_index].present = true;
       bool commit_ok = commitments[peer_index].has_value();
-      for (int component = 0; commit_ok && component < 3; ++component) {
-        commit_ok =
-            (*commitments[peer_index])[static_cast<std::size_t>(component)] ==
-            component_digest(step, peer, component,
-                             from[peer_index].triples);
+      if (commit_ok) {
+        const std::vector<Sha256Digest> digests = component_digests(
+            step, peer, {0, 1, 2}, ctx.kernels, from[peer_index].triples);
+        for (int component = 0; commit_ok && component < 3; ++component) {
+          commit_ok =
+              (*commitments[peer_index])[static_cast<std::size_t>(component)] ==
+              digests[static_cast<std::size_t>(component)];
+        }
       }
       provider_valid[peer_index] = commit_ok;
       ctx.note_peer_ok(peer);

@@ -2,14 +2,22 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "common/error.hpp"
+#include "numeric/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -68,6 +76,73 @@ std::size_t env_size(const char* name, std::size_t fallback) {
     return fallback;
   }
   return static_cast<std::size_t>(value);
+}
+
+std::size_t sysconf_bytes(int name) {
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  const long value = ::sysconf(name);
+  return value > 0 ? static_cast<std::size_t>(value) : 0;
+#else
+  (void)name;
+  return 0;
+#endif
+}
+
+std::size_t l1d_cache_bytes() {
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  static const std::size_t bytes = sysconf_bytes(_SC_LEVEL1_DCACHE_SIZE);
+#else
+  static const std::size_t bytes = 0;
+#endif
+  return bytes;
+}
+
+std::size_t l2_cache_bytes() {
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  static const std::size_t bytes = sysconf_bytes(_SC_LEVEL2_CACHE_SIZE);
+#else
+  static const std::size_t bytes = 0;
+#endif
+  return bytes;
+}
+
+std::size_t pow2_floor(std::size_t value) {
+  std::size_t result = 1;
+  while (result * 2 <= value) {
+    result *= 2;
+  }
+  return result;
+}
+
+/// Inner matmul kernel: c[j] += a * b[j].  Routed through the SIMD
+/// layer for the two instantiated element types; the backend is
+/// bit-identical to this scalar loop (exact ring arithmetic; no-FMA
+/// doubles — see numeric/simd.hpp).
+template <typename T>
+inline void axpy_row(T* c, T a, const T* b, std::size_t n) {
+  if constexpr (std::is_same_v<T, std::uint64_t>) {
+    simd::ring_axpy(c, a, b, n);
+  } else if constexpr (std::is_same_v<T, double>) {
+    simd::real_axpy(c, a, b, n);
+  } else {
+    for (std::size_t j = 0; j < n; ++j) {
+      c[j] += a * b[j];
+    }
+  }
+}
+
+/// Elementwise product row: c[j] = a[j] * b[j].
+template <typename T>
+inline void mul_row(T* c, const T* a, const T* b, std::size_t n) {
+  if constexpr (std::is_same_v<T, std::uint64_t>) {
+    simd::ring_mul(c, a, b, n);
+  } else if constexpr (std::is_same_v<T, double>) {
+    simd::real_mul(c, a, b, n);
+  } else {
+    for (std::size_t j = 0; j < n; ++j) {
+      c[j] = a[j] * b[j];
+    }
+  }
 }
 
 /// A multi-chunk job: workers and the submitting caller claim chunk
@@ -264,12 +339,35 @@ void run_chunked(const KernelConfig& config, std::size_t count,
 
 KernelConfig KernelConfig::from_env() {
   KernelConfig config;
+  // Derive block sizes from the real cache hierarchy when the OS
+  // reports it: the packed B panel (block_k x block_n) should occupy
+  // about 1/16 of L2 (it is re-streamed once per block_m rows and
+  // shares L2 with the A rows and C tile), and the A row slice
+  // (block_k elements per row, block_m rows) should sit in L1d.  On a
+  // 48K/2M part this lands on the tuned 128/128 panel; the compiled
+  // 64/128/128 fallbacks hold where sysconf knows nothing.  Block
+  // sizes never change results (see kernels.hpp).
+  const std::size_t l2 = l2_cache_bytes();
+  if (l2 > 0) {
+    const std::size_t panel =
+        pow2_floor(static_cast<std::size_t>(std::sqrt(
+            static_cast<double>(l2) / (16.0 * sizeof(std::uint64_t)))));
+    config.block_k = std::clamp<std::size_t>(panel, 64, 256);
+    config.block_n = config.block_k;
+  }
+  const std::size_t l1d = l1d_cache_bytes();
+  if (l1d > 0) {
+    config.block_m = std::clamp<std::size_t>(
+        pow2_floor(l1d / (sizeof(std::uint64_t) * config.block_k)), 16, 256);
+  }
   config.threads = static_cast<int>(
       env_size("TRUSTDDL_THREADS", static_cast<std::size_t>(config.threads)));
   config.block_m = env_size("TRUSTDDL_BLOCK_M", config.block_m);
   config.block_k = env_size("TRUSTDDL_BLOCK_K", config.block_k);
   config.block_n = env_size("TRUSTDDL_BLOCK_N", config.block_n);
   config.grain = env_size("TRUSTDDL_GRAIN", config.grain);
+  config.matmul_cutoff_bytes =
+      env_size("TRUSTDDL_MATMUL_CUTOFF", config.matmul_cutoff_bytes);
   return config;
 }
 
@@ -354,20 +452,55 @@ Tensor<T> matmul_naive(const Tensor<T>& lhs, const Tensor<T>& rhs) {
   const T* a = lhs.data();
   const T* b = rhs.data();
   T* c = out.data();
-  // i-k-j loop order for contiguous inner access.
+  // i-k-j loop order for contiguous inner access.  The zero-skip
+  // predates the SIMD layer and stays ahead of the axpy call so both
+  // paths see identical work (im2col output is zero-heavy).
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t p = 0; p < k; ++p) {
       const T a_ip = a[i * k + p];
       if (a_ip == T{}) {
         continue;
       }
-      const T* b_row = b + p * n;
-      T* c_row = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        c_row[j] += a_ip * b_row[j];
-      }
+      axpy_row(c + i * n, a_ip, b + p * n, n);
     }
   }
+  return out;
+}
+
+template <typename T>
+Tensor<T> matmul_naive_parallel(const KernelConfig& config,
+                                const Tensor<T>& lhs, const Tensor<T>& rhs) {
+  TRUSTDDL_REQUIRE(lhs.rank() == 2 && rhs.rank() == 2,
+                   "matmul requires rank-2 tensors");
+  TRUSTDDL_REQUIRE(lhs.cols() == rhs.rows(),
+                   "matmul inner dimensions differ: " +
+                       shape_to_string(lhs.shape()) + " x " +
+                       shape_to_string(rhs.shape()));
+  const std::size_t m = lhs.rows();
+  const std::size_t k = lhs.cols();
+  const std::size_t n = rhs.cols();
+  Tensor<T> out(Shape{m, n});
+  const T* a = lhs.data();
+  const T* b = rhs.data();
+  T* c = out.data();
+  // Chunk across output rows: each C row is written by exactly one
+  // chunk and accumulates p ascending exactly like matmul_naive, so
+  // the result is bit-identical to the serial loop at any thread
+  // count.  grain_rows keeps each chunk above config.grain
+  // multiply-adds.
+  const std::size_t grain_rows =
+      std::max<std::size_t>(1, config.grain / std::max<std::size_t>(k * n, 1));
+  parallel_for(config, m, grain_rows, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t p = 0; p < k; ++p) {
+        const T a_ip = a[i * k + p];
+        if (a_ip == T{}) {
+          continue;
+        }
+        axpy_row(c + i * n, a_ip, b + p * n, n);
+      }
+    }
+  });
   return out;
 }
 
@@ -442,11 +575,7 @@ void matmul_rows(const KernelConfig& config, const T* a,
           const T* a_row = a + i * k;
           T* c_row = c + i * n + j0;
           for (std::size_t p = p0; p < p1; ++p) {
-            const T a_ip = a_row[p];
-            const T* b_row = panel + p * block_n;
-            for (std::size_t j = 0; j < width; ++j) {
-              c_row[j] += a_ip * b_row[j];
-            }
+            axpy_row(c_row, a_row[p], panel + p * block_n, width);
           }
         }
       }
@@ -486,16 +615,129 @@ Tensor<T> matmul_blocked(const KernelConfig& config, const Tensor<T>& lhs,
   return out;
 }
 
+namespace {
+
+/// L2-derived crossover fallback: panel packing starts paying once
+/// the RHS no longer fits in L2.
+std::size_t default_cutoff_bytes() {
+  const std::size_t l2 = l2_cache_bytes();
+  return l2 > 0 ? l2 : (1u << 21);
+}
+
+/// One-shot startup calibration of the naive/blocked crossover.
+/// Times both kernels serially (SIMD active, threads = 1 so the probe
+/// measures per-core kernel quality, which is what the shape-only
+/// dispatch rule has to rank) on square-RHS probes straddling L2 and
+/// places the cutoff at the geometric mean of the last naive-win and
+/// first blocked-win RHS footprints.  Budget-capped: under sanitizers
+/// or heavy load the probes are abandoned and the L2 default rules.
+std::size_t calibrate_cutoff_bytes() {
+  using clock = std::chrono::steady_clock;
+  constexpr double kBudgetSeconds = 0.20;
+  constexpr std::size_t kProbeRows = 32;
+  constexpr std::size_t kProbeDims[] = {192, 384, 768, 1280};
+
+  KernelConfig probe_config;  // compiled block fallbacks, serial
+  probe_config.threads = 1;
+
+  const auto seconds_since = [](clock::time_point start) {
+    return std::chrono::duration<double>(clock::now() - start).count();
+  };
+  const auto fill = [](Tensor<std::uint64_t>& tensor) {
+    std::uint64_t value = 0x9E3779B97F4A7C15ull;
+    for (auto& element : tensor.values()) {
+      element = value;
+      value = value * 6364136223846793005ull + 1442695040888963407ull;
+    }
+  };
+
+  const auto start = clock::now();
+  std::size_t last_naive_win = 0;
+  for (std::size_t dim : kProbeDims) {
+    Tensor<std::uint64_t> a(Shape{kProbeRows, dim});
+    Tensor<std::uint64_t> b(Shape{dim, dim});
+    fill(a);
+    fill(b);
+    double naive_s = 1e30;
+    double blocked_s = 1e30;
+    for (int rep = 0; rep < 2; ++rep) {
+      auto t0 = clock::now();
+      const auto naive = matmul_naive_parallel(probe_config, a, b);
+      naive_s = std::min(naive_s, seconds_since(t0));
+      t0 = clock::now();
+      const auto blocked = matmul_blocked(probe_config, a, b);
+      blocked_s = std::min(blocked_s, seconds_since(t0));
+      // Keep the results alive past the timers.
+      if (naive.data()[0] + blocked.data()[0] == 0x5a5a5a5a5a5a5a5aull) {
+        std::abort();
+      }
+    }
+    const std::size_t rhs_bytes = dim * dim * sizeof(std::uint64_t);
+    if (blocked_s < naive_s * 0.95) {
+      // First shape where blocking clearly wins: put the crossover
+      // between it and the last naive win (or L2/2 when blocking wins
+      // from the first probe).
+      const double lo = static_cast<double>(
+          last_naive_win > 0 ? last_naive_win : default_cutoff_bytes() / 2);
+      return std::clamp(static_cast<std::size_t>(std::sqrt(
+                            lo * static_cast<double>(rhs_bytes))),
+                        default_cutoff_bytes() / 2,
+                        default_cutoff_bytes() * 2);
+    }
+    last_naive_win = rhs_bytes;
+    if (seconds_since(start) > kBudgetSeconds) {
+      // Out of budget (sanitizer build or loaded machine): trust what
+      // we saw so far — naive won everywhere probed, so the crossover
+      // is at least the largest probed footprint (or the L2 default
+      // if that is bigger).
+      break;
+    }
+  }
+  // The short-row probes can overstate naive (a 32-row output never
+  // amortizes panel packing the way a square product does), so the
+  // calibrated crossover may move the L2 default by at most one
+  // octave either way; far-from-L2 verdicts are probe artifacts, not
+  // machine properties.  TRUSTDDL_MATMUL_CUTOFF pins past this clamp.
+  const std::size_t floor_bytes = default_cutoff_bytes() / 2;
+  const std::size_t ceil_bytes = default_cutoff_bytes() * 2;
+  return std::clamp(std::max(last_naive_win, default_cutoff_bytes()),
+                    floor_bytes, ceil_bytes);
+}
+
+std::size_t auto_cutoff_bytes() {
+  static const std::size_t cached = [] {
+    const char* raw = std::getenv("TRUSTDDL_CALIBRATE");
+    if (raw != nullptr && std::strcmp(raw, "0") == 0) {
+      return default_cutoff_bytes();
+    }
+    return calibrate_cutoff_bytes();
+  }();
+  return cached;
+}
+
+}  // namespace
+
+std::size_t effective_matmul_cutoff_bytes(const KernelConfig& config) {
+  if (config.matmul_cutoff_bytes > 0) {
+    return config.matmul_cutoff_bytes;
+  }
+  return auto_cutoff_bytes();
+}
+
 template <typename T>
 Tensor<T> matmul(const KernelConfig& config, const Tensor<T>& lhs,
                  const Tensor<T>& rhs) {
-  // Tiny products: the packing pass and block bookkeeping cost more
-  // than the multiply itself.  The cutoff is shape-only, so the
-  // dispatch is identical at every thread count.
-  constexpr std::size_t kNaiveCutoff = 16 * 1024;
-  if (lhs.rank() == 2 && rhs.rank() == 2 &&
-      lhs.rows() * lhs.cols() * rhs.cols() <= kNaiveCutoff) {
-    return matmul_naive(lhs, rhs);
+  // Shape-only dispatch (identical at every thread count): the
+  // row-parallel naive loop until the RHS footprint outgrows the
+  // auto-tuned crossover, the packed blocked kernel beyond it.  PR 3's
+  // flop-count cutoff sent every skinny Table I product (n = 10) to
+  // the blocked path, which loses 1.4-2.3x there because panel
+  // packing pads 10 real columns to a full uniform-stride panel.
+  if (lhs.rank() == 2 && rhs.rank() == 2) {
+    const std::size_t rhs_bytes = rhs.rows() * rhs.cols() * sizeof(T);
+    if (rhs_bytes <= effective_matmul_cutoff_bytes(config)) {
+      return matmul_naive_parallel(config, lhs, rhs);
+    }
   }
   return matmul_blocked(config, lhs, rhs);
 }
@@ -515,9 +757,7 @@ Tensor<T> hadamard_parallel(const KernelConfig& config, const Tensor<T>& lhs,
   T* c = out.data();
   parallel_for(config, out.size(), config.grain,
                [&](std::size_t lo, std::size_t hi) {
-                 for (std::size_t i = lo; i < hi; ++i) {
-                   c[i] = a[i] * b[i];
-                 }
+                 mul_row(c + lo, a + lo, b + lo, hi - lo);
                });
   return out;
 }
@@ -531,6 +771,12 @@ template Tensor<double> matmul_naive(const Tensor<double>&,
                                      const Tensor<double>&);
 template Tensor<std::uint64_t> matmul_naive(const Tensor<std::uint64_t>&,
                                             const Tensor<std::uint64_t>&);
+template Tensor<double> matmul_naive_parallel(const KernelConfig&,
+                                              const Tensor<double>&,
+                                              const Tensor<double>&);
+template Tensor<std::uint64_t> matmul_naive_parallel(
+    const KernelConfig&, const Tensor<std::uint64_t>&,
+    const Tensor<std::uint64_t>&);
 template Tensor<double> matmul_blocked(const KernelConfig&,
                                        const Tensor<double>&,
                                        const Tensor<double>&);

@@ -26,10 +26,13 @@
 //    floating-point reassociation, which tests bound in ulps.
 //
 // Configuration: a process-global KernelConfig (env-overridable via
-// TRUSTDDL_THREADS / TRUSTDDL_BLOCK_{M,K,N} / TRUSTDDL_GRAIN) feeds the
-// free tensor functions; mpc::PartyContext and core::EngineConfig carry
-// a copy so protocol code and the engine can pin an explicit setting.
+// TRUSTDDL_THREADS / TRUSTDDL_BLOCK_{M,K,N} / TRUSTDDL_GRAIN /
+// TRUSTDDL_MATMUL_CUTOFF / TRUSTDDL_CALIBRATE) feeds the free tensor
+// functions; mpc::PartyContext and core::EngineConfig carry a copy so
+// protocol code and the engine can pin an explicit setting.
 // `threads = 1` reproduces the pre-kernel serial behaviour exactly.
+// Inner loops dispatch through numeric/simd.hpp (TRUSTDDL_SIMD
+// selects the backend); every backend is bit-identical (see simd.hpp).
 #pragma once
 
 #include <cstddef>
@@ -49,7 +52,11 @@ struct KernelConfig {
   /// behaviour), N = at most N-way chunking.
   int threads = 0;
   /// Cache block sizes for the blocked matmul: rows of A/C per block,
-  /// depth of the K panel, and columns of the packed B panel.
+  /// depth of the K panel, and columns of the packed B panel.  The
+  /// compiled fallbacks below are replaced by cache-size-derived
+  /// values in from_env() when the OS reports L1d/L2 sizes (block
+  /// sizes never change double results: accumulation per C element is
+  /// always p-ascending and blocks partition disjoint outputs).
   std::size_t block_m = 64;
   std::size_t block_k = 128;
   std::size_t block_n = 128;
@@ -57,9 +64,17 @@ struct KernelConfig {
   /// runs inline.  Keeps tiny tensors (bias rows, scalars) off the
   /// pool.
   std::size_t grain = 4096;
+  /// Naive/blocked matmul crossover, expressed as RHS footprint
+  /// (k * n * sizeof(T) bytes): blocking pays only once the RHS
+  /// outgrows L2 and panel packing starts earning its cost.  0 = use
+  /// the per-process auto-tuned value (one-shot startup calibration,
+  /// see DESIGN.md §4); >0 pins the crossover explicitly.
+  std::size_t matmul_cutoff_bytes = 0;
 
   /// Defaults overridden by TRUSTDDL_THREADS, TRUSTDDL_BLOCK_M,
-  /// TRUSTDDL_BLOCK_K, TRUSTDDL_BLOCK_N and TRUSTDDL_GRAIN.
+  /// TRUSTDDL_BLOCK_K, TRUSTDDL_BLOCK_N, TRUSTDDL_GRAIN and
+  /// TRUSTDDL_MATMUL_CUTOFF; block sizes start from detected cache
+  /// sizes when available.
   static KernelConfig from_env();
 
   /// The effective thread count (resolves 0 to hardware concurrency).
@@ -73,6 +88,12 @@ KernelConfig global_config();
 /// Replace the process-global configuration.  Thread-safe; kernels
 /// already running keep the snapshot they started with.
 void set_global_config(const KernelConfig& config);
+
+/// The matmul crossover the dispatcher will use for `config`:
+/// config.matmul_cutoff_bytes when pinned, otherwise the per-process
+/// calibrated value (computed once, on first use; TRUSTDDL_CALIBRATE=0
+/// skips the timing probes and uses an L2-derived default).
+std::size_t effective_matmul_cutoff_bytes(const KernelConfig& config);
 
 /// Deterministic chunk count `parallel_for`/`parallel_chunks` will use
 /// for `count` iterations at the given grain — exposed so reductions
@@ -111,9 +132,19 @@ void parallel_invoke(const KernelConfig& config,
 void parallel_invoke(std::initializer_list<std::function<void()>> tasks);
 
 /// The seed's single-threaded triple-loop matmul, kept as the
-/// differential-test oracle and the bench baseline.
+/// differential-test oracle and the bench baseline.  Its inner loop
+/// routes through the SIMD axpy primitive, which is bit-identical to
+/// the scalar loop (exact ring; no-FMA doubles).
 template <typename T>
 Tensor<T> matmul_naive(const Tensor<T>& lhs, const Tensor<T>& rhs);
+
+/// matmul_naive partitioned across output rows on the thread pool;
+/// bit-identical to matmul_naive at any thread count (each C row is
+/// written by exactly one chunk, per-element order unchanged).  This
+/// is the dispatcher's small-RHS path.
+template <typename T>
+Tensor<T> matmul_naive_parallel(const KernelConfig& config,
+                                const Tensor<T>& lhs, const Tensor<T>& rhs);
 
 /// Cache-blocked matmul over a packed (transposed-panel) RHS,
 /// parallelised across row blocks of the output.  See the determinism
@@ -122,9 +153,11 @@ template <typename T>
 Tensor<T> matmul_blocked(const KernelConfig& config, const Tensor<T>& lhs,
                          const Tensor<T>& rhs);
 
-/// Dispatching matmul: naive loop for tiny products (where blocking
-/// and pool overhead dominate), blocked kernel above the cutoff.  The
-/// cutoff depends only on the shape, never the thread count.
+/// Dispatching matmul: row-parallel naive loop while the RHS fits in
+/// cache (where panel packing costs more than it saves — every
+/// Table I shape lands here), blocked kernel above the auto-tuned
+/// crossover (see effective_matmul_cutoff_bytes).  The cutoff depends
+/// only on the shape, never the thread count.
 template <typename T>
 Tensor<T> matmul(const KernelConfig& config, const Tensor<T>& lhs,
                  const Tensor<T>& rhs);

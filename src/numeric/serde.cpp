@@ -23,7 +23,7 @@ RingTensor read_tensor(ByteReader& reader) {
   if (count > reader.remaining() / 8) {
     throw SerializationError("tensor payload exceeds message size");
   }
-  std::vector<std::uint64_t> data(count);
+  AlignedVector<std::uint64_t> data(count);
   reader.read_u64_span(data.data(), count);
   return RingTensor(std::move(shape), std::move(data));
 }
@@ -63,7 +63,7 @@ RealTensor read_real_tensor(ByteReader& reader) {
     dim = reader.read_u64();
   }
   const std::size_t count = shape_size(shape);
-  std::vector<double> data(count);
+  AlignedVector<double> data(count);
   for (auto& value : data) {
     value = reader.read_double();
   }

@@ -1,0 +1,459 @@
+#include "numeric/simd.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TRUSTDDL_SIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#endif
+
+#if defined(__aarch64__)
+#define TRUSTDDL_SIMD_HAVE_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace trustddl::simd {
+namespace {
+
+// --- Scalar reference loops ----------------------------------------
+//
+// These ARE the semantics: every vector path below must produce
+// bit-identical output (tests/test_simd.cpp pits them against each
+// other on wraparound-heavy inputs, tails, and unaligned offsets).
+
+void ring_add_scalar(std::uint64_t* dst, const std::uint64_t* a,
+                     const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = a[i] + b[i];
+  }
+}
+
+void ring_sub_scalar(std::uint64_t* dst, const std::uint64_t* a,
+                     const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = a[i] - b[i];
+  }
+}
+
+void ring_mul_scalar(std::uint64_t* dst, const std::uint64_t* a,
+                     const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = a[i] * b[i];
+  }
+}
+
+void ring_scale_scalar(std::uint64_t* dst, const std::uint64_t* a,
+                       std::uint64_t factor, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = a[i] * factor;
+  }
+}
+
+void ring_axpy_scalar(std::uint64_t* c, std::uint64_t a,
+                      const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    c[i] += a * b[i];
+  }
+}
+
+void ring_truncate_scalar(std::uint64_t* dst, const std::uint64_t* a,
+                          int frac_bits, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::uint64_t>(static_cast<std::int64_t>(a[i]) >>
+                                        frac_bits);
+  }
+}
+
+void real_axpy_scalar(double* c, double a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    c[i] += a * b[i];
+  }
+}
+
+void real_mul_scalar(double* dst, const double* a, const double* b,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = a[i] * b[i];
+  }
+}
+
+#if defined(TRUSTDDL_SIMD_HAVE_AVX2)
+
+// --- AVX2, 4 x u64 / 4 x double ------------------------------------
+//
+// Compiled with per-function target attributes so the rest of the
+// binary stays baseline x86-64; only reachable after the runtime
+// cpuid + xgetbv probe in simd.hpp says AVX2 is usable.
+
+#define TRUSTDDL_AVX2 __attribute__((target("avx2")))
+
+// The add/sub/mul/axpy loops are hand-unrolled two vectors deep: the
+// compiler does not unroll intrinsic loops, and a single 32-byte
+// stream leaves the second load port idle (measured ~1.45x vs ~1.6x
+// over the autovectorized scalar loop on the bench Xeon).  Per-element
+// operation order is unchanged, so unrolling cannot affect results.
+TRUSTDDL_AVX2 void ring_add_avx2(std::uint64_t* dst, const std::uint64_t* a,
+                                 const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i va1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 4));
+    const __m256i vb1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_add_epi64(va0, vb0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 4),
+                        _mm256_add_epi64(va1, vb1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_add_epi64(va, vb));
+  }
+  ring_add_scalar(dst + i, a + i, b + i, n - i);
+}
+
+TRUSTDDL_AVX2 void ring_sub_avx2(std::uint64_t* dst, const std::uint64_t* a,
+                                 const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i va1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 4));
+    const __m256i vb1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_sub_epi64(va0, vb0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 4),
+                        _mm256_sub_epi64(va1, vb1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_sub_epi64(va, vb));
+  }
+  ring_sub_scalar(dst + i, a + i, b + i, n - i);
+}
+
+// AVX2 has no 64x64->64 multiply; build it from 32x32->64 halves:
+//   a*b mod 2^64 = lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32)
+TRUSTDDL_AVX2 inline __m256i mul_epu64(__m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a_hi, b),
+                                         _mm256_mul_epu32(a, b_hi));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+TRUSTDDL_AVX2 void ring_mul_avx2(std::uint64_t* dst, const std::uint64_t* a,
+                                 const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i va1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 4));
+    const __m256i vb1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        mul_epu64(va0, vb0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 4),
+                        mul_epu64(va1, vb1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        mul_epu64(va, vb));
+  }
+  ring_mul_scalar(dst + i, a + i, b + i, n - i);
+}
+
+TRUSTDDL_AVX2 void ring_scale_avx2(std::uint64_t* dst, const std::uint64_t* a,
+                                   std::uint64_t factor, std::size_t n) {
+  const __m256i vf = _mm256_set1_epi64x(static_cast<long long>(factor));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        mul_epu64(va, vf));
+  }
+  ring_scale_scalar(dst + i, a + i, factor, n - i);
+}
+
+TRUSTDDL_AVX2 void ring_axpy_avx2(std::uint64_t* c, std::uint64_t a,
+                                  const std::uint64_t* b, std::size_t n) {
+  const __m256i va = _mm256_set1_epi64x(static_cast<long long>(a));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vb0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i vc0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i));
+    const __m256i vb1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i + 4));
+    const __m256i vc1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + i),
+                        _mm256_add_epi64(vc0, mul_epu64(va, vb0)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + i + 4),
+                        _mm256_add_epi64(vc1, mul_epu64(va, vb1)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + i),
+                        _mm256_add_epi64(vc, mul_epu64(va, vb)));
+  }
+  ring_axpy_scalar(c + i, a, b + i, n - i);
+}
+
+// AVX2 has no 64-bit arithmetic shift; synthesize sign extension from
+// the logical shift: (x >>l s) ^ m) - m with m = 1 << (63 - s).
+TRUSTDDL_AVX2 void ring_truncate_avx2(std::uint64_t* dst,
+                                      const std::uint64_t* a, int frac_bits,
+                                      std::size_t n) {
+  if (frac_bits <= 0) {
+    if (dst != a) {
+      ring_truncate_scalar(dst, a, 0, n);
+    }
+    return;
+  }
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(1ull << (63 - frac_bits)));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i logical = _mm256_srli_epi64(va, frac_bits);
+    const __m256i arithmetic =
+        _mm256_sub_epi64(_mm256_xor_si256(logical, sign), sign);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), arithmetic);
+  }
+  ring_truncate_scalar(dst + i, a + i, frac_bits, n - i);
+}
+
+// Separate mul + add on purpose: an FMA would round once where the
+// scalar loop rounds twice, breaking bit-identity with the scalar
+// reference (x86-64 baseline has no FMA, so scalar cannot contract).
+TRUSTDDL_AVX2 void real_axpy_avx2(double* c, double a, const double* b,
+                                  std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vb = _mm256_loadu_pd(b + i);
+    const __m256d vc = _mm256_loadu_pd(c + i);
+    _mm256_storeu_pd(c + i, _mm256_add_pd(vc, _mm256_mul_pd(va, vb)));
+  }
+  real_axpy_scalar(c + i, a, b + i, n - i);
+}
+
+TRUSTDDL_AVX2 void real_mul_avx2(double* dst, const double* a, const double* b,
+                                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i,
+                     _mm256_mul_pd(_mm256_loadu_pd(a + i),
+                                   _mm256_loadu_pd(b + i)));
+  }
+  real_mul_scalar(dst + i, a + i, b + i, n - i);
+}
+
+#undef TRUSTDDL_AVX2
+#endif  // TRUSTDDL_SIMD_HAVE_AVX2
+
+#if defined(TRUSTDDL_SIMD_HAVE_NEON)
+
+// --- NEON, 2 x u64 / 2 x double ------------------------------------
+
+void ring_add_neon(std::uint64_t* dst, const std::uint64_t* a,
+                   const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vaddq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  ring_add_scalar(dst + i, a + i, b + i, n - i);
+}
+
+void ring_sub_neon(std::uint64_t* dst, const std::uint64_t* a,
+                   const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vsubq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  ring_sub_scalar(dst + i, a + i, b + i, n - i);
+}
+
+void ring_truncate_neon(std::uint64_t* dst, const std::uint64_t* a,
+                        int frac_bits, std::size_t n) {
+  if (frac_bits <= 0) {
+    if (dst != a) {
+      ring_truncate_scalar(dst, a, 0, n);
+    }
+    return;
+  }
+  const int64x2_t shift = vdupq_n_s64(-frac_bits);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const int64x2_t va = vreinterpretq_s64_u64(vld1q_u64(a + i));
+    vst1q_u64(dst + i, vreinterpretq_u64_s64(vshlq_s64(va, shift)));
+  }
+  ring_truncate_scalar(dst + i, a + i, frac_bits, n - i);
+}
+
+// NEON has no 64x64 multiply either; the 32-bit-half decomposition
+// costs about as much as scalar mul on most cores, so mul/scale/axpy
+// stay scalar on aarch64.  real_* also stay scalar: GCC may contract
+// a*b+c into FMA in scalar code on aarch64 (-ffp-contract=fast is the
+// default), so a hand-vectorized no-FMA loop would NOT be
+// bit-identical to the scalar reference there.
+
+#endif  // TRUSTDDL_SIMD_HAVE_NEON
+
+}  // namespace
+
+void ring_add(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, std::size_t n) {
+  switch (active_backend()) {
+#if defined(TRUSTDDL_SIMD_HAVE_AVX2)
+    case Backend::kAvx2:
+      ring_add_avx2(dst, a, b, n);
+      return;
+#endif
+#if defined(TRUSTDDL_SIMD_HAVE_NEON)
+    case Backend::kNeon:
+      ring_add_neon(dst, a, b, n);
+      return;
+#endif
+    default:
+      ring_add_scalar(dst, a, b, n);
+      return;
+  }
+}
+
+void ring_sub(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, std::size_t n) {
+  switch (active_backend()) {
+#if defined(TRUSTDDL_SIMD_HAVE_AVX2)
+    case Backend::kAvx2:
+      ring_sub_avx2(dst, a, b, n);
+      return;
+#endif
+#if defined(TRUSTDDL_SIMD_HAVE_NEON)
+    case Backend::kNeon:
+      ring_sub_neon(dst, a, b, n);
+      return;
+#endif
+    default:
+      ring_sub_scalar(dst, a, b, n);
+      return;
+  }
+}
+
+void ring_mul(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, std::size_t n) {
+  switch (active_backend()) {
+#if defined(TRUSTDDL_SIMD_HAVE_AVX2)
+    case Backend::kAvx2:
+      ring_mul_avx2(dst, a, b, n);
+      return;
+#endif
+    default:
+      ring_mul_scalar(dst, a, b, n);
+      return;
+  }
+}
+
+void ring_scale(std::uint64_t* dst, const std::uint64_t* a,
+                std::uint64_t factor, std::size_t n) {
+  switch (active_backend()) {
+#if defined(TRUSTDDL_SIMD_HAVE_AVX2)
+    case Backend::kAvx2:
+      ring_scale_avx2(dst, a, factor, n);
+      return;
+#endif
+    default:
+      ring_scale_scalar(dst, a, factor, n);
+      return;
+  }
+}
+
+void ring_axpy(std::uint64_t* c, std::uint64_t a, const std::uint64_t* b,
+               std::size_t n) {
+  switch (active_backend()) {
+#if defined(TRUSTDDL_SIMD_HAVE_AVX2)
+    case Backend::kAvx2:
+      ring_axpy_avx2(c, a, b, n);
+      return;
+#endif
+    default:
+      ring_axpy_scalar(c, a, b, n);
+      return;
+  }
+}
+
+void ring_truncate(std::uint64_t* dst, const std::uint64_t* a, int frac_bits,
+                   std::size_t n) {
+  switch (active_backend()) {
+#if defined(TRUSTDDL_SIMD_HAVE_AVX2)
+    case Backend::kAvx2:
+      ring_truncate_avx2(dst, a, frac_bits, n);
+      return;
+#endif
+#if defined(TRUSTDDL_SIMD_HAVE_NEON)
+    case Backend::kNeon:
+      ring_truncate_neon(dst, a, frac_bits, n);
+      return;
+#endif
+    default:
+      ring_truncate_scalar(dst, a, frac_bits, n);
+      return;
+  }
+}
+
+void real_axpy(double* c, double a, const double* b, std::size_t n) {
+  switch (active_backend()) {
+#if defined(TRUSTDDL_SIMD_HAVE_AVX2)
+    case Backend::kAvx2:
+      real_axpy_avx2(c, a, b, n);
+      return;
+#endif
+    default:
+      real_axpy_scalar(c, a, b, n);
+      return;
+  }
+}
+
+void real_mul(double* dst, const double* a, const double* b, std::size_t n) {
+  switch (active_backend()) {
+#if defined(TRUSTDDL_SIMD_HAVE_AVX2)
+    case Backend::kAvx2:
+      real_mul_avx2(dst, a, b, n);
+      return;
+#endif
+    default:
+      real_mul_scalar(dst, a, b, n);
+      return;
+  }
+}
+
+}  // namespace trustddl::simd

@@ -1,0 +1,269 @@
+// Portable explicit-vectorization layer for the ring and digest hot
+// loops (DESIGN.md §4, "SIMD backends & dispatch auto-tuning").
+//
+// Three backends:
+//  * kAvx2   — x86-64, 4 x u64 / 4 x double lanes via AVX2 intrinsics
+//              compiled with per-function target attributes, so the
+//              translation unit itself stays portable (-O2 baseline);
+//              picked only when a runtime cpuid + xgetbv probe shows
+//              the CPU and OS actually support AVX2.
+//  * kNeon   — aarch64, 2 x u64 lanes (NEON is baseline on aarch64).
+//  * kScalar — the reference loops; always available and the oracle
+//              every differential test compares against.
+//
+// Selection: compile-time support ∩ runtime CPU detection, overridable
+// with TRUSTDDL_SIMD=scalar|avx2|neon|auto (an unsupported request
+// falls back to the detected backend with a warning) and, for tests,
+// with force_backend().
+//
+// Determinism contract: every ring primitive is BIT-IDENTICAL to its
+// scalar loop at any lane width — Z_{2^64} arithmetic is exact and the
+// primitives are elementwise or use per-element independent
+// accumulators, so lane order is free.  The real (double) primitives
+// use separate multiply and add (never FMA) and keep the scalar
+// loop's per-element accumulation order, so they too are bit-identical
+// to scalar.  This is what lets the auto-dispatcher switch backends
+// without perturbing trained weights (tests/test_simd.cpp,
+// KernelDeterminismTest).
+//
+// The detection half of this header is inline on purpose: common/
+// sha256.cpp consults active_backend() without linking the numeric
+// library.  The vector primitives below are defined in simd.cpp.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace trustddl::simd {
+
+enum class Backend : int { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+inline const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+    case Backend::kScalar:
+    default:
+      return "scalar";
+  }
+}
+
+/// True when this build contains code for the backend at all.
+inline constexpr bool compiled_with(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      return true;
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+namespace detail {
+
+#if defined(__x86_64__) || defined(__i386__)
+inline bool x86_leaf7_bit(unsigned reg_bit, bool ebx_reg) {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) {
+    return false;
+  }
+  const unsigned reg = ebx_reg ? ebx : ecx;
+  return (reg & (1u << reg_bit)) != 0;
+}
+
+/// AVX2 usable: CPU advertises it AND the OS saves ymm state
+/// (OSXSAVE + xgetbv check — a hypervisor can expose AVX2 in cpuid
+/// while the guest kernel never enables it).
+inline bool x86_avx2_usable() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) {
+    return false;
+  }
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  if (!osxsave || !avx) {
+    return false;
+  }
+  unsigned lo = 0, hi = 0;
+  __asm__ __volatile__("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+  if ((lo & 0x6) != 0x6) {  // xmm + ymm state enabled
+    return false;
+  }
+  return x86_leaf7_bit(5, /*ebx_reg=*/true);
+}
+
+inline bool x86_sha_ni_usable() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) {
+    return false;
+  }
+  const bool sse41 = (ecx & (1u << 19)) != 0;
+  return sse41 && x86_leaf7_bit(29, /*ebx_reg=*/true);
+}
+#endif
+
+inline std::atomic<int>& backend_override() {
+  static std::atomic<int> forced{-1};
+  return forced;
+}
+
+}  // namespace detail
+
+/// Compile-time support AND the running CPU/OS can execute it.
+inline bool cpu_supports(Backend backend) {
+  if (backend == Backend::kScalar) {
+    return true;
+  }
+  if (!compiled_with(backend)) {
+    return false;
+  }
+#if defined(__x86_64__)
+  if (backend == Backend::kAvx2) {
+    static const bool usable = detail::x86_avx2_usable();
+    return usable;
+  }
+#endif
+#if defined(__aarch64__)
+  if (backend == Backend::kNeon) {
+    return true;  // NEON is architecturally baseline on aarch64
+  }
+#endif
+  return false;
+}
+
+/// SHA-NI (x86 SHA extensions) available — consulted by the SHA-256
+/// dispatch; independent of the ring backend but gated by the same
+/// TRUSTDDL_SIMD=scalar kill switch.
+inline bool cpu_has_sha_ni() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool usable = detail::x86_sha_ni_usable();
+  return usable;
+#else
+  return false;
+#endif
+}
+
+/// The best backend this CPU supports, ignoring overrides.
+inline Backend detected_backend() {
+  if (cpu_supports(Backend::kAvx2)) {
+    return Backend::kAvx2;
+  }
+  if (cpu_supports(Backend::kNeon)) {
+    return Backend::kNeon;
+  }
+  return Backend::kScalar;
+}
+
+namespace detail {
+
+inline Backend backend_from_env() {
+  const char* raw = std::getenv("TRUSTDDL_SIMD");
+  if (raw == nullptr || *raw == '\0' || std::strcmp(raw, "auto") == 0) {
+    return detected_backend();
+  }
+  Backend wanted = Backend::kScalar;
+  if (std::strcmp(raw, "avx2") == 0) {
+    wanted = Backend::kAvx2;
+  } else if (std::strcmp(raw, "neon") == 0) {
+    wanted = Backend::kNeon;
+  } else if (std::strcmp(raw, "scalar") != 0) {
+    std::fprintf(stderr,
+                 "trustddl: unknown TRUSTDDL_SIMD=%s (want "
+                 "auto|scalar|avx2|neon), using auto\n",
+                 raw);
+    return detected_backend();
+  }
+  if (!cpu_supports(wanted)) {
+    std::fprintf(stderr,
+                 "trustddl: TRUSTDDL_SIMD=%s unsupported on this CPU, "
+                 "falling back to %s\n",
+                 raw, backend_name(detected_backend()));
+    return detected_backend();
+  }
+  return wanted;
+}
+
+}  // namespace detail
+
+/// The backend every primitive dispatches on: force_backend override,
+/// else TRUSTDDL_SIMD, else runtime detection.  One relaxed atomic
+/// load on the hot path.
+inline Backend active_backend() {
+  const int forced =
+      detail::backend_override().load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    return static_cast<Backend>(forced);
+  }
+  static const Backend from_env = detail::backend_from_env();
+  return from_env;
+}
+
+/// Test hook: pin the backend for the whole process (ignored if the
+/// CPU cannot run it — returns false in that case).  clear with
+/// clear_forced_backend().
+inline bool force_backend(Backend backend) {
+  if (!cpu_supports(backend)) {
+    return false;
+  }
+  detail::backend_override().store(static_cast<int>(backend),
+                                   std::memory_order_relaxed);
+  return true;
+}
+
+inline void clear_forced_backend() {
+  detail::backend_override().store(-1, std::memory_order_relaxed);
+}
+
+// --- Vectorized primitives (defined in simd.cpp) --------------------
+//
+// All pointers may be unaligned; `dst` may alias `a` exactly (the
+// in-place tensor operators rely on that).  Ring ops are exact mod
+// 2^64; tails (n % lanes) run the scalar loop.
+
+/// dst[i] = a[i] + b[i]
+void ring_add(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, std::size_t n);
+/// dst[i] = a[i] - b[i]
+void ring_sub(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, std::size_t n);
+/// dst[i] = a[i] * b[i]  (elementwise / hadamard)
+void ring_mul(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, std::size_t n);
+/// dst[i] = a[i] * factor
+void ring_scale(std::uint64_t* dst, const std::uint64_t* a,
+                std::uint64_t factor, std::size_t n);
+/// c[i] += a * b[i]  — the matmul inner kernel (naive and blocked)
+void ring_axpy(std::uint64_t* c, std::uint64_t a, const std::uint64_t* b,
+               std::size_t n);
+/// dst[i] = (int64_t)a[i] >> frac_bits  (fixed-point truncation;
+/// 0 <= frac_bits < 64)
+void ring_truncate(std::uint64_t* dst, const std::uint64_t* a, int frac_bits,
+                   std::size_t n);
+
+/// c[i] += a * b[i] with separate multiply and add (no FMA) — bitwise
+/// equal to the scalar loop at any lane width.
+void real_axpy(double* c, double a, const double* b, std::size_t n);
+/// dst[i] = a[i] * b[i]
+void real_mul(double* dst, const double* a, const double* b, std::size_t n);
+
+}  // namespace trustddl::simd

@@ -5,6 +5,7 @@
 
 #include "numeric/fixed_point.hpp"
 #include "numeric/kernels.hpp"
+#include "numeric/simd.hpp"
 
 namespace trustddl {
 
@@ -137,11 +138,12 @@ RingTensor truncate(const RingTensor& ring, int frac_bits) {
   RingTensor out(ring.shape());
   const std::uint64_t* src = ring.data();
   std::uint64_t* dst = out.data();
+  // fx::truncate is an arithmetic shift in the signed interpretation;
+  // simd::ring_truncate is its vectorized twin (bit-identical).
   kernels::parallel_for(ring.size(), 4096,
                         [&](std::size_t lo, std::size_t hi) {
-                          for (std::size_t i = lo; i < hi; ++i) {
-                            dst[i] = fx::truncate(src[i], frac_bits);
-                          }
+                          simd::ring_truncate(dst + lo, src + lo, frac_bits,
+                                              hi - lo);
                         });
   return out;
 }

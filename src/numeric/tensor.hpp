@@ -12,9 +12,12 @@
 #include <cstdint>
 #include <numeric>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/error.hpp"
+#include "numeric/aligned.hpp"
+#include "numeric/simd.hpp"
 
 namespace trustddl {
 
@@ -35,12 +38,19 @@ class Tensor {
   explicit Tensor(Shape shape)
       : shape_(std::move(shape)), data_(shape_size(shape_), T{}) {}
 
-  Tensor(Shape shape, std::vector<T> data)
+  Tensor(Shape shape, AlignedVector<T> data)
       : shape_(std::move(shape)), data_(std::move(data)) {
     TRUSTDDL_REQUIRE(data_.size() == shape_size(shape_),
                      "tensor data size does not match shape " +
                          shape_to_string(shape_));
   }
+
+  /// Convenience overloads (initializer lists, plain vectors); copy
+  /// the elements into cache-line-aligned storage.
+  Tensor(Shape shape, std::initializer_list<T> data)
+      : Tensor(std::move(shape), AlignedVector<T>(data.begin(), data.end())) {}
+  Tensor(Shape shape, const std::vector<T>& data)
+      : Tensor(std::move(shape), AlignedVector<T>(data.begin(), data.end())) {}
 
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
 
@@ -79,8 +89,8 @@ class Tensor {
 
   T* data() { return data_.data(); }
   const T* data() const { return data_.data(); }
-  std::vector<T>& values() { return data_; }
-  const std::vector<T>& values() const { return data_; }
+  AlignedVector<T>& values() { return data_; }
+  const AlignedVector<T>& values() const { return data_; }
 
   T& operator[](std::size_t index) {
     TRUSTDDL_ASSERT(index < data_.size());
@@ -111,18 +121,32 @@ class Tensor {
 
   bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
 
+  // The ring (u64) elementwise ops route through the SIMD layer —
+  // bit-identical to these loops at every backend (exact mod 2^64).
+  // Double tensors keep the plain loops: the compiler vectorizes them
+  // and the SIMD layer only guarantees no-FMA for its own kernels.
   Tensor& operator+=(const Tensor& other) {
     check_same_shape(other, "+=");
-    for (std::size_t i = 0; i < data_.size(); ++i) {
-      data_[i] += other.data_[i];
+    if constexpr (std::is_same_v<T, std::uint64_t>) {
+      simd::ring_add(data_.data(), data_.data(), other.data_.data(),
+                     data_.size());
+    } else {
+      for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] += other.data_[i];
+      }
     }
     return *this;
   }
 
   Tensor& operator-=(const Tensor& other) {
     check_same_shape(other, "-=");
-    for (std::size_t i = 0; i < data_.size(); ++i) {
-      data_[i] -= other.data_[i];
+    if constexpr (std::is_same_v<T, std::uint64_t>) {
+      simd::ring_sub(data_.data(), data_.data(), other.data_.data(),
+                     data_.size());
+    } else {
+      for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] -= other.data_[i];
+      }
     }
     return *this;
   }
@@ -147,16 +171,25 @@ class Tensor {
   /// Elementwise product with another tensor.
   Tensor& hadamard_inplace(const Tensor& other) {
     check_same_shape(other, "hadamard");
-    for (std::size_t i = 0; i < data_.size(); ++i) {
-      data_[i] *= other.data_[i];
+    if constexpr (std::is_same_v<T, std::uint64_t>) {
+      simd::ring_mul(data_.data(), data_.data(), other.data_.data(),
+                     data_.size());
+    } else {
+      for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] *= other.data_[i];
+      }
     }
     return *this;
   }
 
   /// Multiply every element by a scalar.
   Tensor& scale_inplace(T factor) {
-    for (auto& element : data_) {
-      element *= factor;
+    if constexpr (std::is_same_v<T, std::uint64_t>) {
+      simd::ring_scale(data_.data(), data_.data(), factor, data_.size());
+    } else {
+      for (auto& element : data_) {
+        element *= factor;
+      }
     }
     return *this;
   }
@@ -175,7 +208,7 @@ class Tensor {
   }
 
   Shape shape_;
-  std::vector<T> data_;
+  AlignedVector<T> data_;
 };
 
 using RealTensor = Tensor<double>;

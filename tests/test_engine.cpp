@@ -4,6 +4,7 @@
 
 #include "net/tcp_transport.hpp"
 #include "nn/loss.hpp"
+#include "numeric/simd.hpp"
 
 namespace trustddl::core {
 namespace {
@@ -184,12 +185,14 @@ TEST(EngineTest, MaskedOpenTruncationAlsoTrains) {
   EXPECT_GT(result.epoch_test_accuracy[0], initial_accuracy);
 }
 
-TEST(KernelDeterminismTest, TrainedWeightsBitIdenticalAcrossThreadCounts) {
+TEST(KernelDeterminismTest, TrainedWeightsBitIdenticalAcrossBackendsAndThreads) {
   // The kernel determinism contract, end to end: the whole secure
   // training loop (sharing, SecMatMul-BT, truncation, robust openings,
-  // weight write-back) must produce BIT-IDENTICAL weights with serial
-  // kernels and with a 4-thread pool — the protocol's ring arithmetic
-  // is exact and the double paths use thread-count-independent
+  // weight write-back) must produce BIT-IDENTICAL weights across
+  // {scalar, SIMD} backends × {1, 4}-thread pools — the protocol's
+  // ring arithmetic is exact mod 2^64, the double SIMD kernels keep
+  // the scalar per-element operation order (no FMA contraction), and
+  // the blocked/parallel matmuls use thread-count-independent
   // accumulation orders.
   const auto split = small_split(64, 24);
   TrainOptions options;
@@ -197,7 +200,8 @@ TEST(KernelDeterminismTest, TrainedWeightsBitIdenticalAcrossThreadCounts) {
   options.batch_size = 8;
   options.learning_rate = 0.3;
 
-  auto train_with_threads = [&](int threads) {
+  auto train_with = [&](simd::Backend backend, int threads) {
+    EXPECT_TRUE(simd::force_backend(backend));
     EngineConfig config = fast_config();
     // A short collect timeout can expire a reveal group and
     // reconstruct the weights from 2-of-3 shares under heavy machine
@@ -208,6 +212,7 @@ TEST(KernelDeterminismTest, TrainedWeightsBitIdenticalAcrossThreadCounts) {
     config.kernels.threads = threads;
     TrustDdlEngine engine(nn::mnist_mlp_spec(), config);
     (void)engine.train(split.train, split.test, options);
+    simd::clear_forced_backend();
     std::vector<RealTensor> weights;
     for (nn::Parameter* parameter : engine.reference_model().parameters()) {
       weights.push_back(parameter->value);
@@ -215,14 +220,29 @@ TEST(KernelDeterminismTest, TrainedWeightsBitIdenticalAcrossThreadCounts) {
     return weights;
   };
 
-  const std::vector<RealTensor> serial = train_with_threads(1);
-  const std::vector<RealTensor> threaded = train_with_threads(4);
-  ASSERT_EQ(serial.size(), threaded.size());
-  ASSERT_FALSE(serial.empty());
-  for (std::size_t p = 0; p < serial.size(); ++p) {
-    // Tensor operator== compares every element exactly (doubles
-    // included) — no tolerance.
-    EXPECT_EQ(serial[p], threaded[p]) << "parameter " << p;
+  const std::vector<RealTensor> reference =
+      train_with(simd::Backend::kScalar, 1);
+  ASSERT_FALSE(reference.empty());
+
+  std::vector<simd::Backend> backends{simd::Backend::kScalar};
+  if (simd::detected_backend() != simd::Backend::kScalar) {
+    backends.push_back(simd::detected_backend());
+  }
+  for (simd::Backend backend : backends) {
+    for (int threads : {1, 4}) {
+      if (backend == simd::Backend::kScalar && threads == 1) {
+        continue;  // that is the reference run
+      }
+      const std::vector<RealTensor> weights = train_with(backend, threads);
+      ASSERT_EQ(weights.size(), reference.size());
+      for (std::size_t p = 0; p < weights.size(); ++p) {
+        // Tensor operator== compares every element exactly (doubles
+        // included) — no tolerance.
+        EXPECT_EQ(weights[p], reference[p])
+            << "backend=" << simd::backend_name(backend)
+            << " threads=" << threads << " parameter " << p;
+      }
+    }
   }
 }
 

@@ -177,10 +177,10 @@ TEST(ReluLayerTest, ForwardAndBackward) {
   ReluLayer layer;
   const RealTensor input(Shape{1, 4}, {-1.0, 0.0, 2.0, -0.5});
   const RealTensor output = layer.forward(input);
-  EXPECT_EQ(output.values(), (std::vector<double>{0, 0, 2, 0}));
+  EXPECT_EQ(output.values(), (AlignedVector<double>{0, 0, 2, 0}));
   const RealTensor upstream(Shape{1, 4}, {1, 1, 1, 1});
   EXPECT_EQ(layer.backward(upstream).values(),
-            (std::vector<double>{0, 0, 1, 0}));
+            (AlignedVector<double>{0, 0, 1, 0}));
 }
 
 TEST(SoftmaxTest, RowsSumToOne) {

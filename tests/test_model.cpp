@@ -45,7 +45,7 @@ TEST(LossTest, MseAndGradient) {
 
 TEST(LossTest, OneHotEncoding) {
   const RealTensor encoded = one_hot({2, 0}, 3);
-  EXPECT_EQ(encoded.values(), (std::vector<double>{0, 0, 1, 1, 0, 0}));
+  EXPECT_EQ(encoded.values(), (AlignedVector<double>{0, 0, 1, 1, 0, 0}));
   EXPECT_THROW(one_hot({5}, 3), InvalidArgument);
 }
 

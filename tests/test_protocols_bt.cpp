@@ -148,7 +148,7 @@ TEST(SecCompBtTest, SignAgainstZeroAndPositiveMask) {
                                    source.mul_triple(shape));
     masks[index] = positive_mask(signs);
   });
-  const std::vector<std::uint64_t> expected{0, 0, 0, 1, 1, 1};
+  const AlignedVector<std::uint64_t> expected{0, 0, 0, 1, 1, 1};
   for (const auto& mask : masks) {
     EXPECT_EQ(mask.values(), expected);
   }

@@ -36,9 +36,9 @@ TEST(TensorTest, FullAndAt) {
 TEST(TensorTest, AddSubtract) {
   RealTensor a(Shape{2}, {1.0, 2.0});
   RealTensor b(Shape{2}, {10.0, 20.0});
-  EXPECT_EQ((a + b).values(), (std::vector<double>{11.0, 22.0}));
-  EXPECT_EQ((b - a).values(), (std::vector<double>{9.0, 18.0}));
-  EXPECT_EQ((-a).values(), (std::vector<double>{-1.0, -2.0}));
+  EXPECT_EQ((a + b).values(), (AlignedVector<double>{11.0, 22.0}));
+  EXPECT_EQ((b - a).values(), (AlignedVector<double>{9.0, 18.0}));
+  EXPECT_EQ((-a).values(), (AlignedVector<double>{-1.0, -2.0}));
 }
 
 TEST(TensorTest, ShapeMismatchThrows) {
@@ -60,7 +60,7 @@ TEST(TensorTest, MatmulKnownValues) {
   RealTensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
   const RealTensor c = matmul(a, b);
   EXPECT_EQ(c.shape(), (Shape{2, 2}));
-  EXPECT_EQ(c.values(), (std::vector<double>{58, 64, 139, 154}));
+  EXPECT_EQ(c.values(), (AlignedVector<double>{58, 64, 139, 154}));
 }
 
 TEST(TensorTest, MatmulAgainstNaiveReference) {
@@ -100,20 +100,20 @@ TEST(TensorTest, Transpose) {
   RealTensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
   const RealTensor t = transpose(a);
   EXPECT_EQ(t.shape(), (Shape{3, 2}));
-  EXPECT_EQ(t.values(), (std::vector<double>{1, 4, 2, 5, 3, 6}));
+  EXPECT_EQ(t.values(), (AlignedVector<double>{1, 4, 2, 5, 3, 6}));
 }
 
 TEST(TensorTest, HadamardAndScale) {
   RealTensor a(Shape{3}, {1, 2, 3});
   RealTensor b(Shape{3}, {4, 5, 6});
-  EXPECT_EQ(hadamard(a, b).values(), (std::vector<double>{4, 10, 18}));
-  EXPECT_EQ(scale(a, 2.0).values(), (std::vector<double>{2, 4, 6}));
+  EXPECT_EQ(hadamard(a, b).values(), (AlignedVector<double>{4, 10, 18}));
+  EXPECT_EQ(scale(a, 2.0).values(), (AlignedVector<double>{2, 4, 6}));
 }
 
 TEST(TensorTest, SumAndSumRows) {
   RealTensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
   EXPECT_EQ(sum(a), 21.0);
-  EXPECT_EQ(sum_rows(a).values(), (std::vector<double>{5, 7, 9}));
+  EXPECT_EQ(sum_rows(a).values(), (AlignedVector<double>{5, 7, 9}));
 }
 
 TEST(TensorTest, Argmax) {
