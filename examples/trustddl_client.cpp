@@ -40,6 +40,13 @@
 //                        engine (same seeds) and compare predicted
 //                        labels; exits 2 on mismatch
 //   --connect-timeout-ms N     mesh rendezvous budget [10000]
+//   --trace-out FILE     write a JSONL span trace of every request
+//                        (serve.submit/serve.result instants plus one
+//                        serve.request span per request, all carrying
+//                        the req:<client>:<seq> correlation id).
+//                        scripts/merge_traces.py joins this file with
+//                        the parties' --trace-out files into
+//                        per-request causal timelines.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -55,6 +62,7 @@
 #include "data/synthetic_mnist.hpp"
 #include "net/tcp_transport.hpp"
 #include "nn/model_zoo.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 
 using namespace trustddl;
@@ -79,6 +87,7 @@ struct Options {
   int response_timeout_ms = 10000;
   bool check = false;
   int connect_timeout_ms = 10000;
+  std::string trace_out;
 };
 
 [[noreturn]] void usage_error(const std::string& reason) {
@@ -132,6 +141,8 @@ Options parse_options(int argc, char** argv) {
       opt.check = true;
     } else if (arg == "--connect-timeout-ms") {
       opt.connect_timeout_ms = std::atoi(value(i).c_str());
+    } else if (arg == "--trace-out") {
+      opt.trace_out = value(i);
     } else {
       usage_error("unknown flag " + arg);
     }
@@ -227,6 +238,10 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> addresses = mesh_addresses(opt, num_actors);
 
+  if (!opt.trace_out.empty()) {
+    obs::Tracer::global().open(opt.trace_out);
+  }
+
   net::NetworkConfig net_config;
   net_config.num_parties = num_actors;
   net_config.connect.connect_timeout =
@@ -288,6 +303,9 @@ int main(int argc, char** argv) {
       submitter.join();
     }
     client.stop();
+    if (!opt.trace_out.empty()) {
+      obs::Tracer::global().close();
+    }
 
     std::size_t ok = 0;
     std::size_t anomalies = 0;

@@ -53,9 +53,15 @@
 //                        quorum operation without it.
 //   --hello-timeout-ms N wait for the sequencer's hello ack [30000]
 //   --connect-timeout-ms N     mesh rendezvous budget [10000]
+//   --trace-out FILE     write a JSONL span trace of this owner's
+//                        submissions (for scripts/merge_traces.py)
+//   --admin-port N       serve the introspection plane (/healthz,
+//                        /metrics, /events, /status) on 127.0.0.1:N;
+//                        0 picks an ephemeral port [off]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -65,6 +71,9 @@
 #include "net/tcp_transport.hpp"
 #include "nn/model_zoo.hpp"
 #include "numeric/fixed_point.hpp"
+#include "obs/admin_server.hpp"
+#include "obs/health.hpp"
+#include "obs/trace.hpp"
 #include "train/harness.hpp"
 #include "train/owner_client.hpp"
 #include "train/wire.hpp"
@@ -90,6 +99,8 @@ struct Options {
   std::size_t exit_after_submissions = 0;
   int hello_timeout_ms = 30000;
   int connect_timeout_ms = 10000;
+  std::string trace_out;
+  int admin_port = -1;
 };
 
 [[noreturn]] void usage_error(const std::string& reason) {
@@ -142,6 +153,10 @@ Options parse_options(int argc, char** argv) {
       opt.hello_timeout_ms = std::atoi(value(i).c_str());
     } else if (arg == "--connect-timeout-ms") {
       opt.connect_timeout_ms = std::atoi(value(i).c_str());
+    } else if (arg == "--trace-out") {
+      opt.trace_out = value(i);
+    } else if (arg == "--admin-port") {
+      opt.admin_port = std::atoi(value(i).c_str());
     } else {
       usage_error("unknown flag " + arg);
     }
@@ -238,6 +253,24 @@ int main(int argc, char** argv) {
   net_config.connect.connect_timeout =
       std::chrono::milliseconds(opt.connect_timeout_ms);
 
+  if (!opt.trace_out.empty()) {
+    obs::Tracer::global().open(opt.trace_out);
+  }
+
+  // The owner's introspection plane uses the default registry-only
+  // /metrics provider: an owner has no engine transports or detection
+  // logs, so the live registry snapshot is the whole story.
+  std::unique_ptr<obs::AdminServer> admin;
+  if (opt.admin_port >= 0) {
+    obs::AdminOptions admin_options;
+    admin_options.port = opt.admin_port;
+    admin = std::make_unique<obs::AdminServer>(admin_options);
+    admin->start();
+    obs::HealthState::global().set_identity(
+        "data-owner-" + std::to_string(owner_id), "train-owner");
+    std::printf("admin endpoint on 127.0.0.1:%d\n", admin->port());
+  }
+
   try {
     std::string listen = addresses[static_cast<std::size_t>(owner_id)];
     if (!opt.listen_host.empty()) {
@@ -274,6 +307,7 @@ int main(int argc, char** argv) {
     std::size_t rows = 0;
     for (std::uint64_t seq = first; seq < opt.submissions; ++seq) {
       rows += owner.submit(seq, shard);
+      obs::HealthState::global().note_progress("train.last_submission", seq);
       ++made;
       if (opt.exit_after_submissions != 0 &&
           made >= opt.exit_after_submissions) {
@@ -290,6 +324,13 @@ int main(int argc, char** argv) {
                 "seq %llu\n",
                 owner_id, made, rows,
                 static_cast<unsigned long long>(opt.submissions));
+
+    if (!opt.trace_out.empty()) {
+      obs::Tracer::global().close();
+    }
+    if (admin) {
+      admin->stop();
+    }
 
     // Let the stop notice drain before closing the sockets.
     std::this_thread::sleep_for(std::chrono::milliseconds(250));

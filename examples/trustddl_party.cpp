@@ -71,6 +71,11 @@
 //                        detection events, traffic matrix, cost) after
 //                        the run; enables metrics collection
 //   --trace-out PATH     write a protocol-phase trace (JSONL spans)
+//   --admin-port N       live introspection endpoint on 127.0.0.1:N
+//                        (0 picks an ephemeral port, printed at
+//                        startup): GET /healthz, /metrics[?format=
+//                        prometheus|pair], /events?n=K, /status — see
+//                        DESIGN.md §12 and scripts/fleet_status.py
 //   --triple-prefetch    offline/online split: prefetch preprocessing
 //                        material into shape-keyed triple stores ahead
 //                        of the online phase (DESIGN.md §10)
@@ -103,6 +108,7 @@
 #include <cstdlib>
 #include <iterator>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -115,7 +121,9 @@
 #include "data/synthetic_mnist.hpp"
 #include "net/tcp_transport.hpp"
 #include "nn/loss.hpp"
+#include "obs/admin_server.hpp"
 #include "obs/events.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/server.hpp"
@@ -166,6 +174,7 @@ struct Options {
   int connect_timeout_ms = 10000;
   std::string metrics_out;
   std::string trace_out;
+  int admin_port = -1;  // -1 = no admin endpoint; 0 = ephemeral
   bool triple_prefetch = false;
   double triple_low_water = 0.5;
   std::string triple_store_dir;
@@ -342,6 +351,8 @@ Options parse_options(int argc, char** argv) {
       opt.metrics_out = value(i);
     } else if (arg == "--trace-out") {
       opt.trace_out = value(i);
+    } else if (arg == "--admin-port") {
+      opt.admin_port = std::atoi(value(i).c_str());
     } else if (arg == "--triple-prefetch") {
       opt.triple_prefetch = true;
     } else if (arg == "--triple-low-water") {
@@ -439,6 +450,50 @@ const char* role_name(int id) {
     default:
       return "computing-party";
   }
+}
+
+/// "computing-party-0,model-owner-4" — the /healthz role string for a
+/// process hosting several actors.
+std::string hosted_roles(const std::vector<int>& party_ids) {
+  std::string roles;
+  for (const int id : party_ids) {
+    if (!roles.empty()) {
+      roles += ",";
+    }
+    roles += std::string(role_name(id)) + "-" + std::to_string(id);
+  }
+  return roles;
+}
+
+/// Starts the live introspection endpoint when --admin-port was given.
+/// The /metrics provider renders the same document write_process_export
+/// emits at exit, over the live transports and a caller-held detection
+/// log vector; `logs_mu` serializes the provider against the actor
+/// bodies' end-of-run log assignments.
+std::unique_ptr<obs::AdminServer> start_admin(
+    const Options& opt,
+    const std::vector<std::unique_ptr<net::TcpTransport>>& transports,
+    const std::vector<mpc::DetectionLog>& party_logs, std::mutex& logs_mu,
+    const Stopwatch& watch, int num_actors, int byzantine_party) {
+  if (opt.admin_port < 0) {
+    return nullptr;
+  }
+  obs::AdminOptions admin_options;
+  admin_options.port = opt.admin_port;
+  auto server = std::make_unique<obs::AdminServer>(admin_options);
+  server->set_metrics_provider(
+      [&transports, &party_logs, &logs_mu, &watch, num_actors,
+       byzantine_party](const obs::MetricsSnapshot& snapshot) {
+        const std::lock_guard<std::mutex> lock(logs_mu);
+        return core::build_process_export_json(
+            snapshot, transports, party_logs, watch.elapsed_seconds(),
+            num_actors, byzantine_party);
+      });
+  server->start();
+  obs::HealthState::global().set_identity(hosted_roles(opt.party_ids),
+                                          opt.task);
+  std::printf("admin endpoint on 127.0.0.1:%d\n", server->port());
+  return server;
 }
 
 nn::ModelSpec spec_for(const std::string& name) {
@@ -539,7 +594,11 @@ int run_serve(const Options& opt, const core::EngineConfig& config,
                 opt.clients, opt.clients == 1 ? "" : "s");
 
     std::vector<mpc::DetectionLog> party_logs(transports.size());
+    std::mutex logs_mu;  // admin /metrics provider vs body assignments
     Stopwatch watch;
+    const std::unique_ptr<obs::AdminServer> admin =
+        start_admin(opt, transports, party_logs, logs_mu, watch, num_actors,
+                    config.byzantine_party);
     std::vector<std::thread> bodies;
     std::vector<std::exception_ptr> errors(transports.size());
     for (std::size_t i = 0; i < transports.size(); ++i) {
@@ -567,9 +626,13 @@ int run_serve(const Options& opt, const core::EngineConfig& config,
             server_options.serve = serve_config;
             server_options.corrupt_results = opt.serve_corrupt_results;
             std::size_t batches = 0;
-            party_logs[i] = serve::serve_computing_party_body(
+            mpc::DetectionLog log = serve::serve_computing_party_body(
                 spec, config, param_count, id, endpoint, server_options,
                 &batches);
+            {
+              const std::lock_guard<std::mutex> lock(logs_mu);
+              party_logs[i] = std::move(log);
+            }
             std::printf("[party %d] serve done: %zu batch%s executed\n", id,
                         batches, batches == 1 ? "" : "es");
           }
@@ -593,6 +656,9 @@ int run_serve(const Options& opt, const core::EngineConfig& config,
                                config.byzantine_party);
     if (!opt.trace_out.empty()) {
       obs::Tracer::global().close();
+    }
+    if (admin) {
+      admin->stop();
     }
 
     // Let in-flight frames from peers drain before tearing the
@@ -719,9 +785,13 @@ int run_train_serve(const Options& opt, const core::EngineConfig& config,
                 opt.owners, opt.owners == 1 ? "" : "s");
 
     std::vector<mpc::DetectionLog> party_logs(transports.size());
+    std::mutex logs_mu;  // admin /metrics provider vs body assignments
     train::SequencerStats stats;
     std::map<std::string, RingTensor> revealed;
     Stopwatch watch;
+    const std::unique_ptr<obs::AdminServer> admin =
+        start_admin(opt, transports, party_logs, logs_mu, watch, num_actors,
+                    config.byzantine_party);
     std::vector<std::thread> bodies;
     std::vector<std::exception_ptr> errors(transports.size());
     for (std::size_t i = 0; i < transports.size(); ++i) {
@@ -747,9 +817,13 @@ int run_train_serve(const Options& opt, const core::EngineConfig& config,
           } else {
             bool clean = true;
             std::uint64_t rounds = 0;
-            party_logs[i] = train::train_service_party_body(
+            mpc::DetectionLog log = train::train_service_party_body(
                 spec, config, param_count, id, endpoint, train_config, &clean,
                 &rounds);
+            {
+              const std::lock_guard<std::mutex> lock(logs_mu);
+              party_logs[i] = std::move(log);
+            }
             std::printf("[party %d] train done: %llu round%s executed%s\n",
                         id, static_cast<unsigned long long>(rounds),
                         rounds == 1 ? "" : "s",
@@ -775,6 +849,9 @@ int run_train_serve(const Options& opt, const core::EngineConfig& config,
                                config.byzantine_party);
     if (!opt.trace_out.empty()) {
       obs::Tracer::global().close();
+    }
+    if (admin) {
+      admin->stop();
     }
 
     int exit_code = 0;
@@ -1017,7 +1094,11 @@ int main(int argc, char** argv) {
     }
 
     std::vector<mpc::DetectionLog> party_logs(transports.size());
+    std::mutex logs_mu;  // admin /metrics provider vs body assignments
     Stopwatch watch;
+    const std::unique_ptr<obs::AdminServer> admin =
+        start_admin(opt, transports, party_logs, logs_mu, watch,
+                    core::kNumActors, config.byzantine_party);
 
     std::vector<std::size_t> labels;
     std::vector<std::thread> bodies;
@@ -1052,7 +1133,10 @@ int main(int argc, char** argv) {
                         "anomalies detected\n",
                         id, static_cast<unsigned long long>(log.opens),
                         log.events.size());
-            party_logs[i] = log;
+            {
+              const std::lock_guard<std::mutex> lock(logs_mu);
+              party_logs[i] = log;
+            }
           }
         } catch (...) {
           errors[i] = std::current_exception();
@@ -1074,6 +1158,9 @@ int main(int argc, char** argv) {
                                config.byzantine_party);
     if (!opt.trace_out.empty()) {
       obs::Tracer::global().close();
+    }
+    if (admin) {
+      admin->stop();
     }
 
     int exit_code = 0;

@@ -33,9 +33,29 @@ docs/metrics.schema.json's contract:
     (admitted == consumed + discarded) and round slots
     (expected == included + dropped) all balance.
 
+Introspection-plane checks (PR 9):
+
+  * admin-ledger consistency (only when the export carries admin.*
+    counters, i.e. the process served its --admin-port endpoint and
+    was scraped): the admin.requests.* counters sum to >= 1 and
+    admin.http.errors is present;
+  * --scrape LIVE_JSON: LIVE_JSON is a mid-run GET /metrics snapshot
+    of the SAME process that wrote METRICS_JSON.  Every live counter,
+    histogram count/sum and gauge peak must be <= its exit-time value
+    (monotonic sources can only grow), and the live document must pass
+    all structural checks itself;
+  * --pair PAIR_JSON: PAIR_JSON is a GET /metrics?format=pair body
+    ({"export": ..., "prometheus": "..."}).  Both views are rendered
+    from one registry snapshot, so every Prometheus sample must match
+    the JSON export exactly: equal counter/gauge/peak values, equal
+    cumulative histogram buckets, _count and _sum;
+  * --healthz HEALTH_JSON: shape-checks a GET /healthz body (status /
+    role / uptime_us / peers with ages).
+
 Usage:
   check_metrics.py METRICS_JSON [--trace TRACE_JSONL]
       [--expect-events N] [--expect-suspect P] [--expect-phase PH]
+      [--scrape LIVE_JSON] [--pair PAIR_JSON] [--healthz HEALTH_JSON]
 
 Exit code 0 when every check passes; 1 with a message on stderr
 otherwise.
@@ -206,6 +226,192 @@ def check_train_section(metrics):
                 % (owners_hist["count"], rounds))
 
 
+def check_admin_section(metrics):
+    """Admin-endpoint ledger, skipped when no admin server ran.
+
+    Each GET increments exactly one admin.requests.<endpoint> counter
+    before the response snapshot is taken, so a scraped process always
+    exports at least one admin request (its own scrape is visible).
+    """
+    counters = metrics["counters"]
+    served = {name: value for name, value in counters.items()
+              if name.startswith("admin.requests.")}
+    if not served:
+        return
+    require(sum(served.values()) >= 1,
+            "admin.requests.* present but sum to 0")
+    for name, value in served.items():
+        endpoint = name[len("admin.requests."):]
+        require(endpoint in ("healthz", "metrics", "events", "status"),
+                "unknown admin endpoint counter %r" % name)
+
+
+def prometheus_name(name):
+    """Mirror obs::prometheus_name: trustddl_ prefix, non-alnum -> _."""
+    return "trustddl_" + "".join(
+        ch if ch.isalnum() else "_" for ch in name)
+
+
+def prometheus_samples(text):
+    """Parse exposition text into {sample_name: [(labels, value)]}."""
+    samples = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        require(name_part and value_part,
+                "prometheus line %d is not 'name value': %r"
+                % (number, line))
+        labels = ""
+        name = name_part
+        if "{" in name_part:
+            name, _, rest = name_part.partition("{")
+            labels = rest.rstrip("}")
+        try:
+            value = float(value_part)
+        except ValueError:
+            fail("prometheus line %d has non-numeric value %r"
+                 % (number, value_part))
+        samples.setdefault(name, []).append((labels, value))
+    return samples
+
+
+def check_pair(path):
+    """A ?format=pair body: prometheus text == JSON export, sample for
+    sample.  Both views come from one snapshot, so any mismatch is a
+    rendering bug, not scrape-time skew."""
+    with open(path) as handle:
+        pair = json.load(handle)
+    for key in ("schema", "export", "prometheus"):
+        require(key in pair, "pair document missing '%s'" % key)
+    require(pair["schema"] == "trustddl.admin.pair.v1",
+            "unknown pair schema %r" % pair["schema"])
+    metrics = pair["export"]["metrics"]
+    check_metrics_section(metrics)
+    samples = prometheus_samples(pair["prometheus"])
+
+    checked = 0
+    for name, value in metrics["counters"].items():
+        prom = prometheus_name(name)
+        require(prom in samples, "counter %r missing from prometheus" % name)
+        require(samples[prom] == [("", float(value))],
+                "counter %r: prometheus %r != export %d"
+                % (name, samples[prom], value))
+        checked += 1
+    for name, gauge in metrics["gauges"].items():
+        prom = prometheus_name(name)
+        require(samples.get(prom) == [("", float(gauge["value"]))],
+                "gauge %r: prometheus %r != export %d"
+                % (name, samples.get(prom), gauge["value"]))
+        require(samples.get(prom + "_peak") == [("", float(gauge["peak"]))],
+                "gauge %r peak mismatch" % name)
+        checked += 2
+    for name, hist in metrics["histograms"].items():
+        prom = prometheus_name(name)
+        require(samples.get(prom + "_count") == [("", float(hist["count"]))],
+                "histogram %r count mismatch" % name)
+        require(samples.get(prom + "_sum") == [("", float(hist["sum"]))],
+                "histogram %r sum mismatch" % name)
+        buckets = samples.get(prom + "_bucket")
+        require(buckets is not None and len(buckets) == 16,
+                "histogram %r has %r prometheus buckets"
+                % (name, None if buckets is None else len(buckets)))
+        cumulative = 0
+        for index, (labels, value) in enumerate(buckets):
+            cumulative += hist["buckets"][index]
+            expected_le = ("+Inf" if index == 15 else str(4 ** index))
+            require(labels == 'le="%s"' % expected_le,
+                    "histogram %r bucket %d labels %r"
+                    % (name, index, labels))
+            require(value == float(cumulative),
+                    "histogram %r bucket le=%s: prometheus %g != "
+                    "cumulative %d" % (name, expected_le, value, cumulative))
+        checked += 18
+    # Completeness the other way: no prometheus sample without a source.
+    known = set()
+    for name in metrics["counters"]:
+        known.add(prometheus_name(name))
+    for name in metrics["gauges"]:
+        known.add(prometheus_name(name))
+        known.add(prometheus_name(name) + "_peak")
+    for name in metrics["histograms"]:
+        prom = prometheus_name(name)
+        known.update((prom + "_bucket", prom + "_count", prom + "_sum"))
+    for prom in samples:
+        require(prom in known,
+                "prometheus sample %r has no source in the export" % prom)
+    return checked
+
+
+def check_scrape(live_path, exit_export):
+    """A mid-run /metrics scrape vs the exit-time export: every
+    monotonic source (counters, histogram count/sum/buckets, gauge
+    peaks) may only have grown between the scrape and process exit."""
+    with open(live_path) as handle:
+        live = json.load(handle)
+    require(live.get("schema") == "trustddl.metrics.v1",
+            "live scrape schema %r" % live.get("schema"))
+    check_metrics_section(live["metrics"])
+    exit_metrics = exit_export["metrics"]
+
+    checked = 0
+    for name, value in live["metrics"]["counters"].items():
+        final = exit_metrics["counters"].get(name)
+        require(final is not None,
+                "live counter %r absent from the exit export" % name)
+        require(value <= final,
+                "live counter %r %d > exit value %d" % (name, value, final))
+        checked += 1
+    for name, gauge in live["metrics"]["gauges"].items():
+        final = exit_metrics["gauges"].get(name)
+        require(final is not None,
+                "live gauge %r absent from the exit export" % name)
+        require(gauge["peak"] <= final["peak"],
+                "live gauge %r peak %d > exit peak %d"
+                % (name, gauge["peak"], final["peak"]))
+        checked += 1
+    for name, hist in live["metrics"]["histograms"].items():
+        final = exit_metrics["histograms"].get(name)
+        require(final is not None,
+                "live histogram %r absent from the exit export" % name)
+        require(hist["count"] <= final["count"],
+                "live histogram %r count %d > exit count %d"
+                % (name, hist["count"], final["count"]))
+        require(hist["sum"] <= final["sum"],
+                "live histogram %r sum %d > exit sum %d"
+                % (name, hist["sum"], final["sum"]))
+        for index in range(16):
+            require(hist["buckets"][index] <= final["buckets"][index],
+                    "live histogram %r bucket %d shrank" % (name, index))
+        checked += 1
+    return checked
+
+
+def check_healthz(path):
+    """Shape-check a GET /healthz body."""
+    with open(path) as handle:
+        health = json.load(handle)
+    for key in ("status", "role", "task", "uptime_us", "stale_after_ms",
+                "peers"):
+        require(key in health, "healthz missing '%s'" % key)
+    require(health["status"] in ("ok", "degraded"),
+            "healthz status %r" % health["status"])
+    require(isinstance(health["uptime_us"], int) and
+            health["uptime_us"] >= 0, "healthz uptime_us is not a count")
+    for index, peer in enumerate(health["peers"]):
+        for key in ("peer", "last_seen_us", "age_us", "stale"):
+            require(key in peer, "healthz peer %d missing '%s'"
+                    % (index, key))
+        require(isinstance(peer["stale"], bool),
+                "healthz peer %d stale is not a bool" % index)
+    stale = sum(1 for peer in health["peers"] if peer["stale"])
+    require((health["status"] == "ok") == (stale == 0),
+            "healthz status %r inconsistent with %d stale peers"
+            % (health["status"], stale))
+    return len(health["peers"])
+
+
 def check_events_section(events, cost, counters, args):
     per_kind = {}
     for index, event in enumerate(events):
@@ -253,7 +459,7 @@ def check_trace(path):
             for key in ("kind", "name", "ts_us"):
                 require(key in record, "%s:%d missing '%s'"
                         % (path, number, key))
-            require(record["kind"] in ("span", "instant", "event"),
+            require(record["kind"] in ("span", "instant", "event", "meta"),
                     "%s:%d unknown kind %r" % (path, number, record["kind"]))
             spans += record["kind"] == "span"
     return spans
@@ -269,6 +475,14 @@ def main():
                         help="require every event to accuse this party")
     parser.add_argument("--expect-phase", default=None,
                         help="require every event in this phase")
+    parser.add_argument("--scrape", default=None,
+                        help="mid-run GET /metrics body of the same "
+                             "process; checked monotone vs the export")
+    parser.add_argument("--pair", default=None,
+                        help="GET /metrics?format=pair body; prometheus "
+                             "text checked sample-for-sample vs its export")
+    parser.add_argument("--healthz", default=None,
+                        help="GET /healthz body to shape-check")
     args = parser.parse_args()
 
     with open(args.metrics) as handle:
@@ -291,6 +505,7 @@ def main():
     check_serve_section(export["metrics"])
     check_triple_section(export["metrics"])
     check_train_section(export["metrics"])
+    check_admin_section(export["metrics"])
 
     summary = ("check_metrics: OK: %d counters, %d events, "
                "%d bytes / %d messages"
@@ -299,6 +514,13 @@ def main():
                   export["traffic"]["total_messages"]))
     if args.trace:
         summary += ", %d trace spans" % check_trace(args.trace)
+    if args.scrape:
+        summary += (", %d live sources monotone"
+                    % check_scrape(args.scrape, export))
+    if args.pair:
+        summary += ", %d prometheus samples equal" % check_pair(args.pair)
+    if args.healthz:
+        summary += ", %d healthz peers" % check_healthz(args.healthz)
     print(summary)
 
 

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""One-page fleet roll-up from the parties' live admin endpoints.
+
+Every TrustDDL process started with --admin-port serves GET /healthz,
+/metrics, /events and /status on 127.0.0.1 (DESIGN.md section 12).
+This script polls a list of those endpoints and renders the whole
+deployment on one page: per-process liveness, the stalest peer link
+each process sees, progress watermarks, and recent detection events.
+
+Usage:
+  fleet_status.py HOST:PORT...            one-shot roll-up
+  fleet_status.py --ports 28600,28601     shorthand for 127.0.0.1 ports
+  fleet_status.py ... --watch 2           repaint every 2 seconds
+  fleet_status.py ... --json              machine-readable output
+
+Exit status: 0 when every polled endpoint answered /healthz with
+status ok, 1 when any endpoint was unreachable or degraded -- so the
+one-shot form doubles as a fleet health probe in scripts.
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def fetch_json(base, target, timeout):
+    """GET http://<base><target>; returns (status_code, parsed or None)."""
+    url = f"http://{base}{target}"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        try:
+            return error.code, json.loads(error.read())
+        except (json.JSONDecodeError, ValueError):
+            return error.code, None
+    except (OSError, json.JSONDecodeError, ValueError):
+        return 0, None
+
+
+def poll_endpoint(base, timeout):
+    """Scrape one admin endpoint into a summary dict."""
+    summary = {"endpoint": base, "reachable": False, "healthy": False}
+    code, health = fetch_json(base, "/healthz", timeout)
+    if health is None:
+        return summary
+    summary["reachable"] = True
+    summary["healthy"] = code == 200 and health.get("status") == "ok"
+    summary["role"] = health.get("role", "?")
+    summary["task"] = health.get("task", "?")
+    summary["uptime_us"] = int(health.get("uptime_us", 0))
+    peers = health.get("peers", [])
+    summary["peers"] = len(peers)
+    summary["stale_peers"] = sum(1 for p in peers if p.get("stale"))
+    if peers:
+        stalest = max(peers, key=lambda p: int(p.get("age_us", 0)))
+        summary["stalest_peer"] = int(stalest.get("peer", -1))
+        summary["stalest_age_us"] = int(stalest.get("age_us", 0))
+
+    _, status = fetch_json(base, "/status", timeout)
+    if status is not None:
+        summary["watermarks"] = status.get("watermarks", {})
+        summary["requests_served"] = int(status.get("requests_served", 0))
+
+    _, events = fetch_json(base, "/events?n=5", timeout)
+    if isinstance(events, list):
+        summary["recent_events"] = events
+    return summary
+
+
+def fmt_age(us):
+    if us is None:
+        return "-"
+    if us >= 1_000_000:
+        return f"{us / 1e6:.1f}s"
+    return f"{us / 1e3:.0f}ms"
+
+
+def render(summaries):
+    lines = []
+    healthy = sum(1 for s in summaries if s["healthy"])
+    lines.append(f"fleet: {healthy}/{len(summaries)} endpoints healthy "
+                 f"({time.strftime('%H:%M:%S')})")
+    lines.append("")
+    header = (f"{'endpoint':<22} {'health':<9} {'role':<34} "
+              f"{'uptime':>8} {'stalest peer':>14} {'watermarks'}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for summary in summaries:
+        if not summary["reachable"]:
+            lines.append(f"{summary['endpoint']:<22} {'DOWN':<9}")
+            continue
+        health = "ok" if summary["healthy"] else "DEGRADED"
+        stalest = "-"
+        if "stalest_peer" in summary:
+            stalest = (f"p{summary['stalest_peer']} "
+                       f"{fmt_age(summary['stalest_age_us'])}")
+            if summary["stale_peers"]:
+                stalest += f" ({summary['stale_peers']} stale)"
+        watermarks = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(summary.get("watermarks", {}).items()))
+        lines.append(f"{summary['endpoint']:<22} {health:<9} "
+                     f"{summary.get('role', '?'):<34} "
+                     f"{fmt_age(summary.get('uptime_us')):>8} "
+                     f"{stalest:>14} {watermarks}")
+    events = [(s["endpoint"], e)
+              for s in summaries for e in s.get("recent_events", [])]
+    if events:
+        lines.append("")
+        lines.append("recent detection events:")
+        for endpoint, event in events[-10:]:
+            lines.append(f"  [{endpoint}] party {event.get('party')} "
+                         f"suspects {event.get('suspect')} at step "
+                         f"{event.get('step')}: {event.get('kind')} "
+                         f"during {event.get('phase')} -> "
+                         f"{event.get('recovery')}")
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="poll TrustDDL admin endpoints into one status page")
+    parser.add_argument("endpoints", nargs="*", help="HOST:PORT...")
+    parser.add_argument("--ports", default="",
+                        help="comma-separated ports on 127.0.0.1 "
+                             "(shorthand for positional endpoints)")
+    parser.add_argument("--timeout", type=float, default=2.0,
+                        help="per-request timeout seconds [2]")
+    parser.add_argument("--watch", type=float, default=0.0, metavar="SEC",
+                        help="repaint every SEC seconds until ^C")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the raw summaries as JSON")
+    args = parser.parse_args()
+
+    endpoints = list(args.endpoints)
+    endpoints += [f"127.0.0.1:{port.strip()}"
+                  for port in args.ports.split(",") if port.strip()]
+    if not endpoints:
+        parser.error("no endpoints given (positional or --ports)")
+
+    while True:
+        summaries = [poll_endpoint(base, args.timeout)
+                     for base in endpoints]
+        if args.json:
+            print(json.dumps(summaries, indent=2))
+        else:
+            print(render(summaries))
+        if not args.watch:
+            return 0 if all(s["healthy"] for s in summaries) else 1
+        time.sleep(args.watch)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,446 @@
+#!/usr/bin/env python3
+"""Join per-process JSONL traces into cross-party causal timelines.
+
+Every TrustDDL process can write a span trace with --trace-out.  Each
+file is self-describing: the first record is a `meta` record carrying
+`wall_epoch_us` (the wall clock at the process's t=0), and every
+subsequent record's `ts_us` is relative to that origin, so N files from
+N processes align onto one wall timeline without any shared clock.
+
+Records are correlated across processes by the correlation id (`corr`)
+stamped by obs::CorrelationScope:
+
+  serving   req:<client>:<seq>   client-side serve.request span and
+                                 serve.submit / serve.result instants
+            batch:<trace_id>     owner serve.dispatch instant (which
+                                 maps (client, seq) -> trace_id and
+                                 carries per-entry queue_us) and the
+                                 three parties' serve.batch spans
+  training  round:<epoch>:<round>  owner train.dispatch instant (maps
+                                 (owner, seq) -> round, queue_us) and
+                                 the parties' train.round spans
+
+For every completed inference request the merger reconstructs the full
+causal timeline -- client submit -> owner dispatch -> 3 party batch
+executions -> client result -- and attributes the client-observed
+end-to-end latency:
+
+  queue_us    time the request waited in the owner's batch queue
+              (stamped into the manifest by the scheduler)
+  compute_us  slowest party's serve.batch span for the request's batch
+              (the critical-path MPC execution, straggler included)
+  other_us    e2e - queue - compute: share upload/result download,
+              manifest propagation, and client-side overhead
+
+The three components sum to the client-observed e2e by construction
+(other_us is the residual, and is reported, not hidden).
+
+Usage:
+  merge_traces.py TRACE.jsonl... [--out TRACE_REPORT.md]
+                  [--require-complete] [--max-rows N]
+  merge_traces.py --self-check
+
+--require-complete exits 1 unless every completed (status ok) request
+resolves to a complete timeline (owner dispatch entry + all three
+parties' batch spans) AND every party batch span maps back to a known
+dispatch -- the CI gate against silently dropped or orphaned spans.
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+
+COMPUTING_PARTIES = (0, 1, 2)
+
+
+def load_trace(path):
+    """Parse one JSONL trace; returns (meta, records).
+
+    Raises ValueError on a malformed line -- a trace with a torn record
+    means the writer crashed mid-line or two threads interleaved, both
+    of which the tracer is supposed to make impossible.
+    """
+    meta = None
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{lineno}: malformed record: {error}")
+            if record.get("kind") == "meta":
+                meta = record
+            else:
+                records.append(record)
+    if meta is None:
+        raise ValueError(f"{path}: no meta record (not a --trace-out file?)")
+    origin = int(meta.get("wall_epoch_us", 0))
+    for record in records:
+        record["wall_us"] = origin + int(record.get("ts_us", 0))
+        record["source"] = os.path.basename(path)
+    return meta, records
+
+
+def index_serving(records):
+    """Index serving-layer records by their join keys."""
+    requests = {}    # (client, seq) -> serve.request span
+    submits = {}     # (client, seq) -> serve.submit instant
+    results = {}     # (client, seq) -> [serve.result instants]
+    dispatches = {}  # trace_id -> serve.dispatch instant
+    entry_of = {}    # (client, seq) -> (trace_id, entry dict); last wins
+    batches = {}     # trace_id -> {party -> serve.batch span}
+    for record in records:
+        name = record.get("name", "")
+        if name == "serve.request":
+            key = (int(record["party"]), int(record["step"]))
+            requests[key] = record
+        elif name == "serve.submit":
+            submits[(int(record["party"]), int(record["step"]))] = record
+        elif name == "serve.result":
+            key = (int(record["party"]), int(record["step"]))
+            results.setdefault(key, []).append(record)
+        elif name == "serve.dispatch":
+            trace_id = int(record["trace_id"])
+            dispatches[trace_id] = record
+            for entry in record.get("entries", []):
+                key = (int(entry["client"]), int(entry["seq"]))
+                # A retried request reaches a later batch; the retry is
+                # the one whose results the client accepted.
+                entry_of[key] = (trace_id, entry)
+        elif name == "serve.batch":
+            corr = record.get("corr", "")
+            if corr.startswith("batch:"):
+                trace_id = int(corr[len("batch:"):])
+                batches.setdefault(trace_id, {})[int(record["party"])] = record
+    return requests, submits, results, dispatches, entry_of, batches
+
+
+def build_timelines(records):
+    """Resolve every client request into a (timeline, problems) pair."""
+    requests, submits, results, dispatches, entry_of, batches = \
+        index_serving(records)
+    timelines = []
+    problems = []
+    for key in sorted(requests):
+        client, seq = key
+        span = requests[key]
+        status = span.get("status", "?")
+        timeline = {
+            "client": client,
+            "seq": seq,
+            "status": status,
+            "rows": int(span.get("rows", 0)),
+            "attempt": int(span.get("attempt", 1)),
+            "e2e_us": int(span["dur_us"]),
+            "wall_start_us": span["wall_us"],
+            "trace_id": None,
+            "queue_us": None,
+            "compute_us": None,
+            "other_us": None,
+            "party_batch_us": {},
+            "complete": False,
+        }
+        if key in entry_of:
+            trace_id, entry = entry_of[key]
+            timeline["trace_id"] = trace_id
+            timeline["queue_us"] = int(entry.get("queue_us", 0))
+            spans = batches.get(trace_id, {})
+            timeline["party_batch_us"] = {
+                party: int(spans[party]["dur_us"])
+                for party in sorted(spans)
+            }
+            missing = [p for p in COMPUTING_PARTIES if p not in spans]
+            if not missing:
+                timeline["compute_us"] = max(
+                    int(spans[p]["dur_us"]) for p in COMPUTING_PARTIES)
+                timeline["other_us"] = (timeline["e2e_us"] -
+                                        timeline["queue_us"] -
+                                        timeline["compute_us"])
+                timeline["complete"] = True
+            elif status == "ok":
+                problems.append(
+                    f"request req:{client}:{seq}: no serve.batch span from "
+                    f"part{'y' if len(missing) == 1 else 'ies'} "
+                    f"{','.join(map(str, missing))} "
+                    f"(batch {trace_id})")
+        elif status == "ok":
+            problems.append(
+                f"request req:{client}:{seq}: completed ok but matches no "
+                f"serve.dispatch entry (owner trace missing?)")
+        timelines.append(timeline)
+
+    # Orphan check: every party batch span must trace back to an owner
+    # dispatch.  An orphan means a party executed work the sequencer
+    # never announced -- corrupted correlation, not just missing files.
+    for trace_id, spans in sorted(batches.items()):
+        if trace_id not in dispatches:
+            parties = ",".join(str(p) for p in sorted(spans))
+            problems.append(
+                f"batch {trace_id}: serve.batch spans from parties "
+                f"{parties} match no serve.dispatch record")
+    return timelines, problems
+
+
+def index_training(records):
+    """Group training-round records: round -> dispatch + party spans."""
+    rounds = {}
+    submissions = {}  # (owner, seq) -> train.submit instant
+    for record in records:
+        name = record.get("name", "")
+        if name == "train.dispatch":
+            key = (None)
+            corr = record.get("corr", "")
+            slot = rounds.setdefault(corr, {"dispatch": None, "parties": {}})
+            slot["dispatch"] = record
+        elif name == "train.round":
+            corr = record.get("corr", "")
+            if corr.startswith("round:"):
+                slot = rounds.setdefault(
+                    corr, {"dispatch": None, "parties": {}})
+                slot["parties"][int(record["party"])] = record
+        elif name == "train.submit":
+            submissions[(int(record["party"]), int(record["step"]))] = record
+    return rounds, submissions
+
+
+def fmt_us(us):
+    if us is None:
+        return "-"
+    return f"{us / 1000.0:.1f}"
+
+
+def percentile(values, fraction):
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def render_report(timelines, problems, rounds, submissions, max_rows):
+    lines = []
+    lines.append("# Cross-party trace report")
+    lines.append("")
+
+    ok = [t for t in timelines if t["status"] == "ok"]
+    complete = [t for t in ok if t["complete"]]
+    lines.append("## Serving requests")
+    lines.append("")
+    if not timelines:
+        lines.append("No serve.request spans found in the input traces.")
+        lines.append("")
+    else:
+        lines.append(f"- requests traced: {len(timelines)} "
+                     f"({len(ok)} ok, {len(timelines) - len(ok)} failed)")
+        lines.append(f"- complete timelines (owner dispatch + all "
+                     f"{len(COMPUTING_PARTIES)} party batch spans): "
+                     f"{len(complete)}/{len(ok)}")
+        if complete:
+            e2e = [t["e2e_us"] for t in complete]
+            lines.append(f"- e2e latency ms: p50 "
+                         f"{fmt_us(percentile(e2e, 0.50))}, p95 "
+                         f"{fmt_us(percentile(e2e, 0.95))}, max "
+                         f"{fmt_us(max(e2e))}")
+            total_e2e = sum(e2e)
+            total_queue = sum(t["queue_us"] for t in complete)
+            total_compute = sum(t["compute_us"] for t in complete)
+            total_other = sum(t["other_us"] for t in complete)
+            lines.append(
+                f"- critical-path attribution (sums to e2e): queue "
+                f"{100.0 * total_queue / total_e2e:.1f}%, compute "
+                f"{100.0 * total_compute / total_e2e:.1f}%, "
+                f"network+other {100.0 * total_other / total_e2e:.1f}%")
+        lines.append("")
+        lines.append("| request | batch | status | e2e ms | queue ms | "
+                     "compute ms | other ms | per-party batch ms |")
+        lines.append("|---|---|---|---:|---:|---:|---:|---|")
+        for timeline in timelines[:max_rows]:
+            per_party = " ".join(
+                f"p{party}:{fmt_us(duration)}"
+                for party, duration in timeline["party_batch_us"].items())
+            batch = (str(timeline["trace_id"] & 0xFFFFFFFF)
+                     if timeline["trace_id"] is not None else "-")
+            lines.append(
+                f"| req:{timeline['client']}:{timeline['seq']} "
+                f"| {batch} | {timeline['status']} "
+                f"| {fmt_us(timeline['e2e_us'])} "
+                f"| {fmt_us(timeline['queue_us'])} "
+                f"| {fmt_us(timeline['compute_us'])} "
+                f"| {fmt_us(timeline['other_us'])} "
+                f"| {per_party or '-'} |")
+        if len(timelines) > max_rows:
+            lines.append("")
+            lines.append(f"({len(timelines) - max_rows} more requests "
+                         f"omitted; rerun with --max-rows)")
+        lines.append("")
+
+    if rounds:
+        lines.append("## Training rounds")
+        lines.append("")
+        lines.append(f"- rounds traced: {len(rounds)}; owner submissions "
+                     f"traced: {len(submissions)}")
+        lines.append("")
+        lines.append("| round | owners | queue ms (max) | "
+                     "round ms (slowest party) | parties |")
+        lines.append("|---|---:|---:|---:|---|")
+        def round_key(corr):
+            parts = corr.split(":")
+            try:
+                return (int(parts[1]), int(parts[2]))
+            except (IndexError, ValueError):
+                return (1 << 62, 0)
+        for corr in sorted(rounds, key=round_key)[:max_rows]:
+            slot = rounds[corr]
+            dispatch = slot["dispatch"]
+            entries = dispatch.get("entries", []) if dispatch else []
+            queue = max((int(e.get("queue_us", 0)) for e in entries),
+                        default=None)
+            slowest = max((int(r["dur_us"]) for r in
+                           slot["parties"].values()), default=None)
+            parties = ",".join(str(p) for p in sorted(slot["parties"]))
+            lines.append(f"| {corr} | {len(entries)} | {fmt_us(queue)} "
+                         f"| {fmt_us(slowest)} | {parties or '-'} |")
+        lines.append("")
+
+    lines.append("## Completeness")
+    lines.append("")
+    if problems:
+        for problem in problems:
+            lines.append(f"- UNMATCHED: {problem}")
+    else:
+        lines.append("- every completed request resolved to a full "
+                     "owner + party timeline; no orphaned spans")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def self_check():
+    """Merge a synthetic two-process fixture and assert the joins."""
+    fixture_client = [
+        {"kind": "meta", "name": "process", "party": -1, "step": 0,
+         "ts_us": 0, "dur_us": 0, "wall_epoch_us": 1000000, "pid": 1},
+        {"kind": "instant", "name": "serve.submit", "party": 5, "step": 0,
+         "ts_us": 10, "dur_us": 0, "rows": 2, "corr": "req:5:0"},
+        {"kind": "span", "name": "serve.request", "party": 5, "step": 0,
+         "ts_us": 5, "dur_us": 1000, "corr": "req:5:0", "status": "ok",
+         "rows": 2, "attempt": 1},
+    ]
+    fixture_parties = [
+        {"kind": "meta", "name": "process", "party": -1, "step": 0,
+         "ts_us": 0, "dur_us": 0, "wall_epoch_us": 1000050, "pid": 2},
+        {"kind": "instant", "name": "serve.dispatch", "party": 4, "step": 0,
+         "ts_us": 40, "dur_us": 0, "trace_id": 77,
+         "entries": [{"client": 5, "seq": 0, "rows": 2, "queue_us": 100}],
+         "corr": "batch:77"},
+    ] + [
+        {"kind": "span", "name": "serve.batch", "party": party, "step": 0,
+         "ts_us": 60, "dur_us": 700 + 10 * party, "corr": "batch:77"}
+        for party in COMPUTING_PARTIES
+    ] + [
+        {"kind": "instant", "name": "train.dispatch", "party": 4, "step": 0,
+         "ts_us": 90, "dur_us": 0, "epoch": 0,
+         "entries": [{"owner": 5, "seq": 0, "rows": 8, "queue_us": 30}],
+         "corr": "round:0:0"},
+        {"kind": "span", "name": "train.round", "party": 0, "step": 0,
+         "ts_us": 95, "dur_us": 400, "corr": "round:0:0"},
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = []
+        for name, fixture in (("client.jsonl", fixture_client),
+                              ("parties.jsonl", fixture_parties)):
+            path = os.path.join(tmp, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                for record in fixture:
+                    handle.write(json.dumps(record) + "\n")
+            paths.append(path)
+        records = []
+        for path in paths:
+            _, file_records = load_trace(path)
+            records.extend(file_records)
+        timelines, problems = build_timelines(records)
+        rounds, submissions = index_training(records)
+
+        assert len(timelines) == 1, timelines
+        timeline = timelines[0]
+        assert timeline["complete"], timeline
+        assert timeline["queue_us"] == 100, timeline
+        assert timeline["compute_us"] == 720, timeline  # slowest party (2)
+        assert timeline["other_us"] == 1000 - 100 - 720, timeline
+        assert (timeline["queue_us"] + timeline["compute_us"] +
+                timeline["other_us"] == timeline["e2e_us"]), timeline
+        # Clock alignment: the client span start maps through its own
+        # wall origin, not the parties'.
+        assert timeline["wall_start_us"] == 1000000 + 5, timeline
+        assert not problems, problems
+        assert "round:0:0" in rounds, rounds
+
+        report = render_report(timelines, problems, rounds, submissions, 50)
+        assert "req:5:0" in report and "round:0:0" in report
+
+        # Orphan detection: a batch span with no dispatch must surface.
+        orphan = dict(fixture_parties[2])
+        orphan["corr"] = "batch:999"
+        _, orphan_problems = build_timelines(records + [orphan])
+        assert any("999" in p for p in orphan_problems), orphan_problems
+    print("merge_traces self-check: ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="join per-process --trace-out files into "
+                    "cross-party timelines")
+    parser.add_argument("traces", nargs="*", help="JSONL trace files")
+    parser.add_argument("--out", default="TRACE_REPORT.md",
+                        help="report path [TRACE_REPORT.md]")
+    parser.add_argument("--max-rows", type=int, default=64,
+                        help="table row cap in the report [64]")
+    parser.add_argument("--require-complete", action="store_true",
+                        help="exit 1 unless every ok request has a full "
+                             "owner + 3-party timeline and no span is "
+                             "orphaned")
+    parser.add_argument("--self-check", action="store_true",
+                        help="run the built-in synthetic fixture test")
+    args = parser.parse_args()
+
+    if args.self_check:
+        return self_check()
+    if not args.traces:
+        parser.error("no trace files given (or use --self-check)")
+
+    records = []
+    for path in args.traces:
+        meta, file_records = load_trace(path)
+        records.extend(file_records)
+        print(f"{path}: {len(file_records)} records, pid {meta.get('pid')}")
+
+    timelines, problems = build_timelines(records)
+    rounds, submissions = index_training(records)
+    report = render_report(timelines, problems, rounds, submissions,
+                           args.max_rows)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(report)
+    ok = [t for t in timelines if t["status"] == "ok"]
+    complete = [t for t in ok if t["complete"]]
+    print(f"{len(timelines)} requests ({len(complete)}/{len(ok)} ok "
+          f"requests complete), {len(rounds)} training rounds -> "
+          f"{args.out}")
+    for problem in problems:
+        print(f"UNMATCHED: {problem}", file=sys.stderr)
+    if args.require_complete:
+        if problems or len(complete) != len(ok):
+            print("merge_traces: --require-complete failed", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

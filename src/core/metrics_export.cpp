@@ -99,14 +99,11 @@ void print_process_traffic(
   }
 }
 
-void write_process_export(
-    const std::string& path,
+std::string build_process_export_json(
+    const obs::MetricsSnapshot& metrics,
     const std::vector<std::unique_ptr<net::TcpTransport>>& transports,
     const std::vector<mpc::DetectionLog>& party_logs, double wall_seconds,
     int num_actors, int byzantine_party) {
-  if (path.empty()) {
-    return;
-  }
   net::TrafficSnapshot traffic;
   traffic.links.assign(static_cast<std::size_t>(num_actors),
                        std::vector<net::LinkMetrics>(
@@ -160,8 +157,24 @@ void write_process_export(
     }
   }
 
-  write_metrics_export(path, obs::MetricsRegistry::global().snapshot(),
-                       obs::EventLog::global().snapshot(), traffic, cost);
+  return metrics_export_json(metrics, obs::EventLog::global().snapshot(),
+                             traffic, cost);
+}
+
+void write_process_export(
+    const std::string& path,
+    const std::vector<std::unique_ptr<net::TcpTransport>>& transports,
+    const std::vector<mpc::DetectionLog>& party_logs, double wall_seconds,
+    int num_actors, int byzantine_party) {
+  if (path.empty()) {
+    return;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  TRUSTDDL_REQUIRE(out.good(), "metrics export: cannot open " + path);
+  out << build_process_export_json(obs::MetricsRegistry::global().snapshot(),
+                                   transports, party_logs, wall_seconds,
+                                   num_actors, byzantine_party);
+  TRUSTDDL_REQUIRE(out.good(), "metrics export: write failed for " + path);
   std::printf("metrics export written to %s\n", path.c_str());
 }
 

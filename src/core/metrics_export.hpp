@@ -52,15 +52,26 @@ void write_metrics_export(const std::string& path,
 void print_process_traffic(
     const std::vector<std::unique_ptr<net::TcpTransport>>& transports);
 
-/// Observability export for ONE process's hosted actors in an
-/// `num_actors`-wide mesh: the hosted transports' traffic matrices are
-/// merged cell-wise (each single-transport total counts the sender row
-/// only, preserving once-per-message semantics), detection tallies
+/// Builds the full export document for ONE process's hosted actors in
+/// an `num_actors`-wide mesh: the hosted transports' traffic matrices
+/// are merged cell-wise (each single-transport total counts the sender
+/// row only, preserving once-per-message semantics), detection tallies
 /// come from the hosted computing parties, and opening rounds from the
 /// lowest-id hosted honest computing party (the counters are identical
 /// at every honest party — the protocol is SPMD).  `party_logs` is
 /// indexed like `transports`; ids >= kComputingParties contribute no
-/// detections.  No-op when `path` is empty.
+/// detections.  Safe to call on a live process — `metrics` is a
+/// caller-taken snapshot and `TcpTransport::traffic()` is internally
+/// locked — which is how the admin endpoint serves a mid-run /metrics
+/// scrape that byte-matches the exit-time export.
+std::string build_process_export_json(
+    const obs::MetricsSnapshot& metrics,
+    const std::vector<std::unique_ptr<net::TcpTransport>>& transports,
+    const std::vector<mpc::DetectionLog>& party_logs, double wall_seconds,
+    int num_actors, int byzantine_party);
+
+/// Writes `build_process_export_json` over a fresh registry snapshot
+/// to `path`.  No-op when `path` is empty.
 void write_process_export(
     const std::string& path,
     const std::vector<std::unique_ptr<net::TcpTransport>>& transports,

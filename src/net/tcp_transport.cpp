@@ -15,6 +15,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -365,6 +366,9 @@ void TcpTransport::reader_loop(PartyId peer_id) {
       link.messages += 1;
       link.bytes += message.wire_size();
     }
+    // Heartbeat for /healthz: any received frame refreshes the peer's
+    // freshness stamp (one relaxed store when an admin server is up).
+    obs::HealthState::global().note_peer(static_cast<int>(sender));
     // Emulated link latency is applied on the receiving side, exactly
     // like the in-memory network: the frame is already here, but it
     // only becomes visible to recv() once the modeled one-way delay

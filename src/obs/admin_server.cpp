@@ -1,0 +1,567 @@
+#include "obs/admin_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/events.hpp"
+#include "obs/health.hpp"
+#include "obs/trace.hpp"
+
+namespace trustddl::obs {
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 4096;
+constexpr int kAcceptPollMs = 200;
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  return buffer;
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 16);
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "trustddl_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// `?n=50` -> value of `n`, or `fallback` when absent/garbled.
+std::uint64_t query_u64(const std::string& query, const std::string& key,
+                        std::uint64_t fallback) {
+  const std::string needle = key + "=";
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) {
+      end = query.size();
+    }
+    const std::string part = query.substr(pos, end - pos);
+    if (part.rfind(needle, 0) == 0) {
+      const std::string value = part.substr(needle.size());
+      if (!value.empty() &&
+          value.find_first_not_of("0123456789") == std::string::npos) {
+        return std::stoull(value);
+      }
+      return fallback;
+    }
+    pos = end + 1;
+  }
+  return fallback;
+}
+
+std::string query_value(const std::string& query, const std::string& key) {
+  const std::string needle = key + "=";
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) {
+      end = query.size();
+    }
+    const std::string part = query.substr(pos, end - pos);
+    if (part.rfind(needle, 0) == 0) {
+      return part.substr(needle.size());
+    }
+    pos = end + 1;
+  }
+  return std::string();
+}
+
+/// Fallback /metrics document when the host process installed no
+/// provider: the trustddl.metrics.v1 layout with an empty 1x1 traffic
+/// matrix and a zero cost report (owner CLIs, tests).
+std::string registry_only_export(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n";
+  out += "  \"schema\": \"trustddl.metrics.v1\",\n";
+  out += "  \"metrics\": " + snapshot.to_json() + ",\n";
+  out += "  \"events\": " +
+         EventLog::to_json(EventLog::global().snapshot()) + ",\n";
+  out +=
+      "  \"traffic\": {\"total_bytes\": 0, \"total_messages\": 0, "
+      "\"links_bytes\": [[0]], \"links_messages\": [[0]]},\n";
+  out += "  \"cost\": {\"wall_seconds\": " + format_double(0.0);
+  out +=
+      ", \"total_bytes\": 0, \"total_messages\": 0, \"proxy_bytes\": 0"
+      ", \"owner_bytes\": 0, \"commitment_violations\": 0"
+      ", \"distance_anomalies\": 0, \"share_auth_failures\": 0"
+      ", \"recovered_opens\": 0, \"opening_rounds\": 0"
+      ", \"values_opened\": 0}\n}\n";
+  return out;
+}
+
+std::string http_response(int status, const std::string& content_type,
+                          const std::string& body) {
+  const char* reason = "OK";
+  switch (status) {
+    case 200:
+      reason = "OK";
+      break;
+    case 400:
+      reason = "Bad Request";
+      break;
+    case 404:
+      reason = "Not Found";
+      break;
+    case 405:
+      reason = "Method Not Allowed";
+      break;
+    case 503:
+      reason = "Service Unavailable";
+      break;
+    default:
+      reason = "OK";
+      break;
+  }
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) {
+      return;  // peer went away; scrapes are best-effort
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    const std::string prom = prometheus_name(gauge.name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(gauge.value) + "\n";
+    out += "# TYPE " + prom + "_peak gauge\n";
+    out += prom + "_peak " + std::to_string(gauge.peak) + "\n";
+  }
+  for (const auto& hist : snapshot.histograms) {
+    const std::string prom = prometheus_name(hist.name);
+    out += "# TYPE " + prom + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      cumulative += hist.buckets[i];
+      const std::string bound =
+          i + 1 == Histogram::kBucketCount
+              ? std::string("+Inf")
+              : std::to_string(Histogram::bucket_bound(i));
+      out += prom + "_bucket{le=\"" + bound + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_count " + std::to_string(hist.count) + "\n";
+    out += prom + "_sum " + std::to_string(hist.sum) + "\n";
+  }
+  return out;
+}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::set_metrics_provider(MetricsProvider provider) {
+  const std::lock_guard<std::mutex> lock(provider_mu_);
+  provider_ = std::move(provider);
+}
+
+void AdminServer::start() {
+  TRUSTDDL_REQUIRE(!running(), "admin server already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  TRUSTDDL_REQUIRE(listen_fd_ >= 0, "admin server: socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  TRUSTDDL_REQUIRE(
+      ::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) == 1,
+      "admin server: bad host " + options_.host);
+  TRUSTDDL_REQUIRE(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)) == 0,
+                   "admin server: bind failed on " + options_.host + ":" +
+                       std::to_string(options_.port));
+  TRUSTDDL_REQUIRE(::listen(listen_fd_, 16) == 0,
+                   "admin server: listen failed");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  TRUSTDDL_REQUIRE(::getsockname(listen_fd_,
+                                 reinterpret_cast<sockaddr*>(&bound),
+                                 &len) == 0,
+                   "admin server: getsockname failed");
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  set_health_enabled(true);
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void AdminServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void AdminServer::serve_loop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::handle_connection(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  char buffer[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      break;
+    }
+    request.append(buffer, static_cast<std::size_t>(n));
+  }
+
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    count("admin.http.errors");
+    send_all(fd, http_response(400, "text/plain", "bad request\n"));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    count("admin.http.errors");
+    send_all(fd, http_response(405, "text/plain", "method not allowed\n"));
+    return;
+  }
+
+  int status = 200;
+  const std::string body = dispatch(target, status);
+  const std::string content_type =
+      body.rfind("{", 0) == 0 || body.rfind("[", 0) == 0
+          ? "application/json"
+          : "text/plain; version=0.0.4";
+  send_all(fd, http_response(status, content_type, body));
+}
+
+std::string AdminServer::dispatch(const std::string& target, int& status) {
+  const std::size_t qmark = target.find('?');
+  const std::string path =
+      qmark == std::string::npos ? target : target.substr(0, qmark);
+  const std::string query =
+      qmark == std::string::npos ? std::string() : target.substr(qmark + 1);
+
+  if (path == "/healthz") {
+    count("admin.requests.healthz");
+    return healthz_body(status);
+  }
+  if (path == "/metrics") {
+    count("admin.requests.metrics");
+    return metrics_body(query);
+  }
+  if (path == "/events") {
+    count("admin.requests.events");
+    return events_body(query);
+  }
+  if (path == "/status") {
+    count("admin.requests.status");
+    return status_body();
+  }
+  count("admin.http.errors");
+  status = 404;
+  return "not found\n";
+}
+
+std::string AdminServer::metrics_body(const std::string& query) {
+  const std::string format = query_value(query, "format");
+  // Snapshot AFTER counting the scrape so the document (and any paired
+  // Prometheus rendering) already includes this request — that is what
+  // makes a quiesced pair scrape internally consistent.
+  MetricsProvider provider;
+  {
+    const std::lock_guard<std::mutex> lock(provider_mu_);
+    provider = provider_;
+  }
+  const MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
+  if (format == "prometheus") {
+    return prometheus_text(snapshot);
+  }
+  const std::string doc =
+      provider ? provider(snapshot) : registry_only_export(snapshot);
+  if (format == "pair") {
+    std::string out = "{\n";
+    out += "  \"schema\": \"trustddl.admin.pair.v1\",\n";
+    out += "  \"export\": " + doc;
+    if (!out.empty() && out.back() == '\n') {
+      out.pop_back();
+    }
+    out += ",\n  \"prometheus\": \"" + json_escape(prometheus_text(snapshot)) +
+           "\"\n}\n";
+    return out;
+  }
+  return doc;
+}
+
+std::string AdminServer::healthz_body(int& status) const {
+  const auto& health = HealthState::global();
+  const std::uint64_t now = now_us();
+  const std::uint64_t stale_after_us =
+      static_cast<std::uint64_t>(options_.stale_after_ms) * 1000;
+  bool any_stale = false;
+
+  std::string peers = "[";
+  bool first = true;
+  for (const auto& sample : health.peers()) {
+    const std::uint64_t age =
+        now > sample.last_seen_us ? now - sample.last_seen_us : 0;
+    const bool stale = age > stale_after_us;
+    any_stale = any_stale || stale;
+    if (!first) {
+      peers += ", ";
+    }
+    first = false;
+    peers += "{\"peer\": " + std::to_string(sample.peer) +
+             ", \"last_seen_us\": " + std::to_string(sample.last_seen_us) +
+             ", \"age_us\": " + std::to_string(age) +
+             ", \"stale\": " + (stale ? "true" : "false") + "}";
+  }
+  peers += "]";
+
+  std::string watermarks = "{";
+  first = true;
+  for (const auto& [key, value] : health.watermarks()) {
+    if (!first) {
+      watermarks += ", ";
+    }
+    first = false;
+    watermarks += "\"" + json_escape(key) + "\": " + std::to_string(value);
+  }
+  watermarks += "}";
+
+  status = any_stale ? 503 : 200;
+  std::string out = "{\n";
+  out += "  \"status\": \"" + std::string(any_stale ? "degraded" : "ok") + "\",\n";
+  out += "  \"role\": \"" + json_escape(health.role()) + "\",\n";
+  out += "  \"task\": \"" + json_escape(health.task()) + "\",\n";
+  out += "  \"uptime_us\": " + std::to_string(now) + ",\n";
+  out += "  \"stale_after_ms\": " + std::to_string(options_.stale_after_ms) +
+         ",\n";
+  out += "  \"peers\": " + peers + ",\n";
+  out += "  \"watermarks\": " + watermarks + "\n}\n";
+  return out;
+}
+
+std::string AdminServer::events_body(const std::string& query) const {
+  const std::uint64_t limit = query_u64(query, "n", 50);
+  auto events = EventLog::global().snapshot();
+  if (events.size() > limit) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(limit));
+  }
+  return EventLog::to_json(events) + "\n";
+}
+
+std::string AdminServer::status_body() const {
+  const auto& health = HealthState::global();
+  const MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
+
+  std::string out = "{\n";
+  out += "  \"role\": \"" + json_escape(health.role()) + "\",\n";
+  out += "  \"task\": \"" + json_escape(health.task()) + "\",\n";
+  out += "  \"pid\": " + std::to_string(::getpid()) + ",\n";
+  out += "  \"uptime_us\": " + std::to_string(now_us()) + ",\n";
+  out += "  \"requests_served\": " + std::to_string(requests_served()) + ",\n";
+
+  out += "  \"watermarks\": {";
+  bool first = true;
+  for (const auto& [key, value] : health.watermarks()) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "\"" + json_escape(key) + "\": " + std::to_string(value);
+  }
+  out += "},\n";
+
+  // Queue depths and fill levels live in gauges; ledgers in serve./
+  // train./triples. counters.
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& gauge : snapshot.gauges) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "\"" + json_escape(gauge.name) + "\": {\"value\": " +
+           std::to_string(gauge.value) +
+           ", \"peak\": " + std::to_string(gauge.peak) + "}";
+  }
+  out += "},\n";
+
+  out += "  \"ledgers\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    const bool ledger = name.rfind("serve.", 0) == 0 ||
+                        name.rfind("train.", 0) == 0 ||
+                        name.rfind("triples.", 0) == 0 ||
+                        name.rfind("admin.", 0) == 0;
+    if (!ledger) {
+      continue;
+    }
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "\"" + json_escape(name) + "\": " + std::to_string(value);
+  }
+  out += "}\n}\n";
+  return out;
+}
+
+HttpResponse http_get(const std::string& host, int port,
+                      const std::string& target, int timeout_ms) {
+  HttpResponse response;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return response;
+  }
+  timeval timeout{};
+  timeout.tv_sec = timeout_ms / 1000;
+  timeout.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return response;
+  }
+
+  const std::string request =
+      "GET " + target + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  send_all(fd, request);
+
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      break;
+    }
+    raw.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 200 OK\r\n...\r\n\r\n<body>"
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || raw.size() < sp + 4) {
+    return response;
+  }
+  response.status = std::atoi(raw.c_str() + sp + 1);
+  const std::size_t body = raw.find("\r\n\r\n");
+  if (body != std::string::npos) {
+    response.body = raw.substr(body + 4);
+  }
+  return response;
+}
+
+}  // namespace trustddl::obs

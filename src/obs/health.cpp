@@ -1,0 +1,97 @@
+#include "obs/health.hpp"
+
+#include "obs/trace.hpp"
+
+namespace trustddl::obs {
+namespace {
+
+std::atomic<bool> g_health_enabled{false};
+
+}  // namespace
+
+bool health_enabled() {
+  return g_health_enabled.load(std::memory_order_relaxed);
+}
+
+void set_health_enabled(bool enabled) {
+  g_health_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+HealthState& HealthState::global() {
+  static HealthState* state = new HealthState();
+  return *state;
+}
+
+void HealthState::note_peer(int peer) {
+  if (!health_enabled() || peer < 0 || peer >= kMaxPeers) {
+    return;
+  }
+  // 0 means "never seen", so clamp the first stamp to at least 1 us.
+  const std::uint64_t now = now_us();
+  last_seen_us_[static_cast<std::size_t>(peer)].store(
+      now == 0 ? 1 : now, std::memory_order_relaxed);
+}
+
+void HealthState::note_progress(const std::string& key, std::uint64_t value) {
+  if (!health_enabled()) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : watermarks_) {
+    if (entry.first == key) {
+      if (value > entry.second) {
+        entry.second = value;
+      }
+      return;
+    }
+  }
+  watermarks_.emplace_back(key, value);
+}
+
+void HealthState::set_identity(const std::string& role,
+                               const std::string& task) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  role_ = role;
+  task_ = task;
+}
+
+std::vector<HealthState::PeerSample> HealthState::peers() const {
+  std::vector<PeerSample> out;
+  for (int peer = 0; peer < kMaxPeers; ++peer) {
+    const std::uint64_t seen =
+        last_seen_us_[static_cast<std::size_t>(peer)].load(
+            std::memory_order_relaxed);
+    if (seen != 0) {
+      out.push_back(PeerSample{peer, seen});
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> HealthState::watermarks()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return watermarks_;
+}
+
+std::string HealthState::role() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return role_;
+}
+
+std::string HealthState::task() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return task_;
+}
+
+void HealthState::reset() {
+  for (auto& slot : last_seen_us_) {
+    slot.store(0, std::memory_order_relaxed);
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  watermarks_.clear();
+  role_.clear();
+  task_.clear();
+}
+
+}  // namespace trustddl::obs

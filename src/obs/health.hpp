@@ -1,0 +1,73 @@
+// Liveness bookkeeping behind the admin endpoint's /healthz.
+//
+// Two signals, both cheap enough to feed from hot paths:
+//  - per-peer heartbeats: the transport reader loop stamps
+//    `note_peer(sender)` on every received frame (one relaxed atomic
+//    store when health tracking is on, one relaxed load when off), so
+//    "freshness" is simply now - last frame from that peer;
+//  - progress watermarks: serve/train loops record the last completed
+//    batch/round index under a named key, so a stuck pipeline is
+//    visible even while peers keep chattering.
+//
+// Tracking is off by default (`health_enabled()` mirrors the
+// metrics-gate pattern) and is switched on by AdminServer::start or
+// explicitly in tests.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace trustddl::obs {
+
+bool health_enabled();
+void set_health_enabled(bool enabled);
+
+class HealthState {
+ public:
+  /// Largest actor id trackable as a peer; serve clients / train
+  /// owners start at core::kNumActors and stay small in practice.
+  static constexpr int kMaxPeers = 256;
+
+  static HealthState& global();
+
+  /// Records receipt of a frame from `peer` (no-op when health
+  /// tracking is disabled or the id is out of range).
+  void note_peer(int peer);
+
+  /// Records a monotonic progress watermark, e.g.
+  /// note_progress("serve.last_batch", index).
+  void note_progress(const std::string& key, std::uint64_t value);
+
+  /// Role/task strings surfaced by /healthz and /status.
+  void set_identity(const std::string& role, const std::string& task);
+
+  struct PeerSample {
+    int peer;
+    std::uint64_t last_seen_us;  // now_us() timebase
+  };
+
+  /// Peers seen at least once, ascending by id.
+  std::vector<PeerSample> peers() const;
+  std::vector<std::pair<std::string, std::uint64_t>> watermarks() const;
+  std::string role() const;
+  std::string task() const;
+
+  /// Clears all state (tests).
+  void reset();
+
+ private:
+  HealthState() = default;
+
+  std::array<std::atomic<std::uint64_t>, kMaxPeers> last_seen_us_{};
+  mutable std::mutex mu_;  // watermarks + identity
+  std::vector<std::pair<std::string, std::uint64_t>> watermarks_;
+  std::string role_;
+  std::string task_;
+};
+
+}  // namespace trustddl::obs

@@ -1,11 +1,64 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
+#include <utility>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 
 namespace trustddl::obs {
+namespace {
+
+// A thread drains its buffer to the file once it grows past this; the
+// value trades file-lock frequency against shutdown-drop exposure.
+constexpr std::size_t kFlushThresholdBytes = 16 * 1024;
+
+thread_local std::string tls_correlation;
+
+void append_record(std::string& out, const char* kind, const char* name,
+                   int party, std::uint64_t step, std::uint64_t ts_us,
+                   std::uint64_t dur_us, const std::string& extra) {
+  out += "{\"kind\": \"";
+  out += kind;
+  out += "\", \"name\": \"";
+  out += name;
+  out += "\", \"party\": ";
+  out += std::to_string(party);
+  out += ", \"step\": ";
+  out += std::to_string(step);
+  out += ", \"ts_us\": ";
+  out += std::to_string(ts_us);
+  out += ", \"dur_us\": ";
+  out += std::to_string(dur_us);
+  if (!extra.empty()) {
+    out += ", ";
+    out += extra;
+  }
+  out += "}\n";
+}
+
+// Appends `"corr": "<id>"` to `extra` when a correlation scope is
+// active on this thread.
+std::string with_correlation(const std::string& extra) {
+  const std::string& corr = CorrelationScope::current();
+  if (corr.empty()) {
+    return extra;
+  }
+  std::string merged;
+  merged.reserve(extra.size() + corr.size() + 16);
+  if (!extra.empty()) {
+    merged = extra;
+    merged += ", ";
+  }
+  merged += "\"corr\": \"";
+  merged += corr;
+  merged += "\"";
+  return merged;
+}
+
+}  // namespace
 
 Tracer& Tracer::global() {
   static Tracer* tracer = new Tracer();
@@ -16,33 +69,93 @@ void Tracer::open(const std::string& path) {
   const std::lock_guard<std::mutex> lock(mu_);
   out_ = std::make_unique<std::ofstream>(path, std::ios::trunc);
   TRUSTDDL_REQUIRE(out_->good(), "cannot open trace file: " + path);
+  buffers_.clear();
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  // First record anchors this file's steady timestamps to wall time so
+  // merge_traces.py can align traces from different processes.
+  std::string meta;
+  append_record(meta, "meta", "process", -1, 0, now_us(), 0,
+                "\"wall_epoch_us\": " + std::to_string(wall_epoch_us()) +
+                    ", \"pid\": " + std::to_string(::getpid()));
+  *out_ << meta;
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void Tracer::close() {
   enabled_.store(false, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(mu_);
+  if (!out_) {
+    return;
+  }
+  for (const auto& buffer : buffers_) {
+    std::string pending;
+    {
+      const std::lock_guard<std::mutex> buf_lock(buffer->mu);
+      pending.swap(buffer->data);
+    }
+    *out_ << pending;
+  }
+  buffers_.clear();
+  out_->flush();
+  out_.reset();
+}
+
+std::shared_ptr<Tracer::ThreadBuffer> Tracer::buffer_for_current_thread() {
+  struct TlsSlot {
+    std::uint64_t epoch = 0;
+    std::shared_ptr<ThreadBuffer> buffer;
+  };
+  thread_local TlsSlot slot;
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (!slot.buffer || slot.epoch != epoch) {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!out_) {
+        return nullptr;
+      }
+      buffers_.push_back(fresh);
+    }
+    slot.buffer = std::move(fresh);
+    slot.epoch = epoch;
+  }
+  return slot.buffer;
+}
+
+void Tracer::write_locked(const std::string& data) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (out_) {
-    out_->flush();
-    out_.reset();
+    *out_ << data;
   }
 }
 
 void Tracer::emit(const char* kind, const char* name, int party,
                   std::uint64_t step, std::uint64_t ts_us,
                   std::uint64_t dur_us, const std::string& extra) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (!out_) {
+  if (!enabled_.load(std::memory_order_relaxed)) {
     return;
   }
-  auto& out = *out_;
-  out << "{\"kind\": \"" << kind << "\", \"name\": \"" << name
-      << "\", \"party\": " << party << ", \"step\": " << step
-      << ", \"ts_us\": " << ts_us << ", \"dur_us\": " << dur_us;
-  if (!extra.empty()) {
-    out << ", " << extra;
+  const auto buffer = buffer_for_current_thread();
+  if (!buffer) {
+    return;
   }
-  out << "}\n";
+  std::string record;
+  record.reserve(128 + extra.size());
+  append_record(record, kind, name, party, step, ts_us, dur_us, extra);
+  std::string overflow;
+  {
+    const std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->data += record;
+    if (buffer->data.size() >= kFlushThresholdBytes) {
+      overflow.swap(buffer->data);
+    }
+  }
+  // The file lock is taken only after releasing the buffer lock, so
+  // emit never holds both at once (close() takes them in the opposite
+  // order).
+  if (!overflow.empty()) {
+    write_locked(overflow);
+  }
 }
 
 std::uint64_t now_us() {
@@ -53,6 +166,30 @@ std::uint64_t now_us() {
                                                             start)
           .count());
 }
+
+std::uint64_t wall_epoch_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+CorrelationScope::CorrelationScope(std::string id) {
+  if (!tracing_enabled()) {
+    return;
+  }
+  previous_ = std::move(tls_correlation);
+  tls_correlation = std::move(id);
+  active_ = true;
+}
+
+CorrelationScope::~CorrelationScope() {
+  if (active_) {
+    tls_correlation = std::move(previous_);
+  }
+}
+
+const std::string& CorrelationScope::current() { return tls_correlation; }
 
 ScopedSpan::ScopedSpan(const char* name, int party, std::uint64_t step)
     : name_(name), party_(party), step_(step) {
@@ -69,7 +206,8 @@ ScopedSpan::~ScopedSpan() {
   const std::uint64_t end_us = now_us();
   const std::uint64_t dur_us = end_us - start_us_;
   if (tracing_enabled()) {
-    Tracer::global().emit("span", name_, party_, step_, start_us_, dur_us);
+    Tracer::global().emit("span", name_, party_, step_, start_us_, dur_us,
+                          with_correlation(std::string()));
   }
   if (metrics_enabled()) {
     auto& registry = MetricsRegistry::global();
@@ -82,7 +220,8 @@ ScopedSpan::~ScopedSpan() {
 void trace_instant(const char* name, int party, std::uint64_t step,
                    const std::string& extra) {
   if (tracing_enabled()) {
-    Tracer::global().emit("instant", name, party, step, now_us(), 0, extra);
+    Tracer::global().emit("instant", name, party, step, now_us(), 0,
+                          with_correlation(extra));
   }
 }
 

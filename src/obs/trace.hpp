@@ -11,6 +11,22 @@
 //
 // Span names are `const char*` literals at every call site so the
 // disabled path never allocates.
+//
+// Concurrency: every thread formats records into its own buffer (one
+// small mutex per thread, never contended except against the drain),
+// so a 4-thread kernel pool tracing spans no longer convoys on one
+// global file lock.  Buffers drain to the file when they exceed a few
+// KB and at close(); whole records move atomically, so the JSONL stays
+// one-record-per-line no matter how threads interleave.
+//
+// Cross-process correlation: the first line of every trace file is a
+// `"kind": "meta"` record carrying `wall_epoch_us` (system clock) next
+// to the process-local steady `ts_us`, which lets merge_traces.py map
+// N per-process traces onto one wall-clock axis.  A `CorrelationScope`
+// installs a thread-local correlation id (e.g. `batch:17`,
+// `round:0:3`, `req:5:12`) that every span/instant emitted by the
+// thread carries as a `"corr"` member — the join key for per-request
+// causal timelines across the owner-sequencer and the three parties.
 #pragma once
 
 #include <atomic>
@@ -19,6 +35,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace trustddl::obs {
 
@@ -26,14 +43,19 @@ class Tracer {
  public:
   static Tracer& global();
 
-  /// Opens (truncates) `path` and enables tracing process-wide.
+  /// Opens (truncates) `path`, writes the wall-clock meta record and
+  /// enables tracing process-wide.
   void open(const std::string& path);
+
+  /// Disables tracing, drains every thread's buffer and closes the
+  /// file.  Records emitted concurrently with close() may be dropped
+  /// (tracing is best-effort at shutdown), never torn.
   void close();
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Appends one JSONL record.  `kind` is "span", "instant" or
-  /// "event"; `extra` is raw pre-rendered JSON members appended after
-  /// the standard fields (may be empty).
+  /// Appends one JSONL record.  `kind` is "span", "instant", "event"
+  /// or "meta"; `extra` is raw pre-rendered JSON members appended
+  /// after the standard fields (may be empty).
   void emit(const char* kind, const char* name, int party,
             std::uint64_t step, std::uint64_t ts_us, std::uint64_t dur_us,
             const std::string& extra = std::string());
@@ -41,15 +63,57 @@ class Tracer {
  private:
   Tracer() = default;
 
+  /// One thread's pending records.  The mutex only synchronises the
+  /// owning thread against close()/drain — it is uncontended on the
+  /// emit fast path.
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::string data;
+  };
+
+  std::shared_ptr<ThreadBuffer> buffer_for_current_thread();
+  void write_locked(const std::string& data);
+
   std::atomic<bool> enabled_{false};
-  std::mutex mu_;
+  /// Bumped by open(); threads holding a buffer from a previous
+  /// open/close cycle re-register instead of writing to a dead buffer.
+  std::atomic<std::uint64_t> epoch_{0};
+  std::mutex mu_;  // file + buffer registry
   std::unique_ptr<std::ofstream> out_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
 };
 
 inline bool tracing_enabled() { return Tracer::global().enabled(); }
 
 /// Microseconds since process start (steady clock).
 std::uint64_t now_us();
+
+/// Microseconds since the Unix epoch (system clock) — only used for
+/// the per-file meta record that anchors steady timestamps to wall
+/// time across processes.
+std::uint64_t wall_epoch_us();
+
+/// Thread-local correlation id.  While a scope is alive, every span
+/// and instant emitted by this thread carries `"corr": "<id>"`, so a
+/// manifest-derived id set once per batch/round annotates every nested
+/// protocol span (OpenBatch flushes included) without plumbing an
+/// argument through the call tree.  Scopes nest; the previous id is
+/// restored on destruction.  A no-op when tracing is disabled.
+class CorrelationScope {
+ public:
+  explicit CorrelationScope(std::string id);
+  ~CorrelationScope();
+
+  CorrelationScope(const CorrelationScope&) = delete;
+  CorrelationScope& operator=(const CorrelationScope&) = delete;
+
+  /// The active id ("" when none); only meaningful while tracing.
+  static const std::string& current();
+
+ private:
+  std::string previous_;
+  bool active_ = false;
+};
 
 /// RAII span.  Durations land in the tracer and/or the metrics
 /// registry; when both are disabled the constructor does one relaxed

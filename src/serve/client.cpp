@@ -62,7 +62,17 @@ std::uint64_t InferenceClient::submit(const RealTensor& images) {
   notice.deadline_ms =
       static_cast<std::uint64_t>(options_.deadline.count());
   endpoint_.send(core::kModelOwner, notice_tag(seq), encode_notice(notice));
+  if (obs::tracing_enabled()) {
+    const obs::CorrelationScope corr(request_correlation(seq));
+    obs::trace_instant("serve.submit", static_cast<int>(endpoint_.id()), seq,
+                       "\"rows\": " + std::to_string(images.rows()));
+  }
   return seq;
+}
+
+std::string InferenceClient::request_correlation(std::uint64_t seq) const {
+  return "req:" + std::to_string(endpoint_.id()) + ":" +
+         std::to_string(seq);
 }
 
 InferenceResult InferenceClient::await(std::uint64_t seq, std::size_t rows) {
@@ -84,6 +94,12 @@ InferenceResult InferenceClient::await(std::uint64_t seq, std::size_t rows) {
                                share.shape()[0] == rows,
                            "serve: result share row mismatch");
           triples[slot] = std::move(share);
+          if (obs::tracing_enabled()) {
+            const obs::CorrelationScope corr(request_correlation(seq));
+            obs::trace_instant("serve.result",
+                               static_cast<int>(endpoint_.id()), seq,
+                               "\"from\": " + std::to_string(party));
+          }
           if (++responders == 2) {
             second_arrival = std::chrono::steady_clock::now();
           }
@@ -140,9 +156,21 @@ InferenceResult InferenceClient::await(std::uint64_t seq, std::size_t rows) {
 InferenceResult InferenceClient::infer(const RealTensor& images) {
   auto backoff = options_.retry_backoff;
   for (int attempt = 0;; ++attempt) {
+    const std::uint64_t start_us = obs::now_us();
     const std::uint64_t seq = submit(images);
     InferenceResult result = await(seq, images.rows());
     result.attempts = attempt + 1;
+    if (obs::tracing_enabled()) {
+      // The client-observed end-to-end span merge_traces.py attributes
+      // against the owner's queue_us and the parties' compute spans.
+      obs::Tracer::global().emit(
+          "span", "serve.request", static_cast<int>(endpoint_.id()), seq,
+          start_us, obs::now_us() - start_us,
+          "\"corr\": \"" + request_correlation(seq) + "\", \"status\": \"" +
+              status_name(result.status) +
+              "\", \"rows\": " + std::to_string(images.rows()) +
+              ", \"attempt\": " + std::to_string(attempt + 1));
+    }
     if (result.status == Status::kRejected &&
         attempt < options_.max_retries) {
       obs::count("serve.client.retries");

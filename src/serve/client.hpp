@@ -92,6 +92,10 @@ class InferenceClient {
   void stop();
 
  private:
+  /// Correlation id carried by this client's trace records for request
+  /// `seq` ("req:<client>:<seq>").
+  std::string request_correlation(std::uint64_t seq) const;
+
   net::Endpoint endpoint_;
   ClientOptions options_;
   std::mutex mu_;           ///< guards rng_ and next_seq_

@@ -1,11 +1,14 @@
 #include "serve/scheduler.hpp"
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
 #include "common/logging.hpp"
 #include "core/roles.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/wire.hpp"
 
 namespace trustddl::serve {
@@ -21,6 +24,7 @@ BatchScheduler::BatchScheduler(net::Endpoint endpoint, ServeConfig config,
       queue_(config.queue_capacity, config.max_batch_rows,
              config.batch_window) {
   TRUSTDDL_REQUIRE(num_clients >= 1, "serve: need at least one client");
+  trace_id_base_ = (obs::wall_epoch_us() / 1000000) << 32;
 }
 
 void BatchScheduler::run() {
@@ -112,11 +116,19 @@ void BatchScheduler::handle_notice(net::PartyId client,
 }
 
 void BatchScheduler::dispatch(std::vector<BatchQueue::Entry> batch) {
+  const auto now = BatchQueue::Clock::now();
   BatchManifest manifest;
   manifest.index = next_manifest_++;
+  manifest.trace_id = trace_id_base_ | manifest.index;
   manifest.entries.reserve(batch.size());
   for (const auto& entry : batch) {
-    manifest.entries.push_back({entry.client, entry.seq, entry.rows});
+    const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+        now - entry.admitted);
+    const std::uint64_t queue_us =
+        waited.count() > 0 ? static_cast<std::uint64_t>(waited.count()) : 0;
+    manifest.entries.push_back({entry.client, entry.seq, entry.rows,
+                                queue_us});
+    obs::observe("serve.queue.wait.us", queue_us);
   }
   const Bytes payload = encode_manifest(manifest);
   for (int party = 0; party < core::kComputingParties; ++party) {
@@ -130,6 +142,30 @@ void BatchScheduler::dispatch(std::vector<BatchQueue::Entry> batch) {
   obs::observe("serve.batch.rows", manifest.total_rows());
   obs::gauge_add("serve.queue.depth",
                  -static_cast<std::int64_t>(batch.size()));
+  obs::HealthState::global().note_progress("serve.last_batch",
+                                           manifest.index);
+  if (obs::tracing_enabled()) {
+    // The owner-side join record for merge_traces.py: which requests
+    // ride in this batch and how long each one queued.
+    const obs::CorrelationScope corr("batch:" +
+                                     std::to_string(manifest.trace_id));
+    std::string extra =
+        "\"trace_id\": " + std::to_string(manifest.trace_id) +
+        ", \"entries\": [";
+    for (std::size_t i = 0; i < manifest.entries.size(); ++i) {
+      const auto& entry = manifest.entries[i];
+      if (i > 0) {
+        extra += ", ";
+      }
+      extra += "{\"client\": " + std::to_string(entry.client) +
+               ", \"seq\": " + std::to_string(entry.seq) +
+               ", \"rows\": " + std::to_string(entry.rows) +
+               ", \"queue_us\": " + std::to_string(entry.queue_us) + "}";
+    }
+    extra += "]";
+    obs::trace_instant("serve.dispatch", core::kModelOwner, manifest.index,
+                       extra);
+  }
 }
 
 void BatchScheduler::send_control(net::PartyId client, std::uint64_t seq,

@@ -60,6 +60,10 @@ class BatchScheduler {
   BatchQueue queue_;
   SchedulerStats stats_;
   std::uint64_t next_manifest_ = 0;
+  /// High bits of every minted BatchManifest::trace_id (wall-clock
+  /// seconds at construction), making batch correlation ids unique
+  /// across restarts and across pods.
+  std::uint64_t trace_id_base_ = 0;
 };
 
 }  // namespace trustddl::serve

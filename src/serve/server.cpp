@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/wire.hpp"
@@ -65,6 +66,17 @@ bool InferenceServer::run(core::SecureModel& model,
     }
     TRUSTDDL_REQUIRE(!manifest.entries.empty(), "serve: empty manifest");
 
+    // Correlation scope first (so it outlives the span's destructor):
+    // every protocol span this thread emits while executing the batch
+    // carries the sequencer-minted id, joining the three parties' work
+    // to the owner's dispatch record.
+    const obs::CorrelationScope corr(
+        "batch:" + std::to_string(manifest.trace_id));
+    obs::trace_instant("serve.manifest", party_, index,
+                       "\"trace_id\": " + std::to_string(manifest.trace_id) +
+                           ", \"entries\": " +
+                           std::to_string(manifest.entries.size()));
+    obs::HealthState::global().note_progress("serve.last_batch", index);
     obs::ScopedSpan span("serve.batch", party_, index);
     std::vector<mpc::PartyShare> inputs;
     inputs.reserve(manifest.entries.size());

@@ -68,12 +68,14 @@ std::size_t BatchManifest::total_rows() const {
 Bytes encode_manifest(const BatchManifest& manifest) {
   ByteWriter writer;
   writer.write_u64(manifest.index);
+  writer.write_u64(manifest.trace_id);
   writer.write_u8(manifest.shutdown ? 1 : 0);
   writer.write_u32(static_cast<std::uint32_t>(manifest.entries.size()));
   for (const auto& entry : manifest.entries) {
     writer.write_u32(static_cast<std::uint32_t>(entry.client));
     writer.write_u64(entry.seq);
     writer.write_u64(entry.rows);
+    writer.write_u64(entry.queue_us);
   }
   return writer.take();
 }
@@ -82,6 +84,7 @@ BatchManifest decode_manifest(Bytes payload) {
   ByteReader reader(std::move(payload));
   BatchManifest manifest;
   manifest.index = reader.read_u64();
+  manifest.trace_id = reader.read_u64();
   manifest.shutdown = reader.read_u8() != 0;
   const std::uint32_t count = reader.read_u32();
   manifest.entries.reserve(count);
@@ -90,6 +93,7 @@ BatchManifest decode_manifest(Bytes payload) {
     entry.client = static_cast<net::PartyId>(reader.read_u32());
     entry.seq = reader.read_u64();
     entry.rows = reader.read_u64();
+    entry.queue_us = reader.read_u64();
     manifest.entries.push_back(entry);
   }
   return manifest;

@@ -74,6 +74,10 @@ struct ManifestEntry {
   net::PartyId client = 0;
   std::uint64_t seq = 0;
   std::uint64_t rows = 0;
+  /// Microseconds the request waited in the owner's queue between
+  /// admission and dispatch — the "queue" term of the per-request
+  /// critical-path breakdown in merge_traces.py.
+  std::uint64_t queue_us = 0;
 };
 
 /// Owner -> party batch instruction: the requests to coalesce into one
@@ -82,6 +86,10 @@ struct ManifestEntry {
 /// loop.
 struct BatchManifest {
   std::uint64_t index = 0;
+  /// Fleet-unique correlation id minted by the sequencer (wall-clock
+  /// epoch in the high bits, batch index in the low bits); every
+  /// party's spans for this batch carry `corr = "batch:<trace_id>"`.
+  std::uint64_t trace_id = 0;
   bool shutdown = false;
   std::vector<ManifestEntry> entries;
 

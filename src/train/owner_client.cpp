@@ -9,6 +9,7 @@
 #include "core/roles.hpp"
 #include "mpc/share_serde.hpp"
 #include "nn/loss.hpp"
+#include "obs/trace.hpp"
 
 namespace trustddl::train {
 namespace {
@@ -141,6 +142,13 @@ std::size_t TrainingOwner::submit(std::uint64_t seq,
   notice.rows = batch.size();
   endpoint_.send(core::kModelOwner, notice_tag(seq),
                  encode_submit_notice(notice));
+  if (obs::tracing_enabled()) {
+    // No round correlation yet — the sequencer assigns the round later
+    // and its train.dispatch record maps (owner, seq) pairs to rounds,
+    // which is the join key merge_traces.py uses for this instant.
+    obs::trace_instant("train.submit", static_cast<int>(endpoint_.id()), seq,
+                       "\"rows\": " + std::to_string(batch.size()));
+  }
   return batch.size();
 }
 

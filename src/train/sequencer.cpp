@@ -5,7 +5,9 @@
 
 #include "common/logging.hpp"
 #include "core/roles.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace trustddl::train {
 namespace {
@@ -167,7 +169,7 @@ bool RoundSequencer::poll_notices() {
         owner.stopped = true;
         break;
       }
-      owner.pending.push_back(notice);
+      owner.pending.push_back({notice, Clock::now()});
       ++stats_.admitted;
       obs::count("train.owner.submissions.admitted");
       if (owner.dormant) {
@@ -180,6 +182,7 @@ bool RoundSequencer::poll_notices() {
 }
 
 void RoundSequencer::cut_round() {
+  const auto now = Clock::now();
   RoundManifest manifest;
   manifest.round = round_;
   manifest.epoch = round_ / config_.rounds_per_epoch;
@@ -189,11 +192,19 @@ void RoundSequencer::cut_round() {
     const auto slot = static_cast<std::size_t>(index);
     OwnerState& owner = owners_[slot];
     if (!owner.pending.empty()) {
-      const SubmitNotice notice = owner.pending.front();
+      const PendingSubmission pending = owner.pending.front();
+      const SubmitNotice notice = pending.notice;
       owner.pending.pop_front();
+      const auto waited =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now - pending.admitted);
+      const std::uint64_t queue_us =
+          waited.count() > 0 ? static_cast<std::uint64_t>(waited.count())
+                             : 0;
       manifest.entries.push_back(
           {static_cast<net::PartyId>(kFirstOwnerId + index), notice.seq,
-           notice.rows});
+           notice.rows, queue_us});
+      obs::observe("train.queue.wait.us", queue_us);
       consumed_[slot] = notice.seq + 1;
       owner.misses = 0;
       ++stats_.consumed;
@@ -218,6 +229,30 @@ void RoundSequencer::cut_round() {
     obs::count("train.round.dropped_owners", dropped);
   }
   broadcast(manifest);
+  obs::HealthState::global().note_progress("train.last_round",
+                                           manifest.round);
+  if (obs::tracing_enabled()) {
+    // Sequencer-side join record for merge_traces.py: the round's
+    // correlation id plus per-owner queue attribution.
+    const obs::CorrelationScope corr(
+        "round:" + std::to_string(manifest.epoch) + ":" +
+        std::to_string(manifest.round));
+    std::string extra = "\"epoch\": " + std::to_string(manifest.epoch) +
+                        ", \"entries\": [";
+    for (std::size_t i = 0; i < manifest.entries.size(); ++i) {
+      const auto& entry = manifest.entries[i];
+      if (i > 0) {
+        extra += ", ";
+      }
+      extra += "{\"owner\": " + std::to_string(entry.owner) +
+               ", \"seq\": " + std::to_string(entry.seq) +
+               ", \"rows\": " + std::to_string(entry.rows) +
+               ", \"queue_us\": " + std::to_string(entry.queue_us) + "}";
+    }
+    extra += "]";
+    obs::trace_instant("train.dispatch", core::kModelOwner, manifest.round,
+                       extra);
+  }
   ++stats_.rounds;
   obs::count("train.rounds");
   obs::observe("train.round.owners", manifest.entries.size());

@@ -27,6 +27,7 @@
 // again is revived.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -67,9 +68,16 @@ class RoundSequencer {
   const SequencerStats& stats() const { return stats_; }
 
  private:
+  /// A notice waiting for a round cut, stamped on arrival so the cut
+  /// can report how long the submission queued (manifest queue_us).
+  struct PendingSubmission {
+    SubmitNotice notice;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
   struct OwnerState {
     std::uint64_t next_seq = 0;  ///< next notice to read off the wire
-    std::deque<SubmitNotice> pending;
+    std::deque<PendingSubmission> pending;
     bool stopped = false;
     std::size_t misses = 0;
     bool dormant = false;

@@ -7,6 +7,7 @@
 
 #include "common/logging.hpp"
 #include "mpc/share_serde.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -122,6 +123,17 @@ bool TrainServer::run(core::SecureModel& model, core::SecureExecContext& ctx,
     }
     TRUSTDDL_REQUIRE(!manifest.entries.empty(), "train: empty manifest");
 
+    // Correlation scope first (so it outlives the span's destructor):
+    // every protocol span of this round carries "round:<epoch>:<round>"
+    // at every party, matching the sequencer's dispatch record.
+    const obs::CorrelationScope corr(
+        "round:" + std::to_string(manifest.epoch) + ":" +
+        std::to_string(manifest.round));
+    obs::trace_instant("train.manifest", party_, round,
+                       "\"epoch\": " + std::to_string(manifest.epoch) +
+                           ", \"entries\": " +
+                           std::to_string(manifest.entries.size()));
+    obs::HealthState::global().note_progress("train.last_round", round);
     obs::ScopedSpan span("train.round", party_, round);
     if (pipeline_ != nullptr && spec_ != nullptr) {
       std::vector<std::size_t> owner_rows;

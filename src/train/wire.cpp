@@ -89,6 +89,7 @@ Bytes encode_round_manifest(const RoundManifest& manifest) {
     writer.write_u32(static_cast<std::uint32_t>(entry.owner));
     writer.write_u64(entry.seq);
     writer.write_u64(entry.rows);
+    writer.write_u64(entry.queue_us);
   }
   return writer.take();
 }
@@ -108,6 +109,7 @@ RoundManifest decode_round_manifest(Bytes payload) {
     entry.owner = static_cast<net::PartyId>(reader.read_u32());
     entry.seq = reader.read_u64();
     entry.rows = reader.read_u64();
+    entry.queue_us = reader.read_u64();
     manifest.entries.push_back(entry);
   }
   return manifest;

@@ -76,6 +76,10 @@ struct TrainManifestEntry {
   net::PartyId owner = 0;
   std::uint64_t seq = 0;
   std::uint64_t rows = 0;
+  /// Microseconds the submission waited at the sequencer between
+  /// notice arrival and round cut (queue attribution for
+  /// merge_traces.py, mirroring serve's ManifestEntry::queue_us).
+  std::uint64_t queue_us = 0;
 };
 
 /// Sequencer -> party round instruction: which owners' submissions

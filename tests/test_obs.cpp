@@ -235,18 +235,24 @@ TEST(ObsTraceTest, TracerWritesValidJsonl) {
   for (std::string line; std::getline(in, line);) {
     lines.push_back(line);
   }
-  ASSERT_EQ(lines.size(), 2u);
+  // First record is always the meta header: the wall-clock origin and
+  // pid that let scripts/merge_traces.py align files from different
+  // processes onto one timeline.
+  ASSERT_EQ(lines.size(), 3u);
   for (const std::string& line : lines) {
     ASSERT_FALSE(line.empty());
     EXPECT_EQ(line.front(), '{');
     EXPECT_EQ(line.back(), '}');
   }
-  EXPECT_NE(lines[0].find("\"kind\": \"span\""), std::string::npos);
-  EXPECT_NE(lines[0].find("\"name\": \"test.trace.span\""), std::string::npos);
-  EXPECT_NE(lines[0].find("\"party\": 2"), std::string::npos);
-  EXPECT_NE(lines[0].find("\"step\": 7"), std::string::npos);
-  EXPECT_NE(lines[1].find("\"kind\": \"instant\""), std::string::npos);
-  EXPECT_NE(lines[1].find("\"values\": 4"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"kind\": \"meta\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"wall_epoch_us\": "), std::string::npos);
+  EXPECT_NE(lines[0].find("\"pid\": "), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\": \"span\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"name\": \"test.trace.span\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"party\": 2"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"step\": 7"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"kind\": \"instant\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"values\": 4"), std::string::npos);
   std::remove(path.c_str());
 }
 
