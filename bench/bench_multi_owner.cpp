@@ -15,12 +15,19 @@
 // one malicious owner out of five owns the average.
 //
 // Links emulate a LAN (2ms per message) so rounds/s is meaningful.
+// Each configuration runs `kTrials` full sessions; the reported wall
+// time is the bench_util median/P95/CV over the per-session samples
+// and the accuracies must be bit-identical across trials.
 // Pass --json=<path> to write the snapshot committed as
 // BENCH_train.json at the repo root.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
 
 #include "common/rng.hpp"
 #include "data/synthetic_mnist.hpp"
@@ -39,6 +46,7 @@ constexpr std::size_t kEpochs = 2;
 constexpr std::size_t kBatchRows = 12;
 constexpr std::uint64_t kSeed = 11;
 constexpr double kPoisonFactor = 100.0;
+constexpr int kTrials = 3;
 
 bool g_fast = false;  // --fast: drop latency emulation (tuning runs)
 
@@ -55,15 +63,16 @@ nn::ModelSpec bench_spec() {
 }
 
 struct RunStats {
-  double wall_seconds = 0.0;
+  bench::TrialStats wall;  // median/P95/CV over kTrials sessions
   double rounds_per_second = 0.0;
   std::uint64_t rounds = 0;
   std::uint64_t total_messages = 0;
   double accuracy = 0.0;
 };
 
-RunStats run(mpc::AggregationRule rule, bool poisoned,
-             const data::TrainTestSplit& split, const nn::ModelSpec& spec) {
+RunStats run_once(mpc::AggregationRule rule, bool poisoned,
+                  const data::TrainTestSplit& split,
+                  const nn::ModelSpec& spec, double* wall_out) {
   train::TrainSessionConfig session;
   session.spec = spec;
   session.engine.seed = kSeed;
@@ -108,18 +117,39 @@ RunStats run(mpc::AggregationRule rule, bool poisoned,
   }
 
   RunStats stats;
-  stats.wall_seconds = result.wall_seconds;
+  *wall_out = result.wall_seconds;
   stats.rounds = result.sequencer.rounds;
-  stats.rounds_per_second =
-      static_cast<double>(stats.rounds) / result.wall_seconds;
   stats.total_messages = result.traffic.total_messages;
   stats.accuracy = model.accuracy(split.test.images, split.test.labels);
   return stats;
 }
 
+/// kTrials full training sessions; wall median/P95/CV via bench_util.
+/// The accuracy must be identical across trials — training is seeded
+/// and deterministic, only the wall clock varies.
+RunStats run(mpc::AggregationRule rule, bool poisoned,
+             const data::TrainTestSplit& split, const nn::ModelSpec& spec) {
+  RunStats stats;
+  std::vector<double> walls(kTrials);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RunStats once = run_once(rule, poisoned, split, spec,
+                             &walls[static_cast<std::size_t>(trial)]);
+    if (trial > 0 && once.accuracy != stats.accuracy) {
+      std::fprintf(stderr, "FATAL: accuracy changed between trials\n");
+      std::exit(1);
+    }
+    stats = once;
+  }
+  stats.wall = bench::stats_from_samples(std::move(walls));
+  stats.rounds_per_second =
+      static_cast<double>(stats.rounds) / stats.wall.median_s;
+  return stats;
+}
+
 void print_row(const char* name, const RunStats& stats) {
-  std::printf("%-10s %10.3f %10.2f %8llu %10llu %10.4f\n", name,
-              stats.wall_seconds, stats.rounds_per_second,
+  std::printf("%-10s %10.3f %10.3f %8.3f %10.2f %8llu %10llu %10.4f\n",
+              name, stats.wall.median_s, stats.wall.p95_s, stats.wall.cv,
+              stats.rounds_per_second,
               static_cast<unsigned long long>(stats.rounds),
               static_cast<unsigned long long>(stats.total_messages),
               stats.accuracy);
@@ -128,10 +158,12 @@ void print_row(const char* name, const RunStats& stats) {
 void write_json_entry(std::FILE* file, const char* key, const RunStats& stats,
                       const char* suffix) {
   std::fprintf(file,
-               "  \"%s\": {\"wall_seconds\": %.6f, \"rounds_per_second\": "
+               "  \"%s\": {\"wall_seconds\": %.6f, \"wall_p95_seconds\": "
+               "%.6f, \"cv\": %.4f, \"rounds_per_second\": "
                "%.3f, \"rounds\": %llu, \"total_messages\": %llu, "
                "\"final_accuracy\": %.4f}%s\n",
-               key, stats.wall_seconds, stats.rounds_per_second,
+               key, stats.wall.median_s, stats.wall.p95_s, stats.wall.cv,
+               stats.rounds_per_second,
                static_cast<unsigned long long>(stats.rounds),
                static_cast<unsigned long long>(stats.total_messages),
                stats.accuracy, suffix);
@@ -163,8 +195,9 @@ int main(int argc, char** argv) {
               "(scale=%.0f), %zu rounds x %zu epochs, %lldms links ===\n\n",
               kOwners, kPoisonFactor, kRoundsPerEpoch, kEpochs,
               static_cast<long long>(kLinkLatency.count()));
-  std::printf("%-10s %10s %10s %8s %10s %10s\n", "config", "wall (s)",
-              "rounds/s", "rounds", "messages", "accuracy");
+  std::printf("%-10s %10s %10s %8s %10s %8s %10s %10s\n", "config",
+              "wall (s)", "p95 (s)", "cv", "rounds/s", "rounds", "messages",
+              "accuracy");
 
   const RunStats honest =
       run(mpc::AggregationRule::kTrimmedMean, /*poisoned=*/false, split, spec);
@@ -209,9 +242,9 @@ int main(int argc, char** argv) {
                  "  \"owners\": %d,\n  \"poisoner\": \"owner %d, "
                  "scale=%.0f\",\n  \"trim\": 1,\n"
                  "  \"rounds_per_epoch\": %zu,\n  \"epochs\": %zu,\n"
-                 "  \"link_latency_ms\": %lld,\n",
+                 "  \"link_latency_ms\": %lld,\n  \"trials\": %d,\n",
                  kOwners, kOwners - 1, kPoisonFactor, kRoundsPerEpoch, kEpochs,
-                 static_cast<long long>(kLinkLatency.count()));
+                 static_cast<long long>(kLinkLatency.count()), kTrials);
     write_json_entry(file, "honest_trimmed_mean", honest, ",");
     write_json_entry(file, "poisoned_trimmed_mean", trimmed, ",");
     write_json_entry(file, "poisoned_plain_mean", mean, ",");

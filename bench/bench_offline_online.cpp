@@ -21,6 +21,9 @@
 // scheduling decision, never a results change (the store serves the
 // same derived-seed streams in the same order).
 //
+// Each configuration runs `kTrials` full sessions; the reported wall
+// time is the bench_util median/P95/CV over the per-session samples.
+//
 // Pass --json=<path> to write the snapshot committed as
 // BENCH_offline.json at the repo root.
 #include <algorithm>
@@ -41,10 +44,12 @@ namespace {
 
 constexpr std::size_t kBatchRows = 8;
 constexpr int kRepeats = 3;
+constexpr int kTrials = 5;
 constexpr std::chrono::milliseconds kLinkLatency{2};
 
 struct RunStats {
   StepCost cost;
+  bench::TrialStats wall;  // median/P95/CV over kTrials sessions
   std::vector<std::size_t> labels;
   // From the metrics snapshot of the run.
   double warm_seconds = 0.0;      // summed span.triple.warm.us
@@ -55,7 +60,7 @@ struct RunStats {
   std::uint64_t consumed = 0;
 };
 
-RunStats run(bool prefetch, const data::Dataset& batch) {
+RunStats run_once(bool prefetch, const data::Dataset& batch) {
   core::EngineConfig config;
   config.mode = mpc::SecurityMode::kMalicious;
   config.seed = 7;
@@ -91,6 +96,28 @@ RunStats run(bool prefetch, const data::Dataset& batch) {
   return stats;
 }
 
+/// kTrials full sessions; wall median/P95/CV via bench_util, the
+/// ancillary counters (labels, messages, warm split) from the last
+/// session — they are deterministic across trials.
+RunStats run(bool prefetch, const data::Dataset& batch) {
+  RunStats stats;
+  std::vector<double> walls(kTrials);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RunStats once = run_once(prefetch, batch);
+    walls[static_cast<std::size_t>(trial)] = once.cost.wall_seconds;
+    if (trial > 0 && once.labels != stats.labels) {
+      std::fprintf(stderr, "FATAL: labels changed between trials\n");
+      std::exit(1);
+    }
+    stats = std::move(once);
+  }
+  stats.wall = bench::stats_from_samples(std::move(walls));
+  stats.cost.wall_seconds = stats.wall.median_s;
+  stats.online_seconds =
+      std::max(0.0, stats.cost.wall_seconds - stats.warm_seconds);
+  return stats;
+}
+
 void print_row(const char* name, const RunStats& stats) {
   std::printf("%-10s %10.3f %10.3f %10.3f %10llu %12llu %8llu\n", name,
               stats.cost.wall_seconds, stats.warm_seconds,
@@ -104,11 +131,13 @@ void write_json_entry(std::FILE* file, const char* key, const RunStats& stats,
                       const char* suffix) {
   std::fprintf(
       file,
-      "  \"%s\": {\"wall_seconds\": %.6f, \"warm_seconds\": %.6f, "
+      "  \"%s\": {\"wall_seconds\": %.6f, \"wall_p95_seconds\": %.6f, "
+      "\"cv\": %.4f, \"warm_seconds\": %.6f, "
       "\"online_seconds\": %.6f, \"messages\": %llu, \"megabytes\": %.3f, "
       "\"online_wait_us\": %llu, \"store_misses\": %llu, "
       "\"triples_produced\": %llu, \"triples_consumed\": %llu}%s\n",
-      key, stats.cost.wall_seconds, stats.warm_seconds, stats.online_seconds,
+      key, stats.wall.median_s, stats.wall.p95_s, stats.wall.cv,
+      stats.warm_seconds, stats.online_seconds,
       static_cast<unsigned long long>(stats.cost.messages),
       stats.cost.megabytes(),
       static_cast<unsigned long long>(stats.online_wait_us),
@@ -179,9 +208,10 @@ int main(int argc, char** argv) {
                  "{\n  \"workload\": \"cnn_offline_online_infer\",\n"
                  "  \"model\": \"mnist_cnn (Table I)\",\n"
                  "  \"mode\": \"malicious\",\n  \"batch_rows\": %zu,\n"
-                 "  \"batches\": %d,\n  \"link_latency_ms\": %lld,\n",
+                 "  \"batches\": %d,\n  \"link_latency_ms\": %lld,\n"
+                 "  \"trials\": %d,\n",
                  kBatchRows, kRepeats,
-                 static_cast<long long>(kLinkLatency.count()));
+                 static_cast<long long>(kLinkLatency.count()), kTrials);
     write_json_entry(file, "sync", sync, ",");
     write_json_entry(file, "prefetch", prefetched, ",");
     std::fprintf(file,

@@ -17,13 +17,20 @@
 // Both configurations must return identical predictions for every
 // request — batching is a scheduling decision, never a results change.
 //
+// Each configuration runs `kTrials` full sessions; the reported wall
+// time is the bench_util median/P95/CV over the per-session samples
+// (stats_from_samples — sessions are seconds long, so no kernel-scale
+// inner-loop calibration).
+//
 // Pass --json=<path> to write the snapshot committed as
 // BENCH_serving.json at the repo root.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "serve/harness.hpp"
 
@@ -35,18 +42,19 @@ constexpr int kClients = 4;
 constexpr std::size_t kRequestsPerClient = 6;
 constexpr std::size_t kRequests = kClients * kRequestsPerClient;
 constexpr std::chrono::milliseconds kLinkLatency{2};
+constexpr int kTrials = 3;
 
 struct RunStats {
-  double wall_seconds = 0.0;
+  bench::TrialStats wall;  // median/P95/CV over kTrials sessions
   double requests_per_second = 0.0;
   std::uint64_t batches = 0;
   std::uint64_t total_messages = 0;
   std::vector<std::size_t> labels;  // [client * kRequestsPerClient + r]
 };
 
-RunStats run(std::size_t max_batch_rows,
-             std::chrono::milliseconds batch_window,
-             const data::TrainTestSplit& split) {
+RunStats run_once(std::size_t max_batch_rows,
+                  std::chrono::milliseconds batch_window,
+                  const data::TrainTestSplit& split, double* wall_out) {
   serve::SessionConfig config;
   config.spec = nn::mnist_cnn_spec();
   config.engine.mode = mpc::SecurityMode::kMalicious;
@@ -77,9 +85,7 @@ RunStats run(std::size_t max_batch_rows,
       });
 
   RunStats stats;
-  stats.wall_seconds = session.wall_seconds;
-  stats.requests_per_second =
-      static_cast<double>(kRequests) / session.wall_seconds;
+  *wall_out = session.wall_seconds;
   stats.batches = session.scheduler.batches;
   stats.total_messages = session.traffic.total_messages;
   for (const auto& result : results) {
@@ -92,9 +98,30 @@ RunStats run(std::size_t max_batch_rows,
   return stats;
 }
 
+RunStats run(std::size_t max_batch_rows,
+             std::chrono::milliseconds batch_window,
+             const data::TrainTestSplit& split) {
+  RunStats stats;
+  std::vector<double> walls(kTrials);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RunStats once =
+        run_once(max_batch_rows, batch_window, split, &walls[trial]);
+    if (trial > 0 && once.labels != stats.labels) {
+      std::fprintf(stderr, "FATAL: labels changed between trials\n");
+      std::exit(1);
+    }
+    stats = std::move(once);
+  }
+  stats.wall = bench::stats_from_samples(std::move(walls));
+  stats.requests_per_second =
+      static_cast<double>(kRequests) / stats.wall.median_s;
+  return stats;
+}
+
 void print_row(const char* name, const RunStats& stats) {
-  std::printf("%-12s %10.3f %10.2f %10llu %10llu\n", name,
-              stats.wall_seconds, stats.requests_per_second,
+  std::printf("%-12s %10.3f %10.3f %8.3f %10.2f %10llu %10llu\n", name,
+              stats.wall.median_s, stats.wall.p95_s, stats.wall.cv,
+              stats.requests_per_second,
               static_cast<unsigned long long>(stats.batches),
               static_cast<unsigned long long>(stats.total_messages));
 }
@@ -102,9 +129,11 @@ void print_row(const char* name, const RunStats& stats) {
 void write_json_entry(std::FILE* file, const char* key, const RunStats& stats,
                       const char* suffix) {
   std::fprintf(file,
-               "  \"%s\": {\"wall_seconds\": %.6f, \"requests_per_second\": "
-               "%.3f, \"batches\": %llu, \"total_messages\": %llu}%s\n",
-               key, stats.wall_seconds, stats.requests_per_second,
+               "  \"%s\": {\"wall_seconds\": %.6f, \"wall_p95_seconds\": "
+               "%.6f, \"cv\": %.4f, \"requests_per_second\": %.3f, "
+               "\"batches\": %llu, \"total_messages\": %llu}%s\n",
+               key, stats.wall.median_s, stats.wall.p95_s, stats.wall.cv,
+               stats.requests_per_second,
                static_cast<unsigned long long>(stats.batches),
                static_cast<unsigned long long>(stats.total_messages), suffix);
 }
@@ -130,8 +159,8 @@ int main(int argc, char** argv) {
               "===\n\n",
               kRequests, kClients,
               static_cast<long long>(kLinkLatency.count()));
-  std::printf("%-12s %10s %10s %10s %10s\n", "config", "wall (s)", "req/s",
-              "batches", "messages");
+  std::printf("%-12s %10s %10s %8s %10s %10s %10s\n", "config", "wall (s)",
+              "p95 (s)", "cv", "req/s", "batches", "messages");
 
   const RunStats batch1 =
       run(/*max_batch_rows=*/1, std::chrono::milliseconds(0), split);
@@ -164,9 +193,9 @@ int main(int argc, char** argv) {
                  "{\n  \"workload\": \"cnn_secure_serving_%zu_requests\",\n"
                  "  \"model\": \"mnist_cnn (Table I)\",\n"
                  "  \"mode\": \"malicious\",\n  \"clients\": %d,\n"
-                 "  \"link_latency_ms\": %lld,\n",
+                 "  \"link_latency_ms\": %lld,\n  \"trials\": %d,\n",
                  kRequests, kClients,
-                 static_cast<long long>(kLinkLatency.count()));
+                 static_cast<long long>(kLinkLatency.count()), kTrials);
     write_json_entry(file, "batch1", batch1, ",");
     write_json_entry(file, "batched", batched, ",");
     std::fprintf(file, "  \"batched_speedup\": %.4f\n}\n", speedup);

@@ -14,7 +14,10 @@
 // Loopback sockets have ~microsecond round trips, so both transports
 // also run with an emulated kLinkLatency one-way delay (delivery-time
 // stamping, no thread blocks) to show the round-count reduction as
-// wall-clock the way a real LAN would.
+// wall-clock the way a real LAN would.  Each configuration trains
+// kTrials times; the reported wall time is the bench_util
+// median/P95/CV over the runs (accuracies must be identical — the
+// transport must not change what is computed).
 //
 // Pass --json=<path> to write the snapshot committed as
 // BENCH_transport.json at the repo root.
@@ -22,8 +25,10 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/engine.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "net/tcp_transport.hpp"
@@ -34,7 +39,7 @@ namespace {
 
 constexpr std::size_t kRows = 24;
 constexpr std::size_t kBatch = 8;
-constexpr int kRepetitions = 3;
+constexpr int kTrials = 5;
 constexpr std::chrono::milliseconds kLinkLatency{3};
 
 /// A deep, narrow MLP: many layers (= many opening rounds per step)
@@ -57,7 +62,7 @@ nn::ModelSpec bench_spec() {
 }
 
 struct RunStats {
-  double wall_seconds = 0.0;  // best of kRepetitions
+  bench::TrialStats wall;  // median/P95/CV over kTrials runs
   std::uint64_t total_bytes = 0;
   std::uint64_t total_messages = 0;
   std::uint64_t opening_rounds = 0;
@@ -69,8 +74,8 @@ RunStats run(const nn::ModelSpec& spec, const core::EngineConfig& config,
              const data::TrainTestSplit& split,
              const core::TrainOptions& options, bool over_tcp) {
   RunStats stats;
-  stats.wall_seconds = 1e100;
-  for (int rep = 0; rep < kRepetitions; ++rep) {
+  std::vector<double> walls;
+  for (int rep = 0; rep < kTrials; ++rep) {
     std::unique_ptr<net::TcpFabric> fabric;
     std::unique_ptr<core::TrustDdlEngine> engine;
     if (over_tcp) {
@@ -85,8 +90,10 @@ RunStats run(const nn::ModelSpec& spec, const core::EngineConfig& config,
     }
     const core::TrainResult result =
         engine->train(split.train, split.test, options);
-    if (result.cost.wall_seconds < stats.wall_seconds) {
-      stats.wall_seconds = result.cost.wall_seconds;
+    walls.push_back(result.cost.wall_seconds);
+    if (rep > 0 && result.epoch_test_accuracy != stats.accuracy) {
+      std::fprintf(stderr, "FATAL: accuracy changed between trials\n");
+      std::exit(1);
     }
     stats.total_bytes = result.cost.total_bytes;
     stats.total_messages = result.cost.total_messages;
@@ -94,12 +101,13 @@ RunStats run(const nn::ModelSpec& spec, const core::EngineConfig& config,
     stats.values_opened = result.cost.values_opened;
     stats.accuracy = result.epoch_test_accuracy;
   }
+  stats.wall = bench::stats_from_samples(std::move(walls));
   return stats;
 }
 
 void print_row(const char* name, const RunStats& stats) {
-  std::printf("%-22s %10.3f %12.2f %10llu %10llu %10llu\n", name,
-              stats.wall_seconds,
+  std::printf("%-22s %10.3f %10.3f %8.3f %12.2f %10llu %10llu %10llu\n",
+              name, stats.wall.median_s, stats.wall.p95_s, stats.wall.cv,
               static_cast<double>(stats.total_bytes) / (1 << 20),
               static_cast<unsigned long long>(stats.total_messages),
               static_cast<unsigned long long>(stats.opening_rounds),
@@ -109,10 +117,11 @@ void print_row(const char* name, const RunStats& stats) {
 void write_json_entry(std::FILE* file, const char* key,
                       const RunStats& stats, const char* suffix) {
   std::fprintf(file,
-               "    \"%s\": {\"wall_seconds\": %.6f, \"total_bytes\": %llu, "
+               "    \"%s\": {\"wall_seconds\": %.6f, \"wall_p95_seconds\": "
+               "%.6f, \"cv\": %.4f, \"total_bytes\": %llu, "
                "\"total_messages\": %llu, \"opening_rounds\": %llu, "
                "\"values_opened\": %llu}%s\n",
-               key, stats.wall_seconds,
+               key, stats.wall.median_s, stats.wall.p95_s, stats.wall.cv,
                static_cast<unsigned long long>(stats.total_bytes),
                static_cast<unsigned long long>(stats.total_messages),
                static_cast<unsigned long long>(stats.opening_rounds),
@@ -150,8 +159,9 @@ int main(int argc, char** argv) {
   std::printf("=== Transport: in-memory mailboxes vs loopback TCP "
               "(MLP secure training, %zu rows, malicious) ===\n\n",
               kRows);
-  std::printf("%-22s %10s %12s %10s %10s %10s\n", "transport", "wall (s)",
-              "comm (MB)", "messages", "rounds", "opened");
+  std::printf("%-22s %10s %10s %8s %12s %10s %10s %10s\n", "transport",
+              "wall (s)", "p95 (s)", "cv", "comm (MB)", "messages", "rounds",
+              "opened");
 
   config.batch_openings = true;
   const RunStats memory_batched = run(spec, config, split, options, false);
@@ -174,7 +184,7 @@ int main(int argc, char** argv) {
   }
 
   const double tcp_speedup =
-      tcp_unbatched.wall_seconds / tcp_batched.wall_seconds;
+      tcp_unbatched.wall.median_s / tcp_batched.wall.median_s;
   std::printf("\nTCP wall-clock speedup from batched openings: %.2fx "
               "(%llu -> %llu opening rounds, %llu -> %llu messages)\n",
               tcp_speedup,
@@ -193,8 +203,8 @@ int main(int argc, char** argv) {
                  "{\n  \"workload\": \"mlp_secure_training_%zu_rows\",\n"
                  "  \"mode\": \"malicious\",\n"
                  "  \"trunc_mode\": \"masked_open\",\n"
-                 "  \"repetitions\": %d,\n",
-                 kRows, kRepetitions);
+                 "  \"trials\": %d,\n",
+                 kRows, kTrials);
     std::fprintf(file, "  \"in_memory\": {\n");
     write_json_entry(file, "batched", memory_batched, ",");
     write_json_entry(file, "unbatched", memory_unbatched, "");

@@ -35,6 +35,45 @@ struct TrialStats {
   int trials = 0;
 };
 
+/// Summarize raw per-trial wall times into median/P95/CV.  Used
+/// directly by session-scale benches (serving, fleet, training) that
+/// collect one wall-time sample per multi-second session — the
+/// warm-up/inner-loop calibration in run_trials below is built for
+/// microsecond kernels and would multiply such sessions 5x per trial.
+inline TrialStats stats_from_samples(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  TrialStats stats;
+  stats.trials = static_cast<int>(samples.size());
+  const std::size_t n = samples.size();
+  if (n == 0) {
+    return stats;
+  }
+  stats.median_s = n % 2 == 1 ? samples[n / 2]
+                              : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  // Nearest-rank P95.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(0.95 * static_cast<double>(n)));
+  stats.p95_s = samples[std::min(n - 1, rank == 0 ? 0 : rank - 1)];
+  // Robust CV: 1.4826 * MAD / median (the constant makes MAD estimate
+  // one standard deviation for Gaussian data, so the 0.15 gate keeps
+  // its usual meaning).  Host interference is strictly one-sided —
+  // steal bursts contaminate whole trials from above — and a
+  // stddev-based CV lets a single such trial brand a perfectly
+  // repeatable workload "flaky".  MAD ignores up to half the trials
+  // as outliers, so it measures genuine repeatability; contaminated
+  // trials still surface in P95.
+  std::vector<double> deviations(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    deviations[i] = std::abs(samples[i] - stats.median_s);
+  }
+  std::sort(deviations.begin(), deviations.end());
+  const double mad = n % 2 == 1
+                         ? deviations[n / 2]
+                         : 0.5 * (deviations[n / 2 - 1] + deviations[n / 2]);
+  stats.cv = stats.median_s > 0.0 ? 1.4826 * mad / stats.median_s : 0.0;
+  return stats;
+}
+
 /// Run `fn` through warm-up, inner-iteration calibration, and
 /// `trials` timed repetitions; returns the per-iteration distribution
 /// summary.  Warm-up runs until ~20 ms or 100 iterations have elapsed
@@ -84,35 +123,10 @@ TrialStats run_trials(const Fn& fn, int trials = 9,
     }
     samples.push_back(fastest);
   }
-  std::sort(samples.begin(), samples.end());
-
-  TrialStats stats;
-  stats.trials = static_cast<int>(samples.size());
-  const std::size_t n = samples.size();
-  stats.median_s = n % 2 == 1 ? samples[n / 2]
-                              : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
-  // Nearest-rank P95.
-  const std::size_t rank = static_cast<std::size_t>(
-      std::ceil(0.95 * static_cast<double>(n)));
-  stats.p95_s = samples[std::min(n - 1, rank == 0 ? 0 : rank - 1)];
-  // Robust CV: 1.4826 * MAD / median (the constant makes MAD estimate
-  // one standard deviation for Gaussian data, so the 0.15 gate keeps
-  // its usual meaning).  Host interference is strictly one-sided —
-  // steal bursts that outlast the min-of-5 filter contaminate whole
-  // trials from above — and a stddev-based CV lets a single such
-  // trial brand a perfectly repeatable kernel "flaky".  MAD ignores
-  // up to half the trials as outliers, so it measures the kernel's
-  // genuine repeatability; contaminated trials still surface in P95.
-  std::vector<double> deviations(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    deviations[i] = std::abs(samples[i] - stats.median_s);
-  }
-  std::sort(deviations.begin(), deviations.end());
-  const double mad = n % 2 == 1
-                         ? deviations[n / 2]
-                         : 0.5 * (deviations[n / 2 - 1] + deviations[n / 2]);
-  stats.cv = stats.median_s > 0.0 ? 1.4826 * mad / stats.median_s : 0.0;
-  return stats;
+  // Min-of-5 already filtered within-trial interference; the robust
+  // median/P95/MAD-CV summary across trials is shared with the
+  // session-scale benches.
+  return stats_from_samples(std::move(samples));
 }
 
 /// Modeled LAN time: measured wall time plus a network model of

@@ -39,6 +39,18 @@
 //   --check              re-run the same queries on the in-memory
 //                        engine (same seeds) and compare predicted
 //                        labels; exits 2 on mismatch
+//   --fleet PATH         routed fleet mode: read the pod map from a
+//                        trustddl.fleet.v1 topology file (see
+//                        src/fleet/topology.hpp), hash --client-id to
+//                        a home pod, and fail over to the next pod in
+//                        preference order when a pod dies mid-request
+//                        (label-exact — every pod loads the same model
+//                        seed).  Pods are health-probed via admin
+//                        /healthz before shares move.  Incompatible
+//                        with --peers; --port-base is ignored
+//   --request-gap-ms N   pause between a worker thread's consecutive
+//                        requests [0] (spreads a workload out so chaos
+//                        drills can kill a pod mid-traffic)
 //   --connect-timeout-ms N     mesh rendezvous budget [10000]
 //   --trace-out FILE     write a JSONL span trace of every request
 //                        (serve.submit/serve.result instants plus one
@@ -60,8 +72,11 @@
 #include "core/engine.hpp"
 #include "core/roles.hpp"
 #include "data/synthetic_mnist.hpp"
+#include "fleet/client.hpp"
+#include "fleet/topology.hpp"
 #include "net/tcp_transport.hpp"
 #include "nn/model_zoo.hpp"
+#include "obs/admin_server.hpp"
 #include "obs/trace.hpp"
 #include "serve/client.hpp"
 
@@ -71,6 +86,7 @@ namespace {
 
 struct Options {
   int client_id = serve::kFirstClientId;
+  fleet::FleetTopology topology;  // loaded when --fleet was given
   int clients = 1;
   int port_base = 29500;
   std::string peers_text;
@@ -88,6 +104,8 @@ struct Options {
   bool check = false;
   int connect_timeout_ms = 10000;
   std::string trace_out;
+  std::string fleet_file;
+  int request_gap_ms = 0;
 };
 
 [[noreturn]] void usage_error(const std::string& reason) {
@@ -99,6 +117,7 @@ struct Options {
 
 Options parse_options(int argc, char** argv) {
   Options opt;
+  bool clients_given = false;
   auto value = [&](int& i) -> std::string {
     if (i + 1 >= argc) {
       usage_error(std::string("missing value for ") + argv[i]);
@@ -111,6 +130,7 @@ Options parse_options(int argc, char** argv) {
       opt.client_id = std::atoi(value(i).c_str());
     } else if (arg == "--clients") {
       opt.clients = std::atoi(value(i).c_str());
+      clients_given = true;
     } else if (arg == "--port-base") {
       opt.port_base = std::atoi(value(i).c_str());
     } else if (arg == "--peers") {
@@ -143,8 +163,32 @@ Options parse_options(int argc, char** argv) {
       opt.connect_timeout_ms = std::atoi(value(i).c_str());
     } else if (arg == "--trace-out") {
       opt.trace_out = value(i);
+    } else if (arg == "--fleet") {
+      opt.fleet_file = value(i);
+    } else if (arg == "--request-gap-ms") {
+      opt.request_gap_ms = std::atoi(value(i).c_str());
     } else {
       usage_error("unknown flag " + arg);
+    }
+  }
+  if (!opt.fleet_file.empty() && !opt.peers_text.empty()) {
+    usage_error("--fleet and --peers are mutually exclusive (the topology "
+                "file is the pod address map)");
+  }
+  if (opt.request_gap_ms < 0) {
+    usage_error("--request-gap-ms must be >= 0");
+  }
+  // Fleet mode resolves the client count from the shared topology file
+  // (unless --clients overrides), so routed clients and pods agree on
+  // the actor space without repeating it on every command line.
+  if (!opt.fleet_file.empty()) {
+    try {
+      opt.topology = fleet::load_topology(opt.fleet_file);
+    } catch (const Error& error) {
+      usage_error(error.what());
+    }
+    if (opt.topology.clients > 0 && !clients_given) {
+      opt.clients = opt.topology.clients;
     }
   }
   if (opt.clients < 1) {
@@ -213,6 +257,193 @@ std::vector<std::string> mesh_addresses(const Options& opt, int num_actors) {
   return addresses;
 }
 
+/// Owns the per-pod transport behind a routed session: a fresh
+/// ephemeral local port dialing the pod's parties and model owner.
+class TcpPodSession final : public fleet::PodSession {
+ public:
+  TcpPodSession(std::unique_ptr<net::TcpTransport> transport, int client_id,
+                const serve::ClientOptions& options)
+      : transport_(std::move(transport)),
+        client_(transport_->endpoint(static_cast<net::PartyId>(client_id)),
+                options) {}
+  ~TcpPodSession() override { transport_->shutdown(); }
+  serve::InferenceClient& client() override { return client_; }
+
+ private:
+  std::unique_ptr<net::TcpTransport> transport_;
+  serve::InferenceClient client_;
+};
+
+// --fleet: routed mode.  One FleetClient spans every pod in the
+// topology; pods are attached lazily (each gets its own transport so
+// actor ids never collide across pods), probed via admin /healthz
+// before shares move, and failed over when they die mid-request.
+int run_fleet(const Options& opt, const core::EngineConfig& config,
+              const nn::ModelSpec& spec, const data::TrainTestSplit& split) {
+  const fleet::FleetTopology& topology = opt.topology;
+  const int num_actors = core::kNumActors + opt.clients;
+
+  serve::ClientOptions client_options;
+  client_options.frac_bits = config.frac_bits;
+  client_options.dist_tolerance = config.dist_tolerance;
+  // Distinct sharing randomness per client slot (same derivation as
+  // the in-process serving harness); identical across pods, which is
+  // what makes a resubmitted request label-exact.
+  const int slot = opt.client_id - serve::kFirstClientId;
+  client_options.seed = opt.seed * 1000003ULL +
+                        17ULL * static_cast<std::uint64_t>(slot + 1);
+  client_options.deadline = std::chrono::milliseconds(opt.deadline_ms);
+  client_options.response_timeout =
+      std::chrono::milliseconds(opt.response_timeout_ms);
+
+  net::NetworkConfig net_config;
+  net_config.num_parties = num_actors;
+  net_config.connect.connect_timeout =
+      std::chrono::milliseconds(opt.connect_timeout_ms);
+
+  const std::string bind_host =
+      opt.listen_host.empty() ? "127.0.0.1" : opt.listen_host;
+
+  // Dial a fresh ephemeral-port transport into the pod's subset mesh
+  // on first use; the pod's dynamic acceptor admits (and re-admits) us
+  // at any point in its lifetime.  The stop broadcast gets a short
+  // budget — a dead pod must not stall shutdown for the full
+  // rendezvous timeout.
+  const auto connector = [&](std::size_t pod, bool for_stop)
+      -> std::unique_ptr<fleet::PodSession> {
+    const fleet::PodSpec& pod_spec = topology.pods[pod];
+    net::NetworkConfig pod_config = net_config;
+    if (for_stop) {
+      pod_config.connect.connect_timeout =
+          std::chrono::milliseconds(std::min(opt.connect_timeout_ms, 1500));
+    }
+    auto transport = std::make_unique<net::TcpTransport>(
+        static_cast<net::PartyId>(opt.client_id), bind_host + ":0",
+        pod_config);
+    const std::vector<net::PartyId> peers = {
+        0, 1, 2, static_cast<net::PartyId>(core::kModelOwner)};
+    std::vector<std::string> addresses(static_cast<std::size_t>(num_actors));
+    for (const net::PartyId id : peers) {
+      addresses[static_cast<std::size_t>(id)] =
+          pod_spec.address_of(static_cast<int>(id));
+    }
+    transport->connect(addresses, peers);
+    return std::make_unique<TcpPodSession>(std::move(transport),
+                                           opt.client_id, client_options);
+  };
+
+  // Out-of-band liveness: the pod's owner-hosting admin endpoint (the
+  // first admin_ports entry by convention) answers /healthz.  Pods
+  // without admin ports skip the probe and fail on connect instead.
+  const auto probe = [&](std::size_t pod) {
+    const fleet::PodSpec& pod_spec = topology.pods[pod];
+    if (pod_spec.admin_ports.empty()) {
+      return true;
+    }
+    const obs::HttpResponse response = obs::http_get(
+        pod_spec.host, pod_spec.admin_ports.front(), "/healthz", 750);
+    return response.status == 200;
+  };
+
+  fleet::FleetClientOptions fleet_options;
+  fleet_options.client = client_options;
+  fleet::FleetClient client(static_cast<std::uint64_t>(opt.client_id),
+                            topology.pod_names(), connector, fleet_options,
+                            probe);
+  std::printf("[client %d] fleet of %zu pods; home pod %s\n", opt.client_id,
+              client.num_pods(),
+              topology.pods[client.home_pod()].name.c_str());
+
+  std::vector<fleet::FleetResult> results(opt.requests);
+  std::atomic<std::size_t> next_request{0};
+  std::vector<std::thread> submitters;
+  const int threads = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(opt.concurrency), opt.requests));
+  for (int t = 0; t < threads; ++t) {
+    submitters.emplace_back([&] {
+      bool first = true;
+      while (true) {
+        const std::size_t r = next_request.fetch_add(1);
+        if (r >= opt.requests) {
+          return;
+        }
+        if (!first && opt.request_gap_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(opt.request_gap_ms));
+        }
+        first = false;
+        const data::Dataset slice =
+            data::slice(split.test, r * opt.rows, opt.rows);
+        results[r] = client.infer(slice.images);
+      }
+    });
+  }
+  for (auto& submitter : submitters) {
+    submitter.join();
+  }
+  client.stop();
+  if (!opt.trace_out.empty()) {
+    obs::Tracer::global().close();
+  }
+
+  std::size_t ok = 0;
+  for (const auto& entry : results) {
+    if (entry.result.status == serve::Status::kOk) {
+      ++ok;
+    }
+  }
+  const std::vector<std::size_t> served = client.served_by_pod();
+  std::string spread;
+  for (std::size_t p = 0; p < served.size(); ++p) {
+    if (!spread.empty()) {
+      spread += " ";
+    }
+    spread += topology.pods[p].name + "=" + std::to_string(served[p]);
+  }
+  std::printf("[client %d] completed %zu/%zu requests (%s; %zu "
+              "failover%s)\n",
+              opt.client_id, ok, opt.requests, spread.c_str(),
+              client.total_failovers(),
+              client.total_failovers() == 1 ? "" : "s");
+
+  int exit_code = 0;
+  if (opt.check) {
+    if (ok != opt.requests) {
+      std::printf("serve check: MISMATCH (%zu/%zu requests completed)\n", ok,
+                  opt.requests);
+      exit_code = 2;
+    } else {
+      // Reference: the in-memory engine over the same query set with
+      // the same seeds.  Whichever pod served a request, its labels
+      // must match the engine's row for row.
+      core::TrustDdlEngine engine(spec, config);
+      const core::InferResult expected =
+          engine.infer(split.test, std::max<std::size_t>(opt.rows, 4));
+      bool match = true;
+      for (std::size_t r = 0; r < opt.requests && match; ++r) {
+        for (std::size_t i = 0; i < opt.rows; ++i) {
+          if (results[r].result.labels[i] !=
+              expected.labels[r * opt.rows + i]) {
+            match = false;
+            break;
+          }
+        }
+      }
+      std::printf("serve check: %s (in-memory engine, same seeds, routed "
+                  "across pods)\n",
+                  match ? "MATCH" : "MISMATCH");
+      if (!match) {
+        exit_code = 2;
+      }
+    }
+  }
+
+  // Let the stop notices drain before the pod sessions (and their
+  // sockets) are torn down with the FleetClient.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -234,13 +465,28 @@ int main(int argc, char** argv) {
   data_config.train_count = 1;
   data_config.test_count = opt.requests * opt.rows;
   data_config.seed = opt.data_seed;
+  // Query geometry follows the model: --model tiny-cnn serves 12x12
+  // 4-class queries, not the 28x28 MNIST default.
+  const nn::InputGeometry geometry = nn::input_geometry(spec);
+  data_config.height = geometry.height;
+  data_config.width = geometry.width;
+  data_config.classes = spec.classes;
   const auto split = data::generate_synthetic_mnist(data_config);
-
-  const std::vector<std::string> addresses = mesh_addresses(opt, num_actors);
 
   if (!opt.trace_out.empty()) {
     obs::Tracer::global().open(opt.trace_out);
   }
+
+  if (!opt.fleet_file.empty()) {
+    try {
+      return run_fleet(opt, config, spec, split);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "trustddl_client: %s\n", error.what());
+      return 1;
+    }
+  }
+
+  const std::vector<std::string> addresses = mesh_addresses(opt, num_actors);
 
   net::NetworkConfig net_config;
   net_config.num_parties = num_actors;

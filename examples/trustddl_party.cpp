@@ -71,6 +71,16 @@
 //                        detection events, traffic matrix, cost) after
 //                        the run; enables metrics collection
 //   --trace-out PATH     write a protocol-phase trace (JSONL spans)
+//   --fleet PATH         serve: read the pod's addresses from a fleet
+//                        topology file (trustddl.fleet.v1 JSON; see
+//                        src/fleet/topology.hpp and DESIGN.md §13);
+//                        requires --pod and implies the pod accepts
+//                        routed clients dynamically (clients may come
+//                        and go; sends to departed clients are dropped
+//                        rather than fatal)
+//   --pod NAME           serve: which pod of the --fleet topology this
+//                        process belongs to; also labels this pod's
+//                        serve.* metrics, /healthz and trace meta
 //   --admin-port N       live introspection endpoint on 127.0.0.1:N
 //                        (0 picks an ephemeral port, printed at
 //                        startup): GET /healthz, /metrics[?format=
@@ -119,6 +129,7 @@
 #include "core/metrics_export.hpp"
 #include "data/mnist_idx.hpp"
 #include "data/synthetic_mnist.hpp"
+#include "fleet/topology.hpp"
 #include "net/tcp_transport.hpp"
 #include "nn/loss.hpp"
 #include "obs/admin_server.hpp"
@@ -174,6 +185,10 @@ struct Options {
   int connect_timeout_ms = 10000;
   std::string metrics_out;
   std::string trace_out;
+  std::string fleet_file;  // --fleet topology path (serve only)
+  std::string pod_name;    // --pod: this process's pod in the fleet
+  bool fleet = false;      // fleet mode resolved (pod below is valid)
+  fleet::PodSpec pod;
   int admin_port = -1;  // -1 = no admin endpoint; 0 = ephemeral
   bool triple_prefetch = false;
   double triple_low_water = 0.5;
@@ -265,6 +280,7 @@ std::string task_usage() {
 
 Options parse_options(int argc, char** argv) {
   Options opt;
+  bool clients_given = false;
   auto value = [&](int& i) -> std::string {
     if (i + 1 >= argc) {
       usage_error(std::string("missing value for ") + argv[i]);
@@ -281,6 +297,7 @@ Options parse_options(int argc, char** argv) {
       opt.peers_text = value(i);
     } else if (arg == "--clients") {
       opt.clients = std::atoi(value(i).c_str());
+      clients_given = true;
     } else if (arg == "--serve-max-batch") {
       opt.serve_max_batch =
           static_cast<std::size_t>(std::atoll(value(i).c_str()));
@@ -351,6 +368,10 @@ Options parse_options(int argc, char** argv) {
       opt.metrics_out = value(i);
     } else if (arg == "--trace-out") {
       opt.trace_out = value(i);
+    } else if (arg == "--fleet") {
+      opt.fleet_file = value(i);
+    } else if (arg == "--pod") {
+      opt.pod_name = value(i);
     } else if (arg == "--admin-port") {
       opt.admin_port = std::atoi(value(i).c_str());
     } else if (arg == "--triple-prefetch") {
@@ -419,6 +440,28 @@ Options parse_options(int argc, char** argv) {
                     " has no data-owner actor (id 3)");
       }
     }
+  }
+  // Fleet mode: one topology file names every pod's addresses; the
+  // pod's client count defaults to the file's `clients` so parties and
+  // routed clients cannot disagree on the actor space.
+  if (!opt.fleet_file.empty() || !opt.pod_name.empty()) {
+    if (!serving) {
+      usage_error("--fleet/--pod only apply to --task serve");
+    }
+    if (opt.fleet_file.empty() || opt.pod_name.empty()) {
+      usage_error("--fleet and --pod must be given together");
+    }
+    try {
+      const fleet::FleetTopology topology =
+          fleet::load_topology(opt.fleet_file);
+      opt.pod = topology.pods[topology.pod_index(opt.pod_name)];
+      if (topology.clients > 0 && !clients_given) {
+        opt.clients = topology.clients;
+      }
+    } catch (const Error& error) {
+      usage_error(error.what());
+    }
+    opt.fleet = true;
   }
   // Peers are parsed only once the task is known: serving adds client
   // (or training data owner) actor ids and drops the single data owner
@@ -522,7 +565,10 @@ int run_serve(const Options& opt, const core::EngineConfig& config,
   std::vector<std::string> addresses = opt.peers;
   if (addresses.empty()) {
     for (int id = 0; id < num_actors; ++id) {
-      addresses.push_back("127.0.0.1:" + std::to_string(opt.port_base + id));
+      addresses.push_back(opt.fleet
+                              ? opt.pod.address_of(id)
+                              : "127.0.0.1:" +
+                                    std::to_string(opt.port_base + id));
     }
   }
 
@@ -562,8 +608,14 @@ int run_serve(const Options& opt, const core::EngineConfig& config,
       if (id != core::kModelOwner) {
         peers.push_back(core::kModelOwner);
       }
-      for (int c = 0; c < opt.clients; ++c) {
-        peers.push_back(static_cast<net::PartyId>(serve::kFirstClientId + c));
+      // Fleet pods do not rendezvous with clients: routed clients
+      // attach (and re-attach after a failover) through the dynamic
+      // acceptor below, so the pod comes up without waiting for them.
+      if (!opt.fleet) {
+        for (int c = 0; c < opt.clients; ++c) {
+          peers.push_back(
+              static_cast<net::PartyId>(serve::kFirstClientId + c));
+        }
       }
       return peers;
     };
@@ -589,9 +641,21 @@ int run_serve(const Options& opt, const core::EngineConfig& config,
         }
       }
     }
-    std::printf("serve mesh connected (%zu local actor%s, %d client%s)\n",
-                transports.size(), transports.size() == 1 ? "" : "s",
-                opt.clients, opt.clients == 1 ? "" : "s");
+    if (opt.fleet) {
+      for (auto& transport : transports) {
+        transport->accept_dynamic_peers(
+            static_cast<net::PartyId>(serve::kFirstClientId));
+      }
+      std::printf("serve mesh connected (pod %s, %zu local actor%s, "
+                  "accepting %d routed client%s)\n",
+                  opt.pod.name.c_str(), transports.size(),
+                  transports.size() == 1 ? "" : "s", opt.clients,
+                  opt.clients == 1 ? "" : "s");
+    } else {
+      std::printf("serve mesh connected (%zu local actor%s, %d client%s)\n",
+                  transports.size(), transports.size() == 1 ? "" : "s",
+                  opt.clients, opt.clients == 1 ? "" : "s");
+    }
 
     std::vector<mpc::DetectionLog> party_logs(transports.size());
     std::mutex logs_mu;  // admin /metrics provider vs body assignments
@@ -727,6 +791,10 @@ int run_train_serve(const Options& opt, const core::EngineConfig& config,
   data_config.train_count = opt.rows;
   data_config.test_count = opt.images;
   data_config.seed = opt.data_seed;
+  const nn::InputGeometry geometry = nn::input_geometry(spec);
+  data_config.height = geometry.height;
+  data_config.width = geometry.width;
+  data_config.classes = spec.classes;
   const auto split = data::load_mnist_or_synthetic(opt.mnist_dir, data_config);
 
   try {
@@ -964,6 +1032,13 @@ int main(int argc, char** argv) {
     config.trunc_mode = mpc::TruncationMode::kMaskedOpen;
   }
 
+  // Pod identity must be set before the tracer opens (the trace meta
+  // record carries it) and before the admin server answers /healthz:
+  // it is what lets fleet-wide roll-ups attribute every sample,
+  // span and health probe to its serving pod.
+  if (opt.fleet) {
+    obs::HealthState::global().set_pod(opt.pod.name);
+  }
   // Telemetry: arm the sinks before any actor runs so every span,
   // counter and detection event of this process's actors is captured.
   if (!opt.metrics_out.empty()) {
@@ -996,6 +1071,13 @@ int main(int argc, char** argv) {
   data_config.train_count = opt.rows;
   data_config.test_count = opt.images;
   data_config.seed = opt.data_seed;
+  // Synthetic-data geometry follows the model (--model tiny-cnn means
+  // 12x12 4-class images); real MNIST idx files are 28x28/10 and only
+  // fit the mlp/cnn specs.
+  const nn::InputGeometry geometry = nn::input_geometry(spec);
+  data_config.height = geometry.height;
+  data_config.width = geometry.width;
+  data_config.classes = spec.classes;
   const auto split =
       data::load_mnist_or_synthetic(opt.mnist_dir, data_config);
   if (!opt.mnist_dir.empty() && !data::mnist_files_present(opt.mnist_dir)) {

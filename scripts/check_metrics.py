@@ -48,7 +48,10 @@ Introspection-plane checks (PR 9):
     ({"export": ..., "prometheus": "..."}).  Both views are rendered
     from one registry snapshot, so every Prometheus sample must match
     the JSON export exactly: equal counter/gauge/peak values, equal
-    cumulative histogram buckets, _count and _sum;
+    cumulative histogram buckets, _count and _sum.  Processes started
+    with --pod label their serve.* families with {pod="<name>"}; the
+    check strips that label after verifying it only ever appears on
+    serve.* families and names the same pod on every sample;
   * --healthz HEALTH_JSON: shape-checks a GET /healthz body (status /
     role / uptime_us / peers with ages).
 
@@ -277,6 +280,18 @@ def prometheus_samples(text):
     return samples
 
 
+def split_pod(labels):
+    """Strip a leading pod="..." label; returns (pod_or_None, rest).
+
+    The admin server composes histogram bucket labels pod-then-le, so
+    a pod label is always the first label when present.
+    """
+    if labels.startswith('pod="'):
+        end = labels.index('"', len('pod="'))
+        return labels[len('pod="'):end], labels[end + 1:].lstrip(",")
+    return None, labels
+
+
 def check_pair(path):
     """A ?format=pair body: prometheus text == JSON export, sample for
     sample.  Both views come from one snapshot, so any mismatch is a
@@ -291,32 +306,52 @@ def check_pair(path):
     check_metrics_section(metrics)
     samples = prometheus_samples(pair["prometheus"])
 
+    # A --pod process labels its serve.* families {pod="<name>"}; every
+    # such sample must name the same pod, and no other family may carry
+    # one.  `None` in the set marks an unlabeled serve sample, so a
+    # half-labeled export also fails the <=1 check below.
+    serve_pods = set()
+
+    def family(name, prom):
+        """Samples for one exported family, pod label verified/stripped."""
+        stripped = []
+        for labels, value in samples.get(prom, []):
+            pod, rest = split_pod(labels)
+            require(pod is None or name.startswith("serve."),
+                    "non-serve sample %r carries pod=%r" % (prom, pod))
+            if name.startswith("serve."):
+                serve_pods.add(pod)
+            stripped.append((rest, value))
+        return stripped
+
     checked = 0
     for name, value in metrics["counters"].items():
         prom = prometheus_name(name)
         require(prom in samples, "counter %r missing from prometheus" % name)
-        require(samples[prom] == [("", float(value))],
+        require(family(name, prom) == [("", float(value))],
                 "counter %r: prometheus %r != export %d"
                 % (name, samples[prom], value))
         checked += 1
     for name, gauge in metrics["gauges"].items():
         prom = prometheus_name(name)
-        require(samples.get(prom) == [("", float(gauge["value"]))],
+        require(family(name, prom) == [("", float(gauge["value"]))],
                 "gauge %r: prometheus %r != export %d"
                 % (name, samples.get(prom), gauge["value"]))
-        require(samples.get(prom + "_peak") == [("", float(gauge["peak"]))],
+        require(family(name, prom + "_peak")
+                == [("", float(gauge["peak"]))],
                 "gauge %r peak mismatch" % name)
         checked += 2
     for name, hist in metrics["histograms"].items():
         prom = prometheus_name(name)
-        require(samples.get(prom + "_count") == [("", float(hist["count"]))],
+        require(family(name, prom + "_count")
+                == [("", float(hist["count"]))],
                 "histogram %r count mismatch" % name)
-        require(samples.get(prom + "_sum") == [("", float(hist["sum"]))],
+        require(family(name, prom + "_sum") == [("", float(hist["sum"]))],
                 "histogram %r sum mismatch" % name)
-        buckets = samples.get(prom + "_bucket")
-        require(buckets is not None and len(buckets) == 16,
-                "histogram %r has %r prometheus buckets"
-                % (name, None if buckets is None else len(buckets)))
+        buckets = family(name, prom + "_bucket")
+        require(len(buckets) == 16,
+                "histogram %r has %d prometheus buckets"
+                % (name, len(buckets)))
         cumulative = 0
         for index, (labels, value) in enumerate(buckets):
             cumulative += hist["buckets"][index]
@@ -328,6 +363,9 @@ def check_pair(path):
                     "histogram %r bucket le=%s: prometheus %g != "
                     "cumulative %d" % (name, expected_le, value, cumulative))
         checked += 18
+    require(len(serve_pods) <= 1,
+            "serve.* samples disagree on the pod label: %r"
+            % sorted(str(pod) for pod in serve_pods))
     # Completeness the other way: no prometheus sample without a source.
     known = set()
     for name in metrics["counters"]:

@@ -10,17 +10,29 @@ each process sees, progress watermarks, and recent detection events.
 Usage:
   fleet_status.py HOST:PORT...            one-shot roll-up
   fleet_status.py --ports 28600,28601     shorthand for 127.0.0.1 ports
+  fleet_status.py --topology fleet.json   pod-grouped fleet roll-up
   fleet_status.py ... --watch 2           repaint every 2 seconds
   fleet_status.py ... --json              machine-readable output
 
-Exit status: 0 when every polled endpoint answered /healthz with
-status ok, 1 when any endpoint was unreachable or degraded -- so the
-one-shot form doubles as a fleet health probe in scripts.
+Exit status without --topology: 0 when every polled endpoint answered
+/healthz with status ok, 1 when any endpoint was unreachable or
+degraded -- so the one-shot form doubles as a fleet health probe in
+scripts.
+
+With --topology (a trustddl.fleet.v1 file; see DESIGN.md section 13)
+the endpoints come from each pod's admin_ports, the roll-up is grouped
+by pod, and the exit code is fleet-level: 0 when every pod is fully
+healthy, 1 when the fleet is degraded (some pods healthy, some not --
+routed clients still have somewhere to fail over to), 2 when no pod is
+healthy (a fleet-wide outage).  A refused or half-open admin port is
+reported as DOWN and never crashes the poll -- crashed pods are a
+state to display, not an error to die on.
 
 Stdlib only; no third-party imports.
 """
 
 import argparse
+import http.client
 import json
 import sys
 import time
@@ -39,8 +51,33 @@ def fetch_json(base, target, timeout):
             return error.code, json.loads(error.read())
         except (json.JSONDecodeError, ValueError):
             return error.code, None
-    except (OSError, json.JSONDecodeError, ValueError):
+    except (OSError, http.client.HTTPException, json.JSONDecodeError,
+            ValueError):
+        # OSError covers refused/reset connections; HTTPException
+        # covers half-open sockets (e.g. RemoteDisconnected, where a
+        # dying process accepted the connection but never answered).
+        # Either way the endpoint is DOWN -- report it and keep
+        # polling the rest of the fleet.
         return 0, None
+
+
+def load_topology(path):
+    """Parse a trustddl.fleet.v1 topology into [(pod, [endpoints])]."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    pods = []
+    for pod in document.get("pods", []):
+        name = pod.get("name")
+        host = pod.get("host", "127.0.0.1")
+        ports = pod.get("admin_ports", [])
+        if not name:
+            raise ValueError(f"{path}: pod without a name")
+        if not ports:
+            raise ValueError(f"{path}: pod {name} lists no admin_ports")
+        pods.append((name, [f"{host}:{port}" for port in ports]))
+    if not pods:
+        raise ValueError(f"{path}: no pods in topology")
+    return pods
 
 
 def poll_endpoint(base, timeout):
@@ -81,19 +118,43 @@ def fmt_age(us):
     return f"{us / 1e3:.0f}ms"
 
 
+def pod_health(summaries):
+    """Map pod -> True iff every one of its endpoints is healthy."""
+    pods = {}
+    for summary in summaries:
+        pod = summary.get("pod")
+        if pod is not None:
+            pods[pod] = pods.get(pod, True) and summary["healthy"]
+    return pods
+
+
 def render(summaries):
     lines = []
     healthy = sum(1 for s in summaries if s["healthy"])
-    lines.append(f"fleet: {healthy}/{len(summaries)} endpoints healthy "
-                 f"({time.strftime('%H:%M:%S')})")
+    pods = pod_health(summaries)
+    if pods:
+        healthy_pods = sum(1 for ok in pods.values() if ok)
+        lines.append(f"fleet: {healthy_pods}/{len(pods)} pods healthy, "
+                     f"{healthy}/{len(summaries)} endpoints healthy "
+                     f"({time.strftime('%H:%M:%S')})")
+    else:
+        lines.append(f"fleet: {healthy}/{len(summaries)} endpoints healthy "
+                     f"({time.strftime('%H:%M:%S')})")
     lines.append("")
     header = (f"{'endpoint':<22} {'health':<9} {'role':<34} "
               f"{'uptime':>8} {'stalest peer':>14} {'watermarks'}")
     lines.append(header)
     lines.append("-" * len(header))
+    current_pod = None
     for summary in summaries:
+        pod = summary.get("pod")
+        if pod is not None and pod != current_pod:
+            current_pod = pod
+            state = "ok" if pods[pod] else "DEGRADED"
+            lines.append(f"pod {pod}: {state}")
+        prefix = "  " if pod is not None else ""
         if not summary["reachable"]:
-            lines.append(f"{summary['endpoint']:<22} {'DOWN':<9}")
+            lines.append(f"{prefix}{summary['endpoint']:<22} {'DOWN':<9}")
             continue
         health = "ok" if summary["healthy"] else "DEGRADED"
         stalest = "-"
@@ -105,7 +166,7 @@ def render(summaries):
         watermarks = ", ".join(
             f"{key}={value}"
             for key, value in sorted(summary.get("watermarks", {}).items()))
-        lines.append(f"{summary['endpoint']:<22} {health:<9} "
+        lines.append(f"{prefix}{summary['endpoint']:<22} {health:<9} "
                      f"{summary.get('role', '?'):<34} "
                      f"{fmt_age(summary.get('uptime_us')):>8} "
                      f"{stalest:>14} {watermarks}")
@@ -130,6 +191,10 @@ def main():
     parser.add_argument("--ports", default="",
                         help="comma-separated ports on 127.0.0.1 "
                              "(shorthand for positional endpoints)")
+    parser.add_argument("--topology", default="",
+                        help="trustddl.fleet.v1 topology file: poll every "
+                             "pod's admin_ports, group by pod, exit "
+                             "0=healthy/1=degraded/2=outage")
     parser.add_argument("--timeout", type=float, default=2.0,
                         help="per-request timeout seconds [2]")
     parser.add_argument("--watch", type=float, default=0.0, metavar="SEC",
@@ -141,17 +206,38 @@ def main():
     endpoints = list(args.endpoints)
     endpoints += [f"127.0.0.1:{port.strip()}"
                   for port in args.ports.split(",") if port.strip()]
-    if not endpoints:
-        parser.error("no endpoints given (positional or --ports)")
+    targets = [(None, base) for base in endpoints]
+    if args.topology:
+        if endpoints:
+            parser.error("--topology already names the fleet's endpoints; "
+                         "drop the positional/--ports ones")
+        try:
+            for pod, pod_endpoints in load_topology(args.topology):
+                targets += [(pod, base) for base in pod_endpoints]
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            parser.error(f"cannot load topology: {error}")
+    if not targets:
+        parser.error("no endpoints given (positional, --ports or "
+                     "--topology)")
 
     while True:
-        summaries = [poll_endpoint(base, args.timeout)
-                     for base in endpoints]
+        summaries = []
+        for pod, base in targets:
+            summary = poll_endpoint(base, args.timeout)
+            if pod is not None:
+                summary["pod"] = pod
+            summaries.append(summary)
         if args.json:
             print(json.dumps(summaries, indent=2))
         else:
             print(render(summaries))
         if not args.watch:
+            if args.topology:
+                pods = pod_health(summaries)
+                healthy_pods = sum(1 for ok in pods.values() if ok)
+                if healthy_pods == len(pods):
+                    return 0
+                return 1 if healthy_pods else 2
             return 0 if all(s["healthy"] for s in summaries) else 1
         time.sleep(args.watch)
 

@@ -83,9 +83,15 @@ def load_trace(path):
     if meta is None:
         raise ValueError(f"{path}: no meta record (not a --trace-out file?)")
     origin = int(meta.get("wall_epoch_us", 0))
+    # Fleet deployments stamp the pod name into the meta record; carry
+    # it onto every span so timelines can be attributed to the serving
+    # pod even after traces from many pods are merged into one pool.
+    pod = meta.get("pod")
     for record in records:
         record["wall_us"] = origin + int(record.get("ts_us", 0))
         record["source"] = os.path.basename(path)
+        if pod is not None:
+            record["pod"] = pod
     return meta, records
 
 
@@ -142,6 +148,7 @@ def build_timelines(records):
             "e2e_us": int(span["dur_us"]),
             "wall_start_us": span["wall_us"],
             "trace_id": None,
+            "pod": None,
             "queue_us": None,
             "compute_us": None,
             "other_us": None,
@@ -151,6 +158,12 @@ def build_timelines(records):
         if key in entry_of:
             trace_id, entry = entry_of[key]
             timeline["trace_id"] = trace_id
+            # The pod that served the request is the dispatching
+            # owner's pod (the client routes between pods and carries
+            # no pod identity of its own).
+            dispatch = dispatches.get(trace_id)
+            if dispatch is not None:
+                timeline["pod"] = dispatch.get("pod")
             timeline["queue_us"] = int(entry.get("queue_us", 0))
             spans = batches.get(trace_id, {})
             timeline["party_batch_us"] = {
@@ -258,10 +271,22 @@ def render_report(timelines, problems, rounds, submissions, max_rows):
                 f"{100.0 * total_queue / total_e2e:.1f}%, compute "
                 f"{100.0 * total_compute / total_e2e:.1f}%, "
                 f"network+other {100.0 * total_other / total_e2e:.1f}%")
+            by_pod = {}
+            for timeline in complete:
+                if timeline["pod"] is not None:
+                    by_pod.setdefault(timeline["pod"], []).append(
+                        timeline["e2e_us"])
+            for pod in sorted(by_pod):
+                e2e = by_pod[pod]
+                lines.append(
+                    f"- pod {pod}: {len(e2e)} requests, e2e ms p50 "
+                    f"{fmt_us(percentile(e2e, 0.50))}, p95 "
+                    f"{fmt_us(percentile(e2e, 0.95))}")
         lines.append("")
-        lines.append("| request | batch | status | e2e ms | queue ms | "
-                     "compute ms | other ms | per-party batch ms |")
-        lines.append("|---|---|---|---:|---:|---:|---:|---|")
+        lines.append("| request | batch | pod | status | e2e ms | "
+                     "queue ms | compute ms | other ms | "
+                     "per-party batch ms |")
+        lines.append("|---|---|---|---|---:|---:|---:|---:|---|")
         for timeline in timelines[:max_rows]:
             per_party = " ".join(
                 f"p{party}:{fmt_us(duration)}"
@@ -270,7 +295,8 @@ def render_report(timelines, problems, rounds, submissions, max_rows):
                      if timeline["trace_id"] is not None else "-")
             lines.append(
                 f"| req:{timeline['client']}:{timeline['seq']} "
-                f"| {batch} | {timeline['status']} "
+                f"| {batch} | {timeline['pod'] or '-'} "
+                f"| {timeline['status']} "
                 f"| {fmt_us(timeline['e2e_us'])} "
                 f"| {fmt_us(timeline['queue_us'])} "
                 f"| {fmt_us(timeline['compute_us'])} "
@@ -335,7 +361,8 @@ def self_check():
     ]
     fixture_parties = [
         {"kind": "meta", "name": "process", "party": -1, "step": 0,
-         "ts_us": 0, "dur_us": 0, "wall_epoch_us": 1000050, "pid": 2},
+         "ts_us": 0, "dur_us": 0, "wall_epoch_us": 1000050, "pid": 2,
+         "pod": "east"},
         {"kind": "instant", "name": "serve.dispatch", "party": 4, "step": 0,
          "ts_us": 40, "dur_us": 0, "trace_id": 77,
          "entries": [{"client": 5, "seq": 0, "rows": 2, "queue_us": 100}],
@@ -379,11 +406,15 @@ def self_check():
         # Clock alignment: the client span start maps through its own
         # wall origin, not the parties'.
         assert timeline["wall_start_us"] == 1000000 + 5, timeline
+        # Pod attribution follows the dispatching owner, not the
+        # (pod-less) client.
+        assert timeline["pod"] == "east", timeline
         assert not problems, problems
         assert "round:0:0" in rounds, rounds
 
         report = render_report(timelines, problems, rounds, submissions, 50)
         assert "req:5:0" in report and "round:0:0" in report
+        assert "pod east: 1 requests" in report, report
 
         # Orphan detection: a batch span with no dispatch must surface.
         orphan = dict(fixture_parties[2])

@@ -45,6 +45,9 @@ void ModelOwnerService::run() {
   using Clock = std::chrono::steady_clock;
   std::optional<Clock::time_point> grace_deadline;
   for (;;) {
+    if (abort_requested_.load(std::memory_order_relaxed)) {
+      return;
+    }
     bool progress = false;
     for (int party = 0; party < kComputingParties; ++party) {
       const auto slot = static_cast<std::size_t>(party);

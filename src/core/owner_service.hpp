@@ -22,6 +22,7 @@
 // guarantees two honest parties) and pending groups are drained.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -62,6 +63,14 @@ class ModelOwnerService {
   /// owner's thread.
   void run();
 
+  /// Makes run() return at its next loop iteration without waiting
+  /// for party stops — used when the owner process itself is going
+  /// down (scheduler chaos crash in pod-failover tests).  Safe to
+  /// call from any thread.
+  void request_stop() {
+    abort_requested_.store(true, std::memory_order_relaxed);
+  }
+
   /// Values reconstructed from kReveal requests, by key.
   const std::map<std::string, RingTensor>& revealed() const {
     return revealed_;
@@ -100,6 +109,7 @@ class ModelOwnerService {
   std::array<std::uint64_t, kComputingParties> next_collective_{};
   int stop_count_ = 0;
   std::array<bool, kComputingParties> stopped_{};
+  std::atomic<bool> abort_requested_{false};
 
   /// Fill-response cache keyed by the raw request payload: the three
   /// parties issue byte-identical requests for a range, so the second

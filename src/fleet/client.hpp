@@ -1,0 +1,119 @@
+// Routed serving client: one logical client over N pods.
+//
+// FleetClient wraps one InferenceClient per pod behind a PodRouter.
+// A request goes to the client's home pod (rendezvous hash of its
+// client key); if that pod's owner is stale, the connect fails, or
+// the request times out / keeps getting rejected, the client marks
+// the pod down and *resubmits the same rows to the next pod in its
+// preference order under a fresh seq id*.  Because every pod loads
+// the same model seed, a resubmitted request reconstructs exactly the
+// labels the home pod would have produced — failover is label-exact.
+//
+// Pod attachment is lazy and pluggable via PodConnector: the TCP CLI
+// dials a fresh ephemeral-port transport per pod on first use, the
+// in-memory fleet harness hands out endpoints on its per-pod
+// Networks.  stop() broadcasts the client's stop notice to every pod
+// (connecting if it never talked to one), because each pod's
+// owner-sequencer counts stops from all expected clients before
+// shutting down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fleet/router.hpp"
+#include "numeric/tensor.hpp"
+#include "serve/client.hpp"
+
+namespace trustddl::fleet {
+
+/// One live attachment to a pod.  Implementations own whatever keeps
+/// the InferenceClient's endpoint alive (a TcpTransport for real
+/// deployments, nothing extra in-memory); destruction tears it down.
+class PodSession {
+ public:
+  virtual ~PodSession() = default;
+  virtual serve::InferenceClient& client() = 0;
+};
+
+/// Connects this client to `pod`; throws on failure.  `for_stop` is
+/// true for the shutdown broadcast, where implementations should use
+/// a short connect timeout (the pod may be dead).
+using PodConnector =
+    std::function<std::unique_ptr<PodSession>(std::size_t pod, bool for_stop)>;
+
+/// Optional out-of-band liveness probe (admin /healthz for TCP
+/// fleets); returning false skips the pod before any shares move.
+using PodProbe = std::function<bool(std::size_t pod)>;
+
+struct FleetClientOptions {
+  serve::ClientOptions client;
+  RouterOptions router;
+  /// Bound on pod attempts per request (0 = 2 * num_pods).
+  int max_pod_attempts = 0;
+};
+
+struct FleetResult {
+  serve::InferenceResult result;
+  /// Pod that produced (or last attempted) the result.
+  std::size_t pod = 0;
+  /// Pods abandoned before this result landed.
+  int failovers = 0;
+};
+
+class FleetClient {
+ public:
+  /// `client_key` feeds the rendezvous hash — use the client's actor
+  /// id so every component derives the same assignment.
+  FleetClient(std::uint64_t client_key, std::vector<std::string> pod_names,
+              PodConnector connector, FleetClientOptions options = {},
+              PodProbe probe = {});
+
+  /// Routed submit+await with failover.  Never throws on pod failure;
+  /// a fleet-wide outage surfaces as Status::kDeadlineMissed.
+  FleetResult infer(const RealTensor& images);
+
+  /// Broadcasts this client's stop notice to every pod (best effort
+  /// for pods that are down).
+  void stop();
+
+  std::size_t home_pod() const { return router_.home_pod(client_key_); }
+  const PodRouter& router() const { return router_; }
+  std::size_t num_pods() const { return router_.num_pods(); }
+
+  /// Requests served per pod and failovers, for reporting.
+  std::vector<std::size_t> served_by_pod() const;
+  std::size_t total_failovers() const;
+
+ private:
+  /// Session for `pod`, connecting lazily; shared_ptr so a concurrent
+  /// drop (failover on another thread) cannot free it mid-request.
+  std::shared_ptr<PodSession> ensure_session(std::size_t pod, bool for_stop);
+  void drop_session(std::size_t pod, const std::shared_ptr<PodSession>& sess);
+
+  /// One attempt against one pod; returns true when `out` holds a
+  /// terminal kOk result.
+  bool try_pod(std::size_t pod, const RealTensor& images, FleetResult& out);
+
+  std::uint64_t client_key_;
+  PodRouter router_;
+  PodConnector connector_;
+  FleetClientOptions options_;
+  PodProbe probe_;
+
+  struct PodSlot {
+    std::mutex mu;
+    std::shared_ptr<PodSession> session;
+  };
+  std::vector<std::unique_ptr<PodSlot>> slots_;
+
+  mutable std::mutex stats_mu_;
+  std::vector<std::size_t> served_by_pod_;
+  std::size_t failovers_ = 0;
+};
+
+}  // namespace trustddl::fleet

@@ -1,0 +1,269 @@
+#include "fleet/topology.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace trustddl::fleet {
+namespace {
+
+// Cursor over the JSON text.  Only the shapes the topology schema
+// needs are implemented: objects, arrays, double-quoted strings
+// without escapes, and (signed) integers.  Anything else is a parse
+// error with a byte offset so a typo in a hand-edited file is easy to
+// find.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_if(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        fail("string escapes are not supported in topology files");
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+    }
+    std::string out = text_.substr(start, pos_ - start);
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  long long parse_int() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected an integer");
+    }
+    return std::stoll(text_.substr(start, pos_ - start));
+  }
+
+  void skip_value();
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    std::ostringstream oss;
+    oss << "fleet topology: " << why << " at byte " << pos_;
+    throw InvalidArgument(oss.str());
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// Skips any supported value (used for unknown keys so topology files
+// can grow fields without breaking older binaries).
+void JsonCursor::skip_value() {
+  const char c = peek();
+  if (c == '"') {
+    parse_string();
+  } else if (c == '{') {
+    expect('{');
+    if (!consume_if('}')) {
+      do {
+        parse_string();
+        expect(':');
+        skip_value();
+      } while (consume_if(','));
+      expect('}');
+    }
+  } else if (c == '[') {
+    expect('[');
+    if (!consume_if(']')) {
+      do {
+        skip_value();
+      } while (consume_if(','));
+      expect(']');
+    }
+  } else if (c == 't' || c == 'f' || c == 'n') {
+    // true / false / null
+    while (!at_end() && std::isalpha(static_cast<unsigned char>(peek())) != 0) {
+      expect(peek());
+    }
+  } else {
+    parse_int();
+  }
+}
+
+PodSpec parse_pod(JsonCursor& cur) {
+  PodSpec pod;
+  cur.expect('{');
+  if (!cur.consume_if('}')) {
+    do {
+      const std::string key = cur.parse_string();
+      cur.expect(':');
+      if (key == "name") {
+        pod.name = cur.parse_string();
+      } else if (key == "host") {
+        pod.host = cur.parse_string();
+      } else if (key == "port_base") {
+        pod.port_base = static_cast<int>(cur.parse_int());
+      } else if (key == "admin_ports") {
+        cur.expect('[');
+        if (!cur.consume_if(']')) {
+          do {
+            pod.admin_ports.push_back(static_cast<int>(cur.parse_int()));
+          } while (cur.consume_if(','));
+          cur.expect(']');
+        }
+      } else {
+        cur.skip_value();
+      }
+    } while (cur.consume_if(','));
+    cur.expect('}');
+  }
+  TRUSTDDL_REQUIRE(!pod.name.empty(), "fleet topology: pod missing \"name\"");
+  TRUSTDDL_REQUIRE(pod.port_base > 0,
+                   "fleet topology: pod \"" + pod.name +
+                       "\" missing a positive \"port_base\"");
+  return pod;
+}
+
+}  // namespace
+
+std::string PodSpec::address_of(int actor) const {
+  TRUSTDDL_REQUIRE(actor >= 0, "address_of: negative actor id");
+  std::ostringstream oss;
+  oss << host << ":" << (port_base + actor);
+  return oss.str();
+}
+
+std::size_t FleetTopology::pod_index(const std::string& name) const {
+  for (std::size_t i = 0; i < pods.size(); ++i) {
+    if (pods[i].name == name) {
+      return i;
+    }
+  }
+  throw InvalidArgument("fleet topology: no pod named \"" + name + "\"");
+}
+
+std::vector<std::string> FleetTopology::pod_names() const {
+  std::vector<std::string> names;
+  names.reserve(pods.size());
+  for (const auto& pod : pods) {
+    names.push_back(pod.name);
+  }
+  return names;
+}
+
+std::string FleetTopology::to_json() const {
+  std::ostringstream oss;
+  oss << "{\"schema\": \"trustddl.fleet.v1\", \"clients\": " << clients
+      << ", \"pods\": [";
+  for (std::size_t i = 0; i < pods.size(); ++i) {
+    const auto& pod = pods[i];
+    if (i != 0) {
+      oss << ", ";
+    }
+    oss << "{\"name\": \"" << pod.name << "\", \"host\": \"" << pod.host
+        << "\", \"port_base\": " << pod.port_base << ", \"admin_ports\": [";
+    for (std::size_t j = 0; j < pod.admin_ports.size(); ++j) {
+      if (j != 0) {
+        oss << ", ";
+      }
+      oss << pod.admin_ports[j];
+    }
+    oss << "]}";
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+FleetTopology parse_topology(const std::string& json_text) {
+  FleetTopology topo;
+  JsonCursor cur(json_text);
+  cur.expect('{');
+  if (!cur.consume_if('}')) {
+    do {
+      const std::string key = cur.parse_string();
+      cur.expect(':');
+      if (key == "pods") {
+        cur.expect('[');
+        if (!cur.consume_if(']')) {
+          do {
+            topo.pods.push_back(parse_pod(cur));
+          } while (cur.consume_if(','));
+          cur.expect(']');
+        }
+      } else if (key == "clients") {
+        topo.clients = static_cast<int>(cur.parse_int());
+      } else {
+        cur.skip_value();
+      }
+    } while (cur.consume_if(','));
+    cur.expect('}');
+  }
+  TRUSTDDL_REQUIRE(cur.at_end(),
+                   "fleet topology: trailing garbage after document");
+  TRUSTDDL_REQUIRE(!topo.pods.empty(),
+                   "fleet topology: \"pods\" must list at least one pod");
+  TRUSTDDL_REQUIRE(topo.clients >= 0,
+                   "fleet topology: \"clients\" must be non-negative");
+  for (std::size_t i = 0; i < topo.pods.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.pods.size(); ++j) {
+      TRUSTDDL_REQUIRE(topo.pods[i].name != topo.pods[j].name,
+                       "fleet topology: duplicate pod name \"" +
+                           topo.pods[i].name + "\"");
+    }
+  }
+  return topo;
+}
+
+FleetTopology load_topology(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TRUSTDDL_REQUIRE(in.good(),
+                   "fleet topology: cannot open \"" + path + "\"");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_topology(buf.str());
+}
+
+}  // namespace trustddl::fleet

@@ -1,0 +1,69 @@
+// Fleet topology: the shared map from pod name to actor endpoints.
+//
+// A fleet is N independent 3-party pods (parties 0..2, data owner 3,
+// model owner 4) that all load the same model seed.  Every CLI in a
+// deployment — parties, owners, routed clients, and the Python
+// observability scripts — reads the same small JSON file so there is
+// exactly one place where the wiring lives:
+//
+//   {
+//     "schema": "trustddl.fleet.v1",
+//     "clients": 4,
+//     "pods": [
+//       {"name": "pod0", "host": "127.0.0.1", "port_base": 29500,
+//        "admin_ports": [28700, 28701, 28702]},
+//       {"name": "pod1", "host": "127.0.0.1", "port_base": 29520,
+//        "admin_ports": [28710, 28711, 28712]}
+//     ]
+//   }
+//
+// Actor `i` of a pod listens on host:port_base+i (the same shorthand
+// as `trustddl_party --port-base`); client slots above kNumActors are
+// ephemeral and never dialed.  `admin_ports` lists the pod's admin
+// endpoints; by convention the first entry is the process hosting the
+// owner-sequencer, which is what routed clients probe for pod health.
+// The parser is a dependency-free JSON subset (objects, arrays,
+// strings, integers) — the Python scripts use stdlib json on the same
+// file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trustddl::fleet {
+
+struct PodSpec {
+  std::string name;
+  std::string host = "127.0.0.1";
+  int port_base = 0;
+  std::vector<int> admin_ports;
+
+  /// "host:port_base+actor" — the dial address for actor `actor`.
+  std::string address_of(int actor) const;
+};
+
+struct FleetTopology {
+  std::vector<PodSpec> pods;
+  /// Expected number of serve clients (sizes every pod's actor space);
+  /// 0 means "not specified in the file".
+  int clients = 0;
+
+  /// Index of the pod named `name`; throws InvalidArgument if absent.
+  std::size_t pod_index(const std::string& name) const;
+
+  /// Pod names in file order (the router hashes these).
+  std::vector<std::string> pod_names() const;
+
+  /// Serialized back to the canonical JSON form (tests, debugging).
+  std::string to_json() const;
+};
+
+/// Parses the JSON topology text; throws InvalidArgument on malformed
+/// input, duplicate pod names, or missing required fields.
+FleetTopology parse_topology(const std::string& json_text);
+
+/// Reads and parses a topology file; throws InvalidArgument on I/O error.
+FleetTopology load_topology(const std::string& path);
+
+}  // namespace trustddl::fleet

@@ -127,6 +127,16 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+/// Bound the blocking reads on `fd` (0 ms clears the bound) — used
+/// for the dynamic-acceptor hello so a half-open connection cannot
+/// wedge the acceptor thread.
+void set_recv_timeout(int fd, long ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
 }  // namespace
 
 TcpAddress parse_address(const std::string& text) {
@@ -287,6 +297,97 @@ void TcpTransport::connect(const std::vector<std::string>& peer_addresses) {
   connect(peer_addresses, peers);
 }
 
+void TcpTransport::accept_dynamic_peers(PartyId min_id) {
+  TRUSTDDL_REQUIRE(min_id > self_ && min_id < config_.num_parties,
+                   "accept_dynamic_peers: min_id must be above self and "
+                   "inside the actor space");
+  TRUSTDDL_REQUIRE(dynamic_min_id_.load() < 0,
+                   "accept_dynamic_peers: already accepting");
+  dynamic_min_id_.store(min_id);
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+}
+
+void TcpTransport::acceptor_loop() {
+  while (running_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc <= 0) {
+      continue;  // periodic running_ re-check; EINTR retried
+    }
+    if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+      return;  // listener torn down
+    }
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    // Hello under a read bound: a connection that never says who it
+    // is gets dropped instead of wedging the acceptor.
+    set_recv_timeout(fd, 2000);
+    std::uint8_t hello[8];
+    const bool ok = read_exact(fd, hello, sizeof(hello));
+    set_recv_timeout(fd, 0);
+    if (!ok || get_u32(hello) != kMagic) {
+      TRUSTDDL_LOG_WARN(kLog)
+          << "party " << self_
+          << ": rejecting dynamic connection with bad handshake";
+      close_quietly(fd);
+      continue;
+    }
+    const auto peer_id = static_cast<PartyId>(get_u32(hello + 4));
+    if (peer_id < dynamic_min_id_.load() || peer_id >= config_.num_parties ||
+        peer_id == self_) {
+      TRUSTDDL_LOG_WARN(kLog)
+          << "party " << self_
+          << ": rejecting dynamic connection claiming actor " << peer_id;
+      close_quietly(fd);
+      continue;
+    }
+    if (!running_.load()) {
+      close_quietly(fd);
+      return;
+    }
+    set_nodelay(fd);
+    install_dynamic_peer(peer_id, fd);
+  }
+}
+
+void TcpTransport::install_dynamic_peer(PartyId peer_id, int fd) {
+  Peer& peer = *peers_[static_cast<std::size_t>(peer_id)];
+  int old_fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(peer.send_mu);
+    old_fd = peer.fd;
+    peer.fd = -1;  // sends drop while the link is swapped
+  }
+  if (old_fd >= 0) {
+    // Wake the stale reader (client reconnected before its EOF was
+    // seen, e.g. after a crash with no FIN).
+    ::shutdown(old_fd, SHUT_RDWR);
+  }
+  if (peer.reader.joinable()) {
+    // Reap the previous connection's reader before the slot is
+    // reused; reader_loop caches its fd at entry, so replacing the
+    // link without this join would leak a thread reading a dead
+    // socket.
+    peer.reader.join();
+  }
+  if (old_fd >= 0) {
+    ::close(old_fd);
+    TRUSTDDL_LOG_INFO(kLog) << "party " << self_ << ": actor " << peer_id
+                            << " reconnected; stale link replaced";
+  }
+  {
+    std::lock_guard<std::mutex> lock(peer.send_mu);
+    peer.fd = fd;
+  }
+  start_reader(peer_id);
+  obs::HealthState::global().note_peer(static_cast<int>(peer_id));
+  if (obs::metrics_enabled()) {
+    obs::count("net.dynamic.accepts");
+  }
+}
+
 void TcpTransport::connect(const std::vector<std::string>& peer_addresses,
                            const std::vector<PartyId>& peers) {
   TRUSTDDL_REQUIRE(
@@ -380,6 +481,25 @@ void TcpTransport::reader_loop(PartyId peer_id) {
     inboxes_[static_cast<std::size_t>(sender)]->push(std::move(message),
                                                     deliver_at);
   }
+  // Dynamic peers own their EOF: close the dead socket (unless a
+  // reconnect already swapped it out) and mark the actor departed so
+  // /healthz doesn't report a gone client as a stale link forever.
+  const PartyId dynamic_min = dynamic_min_id_.load();
+  if (dynamic_min >= 0 && peer_id >= dynamic_min) {
+    Peer& peer = *peers_[static_cast<std::size_t>(peer_id)];
+    {
+      std::lock_guard<std::mutex> lock(peer.send_mu);
+      if (peer.fd == fd) {
+        ::close(peer.fd);
+        peer.fd = -1;
+      }
+    }
+    obs::HealthState::global().note_peer_departed(static_cast<int>(peer_id));
+    if (running_.load()) {
+      TRUSTDDL_LOG_INFO(kLog) << "party " << self_ << ": dynamic actor "
+                              << peer_id << " disconnected";
+    }
+  }
 }
 
 Endpoint TcpTransport::endpoint(PartyId id) {
@@ -443,6 +563,28 @@ void TcpTransport::send(Message message) {
               message.payload.data(), message.payload.size());
 
   std::lock_guard<std::mutex> lock(peer.send_mu);
+  const PartyId dynamic_min = dynamic_min_id_.load();
+  if (dynamic_min >= 0 && message.receiver >= dynamic_min) {
+    // Loss-tolerant lane: a departed client must not take its serving
+    // party down with an EPIPE — drop the frame and count it.
+    if (peer.fd < 0) {
+      if (obs::metrics_enabled()) {
+        obs::count("net.dropped.peer_gone");
+      }
+      return;
+    }
+    try {
+      write_all(peer.fd, frame.data(), frame.size());
+    } catch (const ProtocolError&) {
+      // Wake the reader with an EOF; its cleanup closes the fd and
+      // marks the peer departed.
+      ::shutdown(peer.fd, SHUT_RDWR);
+      if (obs::metrics_enabled()) {
+        obs::count("net.dropped.peer_gone");
+      }
+    }
+    return;
+  }
   TRUSTDDL_REQUIRE(peer.fd >= 0, "send: no connection to receiver");
   write_all(peer.fd, frame.data(), frame.size());
 }
@@ -514,11 +656,18 @@ void TcpTransport::shutdown() {
   running_.store(false);
   // Shutting down the sockets wakes every reader blocked in recv();
   // fds are closed only after the join so no reader touches a reused
-  // descriptor.
+  // descriptor.  The dynamic acceptor is reaped first so no new links
+  // install while the peer table is being torn down.
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
   }
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
   for (auto& peer : peers_) {
+    // send_mu serializes against a dynamic reader's EOF cleanup
+    // closing (and -1-ing) the same fd concurrently.
+    std::lock_guard<std::mutex> lock(peer->send_mu);
     if (peer->fd >= 0) {
       ::shutdown(peer->fd, SHUT_RDWR);
     }
@@ -527,6 +676,7 @@ void TcpTransport::shutdown() {
     if (peer->reader.joinable()) {
       peer->reader.join();
     }
+    std::lock_guard<std::mutex> lock(peer->send_mu);
     close_quietly(peer->fd);
   }
   close_quietly(listen_fd_);

@@ -72,6 +72,18 @@ class TcpTransport final : public Transport {
   void connect(const std::vector<std::string>& peer_addresses,
                const std::vector<PartyId>& peers);
 
+  /// Fleet deployments: after the initial rendezvous, keep accepting
+  /// connections from actors with id >= `min_id` on a background
+  /// thread, for as long as the transport lives.  A hello from an id
+  /// that is already connected replaces the link (the stale reader is
+  /// joined first), so a client may drop and re-attach at any time.
+  /// Ids at or above `min_id` also become *loss-tolerant*: send() to a
+  /// departed or never-connected dynamic peer drops the frame (metered
+  /// under net.dropped.*) instead of throwing, and a clean EOF from
+  /// one marks it departed in HealthState rather than leaving a
+  /// forever-stale heartbeat.  Call after connect(); at most once.
+  void accept_dynamic_peers(PartyId min_id);
+
   /// Graceful teardown: closes every socket and joins the reader
   /// threads.  Idempotent; also run by the destructor.
   void shutdown();
@@ -108,6 +120,10 @@ class TcpTransport final : public Transport {
   void reader_loop(PartyId peer_id);
   int connect_with_retry(PartyId peer_id, const TcpAddress& address);
   void accept_higher_peers(int expected);
+  void acceptor_loop();
+  /// Installs `fd` as the live connection for dynamic peer `peer_id`,
+  /// tearing down and reaping any stale predecessor link first.
+  void install_dynamic_peer(PartyId peer_id, int fd);
 
   PartyId self_;
   NetworkConfig config_;
@@ -116,6 +132,10 @@ class TcpTransport final : public Transport {
   std::atomic<bool> running_{true};
   bool shut_down_ = false;
   std::mutex shutdown_mu_;
+  /// First dynamic (loss-tolerant, hot-attachable) actor id; -1 means
+  /// accept_dynamic_peers was never called.
+  std::atomic<PartyId> dynamic_min_id_{-1};
+  std::thread acceptor_;
 
   std::vector<std::unique_ptr<Peer>> peers_;          // [party id]
   std::vector<std::unique_ptr<TagMailbox>> inboxes_;  // [sender id]

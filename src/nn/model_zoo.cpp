@@ -1,5 +1,7 @@
 #include "nn/model_zoo.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "nn/layers.hpp"
 
@@ -91,6 +93,26 @@ ModelSpec tiny_cnn_spec() {
   };
   validate_spec(spec);
   return spec;
+}
+
+InputGeometry input_geometry(const ModelSpec& spec) {
+  for (const LayerSpec& layer : spec.layers) {
+    if (layer.kind == LayerSpec::Kind::kConv) {
+      return {layer.conv.in_height, layer.conv.in_width};
+    }
+    if (layer.kind == LayerSpec::Kind::kDense) {
+      break;
+    }
+  }
+  // Dense-first: any factoring works; pick the squarest.
+  for (std::size_t h = static_cast<std::size_t>(
+           std::sqrt(static_cast<double>(spec.input_features)));
+       h > 1; --h) {
+    if (spec.input_features % h == 0) {
+      return {h, spec.input_features / h};
+    }
+  }
+  return {1, spec.input_features};
 }
 
 Sequential build_model(const ModelSpec& spec, Rng& rng) {

@@ -76,6 +76,18 @@ ModelSpec mnist_cnn_pool_spec();
 /// full Table I network would be too slow under MPC.
 ModelSpec tiny_cnn_spec();
 
+/// The image shape a spec's input rows must have.  Conv-first models
+/// pin the exact height x width; dense-first models only need
+/// height * width == input_features, reported as the squarest
+/// factoring (784 -> 28x28).  Drives the synthetic-data generator so
+/// CLIs produce queries matching any --model, not just the 28x28
+/// default.
+struct InputGeometry {
+  std::size_t height = 0;
+  std::size_t width = 0;
+};
+InputGeometry input_geometry(const ModelSpec& spec);
+
 /// Instantiate the plaintext model with the paper's initialization
 /// (dense: N(0,1/n); conv: N(0,1/(kh*kw))).
 Sequential build_model(const ModelSpec& spec, Rng& rng);

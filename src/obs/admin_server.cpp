@@ -187,21 +187,38 @@ void send_all(int fd, const std::string& data) {
 }  // namespace
 
 std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  // Fleet deployments label the serve.* families with the pod that
+  // produced them, so one Prometheus scrape config covers N pods and
+  // the fleet roll-up can group by the `pod` dimension.  Other
+  // families (net.*, admin.*, span.*) stay label-free: they describe
+  // this process, not the pod-level serving ledger.
+  const std::string pod = HealthState::global().pod();
+  const auto pod_label = [&](const std::string& name) {
+    return (!pod.empty() && name.rfind("serve.", 0) == 0)
+               ? "{pod=\"" + pod + "\"}"
+               : std::string();
+  };
   std::string out;
   for (const auto& [name, value] : snapshot.counters) {
     const std::string prom = prometheus_name(name);
     out += "# TYPE " + prom + " counter\n";
-    out += prom + " " + std::to_string(value) + "\n";
+    out += prom + pod_label(name) + " " + std::to_string(value) + "\n";
   }
   for (const auto& gauge : snapshot.gauges) {
     const std::string prom = prometheus_name(gauge.name);
+    const std::string label = pod_label(gauge.name);
     out += "# TYPE " + prom + " gauge\n";
-    out += prom + " " + std::to_string(gauge.value) + "\n";
+    out += prom + label + " " + std::to_string(gauge.value) + "\n";
     out += "# TYPE " + prom + "_peak gauge\n";
-    out += prom + "_peak " + std::to_string(gauge.peak) + "\n";
+    out += prom + "_peak" + label + " " + std::to_string(gauge.peak) + "\n";
   }
   for (const auto& hist : snapshot.histograms) {
     const std::string prom = prometheus_name(hist.name);
+    const std::string label = pod_label(hist.name);
+    // Bucket labels compose pod-then-le so every serve series carries
+    // a consistent label order.
+    const std::string bucket_prefix =
+        label.empty() ? "{" : label.substr(0, label.size() - 1) + ",";
     out += "# TYPE " + prom + " histogram\n";
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
@@ -210,11 +227,11 @@ std::string prometheus_text(const MetricsSnapshot& snapshot) {
           i + 1 == Histogram::kBucketCount
               ? std::string("+Inf")
               : std::to_string(Histogram::bucket_bound(i));
-      out += prom + "_bucket{le=\"" + bound + "\"} " +
+      out += prom + "_bucket" + bucket_prefix + "le=\"" + bound + "\"} " +
              std::to_string(cumulative) + "\n";
     }
-    out += prom + "_count " + std::to_string(hist.count) + "\n";
-    out += prom + "_sum " + std::to_string(hist.sum) + "\n";
+    out += prom + "_count" + label + " " + std::to_string(hist.count) + "\n";
+    out += prom + "_sum" + label + " " + std::to_string(hist.sum) + "\n";
   }
   return out;
 }
@@ -439,6 +456,9 @@ std::string AdminServer::healthz_body(int& status) const {
   out += "  \"status\": \"" + std::string(any_stale ? "degraded" : "ok") + "\",\n";
   out += "  \"role\": \"" + json_escape(health.role()) + "\",\n";
   out += "  \"task\": \"" + json_escape(health.task()) + "\",\n";
+  if (!health.pod().empty()) {
+    out += "  \"pod\": \"" + json_escape(health.pod()) + "\",\n";
+  }
   out += "  \"uptime_us\": " + std::to_string(now) + ",\n";
   out += "  \"stale_after_ms\": " + std::to_string(options_.stale_after_ms) +
          ",\n";
@@ -464,6 +484,9 @@ std::string AdminServer::status_body() const {
   std::string out = "{\n";
   out += "  \"role\": \"" + json_escape(health.role()) + "\",\n";
   out += "  \"task\": \"" + json_escape(health.task()) + "\",\n";
+  if (!health.pod().empty()) {
+    out += "  \"pod\": \"" + json_escape(health.pod()) + "\",\n";
+  }
   out += "  \"pid\": " + std::to_string(::getpid()) + ",\n";
   out += "  \"uptime_us\": " + std::to_string(now_us()) + ",\n";
   out += "  \"requests_served\": " + std::to_string(requests_served()) + ",\n";
@@ -500,6 +523,7 @@ std::string AdminServer::status_body() const {
     const bool ledger = name.rfind("serve.", 0) == 0 ||
                         name.rfind("train.", 0) == 0 ||
                         name.rfind("triples.", 0) == 0 ||
+                        name.rfind("fleet.", 0) == 0 ||
                         name.rfind("admin.", 0) == 0;
     if (!ledger) {
       continue;

@@ -30,6 +30,14 @@ void HealthState::note_peer(int peer) {
   const std::uint64_t now = now_us();
   last_seen_us_[static_cast<std::size_t>(peer)].store(
       now == 0 ? 1 : now, std::memory_order_relaxed);
+  active_[static_cast<std::size_t>(peer)].store(1, std::memory_order_relaxed);
+}
+
+void HealthState::note_peer_departed(int peer) {
+  if (!health_enabled() || peer < 0 || peer >= kMaxPeers) {
+    return;
+  }
+  active_[static_cast<std::size_t>(peer)].store(0, std::memory_order_relaxed);
 }
 
 void HealthState::note_progress(const std::string& key, std::uint64_t value) {
@@ -55,13 +63,21 @@ void HealthState::set_identity(const std::string& role,
   task_ = task;
 }
 
+void HealthState::set_pod(const std::string& pod) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  pod_ = pod;
+}
+
 std::vector<HealthState::PeerSample> HealthState::peers() const {
   std::vector<PeerSample> out;
   for (int peer = 0; peer < kMaxPeers; ++peer) {
     const std::uint64_t seen =
         last_seen_us_[static_cast<std::size_t>(peer)].load(
             std::memory_order_relaxed);
-    if (seen != 0) {
+    const bool active =
+        active_[static_cast<std::size_t>(peer)].load(
+            std::memory_order_relaxed) != 0;
+    if (seen != 0 && active) {
       out.push_back(PeerSample{peer, seen});
     }
   }
@@ -84,14 +100,23 @@ std::string HealthState::task() const {
   return task_;
 }
 
+std::string HealthState::pod() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return pod_;
+}
+
 void HealthState::reset() {
   for (auto& slot : last_seen_us_) {
+    slot.store(0, std::memory_order_relaxed);
+  }
+  for (auto& slot : active_) {
     slot.store(0, std::memory_order_relaxed);
   }
   const std::lock_guard<std::mutex> lock(mu_);
   watermarks_.clear();
   role_.clear();
   task_.clear();
+  pod_.clear();
 }
 
 }  // namespace trustddl::obs

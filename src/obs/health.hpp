@@ -39,12 +39,23 @@ class HealthState {
   /// tracking is disabled or the id is out of range).
   void note_peer(int peer);
 
+  /// Records that `peer` disconnected cleanly (client churn in fleet
+  /// deployments).  Departed peers drop out of peers() so a gone
+  /// client does not read as a permanently stale link; a later
+  /// note_peer (reconnect) revives the entry.
+  void note_peer_departed(int peer);
+
   /// Records a monotonic progress watermark, e.g.
   /// note_progress("serve.last_batch", index).
   void note_progress(const std::string& key, std::uint64_t value);
 
   /// Role/task strings surfaced by /healthz and /status.
   void set_identity(const std::string& role, const std::string& task);
+
+  /// Pod name for fleet deployments; empty outside a fleet.  When
+  /// set, serve.* metric families carry a `pod` label in the
+  /// Prometheus exposition and /healthz//status report it.
+  void set_pod(const std::string& pod);
 
   struct PeerSample {
     int peer;
@@ -56,6 +67,7 @@ class HealthState {
   std::vector<std::pair<std::string, std::uint64_t>> watermarks() const;
   std::string role() const;
   std::string task() const;
+  std::string pod() const;
 
   /// Clears all state (tests).
   void reset();
@@ -64,10 +76,14 @@ class HealthState {
   HealthState() = default;
 
   std::array<std::atomic<std::uint64_t>, kMaxPeers> last_seen_us_{};
+  // 1 once a frame arrived, 0 after a clean departure; peers() only
+  // reports slots that are both stamped and active.
+  std::array<std::atomic<std::uint8_t>, kMaxPeers> active_{};
   mutable std::mutex mu_;  // watermarks + identity
   std::vector<std::pair<std::string, std::uint64_t>> watermarks_;
   std::string role_;
   std::string task_;
+  std::string pod_;
 };
 
 }  // namespace trustddl::obs

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 
 namespace trustddl::obs {
@@ -74,9 +75,15 @@ void Tracer::open(const std::string& path) {
   // First record anchors this file's steady timestamps to wall time so
   // merge_traces.py can align traces from different processes.
   std::string meta;
-  append_record(meta, "meta", "process", -1, 0, now_us(), 0,
-                "\"wall_epoch_us\": " + std::to_string(wall_epoch_us()) +
-                    ", \"pid\": " + std::to_string(::getpid()));
+  std::string extra = "\"wall_epoch_us\": " + std::to_string(wall_epoch_us()) +
+                      ", \"pid\": " + std::to_string(::getpid());
+  // Fleet deployments stamp the pod name so merge_traces.py can
+  // attribute each request timeline to the pod that served it.
+  const std::string pod = HealthState::global().pod();
+  if (!pod.empty()) {
+    extra += ", \"pod\": \"" + pod + "\"";
+  }
+  append_record(meta, "meta", "process", -1, 0, now_us(), 0, extra);
   *out_ << meta;
   enabled_.store(true, std::memory_order_relaxed);
 }

@@ -44,6 +44,11 @@ struct ServeConfig {
   /// substituting a zero share (crash degradation; the client still
   /// reconstructs from the other two parties).
   std::chrono::milliseconds input_wait{2000};
+  /// Chaos knob: the scheduler abandons its loop (no shutdown
+  /// manifests, queue contents dropped) after dispatching this many
+  /// batches — simulates an owner crash for pod-failover tests.
+  /// 0 = run to completion.
+  std::size_t max_batches = 0;
 };
 
 class BatchQueue {

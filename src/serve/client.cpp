@@ -1,5 +1,6 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
 #include <array>
 #include <optional>
 #include <thread>
@@ -174,7 +175,24 @@ InferenceResult InferenceClient::infer(const RealTensor& images) {
     if (result.status == Status::kRejected &&
         attempt < options_.max_retries) {
       obs::count("serve.client.retries");
-      std::this_thread::sleep_for(backoff);
+      // Jittered exponential backoff: sleep uniformly within
+      // [backoff/2, backoff] so rejected cohorts (e.g. a pod's worth
+      // of clients failing over at once) desynchronize instead of
+      // re-slamming the scheduler in lockstep.
+      const auto capped = std::min(backoff, options_.retry_backoff_max);
+      auto sleep_ms = capped;
+      if (capped.count() > 1) {
+        const auto half =
+            static_cast<std::uint64_t>(capped.count()) / 2;
+        std::uint64_t jitter = 0;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          jitter = rng_.next_below(half + 1);
+        }
+        sleep_ms = std::chrono::milliseconds(
+            static_cast<long>(half + jitter));
+      }
+      std::this_thread::sleep_for(sleep_ms);
       backoff *= 2;
       continue;
     }

@@ -51,7 +51,14 @@ struct ClientOptions {
   /// little latency for three-way majority checking.
   std::chrono::milliseconds straggler_grace{150};
   int max_retries = 3;
+  /// Base of the exponential retry backoff.  The actual sleep before
+  /// retry k is uniform in [base*2^k / 2, base*2^k] (decorrelated
+  /// jitter from the client's own RNG), so a pod failing over a whole
+  /// cohort of clients does not produce a synchronized retry storm
+  /// against the next pod in the ring.
   std::chrono::milliseconds retry_backoff{25};
+  /// Cap on the jittered backoff.
+  std::chrono::milliseconds retry_backoff_max{1000};
 };
 
 struct InferenceResult {

@@ -70,6 +70,13 @@ void BatchScheduler::run() {
       progress = true;
       dispatch(queue_.pop_batch());
     }
+    if (config_.max_batches != 0 && stats_.batches >= config_.max_batches) {
+      // Chaos knob: vanish mid-service like a crashed owner — no
+      // shutdown manifests, no verdicts for whatever is still queued.
+      TRUSTDDL_LOG_WARN(kLog) << "scheduler crashing after "
+                              << stats_.batches << " batches (chaos)";
+      return;
+    }
     if (stopped_count == num_clients_ && queue_.empty()) {
       break;
     }

@@ -144,7 +144,7 @@ mpc::DetectionLog serve_computing_party_body(
     const nn::ModelSpec& spec, const core::EngineConfig& config,
     std::size_t param_count, int party, net::Endpoint endpoint,
     const ServerOptions& options, std::size_t* batches_out) {
-  core::OwnerLink link(endpoint, party, std::chrono::seconds(60));
+  core::OwnerLink link(endpoint, party, options.owner_link_timeout);
   core::SecureModel model(spec,
                           core::receive_parameters(endpoint, param_count));
 
@@ -197,8 +197,14 @@ void serve_model_owner_body(const nn::ModelSpec& spec,
   try {
     scheduler.run();
   } catch (...) {
+    service.request_stop();
     service_thread.join();
     throw;
+  }
+  if (serve_config.max_batches != 0) {
+    // Chaos crash: the whole owner process vanishes — do not wait for
+    // party stops that crashed parties will never send.
+    service.request_stop();
   }
   service_thread.join();
   if (stats_out != nullptr) {

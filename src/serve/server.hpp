@@ -35,6 +35,10 @@ struct ServerOptions {
   /// Crash fault injection: stop serving (without the polite owner
   /// stop) after this many executed batches; 0 = serve until shutdown.
   std::size_t max_batches = 0;
+  /// How long a party waits for the model owner's dealer responses.
+  /// The generous default covers multi-process slack; chaos harnesses
+  /// shorten it so parties stranded by a killed owner exit promptly.
+  std::chrono::milliseconds owner_link_timeout{60000};
 };
 
 class InferenceServer {

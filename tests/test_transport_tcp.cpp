@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "net/network.hpp"
 #include "net/runtime.hpp"
+#include "obs/health.hpp"
 
 namespace trustddl::net {
 namespace {
@@ -303,6 +304,84 @@ TEST(NetworkLatencyTest, EmulatedLatencyDoesNotBlockTheSender) {
   }
   const auto recv_elapsed = std::chrono::steady_clock::now() - recv_start;
   EXPECT_LT(recv_elapsed, std::chrono::milliseconds(200));
+}
+
+TEST(TcpTransportDynamicTest, ClientChurnKeepsLinksAndHealthClean) {
+  // Fleet pods accept clients dynamically; clients attach, speak,
+  // leave, and re-attach at will (possibly while another client is
+  // mid-conversation).  Every reconnect must replace the stale link
+  // (reaping the old reader thread), every departure must drop the
+  // peer from HealthState, and sends to a departed client must be
+  // dropped — not fatal.
+  obs::set_health_enabled(true);
+  obs::HealthState::global().reset();
+  NetworkConfig config = fast_config(3);
+  config.recv_timeout = std::chrono::milliseconds(5000);
+  TcpTransport server(0, "127.0.0.1:0", config);
+  const std::vector<std::string> addresses = {
+      "127.0.0.1:" + std::to_string(server.bound_port()), "", ""};
+  server.connect(addresses, {});
+  server.accept_dynamic_peers(1);
+
+  constexpr int kRounds = 3;
+  auto churn = [&](PartyId id) {
+    for (int round = 0; round < kRounds; ++round) {
+      TcpTransport client(id, "127.0.0.1:0", config);
+      client.connect(addresses, {0});
+      const std::string suffix =
+          std::to_string(id) + "." + std::to_string(round);
+      client.endpoint(id).send(0, "hello." + suffix,
+                               Bytes{static_cast<std::uint8_t>(round)});
+      EXPECT_EQ(client.endpoint(id).recv(0, "ack." + suffix),
+                Bytes{static_cast<std::uint8_t>(round)});
+      client.shutdown();
+    }
+  };
+  std::thread churn1([&] { churn(1); });
+  std::thread churn2([&] { churn(2); });
+
+  // The server answers each hello in order per client; tag-keyed
+  // mailboxes buffer whatever interleaving the churn produces.  The
+  // hello arriving proves the round's fresh link is installed, so the
+  // ack below travels over it.
+  Endpoint endpoint = server.endpoint(0);
+  for (int round = 0; round < kRounds; ++round) {
+    for (const PartyId id : {PartyId{1}, PartyId{2}}) {
+      const std::string suffix =
+          std::to_string(id) + "." + std::to_string(round);
+      EXPECT_EQ(endpoint.recv(id, "hello." + suffix),
+                Bytes{static_cast<std::uint8_t>(round)});
+      endpoint.send(id, "ack." + suffix,
+                    Bytes{static_cast<std::uint8_t>(round)});
+    }
+  }
+  churn1.join();
+  churn2.join();
+
+  // Give the reader threads a beat to observe the final EOFs, then
+  // check the departures registered: both clients out of the health
+  // view, and a send to a gone client is a metered drop, not a throw.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  for (const auto& sample : obs::HealthState::global().peers()) {
+    EXPECT_NE(sample.peer, 1);
+    EXPECT_NE(sample.peer, 2);
+  }
+  EXPECT_NO_THROW(endpoint.send(1, "into.the.void", Bytes{9}));
+
+  // One more attach proves the acceptor outlives arbitrary churn.
+  TcpTransport again(1, "127.0.0.1:0", config);
+  again.connect(addresses, {0});
+  again.endpoint(1).send(0, "hello.again", Bytes{7});
+  EXPECT_EQ(endpoint.recv(1, "hello.again"), Bytes{7});
+  bool seen = false;
+  for (const auto& sample : obs::HealthState::global().peers()) {
+    seen = seen || sample.peer == 1;
+  }
+  EXPECT_TRUE(seen);
+  again.shutdown();
+  server.shutdown();
+  obs::HealthState::global().reset();
+  obs::set_health_enabled(false);
 }
 
 }  // namespace
